@@ -1,0 +1,60 @@
+//! E-A4 — ablation: architecture-driven voltage scaling (parallelism).
+//! The design choice behind the paper's 1.5 V chipset: replicate units,
+//! relax per-unit timing, drop the supply. Regenerates the classic
+//! power-vs-parallelism curve for the decoder datapath, then times the
+//! optimizer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerplay::designs::luminance::{sheet, LuminanceArch};
+use powerplay_bench::{banner, session};
+use powerplay_models::scaling::{DelayScaling, ParallelismTradeoff};
+use powerplay_units::{Capacitance, Frequency, Voltage};
+
+fn decoder_tradeoff() -> ParallelismTradeoff {
+    let pp = session();
+    let report = pp.play(&sheet(LuminanceArch::GroupedLut)).expect("reference design");
+    ParallelismTradeoff {
+        delay: DelayScaling::cmos_1_2um(),
+        cap_per_op: Capacitance::new(report.total_power().value() / (1.5 * 1.5 * 2e6)),
+        overhead_per_way: 0.25,
+        vdd_max: Voltage::new(5.0),
+    }
+}
+
+fn regenerate() {
+    banner("E-A4: power vs parallelism at fixed throughput (decoder datapath)");
+    let trade = decoder_tradeoff();
+    for (label, f) in [("2 MHz (paper rate)", 2e6), ("32 MHz (4x-res display)", 32e6)] {
+        println!("\ntarget throughput: {label}");
+        println!("{:>3} {:>10} {:>14}", "N", "vdd", "power");
+        for n in 1..=8u32 {
+            match (trade.supply_for(n, Frequency::new(f)), trade.power_at(n, Frequency::new(f))) {
+                (Some(vdd), Some(p)) => {
+                    println!("{n:>3} {:>9.2}V {:>14}", vdd.value(), p.to_string())
+                }
+                _ => println!("{n:>3} {:>10} {:>14}", "-", "infeasible"),
+            }
+        }
+        if let Some((n, p)) = trade.optimal(8, Frequency::new(f)) {
+            println!("optimum: N = {n} at {p}");
+        }
+    }
+    println!(
+        "\n(the curve falls while supply savings beat the capacitance \
+         overhead, then rises — parallelism pays only when timing is tight)"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let trade = decoder_tradeoff();
+    c.bench_function("parallel/optimal_degree_search", |b| {
+        b.iter(|| trade.optimal(16, Frequency::new(32e6)))
+    });
+    c.bench_function("parallel/single_point", |b| {
+        b.iter(|| trade.power_at(4, Frequency::new(32e6)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

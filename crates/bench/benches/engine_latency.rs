@@ -1,0 +1,90 @@
+//! E-T1 — the workflow-latency claim: "the whole process … was executed
+//! … in less than three minutes" and "the estimate can take seconds".
+//! Times every interactive step of the engine, from formula parsing to
+//! macro lumping, plus an ablation of dependency-ordered evaluation cost
+//! versus sheet size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use powerplay::designs::infopad;
+use powerplay::designs::luminance::{sheet, LuminanceArch};
+use powerplay::{Expr, Scope, Sheet};
+use powerplay_bench::{banner, session};
+
+fn wide_sheet(rows: usize) -> Sheet {
+    let mut s = Sheet::new("wide");
+    s.set_global("vdd", "1.5").unwrap();
+    s.set_global("f", "2MHz").unwrap();
+    for i in 0..rows {
+        s.add_element_row(
+            &format!("Row {i}"),
+            "ucb/sram",
+            [("words", "1024"), ("bits", "8"), ("f", "f / 4")],
+        )
+        .unwrap();
+    }
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    banner("E-T1: interactive-latency measurements (paper: seconds; here: see below)");
+    let pp = session();
+
+    c.bench_function("latency/parse_formula", |b| {
+        b.iter(|| Expr::parse(std::hint::black_box("c0 + c1*words + c2*words*bits")).unwrap())
+    });
+    c.bench_function("latency/eval_formula", |b| {
+        let e = Expr::parse("c0 + c1*words + c2*words*bits").unwrap();
+        let mut scope = Scope::new();
+        scope.set("c0", 5e-12);
+        scope.set("c1", 20e-15);
+        scope.set("c2", 2.5e-15);
+        scope.set("words", 2048.0);
+        scope.set("bits", 8.0);
+        b.iter(|| e.eval(std::hint::black_box(&scope)).unwrap())
+    });
+
+    let decoder = sheet(LuminanceArch::DirectLut);
+    c.bench_function("latency/play_decoder", |b| {
+        b.iter(|| pp.play(&decoder).unwrap().total_power())
+    });
+    c.bench_function("latency/whatif_one_knob", |b| {
+        // The tightest interactive loop: change vdd, re-Play.
+        b.iter(|| {
+            let mut v = decoder.clone();
+            v.set_global_value("vdd", 1.1);
+            pp.play(&v).unwrap().total_power()
+        })
+    });
+
+    let system = infopad::sheet();
+    c.bench_function("latency/play_hierarchical_system", |b| {
+        b.iter(|| pp.play(&system).unwrap().total_power())
+    });
+    c.bench_function("latency/lump_macro", |b| {
+        b.iter(|| decoder.to_macro("m", pp.registry()).unwrap())
+    });
+    c.bench_function("latency/sheet_json_roundtrip", |b| {
+        b.iter(|| {
+            let text = system.to_json().to_string();
+            Sheet::from_json(&powerplay_json_parse(&text)).unwrap()
+        })
+    });
+
+    // Scaling ablation: evaluation cost vs row count (linear is the
+    // design goal; the dependency sort must not go quadratic in practice).
+    let mut group = c.benchmark_group("latency/rows_scaling");
+    for rows in [8usize, 32, 128] {
+        let s = wide_sheet(rows);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &s, |b, s| {
+            b.iter(|| pp.play(s).unwrap().total_power())
+        });
+    }
+    group.finish();
+}
+
+fn powerplay_json_parse(text: &str) -> powerplay_json::Json {
+    powerplay_json::Json::parse(text).unwrap()
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

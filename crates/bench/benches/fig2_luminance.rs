@@ -1,0 +1,45 @@
+//! E-F1/F2/F3 — paper Figures 1–3: the luminance-decoder spreadsheet for
+//! both architectures. Regenerates the Figure 2 table (and its Figure 3
+//! twin), then times the spreadsheet evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerplay::designs::luminance::{sheet, LuminanceArch};
+use powerplay_bench::{banner, session};
+
+fn regenerate() {
+    let pp = session();
+    banner("Figure 2: Luminance_1 summary (architecture of Figure 1)");
+    let fig1 = pp.play(&sheet(LuminanceArch::DirectLut)).expect("reference design plays");
+    println!("{fig1}");
+    banner("Figure 3 companion table (grouped-LUT architecture)");
+    let fig3 = pp.play(&sheet(LuminanceArch::GroupedLut)).expect("reference design plays");
+    println!("{fig3}");
+    println!(
+        "architecture comparison: {} vs {} -> {:.2}x (paper: ~5x, '~150 uW, or 1/5')",
+        fig1.total_power(),
+        fig3.total_power(),
+        fig1.total_power() / fig3.total_power(),
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let pp = session();
+    let fig1 = sheet(LuminanceArch::DirectLut);
+    let fig3 = sheet(LuminanceArch::GroupedLut);
+    c.bench_function("fig2/play_figure1_sheet", |b| {
+        b.iter(|| pp.play(std::hint::black_box(&fig1)).unwrap().total_power())
+    });
+    c.bench_function("fig2/play_figure3_sheet", |b| {
+        b.iter(|| pp.play(std::hint::black_box(&fig3)).unwrap().total_power())
+    });
+    c.bench_function("fig2/build_and_play", |b| {
+        b.iter(|| {
+            let s = sheet(LuminanceArch::DirectLut);
+            pp.play(&s).unwrap().total_power()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E-F4 — paper Figure 4: the multiplier input form and result excerpt.
+//! Regenerates the capacitance/power table across bit-widths and both
+//! correlation classes, then times single-model evaluation (the paper's
+//! "feedback is virtually instantaneous" claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use powerplay::{Scope, ucb_library};
+use powerplay_bench::banner;
+use powerplay_units::format;
+
+fn regenerate() {
+    banner("Figure 4: multiplier input form and result excerpt");
+    let lib = ucb_library();
+    println!(
+        "{:<10} {:<14} {:>16} {:>14}",
+        "bitwidths", "inputs", "C switched", "P @1.5V,2MHz"
+    );
+    for (element, label) in [
+        ("ucb/multiplier", "uncorrelated"),
+        ("ucb/multiplier_correlated", "correlated"),
+    ] {
+        let mult = lib.get(element).expect("builtin");
+        for bw in [4u32, 8, 12, 16, 24, 32] {
+            let mut scope = Scope::new();
+            scope.set("vdd", 1.5);
+            scope.set("f", 2e6);
+            scope.set("bw_a", bw as f64);
+            scope.set("bw_b", bw as f64);
+            let eval = mult.evaluate(&scope).expect("builtin evaluates");
+            let cap = eval.energy_per_op.expect("capacitive model").value() / (1.5 * 1.5);
+            println!(
+                "{:<10} {:<14} {:>16} {:>14}",
+                format!("{bw}x{bw}"),
+                label,
+                format::eng(cap, "F"),
+                eval.power.to_string(),
+            );
+        }
+    }
+    println!("(paper: C_T = bitwidthA * bitwidthB * 253 fF for non-correlated inputs)");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let lib = ucb_library();
+    let mult = lib.get("ucb/multiplier").unwrap().clone();
+    let mut group = c.benchmark_group("fig4");
+    for bw in [8u32, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("evaluate_multiplier", bw), &bw, |b, &bw| {
+            let mut scope = Scope::new();
+            scope.set("vdd", 1.5);
+            scope.set("f", 2e6);
+            scope.set("bw_a", bw as f64);
+            scope.set("bw_b", bw as f64);
+            b.iter(|| mult.evaluate(std::hint::black_box(&scope)).unwrap().power)
+        });
+    }
+    // The whole form workflow: parse user text, bind, evaluate.
+    group.bench_function("form_roundtrip", |b| {
+        b.iter(|| {
+            let mut scope = Scope::new();
+            for (name, text) in [("vdd", "1.5"), ("f", "2e6"), ("bw_a", "8"), ("bw_b", "8")] {
+                let v = powerplay::Expr::parse(text).unwrap().eval(&scope).unwrap();
+                scope.set(name, v);
+            }
+            mult.evaluate(&scope).unwrap().power
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

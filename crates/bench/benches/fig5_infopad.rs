@@ -1,0 +1,53 @@
+//! E-F5 — paper Figure 5: the InfoPad system power breakdown.
+//! Regenerates the seven-row system table with its converter coupling,
+//! then times full-system evaluation and the hierarchy drill-down.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerplay::designs::infopad;
+use powerplay_bench::{banner, session};
+use powerplay_units::format;
+
+fn regenerate() {
+    let pp = session();
+    banner("Figure 5: InfoPad System summary");
+    let report = pp.play(&infopad::sheet()).expect("reference design plays");
+    println!("{report}");
+    println!("breakdown, largest first:");
+    for (name, share) in report.breakdown() {
+        println!("  {:<24} {}", name, format::percent(share));
+    }
+    let custom = report
+        .row("Custom Hardware")
+        .and_then(|r| r.sub_report())
+        .expect("hierarchy");
+    println!("\nhyperlink drill-down ->\n{custom}");
+    println!("(paper total: ~10.9 W, display-path dominated)");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let pp = session();
+    let system = infopad::sheet();
+    c.bench_function("fig5/play_full_system", |b| {
+        b.iter(|| pp.play(std::hint::black_box(&system)).unwrap().total_power())
+    });
+    c.bench_function("fig5/play_after_radio_change", |b| {
+        // The interactive loop: tweak one subsystem parameter, re-Play.
+        b.iter(|| {
+            let mut variant = system.clone();
+            variant
+                .row_mut("Radio Subsystem")
+                .unwrap()
+                .bind("duty_tx", "0.25")
+                .unwrap();
+            pp.play(&variant).unwrap().total_power()
+        })
+    });
+    c.bench_function("fig5/breakdown", |b| {
+        let report = pp.play(&system).unwrap();
+        b.iter(|| std::hint::black_box(&report).breakdown())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

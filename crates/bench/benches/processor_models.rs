@@ -1,0 +1,68 @@
+//! E-A3 — processor-model ablation: the first-order duty-cycle model
+//! (EQ 11) against the instruction-level model (EQ 12), reproducing Ong &
+//! Yan's observation that sorting algorithms spread across orders of
+//! magnitude — structure the duty-cycle model cannot see.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerplay_bench::banner;
+use powerplay_models::processor::{
+    profiles::sorting_profiles, DutyCycleProcessor, InstructionEnergyTable,
+};
+use powerplay_units::Power;
+
+const N: u64 = 4096;
+
+fn regenerate() {
+    banner("E-A3: EQ 11 (duty cycle) vs EQ 12 (instruction level) on sorting");
+    let table = InstructionEnergyTable::embedded_core();
+    let profiles = sorting_profiles(N);
+
+    // EQ 11 view: the processor draws its average power whenever active,
+    // so every algorithm "costs" the same power and differs only in time.
+    let duty = DutyCycleProcessor::always_on(Power::new(50e-3));
+    println!("EQ 11: every algorithm at P = {}", duty.average_power());
+
+    println!(
+        "\nEQ 12 over n = {N} elements:\n{:<12} {:>14} {:>14} {:>14}",
+        "algorithm", "instructions", "energy", "avg power"
+    );
+    let mut energies = Vec::new();
+    for p in &profiles {
+        let e = p.total_energy(&table).unwrap();
+        energies.push(e.value());
+        println!(
+            "{:<12} {:>14} {:>14} {:>14}",
+            p.name(),
+            p.total_instructions(),
+            e.to_string(),
+            p.average_power(&table).unwrap().to_string(),
+        );
+    }
+    let max = energies.iter().cloned().fold(f64::MIN, f64::max);
+    let min = energies.iter().cloned().fold(f64::MAX, f64::min);
+    println!(
+        "\nenergy spread: {:.0}x (paper ref [15]: 'orders of magnitude variance \
+         … for different sorting algorithms')",
+        max / min
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let table = InstructionEnergyTable::embedded_core();
+    c.bench_function("processor/eq12_profile_energy", |b| {
+        let profiles = sorting_profiles(N);
+        b.iter(|| {
+            profiles
+                .iter()
+                .map(|p| p.total_energy(&table).unwrap().value())
+                .sum::<f64>()
+        })
+    });
+    c.bench_function("processor/build_profiles", |b| {
+        b.iter(|| sorting_profiles(std::hint::black_box(N)).len())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E-A2 — voltage-scaling exploration: power-vs-VDD series for both
+//! reference designs ("parameters such as … supply voltages can be
+//! varied dynamically"), plus the timing-constrained minimum-supply
+//! search. Regenerates the curves, then times the sweep machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerplay::designs::infopad;
+use powerplay::designs::luminance::{sheet, LuminanceArch};
+use powerplay::{whatif, Voltage};
+use powerplay_bench::{banner, session};
+
+const VDD_POINTS: [f64; 9] = [1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 3.3, 5.0];
+
+fn regenerate() {
+    let pp = session();
+    banner("E-A2: power vs supply voltage");
+    let decoder = sheet(LuminanceArch::GroupedLut);
+    let system = infopad::sheet();
+    println!("{:>6} {:>16} {:>16}", "vdd", "decoder (Fig 3)", "InfoPad system");
+    let dec_curve = whatif::sweep_global(&decoder, pp.registry(), "vdd", &VDD_POINTS).unwrap();
+    let sys_curve = whatif::sweep_global(&system, pp.registry(), "vdd", &VDD_POINTS).unwrap();
+    for ((vdd, d), (_, s)) in dec_curve.iter().zip(&sys_curve) {
+        println!(
+            "{vdd:>6.2} {:>16} {:>16}",
+            d.total_power().to_string(),
+            s.total_power().to_string(),
+        );
+    }
+    println!(
+        "(decoder scales ~vdd^2; the display/radio-dominated system barely moves — \
+         the 'optimize the right component' lesson)"
+    );
+    match whatif::min_vdd_meeting_timing(&decoder, pp.registry(), Voltage::new(0.75), Voltage::new(3.3))
+        .unwrap()
+    {
+        Some((vdd, report)) => println!(
+            "minimum supply meeting 2 MHz timing: {:.2} V -> {}",
+            vdd.value(),
+            report.total_power(),
+        ),
+        None => println!("timing unreachable"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let pp = session();
+    let decoder = sheet(LuminanceArch::GroupedLut);
+    c.bench_function("sweep/nine_point_vdd_sweep", |b| {
+        b.iter(|| whatif::sweep_global(&decoder, pp.registry(), "vdd", &VDD_POINTS).unwrap().len())
+    });
+    c.bench_function("sweep/sensitivities", |b| {
+        b.iter(|| whatif::sensitivities(&decoder, pp.registry()).unwrap())
+    });
+    c.bench_function("sweep/min_vdd_bisection", |b| {
+        b.iter(|| {
+            whatif::min_vdd_meeting_timing(
+                &decoder,
+                pp.registry(),
+                Voltage::new(0.75),
+                Voltage::new(3.3),
+            )
+            .unwrap()
+            .map(|(v, _)| v)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Shared helpers for the figure-regeneration benchmarks.
+//!
+//! Every bench target first *regenerates* its paper artifact — printing
+//! the same rows/series the figure reports — and then measures how fast
+//! the engine produces it (the paper's usability claim is that estimates
+//! "take seconds"; ours take microseconds).
+
+use powerplay::PowerPlay;
+
+/// A fresh session with the built-in library (the state every 1996 user
+/// started from).
+pub fn session() -> PowerPlay {
+    PowerPlay::new()
+}
+
+/// Prints a banner separating regenerated-figure output from criterion's
+/// timing output.
+pub fn banner(figure: &str) {
+    println!();
+    println!("=== regenerating {figure} ===");
+}

@@ -1,0 +1,128 @@
+//! Accuracy bookkeeping for estimate-versus-reference comparisons.
+//!
+//! "At this level of abstraction, accuracy should be within an octave of
+//! the actual value" — these helpers quantify that claim against the
+//! cycle-level simulator's "measurement".
+
+use powerplay_units::Power;
+
+/// The ratio `estimate / reference`, always ≥ 1 would mean conservative;
+/// values in `[0.5, 2.0]` are "within an octave".
+///
+/// # Panics
+///
+/// Panics if `reference` is zero or either value is non-finite.
+pub fn accuracy_ratio(estimate: Power, reference: Power) -> f64 {
+    assert!(
+        estimate.is_finite() && reference.is_finite(),
+        "powers must be finite"
+    );
+    assert!(reference.value() != 0.0, "reference power must be nonzero");
+    estimate / reference
+}
+
+/// True when `estimate` is within a factor of two of `reference` in
+/// either direction — the paper's accuracy target for this abstraction
+/// level.
+///
+/// ```
+/// use powerplay::accuracy::within_octave;
+/// use powerplay_units::Power;
+///
+/// // The paper's own numbers: 150 uW estimated, 100 uW measured.
+/// assert!(within_octave(Power::new(150e-6), Power::new(100e-6)));
+/// assert!(!within_octave(Power::new(450e-6), Power::new(100e-6)));
+/// ```
+pub fn within_octave(estimate: Power, reference: Power) -> bool {
+    let ratio = accuracy_ratio(estimate, reference);
+    (0.5..=2.0).contains(&ratio)
+}
+
+/// A comparison record used by the experiment harnesses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparison {
+    /// The spreadsheet estimate.
+    pub estimate: Power,
+    /// The reference ("measured"/simulated) value.
+    pub reference: Power,
+}
+
+impl Comparison {
+    /// Builds a comparison.
+    pub fn new(estimate: Power, reference: Power) -> Comparison {
+        Comparison {
+            estimate,
+            reference,
+        }
+    }
+
+    /// `estimate / reference`.
+    pub fn ratio(&self) -> f64 {
+        accuracy_ratio(self.estimate, self.reference)
+    }
+
+    /// Whether the octave target is met.
+    pub fn within_octave(&self) -> bool {
+        within_octave(self.estimate, self.reference)
+    }
+
+    /// Whether the estimate errs high (the safe direction for budgeting).
+    pub fn is_conservative(&self) -> bool {
+        self.ratio() >= 1.0
+    }
+}
+
+impl std::fmt::Display for Comparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "estimate {} vs reference {} (ratio {:.2}x, {})",
+            self.estimate,
+            self.reference,
+            self.ratio(),
+            if self.within_octave() {
+                "within an octave"
+            } else {
+                "OUTSIDE the octave target"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn octave_boundaries() {
+        let r = Power::new(100e-6);
+        assert!(within_octave(Power::new(50e-6), r));
+        assert!(within_octave(Power::new(200e-6), r));
+        assert!(!within_octave(Power::new(49e-6), r));
+        assert!(!within_octave(Power::new(201e-6), r));
+    }
+
+    #[test]
+    fn ratio_and_conservatism() {
+        let c = Comparison::new(Power::new(150e-6), Power::new(100e-6));
+        assert!((c.ratio() - 1.5).abs() < 1e-12);
+        assert!(c.is_conservative());
+        assert!(c.within_octave());
+        let text = c.to_string();
+        assert!(text.contains("1.50x"));
+        assert!(text.contains("within an octave"));
+    }
+
+    #[test]
+    fn underestimates_can_still_be_within_octave() {
+        let c = Comparison::new(Power::new(70e-6), Power::new(100e-6));
+        assert!(!c.is_conservative());
+        assert!(c.within_octave());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_reference_panics() {
+        let _ = accuracy_ratio(Power::new(1e-6), Power::ZERO);
+    }
+}

@@ -1,0 +1,196 @@
+//! Back-annotation: feeding measured activity into the spreadsheet.
+//!
+//! "As the user gets further along in the design process, architectural
+//! estimators may be used to improve accuracy. As the design process is
+//! iterated, these values should be back-annotated to the design to give
+//! more accurate results."
+//!
+//! Here the "architectural estimator" is the cycle-level simulator
+//! ([`powerplay_vqsim`]): its per-component toggles-per-access statistics
+//! become `alpha` bindings on the matching spreadsheet rows, collapsing
+//! the conservative correlations-neglected estimate onto the measured
+//! activity.
+
+use std::error::Error;
+use std::fmt;
+
+use powerplay_sheet::Sheet;
+use powerplay_vqsim::SimReport;
+
+/// Error produced by [`backannotate_activity`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackannotateError {
+    /// A mapping names a spreadsheet row that does not exist.
+    UnknownRow(String),
+    /// A mapping names a simulator component that does not exist.
+    UnknownComponent(String),
+    /// The row's resolved parameters lack a `bits` width to normalize
+    /// toggles against.
+    NoBitWidth(String),
+    /// The design failed to evaluate while resolving parameters.
+    Evaluate(String),
+}
+
+impl fmt::Display for BackannotateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackannotateError::UnknownRow(row) => write!(f, "no spreadsheet row `{row}`"),
+            BackannotateError::UnknownComponent(c) => {
+                write!(f, "no simulated component `{c}`")
+            }
+            BackannotateError::NoBitWidth(row) => {
+                write!(f, "row `{row}` has no `bits` parameter to normalize toggles")
+            }
+            BackannotateError::Evaluate(e) => write!(f, "design evaluation failed: {e}"),
+        }
+    }
+}
+
+impl Error for BackannotateError {}
+
+/// Binds each mapped row's `alpha` to the simulator's measured
+/// toggles-per-access divided by the row's bit width, returning the
+/// `(row, alpha)` pairs applied.
+///
+/// `mapping` pairs spreadsheet row names with simulator component names,
+/// e.g. `("Look Up Table", "LUT 4096x6")`.
+///
+/// # Errors
+///
+/// Returns [`BackannotateError`] when a name on either side is unknown,
+/// a row lacks a `bits` parameter, or the design fails to evaluate.
+pub fn backannotate_activity(
+    sheet: &mut Sheet,
+    sim: &SimReport,
+    registry: &crate::Registry,
+    mapping: &[(&str, &str)],
+) -> Result<Vec<(String, f64)>, BackannotateError> {
+    // Resolve each row's bit width from a pre-annotation evaluation.
+    let report = sheet
+        .play(registry)
+        .map_err(|e| BackannotateError::Evaluate(e.to_string()))?;
+
+    let mut applied = Vec::with_capacity(mapping.len());
+    for &(row_name, component_name) in mapping {
+        let row_report = report
+            .row(row_name)
+            .ok_or_else(|| BackannotateError::UnknownRow(row_name.to_owned()))?;
+        let component = sim
+            .component(component_name)
+            .ok_or_else(|| BackannotateError::UnknownComponent(component_name.to_owned()))?;
+        let bits = row_report
+            .params()
+            .iter()
+            .find(|(name, _)| name == "bits")
+            .map(|(_, v)| *v)
+            .filter(|&b| b > 0.0)
+            .ok_or_else(|| BackannotateError::NoBitWidth(row_name.to_owned()))?;
+        let alpha = (component.toggles_per_access() / bits).min(1.0);
+        sheet
+            .row_mut(row_name)
+            .expect("row existed in the report")
+            .bind("alpha", &format!("{alpha}"))
+            .expect("numeric literal parses");
+        applied.push((row_name.to_owned(), alpha));
+    }
+    Ok(applied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::Comparison;
+    use crate::designs::luminance::{sheet, LuminanceArch};
+    use crate::PowerPlay;
+    use powerplay_vqsim::{simulate, Architecture, SimConfig, VideoSource};
+
+    /// Row ↔ component mapping for the Figure 1 architecture.
+    const DIRECT_MAPPING: [(&str, &str); 4] = [
+        ("Read Bank", "read bank"),
+        ("Write Bank", "write bank"),
+        ("Look Up Table", "LUT 4096x6"),
+        ("Output Register", "output register"),
+    ];
+
+    #[test]
+    fn backannotation_converges_estimate_onto_measurement() {
+        let pp = PowerPlay::new();
+        let video = VideoSource::synthetic(42, 4);
+        let sim = simulate(Architecture::DirectLut, &video, SimConfig::paper());
+
+        let mut design = sheet(LuminanceArch::DirectLut);
+        let before = pp.play(&design).unwrap().total_power();
+        let applied =
+            backannotate_activity(&mut design, &sim, pp.registry(), &DIRECT_MAPPING).unwrap();
+        assert_eq!(applied.len(), 4);
+        let after = pp.play(&design).unwrap().total_power();
+
+        let measured = sim.total_power();
+        let pre = Comparison::new(before, measured);
+        let post = Comparison::new(after, measured);
+        assert!(pre.ratio() > 1.3, "pre-annotation is conservative: {pre}");
+        // After back-annotation the memory rows share the simulator's
+        // coefficient structure, so agreement tightens dramatically.
+        assert!(
+            (post.ratio() - 1.0).abs() < 0.05,
+            "post-annotation must track the measurement: {post}"
+        );
+        assert!(after < before);
+    }
+
+    #[test]
+    fn annotated_alphas_are_physical() {
+        let pp = PowerPlay::new();
+        let video = VideoSource::synthetic(7, 3);
+        let sim = simulate(Architecture::DirectLut, &video, SimConfig::paper());
+        let mut design = sheet(LuminanceArch::DirectLut);
+        let applied =
+            backannotate_activity(&mut design, &sim, pp.registry(), &DIRECT_MAPPING).unwrap();
+        for (row, alpha) in &applied {
+            assert!(
+                (0.0..=1.0).contains(alpha),
+                "row {row} got alpha {alpha}"
+            );
+        }
+        // The LUT sees correlated luminance: far below random.
+        let lut_alpha = applied
+            .iter()
+            .find(|(row, _)| row == "Look Up Table")
+            .map(|(_, a)| *a)
+            .unwrap();
+        assert!(lut_alpha < 0.45, "LUT alpha {lut_alpha}");
+    }
+
+    #[test]
+    fn unknown_names_are_errors() {
+        let pp = PowerPlay::new();
+        let video = VideoSource::synthetic(1, 2);
+        let sim = simulate(Architecture::DirectLut, &video, SimConfig::paper());
+        let mut design = sheet(LuminanceArch::DirectLut);
+        assert!(matches!(
+            backannotate_activity(&mut design, &sim, pp.registry(), &[("Nope", "read bank")]),
+            Err(BackannotateError::UnknownRow(_))
+        ));
+        assert!(matches!(
+            backannotate_activity(&mut design, &sim, pp.registry(), &[("Read Bank", "nope")]),
+            Err(BackannotateError::UnknownComponent(_))
+        ));
+    }
+
+    #[test]
+    fn rows_without_bit_widths_are_rejected() {
+        let pp = PowerPlay::new();
+        let video = VideoSource::synthetic(1, 2);
+        let sim = simulate(Architecture::DirectLut, &video, SimConfig::paper());
+        let mut design = crate::Sheet::new("odd");
+        design.set_global("vdd", "1.5").unwrap();
+        design.set_global("f", "1MHz").unwrap();
+        design
+            .add_element_row("M", "ucb/multiplier", [])
+            .unwrap(); // bw_a/bw_b, no `bits`
+        let err = backannotate_activity(&mut design, &sim, pp.registry(), &[("M", "read bank")])
+            .unwrap_err();
+        assert!(matches!(err, BackannotateError::NoBitWidth(_)));
+        assert!(err.to_string().contains("bits"));
+    }
+}

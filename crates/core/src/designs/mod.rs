@@ -1,0 +1,9 @@
+//! The paper's two worked designs, as library code.
+//!
+//! * [`luminance`] — the VQ video-decompression chip of Figures 1–3, the
+//!   paper's architectural-comparison case study;
+//! * [`infopad`] — the InfoPad portable multimedia terminal of Figure 5,
+//!   the paper's system-level, mixed-mode case study.
+
+pub mod infopad;
+pub mod luminance;

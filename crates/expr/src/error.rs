@@ -1,0 +1,102 @@
+//! Error types for parsing and evaluating formulas.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a formula fails to parse, with a byte offset.
+///
+/// ```
+/// use powerplay_expr::Expr;
+///
+/// let err = Expr::parse("1 + * 2").unwrap_err();
+/// assert_eq!(err.offset(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseExprError {
+    offset: usize,
+    message: String,
+}
+
+impl ParseExprError {
+    pub(crate) fn new(offset: usize, message: impl Into<String>) -> Self {
+        ParseExprError {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    /// Byte offset into the source at which parsing failed.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for ParseExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at offset {}", self.message, self.offset)
+    }
+}
+
+impl Error for ParseExprError {}
+
+/// Error produced when a well-formed formula cannot be evaluated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// A variable was not found in the scope chain.
+    UnknownVariable(String),
+    /// A function name is not one of the builtins.
+    UnknownFunction(String),
+    /// A builtin was called with the wrong number of arguments.
+    WrongArity {
+        /// The function that was mis-called.
+        function: String,
+        /// Arguments the builtin expects.
+        expected: usize,
+        /// Arguments the call site supplied.
+        found: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownVariable(name) => write!(f, "unknown variable `{name}`"),
+            EvalError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
+            EvalError::WrongArity {
+                function,
+                expected,
+                found,
+            } => write!(
+                f,
+                "function `{function}` expects {expected} argument(s), found {found}"
+            ),
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            EvalError::UnknownVariable("vdd".into()).to_string(),
+            "unknown variable `vdd`"
+        );
+        assert_eq!(
+            EvalError::WrongArity {
+                function: "min".into(),
+                expected: 2,
+                found: 3
+            }
+            .to_string(),
+            "function `min` expects 2 argument(s), found 3"
+        );
+        let p = ParseExprError::new(7, "unexpected token");
+        assert_eq!(p.to_string(), "unexpected token at offset 7");
+        assert_eq!(p.offset(), 7);
+    }
+}

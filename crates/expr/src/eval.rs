@@ -1,0 +1,286 @@
+//! Scopes and formula evaluation.
+
+use std::collections::HashMap;
+
+use crate::ast::{BinaryOp, Expr, UnaryOp};
+use crate::error::EvalError;
+
+/// Builtin functions callable from formulas, with their arities.
+///
+/// `if(cond, then, else)` treats any non-zero condition as true, which
+/// composes with the 0/1-valued comparison operators.
+pub const BUILTIN_FUNCTIONS: [(&str, usize); 14] = [
+    ("abs", 1),
+    ("sqrt", 1),
+    ("exp", 1),
+    ("ln", 1),
+    ("log10", 1),
+    ("log2", 1),
+    ("floor", 1),
+    ("ceil", 1),
+    ("round", 1),
+    ("min", 2),
+    ("max", 2),
+    ("pow", 2),
+    ("hypot", 2),
+    ("if", 3),
+];
+
+/// A variable environment with optional lexical parent.
+///
+/// Sheets use one scope per hierarchy level: a sub-sheet's scope chains to
+/// its parent's, so `vdd` defined at the top level is visible in every
+/// nested sub-circuit unless shadowed — the paper's "subcircuits may be
+/// defined to inherit global parameters".
+///
+/// ```
+/// use powerplay_expr::{Expr, Scope};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut top = Scope::new();
+/// top.set("vdd", 1.5);
+/// let mut sub = top.child();
+/// sub.set("bits", 6.0);
+/// assert_eq!(Expr::parse("vdd * bits")?.eval(&sub)?, 9.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Scope<'parent> {
+    bindings: HashMap<String, f64>,
+    parent: Option<&'parent Scope<'parent>>,
+}
+
+impl<'parent> Scope<'parent> {
+    /// Creates an empty root scope.
+    pub fn new() -> Scope<'static> {
+        Scope {
+            bindings: HashMap::new(),
+            parent: None,
+        }
+    }
+
+    /// Creates a child scope whose lookups fall back to `self`.
+    pub fn child(&self) -> Scope<'_> {
+        Scope {
+            bindings: HashMap::new(),
+            parent: Some(self),
+        }
+    }
+
+    /// Binds (or shadows) a variable in this scope level.
+    pub fn set(&mut self, name: impl Into<String>, value: f64) {
+        self.bindings.insert(name.into(), value);
+    }
+
+    /// Resolves a variable through the scope chain.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        match self.bindings.get(name) {
+            Some(v) => Some(*v),
+            None => self.parent.and_then(|p| p.get(name)),
+        }
+    }
+
+    /// Names bound at *this* level (not the whole chain), sorted.
+    pub fn local_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.bindings.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+impl<'p> FromIterator<(String, f64)> for Scope<'p> {
+    fn from_iter<I: IntoIterator<Item = (String, f64)>>(iter: I) -> Self {
+        Scope {
+            bindings: iter.into_iter().collect(),
+            parent: None,
+        }
+    }
+}
+
+impl Expr {
+    /// Evaluates the formula against `scope`.
+    ///
+    /// Division by zero follows IEEE-754 (yielding ±inf/NaN) rather than
+    /// erroring, matching spreadsheet behaviour; the sheet layer flags
+    /// non-finite results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] for unknown variables or functions and wrong
+    /// arities.
+    pub fn eval(&self, scope: &Scope<'_>) -> Result<f64, EvalError> {
+        match self {
+            Expr::Number(n) => Ok(*n),
+            Expr::Variable(name) => scope
+                .get(name)
+                .ok_or_else(|| EvalError::UnknownVariable(name.clone())),
+            Expr::Unary(UnaryOp::Neg, inner) => Ok(-inner.eval(scope)?),
+            Expr::Binary(op, lhs, rhs) => {
+                let l = lhs.eval(scope)?;
+                let r = rhs.eval(scope)?;
+                Ok(apply_binary(*op, l, r))
+            }
+            Expr::Call(name, args) => {
+                let arity = BUILTIN_FUNCTIONS
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, a)| *a)
+                    .ok_or_else(|| EvalError::UnknownFunction(name.clone()))?;
+                if args.len() != arity {
+                    return Err(EvalError::WrongArity {
+                        function: name.clone(),
+                        expected: arity,
+                        found: args.len(),
+                    });
+                }
+                let mut values = [0.0f64; 3];
+                for (slot, arg) in values.iter_mut().zip(args) {
+                    *slot = arg.eval(scope)?;
+                }
+                Ok(apply_function(name, &values[..arity]))
+            }
+        }
+    }
+}
+
+fn apply_binary(op: BinaryOp, l: f64, r: f64) -> f64 {
+    match op {
+        BinaryOp::Add => l + r,
+        BinaryOp::Sub => l - r,
+        BinaryOp::Mul => l * r,
+        BinaryOp::Div => l / r,
+        BinaryOp::Rem => l % r,
+        BinaryOp::Pow => l.powf(r),
+        BinaryOp::Lt => indicator(l < r),
+        BinaryOp::Le => indicator(l <= r),
+        BinaryOp::Gt => indicator(l > r),
+        BinaryOp::Ge => indicator(l >= r),
+        BinaryOp::Eq => indicator(l == r),
+        BinaryOp::Ne => indicator(l != r),
+    }
+}
+
+fn indicator(b: bool) -> f64 {
+    if b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+fn apply_function(name: &str, args: &[f64]) -> f64 {
+    match (name, args) {
+        ("abs", [x]) => x.abs(),
+        ("sqrt", [x]) => x.sqrt(),
+        ("exp", [x]) => x.exp(),
+        ("ln", [x]) => x.ln(),
+        ("log10", [x]) => x.log10(),
+        ("log2", [x]) => x.log2(),
+        ("floor", [x]) => x.floor(),
+        ("ceil", [x]) => x.ceil(),
+        ("round", [x]) => x.round(),
+        ("min", [a, b]) => a.min(*b),
+        ("max", [a, b]) => a.max(*b),
+        ("pow", [a, b]) => a.powf(*b),
+        ("hypot", [a, b]) => a.hypot(*b),
+        ("if", [c, t, e]) => {
+            if *c != 0.0 {
+                *t
+            } else {
+                *e
+            }
+        }
+        _ => unreachable!("arity checked before dispatch"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_in(src: &str, scope: &Scope<'_>) -> f64 {
+        Expr::parse(src).unwrap().eval(scope).unwrap()
+    }
+
+    #[test]
+    fn scope_chain_resolution() {
+        let mut top = Scope::new();
+        top.set("vdd", 1.5);
+        top.set("f", 2e6);
+        let mut mid = top.child();
+        mid.set("bits", 6.0);
+        let mut leaf = mid.child();
+        leaf.set("vdd", 3.3); // shadows the global
+
+        assert_eq!(eval_in("vdd", &top), 1.5);
+        assert_eq!(eval_in("vdd", &mid), 1.5);
+        assert_eq!(eval_in("vdd", &leaf), 3.3);
+        assert_eq!(eval_in("bits * 2", &leaf), 12.0);
+        assert_eq!(eval_in("f / 16", &leaf), 125e3);
+    }
+
+    #[test]
+    fn unknown_variable_error() {
+        let err = Expr::parse("x + 1").unwrap().eval(&Scope::new()).unwrap_err();
+        assert_eq!(err, EvalError::UnknownVariable("x".into()));
+    }
+
+    #[test]
+    fn unknown_function_error() {
+        let err = Expr::parse("frobnicate(1)")
+            .unwrap()
+            .eval(&Scope::new())
+            .unwrap_err();
+        assert_eq!(err, EvalError::UnknownFunction("frobnicate".into()));
+    }
+
+    #[test]
+    fn wrong_arity_error() {
+        let err = Expr::parse("min(1, 2, 3)")
+            .unwrap()
+            .eval(&Scope::new())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EvalError::WrongArity {
+                function: "min".into(),
+                expected: 2,
+                found: 3
+            }
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_ieee() {
+        let v = Expr::parse("1 / 0").unwrap().eval(&Scope::new()).unwrap();
+        assert!(v.is_infinite());
+    }
+
+    #[test]
+    fn all_builtins_dispatch() {
+        let scope = Scope::new();
+        for (name, arity) in BUILTIN_FUNCTIONS {
+            let args = ["2", "3", "4"][..arity].join(", ");
+            let src = format!("{name}({args})");
+            let v = Expr::parse(&src).unwrap().eval(&scope).unwrap();
+            assert!(v.is_finite(), "{src} -> {v}");
+        }
+    }
+
+    #[test]
+    fn local_names_sorted() {
+        let mut s = Scope::new();
+        s.set("zeta", 1.0);
+        s.set("alpha", 2.0);
+        assert_eq!(s.local_names(), ["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: Scope<'_> = [("a".to_owned(), 1.0), ("b".to_owned(), 2.0)]
+            .into_iter()
+            .collect();
+        assert_eq!(s.get("a"), Some(1.0));
+        assert_eq!(s.get("c"), None);
+    }
+}

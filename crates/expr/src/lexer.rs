@@ -1,0 +1,327 @@
+//! Tokenizer for formulas, including SI-scaled numeric literals.
+
+use crate::error::ParseExprError;
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Token {
+    Number(f64),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Caret,
+    LParen,
+    RParen,
+    Comma,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Spanned {
+    pub token: Token,
+    pub offset: usize,
+}
+
+/// Unit symbols that may trail an SI prefix in a literal (`2MHz`, `1.5V`,
+/// `253fF`). The unit itself never changes the value — formulas are
+/// dimensionless; the sheet layer assigns meaning.
+const UNIT_SUFFIXES: [&str; 8] = ["Hz", "F", "V", "W", "A", "J", "s", "Ohm"];
+
+fn prefix_factor(c: char) -> Option<f64> {
+    Some(match c {
+        'f' => 1e-15,
+        'p' => 1e-12,
+        'n' => 1e-9,
+        'u' | 'µ' => 1e-6,
+        'm' => 1e-3,
+        'k' => 1e3,
+        'M' => 1e6,
+        'G' => 1e9,
+        'T' => 1e12,
+        _ => return None,
+    })
+}
+
+pub(crate) fn lex(src: &str) -> Result<Vec<Spanned>, ParseExprError> {
+    let mut tokens = Vec::new();
+    let bytes = src.as_bytes();
+    let mut pos = 0;
+
+    while pos < bytes.len() {
+        let start = pos;
+        let c = src[pos..].chars().next().expect("pos in bounds");
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                pos += 1;
+            }
+            '+' => {
+                tokens.push(Spanned { token: Token::Plus, offset: start });
+                pos += 1;
+            }
+            '-' => {
+                tokens.push(Spanned { token: Token::Minus, offset: start });
+                pos += 1;
+            }
+            '*' => {
+                tokens.push(Spanned { token: Token::Star, offset: start });
+                pos += 1;
+            }
+            '/' => {
+                tokens.push(Spanned { token: Token::Slash, offset: start });
+                pos += 1;
+            }
+            '%' => {
+                tokens.push(Spanned { token: Token::Percent, offset: start });
+                pos += 1;
+            }
+            '^' => {
+                tokens.push(Spanned { token: Token::Caret, offset: start });
+                pos += 1;
+            }
+            '(' => {
+                tokens.push(Spanned { token: Token::LParen, offset: start });
+                pos += 1;
+            }
+            ')' => {
+                tokens.push(Spanned { token: Token::RParen, offset: start });
+                pos += 1;
+            }
+            ',' => {
+                tokens.push(Spanned { token: Token::Comma, offset: start });
+                pos += 1;
+            }
+            '<' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::Le, offset: start });
+                    pos += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Lt, offset: start });
+                    pos += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::Ge, offset: start });
+                    pos += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Gt, offset: start });
+                    pos += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::EqEq, offset: start });
+                    pos += 2;
+                } else {
+                    return Err(ParseExprError::new(start, "expected `==`"));
+                }
+            }
+            '!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::Ne, offset: start });
+                    pos += 2;
+                } else {
+                    return Err(ParseExprError::new(start, "expected `!=`"));
+                }
+            }
+            '0'..='9' | '.' => {
+                let (value, next) = lex_number(src, pos)?;
+                tokens.push(Spanned { token: Token::Number(value), offset: start });
+                pos = next;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut end = pos;
+                for ch in src[pos..].chars() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        end += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Spanned {
+                    token: Token::Ident(src[pos..end].to_owned()),
+                    offset: start,
+                });
+                pos = end;
+            }
+            other => {
+                return Err(ParseExprError::new(
+                    start,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Lexes a numeric literal with optional exponent and optional SI
+/// prefix/unit suffix. Returns the scaled value and the next position.
+fn lex_number(src: &str, start: usize) -> Result<(f64, usize), ParseExprError> {
+    let bytes = src.as_bytes();
+    let mut pos = start;
+    let mut seen_digit = false;
+    let mut seen_dot = false;
+    while pos < bytes.len() {
+        match bytes[pos] {
+            b'0'..=b'9' => {
+                seen_digit = true;
+                pos += 1;
+            }
+            b'.' if !seen_dot => {
+                seen_dot = true;
+                pos += 1;
+            }
+            b'e' | b'E' if seen_digit => {
+                // Only an exponent when followed by [sign] digit.
+                let mut ahead = pos + 1;
+                if matches!(bytes.get(ahead), Some(b'+') | Some(b'-')) {
+                    ahead += 1;
+                }
+                if matches!(bytes.get(ahead), Some(b'0'..=b'9')) {
+                    pos = ahead + 1;
+                    while matches!(bytes.get(pos), Some(b'0'..=b'9')) {
+                        pos += 1;
+                    }
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    if !seen_digit {
+        return Err(ParseExprError::new(start, "invalid number"));
+    }
+    let mut value: f64 = src[start..pos]
+        .parse()
+        .map_err(|_| ParseExprError::new(start, "invalid number"))?;
+
+    // Optional suffix: [SI prefix][unit] or bare unit, glued to the digits.
+    let rest = &src[pos..];
+    let first = rest.chars().next();
+    if let Some(c) = first {
+        if c.is_alphabetic() || c == 'µ' {
+            // Collect the alphabetic run.
+            let mut end = 0;
+            for ch in rest.chars() {
+                if ch.is_alphabetic() || ch == 'µ' {
+                    end += ch.len_utf8();
+                } else {
+                    break;
+                }
+            }
+            let suffix = &rest[..end];
+            let mut chars = suffix.chars();
+            let head = chars.next().expect("non-empty suffix");
+            let tail = chars.as_str();
+            if let Some(factor) = prefix_factor(head) {
+                if tail.is_empty() || UNIT_SUFFIXES.contains(&tail) {
+                    return Ok((value * factor, pos + end));
+                }
+            }
+            if UNIT_SUFFIXES.contains(&suffix) {
+                return Ok((value, pos + end));
+            }
+            return Err(ParseExprError::new(
+                pos,
+                format!("unknown unit suffix `{suffix}`"),
+            ));
+        }
+    }
+    // No suffix.
+    let _ = &mut value;
+    Ok((value, pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn num(src: &str) -> f64 {
+        match lex(src).unwrap().as_slice() {
+            [Spanned { token: Token::Number(n), .. }] => *n,
+            other => panic!("expected single number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_numbers() {
+        assert_eq!(num("42"), 42.0);
+        assert_eq!(num("2.5"), 2.5);
+        assert_eq!(num("1e6"), 1e6);
+        assert_eq!(num("2.5E-3"), 2.5e-3);
+        assert_eq!(num(".5"), 0.5);
+    }
+
+    #[test]
+    fn si_suffixes() {
+        assert!((num("253f") - 253e-15).abs() < 1e-24);
+        assert!((num("253fF") - 253e-15).abs() < 1e-24);
+        assert_eq!(num("2MHz"), 2e6);
+        assert_eq!(num("1.5V"), 1.5);
+        assert_eq!(num("10k"), 10e3);
+        assert!((num("150uW") - 150e-6).abs() < 1e-15);
+        assert!((num("150µW") - 150e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn unknown_suffix_is_error() {
+        assert!(lex("3parsecs").is_err());
+        assert!(lex("2xyz").is_err());
+    }
+
+    #[test]
+    fn suffix_requires_adjacency() {
+        // Separated by a space, `V` is an identifier, not a unit.
+        let tokens = lex("1.5 V").unwrap();
+        assert_eq!(tokens.len(), 2);
+        assert!(matches!(tokens[1].token, Token::Ident(ref s) if s == "V"));
+    }
+
+    #[test]
+    fn operators_and_offsets() {
+        let tokens = lex("a <= b != c").unwrap();
+        let kinds: Vec<_> = tokens.iter().map(|t| t.token.clone()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Token::Ident("a".into()),
+                Token::Le,
+                Token::Ident("b".into()),
+                Token::Ne,
+                Token::Ident("c".into()),
+            ]
+        );
+        assert_eq!(tokens[1].offset, 2);
+    }
+
+    #[test]
+    fn exponent_vs_identifier() {
+        // `2e` with no digits: `e` is a trailing alphabetic, unknown unit.
+        assert!(lex("2e").is_err());
+        // `2eV`: not an exponent, not a known unit.
+        assert!(lex("2eV").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("#").is_err());
+        assert!(lex("= 1").is_err());
+        assert!(lex("!x").is_err());
+        assert!(lex(".").is_err());
+    }
+
+    #[test]
+    fn identifiers_with_underscores_and_digits() {
+        let tokens = lex("n_inputs2 * C_0").unwrap();
+        assert!(matches!(tokens[0].token, Token::Ident(ref s) if s == "n_inputs2"));
+        assert!(matches!(tokens[2].token, Token::Ident(ref s) if s == "C_0"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Pratt parser turning token streams into [`Expr`] trees.
+
+use crate::ast::{BinaryOp, Expr, UnaryOp};
+use crate::error::ParseExprError;
+use crate::lexer::{lex, Spanned, Token};
+
+impl Expr {
+    /// Parses a formula.
+    ///
+    /// Supported grammar: `+ - * / % ^` with conventional precedence
+    /// (`^` right-associative, binding tighter than unary minus),
+    /// comparisons (`< <= > >= == !=`, lowest precedence, yielding 0/1),
+    /// parentheses, function calls, identifiers and SI-scaled literals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseExprError`] with a byte offset on malformed input.
+    ///
+    /// ```
+    /// use powerplay_expr::Expr;
+    /// # fn main() -> Result<(), powerplay_expr::ParseExprError> {
+    /// let e = Expr::parse("c0 + c1*words + c1*bits + c2*words*bits")?;
+    /// assert_eq!(e.free_variables().len(), 5);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn parse(src: &str) -> Result<Expr, ParseExprError> {
+        let tokens = lex(src)?;
+        let mut parser = Parser {
+            tokens: &tokens,
+            pos: 0,
+            src_len: src.len(),
+        };
+        let expr = parser.expression(0)?;
+        if parser.pos != parser.tokens.len() {
+            return Err(ParseExprError::new(
+                parser.offset(),
+                "unexpected trailing tokens",
+            ));
+        }
+        Ok(expr)
+    }
+}
+
+struct Parser<'a> {
+    tokens: &'a [Spanned],
+    pos: usize,
+    src_len: usize,
+}
+
+/// Binding power to the right of unary minus: tighter than `*`, looser
+/// than `^`, so `-x^2` parses as `-(x^2)` and `-x*y` as `(-x)*y`.
+const UNARY_NEG_BP: u8 = 11;
+
+impl<'a> Parser<'a> {
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map_or(self.src_len, |t| t.offset)
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn advance(&mut self) -> Option<&'a Token> {
+        let token = self.tokens.get(self.pos).map(|t| &t.token);
+        self.pos += 1;
+        token
+    }
+
+    fn expect(&mut self, expected: &Token, what: &str) -> Result<(), ParseExprError> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseExprError::new(self.offset(), format!("expected {what}")))
+        }
+    }
+
+    fn expression(&mut self, min_bp: u8) -> Result<Expr, ParseExprError> {
+        let mut lhs = self.prefix()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinaryOp::Add,
+                Some(Token::Minus) => BinaryOp::Sub,
+                Some(Token::Star) => BinaryOp::Mul,
+                Some(Token::Slash) => BinaryOp::Div,
+                Some(Token::Percent) => BinaryOp::Rem,
+                Some(Token::Caret) => BinaryOp::Pow,
+                Some(Token::Lt) => BinaryOp::Lt,
+                Some(Token::Le) => BinaryOp::Le,
+                Some(Token::Gt) => BinaryOp::Gt,
+                Some(Token::Ge) => BinaryOp::Ge,
+                Some(Token::EqEq) => BinaryOp::Eq,
+                Some(Token::Ne) => BinaryOp::Ne,
+                _ => break,
+            };
+            let (l_bp, r_bp) = op.binding_power();
+            if l_bp < min_bp {
+                break;
+            }
+            self.pos += 1;
+            let rhs = self.expression(r_bp)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn prefix(&mut self) -> Result<Expr, ParseExprError> {
+        let offset = self.offset();
+        match self.advance() {
+            Some(Token::Number(n)) => Ok(Expr::Number(*n)),
+            Some(Token::Ident(name)) => {
+                if self.peek() == Some(&Token::LParen) {
+                    self.pos += 1;
+                    let args = self.call_arguments()?;
+                    Ok(Expr::Call(name.clone(), args))
+                } else {
+                    Ok(Expr::Variable(name.clone()))
+                }
+            }
+            Some(Token::Minus) => {
+                let inner = self.expression(UNARY_NEG_BP)?;
+                Ok(Expr::Unary(UnaryOp::Neg, Box::new(inner)))
+            }
+            Some(Token::Plus) => self.prefix(),
+            Some(Token::LParen) => {
+                let inner = self.expression(0)?;
+                self.expect(&Token::RParen, "`)`")?;
+                Ok(inner)
+            }
+            Some(_) => Err(ParseExprError::new(offset, "unexpected token")),
+            None => Err(ParseExprError::new(offset, "unexpected end of formula")),
+        }
+    }
+
+    fn call_arguments(&mut self) -> Result<Vec<Expr>, ParseExprError> {
+        let mut args = Vec::new();
+        if self.peek() == Some(&Token::RParen) {
+            self.pos += 1;
+            return Ok(args);
+        }
+        loop {
+            args.push(self.expression(0)?);
+            match self.peek() {
+                Some(Token::Comma) => self.pos += 1,
+                Some(Token::RParen) => {
+                    self.pos += 1;
+                    return Ok(args);
+                }
+                _ => {
+                    return Err(ParseExprError::new(
+                        self.offset(),
+                        "expected `,` or `)` in argument list",
+                    ))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scope;
+
+    fn eval(src: &str) -> f64 {
+        Expr::parse(src).unwrap().eval(&Scope::new()).unwrap()
+    }
+
+    #[test]
+    fn precedence() {
+        assert_eq!(eval("1 + 2 * 3"), 7.0);
+        assert_eq!(eval("(1 + 2) * 3"), 9.0);
+        assert_eq!(eval("10 - 4 - 3"), 3.0); // left-assoc
+        assert_eq!(eval("2 ^ 3 ^ 2"), 512.0); // right-assoc
+        assert_eq!(eval("10 / 2 / 5"), 1.0);
+        assert_eq!(eval("7 % 4"), 3.0);
+    }
+
+    #[test]
+    fn unary_minus() {
+        assert_eq!(eval("-3 + 5"), 2.0);
+        assert_eq!(eval("-2 ^ 2"), -4.0); // -(2^2)
+        assert_eq!(eval("(-2) ^ 2"), 4.0);
+        assert_eq!(eval("--3"), 3.0);
+        assert_eq!(eval("+5"), 5.0);
+        assert_eq!(eval("-2 * 3"), -6.0);
+    }
+
+    #[test]
+    fn comparisons_yield_indicator_values() {
+        assert_eq!(eval("3 < 4"), 1.0);
+        assert_eq!(eval("3 >= 4"), 0.0);
+        assert_eq!(eval("2 + 2 == 4"), 1.0);
+        assert_eq!(eval("1 != 1"), 0.0);
+        // Comparisons bind loosest.
+        assert_eq!(eval("1 + 1 < 1 + 3"), 1.0);
+    }
+
+    #[test]
+    fn function_calls() {
+        assert_eq!(eval("min(3, 2)"), 2.0);
+        assert_eq!(eval("max(3, 2 * 2)"), 4.0);
+        assert_eq!(eval("sqrt(16)"), 4.0);
+        assert_eq!(eval("if(3 > 2, 10, 20)"), 10.0);
+    }
+
+    #[test]
+    fn si_literals_in_formulas() {
+        let v = eval("8 * 8 * 253f");
+        assert!((v - 8.0 * 8.0 * 253e-15).abs() < 1e-24);
+        assert_eq!(eval("2MHz / 16"), 125e3);
+    }
+
+    #[test]
+    fn error_positions() {
+        assert_eq!(Expr::parse("1 + * 2").unwrap_err().offset(), 4);
+        assert_eq!(Expr::parse("1 + 2)").unwrap_err().offset(), 5);
+        assert_eq!(Expr::parse("(1 + 2").unwrap_err().offset(), 6);
+        assert!(Expr::parse("").is_err());
+        assert!(Expr::parse("min(1, 2").is_err());
+        assert!(Expr::parse("f(,)").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_parses() {
+        let src = format!("{}1{}", "(".repeat(64), ")".repeat(64));
+        assert_eq!(eval(&src), 1.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the formula language.
+
+use proptest::prelude::*;
+use powerplay_expr::{BinaryOp, Expr, Scope, UnaryOp};
+
+/// Strategy producing arbitrary well-formed expression trees over the
+/// variables `x`, `y`, `z`.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        // Non-negative literals only: `-1` prints the same as `Neg(1)`, so
+        // a signed literal cannot round-trip to an identical tree.
+        (0f64..1e6).prop_map(Expr::Number),
+        prop_oneof![Just("x"), Just("y"), Just("z")].prop_map(Expr::variable),
+    ];
+    leaf.prop_recursive(5, 64, 4, |inner| {
+        let binop = prop_oneof![
+            Just(BinaryOp::Add),
+            Just(BinaryOp::Sub),
+            Just(BinaryOp::Mul),
+            Just(BinaryOp::Div),
+            Just(BinaryOp::Lt),
+            Just(BinaryOp::Ge),
+        ];
+        prop_oneof![
+            (binop, inner.clone(), inner.clone())
+                .prop_map(|(op, l, r)| Expr::Binary(op, Box::new(l), Box::new(r))),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(UnaryOp::Neg, Box::new(e))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Call(
+                "min".into(),
+                vec![a, b]
+            )),
+        ]
+    })
+}
+
+proptest! {
+    /// Printing a tree and reparsing it yields the identical tree — the
+    /// printer is fully parenthesized, so this checks parser precedence
+    /// handling against the AST ground truth.
+    #[test]
+    fn print_parse_roundtrip(expr in arb_expr()) {
+        let printed = expr.to_string();
+        let reparsed = Expr::parse(&printed).expect("printed tree reparses");
+        prop_assert_eq!(reparsed, expr);
+    }
+
+    /// Evaluation is deterministic and never panics on arbitrary trees.
+    #[test]
+    fn eval_is_deterministic(expr in arb_expr(), x in -1e3f64..1e3, y in -1e3f64..1e3) {
+        let mut scope = Scope::new();
+        scope.set("x", x);
+        scope.set("y", y);
+        scope.set("z", 0.0);
+        let a = expr.eval(&scope);
+        let b = expr.eval(&scope);
+        match (a, b) {
+            (Ok(va), Ok(vb)) => prop_assert!(va == vb || (va.is_nan() && vb.is_nan())),
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+            other => prop_assert!(false, "nondeterministic: {other:?}"),
+        }
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,48}") {
+        let _ = Expr::parse(&input);
+    }
+
+    /// Free variables of a tree are exactly the identifiers reachable in it.
+    #[test]
+    fn free_variables_sound(expr in arb_expr()) {
+        let vars = expr.free_variables();
+        // Evaluating with all reported variables bound must never yield
+        // UnknownVariable.
+        let mut scope = Scope::new();
+        for v in &vars {
+            scope.set(v.clone(), 1.0);
+        }
+        if let Err(powerplay_expr::EvalError::UnknownVariable(v)) = expr.eval(&scope) {
+            prop_assert!(false, "variable {v} not reported by free_variables");
+        }
+    }
+
+    /// Shadowing: a child binding always wins over the parent chain.
+    #[test]
+    fn child_scope_shadows(parent_val in -1e3f64..1e3, child_val in -1e3f64..1e3) {
+        let mut parent = Scope::new();
+        parent.set("v", parent_val);
+        let mut child = parent.child();
+        child.set("v", child_val);
+        let e = Expr::parse("v").unwrap();
+        prop_assert_eq!(e.eval(&child).unwrap(), child_val);
+        prop_assert_eq!(e.eval(&parent).unwrap(), parent_val);
+    }
+
+    /// Linearity of the EQ 1 shape in f: doubling frequency doubles power.
+    #[test]
+    fn template_linear_in_frequency(c in 1e-15f64..1e-9, v in 0.5f64..5.0, f in 1e3f64..1e8) {
+        let e = Expr::parse("c * v * v * f").unwrap();
+        let mut s = Scope::new();
+        s.set("c", c);
+        s.set("v", v);
+        s.set("f", f);
+        let p1 = e.eval(&s).unwrap();
+        s.set("f", 2.0 * f);
+        let p2 = e.eval(&s).unwrap();
+        prop_assert!(((p2 / p1) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,32 @@
+//! A minimal, dependency-free JSON implementation.
+//!
+//! PowerPlay needs one structured interchange format in three places:
+//! persisting a user's designs to disk (the Perl original kept per-user
+//! default files on the server), serving library elements to remote sites
+//! (paper Figures 6–7), and the web form API. None of the pre-approved
+//! offline crates provide a serde *data format*, so this crate implements
+//! the small slice of JSON the project needs: a dynamically-typed
+//! [`Json`] value, a recursive-descent [parser](Json::parse) with
+//! positioned errors, and compact/pretty writers (`Display` and [`Json::to_pretty`]).
+//!
+//! Object member order is preserved (spreadsheet rows are ordered), and
+//! numbers are `f64` throughout, which is exact for every count the models
+//! use (≤ 2⁵³).
+//!
+//! ```
+//! use powerplay_json::Json;
+//!
+//! # fn main() -> Result<(), powerplay_json::ParseJsonError> {
+//! let v = Json::parse(r#"{"name": "multiplier", "coeff_ff": 253}"#)?;
+//! assert_eq!(v["name"].as_str(), Some("multiplier"));
+//! assert_eq!(v["coeff_ff"].as_f64(), Some(253.0));
+//! # Ok(())
+//! # }
+//! ```
+
+mod parse;
+mod value;
+mod write;
+
+pub use parse::ParseJsonError;
+pub use value::Json;

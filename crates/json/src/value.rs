@@ -1,0 +1,293 @@
+//! The dynamically-typed JSON value.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON document node.
+///
+/// Objects preserve member insertion order (a `Vec` of pairs rather than a
+/// map), because PowerPlay sheets are ordered collections of rows.
+///
+/// ```
+/// use powerplay_json::Json;
+///
+/// let row = Json::object([
+///     ("name", Json::from("Read Bank")),
+///     ("accesses", Json::from(2048.0)),
+/// ]);
+/// assert_eq!(row["accesses"].as_f64(), Some(2048.0));
+/// assert!(row["missing"].is_null());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Json {
+    /// `null`, also returned by out-of-range indexing.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; integers round-trip exactly up to 2⁵³.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered members.
+    Object(Vec<(String, Json)>),
+}
+
+/// Shared sentinel so `Index` can hand back a reference on misses.
+const NULL: Json = Json::Null;
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn object<K, I>(members: I) -> Json
+    where
+        K: Into<String>,
+        I: IntoIterator<Item = (K, Json)>,
+    {
+        Json::Object(members.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn array<I: IntoIterator<Item = Json>>(items: I) -> Json {
+        Json::Array(items.into_iter().collect())
+    }
+
+    /// True for `Json::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a `Number`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `usize`, if it is a non-negative integer.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= usize::MAX as f64 => {
+                Some(*n as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The member slice, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object member by key. Returns `None` on non-objects.
+    ///
+    /// When a key occurs more than once the *last* occurrence wins, the
+    /// common behaviour of JSON implementations.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Looks up an array element by position.
+    pub fn at(&self, index: usize) -> Option<&Json> {
+        self.as_array().and_then(|items| items.get(index))
+    }
+
+    /// Inserts or replaces an object member.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is not an object.
+    pub fn set(&mut self, key: &str, value: Json) {
+        match self {
+            Json::Object(members) => {
+                if let Some(slot) = members.iter_mut().find(|(k, _)| k == key) {
+                    slot.1 = value;
+                } else {
+                    members.push((key.to_owned(), value));
+                }
+            }
+            _ => panic!("Json::set on non-object"),
+        }
+    }
+
+    /// A sorted map view of an object, convenient for comparisons.
+    pub fn to_map(&self) -> BTreeMap<String, Json> {
+        match self {
+            Json::Object(members) => members.iter().cloned().collect(),
+            _ => BTreeMap::new(),
+        }
+    }
+}
+
+impl Index<&str> for Json {
+    type Output = Json;
+
+    /// Member access that yields `Null` (rather than panicking) on misses,
+    /// so chained lookups like `v["a"]["b"]` degrade gracefully.
+    fn index(&self, key: &str) -> &Json {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Json {
+    type Output = Json;
+
+    fn index(&self, index: usize) -> &Json {
+        self.at(index).unwrap_or(&NULL)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Json {
+        Json::Number(n)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Number(n as f64)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(n: u32) -> Json {
+        Json::Number(n as f64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(n: i64) -> Json {
+        Json::Number(n as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::String(s.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::String(s)
+    }
+}
+
+impl<T: Into<Json>> FromIterator<T> for Json {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Json {
+        Json::Array(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+impl fmt::Display for Json {
+    /// Compact serialization; use [`Json::to_pretty`] for indented output.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::write::to_compact(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_access() {
+        let v = Json::object([("a", Json::from(1.0)), ("b", Json::from("x"))]);
+        assert_eq!(v["a"].as_f64(), Some(1.0));
+        assert_eq!(v["b"].as_str(), Some("x"));
+        assert!(v["c"].is_null());
+        assert_eq!(v.get("c"), None);
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let v = Json::Object(vec![
+            ("k".into(), Json::from(1.0)),
+            ("k".into(), Json::from(2.0)),
+        ]);
+        assert_eq!(v["k"].as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn array_access() {
+        let v: Json = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(v[1].as_f64(), Some(2.0));
+        assert!(v[9].is_null());
+        assert_eq!(v.as_array().map(<[Json]>::len), Some(3));
+    }
+
+    #[test]
+    fn set_inserts_and_replaces() {
+        let mut v = Json::object::<&str, _>([]);
+        v.set("x", Json::from(1.0));
+        v.set("y", Json::from(2.0));
+        v.set("x", Json::from(3.0));
+        assert_eq!(v["x"].as_f64(), Some(3.0));
+        assert_eq!(v.as_object().map(<[(String, Json)]>::len), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn set_on_array_panics() {
+        let mut v = Json::array([]);
+        v.set("x", Json::Null);
+    }
+
+    #[test]
+    fn as_usize_rejects_fractions_and_negatives() {
+        assert_eq!(Json::from(4.0).as_usize(), Some(4));
+        assert_eq!(Json::from(4.5).as_usize(), None);
+        assert_eq!(Json::from(-1.0).as_usize(), None);
+        assert_eq!(Json::from("4").as_usize(), None);
+    }
+
+    #[test]
+    fn chained_index_on_miss_is_null() {
+        let v = Json::object([("a", Json::from(1.0))]);
+        assert!(v["missing"]["deeper"][3].is_null());
+    }
+
+    #[test]
+    fn default_is_null() {
+        assert!(Json::default().is_null());
+    }
+}

@@ -1,0 +1,179 @@
+//! Compact and pretty JSON serialization.
+
+use std::fmt::Write as _;
+
+use crate::Json;
+
+/// Serializes `value` with no insignificant whitespace.
+pub(crate) fn to_compact(value: &Json) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, None, 0);
+    out
+}
+
+impl Json {
+    /// Serializes with two-space indentation, for human-readable files.
+    ///
+    /// ```
+    /// use powerplay_json::Json;
+    /// let v = Json::object([("a", Json::from(1.0))]);
+    /// assert_eq!(v.to_pretty(), "{\n  \"a\": 1\n}");
+    /// ```
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, Some(2), 0);
+        out
+    }
+}
+
+fn write_value(out: &mut String, value: &Json, indent: Option<usize>, level: usize) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Number(n) => write_number(out, *n),
+        Json::String(s) => write_string(out, s),
+        Json::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Json::Object(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, member)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, member, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no NaN/inf; null is the least-bad representation and
+        // round-trips to a detectable missing value.
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        // `{:?}` prints the shortest representation that round-trips.
+        let _ = write!(out, "{n:?}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_output() {
+        let v = Json::object([
+            ("name", Json::from("LUT")),
+            ("rows", Json::array([Json::from(1.0), Json::Null])),
+        ]);
+        assert_eq!(v.to_string(), r#"{"name":"LUT","rows":[1,null]}"#);
+    }
+
+    #[test]
+    fn pretty_output() {
+        let v = Json::object([("a", Json::array([Json::from(1.0)]))]);
+        assert_eq!(v.to_pretty(), "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn empty_containers_stay_inline() {
+        assert_eq!(Json::array([]).to_pretty(), "[]");
+        assert_eq!(Json::object::<&str, _>([]).to_pretty(), "{}");
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(Json::from(2048.0).to_string(), "2048");
+        assert_eq!(Json::from(-3.0).to_string(), "-3");
+    }
+
+    #[test]
+    fn floats_roundtrip_shortest() {
+        assert_eq!(Json::from(2.097e-4).to_string(), "0.0002097");
+        assert_eq!(Json::from(0.1).to_string(), "0.1");
+    }
+
+    #[test]
+    fn non_finite_serializes_as_null() {
+        assert_eq!(Json::from(f64::NAN).to_string(), "null");
+        assert_eq!(Json::from(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(
+            Json::from("a\"b\\c\nd\u{0001}").to_string(),
+            r#""a\"b\\c\nd\u0001""#
+        );
+    }
+
+    #[test]
+    fn roundtrip_through_parser() {
+        let v = Json::object([
+            ("s", Json::from("µ ≈ \"u\"\n")),
+            ("n", Json::from(1.5e-13)),
+            ("arr", Json::array([Json::Bool(true), Json::Null])),
+        ]);
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+        assert_eq!(Json::parse(&v.to_pretty()).unwrap(), v);
+    }
+}

@@ -1,0 +1,49 @@
+//! Property tests: arbitrary documents survive a serialize/parse roundtrip.
+
+use proptest::prelude::*;
+use powerplay_json::Json;
+
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        // Finite numbers only: NaN/inf intentionally serialize to null.
+        (-1e15f64..1e15).prop_map(Json::Number),
+        "[a-zA-Z0-9 µ_\\\\\"\n\t-]{0,12}".prop_map(Json::from),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
+            prop::collection::vec(("[a-z]{1,6}", inner), 0..6)
+                .prop_map(Json::Object),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn compact_roundtrip(doc in arb_json()) {
+        let text = doc.to_string();
+        let reparsed = Json::parse(&text).expect("own output reparses");
+        prop_assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn pretty_roundtrip(doc in arb_json()) {
+        let text = doc.to_pretty();
+        let reparsed = Json::parse(&text).expect("pretty output reparses");
+        prop_assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,64}") {
+        let _ = Json::parse(&input);
+    }
+
+    #[test]
+    fn numbers_roundtrip_exactly(n in -1e15f64..1e15) {
+        let text = Json::Number(n).to_string();
+        let reparsed = Json::parse(&text).unwrap();
+        prop_assert_eq!(reparsed.as_f64(), Some(n));
+    }
+}

@@ -1,0 +1,852 @@
+//! The built-in UC Berkeley-style low-power library.
+//!
+//! "Models for each element in the University of California's low-power
+//! cell library are provided." The coefficients the paper publishes are
+//! used verbatim (the 253 fF/bit² multiplier of EQ 20, the α = 0.25
+//! controller default); the rest are plausible 1.2 µm-era values
+//! calibrated so the paper's two case studies reproduce (see
+//! `EXPERIMENTS.md` at the repository root).
+//!
+//! All models are formulas over the element parameters and the reserved
+//! sheet globals `vdd`/`f`, so the entire library is serializable and
+//! remotely shareable.
+
+use powerplay_expr::Expr;
+
+use crate::element::{ElementClass, ElementModel, LibraryElement, ParamDecl};
+use crate::registry::Registry;
+
+/// Delay expression scaled by the first-order CMOS supply curve
+/// `t(vdd) = t_ref · (vdd/(vdd−VT)²) / (Vref/(Vref−VT)²)` with
+/// `VT = 0.7 V`, `Vref = 3.3 V` (so `base` is the delay at 3.3 V).
+fn scaled_delay(base: &str) -> Expr {
+    // (3.3 - 0.7)^2 / 3.3 = 2.048484...
+    let src = format!("({base}) * vdd * 2.048484848484849 / ((vdd - 0.7) ^ 2)");
+    Expr::parse(&src).expect("builtin delay formula parses")
+}
+
+fn formula(src: &str) -> Expr {
+    Expr::parse(src).unwrap_or_else(|e| panic!("builtin formula `{src}`: {e}"))
+}
+
+fn p(name: &str, default: f64, doc: &str) -> ParamDecl {
+    ParamDecl::new(name, default, doc)
+}
+
+struct Builder {
+    registry: Registry,
+}
+
+impl Builder {
+    fn add(
+        &mut self,
+        name: &str,
+        class: ElementClass,
+        doc: &str,
+        params: Vec<ParamDecl>,
+        model: ElementModel,
+    ) {
+        let element = LibraryElement::new(format!("ucb/{name}"), class, doc, params, model);
+        debug_assert!(
+            element.undeclared_variables().is_empty(),
+            "builtin {name} references undeclared variables: {:?}",
+            element.undeclared_variables()
+        );
+        self.registry.insert(element);
+    }
+}
+
+/// Builds the complete built-in library.
+///
+/// ```
+/// let lib = powerplay_library::builtin::ucb_library();
+/// assert!(lib.get("ucb/sram").is_some());
+/// assert!(lib.get("ucb/dcdc").is_some());
+/// ```
+pub fn ucb_library() -> Registry {
+    let mut b = Builder {
+        registry: Registry::new(),
+    };
+
+    // ---- Computation -----------------------------------------------------
+    b.add(
+        "ripple_adder",
+        ElementClass::Computation,
+        "Ripple-carry adder; single capacitive coefficient per bit (EQ 2-3). \
+         Clock/driver overhead folded into the coefficient per the paper.",
+        vec![
+            p("bits", 16.0, "operand bit-width"),
+            p("alpha", 0.5, "per-bit activity (0.5 = random data)"),
+        ],
+        ElementModel {
+            cap_full: Some(formula("bits * 50f * alpha")),
+            area: Some(formula("bits * 2500e-12")),
+            delay: Some(scaled_delay("2n + 1n * bits")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "cla_adder",
+        ElementClass::Computation,
+        "Carry-lookahead adder: more capacitance per bit, log-depth delay.",
+        vec![
+            p("bits", 16.0, "operand bit-width"),
+            p("alpha", 0.5, "per-bit activity"),
+        ],
+        ElementModel {
+            cap_full: Some(formula("bits * 80f * alpha")),
+            area: Some(formula("bits * 4000e-12")),
+            delay: Some(scaled_delay("3n + 1.2n * ceil(log2(max(bits, 2)))")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "multiplier",
+        ElementClass::Computation,
+        "Array multiplier, uncorrelated inputs: C_T = bwA*bwB*253fF (paper EQ 20).",
+        vec![
+            p("bw_a", 8.0, "input A bit-width"),
+            p("bw_b", 8.0, "input B bit-width"),
+        ],
+        ElementModel {
+            cap_full: Some(formula("bw_a * bw_b * 253f")),
+            area: Some(formula("bw_a * bw_b * 4000e-12")),
+            delay: Some(scaled_delay("4n + 0.8n * (bw_a + bw_b)")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "multiplier_correlated",
+        ElementClass::Computation,
+        "Array multiplier with temporally correlated input streams; same \
+         model form as ucb/multiplier with a lower coefficient.",
+        vec![
+            p("bw_a", 8.0, "input A bit-width"),
+            p("bw_b", 8.0, "input B bit-width"),
+        ],
+        ElementModel {
+            cap_full: Some(formula("bw_a * bw_b * 180f")),
+            area: Some(formula("bw_a * bw_b * 4000e-12")),
+            delay: Some(scaled_delay("4n + 0.8n * (bw_a + bw_b)")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "log_shifter",
+        ElementClass::Computation,
+        "Logarithmic shifter: per-bit-per-stage term plus per-stage control \
+         term ('more complex modules require additional coefficients').",
+        vec![p("bits", 16.0, "datapath width"), p("alpha", 0.5, "activity")],
+        ElementModel {
+            cap_full: Some(formula(
+                "alpha * (bits * ceil(log2(max(bits, 2))) * 30f + ceil(log2(max(bits, 2))) * 120f)",
+            )),
+            area: Some(formula("bits * ceil(log2(max(bits, 2))) * 1200e-12")),
+            delay: Some(scaled_delay("1n * ceil(log2(max(bits, 2)))")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "adder_svensson",
+        ElementClass::Computation,
+        "Ripple adder characterized analytically per Svensson (EQ 4-6) \
+         instead of empirically: two stages per bit slice (mirror cell \
+         8 fF in / 12 fF out, buffer 4 fF in / 20 fF out) at the given \
+         node activities. Calibrated to agree with ucb/ripple_adder at \
+         alpha = 0.5 within ~15%.",
+        vec![
+            p("bits", 16.0, "operand bit-width"),
+            p("alpha_in", 0.5, "input-node transition probability"),
+            p("alpha_out", 0.5, "output-node transition probability"),
+        ],
+        ElementModel {
+            // C_ST = sum over stages of a_in*C_in + a_out*C_out; C_T = bits*C_ST.
+            cap_full: Some(formula(
+                "bits * (alpha_in * 8f + alpha_out * 12f + alpha_in * 4f + alpha_out * 20f)",
+            )),
+            area: Some(formula("bits * 2500e-12")),
+            delay: Some(scaled_delay("2n + 1n * bits")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "comparator",
+        ElementClass::Computation,
+        "Magnitude comparator.",
+        vec![p("bits", 8.0, "operand width"), p("alpha", 0.5, "activity")],
+        ElementModel {
+            cap_full: Some(formula("bits * 30f * alpha")),
+            area: Some(formula("bits * 1500e-12")),
+            delay: Some(scaled_delay("2n + 0.5n * bits")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "mux",
+        ElementClass::Computation,
+        "N-to-1 multiplexer, per-bit tree cost plus select drivers.",
+        vec![
+            p("inputs", 2.0, "number of data inputs"),
+            p("bits", 8.0, "data width"),
+            p("alpha", 0.5, "output activity"),
+        ],
+        ElementModel {
+            cap_full: Some(formula("bits * (inputs * 15f + 25f) * alpha")),
+            area: Some(formula("bits * inputs * 400e-12")),
+            delay: Some(scaled_delay("0.5n * ceil(log2(max(inputs, 2)))")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "register",
+        ElementClass::Computation,
+        "Edge-triggered register; the clock term (alpha-independent) is \
+         included, as the paper notes all block models do.",
+        vec![p("bits", 8.0, "width"), p("alpha", 0.5, "data activity")],
+        ElementModel {
+            cap_full: Some(formula("bits * (40f * alpha + 12f) + 30f")),
+            area: Some(formula("bits * 1500e-12 + 1000e-12")),
+            delay: Some(scaled_delay("1.5n")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "counter",
+        ElementClass::Computation,
+        "Binary counter; bit i toggles at rate 2^-i so total data activity \
+         is ~2 bit-toggles per cycle regardless of width.",
+        vec![p("bits", 8.0, "counter width")],
+        ElementModel {
+            cap_full: Some(formula("120f + bits * 15f")),
+            area: Some(formula("bits * 1800e-12")),
+            delay: Some(scaled_delay("2n + 0.3n * bits")),
+            ..ElementModel::default()
+        },
+    );
+
+    // ---- Storage ----------------------------------------------------------
+    b.add(
+        "sram",
+        ElementClass::Storage,
+        "SRAM read/write access (EQ 7): C = C0 + Cw*words + (Cb + Cc*words) \
+         * bits * alpha. Coefficients calibrated to the luminance-decoder \
+         case study. `alpha` is the per-column data activity: 1.0 prices \
+         every bit-line every access (the conservative default); \
+         back-annotate a measured value for accuracy.",
+        vec![
+            p("words", 256.0, "number of words"),
+            p("bits", 8.0, "word width"),
+            p("alpha", 1.0, "per-column data activity (back-annotatable)"),
+        ],
+        ElementModel {
+            cap_full: Some(formula(
+                "5p + 20f * words + (50f + 2.5f * words) * bits * alpha",
+            )),
+            area: Some(formula(
+                "20000e-12 + 120e-12 * words * bits + 300e-12 * words + 2000e-12 * bits",
+            )),
+            delay: Some(scaled_delay("6n + 0.8n * log2(max(words, 2))")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "sram_lowswing",
+        ElementClass::Storage,
+        "SRAM with reduced-swing bit-lines (EQ 8): the cell-array component \
+         switches over `swing` volts and scales linearly with vdd.",
+        vec![
+            p("words", 256.0, "number of words"),
+            p("bits", 8.0, "word width"),
+            p("swing", 0.3, "bit-line swing in volts"),
+        ],
+        ElementModel {
+            cap_full: Some(formula("5p + 20f * words + 50f * bits")),
+            cap_partial: Some((formula("2.5f * words * bits"), formula("swing"))),
+            area: Some(formula(
+                "20000e-12 + 120e-12 * words * bits + 300e-12 * words + 2000e-12 * bits",
+            )),
+            delay: Some(scaled_delay("7n + 0.8n * log2(max(words, 2))")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "rom",
+        ElementClass::Storage,
+        "Mask ROM read (EQ 10 restated over words = 2^N_I): precharged word \
+         and bit lines; p_low is the fraction of output bits reading 0.",
+        vec![
+            p("words", 256.0, "number of words (2^address bits)"),
+            p("bits", 16.0, "output width"),
+            p("p_low", 0.5, "average fraction of low output bits"),
+        ],
+        ElementModel {
+            cap_full: Some(formula(
+                "0.2p + 0.8f * log2(max(words, 2)) * words + 0.05f * p_low * bits * words \
+                 + 25f * p_low * bits + 15f * bits",
+            )),
+            area: Some(formula("10000e-12 + 30e-12 * words * bits")),
+            delay: Some(scaled_delay("4n + 0.6n * log2(max(words, 2))")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "register_file",
+        ElementClass::Storage,
+        "Multi-port register file; cost scales with port count.",
+        vec![
+            p("words", 16.0, "registers"),
+            p("bits", 32.0, "word width"),
+            p("ports", 2.0, "read+write ports"),
+        ],
+        ElementModel {
+            cap_full: Some(formula("ports * (0.5p + 3f * words * bits + 20f * bits)")),
+            area: Some(formula("words * bits * ports * 150e-12")),
+            delay: Some(scaled_delay("3n + 0.4n * log2(max(words, 2))")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "dram",
+        ElementClass::Storage,
+        "Embedded DRAM access; refresh power is not modeled at this \
+         abstraction (documented limitation).",
+        vec![p("words", 16384.0, "words"), p("bits", 16.0, "word width")],
+        ElementModel {
+            cap_full: Some(formula("20p + 10f * words + 100f * bits + 1f * words * bits")),
+            area: Some(formula("50000e-12 + 30e-12 * words * bits")),
+            delay: Some(scaled_delay("15n + 1n * log2(max(words, 2))")),
+            ..ElementModel::default()
+        },
+    );
+
+    // ---- Controllers -------------------------------------------------------
+    b.add(
+        "ctrl_random_logic",
+        ElementClass::Controller,
+        "Random-logic controller (EQ 9): input and output logic planes with \
+         the paper's default switching probabilities alpha0 = alpha1 = 0.25.",
+        vec![
+            p("n_i", 8.0, "inputs incl. state/status bits"),
+            p("n_o", 8.0, "outputs incl. state bits"),
+            p("n_m", 16.0, "minterm count (controller complexity)"),
+            p("alpha0", 0.25, "input-plane switching probability"),
+            p("alpha1", 0.25, "output-plane switching probability"),
+        ],
+        ElementModel {
+            cap_full: Some(formula("15f * alpha0 * n_i * n_o + 10f * alpha1 * n_m * n_o")),
+            area: Some(formula("(n_i + n_o) * n_m * 200e-12")),
+            delay: Some(scaled_delay("3n")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "ctrl_rom",
+        ElementClass::Controller,
+        "ROM-based controller (EQ 10): n_i address bits decode 2^n_i word \
+         lines; only previously-low bit-lines precharge.",
+        vec![
+            p("n_i", 8.0, "inputs (address bits)"),
+            p("n_o", 16.0, "outputs (bit lines)"),
+            p("p_low", 0.5, "average fraction of low outputs"),
+        ],
+        ElementModel {
+            cap_full: Some(formula(
+                "0.2p + 0.8f * n_i * 2^n_i + 0.05f * p_low * n_o * 2^n_i \
+                 + 25f * p_low * n_o + 15f * n_o",
+            )),
+            area: Some(formula("5000e-12 + 25e-12 * n_o * 2^n_i")),
+            delay: Some(scaled_delay("4n + 0.6n * n_i")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "ctrl_pla",
+        ElementClass::Controller,
+        "PLA controller: precharged AND/OR planes ('other platforms may be \
+         modeled in a similar way').",
+        vec![
+            p("n_i", 8.0, "inputs"),
+            p("n_o", 8.0, "outputs"),
+            p("n_m", 24.0, "product terms"),
+            p("alpha", 0.25, "plane switching probability"),
+        ],
+        ElementModel {
+            cap_full: Some(formula("(1.2f * 2 * n_i * n_m + 1f * n_m * n_o) * alpha")),
+            area: Some(formula("(2 * n_i + n_o) * n_m * 150e-12")),
+            delay: Some(scaled_delay("3.5n")),
+            ..ElementModel::default()
+        },
+    );
+
+    // ---- Interconnect -------------------------------------------------------
+    b.add(
+        "wire",
+        ElementClass::Interconnect,
+        "Point-to-point wire at 0.2 fF/um; switched cap = length * c/len * \
+         activity (Rent-rule area estimates feed the length).",
+        vec![
+            p("length_mm", 1.0, "routed length in millimetres"),
+            p("alpha", 0.25, "signal activity"),
+        ],
+        ElementModel {
+            cap_full: Some(formula("length_mm * 0.2p * alpha")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "bus",
+        ElementClass::Interconnect,
+        "Multi-bit bus with drivers.",
+        vec![
+            p("bits", 16.0, "bus width"),
+            p("length_mm", 5.0, "routed length per bit"),
+            p("alpha", 0.25, "per-bit activity"),
+        ],
+        ElementModel {
+            cap_full: Some(formula("bits * (length_mm * 0.2p * alpha + 50f * alpha)")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "clock_net",
+        ElementClass::Interconnect,
+        "Chip-wide clock distribution: 2 pF/mm2 of clocked area, activity 1.",
+        vec![p("area_mm2", 10.0, "clocked area in mm2")],
+        ElementModel {
+            cap_full: Some(formula("area_mm2 * 2p")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "interconnect_rent",
+        ElementClass::Interconnect,
+        "Rent/Donath interconnect estimate: wires = t*B/2 two-point nets of \
+         Donath average length (in block pitches), 0.2 fF/um of wire. The \
+         block count is typically derived from active area (e.g. \
+         `A_datapath / block_area`). Valid for Rent exponent p != 0.5.",
+        vec![
+            p("blocks", 400.0, "placed block count B"),
+            p("rent_t", 3.5, "Rent terminals/block t"),
+            p("rent_p", 0.65, "Rent exponent p (0 < p < 1, p != 0.5)"),
+            p("pitch_mm", 0.06, "block pitch in millimetres"),
+            p("alpha", 0.25, "wire activity"),
+        ],
+        ElementModel {
+            // Donath: R = (2/9) * (7B^(p-1/2)-1)/(4^(p-1/2)-1)
+            //              * (1-B^(p-1))/(1-4^(p-1)), in block pitches.
+            cap_full: Some(formula(
+                "max(1, (2/9) * (7 * blocks^(rent_p - 0.5) - 1) / (4^(rent_p - 0.5) - 1) \
+                 * (1 - blocks^(rent_p - 1)) / (1 - 4^(rent_p - 1))) \
+                 * pitch_mm * (rent_t * blocks / 2) * 0.2p * alpha",
+            )),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "pads",
+        ElementClass::Interconnect,
+        "I/O pad frame; c_pad is per-pad load (package + board trace).",
+        vec![
+            p("n_pads", 8.0, "switching pads"),
+            p("c_pad", 10e-12, "per-pad capacitance in farads"),
+            p("alpha", 0.25, "pad activity"),
+        ],
+        ElementModel {
+            cap_full: Some(formula("n_pads * c_pad * alpha")),
+            ..ElementModel::default()
+        },
+    );
+
+    // ---- Processors ----------------------------------------------------------
+    b.add(
+        "processor_avg",
+        ElementClass::Processor,
+        "First-order programmable processor (EQ 11): P = duty * P_avg from \
+         the data book. A core with no power-down has duty = 1.",
+        vec![
+            p("p_avg", 0.5, "data-book average power in watts"),
+            p("duty", 1.0, "activity factor (fraction of time powered)"),
+        ],
+        ElementModel {
+            power_direct: Some(formula("p_avg * duty")),
+            ..ElementModel::default()
+        },
+    );
+
+    // ---- Analog ----------------------------------------------------------------
+    b.add(
+        "analog_bias",
+        ElementClass::Analog,
+        "Generic analog block: static bias current, P = vdd * I (EQ 13) — \
+         linear, not quadratic, in supply.",
+        vec![p("i_bias", 1e-3, "summed bias current in amperes")],
+        ElementModel {
+            static_current: Some(formula("i_bias")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "opamp_gm",
+        ElementClass::Analog,
+        "Bipolar transconductance amplifier parameterized by Gm (EQ 14/17): \
+         I_tail = Gm * kT/q at 300 K.",
+        vec![p("gm", 1e-3, "required transconductance in A/V")],
+        ElementModel {
+            static_current: Some(formula("gm * 0.02585")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "adc",
+        ElementClass::Analog,
+        "Nyquist ADC first-order model: 0.5 pJ per conversion-level at the \
+         sample rate, plus bias.",
+        vec![
+            p("bits", 8.0, "resolution"),
+            p("fs", 1e6, "sample rate in hertz"),
+            p("i_bias", 0.5e-3, "static bias current"),
+        ],
+        ElementModel {
+            power_direct: Some(formula("2^bits * fs * 0.5e-12")),
+            static_current: Some(formula("i_bias")),
+            ..ElementModel::default()
+        },
+    );
+
+    b.add(
+        "fir_filter",
+        ElementClass::Computation,
+        "Direct-form FIR filter macro: taps x (multiplier + adder + \
+         coefficient register) per sample. A pre-composed macro of the \
+         kind users lump and share ('macro cells (e.g. video \
+         decompression) may be shared and reused').",
+        vec![
+            p("taps", 16.0, "filter length"),
+            p("bits", 12.0, "data/coefficient width"),
+            p("alpha", 0.5, "datapath activity"),
+        ],
+        ElementModel {
+            cap_full: Some(formula(
+                "taps * (bits * bits * 253f + bits * 50f * alpha + bits * (40f * alpha + 12f) + 30f)",
+            )),
+            area: Some(formula("taps * bits * bits * 4000e-12")),
+            delay: Some(scaled_delay("4n + 0.8n * 2 * bits + 1n * ceil(log2(max(taps, 2)))")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "fpga_block",
+        ElementClass::Computation,
+        "FPGA logic region, first-order: per-LUT switched capacitance \
+         including programmable routing (~5x the equivalent gates). The \
+         paper flags FPGA macro-modeling as 'non-trivial and the subject \
+         of further research' — treat estimates as rough.",
+        vec![
+            p("luts", 256.0, "occupied 4-input LUTs"),
+            p("alpha", 0.15, "average net activity (FPGA nets are sparse)"),
+            p("route_factor", 5.0, "routing capacitance multiplier"),
+        ],
+        ElementModel {
+            cap_full: Some(formula("luts * 60f * route_factor * alpha")),
+            area: Some(formula("luts * 20000e-12")),
+            delay: Some(scaled_delay("8n")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "bus_transceiver",
+        ElementClass::Interconnect,
+        "Off-chip bus transceiver: pad + board-trace load per switching \
+         bit, plus receiver bias.",
+        vec![
+            p("bits", 16.0, "bus width"),
+            p("c_line", 30e-12, "per-line board capacitance in farads"),
+            p("alpha", 0.25, "bus activity"),
+            p("i_rx", 1e-3, "receiver bias current"),
+        ],
+        ElementModel {
+            cap_full: Some(formula("bits * c_line * alpha")),
+            static_current: Some(formula("i_rx")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "crystal_osc",
+        ElementClass::Analog,
+        "Crystal oscillator + clock generator: bias current plus the \
+         capacitance of the output driver at the oscillation frequency.",
+        vec![
+            p("i_bias", 0.3e-3, "sustaining-amplifier bias"),
+            p("c_out", 5e-12, "clock output load in farads"),
+        ],
+        ElementModel {
+            static_current: Some(formula("i_bias")),
+            cap_full: Some(formula("c_out")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "audio_codec",
+        ElementClass::System,
+        "Audio codec path (ADC + DAC + filters) from its data sheet, with \
+         a shutdown duty cycle.",
+        vec![
+            p("p_active", 0.08, "active power in watts"),
+            p("duty", 1.0, "fraction of time active"),
+        ],
+        ElementModel {
+            power_direct: Some(formula("p_active * duty")),
+            ..ElementModel::default()
+        },
+    );
+
+    // ---- Converters ---------------------------------------------------------------
+    b.add(
+        "dcdc",
+        ElementClass::Converter,
+        "DC-DC converter (EQ 18-19): dissipates P_load*(1-eta)/eta. The load \
+         is typically a formula over other rows' power — intermodel \
+         interaction.",
+        vec![
+            p("p_load", 1.0, "delivered load power in watts"),
+            p("eta", 0.8, "conversion efficiency in (0,1]"),
+        ],
+        ElementModel {
+            power_direct: Some(formula("p_load * (1 - eta) / eta")),
+            ..ElementModel::default()
+        },
+    );
+
+    // ---- System (data-sheet) components ----------------------------------------------
+    b.add(
+        "lcd_display",
+        ElementClass::System,
+        "LCD panel(s); power from measurement/data sheet (the InfoPad's LCD \
+         numbers 'came from actual measurements').",
+        vec![
+            p("p_panel", 1.33, "measured power per panel in watts"),
+            p("n_panels", 1.0, "panel count"),
+        ],
+        ElementModel {
+            power_direct: Some(formula("p_panel * n_panels")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "radio",
+        ElementClass::System,
+        "RF transceiver with TX/RX duty cycling.",
+        vec![
+            p("p_tx", 1.3, "transmit power draw in watts"),
+            p("p_rx", 0.26, "receive power draw in watts"),
+            p("duty_tx", 0.5, "fraction of time transmitting"),
+        ],
+        ElementModel {
+            power_direct: Some(formula("p_tx * duty_tx + p_rx * (1 - duty_tx)")),
+            ..ElementModel::default()
+        },
+    );
+    b.add(
+        "io_device",
+        ElementClass::System,
+        "Miscellaneous I/O device (pen, speech codec, speaker) from its data \
+         sheet.",
+        vec![p("p_avg", 0.1, "average power in watts")],
+        ElementModel {
+            power_direct: Some(formula("p_avg")),
+            ..ElementModel::default()
+        },
+    );
+
+    b.registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerplay_expr::Scope;
+
+    fn globals() -> Scope<'static> {
+        let mut s = Scope::new();
+        s.set("vdd", 1.5);
+        s.set("f", 2e6);
+        s
+    }
+
+    #[test]
+    fn library_is_populated() {
+        let lib = ucb_library();
+        assert!(lib.len() >= 25, "expected a rich library, got {}", lib.len());
+        assert_eq!(lib.namespaces(), ["ucb"]);
+        for class in ElementClass::ALL {
+            if class == ElementClass::Macro {
+                continue; // macros are user-created, not built-in
+            }
+            assert!(
+                !lib.by_class(class).is_empty(),
+                "no builtin elements of class {class}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_element_evaluates_at_defaults() {
+        let lib = ucb_library();
+        let g = globals();
+        for element in lib.iter() {
+            let eval = element
+                .evaluate_defaults(&g)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", element.name()));
+            assert!(
+                eval.power.value() > 0.0 && eval.power.is_finite(),
+                "{} produced power {}",
+                element.name(),
+                eval.power
+            );
+        }
+    }
+
+    #[test]
+    fn every_element_has_documentation_and_no_undeclared_vars() {
+        let lib = ucb_library();
+        for element in lib.iter() {
+            assert!(!element.doc().is_empty(), "{} undocumented", element.name());
+            assert!(
+                element.undeclared_variables().is_empty(),
+                "{} references {:?}",
+                element.name(),
+                element.undeclared_variables()
+            );
+        }
+    }
+
+    #[test]
+    fn multiplier_matches_paper_coefficient() {
+        let lib = ucb_library();
+        let g = globals();
+        let eval = lib.get("ucb/multiplier").unwrap().evaluate_defaults(&g).unwrap();
+        let expected = 64.0 * 253e-15 * 1.5 * 1.5 * 2e6;
+        assert!((eval.power.value() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn whole_library_roundtrips_through_json() {
+        let lib = ucb_library();
+        let decoded = Registry::from_json(&lib.to_json()).unwrap();
+        assert_eq!(decoded.names(), lib.names());
+        let g = globals();
+        for element in lib.iter() {
+            let a = element.evaluate_defaults(&g).unwrap();
+            let b = decoded
+                .get(element.name())
+                .unwrap()
+                .evaluate_defaults(&g)
+                .unwrap();
+            assert_eq!(a.power, b.power, "{} diverged after roundtrip", element.name());
+        }
+    }
+
+    #[test]
+    fn delay_models_slow_down_at_low_voltage() {
+        let lib = ucb_library();
+        let mut hi = Scope::new();
+        hi.set("vdd", 3.3);
+        hi.set("f", 1e6);
+        let mut lo = Scope::new();
+        lo.set("vdd", 1.5);
+        lo.set("f", 1e6);
+        let adder = lib.get("ucb/ripple_adder").unwrap();
+        let d_hi = adder.evaluate_defaults(&hi).unwrap().delay.unwrap();
+        let d_lo = adder.evaluate_defaults(&lo).unwrap().delay.unwrap();
+        assert!(d_lo > d_hi, "lower supply must be slower");
+        // At the 3.3 V reference the base delay is unscaled: 2n + 1n*16.
+        assert!((d_hi.value() - 18e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dcdc_matches_eq19() {
+        let lib = ucb_library();
+        let mut scope = Scope::new();
+        scope.set("p_load", 8.0);
+        scope.set("eta", 0.8);
+        let eval = lib.get("ucb/dcdc").unwrap().evaluate(&scope).unwrap();
+        assert!((eval.power.value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rent_element_matches_rust_interconnect_model() {
+        // Cross-validation: the formula-language Rent/Donath element must
+        // agree with the typed implementation in powerplay-models.
+        use powerplay_models::interconnect::{
+            InterconnectEstimate, RentParameters, WiringTechnology,
+        };
+        let lib = ucb_library();
+        let element = lib.get("ucb/interconnect_rent").unwrap();
+        for blocks in [64.0, 400.0, 4096.0] {
+            let mut scope = Scope::new();
+            scope.set("vdd", 1.5);
+            scope.set("f", 2e6);
+            scope.set("blocks", blocks);
+            scope.set("rent_t", 3.5);
+            scope.set("rent_p", 0.65);
+            scope.set("pitch_mm", 0.06);
+            scope.set("alpha", 0.25);
+            let formula_cap = element
+                .evaluate(&scope)
+                .unwrap()
+                .energy_per_op
+                .unwrap()
+                .value()
+                / (1.5 * 1.5);
+            let rust_cap = InterconnectEstimate::new(
+                blocks,
+                RentParameters::RANDOM_LOGIC,
+                WiringTechnology::CMOS_1_2UM,
+            )
+            .switched_cap()
+            .value();
+            assert!(
+                (formula_cap - rust_cap).abs() < 1e-6 * rust_cap,
+                "blocks {blocks}: formula {formula_cap} vs rust {rust_cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn svensson_element_tracks_empirical_adder() {
+        // The two modeling routes for the same cell agree to ~15%.
+        let lib = ucb_library();
+        let g = globals();
+        let empirical = lib
+            .get("ucb/ripple_adder")
+            .unwrap()
+            .evaluate_defaults(&g)
+            .unwrap()
+            .power
+            .value();
+        let analytical = lib
+            .get("ucb/adder_svensson")
+            .unwrap()
+            .evaluate_defaults(&g)
+            .unwrap()
+            .power
+            .value();
+        let rel = (analytical - empirical).abs() / empirical;
+        assert!(rel < 0.15, "disagreement {rel:.2}");
+    }
+
+    #[test]
+    fn sram_lowswing_saves_power_at_high_vdd() {
+        let lib = ucb_library();
+        let mut g = Scope::new();
+        g.set("vdd", 3.3);
+        g.set("f", 2e6);
+        let full = lib.get("ucb/sram").unwrap().evaluate_defaults(&g).unwrap();
+        let low = lib
+            .get("ucb/sram_lowswing")
+            .unwrap()
+            .evaluate_defaults(&g)
+            .unwrap();
+        assert!(low.power < full.power);
+    }
+}

@@ -1,0 +1,241 @@
+//! JSON encoding of library elements — the wire format for remote model
+//! access (paper Figures 6–7) and on-disk persistence.
+
+use std::error::Error;
+use std::fmt;
+
+use powerplay_expr::Expr;
+use powerplay_json::Json;
+
+use crate::element::{ElementClass, ElementModel, LibraryElement, ParamDecl};
+
+/// Error produced when decoding an element from JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeElementError(String);
+
+impl DecodeElementError {
+    pub(crate) fn new(msg: impl Into<String>) -> DecodeElementError {
+        DecodeElementError(msg.into())
+    }
+}
+
+impl fmt::Display for DecodeElementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid library element: {}", self.0)
+    }
+}
+
+impl Error for DecodeElementError {}
+
+impl LibraryElement {
+    /// Encodes the element as a JSON object. Formulas are stored as their
+    /// printed source, which reparses to the identical tree.
+    pub fn to_json(&self) -> Json {
+        let mut model = Json::object::<&str, _>([]);
+        let mut put = |key: &str, e: &Option<Expr>| {
+            if let Some(e) = e {
+                model.set(key, Json::from(e.to_string()));
+            }
+        };
+        put("cap_full", &self.model().cap_full);
+        put("static_current", &self.model().static_current);
+        put("power_direct", &self.model().power_direct);
+        put("area", &self.model().area);
+        put("delay", &self.model().delay);
+        if let Some((cap, swing)) = &self.model().cap_partial {
+            model.set("cap_partial", Json::from(cap.to_string()));
+            model.set("swing", Json::from(swing.to_string()));
+        }
+
+        Json::object([
+            ("name", Json::from(self.name())),
+            ("class", Json::from(self.class().id())),
+            ("doc", Json::from(self.doc())),
+            (
+                "params",
+                self.params()
+                    .iter()
+                    .map(|p| {
+                        Json::object([
+                            ("name", Json::from(p.name.as_str())),
+                            ("default", Json::from(p.default)),
+                            ("doc", Json::from(p.doc.as_str())),
+                        ])
+                    })
+                    .collect(),
+            ),
+            ("model", model),
+        ])
+    }
+
+    /// Decodes an element from the [`Self::to_json`] representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeElementError`] on missing fields, unknown classes
+    /// or unparseable formulas.
+    pub fn from_json(json: &Json) -> Result<LibraryElement, DecodeElementError> {
+        let name = json["name"]
+            .as_str()
+            .ok_or_else(|| DecodeElementError::new("missing `name`"))?;
+        let class_id = json["class"]
+            .as_str()
+            .ok_or_else(|| DecodeElementError::new("missing `class`"))?;
+        let class = ElementClass::from_id(class_id)
+            .ok_or_else(|| DecodeElementError::new(format!("unknown class `{class_id}`")))?;
+        let doc = json["doc"].as_str().unwrap_or_default();
+
+        let mut params = Vec::new();
+        if let Some(items) = json["params"].as_array() {
+            for item in items {
+                let pname = item["name"]
+                    .as_str()
+                    .ok_or_else(|| DecodeElementError::new("parameter missing `name`"))?;
+                let default = item["default"]
+                    .as_f64()
+                    .ok_or_else(|| DecodeElementError::new("parameter missing `default`"))?;
+                let pdoc = item["doc"].as_str().unwrap_or_default();
+                params.push(ParamDecl::new(pname, default, pdoc));
+            }
+        }
+
+        let model_json = &json["model"];
+        let parse_formula = |key: &str| -> Result<Option<Expr>, DecodeElementError> {
+            match model_json[key].as_str() {
+                None => Ok(None),
+                Some(src) => Expr::parse(src).map(Some).map_err(|e| {
+                    DecodeElementError::new(format!("bad `{key}` formula `{src}`: {e}"))
+                }),
+            }
+        };
+        let cap_partial = match (parse_formula("cap_partial")?, parse_formula("swing")?) {
+            (Some(cap), Some(swing)) => Some((cap, swing)),
+            (None, None) => None,
+            _ => {
+                return Err(DecodeElementError::new(
+                    "`cap_partial` and `swing` must appear together",
+                ))
+            }
+        };
+        let model = ElementModel {
+            cap_full: parse_formula("cap_full")?,
+            cap_partial,
+            static_current: parse_formula("static_current")?,
+            power_direct: parse_formula("power_direct")?,
+            area: parse_formula("area")?,
+            delay: parse_formula("delay")?,
+        };
+
+        Ok(LibraryElement::new(name, class, doc, params, model))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LibraryElement {
+        LibraryElement::new(
+            "ucb/multiplier",
+            ElementClass::Computation,
+            "array multiplier (EQ 20)",
+            vec![
+                ParamDecl::new("bw_a", 8.0, "input A width"),
+                ParamDecl::new("bw_b", 8.0, "input B width"),
+            ],
+            ElementModel {
+                cap_full: Some(Expr::parse("bw_a * bw_b * 253f").unwrap()),
+                area: Some(Expr::parse("bw_a * bw_b * 4000e-12").unwrap()),
+                delay: Some(Expr::parse("(bw_a + bw_b) * 1n").unwrap()),
+                ..ElementModel::default()
+            },
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_element() {
+        let original = sample();
+        let json = original.to_json();
+        let decoded = LibraryElement::from_json(&json).unwrap();
+        assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let original = sample();
+        let text = original.to_json().to_pretty();
+        let decoded = LibraryElement::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn partial_swing_roundtrip() {
+        let elem = LibraryElement::new(
+            "ucb/sram_lowswing",
+            ElementClass::Storage,
+            "",
+            vec![ParamDecl::new("words", 2048.0, ""), ParamDecl::new("bits", 8.0, "")],
+            ElementModel {
+                cap_full: Some(Expr::parse("5p + 20f * words").unwrap()),
+                cap_partial: Some((
+                    Expr::parse("words * bits * 2.5f").unwrap(),
+                    Expr::parse("0.3").unwrap(),
+                )),
+                ..ElementModel::default()
+            },
+        );
+        let decoded = LibraryElement::from_json(&elem.to_json()).unwrap();
+        assert_eq!(decoded, elem);
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        assert!(LibraryElement::from_json(&Json::parse("{}").unwrap()).is_err());
+        let no_class = Json::object([("name", Json::from("x"))]);
+        assert!(LibraryElement::from_json(&no_class).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_class() {
+        let json = Json::object([
+            ("name", Json::from("x")),
+            ("class", Json::from("quantum")),
+        ]);
+        let err = LibraryElement::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("quantum"));
+    }
+
+    #[test]
+    fn rejects_bad_formula() {
+        let json = Json::object([
+            ("name", Json::from("x")),
+            ("class", Json::from("computation")),
+            ("model", Json::object([("cap_full", Json::from("1 +"))])),
+        ]);
+        assert!(LibraryElement::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn rejects_orphan_swing() {
+        let json = Json::object([
+            ("name", Json::from("x")),
+            ("class", Json::from("storage")),
+            ("model", Json::object([("cap_partial", Json::from("1p"))])),
+        ]);
+        let err = LibraryElement::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("together"));
+    }
+
+    #[test]
+    fn evaluation_survives_roundtrip() {
+        use powerplay_expr::Scope;
+        let original = sample();
+        let decoded = LibraryElement::from_json(&original.to_json()).unwrap();
+        let mut scope = Scope::new();
+        scope.set("vdd", 1.5);
+        scope.set("f", 2e6);
+        let a = original.evaluate_defaults(&scope).unwrap();
+        let b = decoded.evaluate_defaults(&scope).unwrap();
+        assert_eq!(a.power, b.power);
+    }
+}

@@ -1,0 +1,51 @@
+//! The shared hardware-model library of PowerPlay.
+//!
+//! "The strength of a modeling environment lies in the richness of its
+//! library, the availability of pre-defined models, and the ease of
+//! introducing new elements." This crate implements that library layer:
+//!
+//! * [`LibraryElement`] — a named, documented, *parameterized* model whose
+//!   power/area/delay are spreadsheet formulas over its parameters (the
+//!   same representation a user types into the paper's HTML model-entry
+//!   form, Figure 4);
+//! * [`Registry`] — a namespaced collection of elements, mergeable with
+//!   libraries fetched from remote sites (paper Figures 6–7);
+//! * [`builtin::ucb_library`] — the UC Berkeley-style low-power library
+//!   with every element class the paper's two case studies need, using
+//!   the published coefficients where the paper prints them (e.g. the
+//!   253 fF/bit² multiplier of EQ 20).
+//!
+//! Because elements are *data* (expressions, not code), they serialize to
+//! JSON, travel over HTTP, and can be authored at runtime — exactly the
+//! flexibility the paper claims: "PowerPlay will accept **any** model".
+//!
+//! ```
+//! use powerplay_library::builtin::ucb_library;
+//! use powerplay_expr::Scope;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = ucb_library();
+//! let mult = lib.get("ucb/multiplier").expect("built-in element");
+//! let mut scope = Scope::new();
+//! scope.set("vdd", 1.5);
+//! scope.set("f", 2e6);
+//! scope.set("bw_a", 8.0);
+//! scope.set("bw_b", 8.0);
+//! let eval = mult.evaluate(&scope)?;
+//! let expected = 8.0 * 8.0 * 253e-15 * 1.5 * 1.5 * 2e6;
+//! assert!((eval.power.value() - expected).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod builtin;
+
+mod element;
+mod json_io;
+mod registry;
+
+pub use element::{
+    ElementClass, ElementModel, Evaluation, EvaluateElementError, LibraryElement, ParamDecl,
+};
+pub use json_io::DecodeElementError;
+pub use registry::Registry;

@@ -1,0 +1,194 @@
+//! The element registry: a namespaced library that can merge remote
+//! libraries ("if a library is characterized and put on the web in
+//! Massachusetts, it can be used for estimates in California").
+
+use std::collections::BTreeMap;
+
+use powerplay_json::Json;
+
+use crate::element::{ElementClass, LibraryElement};
+use crate::json_io::DecodeElementError;
+
+/// A collection of library elements keyed by their namespaced path.
+///
+/// ```
+/// use powerplay_library::{builtin, Registry};
+///
+/// let lib = builtin::ucb_library();
+/// assert!(lib.get("ucb/multiplier").is_some());
+/// assert!(lib.len() > 20);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    elements: BTreeMap<String, LibraryElement>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// True when no elements are registered.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Inserts an element under its own name, replacing any previous
+    /// element of that name and returning it.
+    pub fn insert(&mut self, element: LibraryElement) -> Option<LibraryElement> {
+        self.elements.insert(element.name().to_owned(), element)
+    }
+
+    /// Looks an element up by path.
+    pub fn get(&self, name: &str) -> Option<&LibraryElement> {
+        self.elements.get(name)
+    }
+
+    /// Iterates elements in path order.
+    pub fn iter(&self) -> impl Iterator<Item = &LibraryElement> {
+        self.elements.values()
+    }
+
+    /// Element paths, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.elements.keys().map(String::as_str).collect()
+    }
+
+    /// Elements of one class, in path order.
+    pub fn by_class(&self, class: ElementClass) -> Vec<&LibraryElement> {
+        self.iter().filter(|e| e.class() == class).collect()
+    }
+
+    /// Namespaces present (the portion of each path before the first
+    /// `/`), deduplicated and sorted.
+    pub fn namespaces(&self) -> Vec<String> {
+        let mut spaces: Vec<String> = self
+            .elements
+            .keys()
+            .map(|k| k.split('/').next().unwrap_or(k).to_owned())
+            .collect();
+        spaces.dedup();
+        spaces
+    }
+
+    /// Merges every element of `other` into `self` (later wins), e.g.
+    /// after fetching a remote site's library.
+    pub fn merge(&mut self, other: Registry) {
+        self.elements.extend(other.elements);
+    }
+
+    /// Serializes the whole registry as a JSON array.
+    pub fn to_json(&self) -> Json {
+        self.iter().map(LibraryElement::to_json).collect()
+    }
+
+    /// Decodes a registry from the [`Self::to_json`] representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeElementError`] if the document is not an array of
+    /// valid elements.
+    pub fn from_json(json: &Json) -> Result<Registry, DecodeElementError> {
+        let items = json
+            .as_array()
+            .ok_or_else(|| DecodeElementError::new("registry document must be a JSON array"))?;
+        let mut registry = Registry::new();
+        for item in items {
+            registry.insert(LibraryElement::from_json(item)?);
+        }
+        Ok(registry)
+    }
+}
+
+impl FromIterator<LibraryElement> for Registry {
+    fn from_iter<I: IntoIterator<Item = LibraryElement>>(iter: I) -> Registry {
+        let mut registry = Registry::new();
+        for element in iter {
+            registry.insert(element);
+        }
+        registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{ElementModel, ParamDecl};
+    use powerplay_expr::Expr;
+
+    fn elem(name: &str, class: ElementClass) -> LibraryElement {
+        LibraryElement::new(
+            name,
+            class,
+            "",
+            vec![ParamDecl::new("bits", 8.0, "")],
+            ElementModel {
+                cap_full: Some(Expr::parse("bits * 10f").unwrap()),
+                ..ElementModel::default()
+            },
+        )
+    }
+
+    #[test]
+    fn insert_get_replace() {
+        let mut r = Registry::new();
+        assert!(r.is_empty());
+        assert!(r.insert(elem("a/x", ElementClass::Computation)).is_none());
+        assert!(r.insert(elem("a/y", ElementClass::Storage)).is_none());
+        assert_eq!(r.len(), 2);
+        // Replacement returns the old element.
+        assert!(r.insert(elem("a/x", ElementClass::Storage)).is_some());
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get("a/x").unwrap().class(), ElementClass::Storage);
+        assert!(r.get("missing").is_none());
+    }
+
+    #[test]
+    fn class_filter_and_names() {
+        let r: Registry = [
+            elem("a/x", ElementClass::Computation),
+            elem("a/y", ElementClass::Storage),
+            elem("b/z", ElementClass::Computation),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(r.names(), ["a/x", "a/y", "b/z"]);
+        assert_eq!(r.by_class(ElementClass::Computation).len(), 2);
+        assert_eq!(r.namespaces(), ["a", "b"]);
+    }
+
+    #[test]
+    fn merge_prefers_incoming() {
+        let mut local: Registry = [elem("a/x", ElementClass::Computation)].into_iter().collect();
+        let remote: Registry = [elem("a/x", ElementClass::Storage), elem("r/new", ElementClass::Analog)]
+            .into_iter()
+            .collect();
+        local.merge(remote);
+        assert_eq!(local.len(), 2);
+        assert_eq!(local.get("a/x").unwrap().class(), ElementClass::Storage);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r: Registry = [
+            elem("a/x", ElementClass::Computation),
+            elem("a/y", ElementClass::Storage),
+        ]
+        .into_iter()
+        .collect();
+        let decoded = Registry::from_json(&r.to_json()).unwrap();
+        assert_eq!(decoded.names(), r.names());
+        assert_eq!(decoded.get("a/x"), r.get("a/x"));
+    }
+
+    #[test]
+    fn from_json_rejects_non_array() {
+        assert!(Registry::from_json(&Json::from(1.0)).is_err());
+    }
+}

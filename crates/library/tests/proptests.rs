@@ -1,0 +1,84 @@
+//! Property tests over the whole built-in library: every element must be
+//! physically sane at any operating point.
+
+use proptest::prelude::*;
+use powerplay_expr::Scope;
+use powerplay_library::builtin::ucb_library;
+use powerplay_library::{LibraryElement, Registry};
+
+fn scope(vdd: f64, f: f64) -> Scope<'static> {
+    let mut s = Scope::new();
+    s.set("vdd", vdd);
+    s.set("f", f);
+    s
+}
+
+fn library() -> Registry {
+    ucb_library()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every builtin yields finite, non-negative power at any reasonable
+    /// operating point, and power is monotone non-decreasing in both vdd
+    /// and f.
+    #[test]
+    fn builtins_sane_and_monotone(vdd in 0.9f64..5.0, f in 1e3f64..1e8) {
+        let lib = library();
+        for element in lib.iter() {
+            let base = element.evaluate_defaults(&scope(vdd, f)).unwrap().power;
+            prop_assert!(base.is_finite() && base.value() >= 0.0, "{}", element.name());
+            let hi_v = element.evaluate_defaults(&scope(vdd * 1.3, f)).unwrap().power;
+            prop_assert!(hi_v >= base, "{} not monotone in vdd", element.name());
+            let hi_f = element.evaluate_defaults(&scope(vdd, f * 2.0)).unwrap().power;
+            prop_assert!(hi_f >= base, "{} not monotone in f", element.name());
+        }
+    }
+
+    /// Delay-modeled builtins slow down monotonically as the supply drops.
+    #[test]
+    fn builtin_delays_monotone_in_vdd(vdd in 1.0f64..4.5) {
+        let lib = library();
+        for element in lib.iter() {
+            let fast = element.evaluate_defaults(&scope(vdd + 0.5, 1e6)).unwrap().delay;
+            let slow = element.evaluate_defaults(&scope(vdd, 1e6)).unwrap().delay;
+            if let (Some(fast), Some(slow)) = (fast, slow) {
+                prop_assert!(slow >= fast, "{} delay not monotone", element.name());
+            }
+        }
+    }
+
+    /// Every builtin survives a JSON roundtrip bit-exactly at arbitrary
+    /// operating points (formulas reparse to the same semantics).
+    #[test]
+    fn builtin_roundtrip_pointwise(vdd in 0.9f64..4.0, f in 1e4f64..1e7) {
+        let lib = library();
+        let s = scope(vdd, f);
+        for element in lib.iter() {
+            let decoded = LibraryElement::from_json(&element.to_json()).unwrap();
+            let a = element.evaluate_defaults(&s).unwrap().power;
+            let b = decoded.evaluate_defaults(&s).unwrap().power;
+            prop_assert_eq!(a, b, "{} diverged", element.name());
+        }
+    }
+
+    /// Capacitive builtins factor as P = E(vdd) * f: frequency scaling is
+    /// exactly linear for elements with no static/direct terms.
+    #[test]
+    fn capacitive_builtins_linear_in_f(f in 1e4f64..1e7, k in 1.5f64..8.0) {
+        let lib = library();
+        for element in lib.iter() {
+            let model = element.model();
+            let purely_capacitive = model.static_current.is_none()
+                && model.power_direct.is_none()
+                && (model.cap_full.is_some() || model.cap_partial.is_some());
+            if !purely_capacitive {
+                continue;
+            }
+            let p1 = element.evaluate_defaults(&scope(1.5, f)).unwrap().power.value();
+            let p2 = element.evaluate_defaults(&scope(1.5, f * k)).unwrap().power.value();
+            prop_assert!(((p2 / p1) - k).abs() < 1e-9, "{}", element.name());
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Switching-activity factors and simple signal-correlation estimates.
+
+use std::fmt;
+
+/// A per-node switching probability `α`.
+///
+/// `0.0` means the node never toggles; `1.0` means it toggles every
+/// cycle. Values above `1.0` are permitted (glitching can switch a node
+/// several times per cycle — Landman's empirical coefficients fold this
+/// in), but negative values are rejected.
+///
+/// ```
+/// use powerplay_models::ActivityFactor;
+///
+/// let a = ActivityFactor::new(0.25).unwrap();
+/// assert_eq!(a.value(), 0.25);
+/// assert!(ActivityFactor::new(-0.1).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct ActivityFactor(f64);
+
+impl ActivityFactor {
+    /// A node toggling every cycle.
+    pub const FULL: ActivityFactor = ActivityFactor(1.0);
+
+    /// The white-noise (random data) activity: each bit has probability
+    /// 1/2 of differing between consecutive samples... giving an expected
+    /// toggle rate of 0.5 per bit per sample.
+    pub const RANDOM: ActivityFactor = ActivityFactor(0.5);
+
+    /// The controller-plane default the paper uses when input statistics
+    /// are unknown: "may be assumed to be a randomly distributed set of
+    /// input vectors, α₀ = α₁ = 0.25".
+    pub const CONTROLLER_DEFAULT: ActivityFactor = ActivityFactor(0.25);
+
+    /// Validates a non-negative activity.
+    pub fn new(value: f64) -> Option<ActivityFactor> {
+        if value.is_finite() && value >= 0.0 {
+            Some(ActivityFactor(value))
+        } else {
+            None
+        }
+    }
+
+    /// The raw factor.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Per-bit toggle probability for a lag-1-correlated bit stream.
+    ///
+    /// For a stationary binary source whose consecutive samples have
+    /// correlation coefficient `rho` (`0` = white noise, `1` = constant),
+    /// the toggle probability is `(1 - rho) / 2`. Video luminance data is
+    /// strongly correlated, which is why the paper's rail-to-rail
+    /// "correlations neglected" estimate is conservatively high.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is outside `[-1, 1]`.
+    pub fn from_lag1_correlation(rho: f64) -> ActivityFactor {
+        assert!(
+            (-1.0..=1.0).contains(&rho),
+            "correlation coefficient must be in [-1, 1], got {rho}"
+        );
+        ActivityFactor((1.0 - rho) / 2.0)
+    }
+}
+
+impl Default for ActivityFactor {
+    /// Defaults to [`ActivityFactor::RANDOM`] — the paper's conservative
+    /// "signal correlations are neglected" assumption.
+    fn default() -> Self {
+        ActivityFactor::RANDOM
+    }
+}
+
+impl fmt::Display for ActivityFactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "α={}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(ActivityFactor::new(0.0).is_some());
+        assert!(ActivityFactor::new(1.7).is_some()); // glitching
+        assert!(ActivityFactor::new(-0.01).is_none());
+        assert!(ActivityFactor::new(f64::NAN).is_none());
+        assert!(ActivityFactor::new(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn named_constants() {
+        assert_eq!(ActivityFactor::FULL.value(), 1.0);
+        assert_eq!(ActivityFactor::RANDOM.value(), 0.5);
+        assert_eq!(ActivityFactor::CONTROLLER_DEFAULT.value(), 0.25);
+        assert_eq!(ActivityFactor::default(), ActivityFactor::RANDOM);
+    }
+
+    #[test]
+    fn lag1_correlation_mapping() {
+        assert_eq!(ActivityFactor::from_lag1_correlation(0.0).value(), 0.5);
+        assert_eq!(ActivityFactor::from_lag1_correlation(1.0).value(), 0.0);
+        assert_eq!(ActivityFactor::from_lag1_correlation(-1.0).value(), 1.0);
+        // Typical video-luminance correlation.
+        let video = ActivityFactor::from_lag1_correlation(0.9);
+        assert!((video.value() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "correlation coefficient")]
+    fn out_of_range_correlation_panics() {
+        let _ = ActivityFactor::from_lag1_correlation(1.5);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ActivityFactor::RANDOM.to_string(), "α=0.5");
+    }
+}

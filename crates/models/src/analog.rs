@@ -1,0 +1,235 @@
+//! Analog power models (paper EQ 13–17).
+//!
+//! Analog power is dominated by static bias currents: `P = V_supply · ΣI`
+//! (EQ 13). For op-amp circuits the bias current can itself be derived
+//! from the small-signal specification — transconductance (EQ 14), input
+//! impedance (EQ 15) or output impedance (EQ 16) — so an amplifier is
+//! "parameterized by `G_m`, `R_id` and/or `R_o`, much like a digital
+//! adder is parameterized by bit-width".
+
+use powerplay_units::{Current, Power, Resistance, Voltage};
+
+use crate::template::{PowerComponents, PowerModel};
+
+/// Boltzmann constant over electron charge at the reference temperature:
+/// the thermal voltage `kT/q` ≈ 25.85 mV at 300 K.
+pub fn thermal_voltage(temperature_k: f64) -> Voltage {
+    const K_OVER_Q: f64 = 1.380649e-23 / 1.602176634e-19;
+    Voltage::new(K_OVER_Q * temperature_k)
+}
+
+/// A generic analog block: a bag of bias currents (EQ 13).
+///
+/// ```
+/// use powerplay_models::analog::AnalogBlock;
+/// use powerplay_units::{Current, Voltage};
+///
+/// let afe = AnalogBlock::new("radio front end")
+///     .bias(Current::new(2e-3))
+///     .bias(Current::new(0.5e-3));
+/// let p = afe.power_at(Voltage::new(3.0));
+/// assert!((p.value() - 7.5e-3).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalogBlock {
+    name: String,
+    bias_currents: Vec<Current>,
+}
+
+impl AnalogBlock {
+    /// An analog block with no branches yet.
+    pub fn new(name: impl Into<String>) -> AnalogBlock {
+        AnalogBlock {
+            name: name.into(),
+            bias_currents: Vec::new(),
+        }
+    }
+
+    /// Adds a bias branch.
+    pub fn bias(mut self, current: Current) -> AnalogBlock {
+        self.bias_currents.push(current);
+        self
+    }
+
+    /// The summed bias current.
+    pub fn total_bias(&self) -> Current {
+        self.bias_currents.iter().copied().sum()
+    }
+
+    /// EQ 13: `P = V_supply · Σ I_bias` — note the *linear* supply
+    /// dependence, unlike digital CMOS.
+    pub fn power_at(&self, supply: Voltage) -> Power {
+        supply * self.total_bias()
+    }
+}
+
+impl PowerModel for AnalogBlock {
+    fn power_components(&self) -> PowerComponents {
+        PowerComponents::from_static(self.total_bias())
+    }
+}
+
+/// A bipolar emitter-coupled transconductance amplifier (EQ 14–17),
+/// parameterized by any one of its small-signal specs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransconductanceAmplifier {
+    bias: Current,
+    temperature_k: f64,
+}
+
+impl TransconductanceAmplifier {
+    /// Directly sets the tail bias current.
+    pub fn from_bias(bias: Current) -> TransconductanceAmplifier {
+        TransconductanceAmplifier {
+            bias,
+            temperature_k: 300.0,
+        }
+    }
+
+    /// EQ 14 inverted: `G_m = g_m = (q/kT)·I_bias  ⇒  I = G_m·kT/q`.
+    ///
+    /// `gm_siemens` is the required transconductance in A/V.
+    pub fn from_gm(gm_siemens: f64, temperature_k: f64) -> TransconductanceAmplifier {
+        let vt = thermal_voltage(temperature_k);
+        TransconductanceAmplifier {
+            bias: Current::new(gm_siemens * vt.value()),
+            temperature_k,
+        }
+    }
+
+    /// EQ 15 inverted: `R_id = 4kTβ₀/(q·I)  ⇒  I = 4·V_T·β₀ / R_id`.
+    pub fn from_input_impedance(
+        r_id: Resistance,
+        beta0: f64,
+        temperature_k: f64,
+    ) -> TransconductanceAmplifier {
+        let vt = thermal_voltage(temperature_k);
+        TransconductanceAmplifier {
+            bias: Current::new(4.0 * vt.value() * beta0 / r_id.value()),
+            temperature_k,
+        }
+    }
+
+    /// EQ 16 inverted: `R_o ≈ V_A / I  ⇒  I = V_A / R_o` (`V_A` is the
+    /// Early voltage).
+    pub fn from_output_impedance(
+        r_o: Resistance,
+        early_voltage: Voltage,
+        temperature_k: f64,
+    ) -> TransconductanceAmplifier {
+        TransconductanceAmplifier {
+            bias: Current::new(early_voltage.value() / r_o.value()),
+            temperature_k,
+        }
+    }
+
+    /// The tail bias current.
+    pub fn bias(&self) -> Current {
+        self.bias
+    }
+
+    /// The achieved transconductance (EQ 14).
+    pub fn gm_siemens(&self) -> f64 {
+        self.bias.value() / thermal_voltage(self.temperature_k).value()
+    }
+
+    /// EQ 17: `P = 2·V_supply·(kT/q)·G_m = V_supply · I_bias`... the
+    /// factor 2 in the paper counts both branches of the differential
+    /// pair, i.e. `I_tail = 2·I_branch`; this type stores the tail
+    /// current, so power is simply `V·I_tail`.
+    pub fn power_at(&self, supply: Voltage) -> Power {
+        supply * self.bias
+    }
+}
+
+impl PowerModel for TransconductanceAmplifier {
+    fn power_components(&self) -> PowerComponents {
+        PowerComponents::from_static(self.bias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * b.abs().max(1e-30)
+    }
+
+    #[test]
+    fn thermal_voltage_at_room_temperature() {
+        let vt = thermal_voltage(300.0);
+        assert!((vt.value() - 0.02585).abs() < 1e-4);
+    }
+
+    #[test]
+    fn eq13_sums_bias_currents() {
+        let block = AnalogBlock::new("x")
+            .bias(Current::new(1e-3))
+            .bias(Current::new(2e-3))
+            .bias(Current::new(3e-3));
+        assert!(close(block.total_bias().value(), 6e-3));
+        assert!(close(block.power_at(Voltage::new(5.0)).value(), 30e-3));
+    }
+
+    #[test]
+    fn analog_power_is_linear_in_supply() {
+        let block = AnalogBlock::new("x").bias(Current::new(1e-3));
+        let p3 = block.power_at(Voltage::new(3.0)).value();
+        let p6 = block.power_at(Voltage::new(6.0)).value();
+        assert!(close(p6 / p3, 2.0), "EQ 13 scales linearly, not quadratically");
+    }
+
+    #[test]
+    fn eq14_gm_roundtrip() {
+        let amp = TransconductanceAmplifier::from_gm(1e-3, 300.0);
+        assert!(close(amp.gm_siemens(), 1e-3));
+        // I = gm * kT/q ≈ 1e-3 * 25.85 mV ≈ 25.85 µA.
+        assert!((amp.bias().value() - 25.85e-6).abs() < 0.2e-6);
+    }
+
+    #[test]
+    fn eq15_input_impedance_parameterization() {
+        // R_id = 4·V_T·β₀/I: with β₀=100, V_T≈25.85mV, I=103.4µA gives
+        // R_id ≈ 100 kΩ.
+        let amp = TransconductanceAmplifier::from_input_impedance(
+            Resistance::new(100e3),
+            100.0,
+            300.0,
+        );
+        let expect = 4.0 * 0.02585 * 100.0 / 100e3;
+        assert!((amp.bias().value() - expect).abs() < 1e-7);
+    }
+
+    #[test]
+    fn eq16_output_impedance_parameterization() {
+        let amp = TransconductanceAmplifier::from_output_impedance(
+            Resistance::new(1e6),
+            Voltage::new(50.0), // Early voltage
+            300.0,
+        );
+        assert!(close(amp.bias().value(), 50e-6));
+    }
+
+    #[test]
+    fn eq17_power_from_gm() {
+        let amp = TransconductanceAmplifier::from_gm(1e-3, 300.0);
+        let p = amp.power_at(Voltage::new(3.0));
+        // P = V · gm · kT/q
+        let expected = 3.0 * 1e-3 * thermal_voltage(300.0).value();
+        assert!(close(p.value(), expected));
+    }
+
+    #[test]
+    fn higher_gm_costs_more_power() {
+        let lo = TransconductanceAmplifier::from_gm(1e-4, 300.0);
+        let hi = TransconductanceAmplifier::from_gm(1e-2, 300.0);
+        assert!(hi.power_at(Voltage::new(3.0)) > lo.power_at(Voltage::new(3.0)));
+    }
+
+    #[test]
+    fn empty_analog_block_draws_nothing() {
+        let block = AnalogBlock::new("idle");
+        assert_eq!(block.power_at(Voltage::new(5.0)), Power::ZERO);
+    }
+}

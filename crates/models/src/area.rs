@@ -1,0 +1,122 @@
+//! First-order parameterized area models.
+//!
+//! "Though not detailed in this paper, parameterized models are also used
+//! for area and timing analysis." Area matters twice: for budgeting, and
+//! as the input to the Rent-rule interconnect estimate
+//! ([`crate::interconnect`]).
+
+use powerplay_units::Area;
+
+/// A block whose area is affine in a complexity parameter:
+/// `A = A₀ + a·complexity` (bit-width for datapath cells, bit count for
+/// memories).
+///
+/// ```
+/// use powerplay_models::area::AreaModel;
+/// use powerplay_units::Area;
+///
+/// // A datapath register: 2000 µm² fixed + 1500 µm²/bit.
+/// let reg = AreaModel::new(Area::new(2000e-12), Area::new(1500e-12));
+/// let a = reg.area(16.0);
+/// assert!((a.value() - (2000e-12 + 16.0 * 1500e-12)).abs() < 1e-18);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AreaModel {
+    /// Fixed overhead `A₀`.
+    pub fixed: Area,
+    /// Area per unit of complexity.
+    pub per_unit: Area,
+}
+
+impl AreaModel {
+    /// Creates the model.
+    pub fn new(fixed: Area, per_unit: Area) -> AreaModel {
+        AreaModel { fixed, per_unit }
+    }
+
+    /// `A = A₀ + a · complexity`.
+    pub fn area(&self, complexity: f64) -> Area {
+        self.fixed + self.per_unit * complexity
+    }
+}
+
+/// Memory area: per-cell area times capacity plus periphery,
+/// `A = A₀ + a_cell·words·bits + a_word·words + a_bit·bits`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryAreaModel {
+    /// Fixed periphery (control, timing).
+    pub fixed: Area,
+    /// Area of one storage cell.
+    pub per_cell: Area,
+    /// Decoder area per word line.
+    pub per_word: Area,
+    /// Sense/driver area per bit column.
+    pub per_bit: Area,
+}
+
+impl MemoryAreaModel {
+    /// SRAM cell geometry of a 1.2 µm process (~120 µm²/cell).
+    pub fn sram_1_2um() -> MemoryAreaModel {
+        MemoryAreaModel {
+            fixed: Area::new(20_000e-12),
+            per_cell: Area::new(120e-12),
+            per_word: Area::new(300e-12),
+            per_bit: Area::new(2_000e-12),
+        }
+    }
+
+    /// Total macro area.
+    pub fn area(&self, words: u32, bits: u32) -> Area {
+        self.fixed
+            + self.per_cell * (words as f64 * bits as f64)
+            + self.per_word * words as f64
+            + self.per_bit * bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_model() {
+        let m = AreaModel::new(Area::new(1e-9), Area::new(2e-10));
+        assert_eq!(m.area(0.0), Area::new(1e-9));
+        let a10 = m.area(10.0);
+        assert!((a10.value() - 3e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn memory_area_scales_with_capacity() {
+        let m = MemoryAreaModel::sram_1_2um();
+        let small = m.area(256, 8);
+        let large = m.area(4096, 8);
+        assert!(large / small > 8.0, "cell array dominates at scale");
+    }
+
+    #[test]
+    fn equal_capacity_different_aspect() {
+        // 4096x6 vs 1024x24 (the Figure 1 vs Figure 3 organizations) have
+        // the same cell count; areas differ only via periphery.
+        let m = MemoryAreaModel::sram_1_2um();
+        let tall = m.area(4096, 6);
+        let wide = m.area(1024, 24);
+        // Identical cell-array contribution; totals differ only through
+        // periphery (decoder vs sense amplifiers).
+        let expected_tall = m.fixed.value()
+            + m.per_cell.value() * 24576.0
+            + m.per_word.value() * 4096.0
+            + m.per_bit.value() * 6.0;
+        assert!((tall.value() - expected_tall).abs() < 1e-18);
+        // The tall organization pays 4x the word-line decoders, which
+        // outweigh the extra sense amplifiers of the wide one.
+        assert!(tall > wide);
+        assert!(tall / wide < 3.0, "organizations stay within a small factor");
+    }
+
+    #[test]
+    fn default_area_model_is_zero() {
+        let m = AreaModel::default();
+        assert_eq!(m.area(100.0), Area::ZERO);
+    }
+}

@@ -1,0 +1,306 @@
+//! Controller power models (paper EQ 9–10).
+//!
+//! At the earliest design stages only `N_I` (inputs, including state and
+//! status bits) and `N_O` (outputs, including state bits) are known; the
+//! implementation platform may still be open. Three platforms are
+//! modeled: random logic, ROM, and PLA.
+
+use powerplay_units::Capacitance;
+
+use crate::activity::ActivityFactor;
+use crate::template::{PowerComponents, PowerModel, SwitchedCap};
+
+/// EQ 9: a two-level (or more) random-logic controller,
+/// `C_T = C₀·α₀·N_I·N_O + C₁·α₁·N_M·N_O`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomLogicController {
+    n_inputs: u32,
+    n_outputs: u32,
+    n_minterms: u32,
+    c0: Capacitance,
+    c1: Capacitance,
+    alpha0: ActivityFactor,
+    alpha1: ActivityFactor,
+}
+
+impl RandomLogicController {
+    /// Library-specific coefficient for the input plane (assumed value for
+    /// the UCB-style library; the paper publishes the form, not the fit).
+    pub const UCB_C0: Capacitance = Capacitance::new(15e-15);
+    /// Library-specific coefficient for the output plane.
+    pub const UCB_C1: Capacitance = Capacitance::new(10e-15);
+
+    /// A controller with the library coefficients and the paper's default
+    /// random-vector switching probabilities `α₀ = α₁ = 0.25`.
+    pub fn ucb_style(n_inputs: u32, n_outputs: u32, n_minterms: u32) -> RandomLogicController {
+        RandomLogicController {
+            n_inputs,
+            n_outputs,
+            n_minterms,
+            c0: Self::UCB_C0,
+            c1: Self::UCB_C1,
+            alpha0: ActivityFactor::CONTROLLER_DEFAULT,
+            alpha1: ActivityFactor::CONTROLLER_DEFAULT,
+        }
+    }
+
+    /// Overrides the library coefficients.
+    pub fn with_coefficients(mut self, c0: Capacitance, c1: Capacitance) -> Self {
+        self.c0 = c0;
+        self.c1 = c1;
+        self
+    }
+
+    /// Overrides the switching probabilities once input statistics are
+    /// known (back-annotation).
+    pub fn with_activities(mut self, alpha0: ActivityFactor, alpha1: ActivityFactor) -> Self {
+        self.alpha0 = alpha0;
+        self.alpha1 = alpha1;
+        self
+    }
+
+    /// EQ 9.
+    pub fn switched_cap(&self) -> Capacitance {
+        let input_plane = self.c0
+            * (self.alpha0.value() * self.n_inputs as f64 * self.n_outputs as f64);
+        let output_plane = self.c1
+            * (self.alpha1.value() * self.n_minterms as f64 * self.n_outputs as f64);
+        input_plane + output_plane
+    }
+}
+
+impl PowerModel for RandomLogicController {
+    fn power_components(&self) -> PowerComponents {
+        PowerComponents::from_cap("random-logic controller", self.switched_cap())
+    }
+}
+
+/// EQ 10: a ROM-based controller with precharged word/bit lines,
+/// `C_T = C₀ + C₁·N_I·2^N_I + C₂·P_O·N_O·2^N_I + C₃·P_O·N_O + C₄·N_O`.
+///
+/// `P_O` is the average fraction of output bits that evaluate low (those
+/// bit-lines must be re-precharged the next cycle).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RomController {
+    n_inputs: u32,
+    n_outputs: u32,
+    /// Average fraction of low output bits, `P_O`.
+    p_low: f64,
+    coeffs: [Capacitance; 5],
+}
+
+impl RomController {
+    /// Assumed UCB-style coefficients `[C₀, C₁, C₂, C₃, C₄]`.
+    pub const UCB_COEFFS: [Capacitance; 5] = [
+        Capacitance::new(200e-15), // C0: clocking overhead
+        Capacitance::new(0.8e-15), // C1: address decode per word-line
+        Capacitance::new(0.05e-15), // C2: array bit-line loading
+        Capacitance::new(25e-15),  // C3: sense amp per discharged line
+        Capacitance::new(15e-15),  // C4: output driver per bit
+    ];
+
+    /// A ROM controller with library coefficients and `P_O = 0.5`
+    /// (random outputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_inputs > 20` — `2^N_I` word lines beyond a million
+    /// means the model is being misused.
+    pub fn ucb_style(n_inputs: u32, n_outputs: u32) -> RomController {
+        assert!(n_inputs <= 20, "ROM with 2^{n_inputs} word lines is not credible");
+        RomController {
+            n_inputs,
+            n_outputs,
+            p_low: 0.5,
+            coeffs: Self::UCB_COEFFS,
+        }
+    }
+
+    /// Overrides the probability of low output bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_low` is outside `[0, 1]`.
+    pub fn with_p_low(mut self, p_low: f64) -> RomController {
+        assert!((0.0..=1.0).contains(&p_low), "P_O must be a probability");
+        self.p_low = p_low;
+        self
+    }
+
+    /// Overrides the library coefficients.
+    pub fn with_coefficients(mut self, coeffs: [Capacitance; 5]) -> RomController {
+        self.coeffs = coeffs;
+        self
+    }
+
+    /// EQ 10.
+    pub fn switched_cap(&self) -> Capacitance {
+        let [c0, c1, c2, c3, c4] = self.coeffs;
+        let ni = self.n_inputs as f64;
+        let no = self.n_outputs as f64;
+        let lines = 2f64.powi(self.n_inputs as i32);
+        c0 + c1 * (ni * lines)
+            + c2 * (self.p_low * no * lines)
+            + c3 * (self.p_low * no)
+            + c4 * no
+    }
+}
+
+impl PowerModel for RomController {
+    fn power_components(&self) -> PowerComponents {
+        PowerComponents::from_cap("ROM controller", self.switched_cap())
+    }
+}
+
+/// A PLA-based controller — "other implementation platforms (e.g. PLAs)
+/// may be modeled in a similar way".
+///
+/// Modeled as two precharged NOR planes: an AND plane of `N_M` product
+/// terms over `2·N_I` input lines and an OR plane of `N_O` outputs over
+/// the product terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaController {
+    n_inputs: u32,
+    n_outputs: u32,
+    n_product_terms: u32,
+    c_and_per_crosspoint: Capacitance,
+    c_or_per_crosspoint: Capacitance,
+    alpha: ActivityFactor,
+}
+
+impl PlaController {
+    /// Assumed per-crosspoint coefficient of the AND plane.
+    pub const UCB_C_AND: Capacitance = Capacitance::new(1.2e-15);
+    /// Assumed per-crosspoint coefficient of the OR plane.
+    pub const UCB_C_OR: Capacitance = Capacitance::new(1.0e-15);
+
+    /// A PLA with library coefficients and the default α = 0.25.
+    pub fn ucb_style(n_inputs: u32, n_outputs: u32, n_product_terms: u32) -> PlaController {
+        PlaController {
+            n_inputs,
+            n_outputs,
+            n_product_terms,
+            c_and_per_crosspoint: Self::UCB_C_AND,
+            c_or_per_crosspoint: Self::UCB_C_OR,
+            alpha: ActivityFactor::CONTROLLER_DEFAULT,
+        }
+    }
+
+    /// Switched capacitance of both planes.
+    pub fn switched_cap(&self) -> Capacitance {
+        let and_plane = self.c_and_per_crosspoint
+            * (2.0 * self.n_inputs as f64 * self.n_product_terms as f64);
+        let or_plane =
+            self.c_or_per_crosspoint * (self.n_product_terms as f64 * self.n_outputs as f64);
+        (and_plane + or_plane) * self.alpha.value()
+    }
+}
+
+impl PowerModel for PlaController {
+    fn power_components(&self) -> PowerComponents {
+        PowerComponents {
+            switched: vec![SwitchedCap::full_rail("PLA planes", self.switched_cap())],
+            ..PowerComponents::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * b.abs().max(1e-30)
+    }
+
+    #[test]
+    fn eq9_random_logic() {
+        let c = RandomLogicController::ucb_style(10, 8, 24)
+            .with_coefficients(Capacitance::new(20e-15), Capacitance::new(10e-15))
+            .switched_cap();
+        let expected = 20e-15 * 0.25 * 10.0 * 8.0 + 10e-15 * 0.25 * 24.0 * 8.0;
+        assert!(close(c.value(), expected));
+    }
+
+    #[test]
+    fn eq10_rom() {
+        let coeffs = [
+            Capacitance::new(1e-15),
+            Capacitance::new(2e-15),
+            Capacitance::new(3e-15),
+            Capacitance::new(4e-15),
+            Capacitance::new(5e-15),
+        ];
+        let c = RomController::ucb_style(4, 8)
+            .with_p_low(0.25)
+            .with_coefficients(coeffs)
+            .switched_cap();
+        let lines = 16.0;
+        let expected = 1e-15
+            + 2e-15 * 4.0 * lines
+            + 3e-15 * 0.25 * 8.0 * lines
+            + 4e-15 * 0.25 * 8.0
+            + 5e-15 * 8.0;
+        assert!(close(c.value(), expected));
+    }
+
+    #[test]
+    fn rom_grows_exponentially_in_inputs() {
+        let small = RomController::ucb_style(6, 16).switched_cap();
+        let large = RomController::ucb_style(12, 16).switched_cap();
+        // 2^12 / 2^6 = 64x more word lines; total must grow > 10x.
+        assert!(large / small > 10.0);
+    }
+
+    #[test]
+    fn all_low_outputs_maximize_rom_power() {
+        let none = RomController::ucb_style(8, 16).with_p_low(0.0).switched_cap();
+        let all = RomController::ucb_style(8, 16).with_p_low(1.0).switched_cap();
+        assert!(all > none);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rom_rejects_bad_probability() {
+        let _ = RomController::ucb_style(8, 16).with_p_low(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not credible")]
+    fn rom_rejects_huge_address_space() {
+        let _ = RomController::ucb_style(32, 16);
+    }
+
+    #[test]
+    fn random_logic_scales_with_minterms() {
+        let simple = RandomLogicController::ucb_style(10, 8, 8).switched_cap();
+        let complex = RandomLogicController::ucb_style(10, 8, 64).switched_cap();
+        assert!(complex > simple, "more minterms means more capacitance");
+    }
+
+    #[test]
+    fn platform_comparison_is_possible() {
+        // The early-design question the paper poses: same control function
+        // (10 in, 8 out, 24 minterms) on three platforms. All produce
+        // positive, distinct estimates.
+        let rl = RandomLogicController::ucb_style(10, 8, 24).switched_cap();
+        let rom = RomController::ucb_style(10, 8).switched_cap();
+        let pla = PlaController::ucb_style(10, 8, 24).switched_cap();
+        assert!(rl.value() > 0.0 && rom.value() > 0.0 && pla.value() > 0.0);
+        assert!(rl != rom && rom != pla);
+        // A 2^10-line ROM dwarfs a 24-minterm random-logic network.
+        assert!(rom > rl);
+    }
+
+    #[test]
+    fn activity_override_scales_linearly() {
+        let base = RandomLogicController::ucb_style(10, 8, 24).switched_cap();
+        let doubled = RandomLogicController::ucb_style(10, 8, 24)
+            .with_activities(
+                ActivityFactor::new(0.5).unwrap(),
+                ActivityFactor::new(0.5).unwrap(),
+            )
+            .switched_cap();
+        assert!(close(doubled.value(), 2.0 * base.value()));
+    }
+}

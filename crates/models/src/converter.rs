@@ -1,0 +1,220 @@
+//! DC-DC converter models (paper EQ 18–19).
+//!
+//! A converter is specified by its load power and conversion efficiency
+//! `η = P_load / P_in` (EQ 18); its own dissipation is
+//! `P_diss = P_load · (1-η)/η` (EQ 19). This is the paper's example of
+//! *intermodel interaction*: the load is the summed power of the modules
+//! the converter feeds, so the sheet evaluates those rows first.
+
+use std::error::Error;
+use std::fmt;
+
+use powerplay_units::Power;
+
+/// Error returned for efficiencies outside `(0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidEfficiencyError(pub f64);
+
+impl fmt::Display for InvalidEfficiencyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "efficiency must be in (0, 1], got {}", self.0)
+    }
+}
+
+impl Error for InvalidEfficiencyError {}
+
+/// A DC-DC converter with (first-order) constant efficiency.
+///
+/// ```
+/// use powerplay_models::converter::DcDcConverter;
+/// use powerplay_units::Power;
+///
+/// # fn main() -> Result<(), powerplay_models::converter::InvalidEfficiencyError> {
+/// // The InfoPad's 80%-efficient converters (paper Figure 5).
+/// let conv = DcDcConverter::new(0.8)?;
+/// let diss = conv.dissipation(Power::new(8.0));
+/// assert!((diss.value() - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DcDcConverter {
+    efficiency: f64,
+}
+
+impl DcDcConverter {
+    /// Creates a converter with efficiency `η ∈ (0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidEfficiencyError`] outside that range.
+    pub fn new(efficiency: f64) -> Result<DcDcConverter, InvalidEfficiencyError> {
+        if efficiency > 0.0 && efficiency <= 1.0 && efficiency.is_finite() {
+            Ok(DcDcConverter { efficiency })
+        } else {
+            Err(InvalidEfficiencyError(efficiency))
+        }
+    }
+
+    /// The conversion efficiency `η`.
+    pub fn efficiency(&self) -> f64 {
+        self.efficiency
+    }
+
+    /// EQ 18 rearranged: input power drawn from the source,
+    /// `P_in = P_load / η`.
+    pub fn input_power(&self, load: Power) -> Power {
+        load / self.efficiency
+    }
+
+    /// EQ 19: the converter's own dissipation,
+    /// `P_diss = P_load · (1 - η)/η`.
+    pub fn dissipation(&self, load: Power) -> Power {
+        load * ((1.0 - self.efficiency) / self.efficiency)
+    }
+}
+
+/// A measured efficiency-vs-load curve for the second-order model ("the
+/// efficiency of the converter is a function of … load power").
+///
+/// Linear interpolation between measured `(load, η)` points; loads beyond
+/// the table clamp to the end points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EfficiencyCurve {
+    points: Vec<(Power, f64)>,
+}
+
+impl EfficiencyCurve {
+    /// Builds a curve from measured points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidEfficiencyError`] if any efficiency is outside
+    /// `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are supplied or loads are not
+    /// strictly increasing.
+    pub fn new(mut points: Vec<(Power, f64)>) -> Result<EfficiencyCurve, InvalidEfficiencyError> {
+        assert!(points.len() >= 2, "a curve needs at least two points");
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite loads"));
+        assert!(
+            points.windows(2).all(|w| w[0].0 < w[1].0),
+            "loads must be strictly increasing"
+        );
+        for &(_, eta) in &points {
+            DcDcConverter::new(eta)?;
+        }
+        Ok(EfficiencyCurve { points })
+    }
+
+    /// Interpolated efficiency at `load`.
+    pub fn efficiency_at(&self, load: Power) -> f64 {
+        let first = self.points.first().expect("non-empty");
+        let last = self.points.last().expect("non-empty");
+        if load <= first.0 {
+            return first.1;
+        }
+        if load >= last.0 {
+            return last.1;
+        }
+        for w in self.points.windows(2) {
+            let (l0, e0) = w[0];
+            let (l1, e1) = w[1];
+            if load >= l0 && load <= l1 {
+                let t = (load - l0) / (l1 - l0);
+                return e0 + t * (e1 - e0);
+            }
+        }
+        unreachable!("load bracketed by construction");
+    }
+
+    /// EQ 19 with the interpolated efficiency.
+    pub fn dissipation(&self, load: Power) -> Power {
+        let eta = self.efficiency_at(load);
+        load * ((1.0 - eta) / eta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-12 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn eq18_eq19_consistency() {
+        // P_in = P_load + P_diss must hold exactly.
+        let conv = DcDcConverter::new(0.8).unwrap();
+        let load = Power::new(8.0);
+        let p_in = conv.input_power(load);
+        let p_diss = conv.dissipation(load);
+        assert!(close(p_in.value(), (load + p_diss).value()));
+        assert!(close(conv.efficiency(), 0.8));
+    }
+
+    #[test]
+    fn perfect_converter_dissipates_nothing() {
+        let conv = DcDcConverter::new(1.0).unwrap();
+        assert_eq!(conv.dissipation(Power::new(5.0)), Power::ZERO);
+        assert_eq!(conv.input_power(Power::new(5.0)), Power::new(5.0));
+    }
+
+    #[test]
+    fn invalid_efficiencies_rejected() {
+        for eta in [0.0, -0.5, 1.01, f64::NAN, f64::INFINITY] {
+            assert!(DcDcConverter::new(eta).is_err(), "accepted η = {eta}");
+        }
+        let err = DcDcConverter::new(1.5).unwrap_err();
+        assert!(err.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn lower_efficiency_dissipates_more() {
+        let load = Power::new(1.0);
+        let good = DcDcConverter::new(0.9).unwrap().dissipation(load);
+        let poor = DcDcConverter::new(0.5).unwrap().dissipation(load);
+        assert!(poor > good);
+        // At 50% efficiency, dissipation equals the load.
+        assert!(close(poor.value(), 1.0));
+    }
+
+    #[test]
+    fn curve_interpolates_and_clamps() {
+        let curve = EfficiencyCurve::new(vec![
+            (Power::new(1.0), 0.6),
+            (Power::new(2.0), 0.8),
+            (Power::new(4.0), 0.9),
+        ])
+        .unwrap();
+        assert!(close(curve.efficiency_at(Power::new(1.5)), 0.7));
+        assert!(close(curve.efficiency_at(Power::new(3.0)), 0.85));
+        // Clamping.
+        assert!(close(curve.efficiency_at(Power::new(0.1)), 0.6));
+        assert!(close(curve.efficiency_at(Power::new(100.0)), 0.9));
+    }
+
+    #[test]
+    fn curve_dissipation_tracks_interpolated_efficiency() {
+        let curve = EfficiencyCurve::new(vec![(Power::new(1.0), 0.5), (Power::new(3.0), 1.0)])
+            .unwrap();
+        // At 2 W the efficiency is 0.75 -> dissipation = 2·(0.25/0.75).
+        let d = curve.dissipation(Power::new(2.0));
+        assert!(close(d.value(), 2.0 / 3.0));
+    }
+
+    #[test]
+    fn curve_rejects_bad_efficiency() {
+        let result = EfficiencyCurve::new(vec![(Power::new(1.0), 0.5), (Power::new(2.0), 1.2)]);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn curve_rejects_duplicate_loads() {
+        let _ = EfficiencyCurve::new(vec![(Power::new(1.0), 0.5), (Power::new(1.0), 0.6)]);
+    }
+}

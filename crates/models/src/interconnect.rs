@@ -1,0 +1,278 @@
+//! Interconnect estimation from Rent's rule (paper refs Donath \[6\],
+//! Feuer \[7\], Landman & Russo \[11\]).
+//!
+//! Interconnect activity is not inherent to an algorithm, so at the
+//! earliest stages the paper prescribes a quick estimate: derive total
+//! wire length from the active area and block count via Rent's rule, then
+//! multiply by capacitance per unit length.
+
+use powerplay_units::{Area, Capacitance};
+
+use crate::activity::ActivityFactor;
+use crate::template::{PowerComponents, PowerModel};
+
+/// Rent's rule parameters: `T = t · B^p` relates the number of external
+/// terminals `T` of a region to the blocks `B` inside it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RentParameters {
+    /// Average terminals per block, `t`.
+    pub terminals_per_block: f64,
+    /// The Rent exponent `p` (0 < p < 1 for realistic designs).
+    pub exponent: f64,
+}
+
+impl RentParameters {
+    /// Typical values for random logic (Landman & Russo report
+    /// p ≈ 0.57–0.75 for logic; t ≈ 3–4 terminals per gate).
+    pub const RANDOM_LOGIC: RentParameters = RentParameters {
+        terminals_per_block: 3.5,
+        exponent: 0.65,
+    };
+
+    /// Typical values for regular datapath/memory structures, which are
+    /// far more local (low exponent).
+    pub const DATAPATH: RentParameters = RentParameters {
+        terminals_per_block: 3.0,
+        exponent: 0.45,
+    };
+
+    /// Validated constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < exponent < 1` and `terminals_per_block > 0`.
+    pub fn new(terminals_per_block: f64, exponent: f64) -> RentParameters {
+        assert!(
+            exponent > 0.0 && exponent < 1.0,
+            "Rent exponent must be in (0, 1), got {exponent}"
+        );
+        assert!(terminals_per_block > 0.0, "terminals/block must be positive");
+        RentParameters {
+            terminals_per_block,
+            exponent,
+        }
+    }
+
+    /// `T = t · B^p`: external terminals of a `blocks`-block region.
+    pub fn terminals(&self, blocks: f64) -> f64 {
+        self.terminals_per_block * blocks.powf(self.exponent)
+    }
+
+    /// Donath's estimate of the average interconnection length (in units
+    /// of block pitch) for a placed hierarchy of `blocks` blocks.
+    ///
+    /// Donath \[6\] derives `R̄ ∝ B^(p - 1/2)` for `p > 1/2` (with a
+    /// geometry constant near 2/3·(…)); for `p < 1/2` the average length
+    /// approaches a constant. This implements the standard closed form:
+    ///
+    /// ```text
+    /// R̄(B) = (2/9) · (7 B^(p-1/2) - 1)/(4^(p-1/2) - 1) · (1 - B^(p-1))/(1 - 4^(p-1))
+    /// ```
+    ///
+    /// normalized to block pitch.
+    pub fn donath_average_length(&self, blocks: f64) -> f64 {
+        assert!(blocks >= 1.0, "need at least one block");
+        let p = self.exponent;
+        if (p - 0.5).abs() < 1e-9 {
+            // Degenerate case: logarithmic growth.
+            return (2.0 / 9.0) * 7.0 * (blocks.ln() / 4f64.ln()).max(1.0);
+        }
+        let num1 = 7.0 * blocks.powf(p - 0.5) - 1.0;
+        let den1 = 4f64.powf(p - 0.5) - 1.0;
+        let num2 = 1.0 - blocks.powf(p - 1.0);
+        let den2 = 1.0 - 4f64.powf(p - 1.0);
+        ((2.0 / 9.0) * num1 / den1 * num2 / den2).max(1.0)
+    }
+}
+
+/// Process-level wiring characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WiringTechnology {
+    /// Block pitch (average placed block edge) in metres.
+    pub block_pitch_m: f64,
+    /// Wire capacitance per metre.
+    pub cap_per_meter: Capacitance,
+}
+
+impl WiringTechnology {
+    /// A 1.2 µm-era CMOS process (the UCB low-power library vintage):
+    /// roughly 0.2 fF/µm of wire.
+    pub const CMOS_1_2UM: WiringTechnology = WiringTechnology {
+        block_pitch_m: 60e-6,
+        cap_per_meter: Capacitance::new(0.2e-15 / 1e-6),
+    };
+}
+
+/// A Rent/Donath interconnect estimate for a region of the design.
+///
+/// ```
+/// use powerplay_models::interconnect::{InterconnectEstimate, RentParameters, WiringTechnology};
+///
+/// let est = InterconnectEstimate::new(
+///     400.0,                       // placed blocks
+///     RentParameters::RANDOM_LOGIC,
+///     WiringTechnology::CMOS_1_2UM,
+/// );
+/// assert!(est.total_wire_length_m() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterconnectEstimate {
+    blocks: f64,
+    rent: RentParameters,
+    tech: WiringTechnology,
+    activity: ActivityFactor,
+}
+
+impl InterconnectEstimate {
+    /// Creates an estimate for `blocks` placed blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks < 1`.
+    pub fn new(blocks: f64, rent: RentParameters, tech: WiringTechnology) -> InterconnectEstimate {
+        assert!(blocks >= 1.0, "need at least one block");
+        InterconnectEstimate {
+            blocks,
+            rent,
+            tech,
+            activity: ActivityFactor::CONTROLLER_DEFAULT,
+        }
+    }
+
+    /// Derives the block count from active area and average block area —
+    /// "area estimates of the modules are easily provided".
+    pub fn from_area(
+        active_area: Area,
+        avg_block_area: Area,
+        rent: RentParameters,
+        tech: WiringTechnology,
+    ) -> InterconnectEstimate {
+        let blocks = (active_area / avg_block_area).max(1.0);
+        InterconnectEstimate::new(blocks, rent, tech)
+    }
+
+    /// Overrides the wire activity factor.
+    pub fn with_activity(mut self, activity: ActivityFactor) -> InterconnectEstimate {
+        self.activity = activity;
+        self
+    }
+
+    /// Average wire length in metres (Donath normalized length × pitch).
+    pub fn average_wire_length_m(&self) -> f64 {
+        self.rent.donath_average_length(self.blocks) * self.tech.block_pitch_m
+    }
+
+    /// Estimated wire count: roughly `t·B / 2` two-point nets.
+    pub fn wire_count(&self) -> f64 {
+        self.rent.terminals_per_block * self.blocks / 2.0
+    }
+
+    /// Total wire length in metres.
+    pub fn total_wire_length_m(&self) -> f64 {
+        self.average_wire_length_m() * self.wire_count()
+    }
+
+    /// Total wiring capacitance.
+    pub fn total_cap(&self) -> Capacitance {
+        self.tech.cap_per_meter * self.total_wire_length_m()
+    }
+
+    /// Average capacitance *switched* per cycle (total cap × activity).
+    pub fn switched_cap(&self) -> Capacitance {
+        self.total_cap() * self.activity.value()
+    }
+}
+
+impl PowerModel for InterconnectEstimate {
+    fn power_components(&self) -> PowerComponents {
+        PowerComponents::from_cap("interconnect", self.switched_cap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rent_terminal_counts() {
+        let r = RentParameters::new(3.5, 0.65);
+        assert!((r.terminals(1.0) - 3.5).abs() < 1e-12);
+        // Doubling blocks multiplies terminals by 2^p.
+        let ratio = r.terminals(200.0) / r.terminals(100.0);
+        assert!((ratio - 2f64.powf(0.65)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn donath_length_grows_with_block_count_for_high_p() {
+        let r = RentParameters::RANDOM_LOGIC; // p = 0.65 > 0.5
+        let small = r.donath_average_length(64.0);
+        let large = r.donath_average_length(4096.0);
+        assert!(large > small, "avg length must grow for p > 1/2");
+    }
+
+    #[test]
+    fn donath_length_saturates_for_low_p() {
+        let r = RentParameters::DATAPATH; // p = 0.45 < 0.5
+        let medium = r.donath_average_length(1024.0);
+        let large = r.donath_average_length(1024.0 * 64.0);
+        // Growth must be modest (bounded) below the 1/2 exponent.
+        assert!(large / medium < 1.5);
+    }
+
+    #[test]
+    fn p_half_special_case() {
+        let r = RentParameters::new(3.5, 0.5);
+        let l = r.donath_average_length(1024.0);
+        assert!(l.is_finite() && l > 0.0);
+    }
+
+    #[test]
+    fn estimate_composes_to_capacitance() {
+        let est = InterconnectEstimate::new(
+            400.0,
+            RentParameters::RANDOM_LOGIC,
+            WiringTechnology::CMOS_1_2UM,
+        );
+        assert!(est.wire_count() > 0.0);
+        assert!(est.total_cap().value() > 0.0);
+        assert!(est.switched_cap() < est.total_cap());
+    }
+
+    #[test]
+    fn from_area_derives_block_count() {
+        let est = InterconnectEstimate::from_area(
+            Area::new(4e-6),  // 4 mm²
+            Area::new(1e-8),  // 100 µm x 100 µm blocks
+            RentParameters::RANDOM_LOGIC,
+            WiringTechnology::CMOS_1_2UM,
+        );
+        // 400 blocks — same as the direct construction.
+        let direct = InterconnectEstimate::new(
+            400.0,
+            RentParameters::RANDOM_LOGIC,
+            WiringTechnology::CMOS_1_2UM,
+        );
+        assert!((est.total_wire_length_m() - direct.total_wire_length_m()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_designs_have_more_wire() {
+        let small = InterconnectEstimate::new(
+            100.0,
+            RentParameters::RANDOM_LOGIC,
+            WiringTechnology::CMOS_1_2UM,
+        );
+        let big = InterconnectEstimate::new(
+            10_000.0,
+            RentParameters::RANDOM_LOGIC,
+            WiringTechnology::CMOS_1_2UM,
+        );
+        assert!(big.total_wire_length_m() > small.total_wire_length_m() * 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Rent exponent")]
+    fn invalid_exponent_panics() {
+        let _ = RentParameters::new(3.5, 1.2);
+    }
+}

@@ -1,0 +1,58 @@
+//! Parameterized power, area and timing models — the modeling core of
+//! PowerPlay (Lidsky & Rabaey, DAC 1996).
+//!
+//! Every model in the paper reduces to the single template of EQ 1:
+//!
+//! ```text
+//! P = Σ_i C_sw,i · V_swing,i · V_DD · f  +  I · V_DD
+//! ```
+//!
+//! which this crate represents as [`PowerComponents`] — a list of switched
+//! capacitances (each full-rail or partial-swing) plus a static current —
+//! evaluated at an [`OperatingPoint`]. The model classes surveyed in the
+//! paper each produce such components:
+//!
+//! | Paper section | Equations | Module |
+//! |---|---|---|
+//! | Computational blocks, empirical | EQ 2–3, EQ 20 | [`landman`] |
+//! | Computational blocks, analytical | EQ 4–6 | [`svensson`] |
+//! | Storage | EQ 7–8 | [`memory`] |
+//! | Controllers | EQ 9–10 | [`controller`] |
+//! | Interconnect (Rent/Donath/Feuer) | — | [`interconnect`] |
+//! | Programmable processors | EQ 11–12 | [`processor`] |
+//! | Analog | EQ 13–17 | [`analog`] |
+//! | DC-DC converters | EQ 18–19 | [`converter`] |
+//!
+//! Area and delay estimation (mentioned but not detailed in the paper) are
+//! first-order parameterized models in [`area`] and [`timing`]; supply- and
+//! technology-scaling helpers live in [`scaling`].
+//!
+//! ```
+//! use powerplay_models::{OperatingPoint, PowerModel};
+//! use powerplay_models::landman::Multiplier;
+//! use powerplay_units::{Frequency, Voltage};
+//!
+//! // The paper's example model (EQ 20): an 8x8 multiplier at 1.5 V, 2 MHz.
+//! let mult = Multiplier::uncorrelated(8, 8);
+//! let op = OperatingPoint::new(Voltage::new(1.5), Frequency::new(2e6));
+//! let p = mult.power(op);
+//! assert!((p.value() - 8.0 * 8.0 * 253e-15 * 1.5 * 1.5 * 2e6).abs() < 1e-12);
+//! ```
+
+pub mod activity;
+pub mod analog;
+pub mod area;
+pub mod battery;
+pub mod controller;
+pub mod converter;
+pub mod interconnect;
+pub mod landman;
+pub mod memory;
+pub mod processor;
+pub mod scaling;
+pub mod svensson;
+pub mod template;
+pub mod timing;
+
+pub use activity::ActivityFactor;
+pub use template::{OperatingPoint, PowerComponents, PowerModel, SwitchedCap, Swing};

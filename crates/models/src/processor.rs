@@ -1,0 +1,349 @@
+//! Programmable-processor power models (paper EQ 11–12).
+//!
+//! The first-order model scales a data-book average power by an activity
+//! (duty-cycle) factor. The refined model sums per-instruction energies
+//! over an algorithm's instruction mix (Tiwari \[19\]); Ong & Yan \[15\]
+//! used that methodology to show order-of-magnitude spreads across
+//! sorting algorithms, which [`profiles::sorting_profiles`] reproduces.
+
+use std::collections::BTreeMap;
+
+use powerplay_units::{Current, Energy, Power, Time};
+
+use crate::template::{PowerComponents, PowerModel};
+
+/// EQ 11: `P = α · P_AVG` — a processor that consumes its data-book
+/// average power while active and nothing during shutdown.
+///
+/// ```
+/// use powerplay_models::processor::DutyCycleProcessor;
+/// use powerplay_units::Power;
+///
+/// // An embedded core with 20 mW average, active 30% of the time.
+/// let p = DutyCycleProcessor::new(Power::new(20e-3), 0.3).unwrap();
+/// assert!((p.average_power().value() - 6e-3).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DutyCycleProcessor {
+    p_avg: Power,
+    activity: f64,
+}
+
+impl DutyCycleProcessor {
+    /// Creates the model. `activity` is the fraction of time the
+    /// processor is powered (`α ≤ 1`); a core with no power-down
+    /// capability has `activity = 1`.
+    pub fn new(p_avg: Power, activity: f64) -> Option<DutyCycleProcessor> {
+        if (0.0..=1.0).contains(&activity) && p_avg.value() >= 0.0 {
+            Some(DutyCycleProcessor { p_avg, activity })
+        } else {
+            None
+        }
+    }
+
+    /// A processor with no power-down capability (`α = 1`).
+    pub fn always_on(p_avg: Power) -> DutyCycleProcessor {
+        DutyCycleProcessor {
+            p_avg,
+            activity: 1.0,
+        }
+    }
+
+    /// EQ 11.
+    pub fn average_power(&self) -> Power {
+        self.p_avg * self.activity
+    }
+
+    /// The duty-cycle factor `α`.
+    pub fn activity(&self) -> f64 {
+        self.activity
+    }
+}
+
+impl PowerModel for DutyCycleProcessor {
+    /// Represented as an equivalent static current at a nominal 1 V so the
+    /// power survives the EQ 1 template; spreadsheet rows using this model
+    /// should evaluate it at `vdd = 1`.
+    fn power_components(&self) -> PowerComponents {
+        PowerComponents::from_static(Current::new(self.average_power().value()))
+    }
+}
+
+/// A per-instruction energy table (EQ 12 inputs).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct InstructionEnergyTable {
+    entries: BTreeMap<String, Energy>,
+}
+
+impl InstructionEnergyTable {
+    /// An empty table.
+    pub fn new() -> InstructionEnergyTable {
+        InstructionEnergyTable::default()
+    }
+
+    /// Adds (or replaces) an instruction's energy.
+    pub fn insert(&mut self, opcode: impl Into<String>, energy: Energy) {
+        self.entries.insert(opcode.into(), energy);
+    }
+
+    /// Builder-style insertion.
+    pub fn with(mut self, opcode: impl Into<String>, energy: Energy) -> InstructionEnergyTable {
+        self.insert(opcode, energy);
+        self
+    }
+
+    /// Looks up an instruction.
+    pub fn get(&self, opcode: &str) -> Option<Energy> {
+        self.entries.get(opcode).copied()
+    }
+
+    /// A table in the style of Tiwari's 486DX2 measurements, scaled to a
+    /// low-power embedded core: memory instructions cost several times a
+    /// register ALU op.
+    pub fn embedded_core() -> InstructionEnergyTable {
+        InstructionEnergyTable::new()
+            .with("alu", Energy::new(1.0e-9))
+            .with("mov", Energy::new(0.9e-9))
+            .with("cmp", Energy::new(0.95e-9))
+            .with("branch", Energy::new(1.3e-9))
+            .with("load", Energy::new(3.2e-9))
+            .with("store", Energy::new(3.6e-9))
+            .with("mul", Energy::new(4.1e-9))
+            .with("nop", Energy::new(0.5e-9))
+    }
+}
+
+/// An algorithm's instruction mix: counts per opcode plus the execution
+/// time over which the energy is spent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgorithmProfile {
+    name: String,
+    counts: BTreeMap<String, u64>,
+    duration: Time,
+}
+
+/// Error when a profile references an instruction missing from the table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissingInstructionError(pub String);
+
+impl std::fmt::Display for MissingInstructionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "instruction `{}` not in energy table", self.0)
+    }
+}
+
+impl std::error::Error for MissingInstructionError {}
+
+impl AlgorithmProfile {
+    /// Creates a profile with no instructions yet.
+    pub fn new(name: impl Into<String>, duration: Time) -> AlgorithmProfile {
+        AlgorithmProfile {
+            name: name.into(),
+            counts: BTreeMap::new(),
+            duration,
+        }
+    }
+
+    /// The profile's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds `count` executions of `opcode`.
+    pub fn count(mut self, opcode: impl Into<String>, count: u64) -> AlgorithmProfile {
+        *self.counts.entry(opcode.into()).or_insert(0) += count;
+        self
+    }
+
+    /// Total instruction count.
+    pub fn total_instructions(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// EQ 12: `E_T = Σ_i N_i · E_inst,i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingInstructionError`] if the profile uses an opcode
+    /// absent from `table`.
+    pub fn total_energy(
+        &self,
+        table: &InstructionEnergyTable,
+    ) -> Result<Energy, MissingInstructionError> {
+        let mut total = Energy::ZERO;
+        for (opcode, count) in &self.counts {
+            let e = table
+                .get(opcode)
+                .ok_or_else(|| MissingInstructionError(opcode.clone()))?;
+            total += e * *count as f64;
+        }
+        Ok(total)
+    }
+
+    /// "Power is this total energy divided by the time to process the
+    /// algorithm."
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MissingInstructionError`] from [`Self::total_energy`].
+    pub fn average_power(
+        &self,
+        table: &InstructionEnergyTable,
+    ) -> Result<Power, MissingInstructionError> {
+        Ok(self.total_energy(table)? / self.duration)
+    }
+}
+
+/// Synthetic sorting-algorithm profiles reproducing Ong & Yan's
+/// observation of order-of-magnitude spreads.
+pub mod profiles {
+    use super::*;
+
+    /// Instruction profiles for sorting `n` elements on the
+    /// [`InstructionEnergyTable::embedded_core`] ISA, assuming a 25 MHz
+    /// clock and ~1 cycle/instruction.
+    ///
+    /// Counts follow the classic operation-count analyses: bubble sort
+    /// does `n²/2` compare/swap inner steps; quicksort `~1.4·n·log2 n`;
+    /// merge sort `n·log2 n` with heavy load/store traffic; insertion
+    /// sort `n²/4` average.
+    pub fn sorting_profiles(n: u64) -> Vec<AlgorithmProfile> {
+        let nf = n as f64;
+        let log = nf.log2().max(1.0);
+        let clock = 25e6;
+        let mk = |name: &str, loads: f64, stores: f64, cmps: f64, alus: f64, branches: f64| {
+            let instr = loads + stores + cmps + alus + branches;
+            AlgorithmProfile::new(name, Time::new(instr / clock))
+                .count("load", loads as u64)
+                .count("store", stores as u64)
+                .count("cmp", cmps as u64)
+                .count("alu", alus as u64)
+                .count("branch", branches as u64)
+        };
+        let n2 = nf * nf;
+        vec![
+            mk("bubble", n2 / 2.0, n2 / 4.0, n2 / 2.0, n2 / 2.0, n2 / 2.0),
+            mk(
+                "insertion",
+                n2 / 4.0,
+                n2 / 4.0,
+                n2 / 4.0,
+                n2 / 4.0,
+                n2 / 4.0,
+            ),
+            mk(
+                "quick",
+                1.4 * nf * log,
+                0.5 * nf * log,
+                1.4 * nf * log,
+                1.4 * nf * log,
+                1.4 * nf * log,
+            ),
+            mk(
+                "merge",
+                nf * log,
+                nf * log,
+                nf * log,
+                0.5 * nf * log,
+                0.5 * nf * log,
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq11_duty_cycle() {
+        let p = DutyCycleProcessor::new(Power::new(1.0), 0.25).unwrap();
+        assert_eq!(p.average_power(), Power::new(0.25));
+        assert_eq!(p.activity(), 0.25);
+        let on = DutyCycleProcessor::always_on(Power::new(1.0));
+        assert_eq!(on.average_power(), Power::new(1.0));
+    }
+
+    #[test]
+    fn duty_cycle_validates() {
+        assert!(DutyCycleProcessor::new(Power::new(1.0), 1.5).is_none());
+        assert!(DutyCycleProcessor::new(Power::new(1.0), -0.1).is_none());
+        assert!(DutyCycleProcessor::new(Power::new(-1.0), 0.5).is_none());
+    }
+
+    #[test]
+    fn duty_cycle_power_components_reproduce_power() {
+        use crate::template::OperatingPoint;
+        use powerplay_units::{Frequency, Voltage};
+        let p = DutyCycleProcessor::new(Power::new(20e-3), 0.3).unwrap();
+        let op = OperatingPoint::new(Voltage::new(1.0), Frequency::new(1.0));
+        assert!((p.power(op).value() - 6e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq12_sums_instruction_energies() {
+        let table = InstructionEnergyTable::new()
+            .with("alu", Energy::new(1e-9))
+            .with("load", Energy::new(3e-9));
+        let profile = AlgorithmProfile::new("x", Time::new(1e-3))
+            .count("alu", 1000)
+            .count("load", 500);
+        let e = profile.total_energy(&table).unwrap();
+        assert!((e.value() - (1000.0 * 1e-9 + 500.0 * 3e-9)).abs() < 1e-15);
+        let p = profile.average_power(&table).unwrap();
+        assert!((p.value() - e.value() / 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_instruction_is_an_error() {
+        let table = InstructionEnergyTable::new();
+        let profile = AlgorithmProfile::new("x", Time::new(1.0)).count("fsqrt", 1);
+        let err = profile.total_energy(&table).unwrap_err();
+        assert_eq!(err, MissingInstructionError("fsqrt".into()));
+        assert!(err.to_string().contains("fsqrt"));
+    }
+
+    #[test]
+    fn sorting_algorithms_span_orders_of_magnitude() {
+        // Ong & Yan: "orders of magnitude variance in power consumption
+        // for different sorting algorithms" — here in total energy for the
+        // same task.
+        let table = InstructionEnergyTable::embedded_core();
+        let profiles = profiles::sorting_profiles(4096);
+        let energies: Vec<f64> = profiles
+            .iter()
+            .map(|p| p.total_energy(&table).unwrap().value())
+            .collect();
+        let max = energies.iter().cloned().fold(f64::MIN, f64::max);
+        let min = energies.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            max / min > 100.0,
+            "expected >2 orders of magnitude, got {:.1}x",
+            max / min
+        );
+    }
+
+    #[test]
+    fn nlogn_sorts_beat_quadratic_sorts() {
+        let table = InstructionEnergyTable::embedded_core();
+        let profiles = profiles::sorting_profiles(1024);
+        let energy = |name: &str| {
+            profiles
+                .iter()
+                .find(|p| p.name() == name)
+                .unwrap()
+                .total_energy(&table)
+                .unwrap()
+        };
+        assert!(energy("quick") < energy("bubble"));
+        assert!(energy("merge") < energy("insertion"));
+    }
+
+    #[test]
+    fn repeated_counts_accumulate() {
+        let profile = AlgorithmProfile::new("x", Time::new(1.0))
+            .count("alu", 10)
+            .count("alu", 5);
+        assert_eq!(profile.total_instructions(), 15);
+    }
+}

@@ -1,0 +1,297 @@
+//! Supply-voltage and technology scaling.
+//!
+//! "Each model is parameterized … and is scalable with supply voltage and
+//! technology." Power scaling falls out of EQ 1 (the template carries
+//! `V_DD` and `f` symbolically); this module adds the *delay* side —
+//! which bounds how far the supply can drop at a given clock — and
+//! feature-size scaling of capacitance.
+
+use powerplay_units::{Capacitance, Frequency, Time, Voltage};
+
+/// First-order CMOS gate-delay model,
+/// `t_d = k · V_DD / (V_DD − V_T)^α` with the classic long-channel α = 2
+/// (Chandrakasan's low-power design analyses use exactly this form).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayScaling {
+    /// Device threshold voltage.
+    pub vt: Voltage,
+    /// Velocity-saturation exponent (2 for long-channel, →1 when
+    /// saturated).
+    pub alpha: f64,
+    /// Delay calibration constant `k` (seconds·volts^(α−1)).
+    pub k: f64,
+}
+
+impl DelayScaling {
+    /// A 1.2 µm-era process: `V_T = 0.7 V`, long-channel α = 2,
+    /// calibrated to ~20 ns critical path at 3.3 V (50 MHz capable).
+    pub fn cmos_1_2um() -> DelayScaling {
+        DelayScaling {
+            vt: Voltage::new(0.7),
+            alpha: 2.0,
+            k: 20e-9 * (3.3 - 0.7_f64).powi(2) / 3.3,
+        }
+    }
+
+    /// Gate/critical-path delay at a supply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd <= vt` — the circuit does not switch below
+    /// threshold in this first-order model.
+    pub fn delay(&self, vdd: Voltage) -> Time {
+        assert!(
+            vdd > self.vt,
+            "supply {vdd} at or below threshold {vt}",
+            vdd = vdd.value(),
+            vt = self.vt.value()
+        );
+        let v = vdd.value();
+        Time::new(self.k * v / (v - self.vt.value()).powf(self.alpha))
+    }
+
+    /// Maximum operating frequency at a supply (1 / delay).
+    pub fn max_frequency(&self, vdd: Voltage) -> Frequency {
+        self.delay(vdd).frequency()
+    }
+
+    /// The lowest supply that still meets a target frequency, found by
+    /// bisection (the delay model is monotone in `V_DD` above ~2·V_T…
+    /// strictly, above the minimum of the delay curve).
+    ///
+    /// Returns `None` if the target is unreachable even at `vdd_max`.
+    pub fn min_supply_for(&self, target: Frequency, vdd_max: Voltage) -> Option<Voltage> {
+        if self.max_frequency(vdd_max) < target {
+            return None;
+        }
+        let mut lo = self.vt.value() + 1e-6;
+        let mut hi = vdd_max.value();
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if self.max_frequency(Voltage::new(mid)) >= target {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(Voltage::new(hi))
+    }
+}
+
+/// Feature-size scaling of capacitance between technology nodes.
+///
+/// To first order, a block's switched capacitance shrinks linearly with
+/// feature size (gate cap ∝ W·L/t_ox with constant-field scaling of all
+/// three).
+///
+/// ```
+/// use powerplay_models::scaling::scale_capacitance;
+/// use powerplay_units::Capacitance;
+///
+/// // Re-target a 1.2 µm characterization to 0.6 µm.
+/// let scaled = scale_capacitance(Capacitance::new(253e-15), 1.2, 0.6);
+/// assert!((scaled.value() - 126.5e-15).abs() < 1e-18);
+/// ```
+///
+/// # Panics
+///
+/// Panics if either feature size is non-positive.
+pub fn scale_capacitance(
+    cap: Capacitance,
+    from_feature_um: f64,
+    to_feature_um: f64,
+) -> Capacitance {
+    assert!(
+        from_feature_um > 0.0 && to_feature_um > 0.0,
+        "feature sizes must be positive"
+    );
+    cap * (to_feature_um / from_feature_um)
+}
+
+/// The architecture-driven voltage-scaling trade (Chandrakasan's classic
+/// low-power play, the context of the paper's whole program): replicate a
+/// unit N ways, run each at `f/N`, drop the supply to the minimum that
+/// still meets the relaxed timing, and pay a capacitance overhead for the
+/// extra muxing/routing.
+///
+/// Total power at parallelism `n`:
+///
+/// ```text
+/// P(n) = C_op · (1 + o·(n−1)) · V(n)² · f_target
+/// ```
+///
+/// where `V(n)` is the minimum supply at which one unit meets `f/n` and
+/// `o` is the fractional overhead per added way. `P(n)` falls steeply at
+/// first (quadratic supply savings) and eventually rises (overhead and
+/// the `V → V_T` floor) — the curve has an interior optimum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelismTradeoff {
+    /// Process delay curve.
+    pub delay: DelayScaling,
+    /// Effective switched capacitance per operation of one unit.
+    pub cap_per_op: Capacitance,
+    /// Fractional capacitance overhead per added way (muxes, routing).
+    pub overhead_per_way: f64,
+    /// Maximum available supply.
+    pub vdd_max: Voltage,
+}
+
+impl ParallelismTradeoff {
+    /// Minimum supply at which an `n`-way design meets `f_target`
+    /// (each unit runs at `f_target / n`). `None` if even `vdd_max`
+    /// cannot meet the single-unit rate.
+    pub fn supply_for(&self, n: u32, f_target: Frequency) -> Option<Voltage> {
+        assert!(n >= 1, "need at least one unit");
+        let per_unit = Frequency::new(f_target.value() / n as f64);
+        self.delay.min_supply_for(per_unit, self.vdd_max)
+    }
+
+    /// Total power of the `n`-way design at `f_target` throughput.
+    pub fn power_at(&self, n: u32, f_target: Frequency) -> Option<powerplay_units::Power> {
+        let vdd = self.supply_for(n, f_target)?;
+        let cap = self.cap_per_op * (1.0 + self.overhead_per_way * (n as f64 - 1.0));
+        Some(cap * vdd * vdd * f_target)
+    }
+
+    /// The parallelism in `1..=n_max` minimizing power, with its power.
+    /// `None` if no degree meets timing.
+    pub fn optimal(&self, n_max: u32, f_target: Frequency) -> Option<(u32, powerplay_units::Power)> {
+        (1..=n_max)
+            .filter_map(|n| self.power_at(n, f_target).map(|p| (n, p)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite powers"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_increases_as_supply_drops() {
+        let d = DelayScaling::cmos_1_2um();
+        let fast = d.delay(Voltage::new(3.3));
+        let slow = d.delay(Voltage::new(1.5));
+        assert!(slow > fast);
+        // Calibration point: ~20 ns at 3.3 V.
+        assert!((fast.value() - 20e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_frequency_is_reciprocal_delay() {
+        let d = DelayScaling::cmos_1_2um();
+        let vdd = Voltage::new(2.5);
+        let f = d.max_frequency(vdd);
+        assert!((f.value() * d.delay(vdd).value() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn subthreshold_supply_panics() {
+        let d = DelayScaling::cmos_1_2um();
+        let _ = d.delay(Voltage::new(0.5));
+    }
+
+    #[test]
+    fn min_supply_meets_target() {
+        let d = DelayScaling::cmos_1_2um();
+        let target = Frequency::new(10e6);
+        let vmin = d.min_supply_for(target, Voltage::new(5.0)).unwrap();
+        assert!(d.max_frequency(vmin) >= target);
+        // Slightly below vmin the target must fail (tight bound).
+        let below = Voltage::new(vmin.value() - 0.01);
+        assert!(d.max_frequency(below) < target);
+    }
+
+    #[test]
+    fn unreachable_frequency_returns_none() {
+        let d = DelayScaling::cmos_1_2um();
+        assert!(d.min_supply_for(Frequency::new(1e12), Voltage::new(5.0)).is_none());
+    }
+
+    #[test]
+    fn voltage_scaling_energy_savings_quadratic() {
+        // The headline low-power play: run at the minimum supply for the
+        // required rate. The paper's 2 MHz pixel rate needs far less than
+        // 3.3 V, saving (3.3/vmin)^2 in energy.
+        let d = DelayScaling::cmos_1_2um();
+        let vmin = d
+            .min_supply_for(Frequency::new(2e6), Voltage::new(3.3))
+            .unwrap();
+        assert!(vmin.value() < 1.6, "2 MHz should run near 1.5 V, got {vmin}");
+        let energy_ratio = (3.3 / vmin.value()).powi(2);
+        assert!(energy_ratio > 4.0);
+    }
+
+    #[test]
+    fn capacitance_scales_linearly_with_feature() {
+        let base = Capacitance::new(100e-15);
+        assert_eq!(scale_capacitance(base, 1.0, 1.0), base);
+        let half = scale_capacitance(base, 1.2, 0.6);
+        assert!((half.value() - 50e-15).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_feature_size_panics() {
+        let _ = scale_capacitance(Capacitance::new(1e-12), 0.0, 1.0);
+    }
+
+    fn tradeoff() -> ParallelismTradeoff {
+        ParallelismTradeoff {
+            delay: DelayScaling::cmos_1_2um(),
+            cap_per_op: Capacitance::new(20e-12),
+            overhead_per_way: 0.15,
+            vdd_max: Voltage::new(5.0),
+        }
+    }
+
+    #[test]
+    fn parallel_supply_drops_with_degree() {
+        let t = tradeoff();
+        let f = Frequency::new(40e6);
+        let v1 = t.supply_for(1, f).unwrap();
+        let v2 = t.supply_for(2, f).unwrap();
+        let v4 = t.supply_for(4, f).unwrap();
+        assert!(v2 < v1 && v4 < v2, "{v1} {v2} {v4}");
+    }
+
+    #[test]
+    fn parallelism_curve_has_interior_optimum() {
+        // The Chandrakasan curve: falls, bottoms out, rises again.
+        let t = tradeoff();
+        let f = Frequency::new(40e6);
+        let powers: Vec<f64> = (1..=16)
+            .map(|n| t.power_at(n, f).unwrap().value())
+            .collect();
+        let (best_n, best_p) = t.optimal(16, f).unwrap();
+        assert!(best_n > 1, "parallelism must pay at a demanding rate");
+        assert!(best_n < 16, "overhead must eventually dominate");
+        assert!(powers[0] > best_p.value() * 1.5, "n=1 must be clearly worse");
+        assert!(
+            powers[15] > best_p.value(),
+            "n=16 must be past the optimum"
+        );
+    }
+
+    #[test]
+    fn infeasible_rate_yields_none() {
+        let t = tradeoff();
+        // One unit cannot reach 1 GHz in this process even at 5 V...
+        assert!(t.supply_for(1, Frequency::new(1e9)).is_none());
+        // ...but enough parallel units can.
+        assert!(t.supply_for(64, Frequency::new(1e9)).is_some());
+        // optimal() skips infeasible degrees.
+        let (n, _) = t.optimal(64, Frequency::new(1e9)).unwrap();
+        assert!(n > 16);
+    }
+
+    #[test]
+    fn easy_rates_do_not_reward_parallelism() {
+        // At a rate one unit already meets near the V_T floor, extra ways
+        // only add overhead.
+        let t = tradeoff();
+        let f = Frequency::new(100e3);
+        let (best_n, _) = t.optimal(8, f).unwrap();
+        assert_eq!(best_n, 1);
+    }
+}

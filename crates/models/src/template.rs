@@ -1,0 +1,304 @@
+//! The universal model template of paper EQ 1.
+
+use std::fmt;
+
+use powerplay_units::{Capacitance, Current, Energy, Frequency, Power, Voltage};
+
+/// The voltage range a capacitance switches over.
+///
+/// Digital complementary CMOS nodes swing rail-to-rail ([`Swing::FullRail`],
+/// where `V_swing = V_DD`); precharged memory bit-lines and other
+/// reduced-swing circuits switch over a fixed voltage instead
+/// ([`Swing::Partial`], paper EQ 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Swing {
+    /// `V_swing = V_DD`: the dynamic term scales with `V_DD²`.
+    FullRail,
+    /// `V_swing` fixed by circuit design: the term scales with
+    /// `V_swing · V_DD` (linear in the supply).
+    Partial(Voltage),
+}
+
+impl Swing {
+    /// The actual swing at a given supply.
+    pub fn at(self, vdd: Voltage) -> Voltage {
+        match self {
+            Swing::FullRail => vdd,
+            Swing::Partial(v) => v,
+        }
+    }
+}
+
+/// One `C_sw,i · V_swing,i` term of EQ 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchedCap {
+    /// Human-readable origin of the term, e.g. `"bit-lines"`.
+    pub label: String,
+    /// Average capacitance switched per operation (already multiplied by
+    /// its activity factor).
+    pub cap: Capacitance,
+    /// Voltage range the capacitance switches over.
+    pub swing: Swing,
+}
+
+impl SwitchedCap {
+    /// A full-rail term.
+    pub fn full_rail(label: impl Into<String>, cap: Capacitance) -> SwitchedCap {
+        SwitchedCap {
+            label: label.into(),
+            cap,
+            swing: Swing::FullRail,
+        }
+    }
+
+    /// A reduced-swing term (paper EQ 8).
+    pub fn partial(label: impl Into<String>, cap: Capacitance, swing: Voltage) -> SwitchedCap {
+        SwitchedCap {
+            label: label.into(),
+            cap,
+            swing: Swing::Partial(swing),
+        }
+    }
+
+    /// Energy drawn from the supply per operation: `C · V_swing · V_DD`.
+    pub fn energy_per_op(&self, vdd: Voltage) -> Energy {
+        self.cap * self.swing.at(vdd) * vdd
+    }
+}
+
+/// A supply voltage / operating frequency pair.
+///
+/// `freq` is the *access* (operation) rate of the block, not necessarily
+/// the global clock — the paper's read bank runs at `f/16` while the
+/// output register runs at `f`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Supply voltage `V_DD`.
+    pub vdd: Voltage,
+    /// Operation rate `f`.
+    pub freq: Frequency,
+}
+
+impl OperatingPoint {
+    /// Creates an operating point.
+    pub fn new(vdd: Voltage, freq: Frequency) -> OperatingPoint {
+        OperatingPoint { vdd, freq }
+    }
+
+    /// Same supply, different rate.
+    pub fn with_freq(self, freq: Frequency) -> OperatingPoint {
+        OperatingPoint { freq, ..self }
+    }
+
+    /// Same rate, different supply.
+    pub fn with_vdd(self, vdd: Voltage) -> OperatingPoint {
+        OperatingPoint { vdd, ..self }
+    }
+}
+
+/// The full right-hand side of EQ 1 for one block: dynamic switched-
+/// capacitance terms plus a static current.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PowerComponents {
+    /// Dynamic terms, one per modeled capacitance group.
+    pub switched: Vec<SwitchedCap>,
+    /// Static current `I` (leakage, bias), drawn continuously.
+    pub static_current: Current,
+}
+
+impl PowerComponents {
+    /// No dissipation at all.
+    pub fn new() -> PowerComponents {
+        PowerComponents::default()
+    }
+
+    /// Builds components from a single full-rail capacitance — the common
+    /// case for Landman-characterized digital blocks.
+    pub fn from_cap(label: impl Into<String>, cap: Capacitance) -> PowerComponents {
+        PowerComponents {
+            switched: vec![SwitchedCap::full_rail(label, cap)],
+            static_current: Current::ZERO,
+        }
+    }
+
+    /// Builds components from a static current only (analog bias, EQ 13).
+    pub fn from_static(current: Current) -> PowerComponents {
+        PowerComponents {
+            switched: Vec::new(),
+            static_current: current,
+        }
+    }
+
+    /// Adds a dynamic term.
+    pub fn push(&mut self, term: SwitchedCap) {
+        self.switched.push(term);
+    }
+
+    /// Merges another block's components (hierarchical lumping).
+    pub fn merge(&mut self, other: PowerComponents) {
+        self.switched.extend(other.switched);
+        self.static_current += other.static_current;
+    }
+
+    /// Total *effective* full-rail capacitance: partial-swing terms are
+    /// scaled by `V_swing / V_DD` so the result reproduces the same power
+    /// when treated as full-rail at `vdd`.
+    pub fn effective_cap(&self, vdd: Voltage) -> Capacitance {
+        self.switched
+            .iter()
+            .map(|t| t.cap * (t.swing.at(vdd) / vdd))
+            .sum()
+    }
+
+    /// Dynamic energy drawn from the supply per operation:
+    /// `Σ C_i · V_swing,i · V_DD`.
+    pub fn energy_per_op(&self, vdd: Voltage) -> Energy {
+        self.switched.iter().map(|t| t.energy_per_op(vdd)).sum()
+    }
+
+    /// Evaluates EQ 1 at an operating point.
+    pub fn power(&self, op: OperatingPoint) -> Power {
+        self.energy_per_op(op.vdd) * op.freq + op.vdd * self.static_current
+    }
+}
+
+impl fmt::Display for PowerComponents {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} dynamic term(s)", self.switched.len())?;
+        if self.static_current != Current::ZERO {
+            write!(f, " + static {}", self.static_current)?;
+        }
+        Ok(())
+    }
+}
+
+/// A block that can report its EQ 1 components.
+///
+/// Implementors hold their own parameters (bit-widths, word counts, …);
+/// the supply and rate arrive at evaluation time so the spreadsheet can
+/// sweep them without rebuilding models.
+pub trait PowerModel {
+    /// The switched capacitances and static current of this block.
+    fn power_components(&self) -> PowerComponents;
+
+    /// EQ 1 evaluated at `op`.
+    fn power(&self, op: OperatingPoint) -> Power {
+        self.power_components().power(op)
+    }
+
+    /// Dynamic energy per access at supply `vdd`.
+    fn energy_per_access(&self, vdd: Voltage) -> Energy {
+        self.power_components().energy_per_op(vdd)
+    }
+}
+
+impl PowerModel for PowerComponents {
+    fn power_components(&self) -> PowerComponents {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-12 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn full_rail_power_is_cv2f() {
+        let pc = PowerComponents::from_cap("block", Capacitance::new(1e-12));
+        let op = OperatingPoint::new(Voltage::new(2.0), Frequency::new(1e6));
+        assert!(close(pc.power(op).value(), 1e-12 * 2.0 * 2.0 * 1e6));
+    }
+
+    #[test]
+    fn partial_swing_power_is_linear_in_vdd() {
+        // EQ 8: P = α{C_full·VDD² + C_partial·V_swing·VDD}·f
+        let mut pc = PowerComponents::new();
+        pc.push(SwitchedCap::partial(
+            "bit-lines",
+            Capacitance::new(2e-12),
+            Voltage::new(0.5),
+        ));
+        let f = Frequency::new(1e6);
+        let p1 = pc.power(OperatingPoint::new(Voltage::new(1.0), f)).value();
+        let p2 = pc.power(OperatingPoint::new(Voltage::new(2.0), f)).value();
+        assert!(close(p2 / p1, 2.0), "partial swing must scale linearly");
+    }
+
+    #[test]
+    fn static_term_is_iv() {
+        let pc = PowerComponents::from_static(Current::new(3e-3));
+        let op = OperatingPoint::new(Voltage::new(3.0), Frequency::new(1e9));
+        assert!(close(pc.power(op).value(), 9e-3));
+    }
+
+    #[test]
+    fn mixed_terms_sum() {
+        let mut pc = PowerComponents::from_cap("logic", Capacitance::new(1e-12));
+        pc.push(SwitchedCap::partial(
+            "bitline",
+            Capacitance::new(4e-12),
+            Voltage::new(0.3),
+        ));
+        pc.static_current = Current::new(1e-6);
+        let op = OperatingPoint::new(Voltage::new(1.5), Frequency::new(2e6));
+        let expected = 1e-12 * 1.5 * 1.5 * 2e6 + 4e-12 * 0.3 * 1.5 * 2e6 + 1e-6 * 1.5;
+        assert!(close(pc.power(op).value(), expected));
+    }
+
+    #[test]
+    fn effective_cap_reproduces_power() {
+        let mut pc = PowerComponents::from_cap("a", Capacitance::new(1e-12));
+        pc.push(SwitchedCap::partial(
+            "b",
+            Capacitance::new(4e-12),
+            Voltage::new(0.3),
+        ));
+        let vdd = Voltage::new(1.5);
+        let f = Frequency::new(2e6);
+        let via_eff: f64 = pc.effective_cap(vdd).value() * vdd.value() * vdd.value() * f.value();
+        let direct = pc.power(OperatingPoint::new(vdd, f)).value();
+        assert!(close(via_eff, direct));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PowerComponents::from_cap("a", Capacitance::new(1e-12));
+        a.static_current = Current::new(1e-6);
+        let mut b = PowerComponents::from_cap("b", Capacitance::new(2e-12));
+        b.static_current = Current::new(2e-6);
+        a.merge(b);
+        assert_eq!(a.switched.len(), 2);
+        assert_eq!(a.static_current, Current::new(3e-6));
+    }
+
+    #[test]
+    fn energy_per_op_matches_power_over_frequency() {
+        let pc = PowerComponents::from_cap("x", Capacitance::new(5e-13));
+        let vdd = Voltage::new(1.2);
+        let f = Frequency::new(1e7);
+        let e = pc.energy_per_op(vdd);
+        let p = pc.power(OperatingPoint::new(vdd, f));
+        assert!(close((e * f).value(), p.value()));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut pc = PowerComponents::from_cap("x", Capacitance::new(1e-12));
+        pc.static_current = Current::new(1e-3);
+        let text = pc.to_string();
+        assert!(text.contains("1 dynamic term(s)"));
+        assert!(text.contains("static"));
+    }
+
+    #[test]
+    fn operating_point_builders() {
+        let op = OperatingPoint::new(Voltage::new(1.5), Frequency::new(2e6));
+        assert_eq!(op.with_freq(Frequency::new(1e6)).freq, Frequency::new(1e6));
+        assert_eq!(op.with_vdd(Voltage::new(3.0)).vdd, Voltage::new(3.0));
+        assert_eq!(op.with_vdd(Voltage::new(3.0)).freq, op.freq);
+    }
+}

@@ -1,0 +1,123 @@
+//! First-order parameterized timing models.
+//!
+//! Delay per block is affine in a complexity parameter (ripple-carry
+//! delay grows with bit-width; memory access time with address depth) and
+//! scales with supply through [`crate::scaling::DelayScaling`].
+
+use powerplay_units::{Frequency, Time, Voltage};
+
+use crate::scaling::DelayScaling;
+
+/// `t = t₀ + t_unit · complexity`, defined at a reference supply and
+/// rescaled to other supplies by the process delay curve.
+///
+/// ```
+/// use powerplay_models::timing::DelayModel;
+/// use powerplay_models::scaling::DelayScaling;
+/// use powerplay_units::{Time, Voltage};
+///
+/// // A ripple adder: 2 ns fixed + 1 ns/bit at 3.3 V.
+/// let adder = DelayModel::new(
+///     Time::new(2e-9),
+///     Time::new(1e-9),
+///     Voltage::new(3.3),
+///     DelayScaling::cmos_1_2um(),
+/// );
+/// let d16 = adder.delay(16.0, Voltage::new(3.3));
+/// assert!((d16.value() - 18e-9).abs() < 1e-15);
+/// // Dropping the supply slows the same path down.
+/// assert!(adder.delay(16.0, Voltage::new(1.5)) > d16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayModel {
+    fixed: Time,
+    per_unit: Time,
+    reference_vdd: Voltage,
+    scaling: DelayScaling,
+}
+
+impl DelayModel {
+    /// Creates a delay model characterized at `reference_vdd`.
+    pub fn new(
+        fixed: Time,
+        per_unit: Time,
+        reference_vdd: Voltage,
+        scaling: DelayScaling,
+    ) -> DelayModel {
+        DelayModel {
+            fixed,
+            per_unit,
+            reference_vdd,
+            scaling,
+        }
+    }
+
+    /// Path delay at a complexity and supply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is at or below the process threshold voltage.
+    pub fn delay(&self, complexity: f64, vdd: Voltage) -> Time {
+        let at_ref = self.fixed + self.per_unit * complexity;
+        let scale = self.scaling.delay(vdd) / self.scaling.delay(self.reference_vdd);
+        at_ref * scale
+    }
+
+    /// Maximum clock rate for this path at a supply.
+    pub fn max_frequency(&self, complexity: f64, vdd: Voltage) -> Frequency {
+        self.delay(complexity, vdd).frequency()
+    }
+
+    /// Whether the path meets a clock target at a supply.
+    pub fn meets(&self, complexity: f64, vdd: Voltage, clock: Frequency) -> bool {
+        self.delay(complexity, vdd) <= clock.period()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adder() -> DelayModel {
+        DelayModel::new(
+            Time::new(2e-9),
+            Time::new(1e-9),
+            Voltage::new(3.3),
+            DelayScaling::cmos_1_2um(),
+        )
+    }
+
+    #[test]
+    fn affine_in_complexity() {
+        let m = adder();
+        let d8 = m.delay(8.0, Voltage::new(3.3));
+        let d16 = m.delay(16.0, Voltage::new(3.3));
+        assert!((d8.value() - 10e-9).abs() < 1e-15);
+        assert!((d16.value() - 18e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reference_voltage_is_identity_scale() {
+        let m = adder();
+        let d = m.delay(4.0, Voltage::new(3.3));
+        assert!((d.value() - 6e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lower_supply_is_slower() {
+        let m = adder();
+        assert!(m.delay(16.0, Voltage::new(1.5)) > m.delay(16.0, Voltage::new(3.3)));
+        assert!(m.max_frequency(16.0, Voltage::new(1.5)) < m.max_frequency(16.0, Voltage::new(3.3)));
+    }
+
+    #[test]
+    fn meets_clock_check() {
+        let m = adder();
+        // 18 ns at 3.3 V meets 50 MHz (20 ns period)...
+        assert!(m.meets(16.0, Voltage::new(3.3), Frequency::new(50e6)));
+        // ...but not 100 MHz.
+        assert!(!m.meets(16.0, Voltage::new(3.3), Frequency::new(100e6)));
+        // And the paper's 2 MHz pixel rate is easy even at 1.5 V.
+        assert!(m.meets(16.0, Voltage::new(1.5), Frequency::new(2e6)));
+    }
+}

@@ -1,0 +1,135 @@
+//! Cross-model property tests: monotonicity and scaling invariants that
+//! must hold for every model class in the paper.
+
+use proptest::prelude::*;
+use powerplay_models::controller::{RandomLogicController, RomController};
+use powerplay_models::converter::DcDcConverter;
+use powerplay_models::landman::Multiplier;
+use powerplay_models::memory::{extract_two_point, Sram};
+use powerplay_models::scaling::DelayScaling;
+use powerplay_models::template::{OperatingPoint, PowerModel};
+use powerplay_units::{Energy, Frequency, Power, Voltage};
+
+proptest! {
+    /// Dynamic power is monotone non-decreasing in VDD, f, and size for
+    /// every digital model.
+    #[test]
+    fn multiplier_power_monotone(
+        bw in 2u32..64,
+        vdd in 1.0f64..5.0,
+        f in 1e4f64..1e8,
+    ) {
+        let small = Multiplier::uncorrelated(bw, bw);
+        let big = Multiplier::uncorrelated(bw + 1, bw);
+        let op = OperatingPoint::new(Voltage::new(vdd), Frequency::new(f));
+        prop_assert!(big.power(op) >= small.power(op));
+        let op_hi_v = op.with_vdd(Voltage::new(vdd * 1.1));
+        prop_assert!(small.power(op_hi_v) >= small.power(op));
+        let op_hi_f = op.with_freq(Frequency::new(f * 2.0));
+        prop_assert!(small.power(op_hi_f) >= small.power(op));
+    }
+
+    /// Full-rail power scales exactly quadratically with the supply.
+    #[test]
+    fn full_rail_quadratic_in_vdd(
+        words in 16u32..4096,
+        bits in 1u32..64,
+        vdd in 0.8f64..4.0,
+    ) {
+        let m = Sram::ucb_style(words, bits);
+        let f = Frequency::new(1e6);
+        let p1 = m.power(OperatingPoint::new(Voltage::new(vdd), f)).value();
+        let p2 = m.power(OperatingPoint::new(Voltage::new(2.0 * vdd), f)).value();
+        prop_assert!(((p2 / p1) - 4.0).abs() < 1e-9);
+    }
+
+    /// Reduced-swing memories scale sub-quadratically but at least
+    /// linearly in VDD.
+    #[test]
+    fn reduced_swing_between_linear_and_quadratic(
+        words in 64u32..4096,
+        bits in 4u32..32,
+        swing in 0.1f64..0.6,
+    ) {
+        let m = Sram::ucb_style(words, bits).with_reduced_swing(Voltage::new(swing));
+        let f = Frequency::new(1e6);
+        let p1 = m.power(OperatingPoint::new(Voltage::new(1.0), f)).value();
+        let p2 = m.power(OperatingPoint::new(Voltage::new(2.0), f)).value();
+        let ratio = p2 / p1;
+        prop_assert!((2.0 - 1e-9..=4.0 + 1e-9).contains(&ratio), "ratio {ratio}");
+    }
+
+    /// Two-point swing extraction is exact for any synthetic memory.
+    #[test]
+    fn extraction_roundtrip(
+        c_full in 1e-12f64..1e-9,
+        q_p in 0f64..1e-10,
+        v1 in 0.9f64..2.0,
+        dv in 0.5f64..2.0,
+    ) {
+        let v2 = v1 + dv;
+        let e = |v: f64| Energy::new(c_full * v * v + q_p * v);
+        let ex = extract_two_point(Voltage::new(v1), e(v1), Voltage::new(v2), e(v2));
+        prop_assert!((ex.c_full.value() - c_full).abs() < 1e-6 * c_full);
+        prop_assert!((ex.q_partial.value() - q_p).abs() < 1e-6 * q_p.max(1e-15));
+    }
+
+    /// EQ 18/19 bookkeeping: input power always equals load + dissipation,
+    /// and dissipation is non-negative.
+    #[test]
+    fn converter_energy_conservation(eta in 0.01f64..1.0, load in 0f64..100.0) {
+        let conv = DcDcConverter::new(eta).unwrap();
+        let load = Power::new(load);
+        let p_in = conv.input_power(load);
+        let p_diss = conv.dissipation(load);
+        prop_assert!(p_diss.value() >= 0.0);
+        prop_assert!(((load + p_diss).value() - p_in.value()).abs() <= 1e-9 * p_in.value().max(1e-12));
+    }
+
+    /// Controller models grow with every complexity parameter.
+    #[test]
+    fn controllers_monotone_in_complexity(
+        ni in 2u32..16,
+        no in 2u32..32,
+        nm in 2u32..128,
+    ) {
+        let base = RandomLogicController::ucb_style(ni, no, nm).switched_cap();
+        prop_assert!(RandomLogicController::ucb_style(ni + 1, no, nm).switched_cap() >= base);
+        prop_assert!(RandomLogicController::ucb_style(ni, no + 1, nm).switched_cap() >= base);
+        prop_assert!(RandomLogicController::ucb_style(ni, no, nm + 1).switched_cap() >= base);
+
+        let rom = RomController::ucb_style(ni, no).switched_cap();
+        prop_assert!(RomController::ucb_style(ni + 1, no).switched_cap() > rom);
+        prop_assert!(RomController::ucb_style(ni, no + 1).switched_cap() > rom);
+    }
+
+    /// Delay scaling is strictly decreasing in VDD above threshold, so
+    /// min_supply_for is well-defined and tight.
+    #[test]
+    fn delay_monotone_and_min_supply_tight(target_mhz in 0.1f64..20.0) {
+        let d = DelayScaling::cmos_1_2um();
+        let target = Frequency::new(target_mhz * 1e6);
+        if let Some(vmin) = d.min_supply_for(target, Voltage::new(5.0)) {
+            prop_assert!(d.max_frequency(vmin) >= target);
+            let below = Voltage::new((vmin.value() - 0.02).max(0.71));
+            if below < vmin {
+                prop_assert!(d.max_frequency(below) < target);
+            }
+        }
+    }
+
+    /// Energy per access is frequency-independent (energy and power views
+    /// of the template agree).
+    #[test]
+    fn energy_frequency_factorization(
+        words in 16u32..2048,
+        bits in 1u32..32,
+        vdd in 0.8f64..3.5,
+        f in 1e3f64..1e8,
+    ) {
+        let m = Sram::ucb_style(words, bits);
+        let e = m.energy_per_access(Voltage::new(vdd));
+        let p = m.power(OperatingPoint::new(Voltage::new(vdd), Frequency::new(f)));
+        prop_assert!(((e * Frequency::new(f)).value() - p.value()).abs() <= 1e-9 * p.value());
+    }
+}

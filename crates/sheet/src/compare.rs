@@ -1,0 +1,221 @@
+//! Side-by-side comparison of two evaluated designs.
+//!
+//! "This estimation strategy enables a quick comparison of alternative
+//! design choices" — the paper's Figure 1 vs Figure 3 study. This module
+//! renders that comparison: rows matched by name, per-row and total
+//! deltas, and the headline improvement factor.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use powerplay_units::Power;
+
+use crate::report::SheetReport;
+
+/// One matched line of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareRow {
+    /// Row name (union of both designs' rows).
+    pub name: String,
+    /// Power in the baseline design, if the row exists there.
+    pub baseline: Option<Power>,
+    /// Power in the alternative design, if the row exists there.
+    pub alternative: Option<Power>,
+}
+
+impl CompareRow {
+    /// `alternative / baseline` where both sides exist and baseline is
+    /// nonzero.
+    pub fn ratio(&self) -> Option<f64> {
+        match (self.baseline, self.alternative) {
+            (Some(b), Some(a)) if b.value() != 0.0 => Some(a / b),
+            _ => None,
+        }
+    }
+}
+
+/// A full design-vs-design comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    baseline_name: String,
+    alternative_name: String,
+    rows: Vec<CompareRow>,
+    baseline_total: Power,
+    alternative_total: Power,
+}
+
+impl Comparison {
+    /// Builds the comparison of `alternative` against `baseline`.
+    pub fn new(baseline: &SheetReport, alternative: &SheetReport) -> Comparison {
+        let names: Vec<String> = {
+            let mut seen = BTreeSet::new();
+            let mut ordered = Vec::new();
+            for report in [baseline, alternative] {
+                for row in report.rows() {
+                    if seen.insert(row.name().to_owned()) {
+                        ordered.push(row.name().to_owned());
+                    }
+                }
+            }
+            ordered
+        };
+        let rows = names
+            .into_iter()
+            .map(|name| CompareRow {
+                baseline: baseline.row(&name).map(|r| r.power()),
+                alternative: alternative.row(&name).map(|r| r.power()),
+                name,
+            })
+            .collect();
+        Comparison {
+            baseline_name: baseline.name().to_owned(),
+            alternative_name: alternative.name().to_owned(),
+            rows,
+            baseline_total: baseline.total_power(),
+            alternative_total: alternative.total_power(),
+        }
+    }
+
+    /// Matched rows, in baseline-then-alternative order.
+    pub fn rows(&self) -> &[CompareRow] {
+        &self.rows
+    }
+
+    /// Total power of the baseline.
+    pub fn baseline_total(&self) -> Power {
+        self.baseline_total
+    }
+
+    /// Total power of the alternative.
+    pub fn alternative_total(&self) -> Power {
+        self.alternative_total
+    }
+
+    /// The headline factor: `baseline / alternative` (>1 means the
+    /// alternative wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alternative's total is zero.
+    pub fn improvement(&self) -> f64 {
+        assert!(
+            self.alternative_total.value() != 0.0,
+            "alternative design has zero power"
+        );
+        self.baseline_total / self.alternative_total
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} vs {}",
+            self.baseline_name, self.alternative_name
+        )?;
+        writeln!(
+            f,
+            "{:<22} {:>12} {:>12} {:>8}",
+            "Row", "baseline", "alternative", "ratio"
+        )?;
+        for row in &self.rows {
+            let fmt_power =
+                |p: Option<Power>| p.map(|p| p.to_string()).unwrap_or_else(|| "-".into());
+            let ratio = row
+                .ratio()
+                .map(|r| format!("{r:.2}x"))
+                .unwrap_or_else(|| "-".into());
+            writeln!(
+                f,
+                "{:<22} {:>12} {:>12} {:>8}",
+                row.name,
+                fmt_power(row.baseline),
+                fmt_power(row.alternative),
+                ratio,
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<22} {:>12} {:>12} {:>7.2}x",
+            "TOTAL",
+            self.baseline_total.to_string(),
+            self.alternative_total.to_string(),
+            self.alternative_total / self.baseline_total,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sheet;
+    use powerplay_library::builtin::ucb_library;
+
+    fn reports() -> (SheetReport, SheetReport) {
+        let lib = ucb_library();
+        let mut a = Sheet::new("A");
+        a.set_global("vdd", "1.5").unwrap();
+        a.set_global("f", "2MHz").unwrap();
+        a.add_element_row("Mem", "ucb/sram", [("words", "4096"), ("bits", "6")])
+            .unwrap();
+        a.add_element_row("Reg", "ucb/register", []).unwrap();
+
+        let mut b = Sheet::new("B");
+        b.set_global("vdd", "1.5").unwrap();
+        b.set_global("f", "2MHz").unwrap();
+        b.add_element_row(
+            "Mem",
+            "ucb/sram",
+            [("words", "1024"), ("bits", "24"), ("f", "f / 4")],
+        )
+        .unwrap();
+        b.add_element_row("Reg", "ucb/register", []).unwrap();
+        b.add_element_row("Mux", "ucb/mux", [("inputs", "4")]).unwrap();
+
+        (a.play(&lib).unwrap(), b.play(&lib).unwrap())
+    }
+
+    #[test]
+    fn rows_are_matched_by_name() {
+        let (a, b) = reports();
+        let cmp = Comparison::new(&a, &b);
+        assert_eq!(cmp.rows().len(), 3); // Mem, Reg, Mux (union)
+        let mem = &cmp.rows()[0];
+        assert_eq!(mem.name, "Mem");
+        assert!(mem.ratio().unwrap() < 0.5, "grouped memory wins");
+        let mux = cmp.rows().iter().find(|r| r.name == "Mux").unwrap();
+        assert!(mux.baseline.is_none());
+        assert!(mux.alternative.is_some());
+        assert!(mux.ratio().is_none());
+    }
+
+    #[test]
+    fn improvement_factor() {
+        let (a, b) = reports();
+        let cmp = Comparison::new(&a, &b);
+        assert!(cmp.improvement() > 2.0);
+        assert_eq!(cmp.baseline_total(), a.total_power());
+        assert_eq!(cmp.alternative_total(), b.total_power());
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let (a, b) = reports();
+        let text = Comparison::new(&a, &b).to_string();
+        assert!(text.contains("A vs B"));
+        assert!(text.contains("Mem"));
+        assert!(text.contains("Mux"));
+        assert!(text.contains("TOTAL"));
+        assert!(text.contains('-'), "missing rows print as dashes");
+    }
+
+    #[test]
+    fn identical_reports_have_unit_ratio() {
+        let (a, _) = reports();
+        let cmp = Comparison::new(&a, &a);
+        assert!((cmp.improvement() - 1.0).abs() < 1e-12);
+        for row in cmp.rows() {
+            assert!((row.ratio().unwrap() - 1.0).abs() < 1e-12);
+        }
+    }
+}

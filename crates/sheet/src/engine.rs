@@ -1,0 +1,713 @@
+//! Sheet evaluation: dependency ordering, scope wiring, and the *Play*
+//! button.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+
+use powerplay_expr::{EvalError, Scope};
+use powerplay_library::{EvaluateElementError, Registry};
+
+use crate::report::{RowReport, SheetReport};
+use crate::row::{Row, RowModel};
+use crate::sheet::Sheet;
+
+/// Error produced by [`Sheet::play`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvaluateSheetError {
+    /// A row references an element path missing from the registry.
+    UnknownElement {
+        /// The offending row.
+        row: String,
+        /// The unresolved path.
+        element: String,
+    },
+    /// Global parameter definitions form a cycle.
+    CircularGlobals(Vec<String>),
+    /// Rows reference each other's power (`P_<row>`) cyclically.
+    CircularRows(Vec<String>),
+    /// Two rows fold to the same `P_<ident>` reference name.
+    DuplicateRowIdent(String),
+    /// A global's formula failed to evaluate.
+    Global {
+        /// The global's name.
+        name: String,
+        /// The underlying error.
+        source: EvalError,
+    },
+    /// A row binding's formula failed to evaluate.
+    Binding {
+        /// The row holding the binding.
+        row: String,
+        /// The bound parameter.
+        param: String,
+        /// The underlying error.
+        source: EvalError,
+    },
+    /// The row's element failed to evaluate.
+    Element {
+        /// The offending row.
+        row: String,
+        /// The underlying error.
+        source: EvaluateElementError,
+    },
+    /// A nested sub-sheet failed.
+    Nested {
+        /// The row holding the sub-sheet.
+        row: String,
+        /// The sub-sheet's error.
+        source: Box<EvaluateSheetError>,
+    },
+}
+
+impl fmt::Display for EvaluateSheetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvaluateSheetError::UnknownElement { row, element } => {
+                write!(f, "row `{row}`: element `{element}` not in library")
+            }
+            EvaluateSheetError::CircularGlobals(names) => {
+                write!(f, "circular global definitions: {}", names.join(" -> "))
+            }
+            EvaluateSheetError::CircularRows(names) => {
+                write!(f, "circular row power references: {}", names.join(" -> "))
+            }
+            EvaluateSheetError::DuplicateRowIdent(ident) => {
+                write!(f, "two rows share the identifier `{ident}`")
+            }
+            EvaluateSheetError::Global { name, source } => {
+                write!(f, "global `{name}`: {source}")
+            }
+            EvaluateSheetError::Binding { row, param, source } => {
+                write!(f, "row `{row}`, binding `{param}`: {source}")
+            }
+            EvaluateSheetError::Element { row, source } => {
+                write!(f, "row `{row}`: {source}")
+            }
+            EvaluateSheetError::Nested { row, source } => {
+                write!(f, "in sub-sheet `{row}`: {source}")
+            }
+        }
+    }
+}
+
+impl Error for EvaluateSheetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EvaluateSheetError::Global { source, .. }
+            | EvaluateSheetError::Binding { source, .. } => Some(source),
+            EvaluateSheetError::Element { source, .. } => Some(source),
+            EvaluateSheetError::Nested { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl Sheet {
+    /// Evaluates the whole design against `registry` — the paper's *Play*
+    /// button.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvaluateSheetError`] for unknown elements, circular
+    /// definitions, or formula failures anywhere in the hierarchy.
+    pub fn play(&self, registry: &Registry) -> Result<SheetReport, EvaluateSheetError> {
+        self.play_in(registry, &Scope::new())
+    }
+
+    /// Like [`Sheet::play`] but with externally supplied bindings (used
+    /// when this sheet is nested inside another design).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Sheet::play`].
+    pub fn play_in(
+        &self,
+        registry: &Registry,
+        parent: &Scope<'_>,
+    ) -> Result<SheetReport, EvaluateSheetError> {
+        evaluate_sheet(self, registry, parent)
+    }
+}
+
+fn evaluate_sheet(
+    sheet: &Sheet,
+    registry: &Registry,
+    parent: &Scope<'_>,
+) -> Result<SheetReport, EvaluateSheetError> {
+    // --- Globals, in dependency order ----------------------------------
+    let global_names: Vec<String> = sheet.globals().iter().map(|(n, _)| n.clone()).collect();
+    let global_set: BTreeSet<&str> = global_names.iter().map(String::as_str).collect();
+    let mut deps: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    for (i, (_, expr)) in sheet.globals().iter().enumerate() {
+        let wanted = expr.free_variables();
+        let entry = deps.entry(i).or_default();
+        for (j, name) in global_names.iter().enumerate() {
+            if j != i && wanted.contains(name) && global_set.contains(name.as_str()) {
+                entry.insert(j);
+            }
+            // Self-reference is a cycle.
+            if j == i && wanted.contains(name) {
+                return Err(EvaluateSheetError::CircularGlobals(vec![name.clone()]));
+            }
+        }
+    }
+    let order = toposort(sheet.globals().len(), &deps)
+        .map_err(|cycle| EvaluateSheetError::CircularGlobals(
+            cycle.into_iter().map(|i| global_names[i].clone()).collect(),
+        ))?;
+
+    let mut globals_scope = parent.child();
+    let mut resolved_globals = Vec::with_capacity(order.len());
+    for i in order {
+        let (name, expr) = &sheet.globals()[i];
+        let value = expr
+            .eval(&globals_scope)
+            .map_err(|source| EvaluateSheetError::Global {
+                name: name.clone(),
+                source,
+            })?;
+        globals_scope.set(name.clone(), value);
+        resolved_globals.push((name.clone(), value));
+    }
+    // Keep declaration order in the report.
+    resolved_globals.sort_by_key(|(name, _)| {
+        global_names.iter().position(|n| n == name).unwrap_or(usize::MAX)
+    });
+
+    // --- Row dependency graph over P_<ident> references ------------------
+    let idents: Vec<String> = sheet.rows().iter().map(Row::ident).collect();
+    {
+        let mut seen = BTreeSet::new();
+        for ident in &idents {
+            if !ident.is_empty() && !seen.insert(ident.clone()) {
+                return Err(EvaluateSheetError::DuplicateRowIdent(ident.clone()));
+            }
+        }
+    }
+    let mut row_deps: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    for (i, row) in sheet.rows().iter().enumerate() {
+        let mut wanted = BTreeSet::new();
+        for (_, expr) in row.bindings() {
+            wanted.extend(expr.free_variables());
+        }
+        let entry = row_deps.entry(i).or_default();
+        for (j, ident) in idents.iter().enumerate() {
+            // Rows may reference other rows' power (`P_x`, the converter
+            // load of EQ 19) and area (`A_x`, the paper's "dissipation of
+            // interconnect is a function of the active area of the design
+            // (and thus of its composing modules)").
+            let referenced = !ident.is_empty()
+                && (wanted.contains(&format!("P_{ident}"))
+                    || wanted.contains(&format!("A_{ident}")));
+            if referenced {
+                if i == j {
+                    return Err(EvaluateSheetError::CircularRows(vec![row.name().to_owned()]));
+                }
+                entry.insert(j);
+            }
+        }
+    }
+    let row_order = toposort(sheet.rows().len(), &row_deps).map_err(|cycle| {
+        EvaluateSheetError::CircularRows(
+            cycle
+                .into_iter()
+                .map(|i| sheet.rows()[i].name().to_owned())
+                .collect(),
+        )
+    })?;
+
+    // --- Evaluate rows -----------------------------------------------------
+    let mut power_layer = globals_scope.child();
+    let mut reports: Vec<Option<RowReport>> = vec![None; sheet.rows().len()];
+    for i in row_order {
+        let row = &sheet.rows()[i];
+        let report = evaluate_row(row, registry, &power_layer)?;
+        let ident = &idents[i];
+        if !ident.is_empty() {
+            power_layer.set(format!("P_{ident}"), report.power().value());
+            if let Some(area) = report.area() {
+                power_layer.set(format!("A_{ident}"), area.value());
+            }
+        }
+        reports[i] = Some(report);
+    }
+    let rows: Vec<RowReport> = reports
+        .into_iter()
+        .map(|r| r.expect("every row evaluated"))
+        .collect();
+
+    Ok(SheetReport::new(
+        sheet.name().to_owned(),
+        resolved_globals,
+        rows,
+    ))
+}
+
+fn evaluate_row(
+    row: &Row,
+    registry: &Registry,
+    outer: &Scope<'_>,
+) -> Result<RowReport, EvaluateSheetError> {
+    let mut param_scope = outer.child();
+
+    // Element parameter defaults first, so bindings can shadow them and
+    // reference them (e.g. `bits = words / 4`).
+    let element = match row.model() {
+        RowModel::Element(path) => {
+            let element =
+                registry
+                    .get(path)
+                    .ok_or_else(|| EvaluateSheetError::UnknownElement {
+                        row: row.name().to_owned(),
+                        element: path.clone(),
+                    })?;
+            Some(element.clone())
+        }
+        RowModel::Inline(element) => Some(element.clone()),
+        RowModel::SubSheet(_) => None,
+    };
+    if let Some(element) = &element {
+        for p in element.params() {
+            param_scope.set(p.name.clone(), p.default);
+        }
+    }
+    for (param, expr) in row.bindings() {
+        let value = expr
+            .eval(&param_scope)
+            .map_err(|source| EvaluateSheetError::Binding {
+                row: row.name().to_owned(),
+                param: param.clone(),
+                source,
+            })?;
+        param_scope.set(param.clone(), value);
+    }
+
+    match row.model() {
+        RowModel::SubSheet(sub) => {
+            let sub_report = evaluate_sheet(sub, registry, &param_scope)
+                .map_err(|source| EvaluateSheetError::Nested {
+                    row: row.name().to_owned(),
+                    source: Box::new(source),
+                })?;
+            let params: Vec<(String, f64)> = row
+                .bindings()
+                .iter()
+                .filter_map(|(name, _)| param_scope.get(name).map(|v| (name.clone(), v)))
+                .collect();
+            Ok(RowReport::for_subsheet(
+                row.name().to_owned(),
+                row.ident(),
+                params,
+                row.doc_link().map(str::to_owned),
+                sub_report,
+            ))
+        }
+        _ => {
+            let element = element.expect("element rows resolved above");
+            let eval = element
+                .evaluate(&param_scope)
+                .map_err(|source| EvaluateSheetError::Element {
+                    row: row.name().to_owned(),
+                    source,
+                })?;
+            let params: Vec<(String, f64)> = element
+                .params()
+                .iter()
+                .filter_map(|p| param_scope.get(&p.name).map(|v| (p.name.clone(), v)))
+                .collect();
+            Ok(RowReport::for_element(
+                row.name().to_owned(),
+                row.ident(),
+                element.name().to_owned(),
+                params,
+                param_scope.get("f"),
+                row.doc_link().map(str::to_owned),
+                eval,
+            ))
+        }
+    }
+}
+
+/// Topological sort of `0..n` given `deps[i] = set of nodes that must
+/// come before i`. Returns the evaluation order, or the members of a
+/// cycle.
+fn toposort(n: usize, deps: &BTreeMap<usize, BTreeSet<usize>>) -> Result<Vec<usize>, Vec<usize>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Unvisited,
+        InProgress,
+        Done,
+    }
+    let mut state = vec![State::Unvisited; n];
+    let mut order = Vec::with_capacity(n);
+
+    fn visit(
+        node: usize,
+        deps: &BTreeMap<usize, BTreeSet<usize>>,
+        state: &mut [State],
+        order: &mut Vec<usize>,
+        stack: &mut Vec<usize>,
+    ) -> Result<(), Vec<usize>> {
+        match state[node] {
+            State::Done => return Ok(()),
+            State::InProgress => {
+                // Found a cycle: report the stack suffix from the repeat.
+                let start = stack.iter().position(|&s| s == node).unwrap_or(0);
+                return Err(stack[start..].to_vec());
+            }
+            State::Unvisited => {}
+        }
+        state[node] = State::InProgress;
+        stack.push(node);
+        if let Some(preds) = deps.get(&node) {
+            for &p in preds {
+                visit(p, deps, state, order, stack)?;
+            }
+        }
+        stack.pop();
+        state[node] = State::Done;
+        order.push(node);
+        Ok(())
+    }
+
+    let mut stack = Vec::new();
+    for node in 0..n {
+        visit(node, deps, &mut state, &mut order, &mut stack)?;
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerplay_library::builtin::ucb_library;
+    use powerplay_units::Power;
+
+    fn lib() -> Registry {
+        ucb_library()
+    }
+
+    fn luminance_like() -> Sheet {
+        let mut sheet = Sheet::new("Luminance");
+        sheet.set_global("vdd", "1.5").unwrap();
+        sheet.set_global("f", "2MHz").unwrap();
+        sheet
+            .add_element_row(
+                "Read Bank",
+                "ucb/sram",
+                [("words", "2048"), ("bits", "8"), ("f", "f / 16")],
+            )
+            .unwrap();
+        sheet
+            .add_element_row(
+                "Write Bank",
+                "ucb/sram",
+                [("words", "2048"), ("bits", "8"), ("f", "f / 32")],
+            )
+            .unwrap();
+        sheet
+            .add_element_row(
+                "Look Up Table",
+                "ucb/sram",
+                [("words", "4096"), ("bits", "6")],
+            )
+            .unwrap();
+        sheet
+            .add_element_row("Output Register", "ucb/register", [("bits", "6")])
+            .unwrap();
+        sheet
+    }
+
+    #[test]
+    fn play_produces_per_row_powers() {
+        let report = luminance_like().play(&lib()).unwrap();
+        assert_eq!(report.rows().len(), 4);
+        // The LUT runs at full pixel rate and dominates.
+        let lut = report.row("Look Up Table").unwrap();
+        for row in report.rows() {
+            assert!(row.power().value() > 0.0, "{} has no power", row.name());
+        }
+        assert!(lut.power() > report.row("Read Bank").unwrap().power());
+        let sum: Power = report.rows().iter().map(RowReport::power).sum();
+        assert!((sum.value() - report.total_power().value()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn row_rate_binding_divides_global() {
+        let report = luminance_like().play(&lib()).unwrap();
+        let read = report.row("Read Bank").unwrap();
+        assert_eq!(read.rate(), Some(125e3));
+        let lut = report.row("Look Up Table").unwrap();
+        assert_eq!(lut.rate(), Some(2e6)); // inherits the global
+    }
+
+    #[test]
+    fn changing_a_global_changes_everything() {
+        let mut sheet = luminance_like();
+        let p_15 = sheet.play(&lib()).unwrap().total_power();
+        sheet.set_global("vdd", "3.0").unwrap();
+        let p_30 = sheet.play(&lib()).unwrap().total_power();
+        // Full-rail design: quadrupled power at doubled supply.
+        assert!((p_30 / p_15 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn globals_may_reference_each_other() {
+        let mut sheet = Sheet::new("s");
+        sheet.set_global("pixels", "256 * 128").unwrap();
+        sheet.set_global("refresh", "60").unwrap();
+        // f defined in terms of later-declared globals: order-independent.
+        sheet.set_global("f", "pixels * refresh / 983.04").unwrap();
+        sheet.set_global("vdd", "1.5").unwrap();
+        sheet.add_element_row("R", "ucb/register", []).unwrap();
+        let report = sheet.play(&lib()).unwrap();
+        let f = report.global("f").unwrap();
+        assert!((f - 2000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn circular_globals_detected() {
+        let mut sheet = Sheet::new("s");
+        sheet.set_global("a", "b + 1").unwrap();
+        sheet.set_global("b", "a + 1").unwrap();
+        let err = sheet.play(&lib()).unwrap_err();
+        assert!(matches!(err, EvaluateSheetError::CircularGlobals(_)));
+        assert!(err.to_string().contains("circular"));
+    }
+
+    #[test]
+    fn self_referential_global_detected() {
+        let mut sheet = Sheet::new("s");
+        sheet.set_global("a", "a * 2").unwrap();
+        assert!(matches!(
+            sheet.play(&lib()).unwrap_err(),
+            EvaluateSheetError::CircularGlobals(_)
+        ));
+    }
+
+    #[test]
+    fn converter_row_references_other_rows_power() {
+        let mut sheet = Sheet::new("s");
+        sheet.set_global("vdd", "1.5").unwrap();
+        sheet.set_global("f", "2MHz").unwrap();
+        sheet
+            .add_element_row("Core", "ucb/multiplier", [("bw_a", "16"), ("bw_b", "16")])
+            .unwrap();
+        // EQ 19 intermodel interaction: the converter feeds the core.
+        sheet
+            .add_element_row("Converter", "ucb/dcdc", [("p_load", "P_core"), ("eta", "0.8")])
+            .unwrap();
+        let report = sheet.play(&lib()).unwrap();
+        let core = report.row("Core").unwrap().power();
+        let conv = report.row("Converter").unwrap().power();
+        assert!((conv.value() - core.value() * 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn converter_dependency_order_is_independent_of_row_order() {
+        // Converter listed FIRST still sees the core's power.
+        let mut sheet = Sheet::new("s");
+        sheet.set_global("vdd", "1.5").unwrap();
+        sheet.set_global("f", "2MHz").unwrap();
+        sheet
+            .add_element_row("Converter", "ucb/dcdc", [("p_load", "P_core"), ("eta", "0.8")])
+            .unwrap();
+        sheet
+            .add_element_row("Core", "ucb/multiplier", [("bw_a", "16"), ("bw_b", "16")])
+            .unwrap();
+        let report = sheet.play(&lib()).unwrap();
+        let core = report.row("Core").unwrap().power();
+        let conv = report.row("Converter").unwrap().power();
+        assert!((conv.value() - core.value() * 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn circular_row_powers_detected() {
+        let mut sheet = Sheet::new("s");
+        sheet.set_global("vdd", "1.5").unwrap();
+        sheet
+            .add_element_row("A", "ucb/dcdc", [("p_load", "P_b")])
+            .unwrap();
+        sheet
+            .add_element_row("B", "ucb/dcdc", [("p_load", "P_a")])
+            .unwrap();
+        assert!(matches!(
+            sheet.play(&lib()).unwrap_err(),
+            EvaluateSheetError::CircularRows(_)
+        ));
+    }
+
+    #[test]
+    fn self_power_reference_detected() {
+        let mut sheet = Sheet::new("s");
+        sheet
+            .add_element_row("A", "ucb/dcdc", [("p_load", "P_a")])
+            .unwrap();
+        assert!(matches!(
+            sheet.play(&lib()).unwrap_err(),
+            EvaluateSheetError::CircularRows(_)
+        ));
+    }
+
+    #[test]
+    fn duplicate_row_idents_rejected() {
+        let mut sheet = Sheet::new("s");
+        sheet.set_global("vdd", "1.5").unwrap();
+        sheet.set_global("f", "1MHz").unwrap();
+        sheet.add_element_row("Read Bank", "ucb/register", []).unwrap();
+        sheet.add_element_row("read-bank", "ucb/register", []).unwrap();
+        assert!(matches!(
+            sheet.play(&lib()).unwrap_err(),
+            EvaluateSheetError::DuplicateRowIdent(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_element_reported_with_row() {
+        let mut sheet = Sheet::new("s");
+        sheet.add_element_row("Mystery", "nowhere/nothing", []).unwrap();
+        match sheet.play(&lib()).unwrap_err() {
+            EvaluateSheetError::UnknownElement { row, element } => {
+                assert_eq!(row, "Mystery");
+                assert_eq!(element, "nowhere/nothing");
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn subsheets_inherit_and_shadow_globals() {
+        let mut sub = Sheet::new("sub");
+        sub.add_element_row("M", "ucb/multiplier", []).unwrap();
+
+        let mut top = Sheet::new("top");
+        top.set_global("vdd", "1.5").unwrap();
+        top.set_global("f", "2MHz").unwrap();
+        top.add_subsheet_row("Inherits", sub.clone());
+        top.add_subsheet_row("Shadows", sub)
+            .bind("vdd", "3.0")
+            .unwrap();
+
+        let report = top.play(&lib()).unwrap();
+        let inherited = report.row("Inherits").unwrap().power();
+        let shadowed = report.row("Shadows").unwrap().power();
+        assert!((shadowed / inherited - 4.0).abs() < 1e-9);
+        // Sub-reports are attached for hyperlinked drill-down.
+        assert!(report.row("Inherits").unwrap().sub_report().is_some());
+    }
+
+    #[test]
+    fn binding_errors_name_the_row_and_param() {
+        let mut sheet = Sheet::new("s");
+        sheet.set_global("vdd", "1.5").unwrap();
+        sheet.set_global("f", "1MHz").unwrap();
+        sheet
+            .add_element_row("R", "ucb/register", [("bits", "undefined_thing")])
+            .unwrap();
+        match sheet.play(&lib()).unwrap_err() {
+            EvaluateSheetError::Binding { row, param, .. } => {
+                assert_eq!(row, "R");
+                assert_eq!(param, "bits");
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn bindings_may_reference_earlier_bindings_and_defaults() {
+        let mut sheet = Sheet::new("s");
+        sheet.set_global("vdd", "1.5").unwrap();
+        sheet.set_global("f", "2MHz").unwrap();
+        sheet
+            .add_element_row(
+                "Mem",
+                "ucb/sram",
+                [("words", "1024"), ("bits", "words / 256")],
+            )
+            .unwrap();
+        let report = sheet.play(&lib()).unwrap();
+        let params = report.row("Mem").unwrap().params();
+        assert!(params.contains(&("words".to_owned(), 1024.0)));
+        assert!(params.contains(&("bits".to_owned(), 4.0)));
+    }
+
+    #[test]
+    fn empty_sheet_is_zero_power() {
+        let report = Sheet::new("empty").play(&lib()).unwrap();
+        assert_eq!(report.total_power(), Power::ZERO);
+        assert!(report.rows().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod area_reference_tests {
+    use super::*;
+    use powerplay_library::builtin::ucb_library;
+
+    #[test]
+    fn interconnect_row_derives_from_module_areas() {
+        // The paper: "the power dissipation of interconnect is a function
+        // of the active area of the design (and thus of its composing
+        // modules)". A wire row sized from the datapath's area.
+        let lib = ucb_library();
+        let mut sheet = Sheet::new("s");
+        sheet.set_global("vdd", "1.5").unwrap();
+        sheet.set_global("f", "2MHz").unwrap();
+        sheet
+            .add_element_row("Datapath", "ucb/multiplier", [("bw_a", "16"), ("bw_b", "16")])
+            .unwrap();
+        // Wire length proportional to sqrt(area): A in m2, length in mm.
+        sheet
+            .add_element_row(
+                "Wiring",
+                "ucb/wire",
+                [("length_mm", "sqrt(A_datapath) * 1000 * 4")],
+            )
+            .unwrap();
+        let report = sheet.play(&lib).unwrap();
+        let datapath_area = report.row("Datapath").unwrap().area().unwrap().value();
+        let expected_len_mm = datapath_area.sqrt() * 1000.0 * 4.0;
+        let expected_power = expected_len_mm * 0.2e-12 * 0.25 * 1.5 * 1.5 * 2e6;
+        let wiring = report.row("Wiring").unwrap().power().value();
+        assert!(
+            (wiring - expected_power).abs() < 1e-9 * expected_power,
+            "wiring {wiring} vs expected {expected_power}"
+        );
+    }
+
+    #[test]
+    fn area_reference_order_independent() {
+        let lib = ucb_library();
+        let mut sheet = Sheet::new("s");
+        sheet.set_global("vdd", "1.5").unwrap();
+        sheet.set_global("f", "1MHz").unwrap();
+        // Wiring listed FIRST, referencing a later row's area.
+        sheet
+            .add_element_row("Wiring", "ucb/wire", [("length_mm", "A_mem * 1e6")])
+            .unwrap();
+        sheet
+            .add_element_row("Mem", "ucb/sram", [("words", "1024"), ("bits", "8")])
+            .unwrap();
+        let report = sheet.play(&lib).unwrap();
+        assert!(report.row("Wiring").unwrap().power().value() > 0.0);
+    }
+
+    #[test]
+    fn missing_area_reference_is_an_error() {
+        // Referencing the area of a row that models no area fails with an
+        // unknown-variable binding error, not silence.
+        let lib = ucb_library();
+        let mut sheet = Sheet::new("s");
+        sheet.set_global("vdd", "1.5").unwrap();
+        sheet.set_global("f", "1MHz").unwrap();
+        sheet
+            .add_element_row("Panel", "ucb/lcd_display", [])
+            .unwrap(); // no area model
+        sheet
+            .add_element_row("Wiring", "ucb/wire", [("length_mm", "A_panel * 1e6")])
+            .unwrap();
+        let err = sheet.play(&lib).unwrap_err();
+        assert!(matches!(err, EvaluateSheetError::Binding { .. }), "{err}");
+    }
+}

@@ -1,0 +1,309 @@
+//! Compositional delay estimation over declared timing paths.
+//!
+//! The paper closes its system-design section with "Compositional
+//! techniques for delay estimation are currently being examined" — this
+//! module implements that examination's natural endpoint: a design
+//! declares named *paths* (ordered row sequences a signal traverses in
+//! one clock period); a path's delay is the sum of its rows' modeled
+//! delays, checked against the clock of its *last* row (the capturing
+//! element's access rate).
+
+use std::error::Error;
+use std::fmt;
+
+use powerplay_units::Time;
+
+use crate::report::SheetReport;
+use crate::sheet::Sheet;
+
+/// A named ordered sequence of row names a signal traverses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingPath {
+    name: String,
+    rows: Vec<String>,
+}
+
+impl TimingPath {
+    /// Creates a path through the named rows, in traversal order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty.
+    pub fn new<I, S>(name: impl Into<String>, rows: I) -> TimingPath
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let rows: Vec<String> = rows.into_iter().map(Into::into).collect();
+        assert!(!rows.is_empty(), "a timing path needs at least one row");
+        TimingPath {
+            name: name.into(),
+            rows,
+        }
+    }
+
+    /// The path's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Row names in traversal order.
+    pub fn rows(&self) -> &[String] {
+        &self.rows
+    }
+}
+
+/// Error produced when analyzing a path against a report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathError {
+    /// The path names a row absent from the report.
+    UnknownRow {
+        /// The path.
+        path: String,
+        /// The missing row.
+        row: String,
+    },
+    /// A row on the path has no delay model.
+    NoDelayModel {
+        /// The path.
+        path: String,
+        /// The unmodeled row.
+        row: String,
+    },
+    /// The capturing (last) row has no access rate to check against.
+    NoCaptureRate {
+        /// The path.
+        path: String,
+    },
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::UnknownRow { path, row } => {
+                write!(f, "path `{path}`: no row `{row}` in the design")
+            }
+            PathError::NoDelayModel { path, row } => {
+                write!(f, "path `{path}`: row `{row}` has no delay model")
+            }
+            PathError::NoCaptureRate { path } => {
+                write!(f, "path `{path}`: capturing row has no access rate")
+            }
+        }
+    }
+}
+
+impl Error for PathError {}
+
+/// The analyzed result of one path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathReport {
+    /// The path's name.
+    pub name: String,
+    /// Per-row delays, in traversal order.
+    pub segments: Vec<(String, Time)>,
+    /// Total path delay.
+    pub delay: Time,
+    /// The capturing clock period (1 / last row's rate).
+    pub period: Time,
+}
+
+impl PathReport {
+    /// Slack: period minus delay (negative = violation).
+    pub fn slack(&self) -> Time {
+        self.period - self.delay
+    }
+
+    /// Whether the path meets its capture period.
+    pub fn meets(&self) -> bool {
+        self.slack().value() >= 0.0
+    }
+}
+
+impl fmt::Display for PathReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "path {}: delay {} vs period {} (slack {}{})",
+            self.name,
+            self.delay,
+            self.period,
+            self.slack(),
+            if self.meets() { "" } else { " — VIOLATION" },
+        )
+    }
+}
+
+/// Analyzes `path` against an evaluated design.
+///
+/// # Errors
+///
+/// Returns [`PathError`] for unknown rows, rows without delay models, or
+/// a capturing row without a rate.
+pub fn analyze_path(report: &SheetReport, path: &TimingPath) -> Result<PathReport, PathError> {
+    let mut segments = Vec::with_capacity(path.rows().len());
+    let mut total = Time::ZERO;
+    for row_name in path.rows() {
+        let row = report
+            .row(row_name)
+            .ok_or_else(|| PathError::UnknownRow {
+                path: path.name().to_owned(),
+                row: row_name.clone(),
+            })?;
+        let delay = row.delay().ok_or_else(|| PathError::NoDelayModel {
+            path: path.name().to_owned(),
+            row: row_name.clone(),
+        })?;
+        segments.push((row_name.clone(), delay));
+        total += delay;
+    }
+    let last = path.rows().last().expect("paths are non-empty");
+    let rate = report
+        .row(last)
+        .and_then(|r| r.rate())
+        .filter(|&r| r > 0.0)
+        .ok_or_else(|| PathError::NoCaptureRate {
+            path: path.name().to_owned(),
+        })?;
+    Ok(PathReport {
+        name: path.name().to_owned(),
+        segments,
+        delay: total,
+        period: Time::new(1.0 / rate),
+    })
+}
+
+impl Sheet {
+    /// Analyzes several paths at once against a fresh evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sheet-evaluation error message, or the first
+    /// [`PathError`], as strings (mixed error sources).
+    pub fn analyze_paths(
+        &self,
+        registry: &powerplay_library::Registry,
+        paths: &[TimingPath],
+    ) -> Result<Vec<PathReport>, String> {
+        let report = self.play(registry).map_err(|e| e.to_string())?;
+        paths
+            .iter()
+            .map(|p| analyze_path(&report, p).map_err(|e| e.to_string()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sheet;
+    use powerplay_library::builtin::ucb_library;
+
+    fn decoder() -> Sheet {
+        let mut sheet = Sheet::new("decoder");
+        sheet.set_global("vdd", "1.5").unwrap();
+        sheet.set_global("f", "2MHz").unwrap();
+        sheet
+            .add_element_row("Read Bank", "ucb/sram", [("words", "2048"), ("bits", "8"), ("f", "f / 16")])
+            .unwrap();
+        sheet
+            .add_element_row("Look Up Table", "ucb/sram", [("words", "4096"), ("bits", "6")])
+            .unwrap();
+        sheet
+            .add_element_row("Output Register", "ucb/register", [("bits", "6")])
+            .unwrap();
+        sheet
+    }
+
+    #[test]
+    fn path_delay_is_sum_of_segments() {
+        let lib = ucb_library();
+        let report = decoder().play(&lib).unwrap();
+        let path = TimingPath::new(
+            "pixel",
+            ["Read Bank", "Look Up Table", "Output Register"],
+        );
+        let analyzed = analyze_path(&report, &path).unwrap();
+        let sum: f64 = analyzed.segments.iter().map(|(_, d)| d.value()).sum();
+        assert!((analyzed.delay.value() - sum).abs() < 1e-18);
+        assert_eq!(analyzed.segments.len(), 3);
+        // Captured by the output register at 2 MHz: 500 ns period.
+        assert!((analyzed.period.value() - 500e-9).abs() < 1e-15);
+        assert!(analyzed.meets(), "{analyzed}");
+        assert!(analyzed.slack().value() > 0.0);
+    }
+
+    #[test]
+    fn starved_supply_creates_path_violation() {
+        let lib = ucb_library();
+        let mut slow = decoder();
+        slow.set_global("vdd", "0.78").unwrap();
+        slow.set_global("f", "12MHz").unwrap();
+        let report = slow.play(&lib).unwrap();
+        let path = TimingPath::new(
+            "pixel",
+            ["Read Bank", "Look Up Table", "Output Register"],
+        );
+        let analyzed = analyze_path(&report, &path).unwrap();
+        assert!(!analyzed.meets());
+        assert!(analyzed.slack().value() < 0.0);
+        assert!(analyzed.to_string().contains("VIOLATION"));
+    }
+
+    #[test]
+    fn composition_is_stricter_than_per_row_checks() {
+        // Each row alone meets the clock, but the composed path misses it
+        // — the reason compositional analysis matters.
+        let lib = ucb_library();
+        let mut sheet = decoder();
+        sheet.set_global("vdd", "1.0").unwrap();
+        let report = sheet.play(&lib).unwrap();
+        assert!(report.meets_timing(), "rows individually fit");
+        let path = TimingPath::new(
+            "pixel",
+            ["Read Bank", "Look Up Table", "Output Register"],
+        );
+        let analyzed = analyze_path(&report, &path).unwrap();
+        assert!(!analyzed.meets(), "composed path must miss: {analyzed}");
+    }
+
+    #[test]
+    fn path_errors() {
+        let lib = ucb_library();
+        let report = decoder().play(&lib).unwrap();
+        let missing = TimingPath::new("x", ["Nope"]);
+        assert!(matches!(
+            analyze_path(&report, &missing),
+            Err(PathError::UnknownRow { .. })
+        ));
+
+        let mut with_lcd = decoder();
+        with_lcd.add_element_row("Panel", "ucb/lcd_display", []).unwrap();
+        let report = with_lcd.play(&lib).unwrap();
+        let unmodeled = TimingPath::new("x", ["Panel"]);
+        assert!(matches!(
+            analyze_path(&report, &unmodeled),
+            Err(PathError::NoDelayModel { .. })
+        ));
+    }
+
+    #[test]
+    fn analyze_paths_convenience() {
+        let lib = ucb_library();
+        let paths = [
+            TimingPath::new("lut", ["Look Up Table", "Output Register"]),
+            TimingPath::new("fetch", ["Read Bank"]),
+        ];
+        let reports = decoder().analyze_paths(&lib, &paths).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(PathReport::meets));
+        // The buffer path has a generous f/16 period.
+        assert!(reports[1].period > reports[0].period);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn empty_path_panics() {
+        let _ = TimingPath::new("empty", Vec::<String>::new());
+    }
+}

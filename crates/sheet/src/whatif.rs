@@ -1,0 +1,375 @@
+//! What-if exploration: parameter sweeps, sensitivities, and
+//! voltage-scaling searches over a design.
+//!
+//! "The table is parameterized; that is, parameters such as bit-widths
+//! and supply voltages can be varied dynamically" — these helpers are the
+//! programmatic form of turning those knobs.
+
+use powerplay_library::Registry;
+use powerplay_units::{Power, Voltage};
+
+use crate::engine::EvaluateSheetError;
+use crate::report::SheetReport;
+use crate::sheet::Sheet;
+
+/// Evaluates the design once per value of `global`, returning
+/// `(value, report)` pairs.
+///
+/// # Errors
+///
+/// Returns the first [`EvaluateSheetError`] encountered.
+///
+/// ```
+/// use powerplay_library::builtin::ucb_library;
+/// use powerplay_sheet::{whatif, Sheet};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let lib = ucb_library();
+/// let mut sheet = Sheet::new("s");
+/// sheet.set_global("vdd", "1.5")?;
+/// sheet.set_global("f", "2MHz")?;
+/// sheet.add_element_row("M", "ucb/multiplier", [])?;
+/// let curve = whatif::sweep_global(&sheet, &lib, "vdd", &[1.0, 2.0, 3.0])?;
+/// assert!(curve[2].1.total_power() > curve[0].1.total_power());
+/// # Ok(())
+/// # }
+/// ```
+pub fn sweep_global(
+    sheet: &Sheet,
+    registry: &Registry,
+    global: &str,
+    values: &[f64],
+) -> Result<Vec<(f64, SheetReport)>, EvaluateSheetError> {
+    let mut results = Vec::with_capacity(values.len());
+    for &value in values {
+        let mut variant = sheet.clone();
+        variant.set_global_value(global, value);
+        results.push((value, variant.play(registry)?));
+    }
+    Ok(results)
+}
+
+/// Relative sensitivity of total power to each global:
+/// `S_x = (∂P/P) / (∂x/x)` by central differences with ±1% perturbation.
+///
+/// Sorted by descending magnitude — the "where should effort go" view
+/// that the paper motivates ("identify both the major power consumers
+/// and the point of diminishing returns").
+///
+/// Globals whose value is zero are skipped (no relative perturbation
+/// exists).
+///
+/// # Errors
+///
+/// Returns the first [`EvaluateSheetError`] encountered.
+pub fn sensitivities(
+    sheet: &Sheet,
+    registry: &Registry,
+) -> Result<Vec<(String, f64)>, EvaluateSheetError> {
+    let base = sheet.play(registry)?;
+    let p0 = base.total_power().value();
+    let mut out = Vec::new();
+    for (name, value) in base.globals() {
+        if *value == 0.0 || p0 == 0.0 {
+            continue;
+        }
+        let h = 0.01 * value;
+        let mut up = sheet.clone();
+        up.set_global_value(name.clone(), value + h);
+        let mut down = sheet.clone();
+        down.set_global_value(name.clone(), value - h);
+        let p_up = up.play(registry)?.total_power().value();
+        let p_down = down.play(registry)?.total_power().value();
+        let dp_dx = (p_up - p_down) / (2.0 * h);
+        out.push((name.clone(), dp_dx * value / p0));
+    }
+    out.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite"));
+    Ok(out)
+}
+
+/// Finds the lowest supply in `[vdd_min, vdd_max]` at which every row's
+/// modeled delay still fits one period of that row's access rate, by
+/// bisection, and returns it with the resulting report.
+///
+/// Rows without delay models are unconstrained. Returns `None` when even
+/// `vdd_max` fails timing.
+///
+/// # Errors
+///
+/// Returns the first [`EvaluateSheetError`] encountered.
+pub fn min_vdd_meeting_timing(
+    sheet: &Sheet,
+    registry: &Registry,
+    vdd_min: Voltage,
+    vdd_max: Voltage,
+) -> Result<Option<(Voltage, SheetReport)>, EvaluateSheetError> {
+    let meets = |vdd: f64| -> Result<(bool, SheetReport), EvaluateSheetError> {
+        let mut variant = sheet.clone();
+        variant.set_global_value("vdd", vdd);
+        let report = variant.play(registry)?;
+        let ok = report.rows().iter().all(|row| {
+            match (row.delay(), row.rate()) {
+                (Some(delay), Some(rate)) if rate > 0.0 => delay.value() <= 1.0 / rate,
+                _ => true,
+            }
+        });
+        Ok((ok, report))
+    };
+
+    let (ok_max, report_max) = meets(vdd_max.value())?;
+    if !ok_max {
+        return Ok(None);
+    }
+    let mut lo = vdd_min.value();
+    let mut hi = vdd_max.value();
+    let mut best = (hi, report_max);
+    // Is the lower bound already sufficient?
+    let (ok_min, report_min) = meets(lo)?;
+    if ok_min {
+        return Ok(Some((Voltage::new(lo), report_min)));
+    }
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        let (ok, report) = meets(mid)?;
+        if ok {
+            hi = mid;
+            best = (mid, report);
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(Some((Voltage::new(best.0), best.1)))
+}
+
+/// The power saved by the best voltage scaling, relative to operating at
+/// `vdd_nominal`: `(P_nominal, P_scaled, vdd_scaled)`.
+///
+/// # Errors
+///
+/// Returns the first [`EvaluateSheetError`] encountered.
+pub fn voltage_scaling_gain(
+    sheet: &Sheet,
+    registry: &Registry,
+    vdd_nominal: Voltage,
+) -> Result<Option<(Power, Power, Voltage)>, EvaluateSheetError> {
+    let mut nominal = sheet.clone();
+    nominal.set_global_value("vdd", vdd_nominal.value());
+    let p_nominal = nominal.play(registry)?.total_power();
+    match min_vdd_meeting_timing(sheet, registry, Voltage::new(0.75), vdd_nominal)? {
+        None => Ok(None),
+        Some((vdd, report)) => Ok(Some((p_nominal, report.total_power(), vdd))),
+    }
+}
+
+/// Summary statistics of a Monte-Carlo power study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloSummary {
+    /// Sampled totals, sorted ascending.
+    pub samples: Vec<f64>,
+}
+
+impl MonteCarloSummary {
+    /// The `q`-quantile (0..=1) by nearest-rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Power {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let idx = ((self.samples.len() - 1) as f64 * q).round() as usize;
+        Power::new(self.samples[idx])
+    }
+
+    /// The median total.
+    pub fn median(&self) -> Power {
+        self.quantile(0.5)
+    }
+
+    /// The `[p10, p90]` spread as a ratio — the "how uncertain is this
+    /// estimate" number a reviewer asks for.
+    pub fn spread(&self) -> f64 {
+        self.quantile(0.9) / self.quantile(0.1)
+    }
+}
+
+/// Monte-Carlo uncertainty analysis: every listed global is perturbed by
+/// an independent uniform factor in `[1-rel, 1+rel]` per trial, and the
+/// resulting total-power distribution summarized.
+///
+/// Early-stage coefficients and parameters are guesses; this quantifies
+/// how much the bottom line moves when they wobble — the quantitative
+/// form of the paper's "as accurate as possible *given the current state
+/// of a design*".
+///
+/// # Errors
+///
+/// Returns the first [`EvaluateSheetError`] encountered.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero or `rel` is not in `(0, 1)`.
+pub fn monte_carlo(
+    sheet: &Sheet,
+    registry: &Registry,
+    globals: &[&str],
+    rel: f64,
+    trials: usize,
+    seed: u64,
+) -> Result<MonteCarloSummary, EvaluateSheetError> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    assert!(trials > 0, "need at least one trial");
+    assert!(rel > 0.0 && rel < 1.0, "relative perturbation must be in (0, 1)");
+    let base = sheet.play(registry)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let mut variant = sheet.clone();
+        for name in globals {
+            if let Some(value) = base.global(name) {
+                let factor: f64 = rng.gen_range(1.0 - rel..1.0 + rel);
+                variant.set_global_value(*name, value * factor);
+            }
+        }
+        samples.push(variant.play(registry)?.total_power().value());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite powers"));
+    Ok(MonteCarloSummary { samples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerplay_library::builtin::ucb_library;
+
+    fn sheet() -> Sheet {
+        let mut s = Sheet::new("s");
+        s.set_global("vdd", "3.3").unwrap();
+        s.set_global("f", "2MHz").unwrap();
+        s.add_element_row("Mem", "ucb/sram", [("words", "2048"), ("bits", "8")])
+            .unwrap();
+        s.add_element_row("Mult", "ucb/multiplier", [("bw_a", "8"), ("bw_b", "8")])
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn vdd_sweep_is_quadratic_for_full_rail() {
+        let lib = ucb_library();
+        let curve = sweep_global(&sheet(), &lib, "vdd", &[1.0, 2.0, 4.0]).unwrap();
+        let p: Vec<f64> = curve.iter().map(|(_, r)| r.total_power().value()).collect();
+        assert!((p[1] / p[0] - 4.0).abs() < 1e-9);
+        assert!((p[2] / p[1] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_sweep_is_linear() {
+        let lib = ucb_library();
+        let curve = sweep_global(&sheet(), &lib, "f", &[1e6, 2e6, 4e6]).unwrap();
+        let p: Vec<f64> = curve.iter().map(|(_, r)| r.total_power().value()).collect();
+        assert!((p[1] / p[0] - 2.0).abs() < 1e-9);
+        assert!((p[2] / p[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sensitivities_rank_vdd_over_f() {
+        let lib = ucb_library();
+        let sens = sensitivities(&sheet(), &lib).unwrap();
+        let get = |name: &str| sens.iter().find(|(n, _)| n == name).map(|(_, s)| *s);
+        // Full-rail design: S_vdd = 2 (quadratic), S_f = 1 (linear).
+        assert!((get("vdd").unwrap() - 2.0).abs() < 1e-3);
+        assert!((get("f").unwrap() - 1.0).abs() < 1e-3);
+        // Sorted by magnitude: vdd first.
+        assert_eq!(sens[0].0, "vdd");
+    }
+
+    #[test]
+    fn min_vdd_meets_timing_and_saves_power() {
+        let lib = ucb_library();
+        let result = min_vdd_meeting_timing(
+            &sheet(),
+            &lib,
+            Voltage::new(0.75),
+            Voltage::new(3.3),
+        )
+        .unwrap()
+        .expect("2 MHz timing must be reachable");
+        let (vdd, report) = result;
+        assert!(vdd.value() < 3.3);
+        // All rows meet timing at the found supply.
+        for row in report.rows() {
+            if let (Some(d), Some(r)) = (row.delay(), row.rate()) {
+                assert!(d.value() <= 1.0 / r, "{} misses timing", row.name());
+            }
+        }
+        // And scaling gains power quadratically-ish.
+        let (p_nom, p_scaled, _) = voltage_scaling_gain(&sheet(), &lib, Voltage::new(3.3))
+            .unwrap()
+            .unwrap();
+        assert!(p_scaled.value() < p_nom.value() / 2.0);
+    }
+
+    #[test]
+    fn unreachable_timing_returns_none() {
+        let lib = ucb_library();
+        let mut fast = sheet();
+        fast.set_global("f", "200MHz").unwrap(); // SRAM can't cycle at 5 ns here
+        let result =
+            min_vdd_meeting_timing(&fast, &lib, Voltage::new(0.75), Voltage::new(3.3)).unwrap();
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn monte_carlo_brackets_the_nominal() {
+        let lib = ucb_library();
+        let s = sheet();
+        let nominal = s.play(&lib).unwrap().total_power().value();
+        let mc = monte_carlo(&s, &lib, &["vdd", "f"], 0.1, 200, 42).unwrap();
+        assert_eq!(mc.samples.len(), 200);
+        // The nominal sits inside the sampled distribution.
+        assert!(mc.quantile(0.0).value() < nominal);
+        assert!(mc.quantile(1.0).value() > nominal);
+        let median = mc.median().value();
+        assert!((median / nominal - 1.0).abs() < 0.1, "median {median}");
+        // ±10% on vdd (quadratic) and f (linear) gives a finite, modest
+        // spread.
+        let spread = mc.spread();
+        assert!(spread > 1.1 && spread < 2.5, "spread {spread:.2}");
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic_per_seed() {
+        let lib = ucb_library();
+        let s = sheet();
+        let a = monte_carlo(&s, &lib, &["vdd"], 0.2, 50, 7).unwrap();
+        let b = monte_carlo(&s, &lib, &["vdd"], 0.2, 50, 7).unwrap();
+        assert_eq!(a, b);
+        let c = monte_carlo(&s, &lib, &["vdd"], 0.2, 50, 8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn monte_carlo_wider_uncertainty_wider_spread() {
+        let lib = ucb_library();
+        let s = sheet();
+        let narrow = monte_carlo(&s, &lib, &["vdd"], 0.05, 150, 1).unwrap();
+        let wide = monte_carlo(&s, &lib, &["vdd"], 0.3, 150, 1).unwrap();
+        assert!(wide.spread() > narrow.spread());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_panics() {
+        let summary = MonteCarloSummary { samples: vec![1.0] };
+        let _ = summary.quantile(1.5);
+    }
+
+    #[test]
+    fn sweep_preserves_other_globals() {
+        let lib = ucb_library();
+        let curve = sweep_global(&sheet(), &lib, "vdd", &[1.5]).unwrap();
+        assert_eq!(curve[0].1.global("f"), Some(2e6));
+        assert_eq!(curve[0].1.global("vdd"), Some(1.5));
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the sheet engine: evaluation-order invariance,
+//! persistence fidelity, and macro-lumping equivalence.
+
+use proptest::prelude::*;
+use powerplay_expr::Scope;
+use powerplay_library::builtin::ucb_library;
+use powerplay_library::Registry;
+use powerplay_sheet::{Row, RowModel, Sheet};
+
+/// A random small design over a handful of builtin elements, with
+/// per-row rate dividers so rows exercise distinct operating points.
+fn arb_sheet() -> impl Strategy<Value = Sheet> {
+    let element = prop_oneof![
+        Just(("ucb/multiplier", vec![("bw_a", 4u32), ("bw_b", 8)])),
+        Just(("ucb/register", vec![("bits", 16)])),
+        Just(("ucb/sram", vec![("words", 512), ("bits", 8)])),
+        Just(("ucb/ctrl_rom", vec![("n_i", 6), ("n_o", 12)])),
+        Just(("ucb/ripple_adder", vec![("bits", 24)])),
+    ];
+    (
+        prop::collection::vec((element, 1u32..32), 1..6),
+        1.0f64..4.0,
+        1e5f64..1e7,
+    )
+        .prop_map(|(rows, vdd, f)| {
+            let mut sheet = Sheet::new("random");
+            sheet.set_global_value("vdd", vdd);
+            sheet.set_global_value("f", f);
+            for (i, ((path, params), divider)) in rows.into_iter().enumerate() {
+                let mut row = Row::new(format!("Row {i}"), RowModel::Element(path.to_owned()));
+                for (param, value) in params {
+                    row.bind(param, &value.to_string()).unwrap();
+                }
+                row.bind("f", &format!("f / {divider}")).unwrap();
+                sheet.add_row(row);
+            }
+            sheet
+        })
+}
+
+fn lib() -> Registry {
+    ucb_library()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Total power equals the sum of row powers, always.
+    #[test]
+    fn total_is_sum_of_rows(sheet in arb_sheet()) {
+        let report = sheet.play(&lib()).unwrap();
+        let sum: f64 = report.rows().iter().map(|r| r.power().value()).sum();
+        prop_assert!((sum - report.total_power().value()).abs() <= 1e-12 * sum.max(1e-12));
+    }
+
+    /// Reversing row order never changes any row's result (dependency
+    /// resolution, not listing order, drives evaluation).
+    #[test]
+    fn row_order_is_irrelevant(sheet in arb_sheet()) {
+        let forward = sheet.play(&lib()).unwrap();
+        let mut reversed_sheet = Sheet::new("reversed");
+        for (name, expr) in sheet.globals() {
+            reversed_sheet.set_global(name.clone(), &expr.to_string()).unwrap();
+        }
+        let mut rows: Vec<Row> = sheet.rows().to_vec();
+        rows.reverse();
+        for row in rows {
+            reversed_sheet.add_row(row);
+        }
+        let backward = reversed_sheet.play(&lib()).unwrap();
+        prop_assert!(
+            (forward.total_power().value() - backward.total_power().value()).abs()
+                <= 1e-12 * forward.total_power().value().max(1e-12)
+        );
+        for row in forward.rows() {
+            let twin = backward.row(row.name()).expect("same rows");
+            prop_assert_eq!(twin.power(), row.power());
+        }
+    }
+
+    /// JSON persistence is semantically lossless.
+    #[test]
+    fn json_roundtrip_preserves_power(sheet in arb_sheet()) {
+        let decoded = Sheet::from_json(&sheet.to_json()).unwrap();
+        let a = sheet.play(&lib()).unwrap();
+        let b = decoded.play(&lib()).unwrap();
+        prop_assert_eq!(a.total_power(), b.total_power());
+    }
+
+    /// A lumped macro reproduces its source design at any operating point.
+    #[test]
+    fn macro_lumping_is_exact(sheet in arb_sheet(), vdd in 0.9f64..4.5, f in 1e4f64..2e7) {
+        let library = lib();
+        let lumped = sheet.to_macro("macros/x", &library).unwrap();
+
+        let mut scope = Scope::new();
+        scope.set("vdd", vdd);
+        scope.set("f", f);
+
+        // Source design with vdd/f supplied externally.
+        let mut bare = sheet.clone();
+        let keep: Vec<(String, String)> = bare
+            .globals()
+            .iter()
+            .filter(|(n, _)| n != "vdd" && n != "f")
+            .map(|(n, e)| (n.clone(), e.to_string()))
+            .collect();
+        let mut stripped = Sheet::new(bare.name().to_owned());
+        for (n, src) in keep {
+            stripped.set_global(n, &src).unwrap();
+        }
+        for row in bare.rows_mut() {
+            stripped.add_row(row.clone());
+        }
+        let direct = stripped.play_in(&library, &scope).unwrap().total_power().value();
+        let via_macro = lumped.evaluate(&scope).unwrap().power.value();
+        prop_assert!(
+            (direct - via_macro).abs() <= 1e-9 * direct.max(1e-12),
+            "direct {direct} vs macro {via_macro}"
+        );
+    }
+
+    /// Doubling the global rate doubles dynamic power for rate-derived
+    /// rows (the engine threads `f` correctly through bindings).
+    #[test]
+    fn rate_linearity_through_bindings(sheet in arb_sheet()) {
+        let base = sheet.play(&lib()).unwrap().total_power().value();
+        let mut faster = sheet.clone();
+        let f0 = sheet.play(&lib()).unwrap().global("f").unwrap();
+        faster.set_global_value("f", 2.0 * f0);
+        let doubled = faster.play(&lib()).unwrap().total_power().value();
+        prop_assert!((doubled / base - 2.0).abs() < 1e-9);
+    }
+}

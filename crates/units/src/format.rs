@@ -1,0 +1,105 @@
+//! Engineering-notation formatting shared by all quantity types.
+
+use crate::prefix::SiPrefix;
+
+/// Formats `value` in engineering notation with `unit` appended.
+///
+/// The mantissa is rendered with four significant digits and the SI prefix
+/// chosen so it falls in `[1, 1000)`, mirroring how the PowerPlay
+/// spreadsheet columns display power and energy.
+///
+/// ```
+/// use powerplay_units::format::eng;
+///
+/// assert_eq!(eng(150e-6, "W"), "150.0 uW");
+/// assert_eq!(eng(2e6, "Hz"), "2.000 MHz");
+/// assert_eq!(eng(0.0, "A"), "0 A");
+/// ```
+pub fn eng(value: f64, unit: &str) -> String {
+    eng_digits(value, unit, 4)
+}
+
+/// Like [`eng`] but with a caller-chosen number of significant digits.
+///
+/// # Panics
+///
+/// Panics if `digits` is zero.
+pub fn eng_digits(value: f64, unit: &str, digits: usize) -> String {
+    assert!(digits > 0, "need at least one significant digit");
+    if value == 0.0 {
+        return format!("0 {unit}");
+    }
+    if value.is_nan() {
+        return format!("NaN {unit}");
+    }
+    if value.is_infinite() {
+        let sign = if value < 0.0 { "-" } else { "" };
+        return format!("{sign}inf {unit}");
+    }
+    let prefix = SiPrefix::for_value(value);
+    let mantissa = value / prefix.factor();
+    // Significant digits -> decimal places. The mantissa is normally in
+    // [1, 1000) but can exceed that when the prefix range saturates.
+    let int_digits = (mantissa.abs().log10().floor() as i32 + 1).max(1) as usize;
+    let decimals = digits.saturating_sub(int_digits);
+    format!("{mantissa:.decimals$} {prefix}{unit}", prefix = prefix.symbol())
+}
+
+/// Formats `value` as a percentage with one decimal, e.g. `"37.5%"`.
+///
+/// ```
+/// assert_eq!(powerplay_units::format::percent(0.375), "37.5%");
+/// ```
+pub fn percent(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_significant_digits() {
+        assert_eq!(eng(253e-15, "F"), "253.0 fF");
+        assert_eq!(eng(1.139e-6, "W"), "1.139 uW");
+        assert_eq!(eng(12.34e3, "Hz"), "12.34 kHz");
+    }
+
+    #[test]
+    fn negative_values_keep_sign() {
+        assert_eq!(eng(-2.5e-3, "A"), "-2.500 mA");
+    }
+
+    #[test]
+    fn saturated_prefixes_fall_back_to_large_mantissas() {
+        // Beyond tera the mantissa grows instead of inventing prefixes.
+        assert_eq!(eng(5e15, "Hz"), "5000 THz");
+    }
+
+    #[test]
+    fn special_values() {
+        assert_eq!(eng(0.0, "W"), "0 W");
+        assert_eq!(eng(f64::NAN, "W"), "NaN W");
+        assert_eq!(eng(f64::INFINITY, "W"), "inf W");
+        assert_eq!(eng(f64::NEG_INFINITY, "W"), "-inf W");
+    }
+
+    #[test]
+    fn custom_digit_count() {
+        assert_eq!(eng_digits(1.5, "V", 2), "1.5 V");
+        assert_eq!(eng_digits(999.96e-6, "W", 4), "1000.0 uW");
+    }
+
+    #[test]
+    #[should_panic(expected = "significant digit")]
+    fn zero_digits_panics() {
+        let _ = eng_digits(1.0, "V", 0);
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(percent(0.8), "80.0%");
+        assert_eq!(percent(1.0), "100.0%");
+        assert_eq!(percent(0.0333), "3.3%");
+    }
+}

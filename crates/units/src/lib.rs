@@ -1,0 +1,43 @@
+//! Typed physical quantities for early power exploration.
+//!
+//! The PowerPlay model template (paper EQ 1)
+//!
+//! ```text
+//! P = Σ_i C_sw,i · V_swing,i · V_DD · f  +  I · V_DD
+//! ```
+//!
+//! mixes capacitances, voltages, frequencies and currents. Confusing a
+//! femtofarad coefficient with a picofarad one silently corrupts an
+//! estimate by three orders of magnitude, so every physical value in the
+//! workspace is carried in a dimension-tagged newtype ([`Capacitance`],
+//! [`Voltage`], [`Power`], …) with only the physically meaningful
+//! arithmetic defined between them (`Capacitance * Voltage = Charge`,
+//! `Charge * Voltage = Energy`, `Energy * Frequency = Power`, …).
+//!
+//! Values parse from and render to engineering notation with SI prefixes,
+//! matching the spreadsheet figures in the paper (`"253fF"`, `"2 MHz"`,
+//! `"150 uW"`):
+//!
+//! ```
+//! use powerplay_units::{Capacitance, Voltage, Frequency, Power};
+//!
+//! # fn main() -> Result<(), powerplay_units::ParseQuantityError> {
+//! let c: Capacitance = "253fF".parse()?;
+//! let vdd: Voltage = "1.5 V".parse()?;
+//! let f: Frequency = "2 MHz".parse()?;
+//! let p: Power = c * vdd * vdd * f;
+//! assert_eq!(p.to_string(), "1.139 uW");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod format;
+pub mod prefix;
+
+mod parse;
+mod quantity;
+
+pub use parse::ParseQuantityError;
+pub use quantity::{
+    Area, Capacitance, Charge, Current, Energy, Frequency, Power, Resistance, Time, Voltage,
+};

@@ -1,0 +1,204 @@
+//! Parsing of quantity literals such as `"253fF"`, `"2 MHz"` or `"1.5"`.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::prefix::SiPrefix;
+
+/// Error returned when a quantity literal cannot be parsed.
+///
+/// ```
+/// use powerplay_units::Voltage;
+///
+/// let err = "1.5 W".parse::<Voltage>().unwrap_err();
+/// assert!(err.to_string().contains("expected unit"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQuantityError {
+    input: String,
+    reason: Reason,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Reason {
+    Empty,
+    BadNumber,
+    WrongUnit { expected: &'static str },
+}
+
+impl ParseQuantityError {
+    pub(crate) fn new(input: &str, reason: Reason) -> Self {
+        ParseQuantityError {
+            input: input.to_owned(),
+            reason,
+        }
+    }
+}
+
+impl fmt::Display for ParseQuantityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.reason {
+            Reason::Empty => write!(f, "empty quantity literal"),
+            Reason::BadNumber => write!(f, "invalid number in quantity `{}`", self.input),
+            Reason::WrongUnit { expected } => {
+                write!(f, "expected unit `{expected}` in quantity `{}`", self.input)
+            }
+        }
+    }
+}
+
+impl Error for ParseQuantityError {}
+
+/// Parses `input` as `<number> [whitespace] [prefix] [unit]` where `unit`
+/// must equal `expected_unit` when present. Returns the value in base units.
+///
+/// The unit may be omitted entirely (`"1.5"`) and the prefix may appear
+/// without the unit (`"253f"`), matching the loose spreadsheet-literal
+/// style of the original tool.
+pub(crate) fn parse_with_unit(input: &str, expected_unit: &'static str) -> Result<f64, ParseQuantityError> {
+    let trimmed = input.trim();
+    if trimmed.is_empty() {
+        return Err(ParseQuantityError::new(input, Reason::Empty));
+    }
+
+    // Split the leading number: sign, digits, dot, exponent.
+    let mut end = 0;
+    let bytes = trimmed.as_bytes();
+    if matches!(bytes.first(), Some(b'+') | Some(b'-')) {
+        end = 1;
+    }
+    let mut seen_digit = false;
+    let mut seen_dot = false;
+    while end < bytes.len() {
+        match bytes[end] {
+            b'0'..=b'9' => {
+                seen_digit = true;
+                end += 1;
+            }
+            b'.' if !seen_dot => {
+                seen_dot = true;
+                end += 1;
+            }
+            b'e' | b'E' if seen_digit => {
+                // Exponent is only part of the number when followed by
+                // [sign] digits; otherwise `e` could begin a unit.
+                let mut ahead = end + 1;
+                if matches!(bytes.get(ahead), Some(b'+') | Some(b'-')) {
+                    ahead += 1;
+                }
+                if matches!(bytes.get(ahead), Some(b'0'..=b'9')) {
+                    end = ahead + 1;
+                    while matches!(bytes.get(end), Some(b'0'..=b'9')) {
+                        end += 1;
+                    }
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    if !seen_digit {
+        return Err(ParseQuantityError::new(input, Reason::BadNumber));
+    }
+    let number: f64 = trimmed[..end]
+        .parse()
+        .map_err(|_| ParseQuantityError::new(input, Reason::BadNumber))?;
+
+    let rest = trimmed[end..].trim_start();
+    if rest.is_empty() {
+        return Ok(number);
+    }
+
+    // Optional SI prefix. Careful: the prefix character may actually be the
+    // first character of the unit (e.g. `m` in a bare `mV` vs the unit `m²`),
+    // so try the interpretation "prefix + unit" first, then "unit" alone.
+    let mut chars = rest.chars();
+    let first = chars.next().expect("rest is non-empty");
+    let after_first = chars.as_str();
+
+    if let Some(prefix) = SiPrefix::from_symbol(first) {
+        if after_first == expected_unit {
+            return Ok(number * prefix.factor());
+        }
+        if after_first.is_empty() && first != expected_unit.chars().next().unwrap_or('\0') {
+            // Bare prefix with no unit, e.g. "253f".
+            return Ok(number * prefix.factor());
+        }
+    }
+    if rest == expected_unit {
+        return Ok(number);
+    }
+    // A bare prefix that also begins the expected unit (e.g. "2m" where the
+    // unit is "m²") is ambiguous; resolve in favour of the prefix.
+    if after_first.is_empty() {
+        if let Some(prefix) = SiPrefix::from_symbol(first) {
+            return Ok(number * prefix.factor());
+        }
+        return Err(ParseQuantityError::new(
+            input,
+            Reason::WrongUnit { expected: expected_unit },
+        ));
+    }
+    Err(ParseQuantityError::new(
+        input,
+        Reason::WrongUnit { expected: expected_unit },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_numbers() {
+        assert_eq!(parse_with_unit("1.5", "V").unwrap(), 1.5);
+        assert_eq!(parse_with_unit("-3", "V").unwrap(), -3.0);
+        assert_eq!(parse_with_unit("2e6", "Hz").unwrap(), 2e6);
+        assert_eq!(parse_with_unit("2.097e-4", "W").unwrap(), 2.097e-4);
+    }
+
+    fn assert_close(actual: f64, expected: f64) {
+        let rel = ((actual - expected) / expected).abs();
+        assert!(rel < 1e-12, "{actual} != {expected}");
+    }
+
+    #[test]
+    fn prefix_and_unit() {
+        assert_close(parse_with_unit("253fF", "F").unwrap(), 253e-15);
+        assert_close(parse_with_unit("2 MHz", "Hz").unwrap(), 2e6);
+        assert_close(parse_with_unit("150 uW", "W").unwrap(), 150e-6);
+        assert_close(parse_with_unit("150µW", "W").unwrap(), 150e-6);
+    }
+
+    #[test]
+    fn unit_without_prefix() {
+        assert_eq!(parse_with_unit("1.5V", "V").unwrap(), 1.5);
+        assert_eq!(parse_with_unit("1.5 V", "V").unwrap(), 1.5);
+    }
+
+    #[test]
+    fn bare_prefix() {
+        assert_close(parse_with_unit("253f", "F").unwrap(), 253e-15);
+        assert_close(parse_with_unit("10k", "Hz").unwrap(), 10e3);
+    }
+
+    #[test]
+    fn exponent_not_confused_with_unit() {
+        // `e` followed by non-digit is not an exponent.
+        assert!(parse_with_unit("2eV", "V").is_err());
+        assert_eq!(parse_with_unit("2E3", "V").unwrap(), 2000.0);
+    }
+
+    #[test]
+    fn rejects_wrong_unit() {
+        assert!(parse_with_unit("1.5 W", "V").is_err());
+        assert!(parse_with_unit("1.5 Vx", "V").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_with_unit("", "V").is_err());
+        assert!(parse_with_unit("volts", "V").is_err());
+        assert!(parse_with_unit("..", "V").is_err());
+    }
+}

@@ -1,0 +1,197 @@
+//! SI prefixes used when parsing and formatting quantities.
+
+/// An SI prefix scaling a base unit by a power of ten.
+///
+/// Only the engineering prefixes (exponents divisible by three) that occur
+/// in circuit work are represented; centi/deci and the >10^12 range are
+/// deliberately absent.
+///
+/// ```
+/// use powerplay_units::prefix::SiPrefix;
+///
+/// assert_eq!(SiPrefix::Femto.factor(), 1e-15);
+/// assert_eq!(SiPrefix::from_symbol('M'), Some(SiPrefix::Mega));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SiPrefix {
+    /// 10⁻¹⁵ (`f`)
+    Femto,
+    /// 10⁻¹² (`p`)
+    Pico,
+    /// 10⁻⁹ (`n`)
+    Nano,
+    /// 10⁻⁶ (`u` or `µ`)
+    Micro,
+    /// 10⁻³ (`m`)
+    Milli,
+    /// 10⁰ (no symbol)
+    None,
+    /// 10³ (`k`)
+    Kilo,
+    /// 10⁶ (`M`)
+    Mega,
+    /// 10⁹ (`G`)
+    Giga,
+    /// 10¹² (`T`)
+    Tera,
+}
+
+impl SiPrefix {
+    /// All prefixes in ascending order of magnitude.
+    pub const ALL: [SiPrefix; 10] = [
+        SiPrefix::Femto,
+        SiPrefix::Pico,
+        SiPrefix::Nano,
+        SiPrefix::Micro,
+        SiPrefix::Milli,
+        SiPrefix::None,
+        SiPrefix::Kilo,
+        SiPrefix::Mega,
+        SiPrefix::Giga,
+        SiPrefix::Tera,
+    ];
+
+    /// The multiplicative factor this prefix applies to the base unit.
+    pub fn factor(self) -> f64 {
+        match self {
+            SiPrefix::Femto => 1e-15,
+            SiPrefix::Pico => 1e-12,
+            SiPrefix::Nano => 1e-9,
+            SiPrefix::Micro => 1e-6,
+            SiPrefix::Milli => 1e-3,
+            SiPrefix::None => 1.0,
+            SiPrefix::Kilo => 1e3,
+            SiPrefix::Mega => 1e6,
+            SiPrefix::Giga => 1e9,
+            SiPrefix::Tera => 1e12,
+        }
+    }
+
+    /// The base-ten exponent of [`Self::factor`].
+    pub fn exponent(self) -> i32 {
+        match self {
+            SiPrefix::Femto => -15,
+            SiPrefix::Pico => -12,
+            SiPrefix::Nano => -9,
+            SiPrefix::Micro => -6,
+            SiPrefix::Milli => -3,
+            SiPrefix::None => 0,
+            SiPrefix::Kilo => 3,
+            SiPrefix::Mega => 6,
+            SiPrefix::Giga => 9,
+            SiPrefix::Tera => 12,
+        }
+    }
+
+    /// Canonical ASCII symbol (`""` for [`SiPrefix::None`], `"u"` for micro).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            SiPrefix::Femto => "f",
+            SiPrefix::Pico => "p",
+            SiPrefix::Nano => "n",
+            SiPrefix::Micro => "u",
+            SiPrefix::Milli => "m",
+            SiPrefix::None => "",
+            SiPrefix::Kilo => "k",
+            SiPrefix::Mega => "M",
+            SiPrefix::Giga => "G",
+            SiPrefix::Tera => "T",
+        }
+    }
+
+    /// Looks a prefix up by its symbol character. Accepts `µ` for micro.
+    pub fn from_symbol(symbol: char) -> Option<SiPrefix> {
+        match symbol {
+            'f' => Some(SiPrefix::Femto),
+            'p' => Some(SiPrefix::Pico),
+            'n' => Some(SiPrefix::Nano),
+            'u' | 'µ' => Some(SiPrefix::Micro),
+            'm' => Some(SiPrefix::Milli),
+            'k' => Some(SiPrefix::Kilo),
+            'M' => Some(SiPrefix::Mega),
+            'G' => Some(SiPrefix::Giga),
+            'T' => Some(SiPrefix::Tera),
+            _ => None,
+        }
+    }
+
+    /// Picks the prefix that renders `value` with a mantissa in `[1, 1000)`.
+    ///
+    /// Values outside the covered range saturate at femto/tera; zero and
+    /// non-finite values map to [`SiPrefix::None`].
+    pub fn for_value(value: f64) -> SiPrefix {
+        let magnitude = value.abs();
+        if magnitude == 0.0 || !magnitude.is_finite() {
+            return SiPrefix::None;
+        }
+        let exp = magnitude.log10().floor() as i32;
+        // Round down to the nearest multiple of 3 (engineering notation).
+        let eng = (exp as f64 / 3.0).floor() as i32 * 3;
+        let clamped = eng.clamp(-15, 12);
+        Self::ALL
+            .into_iter()
+            .find(|p| p.exponent() == clamped)
+            .unwrap_or(SiPrefix::None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_match_exponents() {
+        for p in SiPrefix::ALL {
+            let expected = 10f64.powi(p.exponent());
+            assert!(
+                (p.factor() - expected).abs() <= expected * 1e-12,
+                "{p:?}: factor {} vs 10^{}",
+                p.factor(),
+                p.exponent()
+            );
+        }
+    }
+
+    #[test]
+    fn symbol_roundtrip() {
+        for p in SiPrefix::ALL {
+            if p == SiPrefix::None {
+                continue;
+            }
+            let sym = p.symbol().chars().next().expect("non-empty symbol");
+            assert_eq!(SiPrefix::from_symbol(sym), Some(p));
+        }
+    }
+
+    #[test]
+    fn micro_accepts_mu() {
+        assert_eq!(SiPrefix::from_symbol('µ'), Some(SiPrefix::Micro));
+    }
+
+    #[test]
+    fn unknown_symbol_is_none() {
+        assert_eq!(SiPrefix::from_symbol('x'), None);
+        assert_eq!(SiPrefix::from_symbol('K'), None); // kilo is lowercase
+    }
+
+    #[test]
+    fn for_value_picks_engineering_prefix() {
+        assert_eq!(SiPrefix::for_value(253e-15), SiPrefix::Femto);
+        assert_eq!(SiPrefix::for_value(1.5), SiPrefix::None);
+        assert_eq!(SiPrefix::for_value(2e6), SiPrefix::Mega);
+        assert_eq!(SiPrefix::for_value(150e-6), SiPrefix::Micro);
+        assert_eq!(SiPrefix::for_value(999.9), SiPrefix::None);
+        assert_eq!(SiPrefix::for_value(1000.0), SiPrefix::Kilo);
+    }
+
+    #[test]
+    fn for_value_handles_edge_cases() {
+        assert_eq!(SiPrefix::for_value(0.0), SiPrefix::None);
+        assert_eq!(SiPrefix::for_value(f64::NAN), SiPrefix::None);
+        assert_eq!(SiPrefix::for_value(f64::INFINITY), SiPrefix::None);
+        // Saturation below femto and above tera.
+        assert_eq!(SiPrefix::for_value(1e-20), SiPrefix::Femto);
+        assert_eq!(SiPrefix::for_value(1e20), SiPrefix::Tera);
+        assert_eq!(SiPrefix::for_value(-4.7e-5), SiPrefix::Micro);
+    }
+}

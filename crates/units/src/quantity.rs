@@ -1,0 +1,427 @@
+//! The quantity newtypes and their dimensional arithmetic.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+use crate::format;
+use crate::parse::{parse_with_unit, ParseQuantityError};
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Wraps a raw value expressed in the base unit.
+            pub const fn new(base_units: f64) -> $name {
+                $name(base_units)
+            }
+
+            /// The raw value in the base unit.
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// The unit symbol used by [`fmt::Display`] and [`FromStr`].
+            pub fn unit() -> &'static str {
+                $unit
+            }
+
+            /// Absolute value.
+            pub fn abs(self) -> $name {
+                $name(self.0.abs())
+            }
+
+            /// `max` of two quantities.
+            pub fn max(self, other: $name) -> $name {
+                $name(self.0.max(other.0))
+            }
+
+            /// `min` of two quantities.
+            pub fn min(self, other: $name) -> $name {
+                $name(self.0.min(other.0))
+            }
+
+            /// True when the underlying value is finite.
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            /// Engineering notation with SI prefix, e.g. `150.0 uW`.
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&format::eng(self.0, $unit))
+            }
+        }
+
+        impl FromStr for $name {
+            type Err = ParseQuantityError;
+
+            fn from_str(s: &str) -> Result<$name, ParseQuantityError> {
+                parse_with_unit(s, $unit).map($name)
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        /// Dividing two like quantities yields their dimensionless ratio.
+        impl Div<$name> for $name {
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a $name>>(iter: I) -> $name {
+                $name(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Electric potential in volts.
+    ///
+    /// ```
+    /// use powerplay_units::Voltage;
+    /// let vdd: Voltage = "1.5 V".parse().unwrap();
+    /// assert_eq!(vdd.value(), 1.5);
+    /// ```
+    Voltage,
+    "V"
+);
+quantity!(
+    /// Electric current in amperes (static/bias currents, paper EQ 1, EQ 13).
+    Current,
+    "A"
+);
+quantity!(
+    /// Capacitance in farads — the central quantity of the Landman and
+    /// Svensson models (paper EQ 2–7).
+    Capacitance,
+    "F"
+);
+quantity!(
+    /// Electric charge in coulombs.
+    Charge,
+    "C"
+);
+quantity!(
+    /// Energy in joules (energy per operation, paper EQ 12).
+    Energy,
+    "J"
+);
+quantity!(
+    /// Power in watts — the spreadsheet's output column.
+    Power,
+    "W"
+);
+quantity!(
+    /// Frequency in hertz (access or clock rate in paper EQ 1).
+    Frequency,
+    "Hz"
+);
+quantity!(
+    /// Time in seconds (delays, rise/fall times).
+    Time,
+    "s"
+);
+quantity!(
+    /// Silicon area in square metres (interconnect estimation inputs).
+    Area,
+    "m2"
+);
+quantity!(
+    /// Resistance in ohms (analog small-signal models, paper EQ 15–16).
+    Resistance,
+    "Ohm"
+);
+
+// --- Dimensional cross products ------------------------------------------
+//
+// Only the relations the power models actually use are defined; anything
+// else is a type error, which is the point of the newtypes.
+
+impl Mul<Current> for Voltage {
+    type Output = Power;
+    /// `P = V · I` — the static term of paper EQ 1.
+    fn mul(self, rhs: Current) -> Power {
+        Power::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Voltage> for Current {
+    type Output = Power;
+    fn mul(self, rhs: Voltage) -> Power {
+        rhs * self
+    }
+}
+
+impl Mul<Voltage> for Capacitance {
+    type Output = Charge;
+    /// `Q = C · V`.
+    fn mul(self, rhs: Voltage) -> Charge {
+        Charge::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Capacitance> for Voltage {
+    type Output = Charge;
+    fn mul(self, rhs: Capacitance) -> Charge {
+        rhs * self
+    }
+}
+
+impl Mul<Voltage> for Charge {
+    type Output = Energy;
+    /// `E = Q · V` — one switching event through a supply swing.
+    fn mul(self, rhs: Voltage) -> Energy {
+        Energy::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Frequency> for Energy {
+    type Output = Power;
+    /// `P = E · f` — energy per operation times operation rate.
+    fn mul(self, rhs: Frequency) -> Power {
+        Power::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Energy> for Frequency {
+    type Output = Power;
+    fn mul(self, rhs: Energy) -> Power {
+        rhs * self
+    }
+}
+
+impl Mul<Frequency> for Charge {
+    type Output = Current;
+    /// `I = Q · f` — average current of a periodic charge transfer.
+    fn mul(self, rhs: Frequency) -> Current {
+        Current::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Time> for Power {
+    type Output = Energy;
+    fn mul(self, rhs: Time) -> Energy {
+        Energy::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Time> for Current {
+    type Output = Charge;
+    fn mul(self, rhs: Time) -> Charge {
+        Charge::new(self.value() * rhs.value())
+    }
+}
+
+impl Div<Time> for Energy {
+    type Output = Power;
+    fn div(self, rhs: Time) -> Power {
+        Power::new(self.value() / rhs.value())
+    }
+}
+
+impl Div<Voltage> for Power {
+    type Output = Current;
+    fn div(self, rhs: Voltage) -> Current {
+        Current::new(self.value() / rhs.value())
+    }
+}
+
+impl Div<Current> for Voltage {
+    type Output = Resistance;
+    /// Ohm's law, `R = V / I`.
+    fn div(self, rhs: Current) -> Resistance {
+        Resistance::new(self.value() / rhs.value())
+    }
+}
+
+impl Div<Resistance> for Voltage {
+    type Output = Current;
+    fn div(self, rhs: Resistance) -> Current {
+        Current::new(self.value() / rhs.value())
+    }
+}
+
+impl Frequency {
+    /// The period `1/f`.
+    ///
+    /// ```
+    /// use powerplay_units::Frequency;
+    /// let f = Frequency::new(2e6);
+    /// assert_eq!(f.period().value(), 0.5e-6);
+    /// ```
+    pub fn period(self) -> Time {
+        Time::new(1.0 / self.value())
+    }
+}
+
+impl Time {
+    /// The frequency `1/t`.
+    pub fn frequency(self) -> Frequency {
+        Frequency::new(1.0 / self.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_dynamic_term_types_check() {
+        // P = C · V_swing · V_DD · f  for one node.
+        let c = Capacitance::new(253e-15);
+        let vdd = Voltage::new(1.5);
+        let f = Frequency::new(2e6);
+        let p: Power = c * vdd * vdd * f;
+        let expected = 253e-15 * 1.5 * 1.5 * 2e6;
+        assert!((p.value() - expected).abs() < 1e-18);
+    }
+
+    #[test]
+    fn eq1_static_term() {
+        let i = Current::new(2e-3);
+        let vdd = Voltage::new(3.3);
+        let p: Power = vdd * i;
+        assert!((p.value() - 6.6e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_of_powers() {
+        let total: Power = [Power::new(1e-3), Power::new(2e-3), Power::new(3e-3)]
+            .into_iter()
+            .sum();
+        assert!((total.value() - 6e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_of_like_quantities_is_dimensionless() {
+        let a = Power::new(750e-6);
+        let b = Power::new(150e-6);
+        assert!((a / b - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_uses_engineering_notation() {
+        assert_eq!(Power::new(150e-6).to_string(), "150.0 uW");
+        assert_eq!(Capacitance::new(253e-15).to_string(), "253.0 fF");
+        assert_eq!(Frequency::new(2e6).to_string(), "2.000 MHz");
+        assert_eq!(Voltage::new(1.5).to_string(), "1.500 V");
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        let p: Power = "150.0 uW".parse().unwrap();
+        assert_eq!(p, Power::new(150e-6));
+        assert_eq!(p.to_string().parse::<Power>().unwrap(), p);
+    }
+
+    #[test]
+    fn ohms_law() {
+        let r = Voltage::new(3.0) / Current::new(1.5e-3);
+        assert!((r.value() - 2000.0).abs() < 1e-9);
+        let i = Voltage::new(3.0) / r;
+        assert!((i.value() - 1.5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn period_frequency_inverse() {
+        let f = Frequency::new(125e3);
+        assert!((f.period().frequency().value() - 125e3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn arithmetic_assign_ops() {
+        let mut p = Power::new(1.0);
+        p += Power::new(0.5);
+        p -= Power::new(0.25);
+        assert_eq!(p, Power::new(1.25));
+        assert_eq!(-p, Power::new(-1.25));
+        assert_eq!(p.abs(), Power::new(1.25));
+        assert_eq!((-p).abs(), Power::new(1.25));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Energy::new(1.0);
+        let b = Energy::new(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Power>();
+        assert_send_sync::<Capacitance>();
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for quantity parsing, formatting and arithmetic.
+
+use proptest::prelude::*;
+use powerplay_units::prefix::SiPrefix;
+use powerplay_units::{Capacitance, Energy, Frequency, Power, Voltage};
+
+fn reasonable_magnitude() -> impl Strategy<Value = f64> {
+    // Values spanning the prefixes we format (femto..tera).
+    (-14.0f64..14.0, 1.0f64..9.999).prop_map(|(exp, mant)| mant * 10f64.powf(exp))
+}
+
+proptest! {
+    #[test]
+    fn display_parse_roundtrip_power(v in reasonable_magnitude()) {
+        let p = Power::new(v);
+        let rendered = p.to_string();
+        let reparsed: Power = rendered.parse().expect("rendered value reparses");
+        // Four significant digits -> relative error below 1e-3.
+        let rel = ((reparsed.value() - v) / v).abs();
+        prop_assert!(rel < 1.5e-3, "{v} -> {rendered} -> {} (rel {rel})", reparsed.value());
+    }
+
+    #[test]
+    fn display_parse_roundtrip_negative(v in reasonable_magnitude()) {
+        let p = Power::new(-v);
+        let reparsed: Power = p.to_string().parse().expect("negative reparses");
+        let rel = ((reparsed.value() + v) / v).abs();
+        prop_assert!(rel < 1.5e-3);
+    }
+
+    #[test]
+    fn prefix_choice_keeps_mantissa_in_range(v in reasonable_magnitude()) {
+        let p = SiPrefix::for_value(v);
+        let mantissa = v / p.factor();
+        prop_assert!((1.0 - 1e-12..1000.0 + 1e-9).contains(&mantissa),
+            "value {v} prefix {p:?} mantissa {mantissa}");
+    }
+
+    #[test]
+    fn addition_commutes(a in reasonable_magnitude(), b in reasonable_magnitude()) {
+        prop_assert_eq!(Power::new(a) + Power::new(b), Power::new(b) + Power::new(a));
+    }
+
+    #[test]
+    fn dynamic_power_scales_quadratically_with_vdd(
+        c in 1e-15f64..1e-9,
+        v in 0.5f64..5.0,
+        f in 1e3f64..1e9,
+    ) {
+        let base: Power = Capacitance::new(c) * Voltage::new(v) * Voltage::new(v) * Frequency::new(f);
+        let doubled: Power = Capacitance::new(c) * Voltage::new(2.0 * v) * Voltage::new(2.0 * v) * Frequency::new(f);
+        let ratio = doubled / base;
+        prop_assert!((ratio - 4.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn energy_times_frequency_matches_power_divided_by_period(
+        e in 1e-15f64..1e-3,
+        f in 1e3f64..1e9,
+    ) {
+        let via_mul: Power = Energy::new(e) * Frequency::new(f);
+        let via_div: Power = Energy::new(e) / Frequency::new(f).period();
+        let rel = ((via_mul.value() - via_div.value()) / via_mul.value()).abs();
+        prop_assert!(rel < 1e-12);
+    }
+
+    #[test]
+    fn parse_accepts_all_prefixes(mant in 1.0f64..999.0) {
+        for prefix in SiPrefix::ALL {
+            let text = format!("{mant}{}W", prefix.symbol());
+            let parsed: Power = text.parse().expect("prefixed literal parses");
+            let expected = mant * prefix.factor();
+            let rel = ((parsed.value() - expected) / expected).abs();
+            prop_assert!(rel < 1e-12, "{text} -> {}", parsed.value());
+        }
+    }
+}

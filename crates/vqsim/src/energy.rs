@@ -1,0 +1,232 @@
+//! Switching-event ledgers and the simulation report.
+
+use std::fmt;
+
+use powerplay_units::{Capacitance, Energy, Power, Time, Voltage};
+
+/// Per-component tally of accesses, data-dependent bit toggles, and the
+/// capacitance each switches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentEnergy {
+    name: String,
+    /// Capacitance switched unconditionally on every access (decoders,
+    /// word lines, clock).
+    cap_per_access: Capacitance,
+    /// Capacitance switched per toggled data bit (bit-lines, output
+    /// drivers, register slaves).
+    cap_per_toggle: Capacitance,
+    accesses: u64,
+    bit_toggles: u64,
+}
+
+impl ComponentEnergy {
+    /// Creates a ledger for one hardware block.
+    pub fn new(
+        name: impl Into<String>,
+        cap_per_access: Capacitance,
+        cap_per_toggle: Capacitance,
+    ) -> ComponentEnergy {
+        ComponentEnergy {
+            name: name.into(),
+            cap_per_access,
+            cap_per_toggle,
+            accesses: 0,
+            bit_toggles: 0,
+        }
+    }
+
+    /// The component's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records one access with `toggled_bits` data transitions.
+    pub fn record(&mut self, toggled_bits: u32) {
+        self.accesses += 1;
+        self.bit_toggles += toggled_bits as u64;
+    }
+
+    /// Total accesses recorded.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total data-bit toggles recorded.
+    pub fn bit_toggles(&self) -> u64 {
+        self.bit_toggles
+    }
+
+    /// Average toggles per access.
+    pub fn toggles_per_access(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.bit_toggles as f64 / self.accesses as f64
+        }
+    }
+
+    /// Total switched capacitance.
+    pub fn switched_cap(&self) -> Capacitance {
+        self.cap_per_access * self.accesses as f64 + self.cap_per_toggle * self.bit_toggles as f64
+    }
+
+    /// Energy at a full-rail supply: `C_total · V_DD²`.
+    pub fn energy(&self, vdd: Voltage) -> Energy {
+        self.switched_cap() * vdd * vdd
+    }
+}
+
+/// The result of simulating a decoder architecture over a video clip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    arch_name: String,
+    vdd: Voltage,
+    sim_time: Time,
+    components: Vec<ComponentEnergy>,
+}
+
+impl SimReport {
+    pub(crate) fn new(
+        arch_name: String,
+        vdd: Voltage,
+        sim_time: Time,
+        components: Vec<ComponentEnergy>,
+    ) -> SimReport {
+        SimReport {
+            arch_name,
+            vdd,
+            sim_time,
+            components,
+        }
+    }
+
+    /// The simulated architecture's name.
+    pub fn arch_name(&self) -> &str {
+        &self.arch_name
+    }
+
+    /// Supply voltage of the run.
+    pub fn vdd(&self) -> Voltage {
+        self.vdd
+    }
+
+    /// Wall-clock time the simulated clip represents.
+    pub fn sim_time(&self) -> Time {
+        self.sim_time
+    }
+
+    /// Per-component ledgers.
+    pub fn components(&self) -> &[ComponentEnergy] {
+        &self.components
+    }
+
+    /// One component by name.
+    pub fn component(&self, name: &str) -> Option<&ComponentEnergy> {
+        self.components.iter().find(|c| c.name() == name)
+    }
+
+    /// Total energy over the clip.
+    pub fn total_energy(&self) -> Energy {
+        self.components.iter().map(|c| c.energy(self.vdd)).sum()
+    }
+
+    /// Average power: total energy / represented time.
+    pub fn total_power(&self) -> Power {
+        self.total_energy() / self.sim_time
+    }
+
+    /// One component's average power.
+    pub fn component_power(&self, name: &str) -> Option<Power> {
+        self.component(name)
+            .map(|c| c.energy(self.vdd) / self.sim_time)
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} simulated {:.1} ms at {}",
+            self.arch_name,
+            self.sim_time.value() * 1e3,
+            self.vdd
+        )?;
+        writeln!(
+            f,
+            "{:<18} {:>12} {:>14} {:>10} {:>12}",
+            "component", "accesses", "toggles/access", "energy", "power"
+        )?;
+        for c in &self.components {
+            writeln!(
+                f,
+                "{:<18} {:>12} {:>14.2} {:>10} {:>12}",
+                c.name(),
+                c.accesses(),
+                c.toggles_per_access(),
+                c.energy(self.vdd).to_string(),
+                (c.energy(self.vdd) / self.sim_time).to_string(),
+            )?;
+        }
+        writeln!(f, "total power: {}", self.total_power())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ff(v: f64) -> Capacitance {
+        Capacitance::new(v * 1e-15)
+    }
+
+    #[test]
+    fn ledger_accumulates() {
+        let mut c = ComponentEnergy::new("lut", ff(100.0), ff(10.0));
+        c.record(3);
+        c.record(0);
+        c.record(6);
+        assert_eq!(c.accesses(), 3);
+        assert_eq!(c.bit_toggles(), 9);
+        assert!((c.toggles_per_access() - 3.0).abs() < 1e-12);
+        let expected = 3.0 * 100e-15 + 9.0 * 10e-15;
+        assert!((c.switched_cap().value() - expected).abs() < 1e-27);
+    }
+
+    #[test]
+    fn energy_scales_quadratically() {
+        let mut c = ComponentEnergy::new("x", ff(100.0), ff(0.0));
+        c.record(0);
+        let e1 = c.energy(Voltage::new(1.0)).value();
+        let e2 = c.energy(Voltage::new(2.0)).value();
+        assert!((e2 / e1 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ledger_is_zero() {
+        let c = ComponentEnergy::new("idle", ff(100.0), ff(10.0));
+        assert_eq!(c.energy(Voltage::new(1.5)), Energy::ZERO);
+        assert_eq!(c.toggles_per_access(), 0.0);
+    }
+
+    #[test]
+    fn report_totals_and_display() {
+        let mut a = ComponentEnergy::new("a", ff(100.0), ff(0.0));
+        a.record(0);
+        let mut b = ComponentEnergy::new("b", ff(300.0), ff(0.0));
+        b.record(0);
+        let report = SimReport::new(
+            "test arch".into(),
+            Voltage::new(1.0),
+            Time::new(1e-3),
+            vec![a, b],
+        );
+        let total = report.total_power().value();
+        assert!((total - 400e-15 / 1e-3).abs() < 1e-18);
+        let pa = report.component_power("a").unwrap().value();
+        assert!((pa - 100e-15 / 1e-3).abs() < 1e-18);
+        assert!(report.component("missing").is_none());
+        let text = report.to_string();
+        assert!(text.contains("test arch"));
+        assert!(text.contains("total power"));
+    }
+}

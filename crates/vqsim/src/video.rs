@@ -1,0 +1,246 @@
+//! Synthetic correlated video and its vector-quantization encoding.
+//!
+//! The InfoPad terminal's 256 × 128 screen is decomposed into 2048
+//! 4 × 4-pixel blocks; each block is VQ-encoded as one 8-bit codebook
+//! index, which is why the decoder's ping-pong buffers are 2048 words
+//! deep. Natural video is spatially smooth, so neighbouring blocks map
+//! to nearby codebook entries — the correlation the spreadsheet estimate
+//! deliberately neglects.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Screen width in pixels.
+pub const SCREEN_W: usize = 256;
+/// Screen height in pixels.
+pub const SCREEN_H: usize = 128;
+/// Pixels per VQ block (4 × 4).
+pub const BLOCK_PIXELS: usize = 16;
+/// VQ blocks per frame — the decoder's buffer depth.
+pub const BLOCKS_PER_FRAME: usize = SCREEN_W * SCREEN_H / BLOCK_PIXELS;
+/// Codebook entries (8-bit code).
+pub const CODEBOOK_SIZE: usize = 256;
+/// Luminance word width in bits.
+pub const LUMA_BITS: u32 = 6;
+
+/// A VQ codebook plus a sequence of encoded frames.
+#[derive(Debug, Clone)]
+pub struct VideoSource {
+    codebook: Vec<[u8; BLOCK_PIXELS]>,
+    frames: Vec<Vec<u8>>,
+}
+
+impl VideoSource {
+    /// Generates `n_frames` of smooth synthetic video, encoded through a
+    /// brightness-ordered codebook.
+    ///
+    /// The luminance field is a sum of slow sinusoids (scene structure)
+    /// plus low-amplitude noise (sensor grain), drifting frame to frame
+    /// (motion). The codebook is ordered by mean brightness so that
+    /// spatial smoothness translates into numerically close codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_frames` is zero.
+    pub fn synthetic(seed: u64, n_frames: usize) -> VideoSource {
+        assert!(n_frames > 0, "need at least one frame");
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Brightness-ordered codebook: entry k has mean luminance ~k/4
+        // (6-bit range) with a little per-pixel texture.
+        let mut codebook = Vec::with_capacity(CODEBOOK_SIZE);
+        for k in 0..CODEBOOK_SIZE {
+            let mean = (k as f64 / (CODEBOOK_SIZE - 1) as f64) * 63.0;
+            let mut entry = [0u8; BLOCK_PIXELS];
+            for px in &mut entry {
+                let texture: f64 = rng.gen_range(-2.0..2.0);
+                *px = (mean + texture).clamp(0.0, 63.0) as u8;
+            }
+            codebook.push(entry);
+        }
+
+        let mut frames = Vec::with_capacity(n_frames);
+        let (phase_x, phase_y): (f64, f64) = {
+            use std::f64::consts::TAU;
+            (rng.gen_range(0.0..TAU), rng.gen_range(0.0..TAU))
+        };
+        for t in 0..n_frames {
+            let drift = t as f64 * 0.15;
+            let mut codes = Vec::with_capacity(BLOCKS_PER_FRAME);
+            let blocks_x = SCREEN_W / 4;
+            let blocks_y = SCREEN_H / 4;
+            for by in 0..blocks_y {
+                for bx in 0..blocks_x {
+                    let x = bx as f64 / blocks_x as f64;
+                    let y = by as f64 / blocks_y as f64;
+                    let luma = 0.5
+                        + 0.28 * (2.0 * std::f64::consts::PI * (1.3 * x + drift) + phase_x).sin()
+                        + 0.18 * (2.0 * std::f64::consts::PI * (0.9 * y - 0.5 * drift) + phase_y).sin();
+                    let noise: f64 = rng.gen_range(-0.02..0.02);
+                    let level = ((luma + noise).clamp(0.0, 1.0) * (CODEBOOK_SIZE - 1) as f64) as u8;
+                    codes.push(level);
+                }
+            }
+            frames.push(codes);
+        }
+
+        VideoSource { codebook, frames }
+    }
+
+    /// Worst-case content: codes and codebook both uniformly random —
+    /// the "signal correlations are neglected" assumption made flesh.
+    /// Against this input the spreadsheet's conservative estimate should
+    /// be nearly exact (the ablation of E-A1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_frames` is zero.
+    pub fn noise(seed: u64, n_frames: usize) -> VideoSource {
+        assert!(n_frames > 0, "need at least one frame");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut codebook = Vec::with_capacity(CODEBOOK_SIZE);
+        for _ in 0..CODEBOOK_SIZE {
+            let mut entry = [0u8; BLOCK_PIXELS];
+            for px in &mut entry {
+                *px = rng.gen_range(0..64);
+            }
+            codebook.push(entry);
+        }
+        let frames = (0..n_frames)
+            .map(|_| (0..BLOCKS_PER_FRAME).map(|_| rng.gen()).collect())
+            .collect();
+        VideoSource { codebook, frames }
+    }
+
+    /// Best-case content: a single smooth frame repeated (a static
+    /// screen) — after the first pass the read-port data never changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_frames` is zero.
+    pub fn static_scene(seed: u64, n_frames: usize) -> VideoSource {
+        let one = VideoSource::synthetic(seed, 1);
+        let frame = one.frames[0].clone();
+        VideoSource {
+            codebook: one.codebook,
+            frames: vec![frame; n_frames],
+        }
+    }
+
+    /// The codebook: 256 blocks of 16 six-bit luminance values.
+    pub fn codebook(&self) -> &[[u8; BLOCK_PIXELS]] {
+        &self.codebook
+    }
+
+    /// Encoded frames; each frame is [`BLOCKS_PER_FRAME`] code bytes.
+    pub fn frames(&self) -> &[Vec<u8>] {
+        &self.frames
+    }
+
+    /// Number of frames.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Mean absolute difference between consecutive codes within frames —
+    /// the spatial-correlation statistic that drives bit-line activity.
+    pub fn code_smoothness(&self) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for frame in &self.frames {
+            for pair in frame.windows(2) {
+                total += (pair[0] as i32 - pair[1] as i32).unsigned_abs() as f64;
+                count += 1;
+            }
+        }
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_constants_match_the_paper() {
+        // "The system has a 256 x 128 pixel video screen" and 2048-word
+        // ping-pong buffers.
+        assert_eq!(BLOCKS_PER_FRAME, 2048);
+        assert_eq!(CODEBOOK_SIZE * BLOCK_PIXELS, 4096); // LUT words, arch A
+    }
+
+    #[test]
+    fn synthetic_video_has_right_shape() {
+        let v = VideoSource::synthetic(1, 3);
+        assert_eq!(v.frame_count(), 3);
+        for frame in v.frames() {
+            assert_eq!(frame.len(), BLOCKS_PER_FRAME);
+        }
+        assert_eq!(v.codebook().len(), CODEBOOK_SIZE);
+        for entry in v.codebook() {
+            assert!(entry.iter().all(|&px| px < 64), "6-bit luminance");
+        }
+    }
+
+    #[test]
+    fn codebook_is_brightness_ordered() {
+        let v = VideoSource::synthetic(2, 1);
+        let means: Vec<f64> = v
+            .codebook()
+            .iter()
+            .map(|e| e.iter().map(|&p| p as f64).sum::<f64>() / BLOCK_PIXELS as f64)
+            .collect();
+        // Means must be (weakly) increasing up to texture noise.
+        for pair in means.windows(2) {
+            assert!(pair[1] >= pair[0] - 3.0, "ordering violated: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn video_is_spatially_correlated() {
+        let v = VideoSource::synthetic(3, 4);
+        let smoothness = v.code_smoothness();
+        // Uniform random codes would differ by ~85 on average (|U−U'| of
+        // 0..=255); smooth video must be far below that.
+        assert!(
+            smoothness < 20.0,
+            "expected correlated codes, got mean delta {smoothness}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = VideoSource::synthetic(9, 2);
+        let b = VideoSource::synthetic(9, 2);
+        assert_eq!(a.frames(), b.frames());
+        let c = VideoSource::synthetic(10, 2);
+        assert_ne!(a.frames(), c.frames());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_frames_panics() {
+        let _ = VideoSource::synthetic(1, 0);
+    }
+
+    #[test]
+    fn noise_video_is_uncorrelated() {
+        let v = VideoSource::noise(5, 2);
+        // Uniform random bytes: mean |delta| ≈ 256/3 ≈ 85.3.
+        let smoothness = v.code_smoothness();
+        assert!(
+            (70.0..100.0).contains(&smoothness),
+            "noise smoothness {smoothness}"
+        );
+        assert_eq!(v.frames()[0].len(), BLOCKS_PER_FRAME);
+    }
+
+    #[test]
+    fn static_scene_repeats_one_frame() {
+        let v = VideoSource::static_scene(6, 4);
+        assert_eq!(v.frame_count(), 4);
+        assert_eq!(v.frames()[0], v.frames()[3]);
+        // Same smoothness as a single synthetic frame.
+        assert!(v.code_smoothness() < 20.0);
+    }
+}

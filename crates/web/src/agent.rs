@@ -1,0 +1,364 @@
+//! The *Design Agent*: a dynamic design-flow manager.
+//!
+//! "Models which require tool invocations are implemented through a
+//! dynamic design-flow manager called the Design Agent, which translates
+//! the hyperlink request for data into a sequence of appropriate tool
+//! invocations determined by the chosen design context."
+//!
+//! A [`Tool`] declares which data items it *requires* and *provides*; the
+//! agent resolves a request for an item into a dependency-ordered plan of
+//! tool runs, executes it against a shared blackboard of values, and
+//! caches results so repeated hyperlink clicks are free.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+
+/// The shared blackboard tools read from and write to.
+pub type Blackboard = BTreeMap<String, f64>;
+
+/// One invocable tool in the flow.
+pub trait Tool: Send + Sync {
+    /// Tool name (shown in plans and errors).
+    fn name(&self) -> &str;
+    /// Data items this tool needs present on the blackboard.
+    fn requires(&self) -> Vec<String>;
+    /// Data items this tool writes.
+    fn provides(&self) -> Vec<String>;
+    /// Runs the tool.
+    ///
+    /// # Errors
+    ///
+    /// Tools report failures as strings; the agent wraps them.
+    fn run(&self, board: &mut Blackboard) -> Result<(), String>;
+}
+
+/// The closure type a [`FnTool`] wraps.
+type ToolBody = Box<dyn Fn(&mut Blackboard) -> Result<(), String> + Send + Sync>;
+
+/// A tool defined by closures — enough for estimation flows, and what the
+/// tests and examples use.
+pub struct FnTool {
+    name: String,
+    requires: Vec<String>,
+    provides: Vec<String>,
+    body: ToolBody,
+}
+
+impl FnTool {
+    /// Creates a tool from its interface lists and body.
+    pub fn new(
+        name: impl Into<String>,
+        requires: impl IntoIterator<Item = &'static str>,
+        provides: impl IntoIterator<Item = &'static str>,
+        body: impl Fn(&mut Blackboard) -> Result<(), String> + Send + Sync + 'static,
+    ) -> FnTool {
+        FnTool {
+            name: name.into(),
+            requires: requires.into_iter().map(str::to_owned).collect(),
+            provides: provides.into_iter().map(str::to_owned).collect(),
+            body: Box::new(body),
+        }
+    }
+}
+
+impl Tool for FnTool {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn requires(&self) -> Vec<String> {
+        self.requires.clone()
+    }
+    fn provides(&self) -> Vec<String> {
+        self.provides.clone()
+    }
+    fn run(&self, board: &mut Blackboard) -> Result<(), String> {
+        (self.body)(board)
+    }
+}
+
+/// Error produced by the agent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgentError {
+    /// No registered tool provides the requested item.
+    NoProvider(String),
+    /// Tool dependencies form a cycle.
+    CircularFlow(Vec<String>),
+    /// A tool failed at run time.
+    ToolFailed {
+        /// The failing tool.
+        tool: String,
+        /// Its reported message.
+        message: String,
+    },
+}
+
+impl fmt::Display for AgentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgentError::NoProvider(item) => write!(f, "no tool provides `{item}`"),
+            AgentError::CircularFlow(tools) => {
+                write!(f, "circular tool dependencies: {}", tools.join(" -> "))
+            }
+            AgentError::ToolFailed { tool, message } => {
+                write!(f, "tool `{tool}` failed: {message}")
+            }
+        }
+    }
+}
+
+impl Error for AgentError {}
+
+/// The flow manager.
+#[derive(Default)]
+pub struct DesignAgent {
+    tools: Vec<Box<dyn Tool>>,
+    board: Blackboard,
+}
+
+impl DesignAgent {
+    /// An agent with no tools and an empty blackboard.
+    pub fn new() -> DesignAgent {
+        DesignAgent::default()
+    }
+
+    /// Registers a tool.
+    pub fn register(&mut self, tool: impl Tool + 'static) {
+        self.tools.push(Box::new(tool));
+    }
+
+    /// Seeds a blackboard value (design context the user already knows).
+    pub fn seed(&mut self, item: impl Into<String>, value: f64) {
+        self.board.insert(item.into(), value);
+    }
+
+    /// Reads a blackboard value.
+    pub fn value(&self, item: &str) -> Option<f64> {
+        self.board.get(item).copied()
+    }
+
+    /// Computes the ordered tool plan that produces `item`, without
+    /// running anything. Items already on the blackboard need no tools.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgentError::NoProvider`] or [`AgentError::CircularFlow`].
+    pub fn plan(&self, item: &str) -> Result<Vec<String>, AgentError> {
+        let mut order = Vec::new();
+        let mut done: BTreeSet<String> = self.board.keys().cloned().collect();
+        let mut in_progress = Vec::new();
+        self.plan_item(item, &mut order, &mut done, &mut in_progress)?;
+        Ok(order)
+    }
+
+    fn provider_of(&self, item: &str) -> Option<&dyn Tool> {
+        self.tools
+            .iter()
+            .find(|t| t.provides().iter().any(|p| p == item))
+            .map(Box::as_ref)
+    }
+
+    fn plan_item(
+        &self,
+        item: &str,
+        order: &mut Vec<String>,
+        done: &mut BTreeSet<String>,
+        in_progress: &mut Vec<String>,
+    ) -> Result<(), AgentError> {
+        if done.contains(item) {
+            return Ok(());
+        }
+        let tool = self
+            .provider_of(item)
+            .ok_or_else(|| AgentError::NoProvider(item.to_owned()))?;
+        let tool_name = tool.name().to_owned();
+        if in_progress.contains(&tool_name) {
+            let start = in_progress
+                .iter()
+                .position(|t| *t == tool_name)
+                .unwrap_or(0);
+            return Err(AgentError::CircularFlow(in_progress[start..].to_vec()));
+        }
+        in_progress.push(tool_name.clone());
+        for required in tool.requires() {
+            self.plan_item(&required, order, done, in_progress)?;
+        }
+        in_progress.pop();
+        if !order.contains(&tool_name) {
+            order.push(tool_name);
+            for provided in tool.provides() {
+                done.insert(provided);
+            }
+        }
+        Ok(())
+    }
+
+    /// Produces `item`: plans, runs any tools whose outputs are missing,
+    /// and returns the value. Results stay on the blackboard, so a second
+    /// request runs nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgentError`] on planning or tool failure, and
+    /// [`AgentError::ToolFailed`] if the plan completes without the item
+    /// appearing (a tool lied about what it provides).
+    pub fn request(&mut self, item: &str) -> Result<f64, AgentError> {
+        if let Some(value) = self.board.get(item) {
+            return Ok(*value);
+        }
+        let plan = self.plan(item)?;
+        for tool_name in plan {
+            let tool = self
+                .tools
+                .iter()
+                .find(|t| t.name() == tool_name)
+                .expect("planned tools are registered");
+            // Skip tools whose outputs are all already present.
+            if tool.provides().iter().all(|p| self.board.contains_key(p)) {
+                continue;
+            }
+            tool.run(&mut self.board).map_err(|message| AgentError::ToolFailed {
+                tool: tool_name.clone(),
+                message,
+            })?;
+        }
+        self.board
+            .get(item)
+            .copied()
+            .ok_or_else(|| AgentError::ToolFailed {
+                tool: "<plan>".into(),
+                message: format!("plan completed but `{item}` was not produced"),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// A three-stage estimation flow: area -> wire capacitance -> power.
+    fn estimation_agent(counter: Arc<AtomicUsize>) -> DesignAgent {
+        let mut agent = DesignAgent::new();
+        agent.seed("block_count", 400.0);
+        agent.seed("vdd", 1.5);
+        agent.seed("f", 2e6);
+        let c1 = Arc::clone(&counter);
+        agent.register(FnTool::new(
+            "area_estimator",
+            ["block_count"],
+            ["active_area_mm2"],
+            move |b| {
+                c1.fetch_add(1, Ordering::SeqCst);
+                let blocks = b["block_count"];
+                b.insert("active_area_mm2".into(), blocks * 0.01);
+                Ok(())
+            },
+        ));
+        let c2 = Arc::clone(&counter);
+        agent.register(FnTool::new(
+            "wire_estimator",
+            ["active_area_mm2"],
+            ["wire_cap_f"],
+            move |b| {
+                c2.fetch_add(1, Ordering::SeqCst);
+                let area = b["active_area_mm2"];
+                b.insert("wire_cap_f".into(), area * 50e-12);
+                Ok(())
+            },
+        ));
+        let c3 = Arc::clone(&counter);
+        agent.register(FnTool::new(
+            "power_estimator",
+            ["wire_cap_f", "vdd", "f"],
+            ["interconnect_power_w"],
+            move |b| {
+                c3.fetch_add(1, Ordering::SeqCst);
+                let p = b["wire_cap_f"] * b["vdd"] * b["vdd"] * b["f"];
+                b.insert("interconnect_power_w".into(), p);
+                Ok(())
+            },
+        ));
+        agent
+    }
+
+    #[test]
+    fn plans_are_dependency_ordered() {
+        let agent = estimation_agent(Arc::new(AtomicUsize::new(0)));
+        let plan = agent.plan("interconnect_power_w").unwrap();
+        assert_eq!(plan, ["area_estimator", "wire_estimator", "power_estimator"]);
+        // Items already present need no tools.
+        assert!(agent.plan("vdd").unwrap().is_empty());
+    }
+
+    #[test]
+    fn request_runs_the_flow_and_caches() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut agent = estimation_agent(Arc::clone(&counter));
+        let power = agent.request("interconnect_power_w").unwrap();
+        let expected = 400.0 * 0.01 * 50e-12 * 1.5 * 1.5 * 2e6;
+        assert!((power - expected).abs() < expected * 1e-12);
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+        // Second request: everything cached, nothing runs.
+        let again = agent.request("interconnect_power_w").unwrap();
+        assert_eq!(again, power);
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+        // Intermediate results are exposed too (C-INTERMEDIATE).
+        assert!(agent.value("wire_cap_f").is_some());
+    }
+
+    #[test]
+    fn missing_provider_is_reported() {
+        let agent = estimation_agent(Arc::new(AtomicUsize::new(0)));
+        let err = agent.plan("tape_out_date").unwrap_err();
+        assert_eq!(err, AgentError::NoProvider("tape_out_date".into()));
+    }
+
+    #[test]
+    fn circular_flows_are_detected() {
+        let mut agent = DesignAgent::new();
+        agent.register(FnTool::new("a", ["y"], ["x"], |_| Ok(())));
+        agent.register(FnTool::new("b", ["x"], ["y"], |_| Ok(())));
+        let err = agent.plan("x").unwrap_err();
+        assert!(matches!(err, AgentError::CircularFlow(_)));
+    }
+
+    #[test]
+    fn tool_failures_are_attributed() {
+        let mut agent = DesignAgent::new();
+        agent.register(FnTool::new("flaky", [], ["thing"], |_| {
+            Err("license server down".into())
+        }));
+        let err = agent.request("thing").unwrap_err();
+        assert_eq!(
+            err,
+            AgentError::ToolFailed {
+                tool: "flaky".into(),
+                message: "license server down".into()
+            }
+        );
+    }
+
+    #[test]
+    fn lying_tool_is_caught() {
+        let mut agent = DesignAgent::new();
+        agent.register(FnTool::new("liar", [], ["gold"], |_| Ok(())));
+        let err = agent.request("gold").unwrap_err();
+        assert!(matches!(err, AgentError::ToolFailed { .. }));
+        assert!(err.to_string().contains("gold"));
+    }
+
+    #[test]
+    fn seeded_context_short_circuits_tools() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut agent = estimation_agent(Arc::clone(&counter));
+        // The user already measured the wire cap: seed it.
+        agent.seed("wire_cap_f", 100e-12);
+        let power = agent.request("interconnect_power_w").unwrap();
+        let expected = 100e-12 * 1.5 * 1.5 * 2e6;
+        assert!((power - expected).abs() < expected * 1e-12);
+        // Only the power estimator ran.
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Escaping-safe HTML generation for the PowerPlay pages.
+//!
+//! Deliberately 1996-flavoured markup (tables, forms, hyperlinks — the
+//! three things the paper's UI is made of), generated through helpers
+//! that force escaping at the boundaries.
+
+use std::fmt::Write as _;
+
+/// Escapes text for element content and attribute values.
+///
+/// ```
+/// assert_eq!(powerplay_web::html::escape("a < b & \"c\""), "a &lt; b &amp; &quot;c&quot;");
+/// ```
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Wraps body markup in the standard PowerPlay page chrome.
+pub fn page(title: &str, body: &str) -> String {
+    format!(
+        "<!DOCTYPE html>\n<html><head><title>{title}</title>\
+         <style>body{{font-family:sans-serif;margin:2em}}\
+         table{{border-collapse:collapse}}\
+         td,th{{border:1px solid #999;padding:4px 8px;text-align:left}}\
+         th{{background:#ddd}}\
+         .total{{font-weight:bold;background:#eee}}</style>\
+         </head><body><h1>{title}</h1>\n{body}\n\
+         <hr><p><em>PowerPlay — early power exploration \
+         (DAC 1996 reproduction)</em></p></body></html>",
+        title = escape(title),
+    )
+}
+
+/// An anchor with escaped label and attribute-escaped href.
+pub fn link(href: &str, label: &str) -> String {
+    format!("<a href=\"{}\">{}</a>", escape(href), escape(label))
+}
+
+/// A table from a header row and data rows of *pre-rendered* cells.
+/// Callers escape text cells themselves (cells may contain links).
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::from("<table><tr>");
+    for h in headers {
+        let _ = write!(out, "<th>{}</th>", escape(h));
+    }
+    out.push_str("</tr>");
+    for row in rows {
+        out.push_str("<tr>");
+        for cell in row {
+            let _ = write!(out, "<td>{cell}</td>");
+        }
+        out.push_str("</tr>");
+    }
+    out.push_str("</table>");
+    out
+}
+
+/// A labelled text input with a default value.
+pub fn text_input(name: &str, value: &str, label: &str) -> String {
+    format!(
+        "<label>{}: <input type=\"text\" name=\"{}\" value=\"{}\"></label><br>",
+        escape(label),
+        escape(name),
+        escape(value),
+    )
+}
+
+/// A hidden input.
+pub fn hidden_input(name: &str, value: &str) -> String {
+    format!(
+        "<input type=\"hidden\" name=\"{}\" value=\"{}\">",
+        escape(name),
+        escape(value),
+    )
+}
+
+/// A form posting to `action` with the given inner markup and a submit
+/// button labelled `submit`.
+pub fn form(action: &str, inner: &str, submit: &str) -> String {
+    format!(
+        "<form method=\"post\" action=\"{}\">{inner}\
+         <input type=\"submit\" value=\"{}\"></form>",
+        escape(action),
+        escape(submit),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_all_metacharacters() {
+        assert_eq!(escape("<script>'x'&\"y\""), "&lt;script&gt;&#39;x&#39;&amp;&quot;y&quot;");
+        assert_eq!(escape("plain µW"), "plain µW");
+    }
+
+    #[test]
+    fn page_escapes_title_but_not_body() {
+        let p = page("A<B", "<b>bold</b>");
+        assert!(p.contains("<title>A&lt;B</title>"));
+        assert!(p.contains("<b>bold</b>"));
+        assert!(p.contains("DAC 1996"));
+    }
+
+    #[test]
+    fn link_escapes_both_parts() {
+        let l = link("/x?a=1&b=2", "A & B");
+        assert_eq!(l, "<a href=\"/x?a=1&amp;b=2\">A &amp; B</a>");
+    }
+
+    #[test]
+    fn table_renders_rows() {
+        let t = table(
+            &["Name", "Power"],
+            &[vec!["LUT".into(), "669 uW".into()]],
+        );
+        assert!(t.contains("<th>Name</th>"));
+        assert!(t.contains("<td>LUT</td>"));
+        assert!(t.contains("<td>669 uW</td>"));
+    }
+
+    #[test]
+    fn inputs_escape_values() {
+        let i = text_input("formula", "a < b", "Formula");
+        assert!(i.contains("value=\"a &lt; b\""));
+        let h = hidden_input("user", "a\"b");
+        assert!(h.contains("value=\"a&quot;b\""));
+    }
+
+    #[test]
+    fn form_wraps_inner_markup() {
+        let f = form("/design/play", "<input name=\"x\">", "Play");
+        assert!(f.starts_with("<form method=\"post\" action=\"/design/play\">"));
+        assert!(f.contains("value=\"Play\""));
+    }
+}

@@ -1,0 +1,96 @@
+//! Minimal base64 (standard alphabet) for HTTP Basic credentials.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes as standard base64 with padding.
+///
+/// ```
+/// assert_eq!(powerplay_web::http::base64::encode(b"alice:secret"), "YWxpY2U6c2VjcmV0");
+/// ```
+pub fn encode(input: &[u8]) -> String {
+    let mut out = String::with_capacity(input.len().div_ceil(3) * 4);
+    for chunk in input.chunks(3) {
+        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let n = ((b[0] as u32) << 16) | ((b[1] as u32) << 8) | b[2] as u32;
+        let chars = [
+            ALPHABET[(n >> 18) as usize & 63],
+            ALPHABET[(n >> 12) as usize & 63],
+            ALPHABET[(n >> 6) as usize & 63],
+            ALPHABET[n as usize & 63],
+        ];
+        out.push(chars[0] as char);
+        out.push(chars[1] as char);
+        out.push(if chunk.len() > 1 { chars[2] as char } else { '=' });
+        out.push(if chunk.len() > 2 { chars[3] as char } else { '=' });
+    }
+    out
+}
+
+/// Decodes standard base64 (padding required for short final groups).
+/// Returns `None` on any invalid character or length.
+pub fn decode(input: &str) -> Option<Vec<u8>> {
+    fn value(c: u8) -> Option<u32> {
+        match c {
+            b'A'..=b'Z' => Some((c - b'A') as u32),
+            b'a'..=b'z' => Some((c - b'a' + 26) as u32),
+            b'0'..=b'9' => Some((c - b'0' + 52) as u32),
+            b'+' => Some(62),
+            b'/' => Some(63),
+            _ => None,
+        }
+    }
+    let bytes = input.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for chunk in bytes.chunks(4) {
+        let pad = chunk.iter().rev().take_while(|&&c| c == b'=').count();
+        if pad > 2 || chunk[..4 - pad].contains(&b'=') {
+            return None;
+        }
+        let mut n = 0u32;
+        for &c in &chunk[..4 - pad] {
+            n = (n << 6) | value(c)?;
+        }
+        n <<= 6 * pad as u32;
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foob"), "Zm9vYg==");
+        assert_eq!(encode(b"alice:secret"), "YWxpY2U6c2VjcmV0");
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        for input in [&b""[..], b"f", b"fo", b"foo", b"alice:s3cr3t!", b"\x00\xff\x7f"] {
+            assert_eq!(decode(&encode(input)).as_deref(), Some(input));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode("a").is_none()); // bad length
+        assert!(decode("====").is_none()); // too much padding
+        assert!(decode("Zg=a").is_none()); // padding inside
+        assert!(decode("Zm!v").is_none()); // bad character
+    }
+}

@@ -1,0 +1,240 @@
+//! A small HTTP/1.1 client for cross-site model access (paper Figure 7:
+//! "the key is using … scripts at Universal Resource Locators to handle
+//! information transfer on demand").
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use super::request::{Method, Request};
+use super::response::{Response, Status};
+
+/// Error produced by the HTTP client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The URL was not of the supported `http://host[:port]/path` form.
+    BadUrl(String),
+    /// Connecting or transferring failed.
+    Io(String),
+    /// The server's response was malformed.
+    BadResponse(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::BadUrl(url) => write!(f, "unsupported url `{url}`"),
+            ClientError::Io(e) => write!(f, "connection failed: {e}"),
+            ClientError::BadResponse(what) => write!(f, "malformed response: {what}"),
+        }
+    }
+}
+
+impl Error for ClientError {}
+
+/// Issues a `GET` and returns the response.
+///
+/// # Errors
+///
+/// Returns [`ClientError`] on bad URLs, connection failure, or malformed
+/// responses.
+///
+/// ```no_run
+/// let response = powerplay_web::http::http_get("http://127.0.0.1:8096/api/library")?;
+/// assert!(response.body_text().starts_with('['));
+/// # Ok::<(), powerplay_web::http::ClientError>(())
+/// ```
+pub fn http_get(url: &str) -> Result<Response, ClientError> {
+    send(url, Method::Get, None, None)
+}
+
+/// Issues a `GET` with HTTP Basic credentials (for password-protected
+/// PowerPlay instances — "PowerPlay can provide password-restricted
+/// access").
+///
+/// # Errors
+///
+/// Same as [`http_get`].
+pub fn http_get_basic_auth(
+    url: &str,
+    user: &str,
+    password: &str,
+) -> Result<Response, ClientError> {
+    send(url, Method::Get, None, Some((user, password)))
+}
+
+/// Issues a `POST` with the given body and content type.
+///
+/// # Errors
+///
+/// Same as [`http_get`].
+pub fn http_post(url: &str, body: &[u8], content_type: &str) -> Result<Response, ClientError> {
+    send(url, Method::Post, Some((body, content_type)), None)
+}
+
+fn send(
+    url: &str,
+    method: Method,
+    body: Option<(&[u8], &str)>,
+    basic_auth: Option<(&str, &str)>,
+) -> Result<Response, ClientError> {
+    let (host_port, path_and_query) = split_url(url)?;
+    let mut request = Request::new(method, path_and_query);
+    if let Some((bytes, content_type)) = body {
+        request.set_body(bytes.to_vec(), content_type);
+    }
+    if let Some((user, password)) = basic_auth {
+        let token = crate::http::base64::encode(format!("{user}:{password}").as_bytes());
+        request.set_header("authorization", &format!("Basic {token}"));
+    }
+
+    let stream = TcpStream::connect(&host_port).map_err(|e| ClientError::Io(e.to_string()))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| ClientError::Io(e.to_string()))?;
+    let mut writer = stream.try_clone().map_err(|e| ClientError::Io(e.to_string()))?;
+    writer
+        .write_all(&request.to_bytes(&host_port))
+        .map_err(|e| ClientError::Io(e.to_string()))?;
+
+    read_response(&mut BufReader::new(stream))
+}
+
+/// Splits `http://host[:port]/path?query` into `(host:port, /path?query)`.
+fn split_url(url: &str) -> Result<(String, &str), ClientError> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| ClientError::BadUrl(url.to_owned()))?;
+    let (authority, path) = match rest.find('/') {
+        Some(idx) => (&rest[..idx], &rest[idx..]),
+        None => (rest, "/"),
+    };
+    if authority.is_empty() {
+        return Err(ClientError::BadUrl(url.to_owned()));
+    }
+    let host_port = if authority.contains(':') {
+        authority.to_owned()
+    } else {
+        format!("{authority}:80")
+    };
+    Ok((host_port, path))
+}
+
+fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, ClientError> {
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| ClientError::Io(e.to_string()))?;
+    let mut parts = status_line.split_whitespace();
+    let version = parts.next().unwrap_or_default();
+    if !version.starts_with("HTTP/1.") {
+        return Err(ClientError::BadResponse(format!(
+            "bad status line `{}`",
+            status_line.trim()
+        )));
+    }
+    let code: u16 = parts
+        .next()
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| ClientError::BadResponse("missing status code".into()))?;
+    let status = match code {
+        200 => Status::Ok,
+        302 => Status::Found,
+        400 => Status::BadRequest,
+        401 => Status::Unauthorized,
+        404 => Status::NotFound,
+        405 => Status::MethodNotAllowed,
+        _ => Status::InternalServerError,
+    };
+
+    let mut headers = BTreeMap::new();
+    loop {
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(ClientError::BadResponse("truncated headers".into()));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_owned());
+        }
+    }
+
+    let body = match headers.get("content-length") {
+        Some(len) => {
+            let len: usize = len
+                .parse()
+                .map_err(|_| ClientError::BadResponse("bad content-length".into()))?;
+            let mut body = vec![0u8; len];
+            reader
+                .read_exact(&mut body)
+                .map_err(|e| ClientError::Io(e.to_string()))?;
+            body
+        }
+        None => {
+            let mut body = Vec::new();
+            reader
+                .read_to_end(&mut body)
+                .map_err(|e| ClientError::Io(e.to_string()))?;
+            body
+        }
+    };
+    Ok(Response::from_parts(status, headers, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_splitting() {
+        assert_eq!(
+            split_url("http://example.org/a/b?c=1").unwrap(),
+            ("example.org:80".to_owned(), "/a/b?c=1")
+        );
+        assert_eq!(
+            split_url("http://127.0.0.1:8096").unwrap(),
+            ("127.0.0.1:8096".to_owned(), "/")
+        );
+        assert!(split_url("https://secure.example.org/").is_err());
+        assert!(split_url("ftp://example.org/").is_err());
+        assert!(split_url("http:///nohost").is_err());
+    }
+
+    #[test]
+    fn parses_response_without_content_length() {
+        let raw = "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n\r\nhello";
+        let r = read_response(&mut BufReader::new(raw.as_bytes())).unwrap();
+        assert_eq!(r.status(), Status::Ok);
+        assert_eq!(r.body_text(), "hello");
+    }
+
+    #[test]
+    fn parses_response_with_content_length() {
+        let raw = "HTTP/1.1 404 Not Found\r\ncontent-length: 4\r\n\r\nnope extra";
+        let r = read_response(&mut BufReader::new(raw.as_bytes())).unwrap();
+        assert_eq!(r.status(), Status::NotFound);
+        assert_eq!(r.body_text(), "nope");
+    }
+
+    #[test]
+    fn rejects_garbage_responses() {
+        assert!(read_response(&mut BufReader::new(&b"SMTP hello\r\n"[..])).is_err());
+        assert!(read_response(&mut BufReader::new(&b"HTTP/1.1\r\n\r\n"[..])).is_err());
+    }
+
+    #[test]
+    fn connection_refused_is_io_error() {
+        // Port 1 on localhost is almost certainly closed.
+        let err = http_get("http://127.0.0.1:1/").unwrap_err();
+        assert!(matches!(err, ClientError::Io(_)));
+    }
+}

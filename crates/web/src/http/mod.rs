@@ -1,0 +1,19 @@
+//! A minimal HTTP/1.1 implementation on `std::net`.
+//!
+//! Scope: exactly what a 1996 CGI-style tool needs — `GET`/`POST`,
+//! `Content-Length` bodies, keep-alive, URL-encoded forms — implemented
+//! defensively (size limits, timeouts) because [`remote`](crate::remote)
+//! accepts connections from other sites.
+
+pub mod base64;
+
+mod client;
+mod request;
+mod response;
+mod server;
+pub mod urlencoded;
+
+pub use client::{http_get, http_get_basic_auth, http_post, ClientError};
+pub use request::{Method, ParseRequestError, Request};
+pub use response::{Response, Status};
+pub use server::{Server, ServerHandle};

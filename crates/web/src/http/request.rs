@@ -1,0 +1,382 @@
+//! HTTP request parsing.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::io::BufRead;
+
+use super::urlencoded;
+
+/// Maximum accepted header section size.
+const MAX_HEAD: usize = 16 * 1024;
+/// Maximum accepted body size (designs and libraries are small).
+const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// Request methods PowerPlay serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `POST`
+    Post,
+}
+
+impl Method {
+    /// Parses the method token.
+    pub fn from_token(token: &str) -> Option<Method> {
+        match token {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        })
+    }
+}
+
+/// Error produced while reading a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseRequestError {
+    /// The connection closed before a complete request arrived.
+    ConnectionClosed,
+    /// The request line or headers were malformed.
+    Malformed(String),
+    /// The method is not supported.
+    UnsupportedMethod(String),
+    /// Headers or body exceeded the size limits.
+    TooLarge,
+    /// An I/O error occurred.
+    Io(String),
+}
+
+impl fmt::Display for ParseRequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseRequestError::ConnectionClosed => write!(f, "connection closed"),
+            ParseRequestError::Malformed(what) => write!(f, "malformed request: {what}"),
+            ParseRequestError::UnsupportedMethod(m) => write!(f, "unsupported method `{m}`"),
+            ParseRequestError::TooLarge => write!(f, "request too large"),
+            ParseRequestError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for ParseRequestError {}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    method: Method,
+    /// Decoded path, e.g. `/element`.
+    path: String,
+    /// Raw (undecoded) query string.
+    query: String,
+    headers: BTreeMap<String, String>,
+    body: Vec<u8>,
+}
+
+impl Request {
+    /// Builds a request in memory (used by the client and tests).
+    pub fn new(method: Method, path_and_query: &str) -> Request {
+        let (path, query) = match path_and_query.split_once('?') {
+            Some((p, q)) => (p.to_owned(), q.to_owned()),
+            None => (path_and_query.to_owned(), String::new()),
+        };
+        Request {
+            method,
+            path,
+            query,
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// The request method.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// The decoded path component.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The raw query string.
+    pub fn query(&self) -> &str {
+        &self.query
+    }
+
+    /// A header value, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(&name.to_ascii_lowercase()).map(String::as_str)
+    }
+
+    /// The request body.
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    /// Query parameters, decoded, in order.
+    pub fn query_pairs(&self) -> Vec<(String, String)> {
+        urlencoded::parse_pairs(&self.query)
+    }
+
+    /// First query parameter with the given name.
+    pub fn query_param(&self, name: &str) -> Option<String> {
+        self.query_pairs()
+            .into_iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Form fields from an `application/x-www-form-urlencoded` body.
+    pub fn form_pairs(&self) -> Vec<(String, String)> {
+        urlencoded::parse_pairs(&String::from_utf8_lossy(&self.body))
+    }
+
+    /// First form field with the given name.
+    pub fn form_param(&self, name: &str) -> Option<String> {
+        self.form_pairs()
+            .into_iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether the client asked to keep the connection open.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) => !v.eq_ignore_ascii_case("close"),
+            None => true, // HTTP/1.1 default
+        }
+    }
+
+    /// Reads one request from a buffered stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseRequestError`] on malformed input, size-limit
+    /// violations, unsupported methods, or I/O failure.
+    pub fn read_from<R: BufRead>(reader: &mut R) -> Result<Request, ParseRequestError> {
+        let request_line = read_line(reader)?;
+        if request_line.is_empty() {
+            return Err(ParseRequestError::ConnectionClosed);
+        }
+        let mut parts = request_line.split_whitespace();
+        let method_token = parts
+            .next()
+            .ok_or_else(|| ParseRequestError::Malformed("empty request line".into()))?;
+        let target = parts
+            .next()
+            .ok_or_else(|| ParseRequestError::Malformed("missing request target".into()))?;
+        let version = parts
+            .next()
+            .ok_or_else(|| ParseRequestError::Malformed("missing HTTP version".into()))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(ParseRequestError::Malformed(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let method = Method::from_token(method_token)
+            .ok_or_else(|| ParseRequestError::UnsupportedMethod(method_token.to_owned()))?;
+
+        let mut headers = BTreeMap::new();
+        let mut head_size = request_line.len();
+        loop {
+            let line = read_line(reader)?;
+            head_size += line.len();
+            if head_size > MAX_HEAD {
+                return Err(ParseRequestError::TooLarge);
+            }
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| ParseRequestError::Malformed(format!("bad header `{line}`")))?;
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_owned());
+        }
+
+        let body = match headers.get("content-length") {
+            None => Vec::new(),
+            Some(len) => {
+                let len: usize = len
+                    .parse()
+                    .map_err(|_| ParseRequestError::Malformed("bad content-length".into()))?;
+                if len > MAX_BODY {
+                    return Err(ParseRequestError::TooLarge);
+                }
+                let mut body = vec![0u8; len];
+                reader
+                    .read_exact(&mut body)
+                    .map_err(|e| ParseRequestError::Io(e.to_string()))?;
+                body
+            }
+        };
+
+        let (raw_path, query) = match target.split_once('?') {
+            Some((p, q)) => (p, q.to_owned()),
+            None => (target, String::new()),
+        };
+        Ok(Request {
+            method,
+            path: urlencoded::decode(raw_path),
+            query,
+            headers,
+            body,
+        })
+    }
+
+    pub(crate) fn set_header(&mut self, name: &str, value: &str) {
+        self.headers
+            .insert(name.to_ascii_lowercase(), value.to_owned());
+    }
+
+    pub(crate) fn set_body(&mut self, body: Vec<u8>, content_type: &str) {
+        self.headers
+            .insert("content-type".into(), content_type.to_owned());
+        self.body = body;
+    }
+
+    /// Serializes the request for sending (client side).
+    pub(crate) fn to_bytes(&self, host: &str) -> Vec<u8> {
+        let mut target = self.path.clone();
+        if !self.query.is_empty() {
+            target.push('?');
+            target.push_str(&self.query);
+        }
+        let mut out = format!("{} {} HTTP/1.1\r\nHost: {host}\r\n", self.method, target);
+        for (name, value) in &self.headers {
+            out.push_str(&format!("{name}: {value}\r\n"));
+        }
+        out.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        out.push_str("Connection: close\r\n\r\n");
+        let mut bytes = out.into_bytes();
+        bytes.extend_from_slice(&self.body);
+        bytes
+    }
+}
+
+fn read_line<R: BufRead>(reader: &mut R) -> Result<String, ParseRequestError> {
+    let mut line = String::new();
+    let n = reader
+        .read_line(&mut line)
+        .map_err(|e| ParseRequestError::Io(e.to_string()))?;
+    if n == 0 {
+        return Ok(String::new());
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    if line.len() > MAX_HEAD {
+        return Err(ParseRequestError::TooLarge);
+    }
+    Ok(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ParseRequestError> {
+        Request::read_from(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = parse("GET /element?name=ucb%2Fmultiplier&user=alice HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        assert_eq!(req.method(), Method::Get);
+        assert_eq!(req.path(), "/element");
+        assert_eq!(req.query_param("name").as_deref(), Some("ucb/multiplier"));
+        assert_eq!(req.query_param("user").as_deref(), Some("alice"));
+        assert_eq!(req.query_param("missing"), None);
+        assert!(req.body().is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_form_body() {
+        let body = "bw_a=8&bw_b=16&formula=f+%2F+16";
+        let raw = format!(
+            "POST /eval HTTP/1.1\r\nContent-Type: application/x-www-form-urlencoded\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let req = parse(&raw).unwrap();
+        assert_eq!(req.method(), Method::Post);
+        assert_eq!(req.form_param("bw_a").as_deref(), Some("8"));
+        assert_eq!(req.form_param("formula").as_deref(), Some("f / 16"));
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive() {
+        let req = parse("GET / HTTP/1.1\r\nX-Custom-Header: value\r\n\r\n").unwrap();
+        assert_eq!(req.header("x-custom-header"), Some("value"));
+        assert_eq!(req.header("X-CUSTOM-HEADER"), Some("value"));
+    }
+
+    #[test]
+    fn keep_alive_defaults() {
+        assert!(parse("GET / HTTP/1.1\r\n\r\n").unwrap().keep_alive());
+        assert!(!parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .keep_alive());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(matches!(parse(""), Err(ParseRequestError::ConnectionClosed)));
+        assert!(matches!(
+            parse("DELETE / HTTP/1.1\r\n\r\n"),
+            Err(ParseRequestError::UnsupportedMethod(_))
+        ));
+        assert!(matches!(
+            parse("GET /\r\n\r\n"),
+            Err(ParseRequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/2\r\n\r\n"),
+            Err(ParseRequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nBadHeader\r\n\r\n"),
+            Err(ParseRequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nContent-Length: many\r\n\r\n"),
+            Err(ParseRequestError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(parse(&raw), Err(ParseRequestError::TooLarge)));
+    }
+
+    #[test]
+    fn path_is_percent_decoded() {
+        let req = parse("GET /doc/ucb%2Fsram HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path(), "/doc/ucb/sram");
+    }
+
+    #[test]
+    fn client_serialization_roundtrips() {
+        let mut req = Request::new(Method::Post, "/api/element?name=x");
+        req.set_body(b"{\"a\":1}".to_vec(), "application/json");
+        let bytes = req.to_bytes("example.org");
+        let parsed = Request::read_from(&mut BufReader::new(bytes.as_slice())).unwrap();
+        assert_eq!(parsed.method(), Method::Post);
+        assert_eq!(parsed.path(), "/api/element");
+        assert_eq!(parsed.query_param("name").as_deref(), Some("x"));
+        assert_eq!(parsed.body(), b"{\"a\":1}");
+        assert_eq!(parsed.header("content-type"), Some("application/json"));
+    }
+}

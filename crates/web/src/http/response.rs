@@ -1,0 +1,205 @@
+//! HTTP response construction and serialization.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+
+/// Response status codes PowerPlay emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// 200
+    Ok,
+    /// 302 (post-redirect-get after form submissions)
+    Found,
+    /// 400
+    BadRequest,
+    /// 401 (password-protected instances)
+    Unauthorized,
+    /// 404
+    NotFound,
+    /// 405
+    MethodNotAllowed,
+    /// 500
+    InternalServerError,
+}
+
+impl Status {
+    /// Numeric code.
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::Found => 302,
+            Status::BadRequest => 400,
+            Status::Unauthorized => 401,
+            Status::NotFound => 404,
+            Status::MethodNotAllowed => 405,
+            Status::InternalServerError => 500,
+        }
+    }
+
+    /// Reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::Found => "Found",
+            Status::BadRequest => "Bad Request",
+            Status::Unauthorized => "Unauthorized",
+            Status::NotFound => "Not Found",
+            Status::MethodNotAllowed => "Method Not Allowed",
+            Status::InternalServerError => "Internal Server Error",
+        }
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    status: Status,
+    headers: BTreeMap<String, String>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with the given status.
+    pub fn new(status: Status) -> Response {
+        Response {
+            status,
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A 200 HTML page.
+    pub fn html(body: impl Into<String>) -> Response {
+        let mut r = Response::new(Status::Ok);
+        r.set_header("Content-Type", "text/html; charset=utf-8");
+        r.body = body.into().into_bytes();
+        r
+    }
+
+    /// A 200 JSON document.
+    pub fn json(body: impl Into<String>) -> Response {
+        let mut r = Response::new(Status::Ok);
+        r.set_header("Content-Type", "application/json");
+        r.body = body.into().into_bytes();
+        r
+    }
+
+    /// A 302 redirect.
+    pub fn redirect(location: &str) -> Response {
+        let mut r = Response::new(Status::Found);
+        r.set_header("Location", location);
+        r
+    }
+
+    /// An error page with a plain-text body.
+    pub fn error(status: Status, message: &str) -> Response {
+        let mut r = Response::new(status);
+        r.set_header("Content-Type", "text/plain; charset=utf-8");
+        r.body = message.as_bytes().to_vec();
+        r
+    }
+
+    /// The response status.
+    pub fn status(&self) -> Status {
+        self.status
+    }
+
+    /// A header value by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(String::as_str)
+    }
+
+    /// Sets a header.
+    pub fn set_header(&mut self, name: &str, value: &str) {
+        self.headers
+            .insert(name.to_ascii_lowercase(), value.to_owned());
+    }
+
+    /// The body bytes.
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    pub(crate) fn from_parts(
+        status: Status,
+        headers: BTreeMap<String, String>,
+        body: Vec<u8>,
+    ) -> Response {
+        Response {
+            status,
+            headers,
+            body,
+        }
+    }
+
+    /// Writes the response to a stream (server side).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_to<W: Write>(&self, writer: &mut W, keep_alive: bool) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\n",
+            self.status.code(),
+            self.status.reason()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!("content-length: {}\r\n", self.body.len()));
+        head.push_str(if keep_alive {
+            "connection: keep-alive\r\n\r\n"
+        } else {
+            "connection: close\r\n\r\n"
+        });
+        writer.write_all(head.as_bytes())?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_codes() {
+        assert_eq!(Status::Ok.code(), 200);
+        assert_eq!(Status::NotFound.code(), 404);
+        assert_eq!(Status::Found.reason(), "Found");
+    }
+
+    #[test]
+    fn html_response_has_content_type() {
+        let r = Response::html("<html></html>");
+        assert_eq!(r.status(), Status::Ok);
+        assert_eq!(r.header("content-type"), Some("text/html; charset=utf-8"));
+        assert_eq!(r.body_text(), "<html></html>");
+    }
+
+    #[test]
+    fn redirect_carries_location() {
+        let r = Response::redirect("/menu?user=alice");
+        assert_eq!(r.status(), Status::Found);
+        assert_eq!(r.header("Location"), Some("/menu?user=alice"));
+    }
+
+    #[test]
+    fn serialization_contains_length_and_connection() {
+        let r = Response::json("{}");
+        let mut out = Vec::new();
+        r.write_to(&mut out, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: close"));
+        assert!(text.ends_with("{}"));
+    }
+}

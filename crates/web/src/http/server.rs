@@ -1,0 +1,259 @@
+//! The threaded HTTP server.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use super::request::{ParseRequestError, Request};
+use super::response::{Response, Status};
+
+/// A request handler: pure function from request to response. Handlers
+/// run on connection threads, so they must be `Send + Sync`.
+pub type Handler = dyn Fn(&Request) -> Response + Send + Sync + 'static;
+
+/// A connection filter deciding whether a client address may connect —
+/// the paper's "WWW programs enable file access to be restricted to
+/// specific machines".
+pub type ClientFilter = dyn Fn(std::net::SocketAddr) -> bool + Send + Sync + 'static;
+
+/// A running HTTP server bound to a local address.
+///
+/// One thread per connection with keep-alive and a read timeout — ample
+/// for a tool whose 1996 incarnation ran as CGI under httpd.
+pub struct Server {
+    addr: std::net::SocketAddr,
+    listener: TcpListener,
+    handler: Arc<Handler>,
+    filter: Option<Arc<ClientFilter>>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket-binding error.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            addr,
+            listener,
+            handler: Arc::new(handler),
+            filter: None,
+        })
+    }
+
+    /// Like [`Self::bind`] but rejecting (closing immediately) any
+    /// connection whose peer address fails `filter` — machine-level
+    /// access restriction per the paper's protection section.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket-binding error.
+    pub fn bind_filtered<A: ToSocketAddrs>(
+        addr: A,
+        filter: impl Fn(std::net::SocketAddr) -> bool + Send + Sync + 'static,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> io::Result<Server> {
+        let mut server = Server::bind(addr, handler)?;
+        server.filter = Some(Arc::new(filter));
+        Ok(server)
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Starts accepting connections on a background thread and returns a
+    /// handle for shutdown.
+    pub fn start(self) -> ServerHandle {
+        let running = Arc::new(AtomicBool::new(true));
+        let accept_running = Arc::clone(&running);
+        let handler = Arc::clone(&self.handler);
+        let filter = self.filter.clone();
+        let addr = self.addr;
+        let listener = self.listener;
+        let join = thread::spawn(move || {
+            for stream in listener.incoming() {
+                if !accept_running.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => {
+                        if let Some(filter) = &filter {
+                            match stream.peer_addr() {
+                                Ok(peer) if filter(peer) => {}
+                                _ => continue, // drop the connection
+                            }
+                        }
+                        let handler = Arc::clone(&handler);
+                        thread::spawn(move || {
+                            let _ = serve_connection(stream, &handler);
+                        });
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        ServerHandle {
+            addr,
+            running,
+            join: Some(join),
+        }
+    }
+}
+
+/// Handle to a running server; dropping it shuts the server down.
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    running: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the accept loop exits (i.e. until [`Self::shutdown`]
+    /// is called from another thread).
+    pub fn join(mut self) {
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+
+    /// Stops accepting new connections.
+    pub fn shutdown(&self) {
+        self.running.store(false, Ordering::SeqCst);
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, handler: &Arc<Handler>) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let request = match Request::read_from(&mut reader) {
+            Ok(request) => request,
+            Err(ParseRequestError::ConnectionClosed) => return Ok(()),
+            Err(ParseRequestError::Io(_)) => return Ok(()),
+            Err(ParseRequestError::TooLarge) => {
+                let r = Response::error(Status::BadRequest, "request too large");
+                let _ = r.write_to(&mut writer, false);
+                return Ok(());
+            }
+            Err(e) => {
+                let r = Response::error(Status::BadRequest, &e.to_string());
+                let _ = r.write_to(&mut writer, false);
+                return Ok(());
+            }
+        };
+        let keep_alive = request.keep_alive();
+        let response = handler(&request);
+        response.write_to(&mut writer, keep_alive)?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{http_get, Method};
+
+    #[test]
+    fn serves_requests_and_shuts_down() {
+        let server = Server::bind("127.0.0.1:0", |req| {
+            if req.path() == "/hello" {
+                Response::html(format!("hi {}", req.query_param("who").unwrap_or_default()))
+            } else {
+                Response::error(Status::NotFound, "nope")
+            }
+        })
+        .unwrap()
+        .start();
+
+        let base = format!("http://{}", server.addr());
+        let ok = http_get(&format!("{base}/hello?who=alice")).unwrap();
+        assert_eq!(ok.status(), Status::Ok);
+        assert_eq!(ok.body_text(), "hi alice");
+
+        let missing = http_get(&format!("{base}/nope")).unwrap();
+        assert_eq!(missing.status(), Status::NotFound);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_requests_are_served() {
+        let server = Server::bind("127.0.0.1:0", |req| {
+            Response::html(req.query_param("n").unwrap_or_default())
+        })
+        .unwrap()
+        .start();
+        let base = format!("http://{}", server.addr());
+
+        let handles: Vec<_> = (0..8)
+            .map(|n| {
+                let base = base.clone();
+                std::thread::spawn(move || {
+                    let r = http_get(&format!("{base}/?n={n}")).unwrap();
+                    assert_eq!(r.body_text(), n.to_string());
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        use std::io::{Read, Write};
+        let server = Server::bind("127.0.0.1:0", |_| Response::html("ok"))
+            .unwrap()
+            .start();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 400"), "got: {buf}");
+    }
+
+    #[test]
+    fn method_enum_is_exposed_to_handlers() {
+        let server = Server::bind("127.0.0.1:0", |req| {
+            Response::html(match req.method() {
+                Method::Get => "get",
+                Method::Post => "post",
+            })
+        })
+        .unwrap()
+        .start();
+        let r = http_get(&format!("http://{}/x", server.addr())).unwrap();
+        assert_eq!(r.body_text(), "get");
+    }
+}

@@ -1,0 +1,135 @@
+//! Percent-encoding and `application/x-www-form-urlencoded` codecs.
+
+/// Percent-encodes a string for use in a query component: everything but
+/// unreserved characters is escaped; spaces become `+`.
+///
+/// ```
+/// use powerplay_web::http::urlencoded::encode;
+/// assert_eq!(encode("ucb/multiplier"), "ucb%2Fmultiplier");
+/// assert_eq!(encode("a b"), "a+b");
+/// ```
+pub fn encode(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for byte in input.bytes() {
+        match byte {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(byte as char)
+            }
+            b' ' => out.push('+'),
+            other => {
+                out.push('%');
+                out.push_str(&format!("{other:02X}"));
+            }
+        }
+    }
+    out
+}
+
+/// Decodes percent-encoding (and `+` as space). Invalid escapes are
+/// passed through literally, matching lenient 1990s server behaviour.
+pub fn decode(input: &str) -> String {
+    let bytes = input.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() + 1 && i + 2 <= bytes.len() => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| {
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                }) {
+                    Some(value) => {
+                        out.push(value);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            other => {
+                out.push(other);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Parses a query string or form body into `(key, value)` pairs, decoded,
+/// preserving order and duplicates.
+///
+/// ```
+/// use powerplay_web::http::urlencoded::parse_pairs;
+/// let pairs = parse_pairs("a=1&name=Read+Bank&a=2");
+/// assert_eq!(pairs[1], ("name".to_owned(), "Read Bank".to_owned()));
+/// assert_eq!(pairs.len(), 3);
+/// ```
+pub fn parse_pairs(input: &str) -> Vec<(String, String)> {
+    input
+        .split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (decode(k), decode(v)),
+            None => (decode(part), String::new()),
+        })
+        .collect()
+}
+
+/// Encodes pairs into a query string / form body.
+pub fn encode_pairs<'a, I>(pairs: I) -> String
+where
+    I: IntoIterator<Item = (&'a str, &'a str)>,
+{
+    pairs
+        .into_iter()
+        .map(|(k, v)| format!("{}={}", encode(k), encode(v)))
+        .collect::<Vec<_>>()
+        .join("&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip_specials() {
+        for s in ["a b", "ucb/multiplier", "f / 16", "100%", "µW", "x=y&z"] {
+            assert_eq!(decode(&encode(s)), s, "roundtrip of {s:?}");
+        }
+    }
+
+    #[test]
+    fn decode_handles_malformed_escapes() {
+        assert_eq!(decode("%"), "%");
+        assert_eq!(decode("%2"), "%2");
+        assert_eq!(decode("%zz"), "%zz");
+        assert_eq!(decode("100%25"), "100%");
+    }
+
+    #[test]
+    fn parse_pairs_edge_cases() {
+        assert!(parse_pairs("").is_empty());
+        assert_eq!(parse_pairs("a"), vec![("a".into(), "".into())]);
+        assert_eq!(parse_pairs("a="), vec![("a".into(), "".into())]);
+        assert_eq!(
+            parse_pairs("a=b=c"),
+            vec![("a".into(), "b=c".into())]
+        );
+    }
+
+    #[test]
+    fn encode_pairs_composes_with_parse() {
+        let encoded = encode_pairs([("formula", "f / 16"), ("name", "Read Bank")]);
+        let parsed = parse_pairs(&encoded);
+        assert_eq!(parsed[0], ("formula".to_owned(), "f / 16".to_owned()));
+        assert_eq!(parsed[1], ("name".to_owned(), "Read Bank".to_owned()));
+    }
+}

@@ -1,0 +1,254 @@
+//! `powerplay-cli` — the command-line companion to the web application.
+//!
+//! The 1996 tool was browser-only; a modern release ships a CLI for
+//! scripting the same workflows: browse the library, evaluate an element,
+//! play a design file, sweep a global, lump a macro, serve the web app,
+//! or fetch a remote site's library.
+//!
+//! ```text
+//! powerplay-cli library [--class <class>]
+//! powerplay-cli doc <element>
+//! powerplay-cli eval <element> [name=value ...]        (vdd/f included)
+//! powerplay-cli play <design.json>
+//! powerplay-cli sweep <design.json> <global> <v1,v2,...>
+//! powerplay-cli lump <design.json> <macro-name>
+//! powerplay-cli serve [addr]
+//! powerplay-cli fetch <http://site>
+//! ```
+
+use std::process::ExitCode;
+
+use powerplay::{ucb_library, Expr, PowerPlay, Scope, Sheet};
+use powerplay_json::Json;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        None | Some("help") | Some("--help") => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        Some("library") => cmd_library(&args[1..]),
+        Some("doc") => cmd_doc(&args[1..]),
+        Some("eval") => cmd_eval(&args[1..]),
+        Some("play") => cmd_play(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("lump") => cmd_lump(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("mc") => cmd_mc(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("fetch") => cmd_fetch(&args[1..]),
+        Some(other) => Err(format!("unknown command `{other}` (try `help`)")),
+    }
+}
+
+const USAGE: &str = "\
+powerplay-cli — early power exploration (PowerPlay, DAC 1996)
+
+USAGE:
+  powerplay-cli library [--class <class>]   list library elements
+  powerplay-cli doc <element>               show an element's model
+  powerplay-cli eval <element> [k=v ...]    evaluate (vdd=1.5 f=2e6 defaults)
+  powerplay-cli play <design.json>          evaluate a design file
+  powerplay-cli sweep <design.json> <global> <v1,v2,...>
+  powerplay-cli lump <design.json> <name>   lump a design into a macro (JSON)
+  powerplay-cli compare <a.json> <b.json>    side-by-side design comparison
+  powerplay-cli mc <design.json> <rel> <trials> <globals,...>  Monte-Carlo spread
+  powerplay-cli serve [addr]                run the web application
+  powerplay-cli fetch <http://site>         fetch a remote library (JSON)
+";
+
+fn cmd_library(args: &[String]) -> Result<(), String> {
+    let lib = ucb_library();
+    let class_filter = match args {
+        [] => None,
+        [flag, class] if flag == "--class" => Some(
+            powerplay_library::ElementClass::from_id(class)
+                .ok_or_else(|| format!("unknown class `{class}`"))?,
+        ),
+        _ => return Err("usage: library [--class <class>]".into()),
+    };
+    for element in lib.iter() {
+        if class_filter.is_none_or(|c| element.class() == c) {
+            println!("{:<28} {:<13} {}", element.name(), element.class(), element.doc());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_doc(args: &[String]) -> Result<(), String> {
+    let [name] = args else {
+        return Err("usage: doc <element>".into());
+    };
+    let lib = ucb_library();
+    let element = lib
+        .get(name)
+        .ok_or_else(|| format!("no element `{name}` in the built-in library"))?;
+    println!("{} ({})", element.name(), element.class());
+    println!("{}\n", element.doc());
+    println!("parameters:");
+    for p in element.params() {
+        println!("  {:<12} default {:<12} {}", p.name, p.default, p.doc);
+    }
+    println!("{}", element.to_json().to_pretty());
+    Ok(())
+}
+
+fn parse_bindings(args: &[String]) -> Result<Scope<'static>, String> {
+    let mut scope = Scope::new();
+    scope.set("vdd", 1.5);
+    scope.set("f", 2e6);
+    for arg in args {
+        let (name, formula) = arg
+            .split_once('=')
+            .ok_or_else(|| format!("expected name=value, got `{arg}`"))?;
+        let value = Expr::parse(formula)
+            .map_err(|e| format!("`{arg}`: {e}"))?
+            .eval(&scope)
+            .map_err(|e| format!("`{arg}`: {e}"))?;
+        scope.set(name, value);
+    }
+    Ok(scope)
+}
+
+fn cmd_eval(args: &[String]) -> Result<(), String> {
+    let [name, rest @ ..] = args else {
+        return Err("usage: eval <element> [name=value ...]".into());
+    };
+    let lib = ucb_library();
+    let element = lib
+        .get(name)
+        .ok_or_else(|| format!("no element `{name}`"))?;
+    let parent = parse_bindings(rest)?;
+    let scope = element.default_scope(&parent);
+    // Re-apply explicit bindings so they shadow defaults.
+    let mut scope = scope;
+    for arg in rest {
+        if let Some((n, _)) = arg.split_once('=') {
+            if let Some(v) = parent.get(n) {
+                scope.set(n, v);
+            }
+        }
+    }
+    let eval = element.evaluate(&scope).map_err(|e| e.to_string())?;
+    println!("power     {}", eval.power);
+    if let Some(e) = eval.energy_per_op {
+        println!("energy/op {e}");
+    }
+    if let Some(a) = eval.area {
+        println!("area      {:.4} mm2", a.value() * 1e6);
+    }
+    if let Some(d) = eval.delay {
+        println!("delay     {d}");
+    }
+    Ok(())
+}
+
+fn load_design(path: &str) -> Result<Sheet, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    Sheet::from_json(&json).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_play(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("usage: play <design.json>".into());
+    };
+    let pp = PowerPlay::new();
+    let report = pp.play(&load_design(path)?).map_err(|e| e.to_string())?;
+    print!("{report}");
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let [path, global, values] = args else {
+        return Err("usage: sweep <design.json> <global> <v1,v2,...>".into());
+    };
+    let points: Vec<f64> = values
+        .split(',')
+        .map(|v| v.trim().parse().map_err(|_| format!("bad value `{v}`")))
+        .collect::<Result<_, _>>()?;
+    let pp = PowerPlay::new();
+    let sheet = load_design(path)?;
+    let curve = powerplay::whatif::sweep_global(&sheet, pp.registry(), global, &points)
+        .map_err(|e| e.to_string())?;
+    println!("{global:>12} {:>14}", "total power");
+    for (value, report) in curve {
+        println!("{value:>12} {:>14}", report.total_power().to_string());
+    }
+    Ok(())
+}
+
+fn cmd_lump(args: &[String]) -> Result<(), String> {
+    let [path, name] = args else {
+        return Err("usage: lump <design.json> <macro-name>".into());
+    };
+    let pp = PowerPlay::new();
+    let sheet = load_design(path)?;
+    let lumped = sheet.to_macro(name.clone(), pp.registry()).map_err(|e| e.to_string())?;
+    println!("{}", lumped.to_json().to_pretty());
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let [a, b] = args else {
+        return Err("usage: compare <a.json> <b.json>".into());
+    };
+    let pp = PowerPlay::new();
+    let ra = pp.play(&load_design(a)?).map_err(|e| e.to_string())?;
+    let rb = pp.play(&load_design(b)?).map_err(|e| e.to_string())?;
+    let cmp = powerplay_sheet::compare::Comparison::new(&ra, &rb);
+    print!("{cmp}");
+    println!("improvement (baseline/alternative): {:.2}x", cmp.improvement());
+    Ok(())
+}
+
+fn cmd_mc(args: &[String]) -> Result<(), String> {
+    let [path, rel, trials, globals] = args else {
+        return Err("usage: mc <design.json> <rel> <trials> <g1,g2,...>".into());
+    };
+    let rel: f64 = rel.parse().map_err(|_| format!("bad rel `{rel}`"))?;
+    let trials: usize = trials.parse().map_err(|_| format!("bad trials `{trials}`"))?;
+    let names: Vec<&str> = globals.split(',').map(str::trim).collect();
+    let pp = PowerPlay::new();
+    let sheet = load_design(path)?;
+    let mc = powerplay::whatif::monte_carlo(&sheet, pp.registry(), &names, rel, trials, 1996)
+        .map_err(|e| e.to_string())?;
+    println!("trials {trials}, +/-{:.0}% on {}", rel * 100.0, names.join(", "));
+    for q in [0.1, 0.5, 0.9] {
+        println!("p{:<3} {}", (q * 100.0) as u32, mc.quantile(q));
+    }
+    println!("p90/p10 spread: {:.2}x", mc.spread());
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let addr = args.first().map(String::as_str).unwrap_or("127.0.0.1:8096");
+    let data_dir = std::env::temp_dir().join("powerplay-cli-www");
+    let app = powerplay_web::app::PowerPlayApp::new(ucb_library(), data_dir);
+    let server = app.serve(addr).map_err(|e| e.to_string())?;
+    println!("PowerPlay serving at http://{}", server.addr());
+    server.join();
+    Ok(())
+}
+
+fn cmd_fetch(args: &[String]) -> Result<(), String> {
+    let [base] = args else {
+        return Err("usage: fetch <http://site>".into());
+    };
+    let registry = powerplay_web::remote::fetch_library(base).map_err(|e| e.to_string())?;
+    eprintln!("fetched {} models from {base}", registry.len());
+    println!("{}", registry.to_json().to_pretty());
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the PowerPlay reproduction workspace: hosts the
+//! top-level runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`). The library surface simply re-exports
+//! the member crates so examples and tests can reach everything through
+//! one dependency.
+
+pub use powerplay;
+pub use powerplay_expr as expr;
+pub use powerplay_json as json;
+pub use powerplay_library as library;
+pub use powerplay_models as models;
+pub use powerplay_sheet as sheet;
+pub use powerplay_units as units;
+pub use powerplay_vqsim as vqsim;
+pub use powerplay_web as web;

@@ -1,0 +1,128 @@
+//! End-to-end tests of the `powerplay-cli` binary.
+
+use std::process::Command;
+
+fn cli(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_powerplay-cli"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(args: &[&str]) -> String {
+    let out = cli(args);
+    assert!(
+        out.status.success(),
+        "`{args:?}` failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn write_design() -> std::path::PathBuf {
+    use powerplay::designs::luminance::{sheet, LuminanceArch};
+    let path = std::env::temp_dir().join(format!("powerplay-cli-{}.json", std::process::id()));
+    std::fs::write(&path, sheet(LuminanceArch::GroupedLut).to_json().to_pretty()).unwrap();
+    path
+}
+
+#[test]
+fn help_and_unknown_command() {
+    assert!(stdout(&["help"]).contains("powerplay-cli"));
+    let out = cli(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn library_listing_and_class_filter() {
+    let all = stdout(&["library"]);
+    assert!(all.contains("ucb/multiplier"));
+    assert!(all.contains("ucb/dcdc"));
+    let storage = stdout(&["library", "--class", "storage"]);
+    assert!(storage.contains("ucb/sram"));
+    assert!(!storage.contains("ucb/multiplier"));
+    let bad = cli(&["library", "--class", "quantum"]);
+    assert!(!bad.status.success());
+}
+
+#[test]
+fn doc_shows_model_formulas() {
+    let doc = stdout(&["doc", "ucb/multiplier"]);
+    assert!(doc.contains("EQ 20"));
+    assert!(doc.contains("bw_a"));
+    assert!(doc.contains("cap_full"));
+}
+
+#[test]
+fn eval_matches_known_numbers() {
+    // 8x8 at the paper's operating point: 72.86 uW.
+    let out = stdout(&["eval", "ucb/multiplier", "bw_a=8", "bw_b=8"]);
+    assert!(out.contains("72.86 uW"), "{out}");
+    // Formulas work on the command line too (16x8 at doubled rate).
+    let out = stdout(&["eval", "ucb/multiplier", "bw_a=2*8", "f=4MHz"]);
+    assert!(out.contains("291.5 uW"), "{out}");
+}
+
+#[test]
+fn play_renders_design_files() {
+    let path = write_design();
+    let out = stdout(&["play", path.to_str().unwrap()]);
+    assert!(out.contains("Look Up Table"));
+    assert!(out.contains("139.0 uW"));
+    assert!(out.contains("critical path"));
+}
+
+#[test]
+fn sweep_prints_series() {
+    let path = write_design();
+    let out = stdout(&["sweep", path.to_str().unwrap(), "vdd", "1.0,2.0"]);
+    assert!(out.contains("61.79 uW"), "{out}"); // at 1.0 V
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 3); // header + 2 points
+}
+
+#[test]
+fn lump_emits_a_valid_element() {
+    let path = write_design();
+    let out = stdout(&["lump", path.to_str().unwrap(), "macros/decoder"]);
+    let json = powerplay_json::Json::parse(&out).unwrap();
+    let element = powerplay::LibraryElement::from_json(&json).unwrap();
+    assert_eq!(element.name(), "macros/decoder");
+}
+
+#[test]
+fn bad_design_file_is_a_clean_error() {
+    let path = std::env::temp_dir().join(format!("powerplay-bad-{}.json", std::process::id()));
+    std::fs::write(&path, "{not json").unwrap();
+    let out = cli(&["play", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+    let missing = cli(&["play", "/nonexistent/design.json"]);
+    assert!(!missing.status.success());
+}
+
+#[test]
+fn compare_shows_the_architecture_study() {
+    use powerplay::designs::luminance::{sheet, LuminanceArch};
+    let dir = std::env::temp_dir();
+    let a = dir.join(format!("pp-cmp-a-{}.json", std::process::id()));
+    let b = dir.join(format!("pp-cmp-b-{}.json", std::process::id()));
+    std::fs::write(&a, sheet(LuminanceArch::DirectLut).to_json().to_pretty()).unwrap();
+    std::fs::write(&b, sheet(LuminanceArch::GroupedLut).to_json().to_pretty()).unwrap();
+    let out = stdout(&["compare", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(out.contains("Look Up Table"));
+    assert!(out.contains("TOTAL"));
+    assert!(out.contains("improvement"));
+    assert!(out.contains("5.0"), "{out}"); // ~5.08x
+}
+
+#[test]
+fn monte_carlo_summarizes_uncertainty() {
+    let path = write_design();
+    let out = stdout(&["mc", path.to_str().unwrap(), "0.1", "100", "vdd,f"]);
+    assert!(out.contains("p10"));
+    assert!(out.contains("p50"));
+    assert!(out.contains("p90"));
+    assert!(out.contains("spread"));
+}

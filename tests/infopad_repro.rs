@@ -1,0 +1,118 @@
+//! Experiment E-F5 (paper Figure 5): the InfoPad system power breakdown —
+//! hierarchy, mixed modeling sources, and converter intermodel coupling.
+
+use powerplay::designs::{infopad, luminance};
+use powerplay::designs::luminance::LuminanceArch;
+use powerplay::{PowerPlay, Row, RowModel};
+
+#[test]
+fn figure5_breakdown_reproduces() {
+    let pp = PowerPlay::new();
+    let report = pp.play(&infopad::sheet()).unwrap();
+
+    // Total ≈ 10.9 W.
+    let total = report.total_power().value();
+    assert!((10.0..11.5).contains(&total), "total {total:.2} W");
+
+    // All seven Figure 5 rows are present.
+    for row in [
+        "Custom Hardware",
+        "Radio Subsystem",
+        "Display LCDs",
+        "Processor Subsystem",
+        "Support Electronics",
+        "Voltage Converters",
+        "Other IO Devices",
+    ] {
+        assert!(report.row(row).is_some(), "missing row {row}");
+    }
+
+    // Display-dominated, custom hardware negligible — the "effort where
+    // it matters" lesson.
+    assert_eq!(report.breakdown()[0].0, "Display LCDs");
+    let custom_share = report.row("Custom Hardware").unwrap().power().value() / total;
+    assert!(custom_share < 0.001, "custom hardware at {custom_share:.4}");
+}
+
+#[test]
+fn hyperlinked_hierarchy_reaches_the_luminance_chip() {
+    // "By clicking on the subsystem name, the custom hardware spreadsheet
+    // is called" — the nested reports model those hyperlinks.
+    let pp = PowerPlay::new();
+    let report = pp.play(&infopad::sheet()).unwrap();
+    let custom = report.row("Custom Hardware").unwrap().sub_report().unwrap();
+    let luminance_row = custom.row("Luminance Chip").unwrap();
+    // The same decoder evaluated standalone gives the identical power —
+    // parameter inheritance is exact through the hierarchy.
+    let standalone = pp
+        .play(&luminance::sheet(LuminanceArch::GroupedLut))
+        .unwrap()
+        .total_power();
+    assert_eq!(luminance_row.power(), standalone);
+}
+
+#[test]
+fn converter_row_tracks_system_changes() {
+    // EQ 19 intermodel interaction: grow the radio's draw and the
+    // converter dissipation must follow by (1-η)/η of the delta.
+    let pp = PowerPlay::new();
+    let base = pp.play(&infopad::sheet()).unwrap();
+
+    let mut heavier = infopad::sheet();
+    heavier
+        .row_mut("Radio Subsystem")
+        .unwrap()
+        .bind("p_tx", "4.0")
+        .unwrap();
+    let changed = pp.play(&heavier).unwrap();
+
+    let delta_radio = changed.row("Radio Subsystem").unwrap().power().value()
+        - base.row("Radio Subsystem").unwrap().power().value();
+    let delta_conv = changed.row("Voltage Converters").unwrap().power().value()
+        - base.row("Voltage Converters").unwrap().power().value();
+    assert!(delta_radio > 0.0);
+    assert!(
+        (delta_conv - delta_radio * 0.25).abs() < 1e-9,
+        "converter delta {delta_conv} vs radio delta {delta_radio}"
+    );
+}
+
+#[test]
+fn whole_system_lumps_into_a_macro() {
+    // The InfoPad itself can be lumped and re-used (e.g. as one node of a
+    // deployment study): a mixed digital/static/direct design exercises
+    // every term of the extraction.
+    let mut pp = PowerPlay::new();
+    let system = infopad::sheet();
+    let direct_total = pp.play(&system).unwrap().total_power();
+    let lumped = pp.lump(&system, "macros/infopad").unwrap().clone();
+
+    let mut fleet = powerplay::Sheet::new("fleet");
+    fleet.set_global("vdd", "1.5").unwrap();
+    fleet.set_global("f", "2MHz").unwrap();
+    fleet.add_row(Row::new("Terminal", RowModel::Inline(lumped)));
+    let via_macro = pp.play(&fleet).unwrap().total_power();
+    assert!(
+        (via_macro.value() - direct_total.value()).abs() < 1e-6 * direct_total.value(),
+        "macro {via_macro} vs direct {direct_total}"
+    );
+}
+
+#[test]
+fn infopad_json_roundtrip_preserves_hierarchy() {
+    let pp = PowerPlay::new();
+    let original = infopad::sheet();
+    let text = original.to_json().to_pretty();
+    let reloaded = powerplay::Sheet::from_json(&powerplay_json::Json::parse(&text).unwrap()).unwrap();
+    let a = pp.play(&original).unwrap();
+    let b = pp.play(&reloaded).unwrap();
+    assert_eq!(a.total_power(), b.total_power());
+    // Nested structure intact.
+    assert!(b
+        .row("Custom Hardware")
+        .unwrap()
+        .sub_report()
+        .unwrap()
+        .row("Chrominance Chips")
+        .is_some());
+}

@@ -1,0 +1,100 @@
+//! Cross-stack property tests: invariants that must hold from the
+//! formula language all the way through the web API.
+
+use proptest::prelude::*;
+use powerplay::designs::luminance::{sheet, LuminanceArch};
+use powerplay::{ucb_library, PowerPlay, Sheet};
+use powerplay_json::Json;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Scaling both knobs at once composes: P(k_v*v, k_f*f) =
+    /// k_v^2 * k_f * P(v, f) for the full-rail reference design.
+    #[test]
+    fn knob_composition_on_reference_design(kv in 0.5f64..2.5, kf in 0.2f64..4.0) {
+        let pp = PowerPlay::new();
+        let base = sheet(LuminanceArch::DirectLut);
+        let p0 = pp.play(&base).unwrap().total_power().value();
+        let mut scaled = base.clone();
+        scaled.set_global_value("vdd", 1.5 * kv);
+        scaled.set_global_value("f", 2e6 * kf);
+        let p1 = pp.play(&scaled).unwrap().total_power().value();
+        let expected = p0 * kv * kv * kf;
+        prop_assert!((p1 - expected).abs() < 1e-9 * expected);
+    }
+
+    /// Any design assembled from random library rows serializes through
+    /// the registry's own JSON and the sheet JSON without changing a
+    /// single row power.
+    #[test]
+    fn full_stack_serialization_fidelity(
+        rows in prop::collection::vec(0usize..5, 1..5),
+        vdd in 0.9f64..3.5,
+    ) {
+        let elements = ["ucb/multiplier", "ucb/sram", "ucb/register", "ucb/ctrl_pla", "ucb/rom"];
+        let mut design = Sheet::new("random");
+        design.set_global_value("vdd", vdd);
+        design.set_global_value("f", 1e6);
+        for (i, pick) in rows.iter().enumerate() {
+            design
+                .add_element_row(&format!("Row {i}"), elements[*pick], [])
+                .unwrap();
+        }
+
+        // Library JSON roundtrip.
+        let lib = ucb_library();
+        let lib2 = powerplay::Registry::from_json(&lib.to_json()).unwrap();
+        // Sheet JSON roundtrip (through text).
+        let design2 = Sheet::from_json(&Json::parse(&design.to_json().to_string()).unwrap()).unwrap();
+
+        let a = design.play(&lib).unwrap();
+        let b = design2.play(&lib2).unwrap();
+        prop_assert_eq!(a.total_power(), b.total_power());
+        for (ra, rb) in a.rows().iter().zip(b.rows()) {
+            prop_assert_eq!(ra.power(), rb.power());
+        }
+    }
+
+    /// The web form evaluation agrees exactly with the library evaluated
+    /// directly, for arbitrary multiplier parameters.
+    #[test]
+    fn web_form_matches_direct_evaluation(bw_a in 1u32..64, bw_b in 1u32..64, vdd in 0.8f64..4.0) {
+        use powerplay_web::app::PowerPlayApp;
+        use powerplay_web::http::Request;
+        use powerplay_web::http::urlencoded::encode_pairs;
+
+        let dir = std::env::temp_dir().join(format!("powerplay-prop-{}", std::process::id()));
+        let app = PowerPlayApp::new(ucb_library(), dir);
+
+        let body = encode_pairs([
+            ("user", "p"),
+            ("element", "ucb/multiplier"),
+            ("vdd", &vdd.to_string()),
+            ("f", "1e6"),
+            ("p_bw_a", &bw_a.to_string()),
+            ("p_bw_b", &bw_b.to_string()),
+        ]);
+        let raw = format!(
+            "POST /element/eval HTTP/1.1\r\ncontent-type: application/x-www-form-urlencoded\r\ncontent-length: {}\r\n\r\n{}",
+            body.len(), body
+        );
+        let req = Request::read_from(&mut std::io::BufReader::new(raw.as_bytes())).unwrap();
+        let response = app.handle(&req);
+        prop_assert_eq!(response.status().code(), 200);
+
+        // Direct evaluation.
+        let mut scope = powerplay::Scope::new();
+        scope.set("vdd", vdd);
+        scope.set("f", 1e6);
+        scope.set("bw_a", bw_a as f64);
+        scope.set("bw_b", bw_b as f64);
+        let lib = ucb_library();
+        let eval = lib.get("ucb/multiplier").unwrap().evaluate(&scope).unwrap();
+        let rendered = powerplay_web::html::escape(&eval.power.to_string());
+        prop_assert!(
+            response.body_text().contains(&rendered),
+            "page missing {rendered}"
+        );
+    }
+}
