@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use powerplay::designs::infopad;
 use powerplay::designs::luminance::{sheet, LuminanceArch};
 use powerplay::{Expr, Scope, Sheet};
-use powerplay_bench::{banner, session};
+use powerplay_bench::{banner, record_metrics, session, throughput};
 
 fn wide_sheet(rows: usize) -> Sheet {
     let mut s = Sheet::new("wide");
@@ -80,6 +80,51 @@ fn bench(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Compiled evaluation plans: pay dependency analysis and element
+    // resolution once, then replay with overrides. Contrast each entry
+    // with its clone-mutate-re-play counterpart above.
+    let mut group = c.benchmark_group("compiled_replay");
+    let decoder_plan = pp.compile(&decoder);
+    group.bench_function("decoder_play", |b| {
+        b.iter(|| decoder_plan.play().unwrap().total_power())
+    });
+    group.bench_function("decoder_one_knob", |b| {
+        b.iter(|| decoder_plan.play_with(&[("vdd", 1.1)]).unwrap().total_power())
+    });
+    let system_plan = pp.compile(&system);
+    group.bench_function("infopad_play", |b| {
+        b.iter(|| system_plan.play().unwrap().total_power())
+    });
+    group.bench_function("infopad_one_knob", |b| {
+        b.iter(|| system_plan.play_with(&[("vdd", 1.1)]).unwrap().total_power())
+    });
+    group.finish();
+
+    // Headline plays/sec on the InfoPad system sheet, recorded for
+    // cross-commit diffing: compiled replay must beat per-play
+    // recompilation by a wide margin (acceptance floor: 3x).
+    let recompile_rate = throughput(300, || {
+        let mut v = system.clone();
+        v.set_global_value("vdd", 1.1);
+        std::hint::black_box(pp.play(&v).unwrap().total_power());
+    });
+    let replay_rate = throughput(300, || {
+        std::hint::black_box(system_plan.play_with(&[("vdd", 1.1)]).unwrap().total_power());
+    });
+    println!(
+        "infopad plays/sec: recompile {recompile_rate:.0}, compiled replay {replay_rate:.0} \
+         ({:.1}x)",
+        replay_rate / recompile_rate
+    );
+    record_metrics(
+        "engine_latency",
+        &[
+            ("infopad_plays_per_sec_recompile", recompile_rate),
+            ("infopad_plays_per_sec_compiled_replay", replay_rate),
+            ("compiled_replay_speedup", replay_rate / recompile_rate),
+        ],
+    );
 }
 
 fn powerplay_json_parse(text: &str) -> powerplay_json::Json {

@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use powerplay::designs::infopad;
 use powerplay::designs::luminance::{sheet, LuminanceArch};
 use powerplay::{whatif, Voltage};
-use powerplay_bench::{banner, session};
+use powerplay_bench::{banner, record_metrics, session, throughput};
 
 const VDD_POINTS: [f64; 9] = [1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 3.3, 5.0];
 
@@ -64,6 +64,57 @@ fn bench(c: &mut Criterion) {
             .map(|(v, _)| v)
         })
     });
+
+    // Dense sweep, serial vs parallel, on the hierarchical InfoPad
+    // system. The parallel path must return the same reports in the
+    // same order — checked here before timing anything — and beat the
+    // serial clone-mutate-play loop.
+    let system = infopad::sheet();
+    let dense: Vec<f64> = (0..64).map(|i| 1.0 + 0.05 * f64::from(i)).collect();
+    let serial = whatif::sweep_global_serial(&system, pp.registry(), "vdd", &dense).unwrap();
+    let parallel = whatif::sweep_global(&system, pp.registry(), "vdd", &dense).unwrap();
+    assert_eq!(serial, parallel, "parallel sweep must be bit-identical");
+
+    let mut group = c.benchmark_group("sweep/dense64_infopad");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| whatif::sweep_global_serial(&system, pp.registry(), "vdd", &dense).unwrap().len())
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| whatif::sweep_global(&system, pp.registry(), "vdd", &dense).unwrap().len())
+    });
+    group.finish();
+
+    let serial_rate = throughput(400, || {
+        std::hint::black_box(
+            whatif::sweep_global_serial(&system, pp.registry(), "vdd", &dense)
+                .unwrap()
+                .len(),
+        );
+    });
+    let parallel_rate = throughput(400, || {
+        std::hint::black_box(
+            whatif::sweep_global(&system, pp.registry(), "vdd", &dense)
+                .unwrap()
+                .len(),
+        );
+    });
+    let points = dense.len() as f64;
+    println!(
+        "64-point InfoPad vdd sweep: serial {:.0} plays/sec, parallel {:.0} plays/sec ({:.1}x)",
+        serial_rate * points,
+        parallel_rate * points,
+        parallel_rate / serial_rate
+    );
+    record_metrics(
+        "sweep_vdd",
+        &[
+            ("points", points),
+            ("serial_plays_per_sec", serial_rate * points),
+            ("parallel_plays_per_sec", parallel_rate * points),
+            ("parallel_speedup", parallel_rate / serial_rate),
+        ],
+    );
 }
 
 criterion_group!(benches, bench);

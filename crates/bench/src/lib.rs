@@ -19,3 +19,41 @@ pub fn banner(figure: &str) {
     println!();
     println!("=== regenerating {figure} ===");
 }
+
+/// Records a bench target's headline numbers as `BENCH_<tag>.json` at
+/// the repository root (keys in the given order), so runs can be diffed
+/// across commits. Values print with enough precision for rates
+/// (plays/sec) and ratios alike.
+pub fn record_metrics(tag: &str, entries: &[(&str, f64)]) {
+    let mut body = String::from("{\n");
+    for (i, (key, value)) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        body.push_str(&format!("  \"{key}\": {value:.3}{sep}\n"));
+    }
+    body.push_str("}\n");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(format!("BENCH_{tag}.json"));
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("recorded {}", path.display()),
+        Err(e) => eprintln!("could not record {}: {e}", path.display()),
+    }
+}
+
+/// Median-of-runs throughput helper: runs `f` in a timed loop for about
+/// `budget_ms` and returns iterations per second.
+pub fn throughput(budget_ms: u64, mut f: impl FnMut()) -> f64 {
+    let budget = std::time::Duration::from_millis(budget_ms);
+    // Warm up briefly so one-time costs (allocator, caches) don't skew.
+    let warmup = std::time::Instant::now();
+    while warmup.elapsed() < budget / 10 {
+        f();
+    }
+    let start = std::time::Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget {
+        f();
+        iters += 1;
+    }
+    iters as f64 / start.elapsed().as_secs_f64()
+}

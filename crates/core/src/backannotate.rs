@@ -81,7 +81,7 @@ pub fn backannotate_activity(
         let bits = row_report
             .params()
             .iter()
-            .find(|(name, _)| name == "bits")
+            .find(|(name, _)| &**name == "bits")
             .map(|(_, v)| *v)
             .filter(|&b| b > 0.0)
             .ok_or_else(|| BackannotateError::NoBitWidth(row_name.to_owned()))?;

@@ -8,7 +8,8 @@
 //! ≈ 10.9 W; the subsystem values here are calibrated to reproduce that
 //! breakdown (see `EXPERIMENTS.md`).
 
-use powerplay_sheet::Sheet;
+use powerplay_library::Registry;
+use powerplay_sheet::{CompiledSheet, Sheet};
 
 use super::luminance::{self, LuminanceArch};
 
@@ -137,6 +138,13 @@ pub fn sheet() -> Sheet {
     system
 }
 
+/// The InfoPad system, compiled against `registry` — the sweep and
+/// Monte-Carlo workloads replay this plan instead of re-deriving the
+/// whole hierarchy (nested sub-sheets included) per point.
+pub fn compiled(registry: &Registry) -> CompiledSheet {
+    CompiledSheet::compile(&sheet(), registry)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +202,22 @@ mod tests {
         // And the chrominance row decodes at half rate -> less power.
         let chroma = sub.row("Chrominance Chips").unwrap();
         assert!(chroma.power() < luminance.power());
+    }
+
+    #[test]
+    fn compiled_replay_matches_full_play() {
+        // The acceptance sheet for the compiled engine: replaying the
+        // plan (with and without overrides) is bit-identical to the
+        // clone-mutate-play path through the full hierarchy.
+        let pp = PowerPlay::new();
+        let plan = compiled(pp.registry());
+        assert_eq!(plan.play().unwrap(), pp.play(&sheet()).unwrap());
+        let mut hot = sheet();
+        hot.set_global_value("vdd", 3.0);
+        assert_eq!(
+            plan.play_with(&[("vdd", 3.0)]).unwrap(),
+            pp.play(&hot).unwrap()
+        );
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //!   four pixels, so the memory runs at `f/4` and only one multiplexer
 //!   and register switch at the full 2 MHz.
 
-use powerplay_sheet::Sheet;
+use powerplay_library::Registry;
+use powerplay_sheet::{CompiledSheet, Sheet};
 
 /// Which decoder architecture to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -98,6 +99,26 @@ pub fn sheet(arch: LuminanceArch) -> Sheet {
         .add_element_row("Output Register", "ucb/register", [("bits", "6")])
         .expect("bindings parse");
     sheet
+}
+
+/// The decoder for `arch`, compiled against `registry` and ready for
+/// repeated what-if evaluation (`plan.play_with(&[("vdd", v)])`).
+///
+/// ```
+/// use powerplay::designs::luminance::{compiled, LuminanceArch};
+/// use powerplay::PowerPlay;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let pp = PowerPlay::new();
+/// let plan = compiled(LuminanceArch::GroupedLut, pp.registry());
+/// let base = plan.play()?.total_power();
+/// let hot = plan.play_with(&[("vdd", 3.0)])?.total_power();
+/// assert!((hot / base - 4.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn compiled(arch: LuminanceArch, registry: &Registry) -> CompiledSheet {
+    CompiledSheet::compile(&sheet(arch), registry)
 }
 
 #[cfg(test)]

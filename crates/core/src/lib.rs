@@ -46,7 +46,7 @@ pub mod designs;
 pub use powerplay_expr::{Expr, Scope};
 pub use powerplay_library::{builtin::ucb_library, LibraryElement, Registry};
 pub use powerplay_models::{OperatingPoint, PowerModel};
-pub use powerplay_sheet::{whatif, Row, RowModel, Sheet, SheetReport};
+pub use powerplay_sheet::{whatif, CompiledSheet, Row, RowModel, Sheet, SheetReport};
 pub use powerplay_units::{Capacitance, Current, Energy, Frequency, Power, Time, Voltage};
 
 use powerplay_sheet::EvaluateSheetError;
@@ -92,6 +92,13 @@ impl PowerPlay {
     /// definitions, or formula failures.
     pub fn play(&self, sheet: &Sheet) -> Result<SheetReport, EvaluateSheetError> {
         sheet.play(&self.registry)
+    }
+
+    /// Compiles a design against this session's registry for repeated
+    /// what-if evaluation: pay the dependency analysis once, then call
+    /// [`CompiledSheet::play_with`] per point.
+    pub fn compile(&self, sheet: &Sheet) -> CompiledSheet {
+        CompiledSheet::compile(sheet, &self.registry)
     }
 
     /// Lumps a design into a reusable macro and registers it.

@@ -1,6 +1,7 @@
 //! Scopes and formula evaluation.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::ast::{BinaryOp, Expr, UnaryOp};
 use crate::error::EvalError;
@@ -44,9 +45,12 @@ pub const BUILTIN_FUNCTIONS: [(&str, usize); 14] = [
 /// # Ok(())
 /// # }
 /// ```
+/// Keys are shared `Arc<str>` handles so callers that evaluate the same
+/// design repeatedly (compiled sheet plans, sweeps) can intern each name
+/// once and re-bind it every play without allocating.
 #[derive(Debug, Clone, Default)]
 pub struct Scope<'parent> {
-    bindings: HashMap<String, f64>,
+    bindings: HashMap<Arc<str>, f64>,
     parent: Option<&'parent Scope<'parent>>,
 }
 
@@ -67,8 +71,19 @@ impl<'parent> Scope<'parent> {
         }
     }
 
+    /// Creates a child scope pre-populated with `template`'s local
+    /// bindings — a wholesale table copy whose shared keys cost a
+    /// reference-count bump each, not a fresh allocation. Compiled
+    /// plans use this to seed element parameter defaults per play.
+    pub fn child_seeded<'a>(&'a self, template: &Scope<'_>) -> Scope<'a> {
+        Scope {
+            bindings: template.bindings.clone(),
+            parent: Some(self),
+        }
+    }
+
     /// Binds (or shadows) a variable in this scope level.
-    pub fn set(&mut self, name: impl Into<String>, value: f64) {
+    pub fn set(&mut self, name: impl Into<Arc<str>>, value: f64) {
         self.bindings.insert(name.into(), value);
     }
 
@@ -82,7 +97,7 @@ impl<'parent> Scope<'parent> {
 
     /// Names bound at *this* level (not the whole chain), sorted.
     pub fn local_names(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.bindings.keys().map(String::as_str).collect();
+        let mut names: Vec<&str> = self.bindings.keys().map(|k| &**k).collect();
         names.sort_unstable();
         names
     }
@@ -91,7 +106,10 @@ impl<'parent> Scope<'parent> {
 impl<'p> FromIterator<(String, f64)> for Scope<'p> {
     fn from_iter<I: IntoIterator<Item = (String, f64)>>(iter: I) -> Self {
         Scope {
-            bindings: iter.into_iter().collect(),
+            bindings: iter
+                .into_iter()
+                .map(|(name, value)| (Arc::from(name), value))
+                .collect(),
             parent: None,
         }
     }
@@ -273,6 +291,22 @@ mod tests {
         s.set("zeta", 1.0);
         s.set("alpha", 2.0);
         assert_eq!(s.local_names(), ["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn child_seeded_copies_template_and_chains_to_parent() {
+        let mut defaults = Scope::new();
+        defaults.set("bits", 8.0);
+        defaults.set("words", 256.0);
+        let mut globals = Scope::new();
+        globals.set("vdd", 1.5);
+
+        let mut seeded = globals.child_seeded(&defaults);
+        assert_eq!(seeded.get("bits"), Some(8.0));
+        assert_eq!(seeded.get("vdd"), Some(1.5));
+        seeded.set("bits", 4.0); // shadows the seeded default locally
+        assert_eq!(seeded.get("bits"), Some(4.0));
+        assert_eq!(defaults.get("bits"), Some(8.0), "template untouched");
     }
 
     #[test]

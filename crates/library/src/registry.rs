@@ -3,6 +3,7 @@
 //! Massachusetts, it can be used for estimates in California").
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use powerplay_json::Json;
 
@@ -20,7 +21,9 @@ use crate::json_io::DecodeElementError;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
-    elements: BTreeMap<String, LibraryElement>,
+    // Elements are stored behind `Arc` so the evaluation engine can hold
+    // shared handles across many plays instead of deep-cloning models.
+    elements: BTreeMap<String, Arc<LibraryElement>>,
 }
 
 impl Registry {
@@ -41,18 +44,26 @@ impl Registry {
 
     /// Inserts an element under its own name, replacing any previous
     /// element of that name and returning it.
-    pub fn insert(&mut self, element: LibraryElement) -> Option<LibraryElement> {
-        self.elements.insert(element.name().to_owned(), element)
+    pub fn insert(&mut self, element: LibraryElement) -> Option<Arc<LibraryElement>> {
+        self.elements
+            .insert(element.name().to_owned(), Arc::new(element))
     }
 
     /// Looks an element up by path.
     pub fn get(&self, name: &str) -> Option<&LibraryElement> {
-        self.elements.get(name)
+        self.elements.get(name).map(Arc::as_ref)
+    }
+
+    /// Looks an element up by path, returning a shared handle that
+    /// outlives the registry borrow (what compiled evaluation plans
+    /// hold: no per-play deep clone).
+    pub fn get_shared(&self, name: &str) -> Option<Arc<LibraryElement>> {
+        self.elements.get(name).cloned()
     }
 
     /// Iterates elements in path order.
     pub fn iter(&self) -> impl Iterator<Item = &LibraryElement> {
-        self.elements.values()
+        self.elements.values().map(Arc::as_ref)
     }
 
     /// Element paths, sorted.
@@ -185,6 +196,21 @@ mod tests {
         let decoded = Registry::from_json(&r.to_json()).unwrap();
         assert_eq!(decoded.names(), r.names());
         assert_eq!(decoded.get("a/x"), r.get("a/x"));
+    }
+
+    #[test]
+    fn shared_handles_alias_storage() {
+        let mut r = Registry::new();
+        r.insert(elem("a/x", ElementClass::Computation));
+        let h1 = r.get_shared("a/x").unwrap();
+        let h2 = r.get_shared("a/x").unwrap();
+        assert!(std::sync::Arc::ptr_eq(&h1, &h2));
+        assert!(std::ptr::eq(h1.as_ref(), r.get("a/x").unwrap()));
+        assert!(r.get_shared("missing").is_none());
+        // The handle stays valid after the element is replaced.
+        r.insert(elem("a/x", ElementClass::Storage));
+        assert_eq!(h1.class(), ElementClass::Computation);
+        assert_eq!(r.get("a/x").unwrap().class(), ElementClass::Storage);
     }
 
     #[test]

@@ -8,9 +8,12 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
+use powerplay_library::Registry;
 use powerplay_units::Power;
 
+use crate::engine::EvaluateSheetError;
 use crate::report::SheetReport;
+use crate::sheet::Sheet;
 
 /// One matched line of a comparison.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +77,25 @@ impl Comparison {
             baseline_total: baseline.total_power(),
             alternative_total: alternative.total_power(),
         }
+    }
+
+    /// Evaluates both designs against `registry` and builds their
+    /// comparison — the "quick comparison of alternative design
+    /// choices" in one call.
+    ///
+    /// # Errors
+    ///
+    /// Returns the baseline's [`EvaluateSheetError`] first, then the
+    /// alternative's.
+    pub fn of_sheets(
+        baseline: &Sheet,
+        alternative: &Sheet,
+        registry: &Registry,
+    ) -> Result<Comparison, EvaluateSheetError> {
+        Ok(Comparison::new(
+            &baseline.play(registry)?,
+            &alternative.play(registry)?,
+        ))
     }
 
     /// Matched rows, in baseline-then-alternative order.
@@ -207,6 +229,22 @@ mod tests {
         assert!(text.contains("Mux"));
         assert!(text.contains("TOTAL"));
         assert!(text.contains('-'), "missing rows print as dashes");
+    }
+
+    #[test]
+    fn of_sheets_matches_manual_play() {
+        let lib = ucb_library();
+        let mut a = Sheet::new("A");
+        a.set_global("vdd", "1.5").unwrap();
+        a.set_global("f", "2MHz").unwrap();
+        a.add_element_row("Reg", "ucb/register", []).unwrap();
+        let mut b = a.clone();
+        b.set_global("vdd", "3.0").unwrap();
+        let cmp = Comparison::of_sheets(&a, &b, &lib).unwrap();
+        assert_eq!(
+            cmp,
+            Comparison::new(&a.play(&lib).unwrap(), &b.play(&lib).unwrap())
+        );
     }
 
     #[test]

@@ -1,5 +1,9 @@
-//! Sheet evaluation: dependency ordering, scope wiring, and the *Play*
-//! button.
+//! Sheet evaluation: the *Play* button and its error type.
+//!
+//! The actual dependency analysis and evaluation live in
+//! [`crate::plan`]; [`Sheet::play`] compiles a throwaway plan and runs
+//! it once. Repeated evaluation (sweeps, sensitivities) should compile
+//! a [`crate::CompiledSheet`] once and replay it instead.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
@@ -8,8 +12,8 @@ use std::fmt;
 use powerplay_expr::{EvalError, Scope};
 use powerplay_library::{EvaluateElementError, Registry};
 
-use crate::report::{RowReport, SheetReport};
-use crate::row::{Row, RowModel};
+use crate::plan::CompiledSheet;
+use crate::report::SheetReport;
 use crate::sheet::Sheet;
 
 /// Error produced by [`Sheet::play`].
@@ -126,213 +130,23 @@ impl Sheet {
         registry: &Registry,
         parent: &Scope<'_>,
     ) -> Result<SheetReport, EvaluateSheetError> {
-        evaluate_sheet(self, registry, parent)
-    }
-}
-
-fn evaluate_sheet(
-    sheet: &Sheet,
-    registry: &Registry,
-    parent: &Scope<'_>,
-) -> Result<SheetReport, EvaluateSheetError> {
-    // --- Globals, in dependency order ----------------------------------
-    let global_names: Vec<String> = sheet.globals().iter().map(|(n, _)| n.clone()).collect();
-    let global_set: BTreeSet<&str> = global_names.iter().map(String::as_str).collect();
-    let mut deps: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
-    for (i, (_, expr)) in sheet.globals().iter().enumerate() {
-        let wanted = expr.free_variables();
-        let entry = deps.entry(i).or_default();
-        for (j, name) in global_names.iter().enumerate() {
-            if j != i && wanted.contains(name) && global_set.contains(name.as_str()) {
-                entry.insert(j);
-            }
-            // Self-reference is a cycle.
-            if j == i && wanted.contains(name) {
-                return Err(EvaluateSheetError::CircularGlobals(vec![name.clone()]));
-            }
-        }
-    }
-    let order = toposort(sheet.globals().len(), &deps)
-        .map_err(|cycle| EvaluateSheetError::CircularGlobals(
-            cycle.into_iter().map(|i| global_names[i].clone()).collect(),
-        ))?;
-
-    let mut globals_scope = parent.child();
-    let mut resolved_globals = Vec::with_capacity(order.len());
-    for i in order {
-        let (name, expr) = &sheet.globals()[i];
-        let value = expr
-            .eval(&globals_scope)
-            .map_err(|source| EvaluateSheetError::Global {
-                name: name.clone(),
-                source,
-            })?;
-        globals_scope.set(name.clone(), value);
-        resolved_globals.push((name.clone(), value));
-    }
-    // Keep declaration order in the report.
-    resolved_globals.sort_by_key(|(name, _)| {
-        global_names.iter().position(|n| n == name).unwrap_or(usize::MAX)
-    });
-
-    // --- Row dependency graph over P_<ident> references ------------------
-    let idents: Vec<String> = sheet.rows().iter().map(Row::ident).collect();
-    {
-        let mut seen = BTreeSet::new();
-        for ident in &idents {
-            if !ident.is_empty() && !seen.insert(ident.clone()) {
-                return Err(EvaluateSheetError::DuplicateRowIdent(ident.clone()));
-            }
-        }
-    }
-    let mut row_deps: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
-    for (i, row) in sheet.rows().iter().enumerate() {
-        let mut wanted = BTreeSet::new();
-        for (_, expr) in row.bindings() {
-            wanted.extend(expr.free_variables());
-        }
-        let entry = row_deps.entry(i).or_default();
-        for (j, ident) in idents.iter().enumerate() {
-            // Rows may reference other rows' power (`P_x`, the converter
-            // load of EQ 19) and area (`A_x`, the paper's "dissipation of
-            // interconnect is a function of the active area of the design
-            // (and thus of its composing modules)").
-            let referenced = !ident.is_empty()
-                && (wanted.contains(&format!("P_{ident}"))
-                    || wanted.contains(&format!("A_{ident}")));
-            if referenced {
-                if i == j {
-                    return Err(EvaluateSheetError::CircularRows(vec![row.name().to_owned()]));
-                }
-                entry.insert(j);
-            }
-        }
-    }
-    let row_order = toposort(sheet.rows().len(), &row_deps).map_err(|cycle| {
-        EvaluateSheetError::CircularRows(
-            cycle
-                .into_iter()
-                .map(|i| sheet.rows()[i].name().to_owned())
-                .collect(),
-        )
-    })?;
-
-    // --- Evaluate rows -----------------------------------------------------
-    let mut power_layer = globals_scope.child();
-    let mut reports: Vec<Option<RowReport>> = vec![None; sheet.rows().len()];
-    for i in row_order {
-        let row = &sheet.rows()[i];
-        let report = evaluate_row(row, registry, &power_layer)?;
-        let ident = &idents[i];
-        if !ident.is_empty() {
-            power_layer.set(format!("P_{ident}"), report.power().value());
-            if let Some(area) = report.area() {
-                power_layer.set(format!("A_{ident}"), area.value());
-            }
-        }
-        reports[i] = Some(report);
-    }
-    let rows: Vec<RowReport> = reports
-        .into_iter()
-        .map(|r| r.expect("every row evaluated"))
-        .collect();
-
-    Ok(SheetReport::new(
-        sheet.name().to_owned(),
-        resolved_globals,
-        rows,
-    ))
-}
-
-fn evaluate_row(
-    row: &Row,
-    registry: &Registry,
-    outer: &Scope<'_>,
-) -> Result<RowReport, EvaluateSheetError> {
-    let mut param_scope = outer.child();
-
-    // Element parameter defaults first, so bindings can shadow them and
-    // reference them (e.g. `bits = words / 4`).
-    let element = match row.model() {
-        RowModel::Element(path) => {
-            let element =
-                registry
-                    .get(path)
-                    .ok_or_else(|| EvaluateSheetError::UnknownElement {
-                        row: row.name().to_owned(),
-                        element: path.clone(),
-                    })?;
-            Some(element.clone())
-        }
-        RowModel::Inline(element) => Some(element.clone()),
-        RowModel::SubSheet(_) => None,
-    };
-    if let Some(element) = &element {
-        for p in element.params() {
-            param_scope.set(p.name.clone(), p.default);
-        }
-    }
-    for (param, expr) in row.bindings() {
-        let value = expr
-            .eval(&param_scope)
-            .map_err(|source| EvaluateSheetError::Binding {
-                row: row.name().to_owned(),
-                param: param.clone(),
-                source,
-            })?;
-        param_scope.set(param.clone(), value);
-    }
-
-    match row.model() {
-        RowModel::SubSheet(sub) => {
-            let sub_report = evaluate_sheet(sub, registry, &param_scope)
-                .map_err(|source| EvaluateSheetError::Nested {
-                    row: row.name().to_owned(),
-                    source: Box::new(source),
-                })?;
-            let params: Vec<(String, f64)> = row
-                .bindings()
-                .iter()
-                .filter_map(|(name, _)| param_scope.get(name).map(|v| (name.clone(), v)))
-                .collect();
-            Ok(RowReport::for_subsheet(
-                row.name().to_owned(),
-                row.ident(),
-                params,
-                row.doc_link().map(str::to_owned),
-                sub_report,
-            ))
-        }
-        _ => {
-            let element = element.expect("element rows resolved above");
-            let eval = element
-                .evaluate(&param_scope)
-                .map_err(|source| EvaluateSheetError::Element {
-                    row: row.name().to_owned(),
-                    source,
-                })?;
-            let params: Vec<(String, f64)> = element
-                .params()
-                .iter()
-                .filter_map(|p| param_scope.get(&p.name).map(|v| (p.name.clone(), v)))
-                .collect();
-            Ok(RowReport::for_element(
-                row.name().to_owned(),
-                row.ident(),
-                element.name().to_owned(),
-                params,
-                param_scope.get("f"),
-                row.doc_link().map(str::to_owned),
-                eval,
-            ))
-        }
+        CompiledSheet::compile(self, registry).play_with_in(parent, &[])
     }
 }
 
 /// Topological sort of `0..n` given `deps[i] = set of nodes that must
 /// come before i`. Returns the evaluation order, or the members of a
 /// cycle.
-fn toposort(n: usize, deps: &BTreeMap<usize, BTreeSet<usize>>) -> Result<Vec<usize>, Vec<usize>> {
+///
+/// Iterative with an explicit frame stack, so deeply chained designs
+/// (row N feeding row N-1 feeding ...) cannot overflow the call stack.
+/// The frame stack mirrors the recursion stack of the obvious DFS
+/// exactly, so cycle membership is reported identically: the stack
+/// suffix starting at the first occurrence of the re-entered node.
+pub(crate) fn toposort(
+    n: usize,
+    deps: &BTreeMap<usize, BTreeSet<usize>>,
+) -> Result<Vec<usize>, Vec<usize>> {
     #[derive(Clone, Copy, PartialEq)]
     enum State {
         Unvisited,
@@ -341,39 +155,39 @@ fn toposort(n: usize, deps: &BTreeMap<usize, BTreeSet<usize>>) -> Result<Vec<usi
     }
     let mut state = vec![State::Unvisited; n];
     let mut order = Vec::with_capacity(n);
+    let empty = BTreeSet::new();
+    let preds_of = |node: usize| deps.get(&node).unwrap_or(&empty).iter();
 
-    fn visit(
-        node: usize,
-        deps: &BTreeMap<usize, BTreeSet<usize>>,
-        state: &mut [State],
-        order: &mut Vec<usize>,
-        stack: &mut Vec<usize>,
-    ) -> Result<(), Vec<usize>> {
-        match state[node] {
-            State::Done => return Ok(()),
-            State::InProgress => {
-                // Found a cycle: report the stack suffix from the repeat.
-                let start = stack.iter().position(|&s| s == node).unwrap_or(0);
-                return Err(stack[start..].to_vec());
-            }
-            State::Unvisited => {}
+    let mut frames: Vec<(usize, std::collections::btree_set::Iter<'_, usize>)> = Vec::new();
+    for root in 0..n {
+        if state[root] == State::Done {
+            continue;
         }
-        state[node] = State::InProgress;
-        stack.push(node);
-        if let Some(preds) = deps.get(&node) {
-            for &p in preds {
-                visit(p, deps, state, order, stack)?;
+        state[root] = State::InProgress;
+        frames.push((root, preds_of(root)));
+        while !frames.is_empty() {
+            let next = frames.last_mut().expect("loop guard").1.next().copied();
+            match next {
+                Some(p) => match state[p] {
+                    State::Done => {}
+                    State::InProgress => {
+                        // Found a cycle: report the stack suffix from the
+                        // repeat.
+                        let start = frames.iter().position(|(f, _)| *f == p).unwrap_or(0);
+                        return Err(frames[start..].iter().map(|(f, _)| *f).collect());
+                    }
+                    State::Unvisited => {
+                        state[p] = State::InProgress;
+                        frames.push((p, preds_of(p)));
+                    }
+                },
+                None => {
+                    let (node, _) = frames.pop().expect("loop guard");
+                    state[node] = State::Done;
+                    order.push(node);
+                }
             }
         }
-        stack.pop();
-        state[node] = State::Done;
-        order.push(node);
-        Ok(())
-    }
-
-    let mut stack = Vec::new();
-    for node in 0..n {
-        visit(node, deps, &mut state, &mut order, &mut stack)?;
     }
     Ok(order)
 }
@@ -381,6 +195,7 @@ fn toposort(n: usize, deps: &BTreeMap<usize, BTreeSet<usize>>) -> Result<Vec<usi
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::RowReport;
     use powerplay_library::builtin::ucb_library;
     use powerplay_units::Power;
 
@@ -628,8 +443,8 @@ mod tests {
             .unwrap();
         let report = sheet.play(&lib()).unwrap();
         let params = report.row("Mem").unwrap().params();
-        assert!(params.contains(&("words".to_owned(), 1024.0)));
-        assert!(params.contains(&("bits".to_owned(), 4.0)));
+        assert!(params.contains(&("words".into(), 1024.0)));
+        assert!(params.contains(&("bits".into(), 4.0)));
     }
 
     #[test]

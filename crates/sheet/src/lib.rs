@@ -45,6 +45,7 @@ pub mod paths;
 mod engine;
 mod json_io;
 mod macros;
+mod plan;
 mod report;
 mod row;
 mod sheet;
@@ -53,6 +54,7 @@ pub mod whatif;
 pub use engine::EvaluateSheetError;
 pub use macros::LumpMacroError;
 pub use json_io::DecodeSheetError;
+pub use plan::CompiledSheet;
 pub use report::{RowReport, SheetReport};
 pub use row::{Row, RowModel};
 pub use sheet::Sheet;

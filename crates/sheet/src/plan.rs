@@ -1,0 +1,553 @@
+//! Compiled evaluation plans: the *Play* button, amortized.
+//!
+//! [`Sheet::play`] re-derives both dependency graphs, re-resolves every
+//! element path, and deep-clones model state on every call. That is
+//! fine for one press of Play, but what-if exploration (sweeps,
+//! sensitivities, Monte-Carlo) evaluates the same design hundreds of
+//! times with only a few global values changing. [`CompiledSheet`]
+//! splits the work:
+//!
+//! * **compile** (once): globals toposorted, row `P_`/`A_` reference
+//!   edges resolved in linear time, elements resolved to shared
+//!   [`Arc<LibraryElement>`] handles, per-row binding lists and
+//!   reference names flattened, sub-sheets compiled recursively;
+//! * **play** (many): [`CompiledSheet::play_with`] evaluates the plan
+//!   against a set of global overrides without cloning the sheet or
+//!   touching the registry.
+//!
+//! The compiled form is faithful to [`Sheet::play`] *bit for bit*,
+//! including every error case and error precedence: structural errors
+//! discovered at compile time (duplicate idents, row cycles, unknown
+//! elements) are deferred and surface at exactly the point in the
+//! evaluation sequence where the uncompiled engine would have found
+//! them. Global overrides are literals, which can change the *global*
+//! dependency graph (an override can break a cycle, and overriding an
+//! undefined name can introduce edges into it), so the tiny global plan
+//! is recomputed per play when overrides are present; the expensive row
+//! plan never depends on overrides and is always reused.
+//!
+//! A plan snapshots the sheet and registry at compile time: recompile
+//! after editing rows, bindings, global *formulas*, or library
+//! contents. Changing global *values* is what [`CompiledSheet::play_with`]
+//! is for.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use powerplay_expr::{Expr, Scope};
+use powerplay_library::{LibraryElement, Registry};
+
+use crate::engine::{toposort, EvaluateSheetError};
+use crate::report::{RowReport, SheetReport};
+use crate::row::{Row, RowModel};
+use crate::sheet::Sheet;
+
+/// A sheet compiled against a registry, ready for repeated evaluation.
+///
+/// ```
+/// use powerplay_library::builtin::ucb_library;
+/// use powerplay_sheet::{CompiledSheet, Sheet};
+///
+/// let mut sheet = Sheet::new("demo");
+/// sheet.set_global("vdd", "1.5").unwrap();
+/// sheet.set_global("f", "2MHz").unwrap();
+/// sheet.add_element_row("Reg", "ucb/register", [("bits", "16")]).unwrap();
+///
+/// let lib = ucb_library();
+/// let plan = CompiledSheet::compile(&sheet, &lib);
+/// let base = plan.play().unwrap().total_power();
+/// let doubled = plan.play_with(&[("vdd", 3.0)]).unwrap().total_power();
+/// assert!((doubled / base - 4.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledSheet {
+    name: Arc<str>,
+    globals: Vec<CompiledGlobal>,
+    /// Global evaluation order for the un-overridden sheet (recomputed
+    /// per play when overrides are present — see module docs).
+    base_global_plan: Result<Vec<usize>, EvaluateSheetError>,
+    /// Row plan, or the structural error the engine would report.
+    structure: Result<RowsPlan, EvaluateSheetError>,
+}
+
+#[derive(Debug, Clone)]
+struct CompiledGlobal {
+    name: Arc<str>,
+    expr: Expr,
+    /// Free variables of `expr`, precomputed so per-play graph repair
+    /// under overrides never re-walks the AST.
+    free: BTreeSet<String>,
+}
+
+#[derive(Debug, Clone)]
+struct RowsPlan {
+    rows: Vec<CompiledRow>,
+    /// Dependency-respecting evaluation order over `rows` indices.
+    order: Vec<usize>,
+}
+
+/// Every name a play touches is interned here as a shared `Arc<str>`, so
+/// per-play scope bindings and report fields are reference-count bumps,
+/// not string allocations.
+#[derive(Debug, Clone)]
+struct CompiledRow {
+    name: Arc<str>,
+    ident: Arc<str>,
+    doc_link: Option<Arc<str>>,
+    bindings: Vec<(Arc<str>, Expr)>,
+    /// `P_<ident>` / `A_<ident>`, formatted once at compile time.
+    power_ref: Option<Arc<str>>,
+    area_ref: Option<Arc<str>>,
+    /// Element parameter defaults, prebuilt so each play seeds the row's
+    /// scope with one table copy instead of per-parameter inserts.
+    defaults: Scope<'static>,
+    /// Element parameter names in declaration order (report column).
+    param_names: Vec<Arc<str>>,
+    /// The element's display name, interned for the report.
+    element_name: Option<Arc<str>>,
+    kind: CompiledRowKind,
+}
+
+#[derive(Debug, Clone)]
+enum CompiledRowKind {
+    /// A resolved library or inline element, shared with the registry.
+    Element(Arc<LibraryElement>),
+    /// A path the registry could not resolve; erroring is deferred to
+    /// evaluation so error precedence matches the uncompiled engine.
+    Missing { path: String },
+    /// A nested design, itself compiled.
+    SubSheet(Box<CompiledSheet>),
+}
+
+impl CompiledSheet {
+    /// Compiles `sheet` against `registry`.
+    ///
+    /// Never fails: errors the uncompiled engine would raise (circular
+    /// globals, duplicate idents, row cycles, unknown elements) are
+    /// recorded in the plan and returned by the play methods at the
+    /// point evaluation would have reached them.
+    pub fn compile(sheet: &Sheet, registry: &Registry) -> CompiledSheet {
+        let globals: Vec<CompiledGlobal> = sheet
+            .globals()
+            .iter()
+            .map(|(name, expr)| CompiledGlobal {
+                name: Arc::from(name.as_str()),
+                free: expr.free_variables(),
+                expr: expr.clone(),
+            })
+            .collect();
+        let base_global_plan = plan_globals(&globals);
+        CompiledSheet {
+            name: Arc::from(sheet.name()),
+            base_global_plan,
+            structure: compile_rows(sheet, registry),
+            globals,
+        }
+    }
+
+    /// Evaluates the plan with no overrides — equivalent to
+    /// [`Sheet::play`] on the compiled sheet.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Sheet::play`].
+    pub fn play(&self) -> Result<SheetReport, EvaluateSheetError> {
+        self.play_with(&[])
+    }
+
+    /// Evaluates the plan with the given global value overrides —
+    /// equivalent to cloning the sheet, calling
+    /// [`Sheet::set_global_value`] for each pair in order, and playing,
+    /// but with no clone and no dependency re-analysis of the rows.
+    ///
+    /// Overriding a name not currently a global appends it, exactly as
+    /// [`Sheet::set_global_value`] would.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Sheet::play`] on the overridden sheet.
+    pub fn play_with(&self, overrides: &[(&str, f64)]) -> Result<SheetReport, EvaluateSheetError> {
+        self.play_with_in(&Scope::new(), overrides)
+    }
+
+    /// Like [`CompiledSheet::play_with`] but with externally supplied
+    /// bindings (used when this sheet is nested inside another design).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompiledSheet::play_with`].
+    pub fn play_with_in(
+        &self,
+        parent: &Scope<'_>,
+        overrides: &[(&str, f64)],
+    ) -> Result<SheetReport, EvaluateSheetError> {
+        let mut globals_scope = parent.child();
+        let resolved_globals = if overrides.is_empty() {
+            let order = self.base_global_plan.as_ref().map_err(Clone::clone)?;
+            let mut resolved: Vec<Option<(String, f64)>> = vec![None; self.globals.len()];
+            for &i in order {
+                let global = &self.globals[i];
+                let value =
+                    global
+                        .expr
+                        .eval(&globals_scope)
+                        .map_err(|source| EvaluateSheetError::Global {
+                            name: global.name.to_string(),
+                            source,
+                        })?;
+                globals_scope.set(global.name.clone(), value);
+                resolved[i] = Some((global.name.to_string(), value));
+            }
+            resolved
+                .into_iter()
+                .map(|slot| slot.expect("every global evaluated"))
+                .collect()
+        } else {
+            self.eval_overridden_globals(&mut globals_scope, overrides)?
+        };
+
+        let plan = self.structure.as_ref().map_err(Clone::clone)?;
+        let mut power_layer = globals_scope.child();
+        let mut reports: Vec<Option<RowReport>> = vec![None; plan.rows.len()];
+        for &i in &plan.order {
+            let row = &plan.rows[i];
+            let report = evaluate_compiled_row(row, &power_layer)?;
+            if let Some(power_ref) = &row.power_ref {
+                power_layer.set(power_ref.clone(), report.power().value());
+                if let Some(area) = report.area() {
+                    let area_ref = row.area_ref.clone().expect("paired with power_ref");
+                    power_layer.set(area_ref, area.value());
+                }
+            }
+            reports[i] = Some(report);
+        }
+        let rows: Vec<RowReport> = reports
+            .into_iter()
+            .map(|r| r.expect("every row evaluated"))
+            .collect();
+
+        Ok(SheetReport::new(
+            self.name.clone(),
+            resolved_globals,
+            rows,
+        ))
+    }
+
+    /// Global evaluation under overrides. Overridden globals become
+    /// literals, which removes their outgoing dependency edges (and can
+    /// dissolve cycles); overriding an undefined name appends a new
+    /// global that existing formulas may now resolve against. Both
+    /// reshape the graph, so it is re-planned here from the precomputed
+    /// free-variable sets — a few comparisons over a handful of
+    /// globals, not an AST re-walk.
+    fn eval_overridden_globals(
+        &self,
+        globals_scope: &mut Scope<'_>,
+        overrides: &[(&str, f64)],
+    ) -> Result<Vec<(String, f64)>, EvaluateSheetError> {
+        // Apply overrides in sequence: replace the value of an existing
+        // global, or append a fresh one (later duplicates win).
+        let mut base_value: Vec<Option<f64>> = vec![None; self.globals.len()];
+        let mut appended: Vec<(String, f64)> = Vec::new();
+        for &(name, value) in overrides {
+            if let Some(i) = self.globals.iter().position(|g| &*g.name == name) {
+                base_value[i] = Some(value);
+            } else if let Some(slot) = appended.iter_mut().find(|(n, _)| n == name) {
+                slot.1 = value;
+            } else {
+                appended.push((name.to_owned(), value));
+            }
+        }
+
+        enum Node<'a> {
+            Formula(&'a CompiledGlobal),
+            Literal(&'a str, f64),
+        }
+        let nodes: Vec<Node<'_>> = self
+            .globals
+            .iter()
+            .enumerate()
+            .map(|(i, g)| match base_value[i] {
+                Some(v) => Node::Literal(&g.name, v),
+                None => Node::Formula(g),
+            })
+            .chain(appended.iter().map(|(n, v)| Node::Literal(n, *v)))
+            .collect();
+
+        let index_of: BTreeMap<&str, usize> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| match node {
+                Node::Formula(g) => (&*g.name, i),
+                Node::Literal(name, _) => (*name, i),
+            })
+            .collect();
+        let mut deps: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        for (i, node) in nodes.iter().enumerate() {
+            let entry = deps.entry(i).or_default();
+            if let Node::Formula(g) = node {
+                if g.free.contains(&*g.name) {
+                    return Err(EvaluateSheetError::CircularGlobals(vec![g
+                        .name
+                        .to_string()]));
+                }
+                for var in &g.free {
+                    if let Some(&j) = index_of.get(var.as_str()) {
+                        if j != i {
+                            entry.insert(j);
+                        }
+                    }
+                }
+            }
+        }
+        let order = toposort(nodes.len(), &deps).map_err(|cycle| {
+            EvaluateSheetError::CircularGlobals(
+                cycle
+                    .into_iter()
+                    .map(|i| match &nodes[i] {
+                        Node::Formula(g) => g.name.to_string(),
+                        Node::Literal(name, _) => (*name).to_owned(),
+                    })
+                    .collect(),
+            )
+        })?;
+
+        let mut resolved: Vec<Option<(String, f64)>> = vec![None; nodes.len()];
+        for i in order {
+            let (name, value) = match &nodes[i] {
+                Node::Literal(name, value) => ((*name).to_owned(), *value),
+                Node::Formula(g) => {
+                    let value = g.expr.eval(globals_scope).map_err(|source| {
+                        EvaluateSheetError::Global {
+                            name: g.name.to_string(),
+                            source,
+                        }
+                    })?;
+                    (g.name.to_string(), value)
+                }
+            };
+            globals_scope.set(name.clone(), value);
+            resolved[i] = Some((name, value));
+        }
+        Ok(resolved
+            .into_iter()
+            .map(|slot| slot.expect("every global evaluated"))
+            .collect())
+    }
+}
+
+/// Plans global evaluation order for the un-overridden sheet,
+/// replicating the engine's scan: a self-reference errors first (lowest
+/// declaration index wins), then cycles surface from the toposort.
+fn plan_globals(globals: &[CompiledGlobal]) -> Result<Vec<usize>, EvaluateSheetError> {
+    let index_of: BTreeMap<&str, usize> = globals
+        .iter()
+        .enumerate()
+        .map(|(i, g)| (&*g.name, i))
+        .collect();
+    let mut deps: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    for (i, global) in globals.iter().enumerate() {
+        if global.free.contains(&*global.name) {
+            return Err(EvaluateSheetError::CircularGlobals(vec![global
+                .name
+                .to_string()]));
+        }
+        let entry = deps.entry(i).or_default();
+        for var in &global.free {
+            if let Some(&j) = index_of.get(var.as_str()) {
+                if j != i {
+                    entry.insert(j);
+                }
+            }
+        }
+    }
+    toposort(globals.len(), &deps).map_err(|cycle| {
+        EvaluateSheetError::CircularGlobals(
+            cycle
+                .into_iter()
+                .map(|i| globals[i].name.to_string())
+                .collect(),
+        )
+    })
+}
+
+/// Compiles the row layer: duplicate-ident check, then the `P_`/`A_`
+/// reference graph in one linear pass over precomputed free variables
+/// (the engine's original scan formatted two candidate names per row
+/// *pair* — quadratic in rows), then element resolution to shared
+/// handles.
+fn compile_rows(sheet: &Sheet, registry: &Registry) -> Result<RowsPlan, EvaluateSheetError> {
+    let idents: Vec<String> = sheet.rows().iter().map(Row::ident).collect();
+    {
+        let mut seen = BTreeSet::new();
+        for ident in &idents {
+            if !ident.is_empty() && !seen.insert(ident.clone()) {
+                return Err(EvaluateSheetError::DuplicateRowIdent(ident.clone()));
+            }
+        }
+    }
+
+    let index_of: BTreeMap<&str, usize> = idents
+        .iter()
+        .enumerate()
+        .filter(|(_, ident)| !ident.is_empty())
+        .map(|(i, ident)| (ident.as_str(), i))
+        .collect();
+    let mut deps: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    for (i, row) in sheet.rows().iter().enumerate() {
+        let mut wanted = BTreeSet::new();
+        for (_, expr) in row.bindings() {
+            wanted.extend(expr.free_variables());
+        }
+        let entry = deps.entry(i).or_default();
+        for var in &wanted {
+            // Rows may reference other rows' power (`P_x`, the converter
+            // load of EQ 19) and area (`A_x`: interconnect dissipation as
+            // a function of the active area of the composing modules).
+            let target = var
+                .strip_prefix("P_")
+                .or_else(|| var.strip_prefix("A_"));
+            let Some(&j) = target.and_then(|t| index_of.get(t)) else {
+                continue;
+            };
+            if i == j {
+                return Err(EvaluateSheetError::CircularRows(vec![row
+                    .name()
+                    .to_owned()]));
+            }
+            entry.insert(j);
+        }
+    }
+    let order = toposort(sheet.rows().len(), &deps).map_err(|cycle| {
+        EvaluateSheetError::CircularRows(
+            cycle
+                .into_iter()
+                .map(|i| sheet.rows()[i].name().to_owned())
+                .collect(),
+        )
+    })?;
+
+    let rows = sheet
+        .rows()
+        .iter()
+        .zip(&idents)
+        .map(|(row, ident)| {
+            let kind = match row.model() {
+                RowModel::Element(path) => match registry.get_shared(path) {
+                    Some(element) => CompiledRowKind::Element(element),
+                    None => CompiledRowKind::Missing { path: path.clone() },
+                },
+                RowModel::Inline(element) => CompiledRowKind::Element(Arc::new(element.clone())),
+                RowModel::SubSheet(sub) => {
+                    CompiledRowKind::SubSheet(Box::new(CompiledSheet::compile(sub, registry)))
+                }
+            };
+            let mut defaults = Scope::new();
+            let mut param_names = Vec::new();
+            let mut element_name = None;
+            if let CompiledRowKind::Element(element) = &kind {
+                param_names.reserve_exact(element.params().len());
+                for p in element.params() {
+                    let name: Arc<str> = Arc::from(p.name.as_str());
+                    defaults.set(name.clone(), p.default);
+                    param_names.push(name);
+                }
+                element_name = Some(Arc::from(element.name()));
+            }
+            CompiledRow {
+                name: Arc::from(row.name()),
+                power_ref: (!ident.is_empty()).then(|| Arc::from(format!("P_{ident}"))),
+                area_ref: (!ident.is_empty()).then(|| Arc::from(format!("A_{ident}"))),
+                ident: Arc::from(ident.as_str()),
+                doc_link: row.doc_link().map(Arc::from),
+                bindings: row
+                    .bindings()
+                    .iter()
+                    .map(|(param, expr)| (Arc::from(param.as_str()), expr.clone()))
+                    .collect(),
+                defaults,
+                param_names,
+                element_name,
+                kind,
+            }
+        })
+        .collect();
+    Ok(RowsPlan { rows, order })
+}
+
+/// Evaluates one compiled row against the scope holding globals and the
+/// already-evaluated rows' `P_`/`A_` values.
+fn evaluate_compiled_row(
+    row: &CompiledRow,
+    outer: &Scope<'_>,
+) -> Result<RowReport, EvaluateSheetError> {
+    // Element resolution errors precede binding errors, matching the
+    // uncompiled engine.
+    if let CompiledRowKind::Missing { path } = &row.kind {
+        return Err(EvaluateSheetError::UnknownElement {
+            row: row.name.to_string(),
+            element: path.clone(),
+        });
+    }
+
+    // Element parameter defaults first (pre-flattened into the row's
+    // template at compile time), so bindings can shadow them and
+    // reference them (e.g. `bits = words / 4`).
+    let mut param_scope = outer.child_seeded(&row.defaults);
+    for (param, expr) in &row.bindings {
+        let value = expr
+            .eval(&param_scope)
+            .map_err(|source| EvaluateSheetError::Binding {
+                row: row.name.to_string(),
+                param: param.to_string(),
+                source,
+            })?;
+        param_scope.set(param.clone(), value);
+    }
+
+    match &row.kind {
+        CompiledRowKind::SubSheet(sub) => {
+            let sub_report = sub.play_with_in(&param_scope, &[]).map_err(|source| {
+                EvaluateSheetError::Nested {
+                    row: row.name.to_string(),
+                    source: Box::new(source),
+                }
+            })?;
+            let params: Vec<(Arc<str>, f64)> = row
+                .bindings
+                .iter()
+                .filter_map(|(name, _)| param_scope.get(name).map(|v| (name.clone(), v)))
+                .collect();
+            Ok(RowReport::for_subsheet(
+                row.name.clone(),
+                row.ident.clone(),
+                params,
+                row.doc_link.clone(),
+                sub_report,
+            ))
+        }
+        CompiledRowKind::Element(element) => {
+            let eval = element
+                .evaluate(&param_scope)
+                .map_err(|source| EvaluateSheetError::Element {
+                    row: row.name.to_string(),
+                    source,
+                })?;
+            let params: Vec<(Arc<str>, f64)> = row
+                .param_names
+                .iter()
+                .filter_map(|name| param_scope.get(name).map(|v| (name.clone(), v)))
+                .collect();
+            Ok(RowReport::for_element(
+                row.name.clone(),
+                row.ident.clone(),
+                row.element_name.clone().expect("element rows have a name"),
+                params,
+                param_scope.get("f"),
+                row.doc_link.clone(),
+                eval,
+            ))
+        }
+        CompiledRowKind::Missing { .. } => unreachable!("rejected above"),
+    }
+}

@@ -2,19 +2,24 @@
 //! analogue of the paper's Figure 2 / Figure 5 spreadsheet pages).
 
 use std::fmt;
+use std::sync::Arc;
 
 use powerplay_library::Evaluation;
 use powerplay_units::{format, Area, Energy, Power, Time};
 
 /// The evaluated result of one row.
+///
+/// Name-like fields are shared `Arc<str>` handles: compiled plans intern
+/// them once, so building a report per play costs reference-count bumps
+/// rather than string allocations.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RowReport {
-    name: String,
-    ident: String,
-    element: Option<String>,
-    params: Vec<(String, f64)>,
+    name: Arc<str>,
+    ident: Arc<str>,
+    element: Option<Arc<str>>,
+    params: Vec<(Arc<str>, f64)>,
     rate: Option<f64>,
-    doc_link: Option<String>,
+    doc_link: Option<Arc<str>>,
     power: Power,
     energy_per_op: Option<Energy>,
     area: Option<Area>,
@@ -24,12 +29,12 @@ pub struct RowReport {
 
 impl RowReport {
     pub(crate) fn for_element(
-        name: String,
-        ident: String,
-        element: String,
-        params: Vec<(String, f64)>,
+        name: Arc<str>,
+        ident: Arc<str>,
+        element: Arc<str>,
+        params: Vec<(Arc<str>, f64)>,
         rate: Option<f64>,
-        doc_link: Option<String>,
+        doc_link: Option<Arc<str>>,
         eval: Evaluation,
     ) -> RowReport {
         RowReport {
@@ -48,10 +53,10 @@ impl RowReport {
     }
 
     pub(crate) fn for_subsheet(
-        name: String,
-        ident: String,
-        params: Vec<(String, f64)>,
-        doc_link: Option<String>,
+        name: Arc<str>,
+        ident: Arc<str>,
+        params: Vec<(Arc<str>, f64)>,
+        doc_link: Option<Arc<str>>,
         sub: SheetReport,
     ) -> RowReport {
         RowReport {
@@ -85,7 +90,7 @@ impl RowReport {
     }
 
     /// Resolved parameter values shown in the spreadsheet's second column.
-    pub fn params(&self) -> &[(String, f64)] {
+    pub fn params(&self) -> &[(Arc<str>, f64)] {
         &self.params
     }
 
@@ -128,14 +133,14 @@ impl RowReport {
 /// The evaluated result of a whole sheet.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SheetReport {
-    name: String,
+    name: Arc<str>,
     globals: Vec<(String, f64)>,
     rows: Vec<RowReport>,
 }
 
 impl SheetReport {
     pub(crate) fn new(
-        name: String,
+        name: Arc<str>,
         globals: Vec<(String, f64)>,
         rows: Vec<RowReport>,
     ) -> SheetReport {

@@ -4,20 +4,89 @@
 //! "The table is parameterized; that is, parameters such as bit-widths
 //! and supply voltages can be varied dynamically" — these helpers are the
 //! programmatic form of turning those knobs.
+//!
+//! Every helper compiles the sheet to a [`CompiledSheet`] once and then
+//! replays the plan per point, dispatching points across a scoped worker
+//! pool. Results are returned in input order and, per point, are
+//! bit-identical to the serial reference implementations (kept as
+//! `*_serial` for benchmarking and as oracles); on failure the error
+//! reported is the one the earliest point in input order produced.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use powerplay_library::Registry;
 use powerplay_units::{Power, Voltage};
 
 use crate::engine::EvaluateSheetError;
+use crate::plan::CompiledSheet;
 use crate::report::SheetReport;
 use crate::sheet::Sheet;
 
+/// Number of worker threads what-if helpers spread evaluation over.
+fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on a scoped worker pool, returning results in
+/// input order. Workers claim items from a shared counter, so an
+/// expensive item does not stall its neighbours; the `(index, result)`
+/// pairs are scattered back after the join, which keeps the output
+/// deterministic regardless of scheduling. Falls back to a plain serial
+/// map for a single item or a single-core host.
+fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = worker_count().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let chunks: Vec<Vec<(usize, R)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("what-if worker panicked"))
+            .collect()
+    })
+    .expect("what-if worker pool panicked");
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for (i, r) in chunks.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every item claimed"))
+        .collect()
+}
+
 /// Evaluates the design once per value of `global`, returning
-/// `(value, report)` pairs.
+/// `(value, report)` pairs. Points are evaluated in parallel from one
+/// compiled plan; the result order (and every report in it) is identical
+/// to [`sweep_global_serial`].
 ///
 /// # Errors
 ///
-/// Returns the first [`EvaluateSheetError`] encountered.
+/// Returns the [`EvaluateSheetError`] of the first failing value in
+/// input order.
 ///
 /// ```
 /// use powerplay_library::builtin::ucb_library;
@@ -35,6 +104,45 @@ use crate::sheet::Sheet;
 /// # }
 /// ```
 pub fn sweep_global(
+    sheet: &Sheet,
+    registry: &Registry,
+    global: &str,
+    values: &[f64],
+) -> Result<Vec<(f64, SheetReport)>, EvaluateSheetError> {
+    let plan = CompiledSheet::compile(sheet, registry);
+    sweep_compiled(&plan, global, values)
+}
+
+/// [`sweep_global`] over an already compiled plan — what the web app's
+/// sweep endpoint uses so repeated sweeps of the same design skip
+/// recompilation.
+///
+/// # Errors
+///
+/// Returns the [`EvaluateSheetError`] of the first failing value in
+/// input order.
+pub fn sweep_compiled(
+    plan: &CompiledSheet,
+    global: &str,
+    values: &[f64],
+) -> Result<Vec<(f64, SheetReport)>, EvaluateSheetError> {
+    let reports = parallel_map(values, |&value| plan.play_with(&[(global, value)]));
+    values
+        .iter()
+        .zip(reports)
+        .map(|(&value, report)| Ok((value, report?)))
+        .collect()
+}
+
+/// Serial reference implementation of [`sweep_global`]: clone the sheet,
+/// mutate the global, re-play — once per value. Kept as the oracle the
+/// parallel path is tested against and as the baseline the benchmarks
+/// compare compiled replay to.
+///
+/// # Errors
+///
+/// Returns the first [`EvaluateSheetError`] encountered.
+pub fn sweep_global_serial(
     sheet: &Sheet,
     registry: &Registry,
     global: &str,
@@ -66,76 +174,115 @@ pub fn sensitivities(
     sheet: &Sheet,
     registry: &Registry,
 ) -> Result<Vec<(String, f64)>, EvaluateSheetError> {
-    let base = sheet.play(registry)?;
+    let plan = CompiledSheet::compile(sheet, registry);
+    let base = plan.play()?;
     let p0 = base.total_power().value();
-    let mut out = Vec::new();
-    for (name, value) in base.globals() {
-        if *value == 0.0 || p0 == 0.0 {
-            continue;
-        }
+    let probes: Vec<(String, f64)> = base
+        .globals()
+        .iter()
+        .filter(|(_, value)| *value != 0.0 && p0 != 0.0)
+        .cloned()
+        .collect();
+    // One worker task per global; the up/down pair stays together so the
+    // first error for a global is its upward perturbation's, exactly as
+    // in the serial loop.
+    let results = parallel_map(&probes, |(name, value)| {
         let h = 0.01 * value;
-        let mut up = sheet.clone();
-        up.set_global_value(name.clone(), value + h);
-        let mut down = sheet.clone();
-        down.set_global_value(name.clone(), value - h);
-        let p_up = up.play(registry)?.total_power().value();
-        let p_down = down.play(registry)?.total_power().value();
+        let p_up = plan
+            .play_with(&[(name.as_str(), value + h)])?
+            .total_power()
+            .value();
+        let p_down = plan
+            .play_with(&[(name.as_str(), value - h)])?
+            .total_power()
+            .value();
         let dp_dx = (p_up - p_down) / (2.0 * h);
-        out.push((name.clone(), dp_dx * value / p0));
-    }
+        Ok((name.clone(), dp_dx * value / p0))
+    });
+    let mut out = results
+        .into_iter()
+        .collect::<Result<Vec<_>, EvaluateSheetError>>()?;
     out.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite"));
     Ok(out)
 }
 
 /// Finds the lowest supply in `[vdd_min, vdd_max]` at which every row's
-/// modeled delay still fits one period of that row's access rate, by
-/// bisection, and returns it with the resulting report.
+/// modeled delay still fits one period of that row's access rate, and
+/// returns it with the resulting report.
+///
+/// The search is a parallel multisection: each round probes one interior
+/// supply per worker concurrently and keeps the bracket between the
+/// highest failing and lowest passing probe, shrinking the interval by a
+/// factor of the worker count per round (on a single-core host this is
+/// exactly the classic bisection). The probe grid is fixed by the bounds
+/// and worker count, so the result is deterministic for a given host.
 ///
 /// Rows without delay models are unconstrained. Returns `None` when even
 /// `vdd_max` fails timing.
 ///
 /// # Errors
 ///
-/// Returns the first [`EvaluateSheetError`] encountered.
+/// Returns the [`EvaluateSheetError`] of the lowest-supply failing probe.
 pub fn min_vdd_meeting_timing(
     sheet: &Sheet,
     registry: &Registry,
     vdd_min: Voltage,
     vdd_max: Voltage,
 ) -> Result<Option<(Voltage, SheetReport)>, EvaluateSheetError> {
-    let meets = |vdd: f64| -> Result<(bool, SheetReport), EvaluateSheetError> {
-        let mut variant = sheet.clone();
-        variant.set_global_value("vdd", vdd);
-        let report = variant.play(registry)?;
-        let ok = report.rows().iter().all(|row| {
-            match (row.delay(), row.rate()) {
-                (Some(delay), Some(rate)) if rate > 0.0 => delay.value() <= 1.0 / rate,
-                _ => true,
-            }
-        });
+    let plan = CompiledSheet::compile(sheet, registry);
+    let meets_timing = |report: &SheetReport| {
+        report.rows().iter().all(|row| match (row.delay(), row.rate()) {
+            (Some(delay), Some(rate)) if rate > 0.0 => delay.value() <= 1.0 / rate,
+            _ => true,
+        })
+    };
+    let probe = |vdd: f64| -> Result<(bool, SheetReport), EvaluateSheetError> {
+        let report = plan.play_with(&[("vdd", vdd)])?;
+        let ok = meets_timing(&report);
         Ok((ok, report))
     };
 
-    let (ok_max, report_max) = meets(vdd_max.value())?;
+    let (ok_max, report_max) = probe(vdd_max.value())?;
     if !ok_max {
         return Ok(None);
     }
+    let (ok_min, report_min) = probe(vdd_min.value())?;
+    if ok_min {
+        return Ok(Some((Voltage::new(vdd_min.value()), report_min)));
+    }
+
     let mut lo = vdd_min.value();
     let mut hi = vdd_max.value();
     let mut best = (hi, report_max);
-    // Is the lower bound already sufficient?
-    let (ok_min, report_min) = meets(lo)?;
-    if ok_min {
-        return Ok(Some((Voltage::new(lo), report_min)));
-    }
-    for _ in 0..60 {
-        let mid = 0.5 * (lo + hi);
-        let (ok, report) = meets(mid)?;
-        if ok {
-            hi = mid;
-            best = (mid, report);
-        } else {
-            lo = mid;
+    // `sections` subintervals per round; shrink until the bracket is as
+    // tight as 60 halvings would have made it.
+    let sections = worker_count().clamp(2, 16) as f64;
+    let rounds = (60.0 / sections.log2()).ceil() as usize;
+    for _ in 0..rounds {
+        let step = (hi - lo) / sections;
+        let probes: Vec<f64> = (1..sections as usize).map(|i| lo + step * i as f64).collect();
+        if probes.is_empty() || step == 0.0 {
+            break;
+        }
+        let outcomes = parallel_map(&probes, |&vdd| probe(vdd));
+        // Timing degrades monotonically as the supply drops, so the
+        // lowest passing probe bounds the answer from above and its left
+        // neighbour bounds it from below.
+        let mut passing = None;
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            let (ok, report) = outcome?;
+            if ok {
+                passing = Some((i, report));
+                break;
+            }
+        }
+        match passing {
+            Some((i, report)) => {
+                hi = probes[i];
+                lo = if i == 0 { lo } else { probes[i - 1] };
+                best = (hi, report);
+            }
+            None => lo = *probes.last().expect("probes nonempty"),
         }
     }
     Ok(Some((Voltage::new(best.0), best.1)))
@@ -152,9 +299,9 @@ pub fn voltage_scaling_gain(
     registry: &Registry,
     vdd_nominal: Voltage,
 ) -> Result<Option<(Power, Power, Voltage)>, EvaluateSheetError> {
-    let mut nominal = sheet.clone();
-    nominal.set_global_value("vdd", vdd_nominal.value());
-    let p_nominal = nominal.play(registry)?.total_power();
+    let p_nominal = CompiledSheet::compile(sheet, registry)
+        .play_with(&[("vdd", vdd_nominal.value())])?
+        .total_power();
     match min_vdd_meeting_timing(sheet, registry, Voltage::new(0.75), vdd_nominal)? {
         None => Ok(None),
         Some((vdd, report)) => Ok(Some((p_nominal, report.total_power(), vdd))),
@@ -221,19 +368,31 @@ pub fn monte_carlo(
 
     assert!(trials > 0, "need at least one trial");
     assert!(rel > 0.0 && rel < 1.0, "relative perturbation must be in (0, 1)");
-    let base = sheet.play(registry)?;
+    let plan = CompiledSheet::compile(sheet, registry);
+    let base = plan.play()?;
+    // Draw every trial's perturbations serially first — the RNG stream
+    // (and so the sampled distribution for a given seed) is independent
+    // of how the evaluations are later scheduled.
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut samples = Vec::with_capacity(trials);
-    for _ in 0..trials {
-        let mut variant = sheet.clone();
-        for name in globals {
-            if let Some(value) = base.global(name) {
-                let factor: f64 = rng.gen_range(1.0 - rel..1.0 + rel);
-                variant.set_global_value(*name, value * factor);
-            }
-        }
-        samples.push(variant.play(registry)?.total_power().value());
-    }
+    let overrides: Vec<Vec<(&str, f64)>> = (0..trials)
+        .map(|_| {
+            globals
+                .iter()
+                .filter_map(|name| {
+                    base.global(name).map(|value| {
+                        let factor: f64 = rng.gen_range(1.0 - rel..1.0 + rel);
+                        (*name, value * factor)
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    let results = parallel_map(&overrides, |trial| {
+        plan.play_with(trial).map(|r| r.total_power().value())
+    });
+    let mut samples = results
+        .into_iter()
+        .collect::<Result<Vec<_>, EvaluateSheetError>>()?;
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite powers"));
     Ok(MonteCarloSummary { samples })
 }
@@ -371,5 +530,50 @@ mod tests {
         let curve = sweep_global(&sheet(), &lib, "vdd", &[1.5]).unwrap();
         assert_eq!(curve[0].1.global("f"), Some(2e6));
         assert_eq!(curve[0].1.global("vdd"), Some(1.5));
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_bit_for_bit() {
+        let lib = ucb_library();
+        let s = sheet();
+        let values: Vec<f64> = (0..100).map(|i| 0.9 + 0.025 * i as f64).collect();
+        let parallel = sweep_global(&s, &lib, "vdd", &values).unwrap();
+        let serial = sweep_global_serial(&s, &lib, "vdd", &values).unwrap();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn sweep_reports_first_failing_value_in_input_order() {
+        let lib = ucb_library();
+        let mut s = Sheet::new("s");
+        s.set_global("vdd", "1.5").unwrap();
+        s.set_global("f", "2MHz").unwrap();
+        // A negative supply drives the wire's switched capacitance
+        // negative, which the element rejects — so failures depend on
+        // the swept value, and each failing value carries a distinct
+        // error payload.
+        s.add_element_row("W", "ucb/wire", [("length_mm", "vdd")])
+            .unwrap();
+        let values = [1.0, -4.0, -9.0];
+        let parallel = sweep_global(&s, &lib, "vdd", &values).unwrap_err();
+        let serial = sweep_global_serial(&s, &lib, "vdd", &values).unwrap_err();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = parallel_map(&items, |&i| i * 3);
+        assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn compiled_sweep_reuses_one_plan() {
+        let lib = ucb_library();
+        let s = sheet();
+        let plan = CompiledSheet::compile(&s, &lib);
+        let a = sweep_compiled(&plan, "vdd", &[1.0, 2.0]).unwrap();
+        let b = sweep_global(&s, &lib, "vdd", &[1.0, 2.0]).unwrap();
+        assert_eq!(a, b);
     }
 }

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use powerplay_expr::Scope;
 use powerplay_library::builtin::ucb_library;
 use powerplay_library::Registry;
-use powerplay_sheet::{Row, RowModel, Sheet};
+use powerplay_sheet::{CompiledSheet, Row, RowModel, Sheet};
 
 /// A random small design over a handful of builtin elements, with
 /// per-row rate dividers so rows exercise distinct operating points.
@@ -40,6 +40,38 @@ fn arb_sheet() -> impl Strategy<Value = Sheet> {
 
 fn lib() -> Registry {
     ucb_library()
+}
+
+/// Random global overrides: existing globals (`vdd`, `f`), a name that
+/// usually does not exist yet (`x_new`, exercising the append path), and
+/// `a` (which, on defective sheets below, dissolves a global cycle).
+fn arb_overrides() -> impl Strategy<Value = Vec<(String, f64)>> {
+    prop::collection::vec(
+        (
+            prop_oneof![
+                Just("vdd".to_owned()),
+                Just("f".to_owned()),
+                Just("x_new".to_owned()),
+                Just("a".to_owned()),
+            ],
+            0.5f64..5.0,
+        ),
+        0..4,
+    )
+}
+
+/// Applies `overrides` the reference way: clone, `set_global_value` each
+/// pair in order, play.
+fn clone_mutate_play(
+    sheet: &Sheet,
+    registry: &Registry,
+    overrides: &[(String, f64)],
+) -> Result<powerplay_sheet::SheetReport, powerplay_sheet::EvaluateSheetError> {
+    let mut mutated = sheet.clone();
+    for (name, value) in overrides {
+        mutated.set_global_value(name.clone(), *value);
+    }
+    mutated.play(registry)
 }
 
 proptest! {
@@ -118,6 +150,65 @@ proptest! {
             (direct - via_macro).abs() <= 1e-9 * direct.max(1e-12),
             "direct {direct} vs macro {via_macro}"
         );
+    }
+
+    /// Replaying a compiled plan with overrides is indistinguishable —
+    /// report for report, error for error — from cloning the sheet,
+    /// mutating the globals, and pressing Play.
+    #[test]
+    fn compiled_play_with_equals_clone_mutate_play(
+        sheet in arb_sheet(),
+        overrides in arb_overrides(),
+    ) {
+        let library = lib();
+        let plan = CompiledSheet::compile(&sheet, &library);
+        let ov: Vec<(&str, f64)> = overrides.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        prop_assert_eq!(plan.play_with(&ov), clone_mutate_play(&sheet, &library, &overrides));
+        prop_assert_eq!(plan.play(), sheet.play(&library));
+    }
+
+    /// The equivalence holds on defective sheets too: circular globals,
+    /// unknown elements, duplicate idents, and circular row powers all
+    /// surface the exact same error from the compiled plan as from the
+    /// engine — with and without overrides (overriding `a` can dissolve
+    /// the global cycle, and both paths must agree on that as well).
+    #[test]
+    fn compiled_errors_match_engine_errors(
+        sheet in arb_sheet(),
+        defect in 0u32..4,
+        overrides in arb_overrides(),
+    ) {
+        let library = lib();
+        let mut broken = sheet.clone();
+        match defect {
+            0 => {
+                // Circular globals.
+                broken.set_global("a", "b + 1").unwrap();
+                broken.set_global("b", "a * 2").unwrap();
+            }
+            1 => {
+                // Unknown element path.
+                broken.add_element_row("Ghost", "nowhere/nothing", []).unwrap();
+            }
+            2 => {
+                // Two rows folding to the same ident.
+                broken.add_element_row("Twin Row", "ucb/register", []).unwrap();
+                broken.add_element_row("twin-row", "ucb/register", []).unwrap();
+            }
+            _ => {
+                // Circular row power references.
+                broken
+                    .add_element_row("Loop A", "ucb/dcdc", [("p_load", "P_loop_b")])
+                    .unwrap();
+                broken
+                    .add_element_row("Loop B", "ucb/dcdc", [("p_load", "P_loop_a")])
+                    .unwrap();
+            }
+        }
+        let plan = CompiledSheet::compile(&broken, &library);
+        let ov: Vec<(&str, f64)> = overrides.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        prop_assert_eq!(plan.play_with(&ov), clone_mutate_play(&broken, &library, &overrides));
+        prop_assert_eq!(plan.play(), broken.play(&library));
     }
 
     /// Doubling the global rate doubles dynamic power for rate-derived

@@ -143,6 +143,7 @@ impl PowerPlayApp {
             (Method::Get, "/api/element") => self.api_element(req),
             (Method::Get, "/api/design") => self.api_design(req),
             (Method::Get, "/api/sweep") => self.api_sweep(req),
+            (Method::Get, "/api/sensitivities") => self.api_sensitivities(req),
             (Method::Get, "/agent") => self.agent_page(req),
             (Method::Get, _) => Err(Response::error(Status::NotFound, "no such page")),
             (Method::Post, _) => Err(Response::error(Status::NotFound, "no such action")),
@@ -1031,13 +1032,12 @@ errs conservatively high.</p>";
             .map(|v| v.trim().parse().map_err(|_| Self::bad(format!("bad value `{v}`"))))
             .collect::<Result<_, _>>()?;
         let sheet = self.load_design(&user, &design)?;
-        let curve = powerplay_sheet::whatif::sweep_global(
-            &sheet,
-            &self.registry.read(),
-            &global,
-            &values,
-        )
-        .map_err(Self::bad)?;
+        // Compile while holding the registry lock, then release it: the
+        // plan owns shared handles to the elements it needs, so the
+        // (parallel) evaluation below never blocks library edits.
+        let plan = powerplay_sheet::CompiledSheet::compile(&sheet, &self.registry.read());
+        let curve =
+            powerplay_sheet::whatif::sweep_compiled(&plan, &global, &values).map_err(Self::bad)?;
         let series: Json = curve
             .into_iter()
             .map(|(value, report)| {
@@ -1049,6 +1049,28 @@ errs conservatively high.</p>";
             .collect();
         Ok(Response::json(
             Json::object([("global", Json::from(global)), ("series", series)]).to_string(),
+        ))
+    }
+
+    /// `/api/sensitivities?user=&name=` — relative sensitivity of total
+    /// power to each global, descending by magnitude: the "where should
+    /// effort go" ranking, over the wire.
+    fn api_sensitivities(&self, req: &Request) -> Result<Response, Response> {
+        let user = Self::user_of(req)?;
+        let design = req
+            .query_param("name")
+            .ok_or_else(|| Self::bad("missing `name`"))?;
+        let sheet = self.load_design(&user, &design)?;
+        let sens = powerplay_sheet::whatif::sensitivities(&sheet, &self.registry.read())
+            .map_err(Self::bad)?;
+        let ranking: Json = sens
+            .into_iter()
+            .map(|(global, s)| {
+                Json::object([("global", Json::from(global)), ("sensitivity", Json::from(s))])
+            })
+            .collect();
+        Ok(Response::json(
+            Json::object([("sensitivities", ranking)]).to_string(),
         ))
     }
 
@@ -1425,6 +1447,24 @@ mod tests {
 
         let bad = get(&app, "/api/sweep?user=a&name=d&global=vdd&values=x");
         assert_eq!(bad.status(), Status::BadRequest);
+    }
+
+    #[test]
+    fn api_sensitivities_ranks_globals() {
+        let app = app("sens");
+        post(&app, "/design/new", &[("user", "a"), ("name", "d")]);
+        post(
+            &app,
+            "/design/add_row",
+            &[("user", "a"), ("design", "d"), ("row_name", "M"), ("element", "ucb/multiplier")],
+        );
+        let r = get(&app, "/api/sensitivities?user=a&name=d");
+        assert_eq!(r.status(), Status::Ok, "{}", r.body_text());
+        let parsed = Json::parse(&r.body_text()).unwrap();
+        let ranking = parsed["sensitivities"].as_array().unwrap();
+        // Full-rail design: vdd (S=2) outranks f (S=1).
+        assert_eq!(ranking[0]["global"].as_str().unwrap(), "vdd");
+        assert!((ranking[0]["sensitivity"].as_f64().unwrap() - 2.0).abs() < 1e-3);
     }
 
     #[test]

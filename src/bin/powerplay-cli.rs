@@ -46,6 +46,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("lump") => cmd_lump(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("sens") => cmd_sens(&args[1..]),
         Some("mc") => cmd_mc(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("fetch") => cmd_fetch(&args[1..]),
@@ -64,6 +65,7 @@ USAGE:
   powerplay-cli sweep <design.json> <global> <v1,v2,...>
   powerplay-cli lump <design.json> <name>   lump a design into a macro (JSON)
   powerplay-cli compare <a.json> <b.json>    side-by-side design comparison
+  powerplay-cli sens <design.json>          sensitivity of power to each global
   powerplay-cli mc <design.json> <rel> <trials> <globals,...>  Monte-Carlo spread
   powerplay-cli serve [addr]                run the web application
   powerplay-cli fetch <http://site>         fetch a remote library (JSON)
@@ -211,6 +213,20 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     let cmp = powerplay_sheet::compare::Comparison::new(&ra, &rb);
     print!("{cmp}");
     println!("improvement (baseline/alternative): {:.2}x", cmp.improvement());
+    Ok(())
+}
+
+fn cmd_sens(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("usage: sens <design.json>".into());
+    };
+    let pp = PowerPlay::new();
+    let sheet = load_design(path)?;
+    let sens = powerplay::whatif::sensitivities(&sheet, pp.registry()).map_err(|e| e.to_string())?;
+    println!("{:<16} {:>12}", "global", "S = (dP/P)/(dx/x)");
+    for (name, s) in sens {
+        println!("{name:<16} {s:>12.3}");
+    }
     Ok(())
 }
 

@@ -1,0 +1,271 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of criterion's API its benches use: `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is a plain wall-clock harness: a short warm-up estimates
+//! the per-iteration cost, the iteration count is calibrated to a fixed
+//! sample duration, and the *minimum* sample mean is reported (the
+//! minimum is the estimator least polluted by scheduler noise). No
+//! statistics files are written; each benchmark prints one line:
+//!
+//! ```text
+//! name                          time: [12.345 µs]  (81.0 Kelem/s)
+//! ```
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterised benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter, for single-function groups.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything usable as a benchmark name (mirrors criterion's
+/// `IntoBenchmarkId` flexibility for the subset we need).
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    /// Target wall-clock duration of one measured sample.
+    sample_target: Duration,
+    /// Number of samples to take.
+    samples: usize,
+    /// Measured best (minimum) mean nanoseconds per iteration.
+    best_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the best observed mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: run until ~5 ms elapse.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < Duration::from_millis(5) || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let iters = ((self.sample_target.as_secs_f64() / per_iter) as u64).clamp(1, 10_000_000);
+
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let mean_ns = t0.elapsed().as_secs_f64() * 1e9 / iters as f64;
+            if mean_ns < best {
+                best = mean_ns;
+            }
+        }
+        self.best_ns = best;
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) -> f64 {
+    let mut bencher = Bencher {
+        sample_target: Duration::from_millis(10),
+        // criterion's sample_size counts samples; keep a small floor so
+        // tiny sample sizes still give a stable minimum.
+        samples: sample_size.clamp(5, 30),
+        best_ns: f64::NAN,
+    };
+    f(&mut bencher);
+    let rate = if bencher.best_ns > 0.0 {
+        format!("  ({:.1} Kelem/s)", 1e6 / bencher.best_ns)
+    } else {
+        String::new()
+    };
+    println!(
+        "{name:<44} time: [{}]{rate}",
+        format_time(bencher.best_ns)
+    );
+    bencher.best_ns
+}
+
+/// The benchmark manager (API-compatible subset of criterion's).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: self.sample_size,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by a borrowed input.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&full, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_addition", |b| b.iter(|| black_box(1u64) + 1));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.bench_function("inner", |b| b.iter(|| black_box(2u64) * 3));
+        g.bench_with_input(BenchmarkId::from_parameter(7u32), &7u32, |b, &n| {
+            b.iter(|| black_box(n) + 1)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(format_time(12.3).ends_with("ns"));
+        assert!(format_time(12_300.0).ends_with("µs"));
+        assert!(format_time(12_300_000.0).ends_with("ms"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the one piece of `crossbeam 0.8` it uses:
+//! [`thread::scope`] / [`thread::Scope::spawn`] with crossbeam's
+//! signatures (the spawn closure receives a `&Scope`, and `scope`
+//! returns a `Result` instead of propagating child panics directly).
+//!
+//! Built on `std::thread::scope`, which provides the same structured
+//! borrow guarantees.
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A handle to a spawn scope, passed to [`scope`]'s closure and to
+    /// every spawned thread (mirrors `crossbeam::thread::Scope`).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Owned permission to join a scoped thread (mirrors
+    /// `crossbeam::thread::ScopedJoinHandle`).
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives this scope so it
+        /// can spawn further threads (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Creates a scope in which threads borrowing from the environment
+    /// can be spawned. Returns `Err` with the panic payload if the
+    /// closure or any un-joined child thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawn_and_join_with_borrowed_state() {
+        let counter = AtomicUsize::new(0);
+        let counter = &counter;
+        let total = crate::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    s.spawn(move |_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        i * 2
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+        assert_eq!(total, (0..8).map(|i| i * 2).sum());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let n = crate::thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn child_panic_surfaces_as_err() {
+        let out = crate::thread::scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("boom") });
+            h.join().is_err()
+        });
+        assert!(out.unwrap());
+    }
+}

@@ -1,0 +1,690 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of proptest's API its property tests use:
+//! the [`strategy::Strategy`] trait with `prop_map` / `prop_recursive` /
+//! `boxed`, [`strategy::Just`], [`strategy::Union`] (via `prop_oneof!`),
+//! numeric-range and tuple strategies, string strategies from a small
+//! regex-like pattern language, [`collection::vec`], [`arbitrary::any`],
+//! and the `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from upstream, deliberate and acceptable here:
+//! - **No shrinking.** A failing case panics with the assertion message
+//!   and the values that produced it are reproducible from the fixed
+//!   per-test seed, but are not minimized.
+//! - Cases are generated from a deterministic per-test RNG (seeded from
+//!   the test's name), so runs are fully reproducible.
+//! - The string pattern language supports only what the tests use:
+//!   character classes `[...]` (with ranges and escapes), the `\PC`
+//!   "any printable char" atom, literal characters, and `{m,n}` / `{m}`
+//!   repetition.
+
+/// Deterministic RNG used by the test runner and strategies.
+pub mod test_runner {
+    /// xoshiro256** seeded through SplitMix64; deterministic per label.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: [u64; 4],
+    }
+
+    impl TestRng {
+        /// A generator whose stream is a pure function of `label`
+        /// (callers pass the test name, making each test reproducible).
+        pub fn deterministic(label: &str) -> TestRng {
+            // FNV-1a over the label gives the SplitMix64 seed.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in label.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut sm = h;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                state: [next(), next(), next(), next()],
+            }
+        }
+
+        /// The next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.state[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.state[1] << 17;
+            self.state[2] ^= self.state[0];
+            self.state[3] ^= self.state[1];
+            self.state[1] ^= self.state[2];
+            self.state[0] ^= self.state[3];
+            self.state[2] ^= t;
+            self.state[3] = self.state[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform integer in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        /// Uniform float in `[0, 1)` with 53 random mantissa bits.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Per-test configuration (API-compatible subset).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// The [`Strategy`] trait and core combinators.
+pub mod strategy {
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms every generated value through `map`.
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, map }
+        }
+
+        /// Type-erases the strategy behind a cheaply clonable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy {
+                inner: Rc::new(self),
+            }
+        }
+
+        /// Builds a recursive strategy: `self` is the leaf case and
+        /// `recurse` wraps an inner strategy into a deeper one. `depth`
+        /// bounds the nesting; the size-tuning parameters of upstream
+        /// proptest are accepted and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                // Mix the leaf back in at every level so generated trees
+                // have a spread of depths rather than always `depth`.
+                strat = Union::new(vec![leaf.clone(), recurse(strat).boxed()]).boxed();
+            }
+            strat
+        }
+    }
+
+    /// A type-erased, clonable strategy handle.
+    pub struct BoxedStrategy<T> {
+        inner: Rc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: Rc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    /// Uniform choice between several strategies of one value type
+    /// (what `prop_oneof!` expands to).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        /// A uniform union over `options` (must be non-empty).
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128 % span) as i128;
+                    (self.start as i128 + offset) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// String literals are strategies over the pattern language in
+    /// [`crate::string`].
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident / $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A/0)
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+        (A/0, B/1, C/2, D/3, E/4)
+        (A/0, B/1, C/2, D/3, E/4, F/5)
+    }
+}
+
+/// String generation from a regex-like pattern (the subset the
+/// workspace's tests use).
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        /// `\PC` — any printable (non-control) character.
+        AnyPrintable,
+        /// `[...]` — one character from an explicit set.
+        Class(Vec<char>),
+        /// A literal character.
+        Literal(char),
+    }
+
+    #[derive(Debug, Clone)]
+    struct Piece {
+        atom: Atom,
+        min: u32,
+        max: u32,
+    }
+
+    /// Printable pool for `\PC`: full printable ASCII plus a few
+    /// multi-byte characters so unicode handling gets exercised.
+    const EXTRA_PRINTABLE: &[char] = &['µ', 'é', 'λ', 'π', '×', '漢', '❦', 'Ω'];
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '\\' if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') => {
+                    i += 3;
+                    Atom::AnyPrintable
+                }
+                '\\' => {
+                    let c = *chars
+                        .get(i + 1)
+                        .expect("pattern ends in a lone backslash");
+                    i += 2;
+                    Atom::Literal(c)
+                }
+                '[' => {
+                    let (set, next) = parse_class(&chars, i + 1);
+                    i = next;
+                    Atom::Class(set)
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unclosed {} repetition")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repetition lower bound"),
+                        hi.trim().parse().expect("bad repetition upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    /// Parses a `[...]` class body starting just past the `[`; returns
+    /// the expanded character set and the index just past the `]`.
+    fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+        let mut set = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            if chars[i] == '\\' {
+                let c = *chars.get(i + 1).expect("class ends in a lone backslash");
+                set.push(c);
+                i += 2;
+            } else if chars.get(i + 1) == Some(&'-')
+                && chars.get(i + 2).is_some_and(|&c| c != ']')
+            {
+                let (lo, hi) = (chars[i], chars[i + 2]);
+                assert!(lo <= hi, "inverted class range {lo}-{hi}");
+                for code in lo as u32..=hi as u32 {
+                    if let Some(c) = char::from_u32(code) {
+                        set.push(c);
+                    }
+                }
+                i += 3;
+            } else {
+                set.push(chars[i]);
+                i += 1;
+            }
+        }
+        assert!(i < chars.len(), "unclosed character class");
+        (set, i + 1) // skip ']'
+    }
+
+    fn draw(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::AnyPrintable => {
+                // Mostly ASCII, occasionally wider unicode.
+                if rng.below(8) == 0 {
+                    EXTRA_PRINTABLE[rng.below(EXTRA_PRINTABLE.len() as u64) as usize]
+                } else {
+                    char::from_u32(0x20 + rng.below(0x7F - 0x20) as u32).unwrap()
+                }
+            }
+            Atom::Class(set) => set[rng.below(set.len() as u64) as usize],
+            Atom::Literal(c) => *c,
+        }
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as u32;
+            for _ in 0..count {
+                out.push(draw(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use std::ops::Range;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A strategy for `Vec`s whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    /// The result of [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The [`any`] entry point and the [`Arbitrary`] trait behind it.
+pub mod arbitrary {
+    use std::marker::PhantomData;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.unit_f64()
+        }
+    }
+
+    /// The canonical strategy for any [`Arbitrary`] type.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    /// The result of [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Namespaced access mirroring `proptest::prelude::prop::*`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+    pub use crate::string;
+}
+
+/// The glob-import surface used by the tests.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Uniform choice between strategy arms of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Property assertion (no shrinking in this stand-in: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property equality assertion (plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Declares property tests: each `fn name(binding in strategy, ...)`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @config ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let strategies = ($(($strategy),)+);
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for _ in 0..config.cases {
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        let strat = (1u32..5, 0.0f64..1.0);
+        for _ in 0..200 {
+            let (n, x) = strat.generate(&mut rng);
+            assert!((1..5).contains(&n));
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::deterministic("strings");
+        for _ in 0..100 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let t = "\\PC{0,16}".generate(&mut rng);
+            assert!(t.chars().count() <= 16);
+            assert!(t.chars().all(|c| !c.is_control()));
+
+            let u = "[%+a-zA-Z0-9]{0,12}".generate(&mut rng);
+            assert!(u
+                .chars()
+                .all(|c| c == '%' || c == '+' || c.is_ascii_alphanumeric()));
+        }
+    }
+
+    #[test]
+    fn class_handles_escapes_and_trailing_dash() {
+        let mut rng = TestRng::deterministic("escapes");
+        for _ in 0..200 {
+            let s = "[a\\\\\"\n-]{1,4}".generate(&mut rng);
+            assert!(s
+                .chars()
+                .all(|c| matches!(c, 'a' | '\\' | '"' | '\n' | '-')));
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates_and_varies() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u32),
+            Node(Vec<Tree>),
+        }
+        let strat = (0u32..10).prop_map(Tree::Leaf).prop_recursive(4, 64, 4, |inner| {
+            prop::collection::vec(inner, 1..4).prop_map(Tree::Node)
+        });
+        let mut rng = TestRng::deterministic("tree");
+        let mut saw_node = false;
+        let mut saw_leaf = false;
+        for _ in 0..100 {
+            match strat.generate(&mut rng) {
+                Tree::Leaf(_) => saw_leaf = true,
+                Tree::Node(_) => saw_node = true,
+            }
+        }
+        assert!(saw_leaf && saw_node, "recursion should mix depths");
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let strat = prop_oneof![Just(1u32), Just(2), 10u32..20];
+        let mut a = TestRng::deterministic("same");
+        let mut b = TestRng::deterministic("same");
+        let xs: Vec<u32> = (0..32).map(|_| strat.generate(&mut a)).collect();
+        let ys: Vec<u32> = (0..32).map(|_| strat.generate(&mut b)).collect();
+        assert_eq!(xs, ys);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself works end-to-end with multiple bindings.
+        #[test]
+        fn macro_smoke(a in 0u32..100, b in 0.5f64..2.0, s in "[xy]{1,3}") {
+            prop_assert!(a < 100);
+            prop_assert!((0.5..2.0).contains(&b));
+            prop_assert_eq!(s.is_empty(), false);
+        }
+    }
+}
