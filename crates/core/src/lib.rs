@@ -45,6 +45,7 @@ pub mod designs;
 
 pub use powerplay_expr::{Expr, Scope};
 pub use powerplay_library::{builtin::ucb_library, LibraryElement, Registry};
+pub use powerplay_lint::{Diagnostic, LintReport, Severity};
 pub use powerplay_models::{OperatingPoint, PowerModel};
 pub use powerplay_sheet::{whatif, CompiledSheet, Row, RowModel, Sheet, SheetReport};
 pub use powerplay_units::{Capacitance, Current, Energy, Frequency, Power, Time, Voltage};
@@ -99,6 +100,18 @@ impl PowerPlay {
     /// [`CompiledSheet::play_with`] per point.
     pub fn compile(&self, sheet: &Sheet) -> CompiledSheet {
         CompiledSheet::compile(sheet, &self.registry)
+    }
+
+    /// Statically analyzes a design: unit-dimension inference, name
+    /// analysis, and plausibility checks, without evaluating anything.
+    pub fn lint(&self, sheet: &Sheet) -> LintReport {
+        powerplay_lint::lint_sheet(sheet, &self.registry)
+    }
+
+    /// [`PowerPlay::compile`] plus the [`LintReport`] for the same
+    /// sheet, so callers can surface diagnostics alongside the plan.
+    pub fn compile_with_diagnostics(&self, sheet: &Sheet) -> (CompiledSheet, LintReport) {
+        (self.compile(sheet), self.lint(sheet))
     }
 
     /// Lumps a design into a reusable macro and registers it.

@@ -1,0 +1,91 @@
+//! Satellite check: the built-in reference designs lint clean.
+//!
+//! Every diagnostic the linter raises on the shipped designs is either
+//! fixed or explicitly allowed here with its code — nothing is silently
+//! tolerated. If a new lint pass starts flagging these sheets, this
+//! test is where the triage decision gets recorded.
+
+use powerplay::designs::{infopad, luminance};
+use powerplay::{PowerPlay, Severity};
+use powerplay_lint::codes;
+
+/// The per-row `f` overrides in the luminance designs (the paper's
+/// Figure 1/3 memory banks run at `f/4` etc.) intentionally shadow the
+/// sheet global, so I201 is expected there and allowed.
+const ALLOWED: &[&str] = &[codes::SHADOWED_GLOBAL];
+
+fn assert_lints_clean(name: &str, sheet: &powerplay::Sheet) {
+    let pp = PowerPlay::new();
+    let report = pp.lint(sheet);
+    assert_eq!(
+        report.count(Severity::Error),
+        0,
+        "{name} has lint errors:\n{}",
+        report.render_text()
+    );
+    assert_eq!(
+        report.count(Severity::Warning),
+        0,
+        "{name} has lint warnings:\n{}",
+        report.render_text()
+    );
+    let residue = report.allow(ALLOWED);
+    assert!(
+        residue.is_empty(),
+        "{name} has unreviewed diagnostics:\n{}",
+        residue.render_text()
+    );
+}
+
+#[test]
+fn luminance_direct_lut_lints_clean() {
+    assert_lints_clean(
+        "luminance (Figure 1)",
+        &luminance::sheet(luminance::LuminanceArch::DirectLut),
+    );
+}
+
+#[test]
+fn luminance_grouped_lut_lints_clean() {
+    assert_lints_clean(
+        "luminance (Figure 3)",
+        &luminance::sheet(luminance::LuminanceArch::GroupedLut),
+    );
+}
+
+#[test]
+fn infopad_lints_clean() {
+    assert_lints_clean("infopad", &infopad::sheet());
+}
+
+#[test]
+fn luminance_shadowing_infos_are_the_expected_ones() {
+    // Document exactly which I201s we allow: the deliberate per-row
+    // clock overrides.
+    let report = PowerPlay::new().lint(&luminance::sheet(luminance::LuminanceArch::DirectLut));
+    let paths: Vec<&str> = report
+        .diagnostics()
+        .iter()
+        .filter(|d| d.code == codes::SHADOWED_GLOBAL)
+        .map(|d| d.path.as_str())
+        .collect();
+    assert_eq!(
+        paths,
+        [
+            "rows/Read Bank/bindings/f",
+            "rows/Write Bank/bindings/f",
+        ]
+    );
+}
+
+#[test]
+fn registry_of_builtins_lints_without_errors() {
+    let pp = PowerPlay::new();
+    let report = powerplay_lint::lint_registry(pp.registry());
+    assert_eq!(
+        report.count(Severity::Error),
+        0,
+        "built-in library has lint errors:\n{}",
+        report.render_text()
+    );
+}

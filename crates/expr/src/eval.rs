@@ -161,6 +161,52 @@ impl Expr {
     }
 }
 
+impl Expr {
+    /// Folds the expression to a constant, if it contains no variables
+    /// and every call resolves to a builtin with the right arity.
+    ///
+    /// This is the evaluator restricted to closed expressions — the
+    /// arithmetic is byte-for-byte the same dispatch `eval` uses — so a
+    /// static analyzer can ask "what number would this term always
+    /// produce?" without inventing a scope. Returns `None` as soon as a
+    /// variable, unknown function, or wrong arity is encountered.
+    ///
+    /// ```
+    /// use powerplay_expr::Expr;
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// assert_eq!(Expr::parse("2 * (3 + 4)")?.constant_value(), Some(14.0));
+    /// assert_eq!(Expr::parse("2 * bits")?.constant_value(), None);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn constant_value(&self) -> Option<f64> {
+        match self {
+            Expr::Number(n) => Some(*n),
+            Expr::Variable(_) => None,
+            Expr::Unary(UnaryOp::Neg, inner) => Some(-inner.constant_value()?),
+            Expr::Binary(op, lhs, rhs) => Some(apply_binary(
+                *op,
+                lhs.constant_value()?,
+                rhs.constant_value()?,
+            )),
+            Expr::Call(name, args) => {
+                let arity = BUILTIN_FUNCTIONS
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, a)| *a)?;
+                if args.len() != arity {
+                    return None;
+                }
+                let mut values = [0.0f64; 3];
+                for (slot, arg) in values.iter_mut().zip(args) {
+                    *slot = arg.constant_value()?;
+                }
+                Some(apply_function(name, &values[..arity]))
+            }
+        }
+    }
+}
+
 fn apply_binary(op: BinaryOp, l: f64, r: f64) -> f64 {
     match op {
         BinaryOp::Add => l + r,

@@ -561,6 +561,49 @@ mod tests {
     }
 
     #[test]
+    fn undeclared_variables_are_deterministically_sorted() {
+        // Order must be lexicographic regardless of the order variables
+        // appear in formulas, so diagnostics and API bodies are stable.
+        let elem = LibraryElement::new(
+            "test/x",
+            ElementClass::Computation,
+            "",
+            vec![],
+            ElementModel {
+                cap_full: Some(Expr::parse("zeta + mid + alpha").unwrap()),
+                power_direct: Some(Expr::parse("beta * zeta").unwrap()),
+                ..ElementModel::default()
+            },
+        );
+        assert_eq!(elem.undeclared_variables(), vec!["alpha", "beta", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn undeclared_variables_cover_area_delay_and_cap_partial_slots() {
+        // Variables used only by non-power formulas (area, delay, the
+        // partial-swing pair) must be flagged too.
+        let elem = LibraryElement::new(
+            "test/x",
+            ElementClass::Storage,
+            "",
+            vec![ParamDecl::new("bits", 8.0, "")],
+            ElementModel {
+                cap_partial: Some((
+                    Expr::parse("bits * c_cell").unwrap(),
+                    Expr::parse("bl_swing").unwrap(),
+                )),
+                area: Some(Expr::parse("bits * cell_pitch").unwrap()),
+                delay: Some(Expr::parse("t_access").unwrap()),
+                ..ElementModel::default()
+            },
+        );
+        assert_eq!(
+            elem.undeclared_variables(),
+            vec!["bl_swing", "c_cell", "cell_pitch", "t_access"]
+        );
+    }
+
+    #[test]
     fn class_id_roundtrip() {
         for class in ElementClass::ALL {
             assert_eq!(ElementClass::from_id(class.id()), Some(class));

@@ -1,0 +1,553 @@
+//! Diagnostic values, severities, codes, and renderable reports.
+
+use std::fmt;
+
+use powerplay_json::Json;
+
+/// How serious a diagnostic is.
+///
+/// Ordered so `Error > Warning > Info`, letting callers take the maximum
+/// severity of a report with `iter().map(|d| d.severity).max()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Stylistic or informational; the sheet is fine.
+    Info,
+    /// Suspicious but evaluable; the result may not mean what you think.
+    Warning,
+    /// The sheet or model cannot evaluate, or is physically nonsensical.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase identifier used in JSON and CLI output.
+    pub fn id(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parses the identifier produced by [`Self::id`].
+    pub fn from_id(id: &str) -> Option<Severity> {
+        match id {
+            "info" => Some(Severity::Info),
+            "warning" => Some(Severity::Warning),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// The stable diagnostic code table.
+///
+/// `E…` codes are [`Severity::Error`]: the sheet will fail to `play()`
+/// (or a model is physically nonsensical). `W…` codes are warnings:
+/// evaluable but suspicious. `I…` codes are informational. Codes are
+/// part of the machine-readable interface — tools filter on them and
+/// the `allow` mechanism suppresses them by code — so they are never
+/// renumbered, only appended.
+pub mod codes {
+    /// Reference to a variable nothing in scope defines.
+    pub const UNBOUND_VARIABLE: &str = "E001";
+    /// Call of a function that is not a builtin.
+    pub const UNKNOWN_FUNCTION: &str = "E002";
+    /// Builtin called with the wrong number of arguments.
+    pub const WRONG_ARITY: &str = "E003";
+    /// Row instantiates an element path missing from the registry.
+    pub const UNKNOWN_ELEMENT: &str = "E004";
+    /// Two rows fold to the same `P_`/`A_` identifier.
+    pub const DUPLICATE_ROW_IDENT: &str = "E005";
+    /// Global definitions form a cycle.
+    pub const CIRCULAR_GLOBALS: &str = "E006";
+    /// Row dependencies form a cycle.
+    pub const CIRCULAR_ROWS: &str = "E007";
+    /// `P_`/`A_` reference to a row that does not exist (or cannot be
+    /// visible at that point of evaluation).
+    pub const REF_UNKNOWN_ROW: &str = "E008";
+    /// `A_` reference to a row whose model has no area.
+    pub const AREA_REF_NO_AREA: &str = "E009";
+    /// Adding or subtracting quantities of different dimensions.
+    pub const DIM_MISMATCH: &str = "E010";
+    /// A constant subexpression folds to a non-finite value.
+    pub const NON_FINITE_CONSTANT: &str = "E011";
+    /// A constant model formula folds to a negative physical value.
+    pub const NEGATIVE_CONSTANT_MODEL: &str = "E012";
+    /// A library model references a variable it does not declare.
+    pub const UNDECLARED_MODEL_VARIABLE: &str = "E013";
+    /// An element needs `vdd`/`f` but nothing in scope provides them.
+    pub const MISSING_OPERATING_POINT: &str = "E014";
+
+    /// Comparison (or `%`) between quantities of different dimensions.
+    pub const DIM_COMPARISON: &str = "W101";
+    /// Function argument with an unexpected dimension.
+    pub const DIM_FUNCTION_ARG: &str = "W102";
+    /// Bound value's dimension conflicts with the name's convention.
+    pub const BINDING_TARGET_DIM: &str = "W103";
+    /// Model formula's dimension conflicts with its slot (farads,
+    /// amperes, watts, …).
+    pub const RESULT_DIM: &str = "W104";
+    /// Global parameter never read anywhere in the sheet.
+    pub const DEAD_GLOBAL: &str = "W105";
+    /// Row binding that nothing (parameter, model, or later binding)
+    /// reads.
+    pub const DEAD_BINDING: &str = "W106";
+    /// Clocked element evaluated at a constant zero frequency.
+    pub const ZERO_FREQUENCY: &str = "W107";
+    /// Reduced-swing voltage exceeds the supply.
+    pub const SWING_EXCEEDS_VDD: &str = "W108";
+    /// Converter efficiency outside `(0, 1]`.
+    pub const ETA_OUT_OF_RANGE: &str = "W109";
+    /// Physical binding folds to a negative constant.
+    pub const NEGATIVE_CONSTANT_BINDING: &str = "W110";
+    /// Reference to a parent row's `P_`/`A_` that works only because of
+    /// the current evaluation order.
+    pub const ORDER_DEPENDENT_REF: &str = "W111";
+    /// Dimensional quantity raised to a non-integer/non-constant power,
+    /// or an exponent that itself has a dimension.
+    pub const POW_DIMENSIONAL_EXPONENT: &str = "W112";
+    /// Declared model parameter no formula reads.
+    pub const DEAD_PARAM: &str = "W113";
+
+    /// Row binding shadows a sheet global of the same name.
+    pub const SHADOWED_GLOBAL: &str = "I201";
+    /// `P_`/`A_` reference to a row defined later in the sheet
+    /// (resolved by dependency order).
+    pub const FORWARD_REF: &str = "I202";
+
+    /// Every code with its short kebab-case slug, for docs and UIs.
+    pub const ALL: [(&str, &str); 29] = [
+        (UNBOUND_VARIABLE, "unbound-variable"),
+        (UNKNOWN_FUNCTION, "unknown-function"),
+        (WRONG_ARITY, "wrong-arity"),
+        (UNKNOWN_ELEMENT, "unknown-element"),
+        (DUPLICATE_ROW_IDENT, "duplicate-row-ident"),
+        (CIRCULAR_GLOBALS, "circular-globals"),
+        (CIRCULAR_ROWS, "circular-rows"),
+        (REF_UNKNOWN_ROW, "ref-unknown-row"),
+        (AREA_REF_NO_AREA, "area-ref-no-area"),
+        (DIM_MISMATCH, "dim-mismatch"),
+        (NON_FINITE_CONSTANT, "non-finite-constant"),
+        (NEGATIVE_CONSTANT_MODEL, "negative-constant-model"),
+        (UNDECLARED_MODEL_VARIABLE, "undeclared-model-variable"),
+        (MISSING_OPERATING_POINT, "missing-operating-point"),
+        (DIM_COMPARISON, "dim-comparison"),
+        (DIM_FUNCTION_ARG, "dim-function-arg"),
+        (BINDING_TARGET_DIM, "binding-target-dim"),
+        (RESULT_DIM, "result-dim"),
+        (DEAD_GLOBAL, "dead-global"),
+        (DEAD_BINDING, "dead-binding"),
+        (ZERO_FREQUENCY, "zero-frequency"),
+        (SWING_EXCEEDS_VDD, "swing-exceeds-vdd"),
+        (ETA_OUT_OF_RANGE, "eta-out-of-range"),
+        (NEGATIVE_CONSTANT_BINDING, "negative-constant-binding"),
+        (ORDER_DEPENDENT_REF, "order-dependent-ref"),
+        (POW_DIMENSIONAL_EXPONENT, "pow-dimensional-exponent"),
+        (DEAD_PARAM, "dead-param"),
+        (SHADOWED_GLOBAL, "shadowed-global"),
+        (FORWARD_REF, "forward-ref"),
+    ];
+
+    /// The kebab-case slug for a code, if it is known.
+    pub fn describe(code: &str) -> Option<&'static str> {
+        ALL.iter().find(|(c, _)| *c == code).map(|(_, slug)| *slug)
+    }
+}
+
+/// One finding of the analyzer.
+///
+/// `path` is a slash-separated locus into the linted artifact, e.g.
+/// `globals/vdd`, `rows/Voltage Converters/bindings/p_load`, or
+/// `rows/Custom Hardware/rows/Video Controller/model/cap_full` — the
+/// same shape at every nesting depth, so tools can split on `/`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code from [`codes`].
+    pub code: String,
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Slash-separated locus into the sheet or model.
+    pub path: String,
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Optional actionable hint.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates an [`Severity::Error`] diagnostic.
+    pub fn error(code: &str, path: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(code, Severity::Error, path, message)
+    }
+
+    /// Creates a [`Severity::Warning`] diagnostic.
+    pub fn warning(code: &str, path: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(code, Severity::Warning, path, message)
+    }
+
+    /// Creates a [`Severity::Info`] diagnostic.
+    pub fn info(code: &str, path: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(code, Severity::Info, path, message)
+    }
+
+    fn new(
+        code: &str,
+        severity: Severity,
+        path: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code: code.to_owned(),
+            severity,
+            path: path.into(),
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    /// Attaches an actionable hint.
+    pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Diagnostic {
+        self.suggestion = Some(suggestion.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.path, self.message
+        )?;
+        if let Some(s) = &self.suggestion {
+            write!(f, "\n  help: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered collection of diagnostics with renderers for text, HTML,
+/// and JSON.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// An empty report.
+    pub fn new() -> LintReport {
+        LintReport::default()
+    }
+
+    /// Appends one diagnostic.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// Appends every diagnostic of `other`.
+    pub fn merge(&mut self, other: LintReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// All diagnostics, in discovery order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// True when nothing was found.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// True when any diagnostic is [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// Number of diagnostics at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// A copy with every diagnostic whose code is in `codes` removed —
+    /// the `allow` mechanism for accepted findings.
+    pub fn allow(&self, codes: &[&str]) -> LintReport {
+        LintReport {
+            diagnostics: self
+                .diagnostics
+                .iter()
+                .filter(|d| !codes.contains(&d.code.as_str()))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// A copy with every path prefixed by `prefix` — used to splice a
+    /// model report into its containing sheet row.
+    pub fn prefixed(&self, prefix: &str) -> LintReport {
+        LintReport {
+            diagnostics: self
+                .diagnostics
+                .iter()
+                .map(|d| {
+                    let mut d = d.clone();
+                    d.path = if d.path.is_empty() {
+                        prefix.trim_end_matches('/').to_owned()
+                    } else {
+                        format!("{prefix}{}", d.path)
+                    };
+                    d
+                })
+                .collect(),
+        }
+    }
+
+    /// One-line tally, e.g. `2 errors, 1 warning, 3 infos`.
+    pub fn summary(&self) -> String {
+        fn plural(n: usize, word: &str) -> String {
+            if n == 1 {
+                format!("{n} {word}")
+            } else {
+                format!("{n} {word}s")
+            }
+        }
+        format!(
+            "{}, {}, {}",
+            plural(self.count(Severity::Error), "error"),
+            plural(self.count(Severity::Warning), "warning"),
+            plural(self.count(Severity::Info), "info")
+        )
+    }
+
+    /// Renders the report as plain text, one diagnostic per line
+    /// (plus `help:` continuation lines), ending with the summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&self.summary());
+        out.push('\n');
+        out
+    }
+
+    /// Renders the report as an HTML fragment (a `<ul class="lint">`
+    /// with one `<li class="lint-{severity}">` per diagnostic), safe to
+    /// embed in a page: all content is escaped.
+    pub fn render_html(&self) -> String {
+        let mut out = String::from("<ul class=\"lint\">\n");
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "<li class=\"lint-{sev}\"><strong>{sev}[{code}]</strong> <code>{path}</code>: {msg}",
+                sev = d.severity,
+                code = escape_html(&d.code),
+                path = escape_html(&d.path),
+                msg = escape_html(&d.message),
+            ));
+            if let Some(s) = &d.suggestion {
+                out.push_str(&format!(" <em>help: {}</em>", escape_html(s)));
+            }
+            out.push_str("</li>\n");
+        }
+        if self.diagnostics.is_empty() {
+            out.push_str("<li class=\"lint-clean\">no diagnostics</li>\n");
+        }
+        out.push_str("</ul>\n");
+        out
+    }
+
+    /// Serializes to the machine-readable JSON shape:
+    ///
+    /// ```json
+    /// {"diagnostics": [{"code": "...", "severity": "...", "path": "...",
+    ///   "message": "...", "suggestion": "..."}],
+    ///  "errors": 1, "warnings": 0, "infos": 2}
+    /// ```
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            (
+                "diagnostics",
+                Json::array(self.diagnostics.iter().map(|d| {
+                    let mut o = Json::object([
+                        ("code", Json::from(d.code.as_str())),
+                        ("severity", Json::from(d.severity.id())),
+                        ("path", Json::from(d.path.as_str())),
+                        ("message", Json::from(d.message.as_str())),
+                    ]);
+                    if let Some(s) = &d.suggestion {
+                        o.set("suggestion", Json::from(s.as_str()));
+                    }
+                    o
+                })),
+            ),
+            ("errors", Json::from(self.count(Severity::Error))),
+            ("warnings", Json::from(self.count(Severity::Warning))),
+            ("infos", Json::from(self.count(Severity::Info))),
+        ])
+    }
+
+    /// Parses the shape produced by [`Self::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json(json: &Json) -> Result<LintReport, String> {
+        let items = json
+            .get("diagnostics")
+            .and_then(Json::as_array)
+            .ok_or("missing `diagnostics` array")?;
+        let mut report = LintReport::new();
+        for (i, item) in items.iter().enumerate() {
+            let field = |name: &str| -> Result<String, String> {
+                item.get(name)
+                    .and_then(Json::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("diagnostic {i}: missing string `{name}`"))
+            };
+            let severity = field("severity")?;
+            let severity = Severity::from_id(&severity)
+                .ok_or_else(|| format!("diagnostic {i}: unknown severity `{severity}`"))?;
+            report.push(Diagnostic {
+                code: field("code")?,
+                severity,
+                path: field("path")?,
+                message: field("message")?,
+                suggestion: item
+                    .get("suggestion")
+                    .and_then(Json::as_str)
+                    .map(str::to_owned),
+            });
+        }
+        Ok(report)
+    }
+}
+
+impl FromIterator<Diagnostic> for LintReport {
+    fn from_iter<I: IntoIterator<Item = Diagnostic>>(iter: I) -> Self {
+        LintReport {
+            diagnostics: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Diagnostic> for LintReport {
+    fn extend<I: IntoIterator<Item = Diagnostic>>(&mut self, iter: I) {
+        self.diagnostics.extend(iter);
+    }
+}
+
+fn escape_html(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LintReport {
+        let mut r = LintReport::new();
+        r.push(Diagnostic::error(
+            codes::DIM_MISMATCH,
+            "rows/X/bindings/p",
+            "cannot add W to F",
+        ));
+        r.push(
+            Diagnostic::warning(codes::DEAD_GLOBAL, "globals/n", "global `n` is never read")
+                .with_suggestion("remove it or reference it in a formula"),
+        );
+        r.push(Diagnostic::info(
+            codes::SHADOWED_GLOBAL,
+            "rows/X/bindings/f",
+            "shadows global `f`",
+        ));
+        r
+    }
+
+    #[test]
+    fn counts_and_severity_order() {
+        let r = sample();
+        assert!(r.has_errors());
+        assert_eq!(r.count(Severity::Error), 1);
+        assert_eq!(r.count(Severity::Warning), 1);
+        assert_eq!(r.count(Severity::Info), 1);
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+        assert_eq!(r.summary(), "1 error, 1 warning, 1 info");
+    }
+
+    #[test]
+    fn allow_filters_by_code() {
+        let r = sample().allow(&[codes::DEAD_GLOBAL, codes::SHADOWED_GLOBAL]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.diagnostics()[0].code, codes::DIM_MISMATCH);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = sample();
+        let text = r.to_json().to_pretty();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(LintReport::from_json(&parsed).unwrap(), r);
+        assert_eq!(parsed.get("errors").and_then(Json::as_usize), Some(1));
+    }
+
+    #[test]
+    fn text_render_contains_code_and_path() {
+        let text = sample().render_text();
+        assert!(text.contains("error[E010] rows/X/bindings/p"));
+        assert!(text.contains("help: remove it"));
+        assert!(text.ends_with("1 error, 1 warning, 1 info\n"));
+    }
+
+    #[test]
+    fn html_render_escapes() {
+        let mut r = LintReport::new();
+        r.push(Diagnostic::error("E010", "rows/<b>", "1 < 2 & \"x\""));
+        let html = r.render_html();
+        assert!(html.contains("rows/&lt;b&gt;"));
+        assert!(html.contains("1 &lt; 2 &amp; &quot;x&quot;"));
+        assert!(!html.contains("<b>"));
+    }
+
+    #[test]
+    fn prefixed_joins_paths() {
+        let r = sample().prefixed("rows/Inline/");
+        assert_eq!(r.diagnostics()[0].path, "rows/Inline/rows/X/bindings/p");
+    }
+
+    #[test]
+    fn all_codes_unique_and_described() {
+        let mut seen = std::collections::BTreeSet::new();
+        for (code, slug) in codes::ALL {
+            assert!(seen.insert(code), "duplicate code {code}");
+            assert_eq!(codes::describe(code), Some(slug));
+        }
+        assert_eq!(codes::describe("E999"), None);
+    }
+}

@@ -1,0 +1,181 @@
+//! `powerplay-lint` — static semantic analysis for PowerPlay sheets and
+//! library models.
+//!
+//! The evaluator (`powerplay-sheet`) tells you a sheet is broken by
+//! failing; this crate tells you *before* you evaluate, with structured
+//! [`Diagnostic`]s that carry a code, a severity, a slash-path locating
+//! the offending expression, and often a suggestion. Three passes run
+//! over every sheet:
+//!
+//! 1. **Unit-dimension inference** — dimensions (V, A, F, Hz, s, W, m²)
+//!    propagate from naming conventions and declarations through the
+//!    expression AST; adding a power to a capacitance is an error,
+//!    comparing across dimensions is a warning.
+//! 2. **Name analysis** — unbound variables, unknown functions and
+//!    wrong arities, dead globals/bindings, shadowing, `P_`/`A_` row
+//!    references that cannot resolve, and cycle diagnostics that report
+//!    the full dependency path.
+//! 3. **Plausibility checks** — keyed by element class: negative
+//!    constants in physical slots, `swing > vdd`, clocked templates at
+//!    a constant 0 Hz, converter efficiencies outside (0, 1],
+//!    constant subexpressions folding to non-finite values.
+//!
+//! The contract that makes the linter trustworthy: **a sheet with zero
+//! `Error`-severity diagnostics evaluates without structural errors**
+//! (the property tests in this crate enforce it). Warnings and infos
+//! are advisory.
+//!
+//! Reports render as plain text ([`LintReport::render_text`]), HTML
+//! ([`LintReport::render_html`]), and JSON ([`LintReport::to_json`] /
+//! [`LintReport::from_json`] round-trip through `powerplay-json`).
+
+mod diag;
+mod dims;
+mod element;
+mod sheet_analysis;
+
+pub use diag::{codes, Diagnostic, LintReport, Severity};
+pub use dims::{convention_dim, infer_dims, DimInfo};
+pub use element::{lint_element, lint_registry};
+pub use sheet_analysis::{lint_sheet, lint_sheet_with, LintOptions};
+
+use powerplay_library::EvaluateElementError;
+use powerplay_sheet::EvaluateSheetError;
+
+/// Converts a runtime evaluation failure into the equivalent
+/// [`Diagnostic`], so API layers can answer with the same structured
+/// shape (code + path) whether a problem was caught statically or at
+/// evaluation time.
+pub fn diagnostic_for_play_error(err: &EvaluateSheetError) -> Diagnostic {
+    diagnostic_for_play_error_at("", err)
+}
+
+fn diagnostic_for_play_error_at(prefix: &str, err: &EvaluateSheetError) -> Diagnostic {
+    match err {
+        EvaluateSheetError::UnknownElement { row, element } => Diagnostic::error(
+            codes::UNKNOWN_ELEMENT,
+            format!("{prefix}rows/{row}"),
+            format!("no element `{element}` in the library"),
+        ),
+        EvaluateSheetError::CircularGlobals(names) => Diagnostic::error(
+            codes::CIRCULAR_GLOBALS,
+            format!("{prefix}globals/{}", names.first().map(String::as_str).unwrap_or("")),
+            format!("global definitions form a cycle: {}", names.join(" -> ")),
+        ),
+        EvaluateSheetError::CircularRows(names) => Diagnostic::error(
+            codes::CIRCULAR_ROWS,
+            format!("{prefix}rows/{}", names.first().map(String::as_str).unwrap_or("")),
+            format!("row dependencies form a cycle: {}", names.join(" -> ")),
+        ),
+        EvaluateSheetError::DuplicateRowIdent(ident) => Diagnostic::error(
+            codes::DUPLICATE_ROW_IDENT,
+            format!("{prefix}rows"),
+            format!("two rows fold to the same identifier `{ident}`"),
+        ),
+        EvaluateSheetError::Global { name, source } => {
+            eval_error_diag(source, format!("{prefix}globals/{name}"))
+        }
+        EvaluateSheetError::Binding { row, param, source } => {
+            eval_error_diag(source, format!("{prefix}rows/{row}/bindings/{param}"))
+        }
+        EvaluateSheetError::Element { row, source } => match source {
+            EvaluateElementError::Eval { formula, source } => {
+                eval_error_diag(source, format!("{prefix}rows/{row}/model/{formula}"))
+            }
+            EvaluateElementError::MissingOperatingPoint(var) => Diagnostic::error(
+                codes::MISSING_OPERATING_POINT,
+                format!("{prefix}rows/{row}"),
+                format!("element model requires `{var}` in scope"),
+            ),
+            EvaluateElementError::BadValue { formula, value } => {
+                let path = format!("{prefix}rows/{row}/model/{formula}");
+                if value.is_finite() {
+                    Diagnostic::error(
+                        codes::NEGATIVE_CONSTANT_MODEL,
+                        path,
+                        format!("`{formula}` produced negative physical value {value}"),
+                    )
+                } else {
+                    Diagnostic::error(
+                        codes::NON_FINITE_CONSTANT,
+                        path,
+                        format!("`{formula}` produced non-finite value {value}"),
+                    )
+                }
+            }
+        },
+        EvaluateSheetError::Nested { row, source } => {
+            diagnostic_for_play_error_at(&format!("{prefix}rows/{row}/"), source)
+        }
+    }
+}
+
+fn eval_error_diag(source: &powerplay_expr::EvalError, path: String) -> Diagnostic {
+    use powerplay_expr::EvalError;
+    match source {
+        EvalError::UnknownVariable(name) => Diagnostic::error(
+            codes::UNBOUND_VARIABLE,
+            path,
+            format!("nothing in scope defines `{name}`"),
+        ),
+        EvalError::UnknownFunction(name) => Diagnostic::error(
+            codes::UNKNOWN_FUNCTION,
+            path,
+            format!("unknown function `{name}`"),
+        ),
+        EvalError::WrongArity {
+            function,
+            expected,
+            found,
+        } => Diagnostic::error(
+            codes::WRONG_ARITY,
+            path,
+            format!("`{function}` takes {expected} arguments, found {found}"),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod play_error_tests {
+    use super::*;
+
+    #[test]
+    fn nested_errors_get_prefixed_paths() {
+        let err = EvaluateSheetError::Nested {
+            row: "Custom Hardware".to_owned(),
+            source: Box::new(EvaluateSheetError::Global {
+                name: "vdd".to_owned(),
+                source: powerplay_expr::EvalError::UnknownVariable("vcore".to_owned()),
+            }),
+        };
+        let d = diagnostic_for_play_error(&err);
+        assert_eq!(d.code, codes::UNBOUND_VARIABLE);
+        assert_eq!(d.path, "rows/Custom Hardware/globals/vdd");
+    }
+
+    #[test]
+    fn bad_value_splits_on_finiteness() {
+        let neg = EvaluateSheetError::Element {
+            row: "X".to_owned(),
+            source: EvaluateElementError::BadValue {
+                formula: "cap_full",
+                value: -1.0,
+            },
+        };
+        assert_eq!(
+            diagnostic_for_play_error(&neg).code,
+            codes::NEGATIVE_CONSTANT_MODEL
+        );
+        let inf = EvaluateSheetError::Element {
+            row: "X".to_owned(),
+            source: EvaluateElementError::BadValue {
+                formula: "power_direct",
+                value: f64::INFINITY,
+            },
+        };
+        assert_eq!(
+            diagnostic_for_play_error(&inf).code,
+            codes::NON_FINITE_CONSTANT
+        );
+    }
+}

@@ -143,7 +143,7 @@ impl Sheet {
 /// The frame stack mirrors the recursion stack of the obvious DFS
 /// exactly, so cycle membership is reported identically: the stack
 /// suffix starting at the first occurrence of the re-entered node.
-pub(crate) fn toposort(
+pub fn toposort(
     n: usize,
     deps: &BTreeMap<usize, BTreeSet<usize>>,
 ) -> Result<Vec<usize>, Vec<usize>> {

@@ -51,7 +51,7 @@ mod row;
 mod sheet;
 pub mod whatif;
 
-pub use engine::EvaluateSheetError;
+pub use engine::{toposort, EvaluateSheetError};
 pub use macros::LumpMacroError;
 pub use json_io::DecodeSheetError;
 pub use plan::CompiledSheet;

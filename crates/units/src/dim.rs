@@ -1,0 +1,231 @@
+//! Physical dimensions as SI base-unit exponent vectors.
+//!
+//! The quantity newtypes in this crate ([`crate::Capacitance`],
+//! [`crate::Voltage`], …) give *runtime values* a static type. Static
+//! analysis needs the opposite: a *runtime representation* of a dimension
+//! so a linter can propagate "this subexpression is volts" through an
+//! expression tree and detect `watts + farads` without evaluating
+//! anything.
+//!
+//! A [`Dim`] is a vector of exponents over the four SI base units the
+//! PowerPlay model template touches — metre, kilogram, second, ampere —
+//! so derived units compose correctly by construction:
+//!
+//! ```
+//! use powerplay_units::dim::Dim;
+//!
+//! // C_sw · V_swing · V_DD · f  (EQ 1 switched-capacitance term) is watts.
+//! let p = Dim::FARAD * Dim::VOLT * Dim::VOLT * Dim::HERTZ;
+//! assert_eq!(p, Dim::WATT);
+//! // I · V_DD (EQ 1 static term) is watts too.
+//! assert_eq!(Dim::AMPERE * Dim::VOLT, Dim::WATT);
+//! assert_eq!(p.to_string(), "W");
+//! ```
+
+use std::fmt;
+use std::ops::{Div, Mul};
+
+/// A physical dimension: exponents of the SI base units (m, kg, s, A).
+///
+/// `i8` exponents are ample — real sheet formulas stay within ±4 per
+/// base, and the linter treats anything that would overflow as already
+/// nonsensical. Arithmetic saturates rather than wrapping so adversarial
+/// expressions (deep `x^9` towers from a fuzzer) cannot panic in debug
+/// builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim {
+    /// Exponent of metres.
+    pub metre: i8,
+    /// Exponent of kilograms.
+    pub kilogram: i8,
+    /// Exponent of seconds.
+    pub second: i8,
+    /// Exponent of amperes.
+    pub ampere: i8,
+}
+
+impl Dim {
+    /// Builds a dimension from raw base-unit exponents.
+    pub const fn new(metre: i8, kilogram: i8, second: i8, ampere: i8) -> Dim {
+        Dim {
+            metre,
+            kilogram,
+            second,
+            ampere,
+        }
+    }
+
+    /// Dimensionless (pure number: counts, ratios, duty cycles).
+    pub const NONE: Dim = Dim::new(0, 0, 0, 0);
+    /// Volts: kg·m²·s⁻³·A⁻¹.
+    pub const VOLT: Dim = Dim::new(2, 1, -3, -1);
+    /// Amperes.
+    pub const AMPERE: Dim = Dim::new(0, 0, 0, 1);
+    /// Farads: kg⁻¹·m⁻²·s⁴·A².
+    pub const FARAD: Dim = Dim::new(-2, -1, 4, 2);
+    /// Hertz: s⁻¹.
+    pub const HERTZ: Dim = Dim::new(0, 0, -1, 0);
+    /// Seconds.
+    pub const SECOND: Dim = Dim::new(0, 0, 1, 0);
+    /// Watts: kg·m²·s⁻³.
+    pub const WATT: Dim = Dim::new(2, 1, -3, 0);
+    /// Square metres (silicon area).
+    pub const SQ_METRE: Dim = Dim::new(2, 0, 0, 0);
+    /// Coulombs: s·A.
+    pub const COULOMB: Dim = Dim::new(0, 0, 1, 1);
+    /// Joules: kg·m²·s⁻².
+    pub const JOULE: Dim = Dim::new(2, 1, -2, 0);
+    /// Ohms: kg·m²·s⁻³·A⁻².
+    pub const OHM: Dim = Dim::new(2, 1, -3, -2);
+
+    /// True for the dimensionless dimension.
+    pub fn is_none(&self) -> bool {
+        *self == Dim::NONE
+    }
+
+    /// Raises the dimension to an integer power.
+    pub fn powi(self, n: i32) -> Dim {
+        let n = n.clamp(i8::MIN as i32, i8::MAX as i32) as i8;
+        Dim {
+            metre: self.metre.saturating_mul(n),
+            kilogram: self.kilogram.saturating_mul(n),
+            second: self.second.saturating_mul(n),
+            ampere: self.ampere.saturating_mul(n),
+        }
+    }
+
+    /// Square root, defined only when every exponent is even
+    /// (`sqrt(m²) = m`, but `sqrt(s)` has no SI dimension).
+    pub fn sqrt(self) -> Option<Dim> {
+        if self.metre % 2 == 0
+            && self.kilogram % 2 == 0
+            && self.second % 2 == 0
+            && self.ampere % 2 == 0
+        {
+            Some(Dim {
+                metre: self.metre / 2,
+                kilogram: self.kilogram / 2,
+                second: self.second / 2,
+                ampere: self.ampere / 2,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+impl Mul for Dim {
+    type Output = Dim;
+    fn mul(self, rhs: Dim) -> Dim {
+        Dim {
+            metre: self.metre.saturating_add(rhs.metre),
+            kilogram: self.kilogram.saturating_add(rhs.kilogram),
+            second: self.second.saturating_add(rhs.second),
+            ampere: self.ampere.saturating_add(rhs.ampere),
+        }
+    }
+}
+
+impl Div for Dim {
+    type Output = Dim;
+    fn div(self, rhs: Dim) -> Dim {
+        Dim {
+            metre: self.metre.saturating_sub(rhs.metre),
+            kilogram: self.kilogram.saturating_sub(rhs.kilogram),
+            second: self.second.saturating_sub(rhs.second),
+            ampere: self.ampere.saturating_sub(rhs.ampere),
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    /// Renders well-known derived units by symbol and everything else as
+    /// a base-unit product, so diagnostics read `W` rather than
+    /// `m^2·kg·s^-3`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let named = [
+            (Dim::NONE, "1"),
+            (Dim::VOLT, "V"),
+            (Dim::AMPERE, "A"),
+            (Dim::FARAD, "F"),
+            (Dim::HERTZ, "Hz"),
+            (Dim::SECOND, "s"),
+            (Dim::WATT, "W"),
+            (Dim::SQ_METRE, "m^2"),
+            (Dim::COULOMB, "C"),
+            (Dim::JOULE, "J"),
+            (Dim::OHM, "Ohm"),
+        ];
+        if let Some((_, symbol)) = named.iter().find(|(d, _)| d == self) {
+            return f.write_str(symbol);
+        }
+        let mut first = true;
+        for (exp, base) in [
+            (self.metre, "m"),
+            (self.kilogram, "kg"),
+            (self.second, "s"),
+            (self.ampere, "A"),
+        ] {
+            if exp == 0 {
+                continue;
+            }
+            if !first {
+                f.write_str("*")?;
+            }
+            first = false;
+            if exp == 1 {
+                f.write_str(base)?;
+            } else {
+                write!(f, "{base}^{exp}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_terms_compose_to_watts() {
+        assert_eq!(Dim::FARAD * Dim::VOLT * Dim::VOLT * Dim::HERTZ, Dim::WATT);
+        assert_eq!(Dim::AMPERE * Dim::VOLT, Dim::WATT);
+    }
+
+    #[test]
+    fn charge_energy_chain() {
+        assert_eq!(Dim::FARAD * Dim::VOLT, Dim::COULOMB);
+        assert_eq!(Dim::COULOMB * Dim::VOLT, Dim::JOULE);
+        assert_eq!(Dim::JOULE * Dim::HERTZ, Dim::WATT);
+    }
+
+    #[test]
+    fn div_and_pow() {
+        assert_eq!(Dim::VOLT / Dim::AMPERE, Dim::OHM);
+        assert_eq!(Dim::NONE / Dim::HERTZ, Dim::SECOND);
+        assert_eq!(Dim::SECOND.powi(-1), Dim::HERTZ);
+        assert_eq!(Dim::VOLT.powi(2).sqrt(), Some(Dim::VOLT));
+        assert_eq!(Dim::SECOND.sqrt(), None);
+        assert_eq!(Dim::SQ_METRE.sqrt(), Some(Dim::new(1, 0, 0, 0)));
+    }
+
+    #[test]
+    fn display_named_and_fallback() {
+        assert_eq!(Dim::WATT.to_string(), "W");
+        assert_eq!(Dim::SQ_METRE.to_string(), "m^2");
+        assert_eq!(Dim::NONE.to_string(), "1");
+        assert_eq!((Dim::WATT * Dim::WATT).to_string(), "m^4*kg^2*s^-6");
+        assert_eq!((Dim::VOLT / Dim::SECOND).to_string(), "m^2*kg*s^-4*A^-1");
+    }
+
+    #[test]
+    fn saturating_extremes_do_not_panic() {
+        let mut d = Dim::SQ_METRE;
+        for _ in 0..50 {
+            d = d * d;
+        }
+        assert_eq!(d.metre, i8::MAX);
+        assert_eq!(d.powi(1000).metre, i8::MAX);
+    }
+}

@@ -31,6 +31,7 @@
 //! # }
 //! ```
 
+pub mod dim;
 pub mod format;
 pub mod prefix;
 

@@ -142,6 +142,8 @@ impl PowerPlayApp {
             (Method::Get, "/api/library") => Ok(self.api_library()),
             (Method::Get, "/api/element") => self.api_element(req),
             (Method::Get, "/api/design") => self.api_design(req),
+            (Method::Get, "/api/lint") => self.api_lint_get(req),
+            (Method::Post, "/api/lint") => self.api_lint_post(req),
             (Method::Get, "/api/sweep") => self.api_sweep(req),
             (Method::Get, "/api/sensitivities") => self.api_sensitivities(req),
             (Method::Get, "/agent") => self.agent_page(req),
@@ -155,6 +157,15 @@ impl PowerPlayApp {
 
     fn bad(msg: impl std::fmt::Display) -> Response {
         Response::error(Status::BadRequest, &msg.to_string())
+    }
+
+    /// A 400 whose body is a machine-readable lint report — evaluation
+    /// failures answer with the same `{code, path, message}` shape the
+    /// static analyzer uses.
+    fn bad_play(err: &powerplay_sheet::EvaluateSheetError) -> Response {
+        let report: powerplay_lint::LintReport =
+            std::iter::once(powerplay_lint::diagnostic_for_play_error(err)).collect();
+        Response::json_with_status(Status::BadRequest, report.to_json().to_string())
     }
 
     fn user_of(req: &Request) -> Result<String, Response> {
@@ -548,12 +559,15 @@ errs conservatively high.</p>";
 
         let full_name = format!("{user}/{name}");
         let element = LibraryElement::new(full_name.clone(), class, doc, params, model);
-        let undeclared = element.undeclared_variables();
-        if !undeclared.is_empty() {
-            return Err(Self::bad(format!(
-                "model references undeclared variables: {}",
-                undeclared.join(", ")
-            )));
+        // Uploads are gated on the linter: Error-severity diagnostics
+        // (undeclared variables, unknown functions, constant negative
+        // models) reject the model with the full report in the body.
+        let report = powerplay_lint::lint_element(&element);
+        if report.has_errors() {
+            return Err(Response::json_with_status(
+                Status::BadRequest,
+                report.to_json().to_string(),
+            ));
         }
         self.registry.write().insert(element);
         Ok(Response::redirect(&format!(
@@ -699,6 +713,15 @@ errs conservatively high.</p>";
                     html::escape(&message)
                 ));
             }
+        }
+
+        // Static diagnostics: the linter's findings for this sheet,
+        // rendered whether or not evaluation succeeded.
+        let lint = powerplay_lint::lint_sheet(sheet, &self.registry.read());
+        if !lint.is_empty() {
+            body.push_str("<h2>Diagnostics</h2>");
+            body.push_str(&format!("<p>{}</p>", html::escape(&lint.summary())));
+            body.push_str(&lint.render_html());
         }
 
         // Play button (recompute + redisplay, post-redirect-get).
@@ -1015,6 +1038,29 @@ errs conservatively high.</p>";
         Ok(Response::json(element.to_json().to_string()))
     }
 
+    /// `/api/lint?user=&name=` — the static analyzer's report for a
+    /// stored design, as JSON.
+    fn api_lint_get(&self, req: &Request) -> Result<Response, Response> {
+        let user = Self::user_of(req)?;
+        let design = req
+            .query_param("name")
+            .ok_or_else(|| Self::bad("missing `name`"))?;
+        let sheet = self.load_design(&user, &design)?;
+        let report = powerplay_lint::lint_sheet(&sheet, &self.registry.read());
+        Ok(Response::json(report.to_json().to_string()))
+    }
+
+    /// `POST /api/lint` with a sheet JSON document as the body — lint a
+    /// design without saving it (editor integrations, CI).
+    fn api_lint_post(&self, req: &Request) -> Result<Response, Response> {
+        let text = String::from_utf8(req.body().to_vec())
+            .map_err(|_| Self::bad("body must be UTF-8 sheet JSON"))?;
+        let json = Json::parse(&text).map_err(Self::bad)?;
+        let sheet = Sheet::from_json(&json).map_err(Self::bad)?;
+        let report = powerplay_lint::lint_sheet(&sheet, &self.registry.read());
+        Ok(Response::json(report.to_json().to_string()))
+    }
+
     /// `/api/sweep?user=&name=&global=vdd&values=1,1.5,2` — the what-if
     /// machinery over the wire, for scripted exploration.
     fn api_sweep(&self, req: &Request) -> Result<Response, Response> {
@@ -1036,8 +1082,8 @@ errs conservatively high.</p>";
         // plan owns shared handles to the elements it needs, so the
         // (parallel) evaluation below never blocks library edits.
         let plan = powerplay_sheet::CompiledSheet::compile(&sheet, &self.registry.read());
-        let curve =
-            powerplay_sheet::whatif::sweep_compiled(&plan, &global, &values).map_err(Self::bad)?;
+        let curve = powerplay_sheet::whatif::sweep_compiled(&plan, &global, &values)
+            .map_err(|e| Self::bad_play(&e))?;
         let series: Json = curve
             .into_iter()
             .map(|(value, report)| {
@@ -1062,7 +1108,7 @@ errs conservatively high.</p>";
             .ok_or_else(|| Self::bad("missing `name`"))?;
         let sheet = self.load_design(&user, &design)?;
         let sens = powerplay_sheet::whatif::sensitivities(&sheet, &self.registry.read())
-            .map_err(Self::bad)?;
+            .map_err(|e| Self::bad_play(&e))?;
         let ranking: Json = sens
             .into_iter()
             .map(|(global, s)| {
@@ -1080,7 +1126,9 @@ errs conservatively high.</p>";
             .query_param("name")
             .ok_or_else(|| Self::bad("missing `name`"))?;
         let sheet = self.load_design(&user, &design)?;
-        let report = sheet.play(&self.registry.read()).map_err(Self::bad)?;
+        let report = sheet
+            .play(&self.registry.read())
+            .map_err(|e| Self::bad_play(&e))?;
         let rows: Json = report
             .rows()
             .iter()
@@ -1483,6 +1531,146 @@ mod tests {
         );
         assert_eq!(r.status(), Status::Found, "{}", r.body_text());
         assert!(app.registry().read().get("a/d_macro").is_some());
+    }
+
+    #[test]
+    fn api_lint_get_reports_stored_design_diagnostics() {
+        let app = app("lintget");
+        post(&app, "/design/new", &[("user", "a"), ("name", "d")]);
+        post(
+            &app,
+            "/design/add_row",
+            &[
+                ("user", "a"),
+                ("design", "d"),
+                ("row_name", "DC"),
+                ("element", "ucb/dcdc"),
+                ("p_p_load", "P_missing_row"),
+            ],
+        );
+        let r = get(&app, "/api/lint?user=a&name=d");
+        assert_eq!(r.status(), Status::Ok, "{}", r.body_text());
+        assert_eq!(r.header("content-type"), Some("application/json"));
+        let parsed = Json::parse(&r.body_text()).unwrap();
+        assert!(parsed["errors"].as_f64().unwrap() >= 1.0);
+        let diags = parsed["diagnostics"].as_array().unwrap();
+        let e008 = diags
+            .iter()
+            .find(|d| d["code"].as_str() == Some("E008"))
+            .expect("E008 in report");
+        assert_eq!(e008["path"].as_str(), Some("rows/DC/bindings/p_load"));
+    }
+
+    #[test]
+    fn api_lint_post_lints_unsaved_sheets() {
+        let app = app("lintpost");
+        let mut sheet = Sheet::new("scratch");
+        sheet.set_global("vdd", "1.5").unwrap();
+        sheet.set_global("f", "2e6").unwrap();
+        sheet
+            .add_element_row("A", "ucb/ripple_adder", [("bits", "nonsense_var")])
+            .unwrap();
+        let mut req = Request::new(Method::Post, "/api/lint");
+        req.set_body(sheet.to_json().to_string().into_bytes(), "application/json");
+        let r = app.handle(&req);
+        assert_eq!(r.status(), Status::Ok, "{}", r.body_text());
+        let parsed = Json::parse(&r.body_text()).unwrap();
+        let diags = parsed["diagnostics"].as_array().unwrap();
+        assert!(diags
+            .iter()
+            .any(|d| d["code"].as_str() == Some("E001")
+                && d["message"].as_str().unwrap_or("").contains("nonsense_var")));
+
+        let mut bad = Request::new(Method::Post, "/api/lint");
+        bad.set_body(b"not json".to_vec(), "application/json");
+        assert_eq!(app.handle(&bad).status(), Status::BadRequest);
+    }
+
+    #[test]
+    fn design_page_shows_diagnostics_panel() {
+        let app = app("lintpanel");
+        post(&app, "/design/new", &[("user", "a"), ("name", "d")]);
+        post(
+            &app,
+            "/design/add_row",
+            &[
+                ("user", "a"),
+                ("design", "d"),
+                ("row_name", "DC"),
+                ("element", "ucb/dcdc"),
+                ("p_p_load", "P_missing_row"),
+            ],
+        );
+        let page = get(&app, "/design?user=a&name=d");
+        let body = page.body_text();
+        assert!(body.contains("<h2>Diagnostics</h2>"), "panel missing");
+        assert!(body.contains("E008"), "code missing from panel");
+        assert!(body.contains("lint-error"), "severity class missing");
+    }
+
+    #[test]
+    fn model_rejection_body_is_a_structured_lint_report() {
+        let app = app("modeljson");
+        let r = post(
+            &app,
+            "/model/new",
+            &[
+                ("user", "carol"),
+                ("name", "broken"),
+                ("class", "computation"),
+                ("cap_full", "mystery * 10f"),
+            ],
+        );
+        assert_eq!(r.status(), Status::BadRequest);
+        assert_eq!(r.header("content-type"), Some("application/json"));
+        let parsed = Json::parse(&r.body_text()).unwrap();
+        let diags = parsed["diagnostics"].as_array().unwrap();
+        assert!(diags
+            .iter()
+            .any(|d| d["code"].as_str() == Some("E013")
+                && d["path"].as_str() == Some("model/cap_full")));
+    }
+
+    #[test]
+    fn api_play_errors_are_structured_diagnostics() {
+        let app = app("apidiag");
+        post(&app, "/design/new", &[("user", "a"), ("name", "d")]);
+        post(
+            &app,
+            "/design/add_row",
+            &[
+                ("user", "a"),
+                ("design", "d"),
+                ("row_name", "G"),
+                ("element", "ucb/dcdc"),
+                ("p_p_load", "P_missing_row"),
+            ],
+        );
+        let r = get(&app, "/api/design?user=a&name=d");
+        assert_eq!(r.status(), Status::BadRequest, "{}", r.body_text());
+        assert_eq!(r.header("content-type"), Some("application/json"));
+        let parsed = Json::parse(&r.body_text()).unwrap();
+        assert_eq!(
+            parsed["diagnostics"][0]["code"].as_str(),
+            Some("E001"),
+            "{}",
+            r.body_text()
+        );
+        assert_eq!(
+            parsed["diagnostics"][0]["path"].as_str(),
+            Some("rows/G/bindings/p_load")
+        );
+
+        // Sweep over the same broken design: also structured.
+        let r = get(&app, "/api/sweep?user=a&name=d&global=vdd&values=1,2");
+        assert_eq!(r.status(), Status::BadRequest);
+        let parsed = Json::parse(&r.body_text()).unwrap();
+        assert_eq!(parsed["diagnostics"][0]["code"].as_str(), Some("E001"));
+
+        // Malformed query parameters stay plain-text 400s.
+        let r = get(&app, "/api/sweep?user=a&name=d&global=vdd&values=x");
+        assert_eq!(r.status(), Status::BadRequest);
+        assert_ne!(r.header("content-type"), Some("application/json"));
     }
 
     #[test]

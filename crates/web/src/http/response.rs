@@ -78,7 +78,13 @@ impl Response {
 
     /// A 200 JSON document.
     pub fn json(body: impl Into<String>) -> Response {
-        let mut r = Response::new(Status::Ok);
+        Response::json_with_status(Status::Ok, body)
+    }
+
+    /// A JSON document with an explicit status — structured error
+    /// bodies (diagnostics) on 4xx responses.
+    pub fn json_with_status(status: Status, body: impl Into<String>) -> Response {
+        let mut r = Response::new(status);
         r.set_header("Content-Type", "application/json");
         r.body = body.into().into_bytes();
         r

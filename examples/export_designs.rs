@@ -1,0 +1,33 @@
+//! Exports the built-in reference designs as JSON files under
+//! `examples/designs/`, the corpus CI lints with `powerplay-cli lint`.
+//!
+//! Run with: `cargo run --example export_designs` after changing any
+//! built-in design, and commit the refreshed files.
+
+use powerplay::designs::{infopad, luminance};
+use powerplay::Sheet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples")
+        .join("designs");
+    std::fs::create_dir_all(&dir)?;
+
+    let designs: [(&str, Sheet); 3] = [
+        (
+            "luminance_direct_lut",
+            luminance::sheet(luminance::LuminanceArch::DirectLut),
+        ),
+        (
+            "luminance_grouped_lut",
+            luminance::sheet(luminance::LuminanceArch::GroupedLut),
+        ),
+        ("infopad", infopad::sheet()),
+    ];
+    for (name, sheet) in designs {
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, sheet.to_json().to_pretty())?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}

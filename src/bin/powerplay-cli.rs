@@ -43,6 +43,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("doc") => cmd_doc(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]),
         Some("play") => cmd_play(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("lump") => cmd_lump(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
@@ -62,6 +63,7 @@ USAGE:
   powerplay-cli doc <element>               show an element's model
   powerplay-cli eval <element> [k=v ...]    evaluate (vdd=1.5 f=2e6 defaults)
   powerplay-cli play <design.json>          evaluate a design file
+  powerplay-cli lint <design.json> [--json] [--allow CODE,..]  static analysis
   powerplay-cli sweep <design.json> <global> <v1,v2,...>
   powerplay-cli lump <design.json> <name>   lump a design into a macro (JSON)
   powerplay-cli compare <a.json> <b.json>    side-by-side design comparison
@@ -170,6 +172,44 @@ fn cmd_play(args: &[String]) -> Result<(), String> {
     let pp = PowerPlay::new();
     let report = pp.play(&load_design(path)?).map_err(|e| e.to_string())?;
     print!("{report}");
+    Ok(())
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let mut path: Option<&str> = None;
+    let mut as_json = false;
+    let mut allow: Vec<String> = Vec::new();
+    let mut it = args.iter().map(String::as_str);
+    while let Some(arg) = it.next() {
+        match arg {
+            "--json" => as_json = true,
+            "--allow" => {
+                let codes = it
+                    .next()
+                    .ok_or_else(|| "--allow needs a code list (e.g. W105,I201)".to_string())?;
+                allow.extend(codes.split(',').map(|c| c.trim().to_owned()));
+            }
+            _ if path.is_none() => path = Some(arg),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let path = path.ok_or_else(|| "usage: lint <design.json> [--json] [--allow CODE,..]".to_string())?;
+    let pp = PowerPlay::new();
+    let sheet = load_design(path)?;
+    let options = powerplay_lint::LintOptions { allow };
+    let report = powerplay_lint::lint_sheet_with(&sheet, pp.registry(), &options);
+    if as_json {
+        // Machine-readable: keep stdout pure JSON.
+        println!("{}", report.to_json().to_pretty());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.has_errors() {
+        return Err(format!(
+            "{path}: {} lint error(s)",
+            report.count(powerplay_lint::Severity::Error)
+        ));
+    }
     Ok(())
 }
 

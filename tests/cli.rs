@@ -103,6 +103,74 @@ fn bad_design_file_is_a_clean_error() {
 }
 
 #[test]
+fn lint_passes_clean_designs() {
+    let path = write_design();
+    let out = cli(&["lint", path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "clean design must exit 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0 errors"), "{text}");
+}
+
+#[test]
+fn lint_flags_dimension_mismatch_and_exits_nonzero() {
+    // The acceptance scenario: a binding adds a power to a capacitance.
+    use powerplay::Sheet;
+    let mut sheet = Sheet::new("broken");
+    sheet.set_global("vdd", "1.5").unwrap();
+    sheet.set_global("f", "2MHz").unwrap();
+    sheet.set_global("c_load", "100f").unwrap();
+    sheet
+        .add_element_row("Adder", "ucb/ripple_adder", [("bits", "16")])
+        .unwrap();
+    sheet
+        .add_element_row("Pads", "ucb/pads", [("c_pad", "P_adder + c_load")])
+        .unwrap();
+    let path = std::env::temp_dir().join(format!("pp-lint-dim-{}.json", std::process::id()));
+    std::fs::write(&path, sheet.to_json().to_pretty()).unwrap();
+
+    let out = cli(&["lint", path.to_str().unwrap()]);
+    assert!(!out.status.success(), "dimension error must exit nonzero");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("E010"), "{text}");
+    assert!(text.contains("rows/Pads/bindings/c_pad"), "{text}");
+
+    // --json round-trips through the shared JSON crate.
+    let out = cli(&["lint", path.to_str().unwrap(), "--json"]);
+    assert!(!out.status.success());
+    let json =
+        powerplay_json::Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    let report = powerplay_lint::LintReport::from_json(&json).expect("decodes as a report");
+    assert!(report.has_errors());
+    assert!(report
+        .diagnostics()
+        .iter()
+        .any(|d| d.code == "E010" && d.path == "rows/Pads/bindings/c_pad"));
+}
+
+#[test]
+fn lint_allow_suppresses_codes() {
+    use powerplay::Sheet;
+    let mut sheet = Sheet::new("warny");
+    sheet.set_global("vdd", "1.5").unwrap();
+    sheet.set_global("f", "2MHz").unwrap();
+    sheet.set_global("scratch", "42").unwrap(); // W105 dead global
+    sheet
+        .add_element_row("Adder", "ucb/ripple_adder", [])
+        .unwrap();
+    let path = std::env::temp_dir().join(format!("pp-lint-allow-{}.json", std::process::id()));
+    std::fs::write(&path, sheet.to_json().to_pretty()).unwrap();
+
+    let out = stdout(&["lint", path.to_str().unwrap()]);
+    assert!(out.contains("W105"), "{out}");
+    let out = stdout(&["lint", path.to_str().unwrap(), "--allow", "W105"]);
+    assert!(!out.contains("W105"), "{out}");
+}
+
+#[test]
 fn compare_shows_the_architecture_study() {
     use powerplay::designs::luminance::{sheet, LuminanceArch};
     let dir = std::env::temp_dir();
