@@ -1,0 +1,62 @@
+//! Serving-path benchmark: boots the real socket server, hammers
+//! `/api/design` with the paper's InfoPad system, and records the
+//! request rate plus a full [`powerplay_telemetry::TelemetrySnapshot`]
+//! into `BENCH_serving.json` — so the serving numbers *and* the
+//! telemetry that explains them (latency quantiles, queue behaviour)
+//! can be diffed across commits.
+
+use powerplay::Sheet;
+use powerplay_bench::{banner, throughput};
+use powerplay_json::Json;
+use powerplay_web::app::PowerPlayApp;
+use powerplay_web::http::http_get;
+
+fn main() {
+    banner("serving path (InfoPad via /api/design)");
+
+    let dir = std::env::temp_dir().join(format!("powerplay-bench-serving-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let app = PowerPlayApp::new(powerplay::ucb_library(), dir);
+
+    let text = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/designs/infopad.json"),
+    )
+    .expect("read InfoPad design");
+    let sheet = Sheet::from_json(&Json::parse(&text).expect("parse")).expect("load");
+    app.store().save("demo", "infopad", &sheet).expect("seed");
+
+    let server = app.serve("127.0.0.1:0").expect("bind");
+    let url = format!(
+        "http://{}/api/design?user=demo&name=infopad",
+        server.addr()
+    );
+
+    let requests_per_sec = throughput(1500, || {
+        let r = http_get(&url).expect("request");
+        assert!(r.body_text().contains("total_w"));
+    });
+    println!("requests/sec (sequential, one client): {requests_per_sec:.0}");
+
+    let snapshot = powerplay_telemetry::global().snapshot();
+    if let Some(h) = snapshot.histogram("powerplay_http_request_seconds") {
+        for (label, q) in [("p50", 0.5), ("p99", 0.99)] {
+            if let Some(v) = h.quantile_seconds(q).filter(|v| v.is_finite()) {
+                println!("request {label} <= {:.1} us (log2 bucket bound)", v * 1e6);
+            }
+        }
+    }
+
+    let body = Json::object([
+        ("requests_per_sec", Json::from(requests_per_sec)),
+        ("telemetry", snapshot.to_json()),
+    ]);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_serving.json");
+    match std::fs::write(&path, format!("{}\n", body.to_pretty())) {
+        Ok(()) => println!("recorded {}", path.display()),
+        Err(e) => eprintln!("could not record {}: {e}", path.display()),
+    }
+
+    server.shutdown();
+}

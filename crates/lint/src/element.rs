@@ -47,6 +47,9 @@ pub(crate) fn slots(element: &LibraryElement) -> Vec<(&'static str, &Expr, Dim)>
 /// resolve through the whole sheet scope chain, which
 /// [`crate::lint_sheet`] models.)
 pub fn lint_element(element: &LibraryElement) -> LintReport {
+    let metrics = crate::obs::lint_metrics();
+    metrics.reports_total.inc();
+    let _timer = metrics.element_pass_seconds.start_timer();
     let mut out = LintReport::new();
     let declared: BTreeSet<&str> = element.params().iter().map(|p| p.name.as_str()).collect();
 

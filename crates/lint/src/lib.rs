@@ -32,6 +32,7 @@
 mod diag;
 mod dims;
 mod element;
+mod obs;
 mod sheet_analysis;
 
 pub use diag::{codes, Diagnostic, LintReport, Severity};

@@ -1,0 +1,38 @@
+//! Lint-pass metrics, registered once in the process-global telemetry
+//! registry. Pass timings are labelled by entry point (`pass="sheet"` /
+//! `pass="element"`), so a slow upload path and a slow design path show
+//! up as separate series on `/metrics`.
+
+use std::sync::OnceLock;
+
+use powerplay_telemetry::{Counter, Histogram};
+
+pub(crate) struct LintMetrics {
+    pub(crate) sheet_pass_seconds: Histogram,
+    pub(crate) element_pass_seconds: Histogram,
+    pub(crate) reports_total: Counter,
+}
+
+pub(crate) fn lint_metrics() -> &'static LintMetrics {
+    static METRICS: OnceLock<LintMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let g = powerplay_telemetry::global();
+        let help = "Time to run one lint pass";
+        LintMetrics {
+            sheet_pass_seconds: g.histogram_with(
+                "powerplay_lint_pass_seconds",
+                &[("pass", "sheet")],
+                help,
+            ),
+            element_pass_seconds: g.histogram_with(
+                "powerplay_lint_pass_seconds",
+                &[("pass", "element")],
+                help,
+            ),
+            reports_total: g.counter(
+                "powerplay_lint_reports_total",
+                "Lint reports produced (sheet and element passes)",
+            ),
+        }
+    })
+}

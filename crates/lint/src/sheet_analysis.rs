@@ -32,6 +32,10 @@ pub struct LintOptions {
 /// Lints a sheet against a registry. See the module docs for what the
 /// passes guarantee.
 pub fn lint_sheet(sheet: &Sheet, registry: &Registry) -> LintReport {
+    let metrics = crate::obs::lint_metrics();
+    metrics.reports_total.inc();
+    let _timer = metrics.sheet_pass_seconds.start_timer();
+    let _span = powerplay_telemetry::profile::span_lazy(|| format!("lint {}", sheet.name()));
     let mut out = LintReport::new();
     lint_level(sheet, registry, "", &Ambient::new(), &mut out);
     out

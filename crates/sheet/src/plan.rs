@@ -32,15 +32,52 @@
 //! is for.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use powerplay_expr::{Expr, Scope};
 use powerplay_library::{LibraryElement, Registry};
+use powerplay_telemetry::{profile, Counter, Histogram};
 
 use crate::engine::{toposort, EvaluateSheetError};
 use crate::report::{RowReport, SheetReport};
 use crate::row::{Row, RowModel};
 use crate::sheet::Sheet;
+
+/// Engine-layer metrics, registered once in the process-global registry.
+/// Only the *top-level* compile/play entry points record here; sub-sheet
+/// recursion goes through the `*_impl` twins so a hierarchical design
+/// counts as one compile and one play (rows are counted at every level).
+struct PlanMetrics {
+    compile_seconds: Histogram,
+    replay_seconds: Histogram,
+    plays_total: Counter,
+    rows_evaluated_total: Counter,
+}
+
+fn plan_metrics() -> &'static PlanMetrics {
+    static METRICS: OnceLock<PlanMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let g = powerplay_telemetry::global();
+        PlanMetrics {
+            compile_seconds: g.histogram(
+                "powerplay_sheet_compile_seconds",
+                "Time to compile a sheet into an evaluation plan",
+            ),
+            replay_seconds: g.histogram(
+                "powerplay_sheet_replay_seconds",
+                "Time to replay a compiled plan (one top-level play)",
+            ),
+            plays_total: g.counter(
+                "powerplay_sheet_plays_total",
+                "Top-level plays of compiled plans",
+            ),
+            rows_evaluated_total: g.counter(
+                "powerplay_sheet_rows_evaluated_total",
+                "Rows evaluated, sub-sheet rows included",
+            ),
+        }
+    })
+}
 
 /// A sheet compiled against a registry, ready for repeated evaluation.
 ///
@@ -127,6 +164,14 @@ impl CompiledSheet {
     /// recorded in the plan and returned by the play methods at the
     /// point evaluation would have reached them.
     pub fn compile(sheet: &Sheet, registry: &Registry) -> CompiledSheet {
+        let _timer = plan_metrics().compile_seconds.start_timer();
+        Self::compile_impl(sheet, registry)
+    }
+
+    /// [`CompiledSheet::compile`] minus the metrics, so sub-sheet
+    /// recursion inside `compile_rows` doesn't count extra compiles.
+    pub(crate) fn compile_impl(sheet: &Sheet, registry: &Registry) -> CompiledSheet {
+        let _span = profile::span_lazy(|| format!("compile {}", sheet.name()));
         let globals: Vec<CompiledGlobal> = sheet
             .globals()
             .iter()
@@ -181,6 +226,20 @@ impl CompiledSheet {
         parent: &Scope<'_>,
         overrides: &[(&str, f64)],
     ) -> Result<SheetReport, EvaluateSheetError> {
+        let metrics = plan_metrics();
+        metrics.plays_total.inc();
+        let _timer = metrics.replay_seconds.start_timer();
+        self.play_impl(parent, overrides)
+    }
+
+    /// [`CompiledSheet::play_with_in`] minus the top-level metrics, so a
+    /// nested design counts as one play and one replay-latency sample.
+    pub(crate) fn play_impl(
+        &self,
+        parent: &Scope<'_>,
+        overrides: &[(&str, f64)],
+    ) -> Result<SheetReport, EvaluateSheetError> {
+        let _span = profile::span_lazy(|| format!("play {}", self.name));
         let mut globals_scope = parent.child();
         let resolved_globals = if overrides.is_empty() {
             let order = self.base_global_plan.as_ref().map_err(Clone::clone)?;
@@ -207,6 +266,7 @@ impl CompiledSheet {
         };
 
         let plan = self.structure.as_ref().map_err(Clone::clone)?;
+        plan_metrics().rows_evaluated_total.add(plan.order.len() as u64);
         let mut power_layer = globals_scope.child();
         let mut reports: Vec<Option<RowReport>> = vec![None; plan.rows.len()];
         for &i in &plan.order {
@@ -439,7 +499,7 @@ fn compile_rows(sheet: &Sheet, registry: &Registry) -> Result<RowsPlan, Evaluate
                 },
                 RowModel::Inline(element) => CompiledRowKind::Element(Arc::new(element.clone())),
                 RowModel::SubSheet(sub) => {
-                    CompiledRowKind::SubSheet(Box::new(CompiledSheet::compile(sub, registry)))
+                    CompiledRowKind::SubSheet(Box::new(CompiledSheet::compile_impl(sub, registry)))
                 }
             };
             let mut defaults = Scope::new();
@@ -481,6 +541,7 @@ fn evaluate_compiled_row(
     row: &CompiledRow,
     outer: &Scope<'_>,
 ) -> Result<RowReport, EvaluateSheetError> {
+    let _span = profile::span_lazy(|| format!("row {}", row.name));
     // Element resolution errors precede binding errors, matching the
     // uncompiled engine.
     if let CompiledRowKind::Missing { path } = &row.kind {
@@ -507,7 +568,7 @@ fn evaluate_compiled_row(
 
     match &row.kind {
         CompiledRowKind::SubSheet(sub) => {
-            let sub_report = sub.play_with_in(&param_scope, &[]).map_err(|source| {
+            let sub_report = sub.play_impl(&param_scope, &[]).map_err(|source| {
                 EvaluateSheetError::Nested {
                     row: row.name.to_string(),
                     source: Box::new(source),

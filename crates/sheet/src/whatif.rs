@@ -13,14 +13,44 @@
 //! reported is the one the earliest point in input order produced.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 use powerplay_library::Registry;
+use powerplay_telemetry::{Counter, Gauge, Histogram};
 use powerplay_units::{Power, Voltage};
 
 use crate::engine::EvaluateSheetError;
 use crate::plan::CompiledSheet;
 use crate::report::SheetReport;
 use crate::sheet::Sheet;
+
+/// Worker-pool metrics, registered once in the process-global registry.
+struct WhatifMetrics {
+    task_seconds: Histogram,
+    points_total: Counter,
+    queue_depth: Gauge,
+}
+
+fn whatif_metrics() -> &'static WhatifMetrics {
+    static METRICS: OnceLock<WhatifMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let g = powerplay_telemetry::global();
+        WhatifMetrics {
+            task_seconds: g.histogram(
+                "powerplay_whatif_task_seconds",
+                "Time to evaluate one what-if point on the worker pool",
+            ),
+            points_total: g.counter(
+                "powerplay_whatif_points_total",
+                "What-if points dispatched to the worker pool",
+            ),
+            queue_depth: g.gauge(
+                "powerplay_whatif_queue_depth",
+                "What-if points accepted but not yet claimed by a worker",
+            ),
+        }
+    })
+}
 
 /// Number of worker threads what-if helpers spread evaluation over.
 fn worker_count() -> usize {
@@ -41,10 +71,19 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    let metrics = whatif_metrics();
+    metrics.points_total.add(items.len() as u64);
     let workers = worker_count().min(items.len());
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        return items
+            .iter()
+            .map(|item| {
+                let _timer = metrics.task_seconds.start_timer();
+                f(item)
+            })
+            .collect();
     }
+    metrics.queue_depth.add(items.len() as i64);
     let next = AtomicUsize::new(0);
     let chunks: Vec<Vec<(usize, R)>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -54,7 +93,10 @@ where
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
+                        metrics.queue_depth.sub(1);
+                        let timer = metrics.task_seconds.start_timer();
                         out.push((i, f(item)));
+                        timer.stop();
                     }
                     out
                 })

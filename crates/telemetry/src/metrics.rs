@@ -1,0 +1,343 @@
+//! The three instruments: counter, gauge, log2-bucketed histogram.
+//!
+//! All updates are relaxed atomics. The instruments are handles
+//! (`Arc`-shared with the registry that created them), so cloning one
+//! into a hot loop costs a reference-count bump once, and every update
+//! after that is a single `fetch_add`.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Global kill switch. Instruments check it with one relaxed load; when
+/// off, updates (and timer `Instant::now` calls) are skipped entirely.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Turns the whole telemetry pipeline on or off (default: on).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether telemetry is currently recording.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+// --- counter ---------------------------------------------------------------
+
+#[derive(Debug, Default)]
+pub(crate) struct CounterCore {
+    value: AtomicU64,
+}
+
+/// A monotonically increasing counter (`*_total` series).
+#[derive(Debug, Clone)]
+pub struct Counter(pub(crate) Arc<CounterCore>);
+
+impl Counter {
+    /// A counter detached from any registry (tests, scratch use).
+    pub fn detached() -> Counter {
+        Counter(Arc::new(CounterCore::default()))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.0.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.value.load(Ordering::Relaxed)
+    }
+}
+
+// --- gauge -----------------------------------------------------------------
+
+#[derive(Debug, Default)]
+pub(crate) struct GaugeCore {
+    value: AtomicI64,
+}
+
+/// A value that goes up and down (queue depths, in-flight requests).
+#[derive(Debug, Clone)]
+pub struct Gauge(pub(crate) Arc<GaugeCore>);
+
+impl Gauge {
+    /// A gauge detached from any registry (tests, scratch use).
+    pub fn detached() -> Gauge {
+        Gauge(Arc::new(GaugeCore::default()))
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    pub fn add(&self, n: i64) {
+        if enabled() {
+            self.0.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// Sets the value outright.
+    pub fn set(&self, v: i64) {
+        if enabled() {
+            self.0.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.value.load(Ordering::Relaxed)
+    }
+}
+
+// --- histogram -------------------------------------------------------------
+
+/// Number of finite log2 buckets. Bucket `i` holds observations of at
+/// most `2^i` nanoseconds; `2^39 ns` ≈ 9.2 minutes, far beyond any
+/// request this server should survive. Larger values land in the
+/// overflow (`+Inf`) bucket.
+pub const BUCKETS: usize = 40;
+
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    overflow: AtomicU64,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> HistogramCore {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            overflow: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A latency histogram with log2-of-nanoseconds buckets.
+///
+/// `observe` costs one `leading_zeros` and three relaxed `fetch_add`s;
+/// there is no lock and no allocation. Exposed to Prometheus as a
+/// classic cumulative `_bucket{le=...}` family in seconds.
+#[derive(Debug, Clone)]
+pub struct Histogram(pub(crate) Arc<HistogramCore>);
+
+impl Histogram {
+    /// A histogram detached from any registry (tests, scratch use).
+    pub fn detached() -> Histogram {
+        Histogram(Arc::new(HistogramCore::default()))
+    }
+
+    /// Index of the finite bucket for `ns`, or `BUCKETS` for overflow.
+    pub(crate) fn bucket_index(ns: u64) -> usize {
+        if ns <= 1 {
+            0
+        } else {
+            // ceil(log2(ns)): values in (2^(i-1), 2^i] share bucket i.
+            (64 - (ns - 1).leading_zeros()) as usize
+        }
+    }
+
+    /// Records a raw nanosecond observation.
+    pub fn observe_ns(&self, ns: u64) {
+        if !enabled() {
+            return;
+        }
+        let idx = Self::bucket_index(ns);
+        if idx < BUCKETS {
+            self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.0.overflow.fetch_add(1, Ordering::Relaxed);
+        }
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Records a duration.
+    pub fn observe(&self, d: Duration) {
+        self.observe_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Starts an RAII timer that observes its elapsed time on drop.
+    /// When telemetry is disabled the timer never reads the clock.
+    pub fn start_timer(&self) -> Timer {
+        Timer {
+            histogram: self.clone(),
+            start: enabled().then(Instant::now),
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations, in seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.0.sum_ns.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+
+    /// Non-cumulative per-bucket counts plus the overflow count.
+    pub(crate) fn bucket_counts(&self) -> ([u64; BUCKETS], u64) {
+        let counts = std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed));
+        (counts, self.0.overflow.load(Ordering::Relaxed))
+    }
+}
+
+/// RAII timer from [`Histogram::start_timer`].
+#[derive(Debug)]
+pub struct Timer {
+    histogram: Histogram,
+    start: Option<Instant>,
+}
+
+impl Timer {
+    /// Stops the timer early, recording now instead of at drop.
+    pub fn stop(mut self) {
+        self.record();
+    }
+
+    fn record(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.histogram.observe(start.elapsed());
+        }
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+/// Upper bound of finite bucket `i`, in seconds.
+pub(crate) fn bucket_le_seconds(i: usize) -> f64 {
+    (1u64 << i) as f64 * 1e-9
+}
+
+/// Tests toggling the global [`ENABLED`] switch write-lock this; tests
+/// that record observations read-lock it, so a parallel test run never
+/// observes the switch mid-flip.
+#[cfg(test)]
+pub(crate) static ENABLED_TEST_LOCK: std::sync::RwLock<()> = std::sync::RwLock::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let _on = ENABLED_TEST_LOCK.read().unwrap();
+        let c = Counter::detached();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let _on = ENABLED_TEST_LOCK.read().unwrap();
+        let g = Gauge::detached();
+        g.add(5);
+        g.sub(2);
+        assert_eq!(g.get(), 3);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(5), 3);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(1025), 11);
+        assert!(Histogram::bucket_index(u64::MAX) >= BUCKETS);
+    }
+
+    #[test]
+    fn histogram_records_count_and_sum() {
+        let _on = ENABLED_TEST_LOCK.read().unwrap();
+        let h = Histogram::detached();
+        h.observe_ns(1_000);
+        h.observe_ns(3_000);
+        h.observe(Duration::from_micros(2));
+        assert_eq!(h.count(), 3);
+        assert!((h.sum_seconds() - 6e-6).abs() < 1e-12);
+        let (buckets, overflow) = h.bucket_counts();
+        assert_eq!(buckets.iter().sum::<u64>() + overflow, 3);
+    }
+
+    #[test]
+    fn oversized_observation_lands_in_overflow() {
+        let _on = ENABLED_TEST_LOCK.read().unwrap();
+        let h = Histogram::detached();
+        h.observe_ns(u64::MAX);
+        let (buckets, overflow) = h.bucket_counts();
+        assert_eq!(buckets.iter().sum::<u64>(), 0);
+        assert_eq!(overflow, 1);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn timer_observes_on_drop() {
+        let _on = ENABLED_TEST_LOCK.read().unwrap();
+        let h = Histogram::detached();
+        {
+            let _t = h.start_timer();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum_seconds() >= 1e-3);
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing() {
+        let _off = ENABLED_TEST_LOCK.write().unwrap();
+        let c = Counter::detached();
+        let h = Histogram::detached();
+        set_enabled(false);
+        c.inc();
+        h.observe_ns(5);
+        let t = h.start_timer();
+        drop(t);
+        set_enabled(true);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let _on = ENABLED_TEST_LOCK.read().unwrap();
+        let c = Counter::detached();
+        let h = Histogram::detached();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for i in 0..1_000u64 {
+                        c.inc();
+                        h.observe_ns(i + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8_000);
+        assert_eq!(h.count(), 8_000);
+    }
+}

@@ -1,0 +1,263 @@
+//! Lightweight tracing spans forming a per-thread tree.
+//!
+//! Spans are RAII guards. Outside a [`capture`] they cost one
+//! thread-local flag read — cheap enough to leave in the replay hot
+//! path. Inside a capture, each span records its wall time and nests
+//! under the enclosing span, producing a [`ProfileNode`] tree the CLI's
+//! `profile` verb renders:
+//!
+//! ```text
+//! play InfoPad                           214.0 µs  100.0%
+//!   row Custom Hardware                  112.1 µs   52.4%
+//!     row Luminance Chip                  41.9 µs   19.6%
+//! ```
+//!
+//! Captures are per-thread: spans on other threads (e.g. what-if pool
+//! workers) are not attributed to a capture started here.
+
+use std::cell::{Cell, RefCell};
+use std::time::{Duration, Instant};
+
+use powerplay_json::Json;
+
+thread_local! {
+    static CAPTURING: Cell<bool> = const { Cell::new(false) };
+    static STACK: RefCell<Vec<PendingNode>> = const { RefCell::new(Vec::new()) };
+}
+
+struct PendingNode {
+    name: String,
+    children: Vec<ProfileNode>,
+}
+
+/// One node of a captured span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileNode {
+    /// Span name.
+    pub name: String,
+    /// Wall time between span creation and drop.
+    pub duration: Duration,
+    /// Nested spans, in completion order.
+    pub children: Vec<ProfileNode>,
+}
+
+impl ProfileNode {
+    /// Renders the tree as indented text with durations and the share
+    /// of the root's wall time.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let total = self.duration.as_secs_f64().max(f64::MIN_POSITIVE);
+        self.render_into(&mut out, 0, total);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize, total: f64) {
+        let label = format!("{}{}", "  ".repeat(depth), self.name);
+        let share = 100.0 * self.duration.as_secs_f64() / total;
+        out.push_str(&format!(
+            "{label:<48} {:>12}  {share:>5.1}%\n",
+            format_duration(self.duration)
+        ));
+        for child in &self.children {
+            child.render_into(out, depth + 1, total);
+        }
+    }
+
+    /// The tree as JSON (`{name, seconds, children}`).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("name", Json::from(self.name.as_str())),
+            ("seconds", Json::from(self.duration.as_secs_f64())),
+            ("children", self.children.iter().map(ProfileNode::to_json).collect()),
+        ])
+    }
+
+    /// Total span count, the root included.
+    pub fn span_count(&self) -> usize {
+        1 + self.children.iter().map(ProfileNode::span_count).sum::<usize>()
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Whether a [`capture`] is active on this thread.
+pub fn is_capturing() -> bool {
+    CAPTURING.with(Cell::get)
+}
+
+/// Runs `f` with span capture enabled on this thread and returns its
+/// result together with the span tree rooted at `name`.
+pub fn capture<R>(name: &str, f: impl FnOnce() -> R) -> (R, ProfileNode) {
+    let was = CAPTURING.with(|c| c.replace(true));
+    STACK.with(|s| {
+        s.borrow_mut().push(PendingNode {
+            name: name.to_owned(),
+            children: Vec::new(),
+        })
+    });
+    let start = Instant::now();
+    let result = f();
+    let duration = start.elapsed();
+    let root = STACK.with(|s| s.borrow_mut().pop().expect("capture root present"));
+    CAPTURING.with(|c| c.set(was));
+    (
+        result,
+        ProfileNode {
+            name: root.name,
+            duration,
+            children: root.children,
+        },
+    )
+}
+
+/// An RAII span: records wall time under the enclosing span while a
+/// capture is active, and is a no-op (one flag read) otherwise.
+#[derive(Debug)]
+pub struct Span {
+    start: Option<Instant>,
+    /// Stack depth right after this span's node was pushed; the drop
+    /// only pops when the depth still matches, so a span escaping its
+    /// capture (or dropped out of order) discards its record instead of
+    /// corrupting another tree.
+    depth: usize,
+}
+
+/// Opens a span named `name`.
+pub fn span(name: &str) -> Span {
+    span_lazy(|| name.to_owned())
+}
+
+/// Opens a span whose name is only computed when a capture is active —
+/// use this in hot paths where the name needs a `format!`.
+pub fn span_lazy(name: impl FnOnce() -> String) -> Span {
+    if !is_capturing() {
+        return Span { start: None, depth: 0 };
+    }
+    let depth = STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        stack.push(PendingNode {
+            name: name(),
+            children: Vec::new(),
+        });
+        stack.len()
+    });
+    Span {
+        start: Some(Instant::now()),
+        depth,
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let duration = start.elapsed();
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if stack.len() != self.depth {
+                return;
+            }
+            if let Some(node) = stack.pop() {
+                let finished = ProfileNode {
+                    name: node.name,
+                    duration,
+                    children: node.children,
+                };
+                if let Some(parent) = stack.last_mut() {
+                    parent.children.push(finished);
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_outside_capture_are_noops() {
+        assert!(!is_capturing());
+        let s = span("ignored");
+        drop(s);
+        STACK.with(|st| assert!(st.borrow().is_empty()));
+    }
+
+    #[test]
+    fn capture_builds_a_nested_tree() {
+        let ((), tree) = capture("root", || {
+            let _a = span("a");
+            {
+                let _b = span("b");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        assert_eq!(tree.name, "root");
+        assert_eq!(tree.children.len(), 1);
+        assert_eq!(tree.children[0].name, "a");
+        assert_eq!(tree.children[0].children[0].name, "b");
+        assert!(tree.duration >= tree.children[0].duration);
+        assert!(tree.children[0].duration >= tree.children[0].children[0].duration);
+        assert_eq!(tree.span_count(), 3);
+    }
+
+    #[test]
+    fn sibling_spans_stay_siblings() {
+        let ((), tree) = capture("root", || {
+            drop(span("first"));
+            drop(span("second"));
+        });
+        let names: Vec<&str> = tree.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["first", "second"]);
+    }
+
+    #[test]
+    fn lazy_names_are_not_computed_outside_captures() {
+        let mut computed = false;
+        drop(span_lazy(|| {
+            computed = true;
+            "x".into()
+        }));
+        assert!(!computed);
+    }
+
+    #[test]
+    fn render_contains_percentages() {
+        let ((), tree) = capture("root", || {
+            let _x = span("leaf");
+            std::thread::sleep(Duration::from_millis(1));
+        });
+        let text = tree.render();
+        assert!(text.contains("root"), "{text}");
+        assert!(text.contains("leaf"), "{text}");
+        assert!(text.contains("100.0%"), "{text}");
+    }
+
+    #[test]
+    fn to_json_mirrors_the_tree() {
+        let ((), tree) = capture("root", || drop(span("leaf")));
+        let json = tree.to_json();
+        assert_eq!(json["name"].as_str(), Some("root"));
+        assert_eq!(json["children"][0]["name"].as_str(), Some("leaf"));
+    }
+
+    #[test]
+    fn captures_restore_prior_state() {
+        let ((), _outer) = capture("outer", || {
+            let ((), inner) = capture("inner", || drop(span("leaf")));
+            assert_eq!(inner.children.len(), 1);
+            assert!(is_capturing());
+        });
+        assert!(!is_capturing());
+    }
+}

@@ -1,0 +1,372 @@
+//! The metric registry: named handles, exposition, snapshots.
+//!
+//! The registry is only touched when a metric is *registered* (a
+//! write-locked map insert, once per process per series) or *scraped*
+//! (a read-locked walk). The instruments it hands out are `Arc` handles
+//! whose updates never come back here — that is what keeps the hot path
+//! lock-free.
+
+use std::collections::BTreeMap;
+use std::sync::{OnceLock, RwLock};
+
+use crate::metrics::{
+    bucket_le_seconds, Counter, CounterCore, Gauge, GaugeCore, Histogram, HistogramCore, BUCKETS,
+};
+use crate::snapshot::{HistogramSnapshot, TelemetrySnapshot};
+
+/// What a family's series are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn exposition(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Series {
+    Counter(std::sync::Arc<CounterCore>),
+    Gauge(std::sync::Arc<GaugeCore>),
+    Histogram(std::sync::Arc<HistogramCore>),
+}
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    kind: Kind,
+    /// Keyed by the rendered label set (`""` or `{k="v",...}`), so
+    /// exposition is deterministic.
+    series: BTreeMap<String, Series>,
+}
+
+/// A collection of named metrics.
+///
+/// Most code uses the process-wide [`global()`] registry; tests that
+/// need isolation can create their own with [`Registry::new`].
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: RwLock<BTreeMap<String, Family>>,
+}
+
+/// The process-global registry every layer reports into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Renders a label set as Prometheus text, `{k="v",k2="v2"}` or `""`.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn register<T>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        kind: Kind,
+        make: impl FnOnce() -> Series,
+        get: impl Fn(&Series) -> Option<T>,
+    ) -> T {
+        assert!(
+            name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "invalid metric name `{name}`"
+        );
+        let label_key = render_labels(labels);
+        let mut families = self.families.write().expect("registry poisoned");
+        let family = families.entry(name.to_owned()).or_insert_with(|| Family {
+            help: help.to_owned(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric `{name}` registered twice with different kinds"
+        );
+        let series = family.series.entry(label_key).or_insert_with(make);
+        get(series).expect("kind checked above")
+    }
+
+    /// Registers (or fetches) a counter with no labels.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, &[], help)
+    }
+
+    /// Registers (or fetches) a labelled counter series.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Counter {
+        self.register(
+            name,
+            labels,
+            help,
+            Kind::Counter,
+            || Series::Counter(std::sync::Arc::default()),
+            |s| match s {
+                Series::Counter(core) => Some(Counter(core.clone())),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or fetches) a gauge with no labels.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, &[], help)
+    }
+
+    /// Registers (or fetches) a labelled gauge series.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Gauge {
+        self.register(
+            name,
+            labels,
+            help,
+            Kind::Gauge,
+            || Series::Gauge(std::sync::Arc::default()),
+            |s| match s {
+                Series::Gauge(core) => Some(Gauge(core.clone())),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or fetches) a histogram with no labels.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, &[], help)
+    }
+
+    /// Registers (or fetches) a labelled histogram series.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Histogram {
+        self.register(
+            name,
+            labels,
+            help,
+            Kind::Histogram,
+            || Series::Histogram(std::sync::Arc::default()),
+            |s| match s {
+                Series::Histogram(core) => Some(Histogram(core.clone())),
+                _ => None,
+            },
+        )
+    }
+
+    /// Renders every registered series in the Prometheus text exposition
+    /// format (version 0.0.4) — the body of `GET /metrics`.
+    ///
+    /// Histograms are emitted as cumulative `_bucket{le=...}` series in
+    /// seconds, trimmed to the occupied bucket range (cumulative counts
+    /// stay exact; Prometheus allows any subset of bounds as long as
+    /// `+Inf` is present).
+    pub fn prometheus(&self) -> String {
+        let families = self.families.read().expect("registry poisoned");
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            out.push_str(&format!("# HELP {name} {}\n", family.help));
+            out.push_str(&format!("# TYPE {name} {}\n", family.kind.exposition()));
+            for (labels, series) in &family.series {
+                match series {
+                    Series::Counter(core) => {
+                        let v = Counter(core.clone()).get();
+                        out.push_str(&format!("{name}{labels} {v}\n"));
+                    }
+                    Series::Gauge(core) => {
+                        let v = Gauge(core.clone()).get();
+                        out.push_str(&format!("{name}{labels} {v}\n"));
+                    }
+                    Series::Histogram(core) => {
+                        let h = Histogram(core.clone());
+                        let (buckets, overflow) = h.bucket_counts();
+                        let first = buckets.iter().position(|&c| c > 0).unwrap_or(BUCKETS);
+                        let last = buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+                        let mut cumulative = 0u64;
+                        for (i, &count) in buckets.iter().enumerate() {
+                            cumulative += count;
+                            if i < first || i > last {
+                                continue;
+                            }
+                            out.push_str(&format!(
+                                "{name}_bucket{} {cumulative}\n",
+                                merge_le(labels, bucket_le_seconds(i)),
+                            ));
+                        }
+                        let _ = overflow; // +Inf == count, by construction
+                        out.push_str(&format!(
+                            "{name}_bucket{} {}\n",
+                            merge_le_inf(labels),
+                            h.count()
+                        ));
+                        out.push_str(&format!("{name}_sum{labels} {:e}\n", h.sum_seconds()));
+                        out.push_str(&format!("{name}_count{labels} {}\n", h.count()));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// A point-in-time snapshot of every registered series.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let families = self.families.read().expect("registry poisoned");
+        let mut snap = TelemetrySnapshot::default();
+        for (name, family) in families.iter() {
+            for (labels, series) in &family.series {
+                let series_name = format!("{name}{labels}");
+                match series {
+                    Series::Counter(core) => {
+                        snap.counters.push((series_name, Counter(core.clone()).get()));
+                    }
+                    Series::Gauge(core) => {
+                        snap.gauges.push((series_name, Gauge(core.clone()).get()));
+                    }
+                    Series::Histogram(core) => {
+                        let h = Histogram(core.clone());
+                        let (buckets, overflow) = h.bucket_counts();
+                        let mut cumulative = Vec::with_capacity(BUCKETS + 1);
+                        let mut acc = 0u64;
+                        for (i, &count) in buckets.iter().enumerate() {
+                            acc += count;
+                            cumulative.push((bucket_le_seconds(i), acc));
+                        }
+                        acc += overflow;
+                        cumulative.push((f64::INFINITY, acc));
+                        snap.histograms.push(HistogramSnapshot {
+                            name: series_name,
+                            count: h.count(),
+                            sum_seconds: h.sum_seconds(),
+                            buckets: cumulative,
+                        });
+                    }
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// Inserts `le="<bound>"` into a rendered label set.
+fn merge_le(labels: &str, le_seconds: f64) -> String {
+    let le = format!("le=\"{le_seconds:e}\"");
+    if labels.is_empty() {
+        format!("{{{le}}}")
+    } else {
+        format!("{}, {le}}}", &labels[..labels.len() - 1])
+    }
+}
+
+fn merge_le_inf(labels: &str) -> String {
+    if labels.is_empty() {
+        "{le=\"+Inf\"}".to_owned()
+    } else {
+        format!("{}, le=\"+Inf\"}}", &labels[..labels.len() - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ENABLED_TEST_LOCK;
+
+    #[test]
+    fn handles_are_shared_per_name() {
+        let _on = ENABLED_TEST_LOCK.read().unwrap();
+        let r = Registry::new();
+        let a = r.counter("x_total", "a counter");
+        let b = r.counter("x_total", "a counter");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+    }
+
+    #[test]
+    fn labelled_series_are_distinct() {
+        let _on = ENABLED_TEST_LOCK.read().unwrap();
+        let r = Registry::new();
+        let ok = r.counter_with("req_total", &[("class", "2xx")], "requests");
+        let bad = r.counter_with("req_total", &[("class", "5xx")], "requests");
+        ok.add(3);
+        bad.inc();
+        let text = r.prometheus();
+        assert!(text.contains("req_total{class=\"2xx\"} 3"), "{text}");
+        assert!(text.contains("req_total{class=\"5xx\"} 1"), "{text}");
+        // One HELP/TYPE header for the family.
+        assert_eq!(text.matches("# TYPE req_total counter").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kinds")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("m", "as counter");
+        r.gauge("m", "as gauge");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_names_are_rejected() {
+        Registry::new().counter("has space", "nope");
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative_with_inf() {
+        let _on = ENABLED_TEST_LOCK.read().unwrap();
+        let r = Registry::new();
+        let h = r.histogram("lat_seconds", "latency");
+        h.observe_ns(100); // bucket 7 (128 ns)
+        h.observe_ns(100);
+        h.observe_ns(1_000_000); // bucket 20
+        let text = r.prometheus();
+        assert!(text.contains("# TYPE lat_seconds histogram"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("lat_seconds_count 3"));
+        // Cumulative: the last finite bucket already counts everything.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("lat_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn snapshot_covers_all_kinds() {
+        let _on = ENABLED_TEST_LOCK.read().unwrap();
+        let r = Registry::new();
+        r.counter("c_total", "c").add(7);
+        r.gauge("g", "g").set(-2);
+        r.histogram("h_seconds", "h").observe_ns(50);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("c_total"), Some(7));
+        assert_eq!(snap.gauge("g"), Some(-2));
+        let h = snap.histogram("h_seconds").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.buckets.last().unwrap().1, 1);
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let _on = ENABLED_TEST_LOCK.read().unwrap();
+        let a = global().counter("singleton_probe_total", "probe");
+        let b = global().counter("singleton_probe_total", "probe");
+        a.inc();
+        assert!(b.get() >= 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Point-in-time JSON exports of the registry.
+
+use powerplay_json::Json;
+
+/// Everything one series of a histogram knew at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Rendered series name, labels included.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations, seconds.
+    pub sum_seconds: f64,
+    /// `(le_seconds, cumulative_count)`, ending with `(+Inf, count)`.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Nearest-bucket-upper-bound estimate of the `q`-quantile, in
+    /// seconds. Log2 buckets bound the answer within 2x — good enough
+    /// for "did p99 regress by an order of magnitude".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_seconds(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (self.count as f64 * q).ceil().max(1.0) as u64;
+        self.buckets
+            .iter()
+            .find(|(_, cumulative)| *cumulative >= rank)
+            .map(|(le, _)| *le)
+    }
+
+    fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("name", Json::from(self.name.as_str())),
+            ("count", Json::from(self.count as f64)),
+            ("sum_seconds", Json::from(self.sum_seconds)),
+        ];
+        for (key, q) in [("p50_seconds", 0.5), ("p90_seconds", 0.9), ("p99_seconds", 0.99)] {
+            if let Some(v) = self.quantile_seconds(q).filter(|v| v.is_finite()) {
+                members.push((key, Json::from(v)));
+            }
+        }
+        Json::object(members)
+    }
+}
+
+/// A point-in-time export of every registered series, JSON-serializable
+/// — the payload benches write into `BENCH_serving.json` so serving-path
+/// numbers can be diffed across commits.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// `(series name, value)`.
+    pub counters: Vec<(String, u64)>,
+    /// `(series name, value)`.
+    pub gauges: Vec<(String, i64)>,
+    /// Histograms, summarized.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Looks a counter up by its rendered series name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks a gauge up by its rendered series name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks a histogram up by its rendered series name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// The snapshot as JSON: counters and gauges verbatim, histograms
+    /// summarized by count/sum/quantile estimates (full bucket detail
+    /// stays on the `/metrics` exposition, where a scraper wants it).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            (
+                "counters",
+                Json::object(
+                    self.counters
+                        .iter()
+                        .map(|(name, v)| (name.as_str(), Json::from(*v as f64))),
+                ),
+            ),
+            (
+                "gauges",
+                Json::object(
+                    self.gauges
+                        .iter()
+                        .map(|(name, v)| (name.as_str(), Json::from(*v as f64))),
+                ),
+            ),
+            (
+                "histograms",
+                self.histograms.iter().map(HistogramSnapshot::to_json).collect(),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::metrics::ENABLED_TEST_LOCK;
+    use crate::Registry;
+
+    #[test]
+    fn quantiles_bound_the_observations() {
+        let _on = ENABLED_TEST_LOCK.read().unwrap();
+        let r = Registry::new();
+        let h = r.histogram("q_seconds", "q");
+        for ns in [100u64, 200, 400, 800, 100_000] {
+            h.observe_ns(ns);
+        }
+        let snap = r.snapshot();
+        let hist = snap.histogram("q_seconds").unwrap();
+        let p50 = hist.quantile_seconds(0.5).unwrap();
+        // Median observation is 400 ns; the log2 bucket bound is 512 ns.
+        assert!((400e-9..=1024e-9).contains(&p50), "p50 {p50}");
+        let p100 = hist.quantile_seconds(1.0).unwrap();
+        assert!(p100 >= 100_000e-9);
+        assert!(hist.quantile_seconds(0.0).unwrap() <= 128e-9);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let r = Registry::new();
+        r.histogram("empty_seconds", "e");
+        let snap = r.snapshot();
+        assert_eq!(snap.histogram("empty_seconds").unwrap().quantile_seconds(0.5), None);
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let _on = ENABLED_TEST_LOCK.read().unwrap();
+        let r = Registry::new();
+        r.counter("a_total", "a").add(2);
+        r.gauge("b", "b").set(3);
+        r.histogram("c_seconds", "c").observe_ns(1000);
+        let json = r.snapshot().to_json();
+        assert_eq!(json["counters"]["a_total"].as_f64(), Some(2.0));
+        assert_eq!(json["gauges"]["b"].as_f64(), Some(3.0));
+        assert_eq!(json["histograms"][0]["count"].as_f64(), Some(1.0));
+        // Round-trips through the JSON parser.
+        let text = json.to_string();
+        assert!(powerplay_json::Json::parse(&text).is_ok(), "{text}");
+    }
+}

@@ -6,19 +6,70 @@
 //! URL — faithful to the 1996 CGI implementation, which had no cookies.
 
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
 use powerplay_expr::Scope;
 use powerplay_json::Json;
 use powerplay_library::{ElementClass, ElementModel, LibraryElement, ParamDecl, Registry};
 use powerplay_sheet::{RowModel, Sheet, SheetReport};
+use powerplay_telemetry::{profile, Counter, Gauge, Histogram};
 use powerplay_units::format;
 
 use crate::html;
 use crate::http::urlencoded::{encode, encode_pairs};
 use crate::http::{Method, Request, Response, Server, ServerHandle, Status};
 use crate::session::UserStore;
+
+/// Request-level metrics, registered once in the process-global
+/// telemetry registry (transport-level metrics live in the server).
+struct HttpMetrics {
+    requests_2xx: Counter,
+    requests_3xx: Counter,
+    requests_4xx: Counter,
+    requests_5xx: Counter,
+    request_seconds: Histogram,
+    inflight: Gauge,
+}
+
+impl HttpMetrics {
+    fn class_of(&self, code: u16) -> &Counter {
+        match code {
+            200..=299 => &self.requests_2xx,
+            300..=399 => &self.requests_3xx,
+            400..=499 => &self.requests_4xx,
+            _ => &self.requests_5xx,
+        }
+    }
+}
+
+fn http_metrics() -> &'static HttpMetrics {
+    static METRICS: OnceLock<HttpMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let g = powerplay_telemetry::global();
+        let counter = |class: &str| {
+            g.counter_with(
+                "powerplay_http_requests_total",
+                &[("class", class)],
+                "Requests handled, by status class",
+            )
+        };
+        HttpMetrics {
+            requests_2xx: counter("2xx"),
+            requests_3xx: counter("3xx"),
+            requests_4xx: counter("4xx"),
+            requests_5xx: counter("5xx"),
+            request_seconds: g.histogram(
+                "powerplay_http_request_seconds",
+                "Wall time routing one request to its response",
+            ),
+            inflight: g.gauge(
+                "powerplay_http_inflight",
+                "Requests currently being handled",
+            ),
+        }
+    })
+}
 
 /// The application: a shared model registry plus the user store.
 pub struct PowerPlayApp {
@@ -114,9 +165,29 @@ impl PowerPlayApp {
         Ok(Server::bind(addr, move |req| app.handle(req))?.start())
     }
 
-    /// Routes one request — pure, so tests can drive the app without
-    /// sockets.
+    /// Handles one request: the telemetry middleware (in-flight gauge,
+    /// latency histogram, status-class counters, a profile span) around
+    /// [`Self::route`]. Pure, so tests can drive the app without sockets.
     pub fn handle(&self, req: &Request) -> Response {
+        let metrics = http_metrics();
+        metrics.inflight.add(1);
+        let _span = profile::span_lazy(|| {
+            let method = match req.method() {
+                Method::Get => "GET",
+                Method::Post => "POST",
+            };
+            format!("{method} {}", req.path())
+        });
+        let timer = metrics.request_seconds.start_timer();
+        let response = self.route(req);
+        timer.stop();
+        metrics.class_of(response.status().code()).inc();
+        metrics.inflight.sub(1);
+        response
+    }
+
+    /// Routes one request to its page or API handler.
+    fn route(&self, req: &Request) -> Response {
         if let Err(denied) = self.authorize(req) {
             return denied;
         }
@@ -147,6 +218,8 @@ impl PowerPlayApp {
             (Method::Get, "/api/sweep") => self.api_sweep(req),
             (Method::Get, "/api/sensitivities") => self.api_sensitivities(req),
             (Method::Get, "/agent") => self.agent_page(req),
+            (Method::Get, "/metrics") => Ok(Self::metrics_exposition()),
+            (Method::Get, "/stats") => Ok(Self::stats_page()),
             (Method::Get, _) => Err(Response::error(Status::NotFound, "no such page")),
             (Method::Post, _) => Err(Response::error(Status::NotFound, "no such action")),
         };
@@ -1021,6 +1094,69 @@ errs conservatively high.</p>";
         Ok(Response::html(html::page("Design Agent", &body)))
     }
 
+    // --- telemetry ---------------------------------------------------------
+
+    /// `GET /metrics` — the process-global registry in Prometheus text
+    /// exposition format 0.0.4, for scrapers.
+    fn metrics_exposition() -> Response {
+        Response::with_content_type(
+            "text/plain; version=0.0.4; charset=utf-8",
+            powerplay_telemetry::global().prometheus(),
+        )
+    }
+
+    /// `GET /stats` — the same registry as a human-readable panel:
+    /// counters, gauges, and latency histograms with quantile estimates.
+    fn stats_page() -> Response {
+        let snap = powerplay_telemetry::global().snapshot();
+        let counter_rows: Vec<Vec<String>> = snap
+            .counters
+            .iter()
+            .map(|(name, v)| vec![html::escape(name), v.to_string()])
+            .collect();
+        let gauge_rows: Vec<Vec<String>> = snap
+            .gauges
+            .iter()
+            .map(|(name, v)| vec![html::escape(name), v.to_string()])
+            .collect();
+        let quantile = |h: &powerplay_telemetry::HistogramSnapshot, q: f64| {
+            h.quantile_seconds(q)
+                .filter(|v| v.is_finite())
+                .map(|v| format!("{:.3} ms", v * 1e3))
+                .unwrap_or_else(|| "-".into())
+        };
+        let histogram_rows: Vec<Vec<String>> = snap
+            .histograms
+            .iter()
+            .map(|h| {
+                vec![
+                    html::escape(&h.name),
+                    h.count.to_string(),
+                    format!("{:.3} s", h.sum_seconds),
+                    quantile(h, 0.5),
+                    quantile(h, 0.9),
+                    quantile(h, 0.99),
+                ]
+            })
+            .collect();
+        let body = format!(
+            "<p>Live telemetry for this PowerPlay instance. Scrapers \
+             should use {metrics}. Latency quantiles are log2-bucket \
+             estimates (within 2x).</p>\
+             <h2>Counters</h2>{counters}\
+             <h2>Gauges</h2>{gauges}\
+             <h2>Latency histograms</h2>{histograms}",
+            metrics = html::link("/metrics", "/metrics"),
+            counters = html::table(&["Series", "Total"], &counter_rows),
+            gauges = html::table(&["Series", "Value"], &gauge_rows),
+            histograms = html::table(
+                &["Series", "Count", "Sum", "p50", "p90", "p99"],
+                &histogram_rows,
+            ),
+        );
+        Response::html(html::page("PowerPlay Statistics", &body))
+    }
+
     // --- JSON API (remote model access, Figures 6-7) -------------------------
 
     fn api_library(&self) -> Response {
@@ -1671,6 +1807,56 @@ mod tests {
         let r = get(&app, "/api/sweep?user=a&name=d&global=vdd&values=x");
         assert_eq!(r.status(), Status::BadRequest);
         assert_ne!(r.header("content-type"), Some("application/json"));
+    }
+
+    #[test]
+    fn metrics_endpoint_speaks_prometheus() {
+        let app = app("metrics");
+        // Generate some traffic first so the families have data.
+        get(&app, "/api/library");
+        get(&app, "/nonsense");
+        let r = get(&app, "/metrics");
+        assert_eq!(r.status(), Status::Ok);
+        assert_eq!(
+            r.header("content-type"),
+            Some("text/plain; version=0.0.4; charset=utf-8")
+        );
+        let body = r.body_text();
+        assert!(
+            body.contains("# TYPE powerplay_http_requests_total counter"),
+            "{body}"
+        );
+        assert!(body.contains("powerplay_http_requests_total{class=\"2xx\"}"));
+        assert!(body.contains("powerplay_http_requests_total{class=\"4xx\"}"));
+        assert!(body.contains("# TYPE powerplay_http_request_seconds histogram"));
+        assert!(body.contains("powerplay_http_request_seconds_bucket"));
+        assert!(body.contains("# TYPE powerplay_http_inflight gauge"));
+    }
+
+    #[test]
+    fn request_middleware_counts_by_status_class() {
+        let app = app("middleware");
+        let before_ok = http_metrics().requests_2xx.get();
+        let before_bad = http_metrics().requests_4xx.get();
+        get(&app, "/api/library");
+        get(&app, "/nonsense");
+        // Counters are process-global and other tests run in parallel,
+        // so assert monotonic growth rather than exact deltas.
+        assert!(http_metrics().requests_2xx.get() > before_ok);
+        assert!(http_metrics().requests_4xx.get() > before_bad);
+        assert!(http_metrics().request_seconds.count() >= 2);
+    }
+
+    #[test]
+    fn stats_page_renders_registry_series() {
+        let app = app("stats");
+        get(&app, "/api/library");
+        let r = get(&app, "/stats");
+        assert_eq!(r.status(), Status::Ok);
+        let body = r.body_text();
+        assert!(body.contains("powerplay_http_requests_total"), "{body}");
+        assert!(body.contains("powerplay_http_request_seconds"));
+        assert!(body.contains("/metrics"));
     }
 
     #[test]

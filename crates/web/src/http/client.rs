@@ -147,6 +147,9 @@ fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, ClientError> {
         401 => Status::Unauthorized,
         404 => Status::NotFound,
         405 => Status::MethodNotAllowed,
+        413 => Status::PayloadTooLarge,
+        431 => Status::RequestHeaderFieldsTooLarge,
+        503 => Status::ServiceUnavailable,
         _ => Status::InternalServerError,
     };
 

@@ -50,8 +50,12 @@ pub enum ParseRequestError {
     Malformed(String),
     /// The method is not supported.
     UnsupportedMethod(String),
-    /// Headers or body exceeded the size limits.
-    TooLarge,
+    /// The request line or header section exceeded the size limit
+    /// (answered with 431 Request Header Fields Too Large).
+    HeadTooLarge,
+    /// The declared body exceeded the size limit (answered with
+    /// 413 Payload Too Large).
+    BodyTooLarge,
     /// An I/O error occurred.
     Io(String),
 }
@@ -62,7 +66,8 @@ impl fmt::Display for ParseRequestError {
             ParseRequestError::ConnectionClosed => write!(f, "connection closed"),
             ParseRequestError::Malformed(what) => write!(f, "malformed request: {what}"),
             ParseRequestError::UnsupportedMethod(m) => write!(f, "unsupported method `{m}`"),
-            ParseRequestError::TooLarge => write!(f, "request too large"),
+            ParseRequestError::HeadTooLarge => write!(f, "request header section too large"),
+            ParseRequestError::BodyTooLarge => write!(f, "request body too large"),
             ParseRequestError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -192,7 +197,7 @@ impl Request {
             let line = read_line(reader)?;
             head_size += line.len();
             if head_size > MAX_HEAD {
-                return Err(ParseRequestError::TooLarge);
+                return Err(ParseRequestError::HeadTooLarge);
             }
             if line.is_empty() {
                 break;
@@ -210,7 +215,7 @@ impl Request {
                     .parse()
                     .map_err(|_| ParseRequestError::Malformed("bad content-length".into()))?;
                 if len > MAX_BODY {
-                    return Err(ParseRequestError::TooLarge);
+                    return Err(ParseRequestError::BodyTooLarge);
                 }
                 let mut body = vec![0u8; len];
                 reader
@@ -275,7 +280,7 @@ fn read_line<R: BufRead>(reader: &mut R) -> Result<String, ParseRequestError> {
         line.pop();
     }
     if line.len() > MAX_HEAD {
-        return Err(ParseRequestError::TooLarge);
+        return Err(ParseRequestError::HeadTooLarge);
     }
     Ok(line)
 }
@@ -358,7 +363,26 @@ mod tests {
     #[test]
     fn rejects_oversized_body_declaration() {
         let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
-        assert!(matches!(parse(&raw), Err(ParseRequestError::TooLarge)));
+        assert!(matches!(parse(&raw), Err(ParseRequestError::BodyTooLarge)));
+        // Right at the limit is still accepted (the body just has to
+        // actually arrive).
+        let body = "x".repeat(100);
+        let ok = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len());
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn rejects_oversized_header_section() {
+        // One huge header line.
+        let raw = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(MAX_HEAD + 1));
+        assert!(matches!(parse(&raw), Err(ParseRequestError::HeadTooLarge)));
+        // Many small header lines adding up past the limit.
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..(MAX_HEAD / 10) {
+            raw.push_str(&format!("X-H{i}: {i:08}\r\n"));
+        }
+        raw.push_str("\r\n");
+        assert!(matches!(parse(&raw), Err(ParseRequestError::HeadTooLarge)));
     }
 
     #[test]

@@ -18,8 +18,14 @@ pub enum Status {
     NotFound,
     /// 405
     MethodNotAllowed,
+    /// 413 (body over the server's size limit)
+    PayloadTooLarge,
+    /// 431 (header section over the server's size limit)
+    RequestHeaderFieldsTooLarge,
     /// 500
     InternalServerError,
+    /// 503 (worker pool saturated; try again)
+    ServiceUnavailable,
 }
 
 impl Status {
@@ -32,7 +38,10 @@ impl Status {
             Status::Unauthorized => 401,
             Status::NotFound => 404,
             Status::MethodNotAllowed => 405,
+            Status::PayloadTooLarge => 413,
+            Status::RequestHeaderFieldsTooLarge => 431,
             Status::InternalServerError => 500,
+            Status::ServiceUnavailable => 503,
         }
     }
 
@@ -45,7 +54,10 @@ impl Status {
             Status::Unauthorized => "Unauthorized",
             Status::NotFound => "Not Found",
             Status::MethodNotAllowed => "Method Not Allowed",
+            Status::PayloadTooLarge => "Payload Too Large",
+            Status::RequestHeaderFieldsTooLarge => "Request Header Fields Too Large",
             Status::InternalServerError => "Internal Server Error",
+            Status::ServiceUnavailable => "Service Unavailable",
         }
     }
 }
@@ -87,6 +99,15 @@ impl Response {
         let mut r = Response::new(status);
         r.set_header("Content-Type", "application/json");
         r.body = body.into().into_bytes();
+        r
+    }
+
+    /// A 200 body with an explicit content type — e.g. the Prometheus
+    /// text exposition on `/metrics`.
+    pub fn with_content_type(content_type: &str, body: impl Into<Vec<u8>>) -> Response {
+        let mut r = Response::new(Status::Ok);
+        r.set_header("Content-Type", content_type);
+        r.body = body.into();
         r
     }
 
@@ -180,6 +201,9 @@ mod tests {
         assert_eq!(Status::Ok.code(), 200);
         assert_eq!(Status::NotFound.code(), 404);
         assert_eq!(Status::Found.reason(), "Found");
+        assert_eq!(Status::PayloadTooLarge.code(), 413);
+        assert_eq!(Status::RequestHeaderFieldsTooLarge.code(), 431);
+        assert_eq!(Status::ServiceUnavailable.code(), 503);
     }
 
     #[test]

@@ -1,17 +1,36 @@
-//! The threaded HTTP server.
+//! The HTTP server: a bounded worker pool over blocking sockets.
+//!
+//! Accepted connections are pushed onto a bounded queue and claimed by a
+//! fixed set of worker threads; when the queue is full new arrivals get
+//! an immediate `503 Service Unavailable` instead of piling up threads —
+//! load shedding a 1996 CGI deployment got for free from `httpd` and a
+//! threaded port must do itself. Every socket carries read and write
+//! timeouts so a stalled peer can hold a worker for at most one timeout.
+//!
+//! Shutdown is graceful: [`ServerHandle::shutdown`] stops the accept
+//! loop, wakes idle keep-alive readers by shutting the read half of
+//! every live connection, and waits for the workers — so in-flight
+//! requests finish writing their responses before it returns. The wait
+//! is bounded by [`ServerConfig::shutdown_grace`]: a handler that never
+//! returns is abandoned rather than hanging shutdown forever.
 
-use std::io::{self, BufReader, BufWriter};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Read};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{sync_channel, TrySendError};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
+
+use powerplay_telemetry::{Counter, Gauge};
 
 use super::request::{ParseRequestError, Request};
 use super::response::{Response, Status};
 
 /// A request handler: pure function from request to response. Handlers
-/// run on connection threads, so they must be `Send + Sync`.
+/// run on worker threads, so they must be `Send + Sync`.
 pub type Handler = dyn Fn(&Request) -> Response + Send + Sync + 'static;
 
 /// A connection filter deciding whether a client address may connect —
@@ -19,19 +38,99 @@ pub type Handler = dyn Fn(&Request) -> Response + Send + Sync + 'static;
 /// specific machines".
 pub type ClientFilter = dyn Fn(std::net::SocketAddr) -> bool + Send + Sync + 'static;
 
+/// Transport-layer metrics, registered once in the process-global
+/// telemetry registry (request-level metrics live in the app layer).
+struct ServerMetrics {
+    connections_total: Counter,
+    rejected_total: Counter,
+    queue_depth: Gauge,
+}
+
+fn server_metrics() -> &'static ServerMetrics {
+    static METRICS: OnceLock<ServerMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let g = powerplay_telemetry::global();
+        ServerMetrics {
+            connections_total: g.counter(
+                "powerplay_server_connections_total",
+                "Connections accepted (including ones later shed with 503)",
+            ),
+            rejected_total: g.counter(
+                "powerplay_server_rejected_total",
+                "Connections answered 503 because the worker queue was full",
+            ),
+            queue_depth: g.gauge(
+                "powerplay_server_queue_depth",
+                "Accepted connections waiting for a worker",
+            ),
+        }
+    })
+}
+
+/// Pool sizing and socket policy for [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads serving connections. Default: available cores.
+    pub workers: usize,
+    /// Accepted connections that may wait for a worker before new
+    /// arrivals are answered 503. Default: `2 * workers`.
+    pub queue_capacity: usize,
+    /// Per-socket read timeout, bounding how long an idle or stalled
+    /// peer can hold a worker.
+    pub read_timeout: Duration,
+    /// Per-socket write timeout.
+    pub write_timeout: Duration,
+    /// How long [`ServerHandle::shutdown`] waits for in-flight handlers
+    /// before abandoning their worker threads.
+    pub shutdown_grace: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        let workers = thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        ServerConfig {
+            workers,
+            queue_capacity: workers * 2,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            shutdown_grace: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Count of worker threads still running, so shutdown can wait for the
+/// pool to drain with a deadline (a plain `JoinHandle::join` cannot).
+struct WorkerExits {
+    active: Mutex<usize>,
+    cv: Condvar,
+}
+
+/// Decrements the active-worker count when dropped, so a worker that
+/// unwinds still gets counted out.
+struct WorkerExitGuard(Arc<WorkerExits>);
+
+impl Drop for WorkerExitGuard {
+    fn drop(&mut self) {
+        let mut active = self.0.active.lock().unwrap_or_else(|e| e.into_inner());
+        *active -= 1;
+        self.0.cv.notify_all();
+    }
+}
+
 /// A running HTTP server bound to a local address.
-///
-/// One thread per connection with keep-alive and a read timeout — ample
-/// for a tool whose 1996 incarnation ran as CGI under httpd.
 pub struct Server {
     addr: std::net::SocketAddr,
     listener: TcpListener,
     handler: Arc<Handler>,
     filter: Option<Arc<ClientFilter>>,
+    config: ServerConfig,
 }
 
 impl Server {
-    /// Binds to `addr` (use port 0 for an ephemeral port).
+    /// Binds to `addr` (use port 0 for an ephemeral port) with the
+    /// default [`ServerConfig`].
     ///
     /// # Errors
     ///
@@ -47,6 +146,7 @@ impl Server {
             listener,
             handler: Arc::new(handler),
             filter: None,
+            config: ServerConfig::default(),
         })
     }
 
@@ -67,46 +167,129 @@ impl Server {
         Ok(server)
     }
 
+    /// Replaces the pool configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: ServerConfig) -> Server {
+        self.config = config;
+        self
+    }
+
     /// The bound address.
     pub fn addr(&self) -> std::net::SocketAddr {
         self.addr
     }
 
-    /// Starts accepting connections on a background thread and returns a
-    /// handle for shutdown.
+    /// Starts the worker pool and the accept loop on background threads
+    /// and returns a handle for shutdown.
     pub fn start(self) -> ServerHandle {
+        let config = self.config;
         let running = Arc::new(AtomicBool::new(true));
+        let connections: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::default();
+        let (tx, rx) = sync_channel::<(u64, TcpStream)>(config.queue_capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let worker_count = config.workers.max(1);
+        let exits = Arc::new(WorkerExits {
+            active: Mutex::new(worker_count),
+            cv: Condvar::new(),
+        });
+
+        let workers: Vec<JoinHandle<()>> = (0..worker_count)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let handler = Arc::clone(&self.handler);
+                let connections = Arc::clone(&connections);
+                let config = config.clone();
+                let exit_guard = WorkerExitGuard(Arc::clone(&exits));
+                thread::spawn(move || {
+                    let _exit_guard = exit_guard;
+                    loop {
+                        // Hold the queue lock only for the claim, not the
+                        // service; the sender never locks it.
+                        let claimed = rx.lock().expect("worker queue poisoned").recv();
+                        let Ok((id, stream)) = claimed else { break };
+                        server_metrics().queue_depth.sub(1);
+                        let _ = serve_connection(stream, &handler, &config);
+                        connections
+                            .lock()
+                            .expect("connection registry poisoned")
+                            .remove(&id);
+                    }
+                })
+            })
+            .collect();
+
         let accept_running = Arc::clone(&running);
-        let handler = Arc::clone(&self.handler);
-        let filter = self.filter.clone();
-        let addr = self.addr;
+        let accept_connections = Arc::clone(&connections);
+        let filter = self.filter;
         let listener = self.listener;
-        let join = thread::spawn(move || {
+        let read_timeout = config.read_timeout;
+        let write_timeout = config.write_timeout;
+        let accept = thread::spawn(move || {
+            let metrics = server_metrics();
+            let mut next_id = 0u64;
             for stream in listener.incoming() {
                 if !accept_running.load(Ordering::SeqCst) {
                     break;
                 }
-                match stream {
-                    Ok(stream) => {
-                        if let Some(filter) = &filter {
-                            match stream.peer_addr() {
-                                Ok(peer) if filter(peer) => {}
-                                _ => continue, // drop the connection
-                            }
-                        }
-                        let handler = Arc::clone(&handler);
+                let Ok(stream) = stream else { break };
+                if let Some(filter) = &filter {
+                    match stream.peer_addr() {
+                        Ok(peer) if filter(peer) => {}
+                        _ => continue, // drop the connection
+                    }
+                }
+                metrics.connections_total.inc();
+                let id = next_id;
+                next_id += 1;
+                // Register a clone so shutdown can wake this socket's
+                // reader; workers deregister when the connection ends.
+                if let Ok(clone) = stream.try_clone() {
+                    accept_connections
+                        .lock()
+                        .expect("connection registry poisoned")
+                        .insert(id, clone);
+                }
+                metrics.queue_depth.add(1);
+                match tx.try_send((id, stream)) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full((_, mut stream))) => {
+                        metrics.queue_depth.sub(1);
+                        metrics.rejected_total.inc();
+                        accept_connections
+                            .lock()
+                            .expect("connection registry poisoned")
+                            .remove(&id);
+                        // Answer on a detached thread: the peer's request
+                        // must be drained before the socket closes (or the
+                        // close becomes a TCP RST that can destroy the 503
+                        // in flight), and that drain must not stall the
+                        // accept loop. Lifetime is bounded by the timeouts.
                         thread::spawn(move || {
-                            let _ = serve_connection(stream, &handler);
+                            let _ = stream.set_read_timeout(Some(read_timeout));
+                            let _ = stream.set_write_timeout(Some(write_timeout));
+                            let r = Response::error(
+                                Status::ServiceUnavailable,
+                                "server busy; try again",
+                            );
+                            let _ = r.write_to(&mut stream, false);
+                            drain_before_close(&mut (&stream), &stream);
                         });
                     }
-                    Err(_) => break,
+                    Err(TrySendError::Disconnected(_)) => break,
                 }
             }
+            // The queue sender drops here: workers finish what is
+            // already queued, then see the disconnect and exit.
         });
+
         ServerHandle {
-            addr,
+            addr: self.addr,
             running,
-            join: Some(join),
+            accept: Mutex::new(Some(accept)),
+            workers: Mutex::new(workers),
+            connections,
+            exits,
+            shutdown_grace: config.shutdown_grace,
         }
     }
 }
@@ -115,7 +298,11 @@ impl Server {
 pub struct ServerHandle {
     addr: std::net::SocketAddr,
     running: Arc<AtomicBool>,
-    join: Option<JoinHandle<()>>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    connections: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    exits: Arc<WorkerExits>,
+    shutdown_grace: Duration,
 }
 
 impl ServerHandle {
@@ -126,52 +313,107 @@ impl ServerHandle {
 
     /// Blocks until the accept loop exits (i.e. until [`Self::shutdown`]
     /// is called from another thread).
-    pub fn join(mut self) {
-        if let Some(join) = self.join.take() {
-            let _ = join.join();
+    pub fn join(self) {
+        let accept = self.accept.lock().expect("accept handle poisoned").take();
+        if let Some(accept) = accept {
+            let _ = accept.join();
         }
     }
 
-    /// Stops accepting new connections.
+    /// Stops accepting connections and drains the pool: queued
+    /// connections are still served, in-flight responses finish writing,
+    /// and idle keep-alive readers are woken by shutting their sockets'
+    /// read halves. Waits up to [`ServerConfig::shutdown_grace`] for the
+    /// workers; a handler still running past the grace is abandoned (its
+    /// thread is detached) so shutdown always returns.
     pub fn shutdown(&self) {
         self.running.store(false, Ordering::SeqCst);
         // Unblock the accept loop with a dummy connection.
         let _ = TcpStream::connect(self.addr);
+        let accept = self.accept.lock().expect("accept handle poisoned").take();
+        if let Some(accept) = accept {
+            let _ = accept.join();
+        }
+        // The accept loop has exited, so the registry is now stable:
+        // wake every parked reader. In-flight handlers are untouched —
+        // only the read half goes away, responses still flush.
+        for (_, stream) in self
+            .connections
+            .lock()
+            .expect("connection registry poisoned")
+            .drain()
+        {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        let workers: Vec<JoinHandle<()>> = self
+            .workers
+            .lock()
+            .expect("worker handles poisoned")
+            .drain(..)
+            .collect();
+        if workers.is_empty() {
+            return; // already shut down once
+        }
+        let active = self.exits.active.lock().unwrap_or_else(|e| e.into_inner());
+        let (active, wait) = self
+            .exits
+            .cv
+            .wait_timeout_while(active, self.shutdown_grace, |active| *active > 0)
+            .unwrap_or_else(|e| e.into_inner());
+        drop(active);
+        if wait.timed_out() {
+            return; // abandon stuck workers; their handles are dropped
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.shutdown();
-        if let Some(join) = self.join.take() {
-            let _ = join.join();
-        }
     }
 }
 
-fn serve_connection(stream: TcpStream, handler: &Arc<Handler>) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+fn serve_connection(
+    stream: TcpStream,
+    handler: &Arc<Handler>,
+    config: &ServerConfig,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     loop {
         let request = match Request::read_from(&mut reader) {
             Ok(request) => request,
-            Err(ParseRequestError::ConnectionClosed) => return Ok(()),
-            Err(ParseRequestError::Io(_)) => return Ok(()),
-            Err(ParseRequestError::TooLarge) => {
-                let r = Response::error(Status::BadRequest, "request too large");
-                let _ = r.write_to(&mut writer, false);
-                return Ok(());
-            }
+            Err(ParseRequestError::ConnectionClosed | ParseRequestError::Io(_)) => return Ok(()),
             Err(e) => {
-                let r = Response::error(Status::BadRequest, &e.to_string());
+                let (status, message) = match e {
+                    ParseRequestError::HeadTooLarge => (
+                        Status::RequestHeaderFieldsTooLarge,
+                        "request header section too large".to_owned(),
+                    ),
+                    ParseRequestError::BodyTooLarge => {
+                        (Status::PayloadTooLarge, "request body too large".to_owned())
+                    }
+                    e => (Status::BadRequest, e.to_string()),
+                };
+                let r = Response::error(status, &message);
                 let _ = r.write_to(&mut writer, false);
+                // The request was rejected part-read: drain what the peer
+                // already sent before closing, or the close turns into a
+                // TCP RST that can destroy the error response in flight.
+                drain_before_close(&mut reader, writer.get_ref());
                 return Ok(());
             }
         };
         let keep_alive = request.keep_alive();
-        let response = handler(&request);
+        // A panicking handler costs its request a 500, not the process.
+        let response = catch_unwind(AssertUnwindSafe(|| handler(&request)))
+            .unwrap_or_else(|_| Response::error(Status::InternalServerError, "handler panicked"));
         response.write_to(&mut writer, keep_alive)?;
         if !keep_alive {
             return Ok(());
@@ -179,10 +421,23 @@ fn serve_connection(stream: TcpStream, handler: &Arc<Handler>) -> io::Result<()>
     }
 }
 
+/// Sends FIN (so the peer sees the full response and EOF) and then reads
+/// the peer's leftover bytes until it hangs up. Closing a socket with
+/// unread data in its receive buffer makes the kernel send RST instead,
+/// which can discard a response still in flight — this avoids that. The
+/// read loop is bounded by the socket's read timeout.
+fn drain_before_close(reader: &mut impl Read, stream: &TcpStream) {
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut scratch = [0u8; 4096];
+    while matches!(reader.read(&mut scratch), Ok(n) if n > 0) {}
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::http::{http_get, Method};
+    use std::io::{Read, Write};
+    use std::sync::Condvar;
 
     #[test]
     fn serves_requests_and_shuts_down() {
@@ -213,6 +468,13 @@ mod tests {
             Response::html(req.query_param("n").unwrap_or_default())
         })
         .unwrap()
+        // Enough pool headroom that none of the 8 is load-shed even on
+        // a small CI host.
+        .with_config(ServerConfig {
+            workers: 4,
+            queue_capacity: 8,
+            ..ServerConfig::default()
+        })
         .start();
         let base = format!("http://{}", server.addr());
 
@@ -232,7 +494,6 @@ mod tests {
 
     #[test]
     fn malformed_request_gets_400() {
-        use std::io::{Read, Write};
         let server = Server::bind("127.0.0.1:0", |_| Response::html("ok"))
             .unwrap()
             .start();
@@ -255,5 +516,177 @@ mod tests {
         .start();
         let r = http_get(&format!("http://{}/x", server.addr())).unwrap();
         assert_eq!(r.body_text(), "get");
+    }
+
+    #[test]
+    fn oversized_header_section_gets_431() {
+        let server = Server::bind("127.0.0.1:0", |_| Response::html("ok"))
+            .unwrap()
+            .start();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let raw = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(17 * 1024));
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 431"), "got: {buf}");
+    }
+
+    #[test]
+    fn oversized_body_declaration_gets_413() {
+        let server = Server::bind("127.0.0.1:0", |_| Response::html("ok"))
+            .unwrap()
+            .start();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 5 * 1024 * 1024);
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 413"), "got: {buf}");
+    }
+
+    #[test]
+    fn panicking_handler_gets_500_and_server_survives() {
+        let server = Server::bind("127.0.0.1:0", |req| {
+            if req.path() == "/boom" {
+                panic!("handler exploded");
+            }
+            Response::html("fine")
+        })
+        .unwrap()
+        .start();
+        let base = format!("http://{}", server.addr());
+        let boom = http_get(&format!("{base}/boom")).unwrap();
+        assert_eq!(boom.status(), Status::InternalServerError);
+        let ok = http_get(&format!("{base}/fine")).unwrap();
+        assert_eq!(ok.body_text(), "fine");
+    }
+
+    /// A gate handlers can block on, so tests control exactly when a
+    /// request finishes.
+    #[derive(Default)]
+    struct GateState {
+        open: bool,
+        started: usize,
+    }
+
+    #[derive(Default)]
+    struct Gate {
+        state: Mutex<GateState>,
+        cv: Condvar,
+    }
+
+    impl Gate {
+        fn new() -> Arc<Gate> {
+            Arc::default()
+        }
+
+        fn enter(&self) {
+            let mut state = self.state.lock().unwrap();
+            state.started += 1;
+            self.cv.notify_all();
+            while !state.open {
+                state = self.cv.wait(state).unwrap();
+            }
+        }
+
+        fn wait_started(&self, n: usize) {
+            let mut state = self.state.lock().unwrap();
+            while state.started < n {
+                state = self.cv.wait(state).unwrap();
+            }
+        }
+
+        fn release(&self) {
+            self.state.lock().unwrap().open = true;
+            self.cv.notify_all();
+        }
+    }
+
+    fn raw_get(addr: std::net::SocketAddr) -> TcpStream {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        stream
+    }
+
+    fn read_status_line(stream: &mut TcpStream) -> String {
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        buf.lines().next().unwrap_or_default().to_owned()
+    }
+
+    #[test]
+    fn saturated_pool_sheds_with_503() {
+        let gate = Gate::new();
+        let handler_gate = Arc::clone(&gate);
+        let server = Server::bind("127.0.0.1:0", move |_| {
+            handler_gate.enter();
+            Response::html("served")
+        })
+        .unwrap()
+        .with_config(ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServerConfig::default()
+        })
+        .start();
+        let addr = server.addr();
+
+        // First connection occupies the only worker…
+        let mut c1 = raw_get(addr);
+        gate.wait_started(1);
+        // …second fills the queue (accepted before c3 by FIFO order)…
+        let mut c2 = raw_get(addr);
+        // …third finds the queue full and is shed immediately.
+        let mut c3 = raw_get(addr);
+        assert!(
+            read_status_line(&mut c3).starts_with("HTTP/1.1 503"),
+            "expected 503 for the connection past the queue"
+        );
+
+        gate.release();
+        assert!(read_status_line(&mut c1).starts_with("HTTP/1.1 200"));
+        assert!(read_status_line(&mut c2).starts_with("HTTP/1.1 200"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_requests() {
+        let gate = Gate::new();
+        let finished = Arc::new(AtomicBool::new(false));
+        let handler_gate = Arc::clone(&gate);
+        let handler_finished = Arc::clone(&finished);
+        let server = Server::bind("127.0.0.1:0", move |_| {
+            handler_gate.enter();
+            handler_finished.store(true, Ordering::SeqCst);
+            Response::html("drained")
+        })
+        .unwrap()
+        .start();
+        let addr = server.addr();
+
+        let client = thread::spawn(move || {
+            let mut stream = raw_get(addr);
+            read_status_line(&mut stream)
+        });
+        gate.wait_started(1);
+
+        // Release the handler just after shutdown starts waiting on it.
+        let releaser = {
+            let gate = Arc::clone(&gate);
+            thread::spawn(move || {
+                thread::sleep(Duration::from_millis(100));
+                gate.release();
+            })
+        };
+        server.shutdown();
+        assert!(
+            finished.load(Ordering::SeqCst),
+            "shutdown returned before the in-flight handler finished"
+        );
+        let status = client.join().unwrap();
+        assert!(status.starts_with("HTTP/1.1 200"), "got: {status}");
+        releaser.join().unwrap();
     }
 }

@@ -43,6 +43,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("doc") => cmd_doc(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]),
         Some("play") => cmd_play(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("lump") => cmd_lump(&args[1..]),
@@ -63,13 +64,14 @@ USAGE:
   powerplay-cli doc <element>               show an element's model
   powerplay-cli eval <element> [k=v ...]    evaluate (vdd=1.5 f=2e6 defaults)
   powerplay-cli play <design.json>          evaluate a design file
+  powerplay-cli profile <design.json>       play once, print the span tree
   powerplay-cli lint <design.json> [--json] [--allow CODE,..]  static analysis
   powerplay-cli sweep <design.json> <global> <v1,v2,...>
   powerplay-cli lump <design.json> <name>   lump a design into a macro (JSON)
   powerplay-cli compare <a.json> <b.json>    side-by-side design comparison
   powerplay-cli sens <design.json>          sensitivity of power to each global
   powerplay-cli mc <design.json> <rel> <trials> <globals,...>  Monte-Carlo spread
-  powerplay-cli serve [addr]                run the web application
+  powerplay-cli serve [addr] [--seed-demo]  run the web application
   powerplay-cli fetch <http://site>         fetch a remote library (JSON)
 ";
 
@@ -172,6 +174,22 @@ fn cmd_play(args: &[String]) -> Result<(), String> {
     let pp = PowerPlay::new();
     let report = pp.play(&load_design(path)?).map_err(|e| e.to_string())?;
     print!("{report}");
+    Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("usage: profile <design.json>".into());
+    };
+    let pp = PowerPlay::new();
+    let sheet = load_design(path)?;
+    let (result, tree) =
+        powerplay_telemetry::profile::capture(&format!("play {path}"), || pp.play(&sheet));
+    let report = result.map_err(|e| e.to_string())?;
+    print!("{}", tree.render());
+    println!();
+    println!("spans captured: {}", tree.span_count());
+    println!("total power:    {}", report.total_power());
     Ok(())
 }
 
@@ -290,9 +308,34 @@ fn cmd_mc(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    let addr = args.first().map(String::as_str).unwrap_or("127.0.0.1:8096");
+    let mut addr = "127.0.0.1:8096";
+    let mut seed_demo = false;
+    for arg in args {
+        match arg.as_str() {
+            "--seed-demo" => seed_demo = true,
+            other => addr = other,
+        }
+    }
     let data_dir = std::env::temp_dir().join("powerplay-cli-www");
     let app = powerplay_web::app::PowerPlayApp::new(ucb_library(), data_dir);
+    if seed_demo {
+        // The paper's worked examples, saved for user `demo` so smoke
+        // tests (and first-time visitors) have designs to play with.
+        for (name, text) in [
+            ("infopad", include_str!("../../examples/designs/infopad.json")),
+            (
+                "luminance",
+                include_str!("../../examples/designs/luminance_direct_lut.json"),
+            ),
+        ] {
+            let json = Json::parse(text).map_err(|e| format!("demo design {name}: {e}"))?;
+            let sheet = Sheet::from_json(&json).map_err(|e| format!("demo design {name}: {e}"))?;
+            app.store()
+                .save("demo", name, &sheet)
+                .map_err(|e| e.to_string())?;
+            println!("seeded design `{name}` for user `demo`");
+        }
+    }
     let server = app.serve(addr).map_err(|e| e.to_string())?;
     println!("PowerPlay serving at http://{}", server.addr());
     server.join();
