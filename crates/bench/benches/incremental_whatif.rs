@@ -1,0 +1,145 @@
+//! E-T3 — incremental what-if: turning one knob must not pay for the
+//! whole system. Measures dirty-set delta replay against full compiled
+//! replay on the InfoPad sheet (paper Figure 5), times the memoized
+//! 64-point supply sweep against the PR 1 parallel baseline
+//! (`BENCH_sweep_vdd.json`), and records `BENCH_incremental.json` —
+//! the speedup is computed from rates measured in this same run.
+//!
+//! The invariants at the top run under `--test` too, so CI's bench
+//! smoke catches a regression (broad dirty sets, dead memoization)
+//! without paying for the timing loops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerplay::designs::infopad;
+use powerplay::whatif;
+use powerplay_bench::{banner, record_metrics, session, throughput};
+use powerplay_sheet::{DeltaOutcome, ReplayState};
+
+/// Reads one un-labelled series out of a Prometheus exposition.
+fn prom_value(exposition: &str, series: &str) -> f64 {
+    exposition
+        .lines()
+        .find_map(|line| {
+            let rest = line.strip_prefix(series)?.strip_prefix(' ')?;
+            rest.trim().parse().ok()
+        })
+        .unwrap_or(0.0)
+}
+
+fn bench(c: &mut Criterion) {
+    banner("E-T3: incremental what-if (dirty-set replay + sweep memoization)");
+    let pp = session();
+    let system = infopad::sheet();
+    let plan = pp.compile(&system);
+
+    // --- Invariants, checked before anything is timed: the radio_duty
+    // delta really is narrow, bit-identical to a full replay, and
+    // duplicate sweep points really hit the memo.
+    let mut state = ReplayState::new();
+    plan.replay_delta(&mut state, &[]).unwrap();
+    let delta = plan
+        .replay_delta(&mut state, &[("radio_duty", 0.25)])
+        .unwrap();
+    assert_eq!(state.last_outcome(), DeltaOutcome::Incremental);
+    let dirty = state.last_dirty_rows().expect("delta records a dirty count");
+    assert!(
+        dirty < plan.row_count(),
+        "{dirty} of {} rows dirty — the delta is not incremental",
+        plan.row_count()
+    );
+    assert_eq!(delta, plan.play_with(&[("radio_duty", 0.25)]).unwrap());
+    println!(
+        "radio_duty delta: {dirty} of {} rows re-evaluated",
+        plan.row_count()
+    );
+
+    let telemetry = powerplay_telemetry::global();
+    let hits_before = prom_value(&telemetry.prometheus(), "powerplay_whatif_memo_hits_total");
+    whatif::sweep_compiled(&plan, "vdd", &[1.2, 1.5, 1.5, 1.2]).unwrap();
+    let hits_after = prom_value(&telemetry.prometheus(), "powerplay_whatif_memo_hits_total");
+    assert!(
+        hits_after >= hits_before + 2.0,
+        "duplicate sweep points must hit the memo ({hits_before} -> {hits_after})"
+    );
+    println!("sweep memo hits on duplicate points: {}", hits_after - hits_before);
+
+    // --- Criterion samples. The knob toggles between two values so every
+    // iteration really re-evaluates (a repeated value would answer from
+    // the memoized previous report and time nothing).
+    let mut group = c.benchmark_group("incremental");
+    group.bench_function("full_replay_radio_duty", |b| {
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let duty = if flip { 0.25 } else { 0.75 };
+            plan.play_with(&[("radio_duty", duty)]).unwrap().total_power()
+        })
+    });
+    group.bench_function("delta_replay_radio_duty", |b| {
+        let mut state = ReplayState::new();
+        plan.replay_delta(&mut state, &[]).unwrap();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let duty = if flip { 0.25 } else { 0.75 };
+            plan.replay_delta(&mut state, &[("radio_duty", duty)])
+                .unwrap()
+                .total_power()
+        })
+    });
+    group.finish();
+
+    let dense: Vec<f64> = (0..64).map(|i| 1.0 + 0.05 * f64::from(i)).collect();
+    let mut group = c.benchmark_group("incremental/sweep64_infopad");
+    group.sample_size(10);
+    group.bench_function("memoized_parallel", |b| {
+        b.iter(|| whatif::sweep_compiled(&plan, "vdd", &dense).unwrap().len())
+    });
+    group.finish();
+
+    // --- Headline rates for cross-commit diffing. Both sides toggle the
+    // same knob so the comparison is evaluate-vs-evaluate, and the
+    // recorded speedup comes from this run, not from prose.
+    let mut flip = false;
+    let full_rate = throughput(300, || {
+        flip = !flip;
+        let duty = if flip { 0.25 } else { 0.75 };
+        std::hint::black_box(plan.play_with(&[("radio_duty", duty)]).unwrap().total_power());
+    });
+    let mut state = ReplayState::new();
+    plan.replay_delta(&mut state, &[]).unwrap();
+    let mut flip = false;
+    let delta_rate = throughput(300, || {
+        flip = !flip;
+        let duty = if flip { 0.25 } else { 0.75 };
+        std::hint::black_box(
+            plan.replay_delta(&mut state, &[("radio_duty", duty)])
+                .unwrap()
+                .total_power(),
+        );
+    });
+    let sweep_rate = throughput(400, || {
+        std::hint::black_box(whatif::sweep_compiled(&plan, "vdd", &dense).unwrap().len());
+    });
+    let points = dense.len() as f64;
+    println!(
+        "radio_duty replays/sec: full {full_rate:.0}, delta {delta_rate:.0} ({:.1}x); \
+         64-point vdd sweep {:.0} plays/sec",
+        delta_rate / full_rate,
+        sweep_rate * points,
+    );
+    record_metrics(
+        "incremental",
+        &[
+            ("delta_dirty_rows", dirty as f64),
+            ("rows_total", plan.row_count() as f64),
+            ("full_replays_per_sec", full_rate),
+            ("delta_replays_per_sec", delta_rate),
+            ("delta_speedup", delta_rate / full_rate),
+            ("sweep64_plays_per_sec", sweep_rate * points),
+        ],
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -37,6 +37,12 @@ pub fn sheet() -> Sheet {
     let mut system = Sheet::new("InfoPad System");
     system.set_global("vdd", "1.5").expect("literal parses");
     system.set_global("f", "2MHz").expect("literal parses");
+    // Transmit duty cycle as a system knob: turning it dirties exactly
+    // the radio row (and the converters fed by it), which is the
+    // narrow-delta workload the incremental replay benchmarks exercise.
+    // (Deliberately not named `duty_tx` — a global shadowed by an
+    // element parameter default would never reach the model.)
+    system.set_global("radio_duty", "0.5").expect("literal parses");
 
     // --- Custom Hardware: the low-power chipset, as nested sub-designs.
     let mut custom = Sheet::new("Custom Hardware");
@@ -86,7 +92,7 @@ pub fn sheet() -> Sheet {
         .add_element_row(
             "Radio Subsystem",
             "ucb/radio",
-            [("p_tx", "3.0"), ("p_rx", "0.7"), ("duty_tx", "0.5")],
+            [("p_tx", "3.0"), ("p_rx", "0.7"), ("duty_tx", "radio_duty")],
         )
         .expect("bindings parse");
 
@@ -218,6 +224,29 @@ mod tests {
             plan.play_with(&[("vdd", 3.0)]).unwrap(),
             pp.play(&hot).unwrap()
         );
+    }
+
+    #[test]
+    fn radio_duty_delta_replays_incrementally() {
+        use powerplay_sheet::{DeltaOutcome, ReplayState};
+        // The knob the incremental benchmarks turn: a radio_duty change
+        // must re-evaluate only the radio row and the converters fed by
+        // its power, not the whole system.
+        let pp = PowerPlay::new();
+        let plan = compiled(pp.registry());
+        let mut state = ReplayState::new();
+        plan.replay_delta(&mut state, &[]).unwrap();
+        let delta = plan
+            .replay_delta(&mut state, &[("radio_duty", 0.25)])
+            .unwrap();
+        assert_eq!(state.last_outcome(), DeltaOutcome::Incremental);
+        let dirty = state.last_dirty_rows().unwrap();
+        assert!(
+            dirty < plan.row_count(),
+            "{dirty} of {} rows dirty",
+            plan.row_count()
+        );
+        assert_eq!(delta, plan.play_with(&[("radio_duty", 0.25)]).unwrap());
     }
 
     #[test]

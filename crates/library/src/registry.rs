@@ -24,6 +24,10 @@ pub struct Registry {
     // Elements are stored behind `Arc` so the evaluation engine can hold
     // shared handles across many plays instead of deep-cloning models.
     elements: BTreeMap<String, Arc<LibraryElement>>,
+    // Bumped on every mutation; caches keyed on registry contents (the
+    // web layer's compiled-plan cache) include this so a library edit
+    // invalidates them without hashing every model.
+    generation: u64,
 }
 
 impl Registry {
@@ -45,8 +49,17 @@ impl Registry {
     /// Inserts an element under its own name, replacing any previous
     /// element of that name and returning it.
     pub fn insert(&mut self, element: LibraryElement) -> Option<Arc<LibraryElement>> {
+        self.generation += 1;
         self.elements
             .insert(element.name().to_owned(), Arc::new(element))
+    }
+
+    /// A version tag that changes on every mutation of this registry
+    /// value ([`Self::insert`] / [`Self::merge`]). Two generations being
+    /// equal means the contents have not changed since; the converse
+    /// does not hold (a replaced-then-restored element still bumps it).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Looks an element up by path.
@@ -91,6 +104,7 @@ impl Registry {
     /// Merges every element of `other` into `self` (later wins), e.g.
     /// after fetching a remote site's library.
     pub fn merge(&mut self, other: Registry) {
+        self.generation += 1;
         self.elements.extend(other.elements);
     }
 

@@ -54,7 +54,9 @@ pub mod whatif;
 pub use engine::{toposort, EvaluateSheetError};
 pub use macros::LumpMacroError;
 pub use json_io::DecodeSheetError;
-pub use plan::CompiledSheet;
+pub use plan::{
+    CompiledSheet, DeltaOutcome, OverridePlan, ReplayState, DELTA_FALLBACK_DEN, DELTA_FALLBACK_NUM,
+};
 pub use report::{RowReport, SheetReport};
 pub use row::{Row, RowModel};
 pub use sheet::Sheet;

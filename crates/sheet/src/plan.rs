@@ -32,6 +32,7 @@
 //! is for.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use powerplay_expr::{Expr, Scope};
@@ -52,6 +53,11 @@ struct PlanMetrics {
     replay_seconds: Histogram,
     plays_total: Counter,
     rows_evaluated_total: Counter,
+    delta_replay_seconds: Histogram,
+    delta_replays_total: Counter,
+    delta_fallbacks_total: Counter,
+    delta_memo_hits_total: Counter,
+    delta_dirty_rows: Histogram,
 }
 
 fn plan_metrics() -> &'static PlanMetrics {
@@ -75,9 +81,33 @@ fn plan_metrics() -> &'static PlanMetrics {
                 "powerplay_sheet_rows_evaluated_total",
                 "Rows evaluated, sub-sheet rows included",
             ),
+            delta_replay_seconds: g.histogram(
+                "powerplay_sheet_delta_replay_seconds",
+                "Time per incremental delta replay (memo hits included)",
+            ),
+            delta_replays_total: g.counter(
+                "powerplay_sheet_delta_replays_total",
+                "Incremental delta replays of compiled plans",
+            ),
+            delta_fallbacks_total: g.counter(
+                "powerplay_sheet_delta_fallbacks_total",
+                "Delta replays that fell back to a full replay (dirty frontier over threshold)",
+            ),
+            delta_memo_hits_total: g.counter(
+                "powerplay_sheet_delta_memo_hits_total",
+                "Delta replays answered from the previous report (no global changed)",
+            ),
+            delta_dirty_rows: g.value_histogram(
+                "powerplay_sheet_delta_dirty_rows",
+                "Top-level rows re-evaluated per delta replay",
+            ),
         }
     })
 }
+
+/// Process-unique plan identities, so a [`ReplayState`] can tell when it
+/// is handed to a different plan than the one that filled it.
+static PLAN_IDS: AtomicU64 = AtomicU64::new(1);
 
 /// A sheet compiled against a registry, ready for repeated evaluation.
 ///
@@ -98,6 +128,8 @@ fn plan_metrics() -> &'static PlanMetrics {
 /// ```
 #[derive(Debug, Clone)]
 pub struct CompiledSheet {
+    /// Process-unique identity (clones share it — same content).
+    id: u64,
     name: Arc<str>,
     globals: Vec<CompiledGlobal>,
     /// Global evaluation order for the un-overridden sheet (recomputed
@@ -121,6 +153,18 @@ struct RowsPlan {
     rows: Vec<CompiledRow>,
     /// Dependency-respecting evaluation order over `rows` indices.
     order: Vec<usize>,
+    /// Per-row *watched* name sets: every name whose value in the
+    /// enclosing scope can influence the row's report. An
+    /// over-approximation (union of binding free variables, element
+    /// model free variables minus declared parameters, the reserved `f`
+    /// rate, or a sub-sheet's external frees) — extra names only cause
+    /// extra re-evaluation, never a stale result.
+    watched: Vec<BTreeSet<String>>,
+    /// Inverted watch index: name → rows watching it (dirty seeding).
+    watchers: BTreeMap<String, Vec<usize>>,
+    /// Forward `P_`/`A_` edges: row → rows watching its outputs
+    /// (dirty propagation when a re-evaluated row's output changes).
+    dependents: Vec<Vec<usize>>,
 }
 
 /// Every name a play touches is interned here as a shared `Arc<str>`, so
@@ -183,11 +227,54 @@ impl CompiledSheet {
             .collect();
         let base_global_plan = plan_globals(&globals);
         CompiledSheet {
+            id: PLAN_IDS.fetch_add(1, Ordering::Relaxed),
             name: Arc::from(sheet.name()),
             base_global_plan,
             structure: compile_rows(sheet, registry),
             globals,
         }
+    }
+
+    /// Number of top-level rows (0 when the sheet has a structural
+    /// error). Useful to compare against [`ReplayState::last_dirty_rows`].
+    pub fn row_count(&self) -> usize {
+        self.structure.as_ref().map(|p| p.rows.len()).unwrap_or(0)
+    }
+
+    /// Names this sheet may read from an enclosing scope when played as
+    /// a sub-sheet: global formula frees and row watched names, minus
+    /// the sheet's own global names and its internal `P_`/`A_` refs
+    /// (both always shadow the parent). Over-approximate by design.
+    fn external_free(&self) -> BTreeSet<String> {
+        let global_names: BTreeSet<&str> = self.globals.iter().map(|g| &*g.name).collect();
+        let mut out = BTreeSet::new();
+        for g in &self.globals {
+            out.extend(
+                g.free
+                    .iter()
+                    .filter(|v| !global_names.contains(v.as_str()))
+                    .cloned(),
+            );
+        }
+        if let Ok(plan) = &self.structure {
+            let internal_refs: BTreeSet<&str> = plan
+                .rows
+                .iter()
+                .flat_map(|r| [r.power_ref.as_deref(), r.area_ref.as_deref()])
+                .flatten()
+                .collect();
+            for w in &plan.watched {
+                out.extend(
+                    w.iter()
+                        .filter(|v| {
+                            !global_names.contains(v.as_str())
+                                && !internal_refs.contains(v.as_str())
+                        })
+                        .cloned(),
+                );
+            }
+        }
+        out
     }
 
     /// Evaluates the plan with no overrides — equivalent to
@@ -266,25 +353,7 @@ impl CompiledSheet {
         };
 
         let plan = self.structure.as_ref().map_err(Clone::clone)?;
-        plan_metrics().rows_evaluated_total.add(plan.order.len() as u64);
-        let mut power_layer = globals_scope.child();
-        let mut reports: Vec<Option<RowReport>> = vec![None; plan.rows.len()];
-        for &i in &plan.order {
-            let row = &plan.rows[i];
-            let report = evaluate_compiled_row(row, &power_layer)?;
-            if let Some(power_ref) = &row.power_ref {
-                power_layer.set(power_ref.clone(), report.power().value());
-                if let Some(area) = report.area() {
-                    let area_ref = row.area_ref.clone().expect("paired with power_ref");
-                    power_layer.set(area_ref, area.value());
-                }
-            }
-            reports[i] = Some(report);
-        }
-        let rows: Vec<RowReport> = reports
-            .into_iter()
-            .map(|r| r.expect("every row evaluated"))
-            .collect();
+        let rows = eval_rows_full(plan, &globals_scope)?;
 
         Ok(SheetReport::new(
             self.name.clone(),
@@ -394,6 +463,488 @@ impl CompiledSheet {
             .map(|slot| slot.expect("every global evaluated"))
             .collect())
     }
+
+    /// Precomputes everything about a set of override *names* that
+    /// [`CompiledSheet::eval_overridden_globals`] would otherwise redo
+    /// per play: name → global-slot resolution, the reshaped global
+    /// dependency graph, and its toposort (or the `CircularGlobals`
+    /// error every play with these names would raise). The graph shape
+    /// depends only on the names, never the values, so a sweep resolves
+    /// it once and plays each point with [`CompiledSheet::play_with_plan`].
+    ///
+    /// Duplicate names collapse to one slot (later values win, matching
+    /// [`Sheet::set_global_value`] applied in sequence).
+    pub fn override_plan(&self, names: &[&str]) -> OverridePlan {
+        let mut uniq: Vec<String> = Vec::new();
+        for &n in names {
+            if !uniq.iter().any(|u| u == n) {
+                uniq.push(n.to_owned());
+            }
+        }
+        let inner = self.build_override_inner(&uniq);
+        OverridePlan { plan_id: self.id, names: uniq, inner }
+    }
+
+    /// Mirrors the graph construction of `eval_overridden_globals`,
+    /// including its error precedence: a self-referential formula errors
+    /// first (lowest node index), then cycles surface from the toposort.
+    fn build_override_inner(
+        &self,
+        names: &[String],
+    ) -> Result<OverridePlanInner, EvaluateSheetError> {
+        let mut global_slot: Vec<Option<usize>> = vec![None; self.globals.len()];
+        let mut appended: Vec<usize> = Vec::new();
+        for (slot, name) in names.iter().enumerate() {
+            if let Some(i) = self.globals.iter().position(|g| &*g.name == name.as_str()) {
+                global_slot[i] = Some(slot);
+            } else {
+                appended.push(slot);
+            }
+        }
+        let node_count = self.globals.len() + appended.len();
+        let name_of = |k: usize| -> &str {
+            if k < self.globals.len() {
+                &self.globals[k].name
+            } else {
+                &names[appended[k - self.globals.len()]]
+            }
+        };
+        let index_of: BTreeMap<&str, usize> = (0..node_count).map(|k| (name_of(k), k)).collect();
+        let mut deps: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        for k in 0..node_count {
+            deps.entry(k).or_default();
+        }
+        for (k, (slot, g)) in global_slot.iter().zip(&self.globals).enumerate() {
+            if slot.is_some() {
+                continue; // overridden: a constant, no formula deps
+            }
+            if g.free.contains(&*g.name) {
+                return Err(EvaluateSheetError::CircularGlobals(vec![g.name.to_string()]));
+            }
+            let entry = deps.entry(k).or_default();
+            for var in &g.free {
+                if let Some(&j) = index_of.get(var.as_str()) {
+                    if j != k {
+                        entry.insert(j);
+                    }
+                }
+            }
+        }
+        let order = toposort(node_count, &deps).map_err(|cycle| {
+            EvaluateSheetError::CircularGlobals(
+                cycle.into_iter().map(|k| name_of(k).to_owned()).collect(),
+            )
+        })?;
+        Ok(OverridePlanInner { global_slot, appended, order })
+    }
+
+    /// Resolves globals through a precomputed [`OverridePlan`]; output
+    /// is identical to `eval_overridden_globals` on the corresponding
+    /// `(name, value)` pairs.
+    fn eval_globals_with_plan(
+        &self,
+        globals_scope: &mut Scope<'_>,
+        plan: &OverridePlan,
+        inner: &OverridePlanInner,
+        values: &[f64],
+    ) -> Result<Vec<(String, f64)>, EvaluateSheetError> {
+        let node_count = self.globals.len() + inner.appended.len();
+        let mut resolved: Vec<Option<(String, f64)>> = vec![None; node_count];
+        for &k in &inner.order {
+            let (name, value) = if k < self.globals.len() {
+                let g = &self.globals[k];
+                let value = match inner.global_slot[k] {
+                    Some(slot) => values[slot],
+                    None => {
+                        g.expr
+                            .eval(globals_scope)
+                            .map_err(|source| EvaluateSheetError::Global {
+                                name: g.name.to_string(),
+                                source,
+                            })?
+                    }
+                };
+                globals_scope.set(g.name.clone(), value);
+                (g.name.to_string(), value)
+            } else {
+                let slot = inner.appended[k - self.globals.len()];
+                let name = plan.names[slot].clone();
+                globals_scope.set(Arc::<str>::from(name.as_str()), values[slot]);
+                (name, values[slot])
+            };
+            resolved[k] = Some((name, value));
+        }
+        Ok(resolved
+            .into_iter()
+            .map(|slot| slot.expect("every global evaluated"))
+            .collect())
+    }
+
+    /// A full (non-incremental) play through a precomputed
+    /// [`OverridePlan`]. `values` align with [`OverridePlan::names`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`CompiledSheet::play_with`] on the
+    /// corresponding `(name, value)` pairs.
+    pub fn play_with_plan(
+        &self,
+        plan: &OverridePlan,
+        values: &[f64],
+    ) -> Result<SheetReport, EvaluateSheetError> {
+        let metrics = plan_metrics();
+        metrics.plays_total.inc();
+        let _timer = metrics.replay_seconds.start_timer();
+        assert_eq!(plan.plan_id, self.id, "override plan built for a different compiled sheet");
+        assert_eq!(values.len(), plan.names.len(), "one value per planned override name");
+        let _span = profile::span_lazy(|| format!("play {}", self.name));
+        let inner = plan.inner.as_ref().map_err(Clone::clone)?;
+        let mut globals_scope = Scope::new();
+        let resolved = self.eval_globals_with_plan(&mut globals_scope, plan, inner, values)?;
+        let rows_plan = self.structure.as_ref().map_err(Clone::clone)?;
+        let rows = eval_rows_full(rows_plan, &globals_scope)?;
+        Ok(SheetReport::new(self.name.clone(), resolved, rows))
+    }
+
+    /// Incremental replay: re-evaluates only the rows whose watched
+    /// names changed since the last successful replay recorded in
+    /// `state`, reusing the previous report for clean rows. Falls back
+    /// to a full replay when the potential dirty frontier exceeds
+    /// [`DELTA_FALLBACK_NUM`]/[`DELTA_FALLBACK_DEN`] of the rows.
+    ///
+    /// The result is bit-for-bit identical to
+    /// [`CompiledSheet::play_with`] with the same overrides. On error
+    /// `state` keeps its last successful baseline. Delta replay targets
+    /// *top-level* plays (empty parent scope); sub-sheet rows are
+    /// macro-lumped — a dirty sub-sheet row replays its whole subtree.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`CompiledSheet::play_with`].
+    pub fn replay_delta(
+        &self,
+        state: &mut ReplayState,
+        overrides: &[(&str, f64)],
+    ) -> Result<SheetReport, EvaluateSheetError> {
+        let mut names: Vec<&str> = Vec::with_capacity(overrides.len());
+        let mut values: Vec<f64> = Vec::with_capacity(overrides.len());
+        for &(name, value) in overrides {
+            if let Some(p) = names.iter().position(|&n| n == name) {
+                values[p] = value;
+            } else {
+                names.push(name);
+                values.push(value);
+            }
+        }
+        let cached = state.override_plan.as_ref().filter(|p| {
+            p.plan_id == self.id
+                && p.names.len() == names.len()
+                && p.names.iter().zip(&names).all(|(a, b)| a == b)
+        });
+        let plan = match cached {
+            Some(p) => p.clone(),
+            None => {
+                let p = Arc::new(self.override_plan(&names));
+                state.override_plan = Some(p.clone());
+                p
+            }
+        };
+        self.replay_delta_with_plan(&plan, state, &values)
+    }
+
+    /// [`CompiledSheet::replay_delta`] with the override-name resolution
+    /// already hoisted into `plan` (see [`CompiledSheet::override_plan`]).
+    /// `values` align with [`OverridePlan::names`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`CompiledSheet::play_with`].
+    pub fn replay_delta_with_plan(
+        &self,
+        plan: &OverridePlan,
+        state: &mut ReplayState,
+        values: &[f64],
+    ) -> Result<SheetReport, EvaluateSheetError> {
+        let metrics = plan_metrics();
+        metrics.delta_replays_total.inc();
+        let _timer = metrics.delta_replay_seconds.start_timer();
+        assert_eq!(plan.plan_id, self.id, "override plan built for a different compiled sheet");
+        assert_eq!(values.len(), plan.names.len(), "one value per planned override name");
+        let _span = profile::span_lazy(|| format!("delta-play {}", self.name));
+
+        let inner = plan.inner.as_ref().map_err(Clone::clone)?;
+        let mut globals_scope = Scope::new();
+        let resolved = self.eval_globals_with_plan(&mut globals_scope, plan, inner, values)?;
+        let rows_plan = self.structure.as_ref().map_err(Clone::clone)?;
+
+        // No usable baseline: full evaluation, then remember it.
+        if state.plan_id != Some(self.id) || state.report.is_none() {
+            metrics.plays_total.inc();
+            let rows = eval_rows_full(rows_plan, &globals_scope)?;
+            let report = SheetReport::new(self.name.clone(), resolved, rows);
+            state.commit(self.id, &report, rows_plan.rows.len(), DeltaOutcome::Full);
+            metrics.delta_dirty_rows.observe_value(rows_plan.rows.len() as u64);
+            return Ok(report);
+        }
+
+        let prev = state.report.as_ref().expect("checked above");
+        let prev_globals: BTreeMap<&str, f64> =
+            prev.globals().iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        let mut changed: BTreeSet<&str> = BTreeSet::new();
+        for (name, value) in &resolved {
+            match prev_globals.get(name.as_str()) {
+                Some(pv) if pv.to_bits() == value.to_bits() => {}
+                _ => {
+                    changed.insert(name);
+                }
+            }
+        }
+        if prev_globals.len() != resolved.len() {
+            let new_names: BTreeSet<&str> = resolved.iter().map(|(n, _)| n.as_str()).collect();
+            for name in prev_globals.keys() {
+                if !new_names.contains(name) {
+                    changed.insert(name);
+                }
+            }
+        }
+
+        // Memoized point: nothing changed, so the previous rows stand
+        // verbatim (the globals vector is rebuilt — its order follows
+        // this call's override plan, as a fresh play's would).
+        if changed.is_empty() {
+            metrics.delta_memo_hits_total.inc();
+            metrics.delta_dirty_rows.observe_value(0);
+            let report = SheetReport::new(self.name.clone(), resolved, prev.rows().to_vec());
+            state.commit(self.id, &report, 0, DeltaOutcome::Memo);
+            return Ok(report);
+        }
+
+        // Seed the dirty set from the watch index.
+        state.dirty.clear();
+        state.dirty.resize(rows_plan.rows.len(), false);
+        for name in &changed {
+            if let Some(watchers) = rows_plan.watchers.get(*name) {
+                for &i in watchers {
+                    state.dirty[i] = true;
+                }
+            }
+        }
+
+        // Threshold decision on the transitive closure (an upper bound:
+        // the targeted walk below stops propagating when a re-evaluated
+        // row's outputs come back bit-identical).
+        let mut closure = state.dirty.clone();
+        let mut stack: Vec<usize> = closure
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| d.then_some(i))
+            .collect();
+        let mut potential = stack.len();
+        while let Some(i) = stack.pop() {
+            for &d in &rows_plan.dependents[i] {
+                if !closure[d] {
+                    closure[d] = true;
+                    potential += 1;
+                    stack.push(d);
+                }
+            }
+        }
+        if potential * DELTA_FALLBACK_DEN > rows_plan.rows.len() * DELTA_FALLBACK_NUM {
+            metrics.delta_fallbacks_total.inc();
+            metrics.plays_total.inc();
+            let rows = eval_rows_full(rows_plan, &globals_scope)?;
+            let report = SheetReport::new(self.name.clone(), resolved, rows);
+            state.commit(self.id, &report, rows_plan.rows.len(), DeltaOutcome::Fallback);
+            metrics.delta_dirty_rows.observe_value(rows_plan.rows.len() as u64);
+            return Ok(report);
+        }
+
+        // Targeted walk in plan order; errors leave `state` at its last
+        // successful baseline (clean rows cannot error — identical
+        // inputs evaluated successfully last time).
+        let prev = state.report.take().expect("checked above");
+        match delta_walk(rows_plan, &globals_scope, &prev, &mut state.dirty) {
+            Ok((rows, evaluated)) => {
+                metrics.rows_evaluated_total.add(evaluated as u64);
+                metrics.delta_dirty_rows.observe_value(evaluated as u64);
+                let report = SheetReport::new(self.name.clone(), resolved, rows);
+                state.commit(self.id, &report, evaluated, DeltaOutcome::Incremental);
+                Ok(report)
+            }
+            Err(err) => {
+                state.report = Some(prev);
+                Err(err)
+            }
+        }
+    }
+}
+
+/// Fall back to a full replay when the potential dirty frontier exceeds
+/// `DELTA_FALLBACK_NUM / DELTA_FALLBACK_DEN` of the top-level rows: past
+/// that point the targeted walk re-evaluates nearly everything anyway
+/// and the bookkeeping is pure overhead.
+pub const DELTA_FALLBACK_NUM: usize = 3;
+/// See [`DELTA_FALLBACK_NUM`].
+pub const DELTA_FALLBACK_DEN: usize = 4;
+
+/// The override-name resolution and reshaped global plan shared by every
+/// point of a sweep — built once by [`CompiledSheet::override_plan`].
+#[derive(Debug, Clone)]
+pub struct OverridePlan {
+    plan_id: u64,
+    names: Vec<String>,
+    inner: Result<OverridePlanInner, EvaluateSheetError>,
+}
+
+impl OverridePlan {
+    /// The de-duplicated override names; values passed to
+    /// [`CompiledSheet::play_with_plan`] and
+    /// [`CompiledSheet::replay_delta_with_plan`] align with this order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+#[derive(Debug, Clone)]
+struct OverridePlanInner {
+    /// Per compiled global: the `names` slot overriding it, if any.
+    global_slot: Vec<Option<usize>>,
+    /// `names` slots that append new globals, in append order.
+    appended: Vec<usize>,
+    /// Toposorted node order (nodes: globals, then appended).
+    order: Vec<usize>,
+}
+
+/// How the last [`CompiledSheet::replay_delta`] answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeltaOutcome {
+    /// No replay recorded yet.
+    #[default]
+    None,
+    /// First play into this state: full evaluation.
+    Full,
+    /// Dirty frontier over threshold: full evaluation.
+    Fallback,
+    /// No global changed: previous rows reused verbatim.
+    Memo,
+    /// Targeted walk: only dirty rows re-evaluated.
+    Incremental,
+}
+
+/// Mutable baseline for [`CompiledSheet::replay_delta`]: the last
+/// successful report plus reusable scratch. One per worker; reuse across
+/// points of a sweep is what makes delta replay allocation-free on the
+/// clean-row path.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayState {
+    plan_id: Option<u64>,
+    report: Option<SheetReport>,
+    override_plan: Option<Arc<OverridePlan>>,
+    dirty: Vec<bool>,
+    last_dirty_rows: Option<usize>,
+    last_outcome: DeltaOutcome,
+}
+
+impl ReplayState {
+    /// An empty state; the first replay through it is a full one.
+    pub fn new() -> ReplayState {
+        ReplayState::default()
+    }
+
+    /// Top-level rows re-evaluated by the most recent replay (the full
+    /// row count on `Full`/`Fallback`, 0 on `Memo`).
+    pub fn last_dirty_rows(&self) -> Option<usize> {
+        self.last_dirty_rows
+    }
+
+    /// How the most recent replay answered.
+    pub fn last_outcome(&self) -> DeltaOutcome {
+        self.last_outcome
+    }
+
+    fn commit(&mut self, plan_id: u64, report: &SheetReport, dirty: usize, outcome: DeltaOutcome) {
+        self.plan_id = Some(plan_id);
+        self.report = Some(report.clone());
+        self.last_dirty_rows = Some(dirty);
+        self.last_outcome = outcome;
+    }
+}
+
+/// The row loop shared by full plays: evaluates every row in plan order,
+/// threading `P_`/`A_` outputs through the power layer.
+fn eval_rows_full(
+    plan: &RowsPlan,
+    globals_scope: &Scope<'_>,
+) -> Result<Vec<RowReport>, EvaluateSheetError> {
+    plan_metrics().rows_evaluated_total.add(plan.order.len() as u64);
+    let mut power_layer = globals_scope.child();
+    let mut reports: Vec<Option<RowReport>> = vec![None; plan.rows.len()];
+    for &i in &plan.order {
+        let row = &plan.rows[i];
+        let report = evaluate_compiled_row(row, &power_layer)?;
+        set_row_outputs(row, &report, &mut power_layer);
+        reports[i] = Some(report);
+    }
+    Ok(reports
+        .into_iter()
+        .map(|r| r.expect("every row evaluated"))
+        .collect())
+}
+
+/// Publishes a row's `P_`/`A_` values into the power layer.
+fn set_row_outputs(row: &CompiledRow, report: &RowReport, power_layer: &mut Scope<'_>) {
+    if let Some(power_ref) = &row.power_ref {
+        power_layer.set(power_ref.clone(), report.power().value());
+        if let Some(area) = report.area() {
+            let area_ref = row.area_ref.clone().expect("paired with power_ref");
+            power_layer.set(area_ref, area.value());
+        }
+    }
+}
+
+/// The targeted walk of an incremental replay: dirty rows re-evaluate
+/// (propagating to dependents only when their outputs actually change,
+/// compared bitwise), clean rows reuse the previous report. Scopes seen
+/// by evaluated rows are identical to a full replay's by induction, so
+/// the result is bit-for-bit the same.
+fn delta_walk(
+    plan: &RowsPlan,
+    globals_scope: &Scope<'_>,
+    prev: &SheetReport,
+    dirty: &mut [bool],
+) -> Result<(Vec<RowReport>, usize), EvaluateSheetError> {
+    let mut power_layer = globals_scope.child();
+    let mut reports: Vec<Option<RowReport>> = vec![None; plan.rows.len()];
+    let mut evaluated = 0usize;
+    for &i in &plan.order {
+        let row = &plan.rows[i];
+        let prev_row = &prev.rows()[i];
+        let report = if dirty[i] {
+            evaluated += 1;
+            let fresh = evaluate_compiled_row(row, &power_layer)?;
+            let power_changed =
+                fresh.power().value().to_bits() != prev_row.power().value().to_bits();
+            let area_changed = fresh.area().map(|a| a.value().to_bits())
+                != prev_row.area().map(|a| a.value().to_bits());
+            if power_changed || area_changed {
+                for &d in &plan.dependents[i] {
+                    dirty[d] = true;
+                }
+            }
+            fresh
+        } else {
+            prev_row.clone()
+        };
+        set_row_outputs(row, &report, &mut power_layer);
+        reports[i] = Some(report);
+    }
+    Ok((
+        reports
+            .into_iter()
+            .map(|r| r.expect("every row evaluated"))
+            .collect(),
+        evaluated,
+    ))
 }
 
 /// Plans global evaluation order for the un-overridden sheet,
@@ -487,7 +1038,7 @@ fn compile_rows(sheet: &Sheet, registry: &Registry) -> Result<RowsPlan, Evaluate
         )
     })?;
 
-    let rows = sheet
+    let rows: Vec<CompiledRow> = sheet
         .rows()
         .iter()
         .zip(&idents)
@@ -532,7 +1083,92 @@ fn compile_rows(sheet: &Sheet, registry: &Registry) -> Result<RowsPlan, Evaluate
             }
         })
         .collect();
-    Ok(RowsPlan { rows, order })
+    let WatchIndex { watched, watchers, dependents } = build_watch_index(&rows, &index_of);
+    Ok(RowsPlan { rows, order, watched, watchers, dependents })
+}
+
+/// The compile-time dirtiness machinery of a [`RowsPlan`], built by
+/// [`build_watch_index`].
+struct WatchIndex {
+    watched: Vec<BTreeSet<String>>,
+    watchers: BTreeMap<String, Vec<usize>>,
+    dependents: Vec<Vec<usize>>,
+}
+
+/// Per-row watched name sets, their inverted index, and the forward
+/// `P_`/`A_` dependency edges — the compile-time half of delta replay.
+///
+/// A row's watched set over-approximates every name it can read from the
+/// enclosing scope: free variables of its bindings, its element model's
+/// free variables (minus declared parameters — always shadowed by the
+/// seeded defaults) plus the reserved `f` rate the report captures, or a
+/// sub-sheet's external frees. Extra names cost extra re-evaluation;
+/// missing ones would cost correctness, so nothing else is subtracted.
+fn build_watch_index(rows: &[CompiledRow], index_of: &BTreeMap<&str, usize>) -> WatchIndex {
+    let watched: Vec<BTreeSet<String>> = rows
+        .iter()
+        .map(|row| {
+            let mut w = BTreeSet::new();
+            for (_, expr) in &row.bindings {
+                w.extend(expr.free_variables());
+            }
+            match &row.kind {
+                CompiledRowKind::Element(element) => {
+                    w.extend(element_model_free(element));
+                    w.retain(|v| !element.params().iter().any(|p| p.name == *v));
+                    // The report records the access rate from scope.
+                    w.insert("f".to_owned());
+                }
+                CompiledRowKind::SubSheet(sub) => {
+                    w.extend(sub.external_free());
+                }
+                // Evaluation always errors; dirtiness is irrelevant.
+                CompiledRowKind::Missing { .. } => {}
+            }
+            w
+        })
+        .collect();
+    let mut watchers: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); rows.len()];
+    for (i, w) in watched.iter().enumerate() {
+        for name in w {
+            watchers.entry(name.clone()).or_default().push(i);
+            let target = name.strip_prefix("P_").or_else(|| name.strip_prefix("A_"));
+            if let Some(&j) = target.and_then(|t| index_of.get(t)) {
+                if j != i {
+                    dependents[j].push(i);
+                }
+            }
+        }
+    }
+    for d in &mut dependents {
+        d.sort_unstable();
+        d.dedup();
+    }
+    WatchIndex { watched, watchers, dependents }
+}
+
+/// Union of the free variables of every formula in an element's model.
+fn element_model_free(element: &LibraryElement) -> BTreeSet<String> {
+    let model = element.model();
+    let mut vars = BTreeSet::new();
+    for expr in [
+        model.cap_full.as_ref(),
+        model.static_current.as_ref(),
+        model.power_direct.as_ref(),
+        model.area.as_ref(),
+        model.delay.as_ref(),
+    ]
+    .into_iter()
+    .flatten()
+    {
+        vars.extend(expr.free_variables());
+    }
+    if let Some((cap, swing)) = &model.cap_partial {
+        vars.extend(cap.free_variables());
+        vars.extend(swing.free_variables());
+    }
+    vars
 }
 
 /// Evaluates one compiled row against the scope holding globals and the

@@ -24,7 +24,11 @@ pub struct RowReport {
     energy_per_op: Option<Energy>,
     area: Option<Area>,
     delay: Option<Time>,
-    sub: Option<Box<SheetReport>>,
+    /// Shared, not boxed: sub-sheet trees can be large (the InfoPad's
+    /// Custom Hardware nests the whole Figure 3 decoder), and delta
+    /// replay re-emits clean rows verbatim every point — an `Arc` makes
+    /// that reuse a reference-count bump instead of a deep copy.
+    sub: Option<Arc<SheetReport>>,
 }
 
 impl RowReport {
@@ -70,7 +74,7 @@ impl RowReport {
             energy_per_op: None,
             area: sub.total_area(),
             delay: None,
-            sub: Some(Box::new(sub)),
+            sub: Some(Arc::new(sub)),
         }
     }
 

@@ -5,13 +5,20 @@
 //! and supply voltages can be varied dynamically" — these helpers are the
 //! programmatic form of turning those knobs.
 //!
-//! Every helper compiles the sheet to a [`CompiledSheet`] once and then
-//! replays the plan per point, dispatching points across a scoped worker
-//! pool. Results are returned in input order and, per point, are
-//! bit-identical to the serial reference implementations (kept as
-//! `*_serial` for benchmarking and as oracles); on failure the error
-//! reported is the one the earliest point in input order produced.
+//! Every helper compiles the sheet to a [`CompiledSheet`] once, hoists
+//! the override-name resolution into one [`crate::plan::OverridePlan`]
+//! per sweep, and replays points *incrementally*: each worker owns a
+//! reusable [`ReplayState`] and goes through
+//! [`CompiledSheet::replay_delta_with_plan`], so a point re-evaluates
+//! only the rows its changed globals actually reach. Identical points
+//! (sensitivity sweeps revisiting a base) are deduplicated before
+//! dispatch and answered from the first evaluation. Results are
+//! returned in input order and, per point, are bit-identical to the
+//! serial reference implementations (kept as `*_serial` for
+//! benchmarking and as oracles); on failure the error reported is the
+//! one the earliest point in input order produced.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -20,7 +27,7 @@ use powerplay_telemetry::{Counter, Gauge, Histogram};
 use powerplay_units::{Power, Voltage};
 
 use crate::engine::EvaluateSheetError;
-use crate::plan::CompiledSheet;
+use crate::plan::{CompiledSheet, ReplayState};
 use crate::report::SheetReport;
 use crate::sheet::Sheet;
 
@@ -29,6 +36,8 @@ struct WhatifMetrics {
     task_seconds: Histogram,
     points_total: Counter,
     queue_depth: Gauge,
+    memo_hits_total: Counter,
+    memo_misses_total: Counter,
 }
 
 fn whatif_metrics() -> &'static WhatifMetrics {
@@ -48,6 +57,14 @@ fn whatif_metrics() -> &'static WhatifMetrics {
                 "powerplay_whatif_queue_depth",
                 "What-if points accepted but not yet claimed by a worker",
             ),
+            memo_hits_total: g.counter(
+                "powerplay_whatif_memo_hits_total",
+                "Sweep points answered from an identical already-evaluated point",
+            ),
+            memo_misses_total: g.counter(
+                "powerplay_whatif_memo_misses_total",
+                "Sweep points that had to be evaluated",
+            ),
         }
     })
 }
@@ -65,21 +82,42 @@ fn worker_count() -> usize {
 /// pairs are scattered back after the join, which keeps the output
 /// deterministic regardless of scheduling. Falls back to a plain serial
 /// map for a single item or a single-core host.
+#[cfg(test)]
 fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_with(items, || (), |(), item| f(item))
+}
+
+/// [`parallel_map`] with per-worker mutable state: every worker builds
+/// one `S` with `init` when it starts and threads it through all the
+/// items it claims. This is how sweep workers reuse a [`ReplayState`]
+/// (and the delta baseline inside it) across points instead of paying a
+/// full replay and fresh allocations per point.
+///
+/// The per-point *results* must not depend on claim order for the output
+/// to stay deterministic — delta replay guarantees that (bit-for-bit
+/// equal to a full replay regardless of the baseline).
+fn parallel_map_with<T, R, S, I, F>(items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
     let metrics = whatif_metrics();
     metrics.points_total.add(items.len() as u64);
     let workers = worker_count().min(items.len());
     if workers <= 1 {
+        let mut state = init();
         return items
             .iter()
             .map(|item| {
                 let _timer = metrics.task_seconds.start_timer();
-                f(item)
+                f(&mut state, item)
             })
             .collect();
     }
@@ -89,13 +127,14 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|_| {
+                    let mut state = init();
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
                         metrics.queue_depth.sub(1);
                         let timer = metrics.task_seconds.start_timer();
-                        out.push((i, f(item)));
+                        out.push((i, f(&mut state, item)));
                         timer.stop();
                     }
                     out
@@ -159,6 +198,12 @@ pub fn sweep_global(
 /// sweep endpoint uses so repeated sweeps of the same design skip
 /// recompilation.
 ///
+/// The override-name resolution is hoisted into one
+/// [`crate::plan::OverridePlan`] for the whole sweep, duplicate values
+/// are evaluated once (cross-point memoization, counted in
+/// `powerplay_whatif_memo_*`), and each worker replays points
+/// incrementally through a reused [`ReplayState`].
+///
 /// # Errors
 ///
 /// Returns the [`EvaluateSheetError`] of the first failing value in
@@ -168,11 +213,49 @@ pub fn sweep_compiled(
     global: &str,
     values: &[f64],
 ) -> Result<Vec<(f64, SheetReport)>, EvaluateSheetError> {
-    let reports = parallel_map(values, |&value| plan.play_with(&[(global, value)]));
+    let metrics = whatif_metrics();
+    let override_plan = plan.override_plan(&[global]);
+
+    // Deduplicate points by exact bit pattern; duplicates are answered
+    // from the first occurrence's report after the join (deterministic,
+    // and identical to evaluating them — replay is a pure function of
+    // the override tuple).
+    let mut slot_by_bits: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut unique: Vec<f64> = Vec::new();
+    let mut slot_of: Vec<usize> = Vec::with_capacity(values.len());
+    for &value in values {
+        match slot_by_bits.get(&value.to_bits()) {
+            Some(&slot) => {
+                metrics.memo_hits_total.inc();
+                slot_of.push(slot);
+            }
+            None => {
+                metrics.memo_misses_total.inc();
+                slot_by_bits.insert(value.to_bits(), unique.len());
+                slot_of.push(unique.len());
+                unique.push(value);
+            }
+        }
+    }
+
+    let results = parallel_map_with(&unique, ReplayState::new, |state, &value| {
+        plan.replay_delta_with_plan(&override_plan, state, &[value])
+    });
+    if unique.len() == values.len() {
+        // No duplicates: hand the reports over without cloning.
+        return values
+            .iter()
+            .zip(results)
+            .map(|(&value, report)| Ok((value, report?)))
+            .collect();
+    }
     values
         .iter()
-        .zip(reports)
-        .map(|(&value, report)| Ok((value, report?)))
+        .zip(&slot_of)
+        .map(|(&value, &slot)| match &results[slot] {
+            Ok(report) => Ok((value, report.clone())),
+            Err(err) => Err(err.clone()),
+        })
         .collect()
 }
 
@@ -217,6 +300,19 @@ pub fn sensitivities(
     registry: &Registry,
 ) -> Result<Vec<(String, f64)>, EvaluateSheetError> {
     let plan = CompiledSheet::compile(sheet, registry);
+    sensitivities_compiled(&plan)
+}
+
+/// [`sensitivities`] over an already compiled plan — what the web app's
+/// sensitivities endpoint uses so repeated analyses of a cached design
+/// skip recompilation.
+///
+/// # Errors
+///
+/// Returns the first [`EvaluateSheetError`] encountered.
+pub fn sensitivities_compiled(
+    plan: &CompiledSheet,
+) -> Result<Vec<(String, f64)>, EvaluateSheetError> {
     let base = plan.play()?;
     let p0 = base.total_power().value();
     let probes: Vec<(String, f64)> = base
@@ -227,15 +323,17 @@ pub fn sensitivities(
         .collect();
     // One worker task per global; the up/down pair stays together so the
     // first error for a global is its upward perturbation's, exactly as
-    // in the serial loop.
-    let results = parallel_map(&probes, |(name, value)| {
+    // in the serial loop. The down perturbation replays incrementally
+    // from the up perturbation's state (same override name, so the
+    // cached per-name plan is reused too).
+    let results = parallel_map_with(&probes, ReplayState::new, |state, (name, value)| {
         let h = 0.01 * value;
         let p_up = plan
-            .play_with(&[(name.as_str(), value + h)])?
+            .replay_delta(state, &[(name.as_str(), value + h)])?
             .total_power()
             .value();
         let p_down = plan
-            .play_with(&[(name.as_str(), value - h)])?
+            .replay_delta(state, &[(name.as_str(), value - h)])?
             .total_power()
             .value();
         let dp_dx = (p_up - p_down) / (2.0 * h);
@@ -272,23 +370,27 @@ pub fn min_vdd_meeting_timing(
     vdd_max: Voltage,
 ) -> Result<Option<(Voltage, SheetReport)>, EvaluateSheetError> {
     let plan = CompiledSheet::compile(sheet, registry);
+    let override_plan = plan.override_plan(&["vdd"]);
     let meets_timing = |report: &SheetReport| {
         report.rows().iter().all(|row| match (row.delay(), row.rate()) {
             (Some(delay), Some(rate)) if rate > 0.0 => delay.value() <= 1.0 / rate,
             _ => true,
         })
     };
-    let probe = |vdd: f64| -> Result<(bool, SheetReport), EvaluateSheetError> {
-        let report = plan.play_with(&[("vdd", vdd)])?;
+    let probe = |state: &mut ReplayState,
+                 vdd: f64|
+     -> Result<(bool, SheetReport), EvaluateSheetError> {
+        let report = plan.replay_delta_with_plan(&override_plan, state, &[vdd])?;
         let ok = meets_timing(&report);
         Ok((ok, report))
     };
 
-    let (ok_max, report_max) = probe(vdd_max.value())?;
+    let mut bracket_state = ReplayState::new();
+    let (ok_max, report_max) = probe(&mut bracket_state, vdd_max.value())?;
     if !ok_max {
         return Ok(None);
     }
-    let (ok_min, report_min) = probe(vdd_min.value())?;
+    let (ok_min, report_min) = probe(&mut bracket_state, vdd_min.value())?;
     if ok_min {
         return Ok(Some((Voltage::new(vdd_min.value()), report_min)));
     }
@@ -306,7 +408,8 @@ pub fn min_vdd_meeting_timing(
         if probes.is_empty() || step == 0.0 {
             break;
         }
-        let outcomes = parallel_map(&probes, |&vdd| probe(vdd));
+        let outcomes =
+            parallel_map_with(&probes, ReplayState::new, |state, &vdd| probe(state, vdd));
         // Timing degrades monotonically as the supply drops, so the
         // lowest passing probe bounds the answer from above and its left
         // neighbour bounds it from below.
@@ -412,25 +515,33 @@ pub fn monte_carlo(
     assert!(rel > 0.0 && rel < 1.0, "relative perturbation must be in (0, 1)");
     let plan = CompiledSheet::compile(sheet, registry);
     let base = plan.play()?;
+    // Globals absent from the report draw nothing; resolve the present
+    // set once so every trial perturbs the same names and one hoisted
+    // override plan covers the whole study.
+    let present: Vec<(&str, f64)> = globals
+        .iter()
+        .filter_map(|name| base.global(name).map(|value| (*name, value)))
+        .collect();
+    let names: Vec<&str> = present.iter().map(|(name, _)| *name).collect();
+    let override_plan = plan.override_plan(&names);
     // Draw every trial's perturbations serially first — the RNG stream
     // (and so the sampled distribution for a given seed) is independent
     // of how the evaluations are later scheduled.
     let mut rng = StdRng::seed_from_u64(seed);
-    let overrides: Vec<Vec<(&str, f64)>> = (0..trials)
+    let trial_values: Vec<Vec<f64>> = (0..trials)
         .map(|_| {
-            globals
+            present
                 .iter()
-                .filter_map(|name| {
-                    base.global(name).map(|value| {
-                        let factor: f64 = rng.gen_range(1.0 - rel..1.0 + rel);
-                        (*name, value * factor)
-                    })
+                .map(|(_, value)| {
+                    let factor: f64 = rng.gen_range(1.0 - rel..1.0 + rel);
+                    value * factor
                 })
                 .collect()
         })
         .collect();
-    let results = parallel_map(&overrides, |trial| {
-        plan.play_with(trial).map(|r| r.total_power().value())
+    let results = parallel_map_with(&trial_values, ReplayState::new, |state, trial| {
+        plan.replay_delta_with_plan(&override_plan, state, trial)
+            .map(|r| r.total_power().value())
     });
     let mut samples = results
         .into_iter()
@@ -607,6 +718,39 @@ mod tests {
         let items: Vec<usize> = (0..257).collect();
         let out = parallel_map(&items, |&i| i * 3);
         assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_memoizes_duplicate_points() {
+        let lib = ucb_library();
+        let s = sheet();
+        let plan = CompiledSheet::compile(&s, &lib);
+        let metrics = whatif_metrics();
+        let hits_before = metrics.memo_hits_total.get();
+        // 2.0 appears three times; the duplicates must be memo hits and
+        // the output must still match the straightforward sweep.
+        let values = [1.0, 2.0, 2.0, 3.0, 2.0];
+        let memoized = sweep_compiled(&plan, "vdd", &values).unwrap();
+        assert!(metrics.memo_hits_total.get() >= hits_before + 2);
+        let reference = sweep_global_serial(&s, &lib, "vdd", &values).unwrap();
+        assert_eq!(memoized, reference);
+    }
+
+    #[test]
+    fn sweep_memoized_error_is_shared_across_duplicates() {
+        let lib = ucb_library();
+        let mut s = Sheet::new("s");
+        s.set_global("vdd", "1.5").unwrap();
+        s.set_global("f", "2MHz").unwrap();
+        s.add_element_row("W", "ucb/wire", [("length_mm", "vdd")])
+            .unwrap();
+        // The duplicate failing point must surface the same error the
+        // serial oracle reports for the earliest failure in input order.
+        let values = [1.0, -4.0, -4.0, -9.0];
+        let plan = CompiledSheet::compile(&s, &lib);
+        let memoized = sweep_compiled(&plan, "vdd", &values).unwrap_err();
+        let serial = sweep_global_serial(&s, &lib, "vdd", &values).unwrap_err();
+        assert_eq!(memoized, serial);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use powerplay_expr::Scope;
 use powerplay_library::builtin::ucb_library;
 use powerplay_library::Registry;
-use powerplay_sheet::{CompiledSheet, Row, RowModel, Sheet};
+use powerplay_sheet::{CompiledSheet, DeltaOutcome, ReplayState, Row, RowModel, Sheet};
 
 /// A random small design over a handful of builtin elements, with
 /// per-row rate dividers so rows exercise distinct operating points.
@@ -211,6 +211,72 @@ proptest! {
         prop_assert_eq!(plan.play(), broken.play(&library));
     }
 
+    /// Incremental replay is bit-for-bit the full replay, for every
+    /// override set in a random sequence applied through one reused
+    /// `ReplayState`. Sequences mix small deltas (one global) with
+    /// broad ones (`vdd` dirties every row, forcing the threshold
+    /// fallback), so the incremental, fallback, and memo paths all mix
+    /// with stale baselines from earlier points.
+    #[test]
+    fn replay_delta_matches_full_replay_across_sequences(
+        sheet in arb_sheet(),
+        sequence in prop::collection::vec(arb_overrides(), 1..6),
+    ) {
+        let library = lib();
+        let mut sheet = sheet;
+        // Chain a converter onto the first row's power so dirty
+        // propagation across `P_` references is exercised.
+        sheet
+            .add_element_row("Chained Conv", "ucb/dcdc", [("p_load", "P_row_0 * 1.25")])
+            .unwrap();
+        let plan = CompiledSheet::compile(&sheet, &library);
+        let mut state = ReplayState::new();
+        for overrides in &sequence {
+            let ov: Vec<(&str, f64)> = overrides.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+            prop_assert_eq!(plan.replay_delta(&mut state, &ov), plan.play_with(&ov));
+        }
+    }
+
+    /// Delta replay surfaces the exact same errors as a full replay on
+    /// defective sheets, and a `ReplayState` that saw an error keeps
+    /// serving correct results afterwards.
+    #[test]
+    fn replay_delta_matches_full_replay_on_defective_sheets(
+        sheet in arb_sheet(),
+        defect in 0u32..4,
+        sequence in prop::collection::vec(arb_overrides(), 1..5),
+    ) {
+        let library = lib();
+        let mut broken = sheet;
+        match defect {
+            0 => {
+                broken.set_global("a", "b + 1").unwrap();
+                broken.set_global("b", "a * 2").unwrap();
+            }
+            1 => {
+                broken.add_element_row("Ghost", "nowhere/nothing", []).unwrap();
+            }
+            2 => {
+                broken.add_element_row("Twin Row", "ucb/register", []).unwrap();
+                broken.add_element_row("twin-row", "ucb/register", []).unwrap();
+            }
+            _ => {
+                broken
+                    .add_element_row("Loop A", "ucb/dcdc", [("p_load", "P_loop_b")])
+                    .unwrap();
+                broken
+                    .add_element_row("Loop B", "ucb/dcdc", [("p_load", "P_loop_a")])
+                    .unwrap();
+            }
+        }
+        let plan = CompiledSheet::compile(&broken, &library);
+        let mut state = ReplayState::new();
+        for overrides in &sequence {
+            let ov: Vec<(&str, f64)> = overrides.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+            prop_assert_eq!(plan.replay_delta(&mut state, &ov), plan.play_with(&ov));
+        }
+    }
+
     /// Doubling the global rate doubles dynamic power for rate-derived
     /// rows (the engine threads `f` correctly through bindings).
     #[test]
@@ -222,4 +288,81 @@ proptest! {
         let doubled = faster.play(&lib()).unwrap().total_power().value();
         prop_assert!((doubled / base - 2.0).abs() < 1e-9);
     }
+}
+
+/// A three-row sheet where the `duty` global feeds exactly one row,
+/// whose power feeds a converter — the delta replay showcase.
+fn chained_sheet() -> Sheet {
+    let mut sheet = Sheet::new("chained");
+    sheet.set_global_value("vdd", 1.5);
+    sheet.set_global_value("f", 1e6);
+    sheet.set_global_value("duty", 0.5);
+    sheet.add_element_row("Load", "ucb/register", [("bits", "16")]).unwrap();
+    sheet.add_element_row("Amp", "ucb/dcdc", [("p_load", "duty * 2")]).unwrap();
+    sheet
+        .add_element_row("Conv", "ucb/dcdc", [("p_load", "P_amp + P_load")])
+        .unwrap();
+    sheet
+}
+
+#[test]
+fn single_global_delta_touches_only_dependent_rows() {
+    let library = lib();
+    let sheet = chained_sheet();
+    let plan = CompiledSheet::compile(&sheet, &library);
+    let mut state = ReplayState::new();
+
+    let first = plan.replay_delta(&mut state, &[]).unwrap();
+    assert_eq!(state.last_outcome(), DeltaOutcome::Full);
+    assert_eq!(Ok(first), plan.play());
+
+    // `duty` feeds Amp; Amp's power feeds Conv; Load stays clean.
+    let delta = plan.replay_delta(&mut state, &[("duty", 0.8)]).unwrap();
+    assert_eq!(state.last_outcome(), DeltaOutcome::Incremental);
+    assert_eq!(state.last_dirty_rows(), Some(2));
+    assert!(state.last_dirty_rows().unwrap() < plan.row_count());
+    assert_eq!(Ok(delta), plan.play_with(&[("duty", 0.8)]));
+
+    // Same point again: memoized, zero rows evaluated.
+    let memo = plan.replay_delta(&mut state, &[("duty", 0.8)]).unwrap();
+    assert_eq!(state.last_outcome(), DeltaOutcome::Memo);
+    assert_eq!(state.last_dirty_rows(), Some(0));
+    assert_eq!(Ok(memo), plan.play_with(&[("duty", 0.8)]));
+}
+
+#[test]
+fn broad_delta_falls_back_to_full_replay() {
+    let library = lib();
+    let sheet = chained_sheet();
+    let plan = CompiledSheet::compile(&sheet, &library);
+    let mut state = ReplayState::new();
+    plan.replay_delta(&mut state, &[]).unwrap();
+
+    // `f` is watched by every element row (the report captures the
+    // access rate): the dirty closure covers the whole sheet and the
+    // threshold sends this through the full-replay path.
+    let report = plan.replay_delta(&mut state, &[("f", 2e6)]).unwrap();
+    assert_eq!(state.last_outcome(), DeltaOutcome::Fallback);
+    assert_eq!(Ok(report), plan.play_with(&[("f", 2e6)]));
+
+    // And the state remains a valid baseline for the next small delta.
+    let next = plan.replay_delta(&mut state, &[("f", 2e6), ("duty", 0.1)]).unwrap();
+    assert_eq!(state.last_outcome(), DeltaOutcome::Incremental);
+    assert_eq!(Ok(next), plan.play_with(&[("f", 2e6), ("duty", 0.1)]));
+}
+
+#[test]
+fn replay_state_survives_plan_swap() {
+    let library = lib();
+    let plan_a = CompiledSheet::compile(&chained_sheet(), &library);
+    let mut other = chained_sheet();
+    other.set_global_value("duty", 0.25);
+    let plan_b = CompiledSheet::compile(&other, &library);
+
+    // A state filled by one plan is rebuilt, not misread, by another.
+    let mut state = ReplayState::new();
+    plan_a.replay_delta(&mut state, &[]).unwrap();
+    let fresh = plan_b.replay_delta(&mut state, &[]).unwrap();
+    assert_eq!(state.last_outcome(), DeltaOutcome::Full);
+    assert_eq!(Ok(fresh), plan_b.play());
 }

@@ -35,6 +35,6 @@ pub mod profile;
 mod registry;
 mod snapshot;
 
-pub use metrics::{enabled, set_enabled, Counter, Gauge, Histogram, Timer, BUCKETS};
+pub use metrics::{enabled, set_enabled, Counter, Gauge, Histogram, HistogramUnit, Timer, BUCKETS};
 pub use registry::{global, Registry};
 pub use snapshot::{HistogramSnapshot, TelemetrySnapshot};

@@ -108,21 +108,59 @@ impl Gauge {
 /// overflow (`+Inf`) bucket.
 pub const BUCKETS: usize = 40;
 
+/// What a histogram's raw `u64` observations mean, which fixes how its
+/// bucket bounds and sum are rendered on exposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HistogramUnit {
+    /// Observations are nanoseconds; bounds and sums render in seconds.
+    #[default]
+    Seconds,
+    /// Observations are plain counts (rows, items); bounds and sums
+    /// render verbatim.
+    Count,
+}
+
+impl HistogramUnit {
+    /// Upper bound of finite bucket `i`, in this unit's rendered scale.
+    pub(crate) fn bucket_le(self, i: usize) -> f64 {
+        match self {
+            HistogramUnit::Seconds => (1u64 << i) as f64 * 1e-9,
+            HistogramUnit::Count => (1u64 << i) as f64,
+        }
+    }
+
+    /// A raw observation sum in this unit's rendered scale.
+    pub(crate) fn scale_sum(self, raw: u64) -> f64 {
+        match self {
+            HistogramUnit::Seconds => raw as f64 * 1e-9,
+            HistogramUnit::Count => raw as f64,
+        }
+    }
+}
+
 #[derive(Debug)]
 pub(crate) struct HistogramCore {
     buckets: [AtomicU64; BUCKETS],
     overflow: AtomicU64,
     count: AtomicU64,
     sum_ns: AtomicU64,
+    pub(crate) unit: HistogramUnit,
 }
 
 impl Default for HistogramCore {
     fn default() -> HistogramCore {
+        HistogramCore::with_unit(HistogramUnit::Seconds)
+    }
+}
+
+impl HistogramCore {
+    pub(crate) fn with_unit(unit: HistogramUnit) -> HistogramCore {
         HistogramCore {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             overflow: AtomicU64::new(0),
             count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
+            unit,
         }
     }
 }
@@ -139,6 +177,11 @@ impl Histogram {
     /// A histogram detached from any registry (tests, scratch use).
     pub fn detached() -> Histogram {
         Histogram(Arc::new(HistogramCore::default()))
+    }
+
+    /// A detached histogram whose observations are plain counts.
+    pub fn detached_values() -> Histogram {
+        Histogram(Arc::new(HistogramCore::with_unit(HistogramUnit::Count)))
     }
 
     /// Index of the finite bucket for `ns`, or `BUCKETS` for overflow.
@@ -171,6 +214,13 @@ impl Histogram {
         self.observe_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
     }
 
+    /// Records a plain-count observation (same bucketing as
+    /// [`Histogram::observe_ns`]; the unit only changes how bounds and
+    /// sums render on exposition).
+    pub fn observe_value(&self, v: u64) {
+        self.observe_ns(v);
+    }
+
     /// Starts an RAII timer that observes its elapsed time on drop.
     /// When telemetry is disabled the timer never reads the clock.
     pub fn start_timer(&self) -> Timer {
@@ -188,6 +238,17 @@ impl Histogram {
     /// Sum of observations, in seconds.
     pub fn sum_seconds(&self) -> f64 {
         self.0.sum_ns.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+
+    /// Sum of observations in the histogram's rendered unit (seconds
+    /// for latency histograms, raw counts for value histograms).
+    pub fn sum_in_unit(&self) -> f64 {
+        self.0.unit.scale_sum(self.0.sum_ns.load(Ordering::Relaxed))
+    }
+
+    /// The unit this histogram renders in.
+    pub(crate) fn unit(&self) -> HistogramUnit {
+        self.0.unit
     }
 
     /// Non-cumulative per-bucket counts plus the overflow count.
@@ -223,10 +284,6 @@ impl Drop for Timer {
     }
 }
 
-/// Upper bound of finite bucket `i`, in seconds.
-pub(crate) fn bucket_le_seconds(i: usize) -> f64 {
-    (1u64 << i) as f64 * 1e-9
-}
 
 /// Tests toggling the global [`ENABLED`] switch write-lock this; tests
 /// that record observations read-lock it, so a parallel test run never

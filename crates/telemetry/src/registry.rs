@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use std::sync::{OnceLock, RwLock};
 
 use crate::metrics::{
-    bucket_le_seconds, Counter, CounterCore, Gauge, GaugeCore, Histogram, HistogramCore, BUCKETS,
+    Counter, CounterCore, Gauge, GaugeCore, Histogram, HistogramCore, HistogramUnit, BUCKETS,
 };
 use crate::snapshot::{HistogramSnapshot, TelemetrySnapshot};
 
@@ -169,6 +169,32 @@ impl Registry {
         )
     }
 
+    /// Registers (or fetches) a histogram whose observations are plain
+    /// counts (rows, items) rather than nanoseconds; its bucket bounds
+    /// and sum render verbatim on exposition instead of in seconds.
+    pub fn value_histogram(&self, name: &str, help: &str) -> Histogram {
+        self.value_histogram_with(name, &[], help)
+    }
+
+    /// Registers (or fetches) a labelled count-valued histogram series.
+    pub fn value_histogram_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Histogram {
+        self.register(
+            name,
+            labels,
+            help,
+            Kind::Histogram,
+            || {
+                Series::Histogram(std::sync::Arc::new(HistogramCore::with_unit(
+                    HistogramUnit::Count,
+                )))
+            },
+            |s| match s {
+                Series::Histogram(core) => Some(Histogram(core.clone())),
+                _ => None,
+            },
+        )
+    }
+
     /// Renders every registered series in the Prometheus text exposition
     /// format (version 0.0.4) — the body of `GET /metrics`.
     ///
@@ -194,6 +220,7 @@ impl Registry {
                     }
                     Series::Histogram(core) => {
                         let h = Histogram(core.clone());
+                        let unit = h.unit();
                         let (buckets, overflow) = h.bucket_counts();
                         let first = buckets.iter().position(|&c| c > 0).unwrap_or(BUCKETS);
                         let last = buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
@@ -205,7 +232,7 @@ impl Registry {
                             }
                             out.push_str(&format!(
                                 "{name}_bucket{} {cumulative}\n",
-                                merge_le(labels, bucket_le_seconds(i)),
+                                merge_le(labels, unit.bucket_le(i)),
                             ));
                         }
                         let _ = overflow; // +Inf == count, by construction
@@ -214,7 +241,7 @@ impl Registry {
                             merge_le_inf(labels),
                             h.count()
                         ));
-                        out.push_str(&format!("{name}_sum{labels} {:e}\n", h.sum_seconds()));
+                        out.push_str(&format!("{name}_sum{labels} {:e}\n", h.sum_in_unit()));
                         out.push_str(&format!("{name}_count{labels} {}\n", h.count()));
                     }
                 }
@@ -239,19 +266,20 @@ impl Registry {
                     }
                     Series::Histogram(core) => {
                         let h = Histogram(core.clone());
+                        let unit = h.unit();
                         let (buckets, overflow) = h.bucket_counts();
                         let mut cumulative = Vec::with_capacity(BUCKETS + 1);
                         let mut acc = 0u64;
                         for (i, &count) in buckets.iter().enumerate() {
                             acc += count;
-                            cumulative.push((bucket_le_seconds(i), acc));
+                            cumulative.push((unit.bucket_le(i), acc));
                         }
                         acc += overflow;
                         cumulative.push((f64::INFINITY, acc));
                         snap.histograms.push(HistogramSnapshot {
                             name: series_name,
                             count: h.count(),
-                            sum_seconds: h.sum_seconds(),
+                            sum_seconds: h.sum_in_unit(),
                             buckets: cumulative,
                         });
                     }
@@ -344,6 +372,25 @@ mod tests {
             .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
             .collect();
         assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn value_histogram_buckets_render_as_counts() {
+        let _on = ENABLED_TEST_LOCK.read().unwrap();
+        let r = Registry::new();
+        let h = r.value_histogram("dirty_rows", "rows touched per delta");
+        h.observe_value(3); // bucket 2 (le 4)
+        h.observe_value(100); // bucket 7 (le 128)
+        let text = r.prometheus();
+        assert!(text.contains("# TYPE dirty_rows histogram"), "{text}");
+        // Bounds are raw counts, not 1e-9-scaled seconds.
+        assert!(text.contains("dirty_rows_bucket{le=\"4e0\"} 1"), "{text}");
+        assert!(text.contains("dirty_rows_bucket{le=\"1.28e2\"} 2"), "{text}");
+        assert!(text.contains("dirty_rows_sum 1.03e2"), "{text}");
+        let snap = r.snapshot();
+        let hist = snap.histogram("dirty_rows").unwrap();
+        assert_eq!(hist.sum_seconds, 103.0);
+        assert_eq!(hist.buckets[2], (4.0, 1));
     }
 
     #[test]

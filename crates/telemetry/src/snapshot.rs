@@ -9,9 +9,11 @@ pub struct HistogramSnapshot {
     pub name: String,
     /// Total observations.
     pub count: u64,
-    /// Sum of observations, seconds.
+    /// Sum of observations in the histogram's rendered unit — seconds
+    /// for latency histograms, raw values for count-valued histograms.
     pub sum_seconds: f64,
-    /// `(le_seconds, cumulative_count)`, ending with `(+Inf, count)`.
+    /// `(le, cumulative_count)` in the histogram's rendered unit,
+    /// ending with `(+Inf, count)`.
     pub buckets: Vec<(f64, u64)>,
 }
 

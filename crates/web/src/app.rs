@@ -16,6 +16,7 @@ use powerplay_sheet::{RowModel, Sheet, SheetReport};
 use powerplay_telemetry::{profile, Counter, Gauge, Histogram};
 use powerplay_units::format;
 
+use crate::cache::{self, PlanCache};
 use crate::html;
 use crate::http::urlencoded::{encode, encode_pairs};
 use crate::http::{Method, Request, Response, Server, ServerHandle, Status};
@@ -71,10 +72,17 @@ fn http_metrics() -> &'static HttpMetrics {
     })
 }
 
+/// Compiled plans the app keeps warm; a handful of designs per active
+/// user, far beyond what one 1996-scale instance needs.
+const PLAN_CACHE_CAPACITY: usize = 32;
+
 /// The application: a shared model registry plus the user store.
 pub struct PowerPlayApp {
     registry: RwLock<Registry>,
     store: UserStore,
+    /// Compiled plans + `/api/design` bodies keyed by design content
+    /// hash and registry generation (see [`crate::cache`]).
+    plan_cache: PlanCache,
     /// HTTP Basic credentials; `None` = open access (the public Berkeley
     /// instance), `Some` = "password-restricted access" per the paper's
     /// protection section.
@@ -92,6 +100,7 @@ impl PowerPlayApp {
         Arc::new(PowerPlayApp {
             registry: RwLock::new(registry),
             store: UserStore::open(data_dir).expect("create data directory"),
+            plan_cache: PlanCache::new(PLAN_CACHE_CAPACITY),
             credentials: None,
         })
     }
@@ -115,6 +124,7 @@ impl PowerPlayApp {
         Arc::new(PowerPlayApp {
             registry: RwLock::new(registry),
             store: UserStore::open(data_dir).expect("create data directory"),
+            plan_cache: PlanCache::new(PLAN_CACHE_CAPACITY),
             credentials: Some(credentials),
         })
     }
@@ -213,6 +223,7 @@ impl PowerPlayApp {
             (Method::Get, "/api/library") => Ok(self.api_library()),
             (Method::Get, "/api/element") => self.api_element(req),
             (Method::Get, "/api/design") => self.api_design(req),
+            (Method::Post, "/api/design") => self.api_design_post(req),
             (Method::Get, "/api/lint") => self.api_lint_get(req),
             (Method::Post, "/api/lint") => self.api_lint_post(req),
             (Method::Get, "/api/sweep") => self.api_sweep(req),
@@ -1207,17 +1218,25 @@ errs conservatively high.</p>";
         let global = req
             .query_param("global")
             .ok_or_else(|| Self::bad("missing `global`"))?;
-        let values: Vec<f64> = req
+        let raw_values = req
             .query_param("values")
-            .ok_or_else(|| Self::bad("missing `values`"))?
+            .ok_or_else(|| Self::bad("missing `values`"))?;
+        let values: Vec<f64> = raw_values
             .split(',')
             .map(|v| v.trim().parse().map_err(|_| Self::bad(format!("bad value `{v}`"))))
             .collect::<Result<_, _>>()?;
         let sheet = self.load_design(&user, &design)?;
-        // Compile while holding the registry lock, then release it: the
-        // plan owns shared handles to the elements it needs, so the
-        // (parallel) evaluation below never blocks library edits.
-        let plan = powerplay_sheet::CompiledSheet::compile(&sheet, &self.registry.read());
+        // The curve depends on the swept global and values as well as
+        // the design, so they are folded into the ETag; the plan cache
+        // itself is keyed on the design alone, so a vdd sweep and an f
+        // sweep of one design share the compiled plan.
+        let key = self.design_key(&sheet);
+        let extra = format!("sweep\u{0}{global}\u{0}{raw_values}");
+        let etag = PlanCache::etag(cache::fnv1a_continue(key, extra.as_bytes()));
+        if let Some(not_modified) = Self::not_modified(req, &etag) {
+            return Ok(not_modified);
+        }
+        let plan = self.plan_for(key, &sheet);
         let curve = powerplay_sheet::whatif::sweep_compiled(&plan, &global, &values)
             .map_err(|e| Self::bad_play(&e))?;
         let series: Json = curve
@@ -1229,9 +1248,11 @@ errs conservatively high.</p>";
                 ])
             })
             .collect();
-        Ok(Response::json(
+        let mut response = Response::json(
             Json::object([("global", Json::from(global)), ("series", series)]).to_string(),
-        ))
+        );
+        response.set_header("ETag", &etag);
+        Ok(response)
     }
 
     /// `/api/sensitivities?user=&name=` — relative sensitivity of total
@@ -1243,7 +1264,13 @@ errs conservatively high.</p>";
             .query_param("name")
             .ok_or_else(|| Self::bad("missing `name`"))?;
         let sheet = self.load_design(&user, &design)?;
-        let sens = powerplay_sheet::whatif::sensitivities(&sheet, &self.registry.read())
+        let key = self.design_key(&sheet);
+        let etag = PlanCache::etag(cache::fnv1a_continue(key, b"sensitivities"));
+        if let Some(not_modified) = Self::not_modified(req, &etag) {
+            return Ok(not_modified);
+        }
+        let plan = self.plan_for(key, &sheet);
+        let sens = powerplay_sheet::whatif::sensitivities_compiled(&plan)
             .map_err(|e| Self::bad_play(&e))?;
         let ranking: Json = sens
             .into_iter()
@@ -1251,9 +1278,11 @@ errs conservatively high.</p>";
                 Json::object([("global", Json::from(global)), ("sensitivity", Json::from(s))])
             })
             .collect();
-        Ok(Response::json(
+        let mut response = Response::json(
             Json::object([("sensitivities", ranking)]).to_string(),
-        ))
+        );
+        response.set_header("ETag", &etag);
+        Ok(response)
     }
 
     fn api_design(&self, req: &Request) -> Result<Response, Response> {
@@ -1262,9 +1291,67 @@ errs conservatively high.</p>";
             .query_param("name")
             .ok_or_else(|| Self::bad("missing `name`"))?;
         let sheet = self.load_design(&user, &design)?;
-        let report = sheet
-            .play(&self.registry.read())
-            .map_err(|e| Self::bad_play(&e))?;
+        self.api_design_response(req, &sheet)
+    }
+
+    /// `POST /api/design` with a sheet JSON document as the body —
+    /// evaluate a design without saving it (scripted exploration, CI).
+    /// The body is canonicalized before hashing, so formatting
+    /// differences do not fragment the cache, and repeated posts of an
+    /// unchanged design answer from the cached result.
+    fn api_design_post(&self, req: &Request) -> Result<Response, Response> {
+        let text = String::from_utf8(req.body().to_vec())
+            .map_err(|_| Self::bad("body must be UTF-8 sheet JSON"))?;
+        let json = Json::parse(&text).map_err(Self::bad)?;
+        let sheet = Sheet::from_json(&json).map_err(Self::bad)?;
+        self.api_design_response(req, &sheet)
+    }
+
+    /// The cache key of a design under the current library.
+    fn design_key(&self, sheet: &Sheet) -> u64 {
+        PlanCache::key(
+            &sheet.to_json().to_string(),
+            self.registry.read().generation(),
+        )
+    }
+
+    /// A `304 Not Modified` if the request's `If-None-Match` matches the
+    /// ETag the response would carry.
+    fn not_modified(req: &Request, etag: &str) -> Option<Response> {
+        (req.header("if-none-match") == Some(etag)).then(|| {
+            let mut response = Response::new(Status::NotModified);
+            response.set_header("ETag", etag);
+            response
+        })
+    }
+
+    /// The compiled plan for a design, from the cache when warm.
+    /// Compilation holds the registry read lock only while it runs; the
+    /// plan owns shared handles to the elements it needs, so later
+    /// (parallel) evaluation never blocks library edits.
+    fn plan_for(&self, key: u64, sheet: &Sheet) -> Arc<powerplay_sheet::CompiledSheet> {
+        let (plan, _hit) = self.plan_cache.plan_for(key, || {
+            powerplay_sheet::CompiledSheet::compile(sheet, &self.registry.read())
+        });
+        plan
+    }
+
+    /// Shared by GET and POST `/api/design`: conditional-GET check,
+    /// then the cached body, then compile/replay and cache the result.
+    fn api_design_response(&self, req: &Request, sheet: &Sheet) -> Result<Response, Response> {
+        let design_json = sheet.to_json();
+        let key = PlanCache::key(&design_json.to_string(), self.registry.read().generation());
+        let etag = PlanCache::etag(key);
+        if let Some(not_modified) = Self::not_modified(req, &etag) {
+            return Ok(not_modified);
+        }
+        if let Some(body) = self.plan_cache.cached_body(key) {
+            let mut response = Response::json(String::clone(&body));
+            response.set_header("ETag", &etag);
+            return Ok(response);
+        }
+        let plan = self.plan_for(key, sheet);
+        let report = plan.play().map_err(|e| Self::bad_play(&e))?;
         let rows: Json = report
             .rows()
             .iter()
@@ -1275,19 +1362,21 @@ errs conservatively high.</p>";
                 ])
             })
             .collect();
-        Ok(Response::json(
-            Json::object([
-                ("design", sheet.to_json()),
-                (
-                    "report",
-                    Json::object([
-                        ("total_w", Json::from(report.total_power().value())),
-                        ("rows", rows),
-                    ]),
-                ),
-            ])
-            .to_string(),
-        ))
+        let body = Json::object([
+            ("design", design_json),
+            (
+                "report",
+                Json::object([
+                    ("total_w", Json::from(report.total_power().value())),
+                    ("rows", rows),
+                ]),
+            ),
+        ])
+        .to_string();
+        self.plan_cache.store_body(key, Arc::new(body.clone()));
+        let mut response = Response::json(body);
+        response.set_header("ETag", &etag);
+        Ok(response)
     }
 }
 
@@ -1807,6 +1896,165 @@ mod tests {
         let r = get(&app, "/api/sweep?user=a&name=d&global=vdd&values=x");
         assert_eq!(r.status(), Status::BadRequest);
         assert_ne!(r.header("content-type"), Some("application/json"));
+    }
+
+    #[test]
+    fn api_design_etag_roundtrip() {
+        let app = app("etag");
+        post(&app, "/design/new", &[("user", "a"), ("name", "d")]);
+        post(
+            &app,
+            "/design/add_row",
+            &[("user", "a"), ("design", "d"), ("row_name", "R"), ("element", "ucb/register")],
+        );
+        let first = get(&app, "/api/design?user=a&name=d");
+        assert_eq!(first.status(), Status::Ok);
+        let etag = first.header("etag").expect("ETag on /api/design").to_owned();
+
+        // Conditional GET with the matching tag → 304, empty body.
+        let mut conditional = Request::new(Method::Get, "/api/design?user=a&name=d");
+        conditional.set_header("If-None-Match", &etag);
+        let r = app.handle(&conditional);
+        assert_eq!(r.status(), Status::NotModified);
+        assert!(r.body().is_empty());
+        assert_eq!(r.header("etag"), Some(etag.as_str()));
+
+        // Editing the design changes the tag; the stale tag revalidates.
+        post(
+            &app,
+            "/design/set_global",
+            &[("user", "a"), ("design", "d"), ("gname", "vdd"), ("gformula", "3.0")],
+        );
+        let r = app.handle(&conditional);
+        assert_eq!(r.status(), Status::Ok, "stale tag must refetch");
+        assert_ne!(r.header("etag"), Some(etag.as_str()));
+    }
+
+    #[test]
+    fn repeated_api_design_hits_the_plan_cache() {
+        let app = app("plancache");
+        post(&app, "/design/new", &[("user", "a"), ("name", "d")]);
+        post(
+            &app,
+            "/design/add_row",
+            &[("user", "a"), ("design", "d"), ("row_name", "R"), ("element", "ucb/register")],
+        );
+        let first = get(&app, "/api/design?user=a&name=d");
+        assert_eq!(first.status(), Status::Ok);
+        // Counters are process-global and tests run in parallel, so
+        // assert monotonic growth of hits across repeats.
+        let metrics_before = get(&app, "/metrics").body_text();
+        let hits_before = prom_value(&metrics_before, "powerplay_web_plan_cache_hits_total");
+        let second = get(&app, "/api/design?user=a&name=d");
+        assert_eq!(second.status(), Status::Ok);
+        assert_eq!(second.body_text(), first.body_text());
+        let metrics_after = get(&app, "/metrics").body_text();
+        let hits_after = prom_value(&metrics_after, "powerplay_web_plan_cache_hits_total");
+        assert!(hits_after > hits_before, "{hits_before} -> {hits_after}");
+    }
+
+    #[test]
+    fn post_api_design_evaluates_and_caches_unsaved_sheets() {
+        let app = app("postdesign");
+        let mut sheet = Sheet::new("scratch");
+        sheet.set_global("vdd", "1.5").unwrap();
+        sheet.set_global("f", "2e6").unwrap();
+        sheet
+            .add_element_row("R", "ucb/register", [("bits", "16")])
+            .unwrap();
+        let body = sheet.to_json().to_string();
+        let send = || {
+            let mut req = Request::new(Method::Post, "/api/design");
+            req.set_body(body.clone().into_bytes(), "application/json");
+            app.handle(&req)
+        };
+        let first = send();
+        assert_eq!(first.status(), Status::Ok, "{}", first.body_text());
+        let parsed = Json::parse(&first.body_text()).unwrap();
+        assert!(parsed["report"]["total_w"].as_f64().unwrap() > 0.0);
+        assert!(first.header("etag").is_some());
+
+        // A repeat of the identical design answers from the cache:
+        // byte-identical body, same tag, hits counter grows.
+        let metrics_before = get(&app, "/metrics").body_text();
+        let hits_before = prom_value(&metrics_before, "powerplay_web_plan_cache_hits_total");
+        let second = send();
+        assert_eq!(second.body_text(), first.body_text());
+        assert_eq!(second.header("etag"), first.header("etag"));
+        let metrics_after = get(&app, "/metrics").body_text();
+        let hits_after = prom_value(&metrics_after, "powerplay_web_plan_cache_hits_total");
+        assert!(hits_after > hits_before);
+
+        // Malformed bodies are clean 400s.
+        let mut bad = Request::new(Method::Post, "/api/design");
+        bad.set_body(b"not json".to_vec(), "application/json");
+        assert_eq!(app.handle(&bad).status(), Status::BadRequest);
+    }
+
+    #[test]
+    fn library_edits_invalidate_cached_designs() {
+        let app = app("geninval");
+        post(&app, "/design/new", &[("user", "a"), ("name", "d")]);
+        post(
+            &app,
+            "/design/add_row",
+            &[("user", "a"), ("design", "d"), ("row_name", "R"), ("element", "ucb/register")],
+        );
+        let first = get(&app, "/api/design?user=a&name=d");
+        let etag = first.header("etag").unwrap().to_owned();
+        // Adding a model bumps the registry generation, so the same
+        // design gets a fresh key (the old plan may be stale: the new
+        // model could shadow one the design uses).
+        post(
+            &app,
+            "/model/new",
+            &[
+                ("user", "carol"),
+                ("name", "bump"),
+                ("class", "computation"),
+                ("cap_full", "10f"),
+            ],
+        );
+        let second = get(&app, "/api/design?user=a&name=d");
+        assert_ne!(second.header("etag"), Some(etag.as_str()));
+    }
+
+    #[test]
+    fn api_sweep_and_sensitivities_carry_etags() {
+        let app = app("sweepetag");
+        post(&app, "/design/new", &[("user", "a"), ("name", "d")]);
+        post(
+            &app,
+            "/design/add_row",
+            &[("user", "a"), ("design", "d"), ("row_name", "M"), ("element", "ucb/multiplier")],
+        );
+        let sweep = get(&app, "/api/sweep?user=a&name=d&global=vdd&values=1,2");
+        let sweep_tag = sweep.header("etag").expect("ETag on sweep").to_owned();
+        // Different values → different tag; same query → 304.
+        let other = get(&app, "/api/sweep?user=a&name=d&global=vdd&values=1,3");
+        assert_ne!(other.header("etag"), Some(sweep_tag.as_str()));
+        let mut conditional =
+            Request::new(Method::Get, "/api/sweep?user=a&name=d&global=vdd&values=1,2");
+        conditional.set_header("If-None-Match", &sweep_tag);
+        assert_eq!(app.handle(&conditional).status(), Status::NotModified);
+
+        let sens = get(&app, "/api/sensitivities?user=a&name=d");
+        let sens_tag = sens.header("etag").expect("ETag on sensitivities").to_owned();
+        assert_ne!(sens_tag, sweep_tag);
+        let mut conditional = Request::new(Method::Get, "/api/sensitivities?user=a&name=d");
+        conditional.set_header("If-None-Match", &sens_tag);
+        assert_eq!(app.handle(&conditional).status(), Status::NotModified);
+    }
+
+    /// The current value of an unlabelled counter in a Prometheus text
+    /// exposition.
+    fn prom_value(exposition: &str, series: &str) -> f64 {
+        exposition
+            .lines()
+            .find(|l| l.starts_with(series) && !l.starts_with('#'))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.0)
     }
 
     #[test]

@@ -10,6 +10,8 @@ pub enum Status {
     Ok,
     /// 302 (post-redirect-get after form submissions)
     Found,
+    /// 304 (conditional GET whose `If-None-Match` matched the ETag)
+    NotModified,
     /// 400
     BadRequest,
     /// 401 (password-protected instances)
@@ -34,6 +36,7 @@ impl Status {
         match self {
             Status::Ok => 200,
             Status::Found => 302,
+            Status::NotModified => 304,
             Status::BadRequest => 400,
             Status::Unauthorized => 401,
             Status::NotFound => 404,
@@ -50,6 +53,7 @@ impl Status {
         match self {
             Status::Ok => "OK",
             Status::Found => "Found",
+            Status::NotModified => "Not Modified",
             Status::BadRequest => "Bad Request",
             Status::Unauthorized => "Unauthorized",
             Status::NotFound => "Not Found",

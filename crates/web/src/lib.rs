@@ -37,6 +37,7 @@
 
 pub mod agent;
 pub mod app;
+pub mod cache;
 pub mod html;
 pub mod http;
 pub mod remote;
