@@ -23,7 +23,7 @@ fn main() {
     )
     .expect("read InfoPad design");
     let sheet = Sheet::from_json(&Json::parse(&text).expect("parse")).expect("load");
-    app.store().save("demo", "infopad", &sheet).expect("seed");
+    app.store().save("demo", "infopad", &sheet, None).expect("seed");
 
     let server = app.serve("127.0.0.1:0").expect("bind");
     let url = format!(

@@ -1,0 +1,51 @@
+//! Store telemetry: WAL growth, recoveries, commit latency, compaction.
+//!
+//! All series live in the process-global registry and show up on the
+//! web layer's `/metrics` exposition as `powerplay_store_*`.
+
+use std::sync::OnceLock;
+
+use powerplay_telemetry::{Counter, Gauge, Histogram};
+
+pub(crate) struct StoreMetrics {
+    /// Bytes currently held across every open shard's WAL (falls back
+    /// to zero for a shard after compaction truncates its log).
+    pub wal_bytes: Gauge,
+    /// Shard opens that found and dropped a torn WAL tail.
+    pub recoveries: Counter,
+    /// Durable commits (save/delete records fsynced to the WAL).
+    pub commits: Counter,
+    /// Wall time of one durable commit: serialize, append, fsync.
+    pub commit_seconds: Histogram,
+    /// Snapshot compactions (WAL folded into `snapshot.json`).
+    pub compactions: Counter,
+}
+
+pub(crate) fn metrics() -> &'static StoreMetrics {
+    static METRICS: OnceLock<StoreMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let g = powerplay_telemetry::global();
+        StoreMetrics {
+            wal_bytes: g.gauge(
+                "powerplay_store_wal_bytes",
+                "Bytes currently in open write-ahead logs, across users",
+            ),
+            recoveries: g.counter(
+                "powerplay_store_recoveries_total",
+                "Store opens that truncated a torn write-ahead-log tail",
+            ),
+            commits: g.counter(
+                "powerplay_store_commits_total",
+                "Design revisions (and deletions) durably committed",
+            ),
+            commit_seconds: g.histogram(
+                "powerplay_store_commit_seconds",
+                "Wall time of one durable commit (serialize + append + fsync)",
+            ),
+            compactions: g.counter(
+                "powerplay_store_compactions_total",
+                "Write-ahead logs folded into a snapshot",
+            ),
+        }
+    })
+}

@@ -1,0 +1,819 @@
+//! The versioned JSON API: `/api/v1/`.
+//!
+//! The pre-v1 `/api/*` endpoints grew one query parameter at a time out
+//! of the 1996 CGI scripts; this module is the deliberate redesign. It
+//! is a *resource* router — designs are addressed as
+//! `/api/v1/designs/{user}/{name}`, and the durable store's revision
+//! number is the HTTP validator:
+//!
+//! * `GET` answers with `ETag: "{rev}"` and honours `If-None-Match`
+//!   (a `304` costs one store lookup — no JSON serialization, no
+//!   hashing, no recompilation);
+//! * `PUT` requires `If-Match: "{rev}"` (or `*` to force); a stale tag
+//!   is a `409 Conflict`, a missing one on an existing design is a
+//!   `428 Precondition Required` — optimistic concurrency end to end;
+//! * `GET .../revisions` lists the bounded history and
+//!   `POST .../rollback` restores any revision in it (as a *new*
+//!   revision, so history stays append-only);
+//! * `POST .../play|sweep|sensitivities|lint` run the engine against
+//!   the stored design, sharing the compiled-plan cache with the
+//!   legacy API.
+//!
+//! Every v1 error is the uniform envelope
+//! `{"error": {"code", "message", "diagnostics"?}}` — machine-readable
+//! `code`, human-readable `message`, structured detail where it exists
+//! (lint reports for evaluation failures, `expected`/`actual` revisions
+//! for conflicts). The legacy `/api/*` routes keep answering but carry
+//! `Deprecation`/`Link` headers (see `PowerPlayApp::decorate_legacy`).
+
+use powerplay_json::Json;
+use powerplay_sheet::Sheet;
+use powerplay_store::StoreError;
+
+use crate::app::PowerPlayApp;
+use crate::http::{Method, Request, Response, Status};
+
+/// Routes one `/api/v1/...` request. Called from `PowerPlayApp::route`
+/// after authorization; always answers (unknown resources get a 404
+/// envelope, never a fall-through to the page router).
+pub(crate) fn respond(app: &PowerPlayApp, req: &Request) -> Response {
+    let rest = req.path().strip_prefix("/api/v1").unwrap_or("");
+    let segments: Vec<&str> = rest.split('/').filter(|s| !s.is_empty()).collect();
+    let result = match segments.as_slice() {
+        ["library"] => match req.method() {
+            Method::Get => Ok(Response::json(app.registry.read().to_json().to_string())),
+            _ => Err(method_not_allowed("GET")),
+        },
+        // Element names contain `/` (e.g. `ucb/sram`), so the element
+        // resource swallows all remaining segments.
+        ["elements", name @ ..] if !name.is_empty() => match req.method() {
+            Method::Get => element_get(app, &name.join("/")),
+            _ => Err(method_not_allowed("GET")),
+        },
+        ["designs", user] => match req.method() {
+            Method::Get => designs_list(app, user),
+            _ => Err(method_not_allowed("GET")),
+        },
+        ["designs", user, name] => match req.method() {
+            Method::Get => design_get(app, req, user, name),
+            Method::Put => design_put(app, req, user, name),
+            Method::Delete => design_delete(app, user, name),
+            _ => Err(method_not_allowed("GET, PUT, DELETE")),
+        },
+        ["designs", user, name, "revisions"] => match req.method() {
+            Method::Get => revisions_get(app, user, name),
+            _ => Err(method_not_allowed("GET")),
+        },
+        ["designs", user, name, "rollback"] => match req.method() {
+            Method::Post => rollback_post(app, req, user, name),
+            _ => Err(method_not_allowed("POST")),
+        },
+        ["designs", user, name, "play"] => match req.method() {
+            Method::Post => play_post(app, user, name),
+            _ => Err(method_not_allowed("POST")),
+        },
+        ["designs", user, name, "sweep"] => match req.method() {
+            Method::Post => sweep_post(app, req, user, name),
+            _ => Err(method_not_allowed("POST")),
+        },
+        ["designs", user, name, "sensitivities"] => match req.method() {
+            Method::Post => sensitivities_post(app, user, name),
+            _ => Err(method_not_allowed("POST")),
+        },
+        ["designs", user, name, "lint"] => match req.method() {
+            Method::Post => lint_post(app, user, name),
+            _ => Err(method_not_allowed("POST")),
+        },
+        _ => Err(envelope(
+            Status::NotFound,
+            "not_found",
+            "no such API v1 resource",
+            None,
+        )),
+    };
+    result.unwrap_or_else(|error| error)
+}
+
+// --- the error envelope ---------------------------------------------------
+
+/// Builds the uniform v1 error response:
+/// `{"error": {"code", "message", "diagnostics"?}}`.
+fn envelope(status: Status, code: &str, message: &str, diagnostics: Option<Json>) -> Response {
+    let mut fields = vec![
+        ("code", Json::from(code)),
+        ("message", Json::from(message)),
+    ];
+    if let Some(diagnostics) = diagnostics {
+        fields.push(("diagnostics", diagnostics));
+    }
+    Response::json_with_status(
+        status,
+        Json::object([("error", Json::object(fields))]).to_string(),
+    )
+}
+
+fn method_not_allowed(allow: &str) -> Response {
+    let mut response = envelope(
+        Status::MethodNotAllowed,
+        "method_not_allowed",
+        &format!("this resource supports: {allow}"),
+        None,
+    );
+    response.set_header("Allow", allow);
+    response
+}
+
+/// Maps a [`StoreError`] onto the envelope. Conflicts carry the
+/// expected/actual revisions as diagnostics so a client can recover
+/// (refetch, rebase, retry with the fresh tag) without parsing prose.
+fn store_error(err: StoreError) -> Response {
+    match err {
+        StoreError::InvalidUsername(user) => envelope(
+            Status::BadRequest,
+            "invalid_name",
+            &format!("invalid username `{user}` (want [a-zA-Z0-9_-], at most 32 chars)"),
+            None,
+        ),
+        StoreError::InvalidDesignName(name) => envelope(
+            Status::BadRequest,
+            "invalid_name",
+            &format!("invalid design name `{name}` (want [a-zA-Z0-9_-], at most 32 chars)"),
+            None,
+        ),
+        StoreError::Conflict {
+            design,
+            expected,
+            actual,
+        } => envelope(
+            Status::Conflict,
+            "conflict",
+            &format!(
+                "design `{design}` is at revision {actual}, not {expected}; \
+                 refetch and retry with If-Match: \"{actual}\""
+            ),
+            Some(Json::object([
+                ("expected", Json::from(expected as f64)),
+                ("actual", Json::from(actual as f64)),
+            ])),
+        ),
+        StoreError::NotFound { design } => envelope(
+            Status::NotFound,
+            "not_found",
+            &format!("no design `{design}`"),
+            None,
+        ),
+        StoreError::UnknownRevision { design, rev } => envelope(
+            Status::NotFound,
+            "unknown_revision",
+            &format!("design `{design}` has no revision {rev} in its retained history"),
+            None,
+        ),
+        StoreError::Io(err) => envelope(
+            Status::InternalServerError,
+            "storage",
+            &format!("storage failure: {err}"),
+            None,
+        ),
+        StoreError::Corrupt(msg) => envelope(
+            Status::InternalServerError,
+            "corrupt",
+            &format!("storage corruption: {msg}"),
+            None,
+        ),
+    }
+}
+
+/// Evaluation failures answer 400 with the lint-report shape the static
+/// analyzer uses, inside the envelope's `diagnostics`.
+fn play_error(err: &powerplay_sheet::EvaluateSheetError) -> Response {
+    let report: powerplay_lint::LintReport =
+        std::iter::once(powerplay_lint::diagnostic_for_play_error(err)).collect();
+    envelope(
+        Status::BadRequest,
+        "evaluation_failed",
+        "the design failed to evaluate",
+        Some(report.to_json()),
+    )
+}
+
+// --- shared plumbing ------------------------------------------------------
+
+/// The strong validator a stored revision renders as.
+fn rev_etag(rev: u64) -> String {
+    format!("\"{rev}\"")
+}
+
+fn load(
+    app: &PowerPlayApp,
+    user: &str,
+    name: &str,
+) -> Result<(u64, std::sync::Arc<Sheet>), Response> {
+    match app.store.load(user, name) {
+        Ok(Some((rev, sheet))) => Ok((rev, sheet)),
+        Ok(None) => Err(envelope(
+            Status::NotFound,
+            "not_found",
+            &format!("no design `{name}` for user `{user}`"),
+            None,
+        )),
+        Err(err) => Err(store_error(err)),
+    }
+}
+
+fn body_json(req: &Request) -> Result<Json, Response> {
+    let text = std::str::from_utf8(req.body())
+        .map_err(|_| envelope(Status::BadRequest, "invalid_body", "body must be UTF-8 JSON", None))?;
+    Json::parse(text)
+        .map_err(|e| envelope(Status::BadRequest, "invalid_body", &e.to_string(), None))
+}
+
+/// Parses an `If-Match` revision tag: `"3"` (the canonical strong form)
+/// or a bare `3`.
+fn parse_if_match(tag: &str) -> Option<u64> {
+    let tag = tag.trim();
+    let tag = tag
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .unwrap_or(tag);
+    tag.parse().ok()
+}
+
+fn report_json(report: &powerplay_sheet::SheetReport) -> Json {
+    let rows: Json = report
+        .rows()
+        .iter()
+        .map(|r| {
+            Json::object([
+                ("name", Json::from(r.name())),
+                ("power_w", Json::from(r.power().value())),
+            ])
+        })
+        .collect();
+    Json::object([
+        ("total_w", Json::from(report.total_power().value())),
+        ("rows", rows),
+    ])
+}
+
+// --- design resources -----------------------------------------------------
+
+fn element_get(app: &PowerPlayApp, name: &str) -> Result<Response, Response> {
+    let registry = app.registry.read();
+    match registry.get(name) {
+        Some(element) => Ok(Response::json(element.to_json().to_string())),
+        None => Err(envelope(
+            Status::NotFound,
+            "not_found",
+            &format!("unknown element `{name}`"),
+            None,
+        )),
+    }
+}
+
+fn designs_list(app: &PowerPlayApp, user: &str) -> Result<Response, Response> {
+    let designs: Json = app
+        .store
+        .list(user)
+        .map_err(store_error)?
+        .into_iter()
+        .map(|d| {
+            Json::object([
+                ("name", Json::from(d.name)),
+                ("rev", Json::from(d.rev as f64)),
+                ("revisions", Json::from(d.revisions)),
+            ])
+        })
+        .collect();
+    Ok(Response::json(
+        Json::object([("user", Json::from(user)), ("designs", designs)]).to_string(),
+    ))
+}
+
+fn design_get(
+    app: &PowerPlayApp,
+    req: &Request,
+    user: &str,
+    name: &str,
+) -> Result<Response, Response> {
+    let (rev, sheet) = load(app, user, name)?;
+    let etag = rev_etag(rev);
+    if let Some(not_modified) = PowerPlayApp::not_modified(req, &etag) {
+        return Ok(not_modified);
+    }
+    let revisions = app
+        .store
+        .revisions(user, name)
+        .map_err(store_error)?
+        .map_or(0, |revs| revs.len());
+    let mut response = Response::json(
+        Json::object([
+            ("user", Json::from(user)),
+            ("name", Json::from(name)),
+            ("rev", Json::from(rev as f64)),
+            ("revisions", Json::from(revisions)),
+            ("design", sheet.to_json()),
+        ])
+        .to_string(),
+    );
+    response.set_header("ETag", &etag);
+    Ok(response)
+}
+
+fn design_put(
+    app: &PowerPlayApp,
+    req: &Request,
+    user: &str,
+    name: &str,
+) -> Result<Response, Response> {
+    let json = body_json(req)?;
+    let sheet = Sheet::from_json(&json)
+        .map_err(|e| envelope(Status::BadRequest, "invalid_body", &e.to_string(), None))?;
+    let current = app.store.current_rev(user, name).map_err(store_error)?;
+    let expected = match req.header("if-match") {
+        // No validator: creating is fine (expected revision 0 = "must
+        // not exist yet"), but blind overwrites of live designs are
+        // exactly the lost-update the revision scheme exists to stop.
+        None if current > 0 => {
+            return Err(envelope(
+                Status::PreconditionRequired,
+                "precondition_required",
+                &format!(
+                    "design `{name}` exists at revision {current}; \
+                     send If-Match: \"{current}\" to update it (or If-Match: * to force)"
+                ),
+                None,
+            ));
+        }
+        None => Some(0),
+        Some("*") => None,
+        Some(tag) => Some(parse_if_match(tag).ok_or_else(|| {
+            envelope(
+                Status::BadRequest,
+                "invalid_if_match",
+                &format!("cannot parse If-Match `{tag}` as a revision tag"),
+                None,
+            )
+        })?),
+    };
+    let rev = app
+        .store
+        .save(user, name, &sheet, expected)
+        .map_err(store_error)?;
+    let status = if current == 0 { Status::Created } else { Status::Ok };
+    let mut response = Response::json_with_status(
+        status,
+        Json::object([
+            ("user", Json::from(user)),
+            ("name", Json::from(name)),
+            ("rev", Json::from(rev as f64)),
+        ])
+        .to_string(),
+    );
+    response.set_header("ETag", &rev_etag(rev));
+    Ok(response)
+}
+
+fn design_delete(app: &PowerPlayApp, user: &str, name: &str) -> Result<Response, Response> {
+    match app.store.delete(user, name) {
+        Ok(true) => Ok(Response::json(
+            Json::object([("deleted", Json::from(true))]).to_string(),
+        )),
+        Ok(false) => Err(envelope(
+            Status::NotFound,
+            "not_found",
+            &format!("no design `{name}` for user `{user}`"),
+            None,
+        )),
+        Err(err) => Err(store_error(err)),
+    }
+}
+
+fn revisions_get(app: &PowerPlayApp, user: &str, name: &str) -> Result<Response, Response> {
+    let revs = app
+        .store
+        .revisions(user, name)
+        .map_err(store_error)?
+        .ok_or_else(|| {
+            envelope(
+                Status::NotFound,
+                "not_found",
+                &format!("no design `{name}` for user `{user}`"),
+                None,
+            )
+        })?;
+    let current = revs.first().copied().unwrap_or(0);
+    Ok(Response::json(
+        Json::object([
+            ("user", Json::from(user)),
+            ("name", Json::from(name)),
+            ("current", Json::from(current as f64)),
+            (
+                "revisions",
+                revs.into_iter().map(|r| r as f64).collect::<Json>(),
+            ),
+        ])
+        .to_string(),
+    ))
+}
+
+fn rollback_post(
+    app: &PowerPlayApp,
+    req: &Request,
+    user: &str,
+    name: &str,
+) -> Result<Response, Response> {
+    let json = body_json(req)?;
+    let rev = json
+        .get("rev")
+        .and_then(Json::as_f64)
+        .filter(|r| r.fract() == 0.0 && *r >= 1.0)
+        .ok_or_else(|| {
+            envelope(
+                Status::BadRequest,
+                "invalid_body",
+                "body must be {\"rev\": <revision to restore>}",
+                None,
+            )
+        })? as u64;
+    let expected = match req.header("if-match") {
+        None | Some("*") => None,
+        Some(tag) => Some(parse_if_match(tag).ok_or_else(|| {
+            envelope(
+                Status::BadRequest,
+                "invalid_if_match",
+                &format!("cannot parse If-Match `{tag}` as a revision tag"),
+                None,
+            )
+        })?),
+    };
+    let new_rev = app
+        .store
+        .rollback(user, name, rev, expected)
+        .map_err(store_error)?;
+    let mut response = Response::json(
+        Json::object([
+            ("user", Json::from(user)),
+            ("name", Json::from(name)),
+            ("rev", Json::from(new_rev as f64)),
+            ("restored", Json::from(rev as f64)),
+        ])
+        .to_string(),
+    );
+    response.set_header("ETag", &rev_etag(new_rev));
+    Ok(response)
+}
+
+// --- engine resources -----------------------------------------------------
+
+fn play_post(app: &PowerPlayApp, user: &str, name: &str) -> Result<Response, Response> {
+    let (rev, sheet) = load(app, user, name)?;
+    let plan = app.plan_for(app.stored_key(user, name, rev), &sheet);
+    let report = plan.play().map_err(|e| play_error(&e))?;
+    Ok(Response::json(
+        Json::object([
+            ("rev", Json::from(rev as f64)),
+            ("report", report_json(&report)),
+        ])
+        .to_string(),
+    ))
+}
+
+fn sweep_post(
+    app: &PowerPlayApp,
+    req: &Request,
+    user: &str,
+    name: &str,
+) -> Result<Response, Response> {
+    let json = body_json(req)?;
+    let bad_body = || {
+        envelope(
+            Status::BadRequest,
+            "invalid_body",
+            "body must be {\"global\": <name>, \"values\": [<numbers>]}",
+            None,
+        )
+    };
+    let global = json.get("global").and_then(Json::as_str).ok_or_else(bad_body)?;
+    let values: Vec<f64> = json
+        .get("values")
+        .and_then(Json::as_array)
+        .ok_or_else(bad_body)?
+        .iter()
+        .map(|v| v.as_f64().ok_or_else(bad_body))
+        .collect::<Result<_, _>>()?;
+    let (rev, sheet) = load(app, user, name)?;
+    let plan = app.plan_for(app.stored_key(user, name, rev), &sheet);
+    let curve = powerplay_sheet::whatif::sweep_compiled(&plan, global, &values)
+        .map_err(|e| play_error(&e))?;
+    let series: Json = curve
+        .into_iter()
+        .map(|(value, report)| {
+            Json::object([
+                ("value", Json::from(value)),
+                ("total_w", Json::from(report.total_power().value())),
+            ])
+        })
+        .collect();
+    Ok(Response::json(
+        Json::object([
+            ("rev", Json::from(rev as f64)),
+            ("global", Json::from(global)),
+            ("series", series),
+        ])
+        .to_string(),
+    ))
+}
+
+fn sensitivities_post(app: &PowerPlayApp, user: &str, name: &str) -> Result<Response, Response> {
+    let (rev, sheet) = load(app, user, name)?;
+    let plan = app.plan_for(app.stored_key(user, name, rev), &sheet);
+    let sens =
+        powerplay_sheet::whatif::sensitivities_compiled(&plan).map_err(|e| play_error(&e))?;
+    let ranking: Json = sens
+        .into_iter()
+        .map(|(global, s)| {
+            Json::object([
+                ("global", Json::from(global)),
+                ("sensitivity", Json::from(s)),
+            ])
+        })
+        .collect();
+    Ok(Response::json(
+        Json::object([
+            ("rev", Json::from(rev as f64)),
+            ("sensitivities", ranking),
+        ])
+        .to_string(),
+    ))
+}
+
+fn lint_post(app: &PowerPlayApp, user: &str, name: &str) -> Result<Response, Response> {
+    let (rev, sheet) = load(app, user, name)?;
+    let report = powerplay_lint::lint_sheet(&sheet, &app.registry.read());
+    Ok(Response::json(
+        Json::object([
+            ("rev", Json::from(rev as f64)),
+            ("lint", report.to_json()),
+        ])
+        .to_string(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerplay_library::builtin::ucb_library;
+    use std::sync::Arc;
+
+    fn app(tag: &str) -> Arc<PowerPlayApp> {
+        let dir = std::env::temp_dir().join(format!("powerplay-v1-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        PowerPlayApp::new(ucb_library(), dir)
+    }
+
+    fn sheet_json() -> String {
+        let mut sheet = Sheet::new("d");
+        sheet.set_global("vdd", "1.5").unwrap();
+        sheet.set_global("f", "2e6").unwrap();
+        sheet
+            .add_element_row("R", "ucb/register", [("bits", "16")])
+            .unwrap();
+        sheet.to_json().to_string()
+    }
+
+    fn put(
+        app: &PowerPlayApp,
+        path: &str,
+        body: &str,
+        if_match: Option<&str>,
+    ) -> Response {
+        let mut req = Request::new(Method::Put, path);
+        req.set_body(body.as_bytes().to_vec(), "application/json");
+        if let Some(tag) = if_match {
+            req.set_header("If-Match", tag);
+        }
+        app.handle(&req)
+    }
+
+    fn post(app: &PowerPlayApp, path: &str, body: &str) -> Response {
+        let mut req = Request::new(Method::Post, path);
+        req.set_body(body.as_bytes().to_vec(), "application/json");
+        app.handle(&req)
+    }
+
+    fn get(app: &PowerPlayApp, path: &str) -> Response {
+        app.handle(&Request::new(Method::Get, path))
+    }
+
+    fn error_code(response: &Response) -> String {
+        let parsed = Json::parse(&response.body_text()).expect("envelope is JSON");
+        parsed["error"]["code"]
+            .as_str()
+            .expect("error.code present")
+            .to_owned()
+    }
+
+    #[test]
+    fn put_creates_then_requires_if_match() {
+        let app = app("putflow");
+        let body = sheet_json();
+
+        // First PUT without a validator creates revision 1.
+        let created = put(&app, "/api/v1/designs/a/d", &body, None);
+        assert_eq!(created.status(), Status::Created, "{}", created.body_text());
+        assert_eq!(created.header("etag"), Some("\"1\""));
+
+        // A second blind PUT is refused: the design now exists.
+        let blind = put(&app, "/api/v1/designs/a/d", &body, None);
+        assert_eq!(blind.status(), Status::PreconditionRequired);
+        assert_eq!(error_code(&blind), "precondition_required");
+
+        // With the current tag it succeeds and bumps the revision.
+        let updated = put(&app, "/api/v1/designs/a/d", &body, Some("\"1\""));
+        assert_eq!(updated.status(), Status::Ok, "{}", updated.body_text());
+        assert_eq!(updated.header("etag"), Some("\"2\""));
+
+        // A stale tag is a structured 409 with both revisions.
+        let stale = put(&app, "/api/v1/designs/a/d", &body, Some("\"1\""));
+        assert_eq!(stale.status(), Status::Conflict);
+        assert_eq!(error_code(&stale), "conflict");
+        let parsed = Json::parse(&stale.body_text()).unwrap();
+        assert_eq!(parsed["error"]["diagnostics"]["expected"].as_f64(), Some(1.0));
+        assert_eq!(parsed["error"]["diagnostics"]["actual"].as_f64(), Some(2.0));
+
+        // `*` forces through regardless.
+        let forced = put(&app, "/api/v1/designs/a/d", &body, Some("*"));
+        assert_eq!(forced.status(), Status::Ok);
+        assert_eq!(forced.header("etag"), Some("\"3\""));
+
+        // A garbage validator is a clean 400.
+        let garbage = put(&app, "/api/v1/designs/a/d", &body, Some("latest"));
+        assert_eq!(garbage.status(), Status::BadRequest);
+        assert_eq!(error_code(&garbage), "invalid_if_match");
+    }
+
+    #[test]
+    fn get_serves_revision_etags_and_304() {
+        let app = app("getrev");
+        put(&app, "/api/v1/designs/a/d", &sheet_json(), None);
+        let first = get(&app, "/api/v1/designs/a/d");
+        assert_eq!(first.status(), Status::Ok);
+        assert_eq!(first.header("etag"), Some("\"1\""));
+        let parsed = Json::parse(&first.body_text()).unwrap();
+        assert_eq!(parsed["rev"].as_f64(), Some(1.0));
+        assert_eq!(parsed["design"]["name"].as_str(), Some("d"));
+
+        let mut conditional = Request::new(Method::Get, "/api/v1/designs/a/d");
+        conditional.set_header("If-None-Match", "\"1\"");
+        let not_modified = app.handle(&conditional);
+        assert_eq!(not_modified.status(), Status::NotModified);
+        assert!(not_modified.body().is_empty());
+
+        // A new revision invalidates the tag.
+        put(&app, "/api/v1/designs/a/d", &sheet_json(), Some("\"1\""));
+        let refreshed = app.handle(&conditional);
+        assert_eq!(refreshed.status(), Status::Ok);
+        assert_eq!(refreshed.header("etag"), Some("\"2\""));
+    }
+
+    #[test]
+    fn revisions_rollback_and_delete() {
+        let app = app("history");
+        let mut sheet = Sheet::new("d");
+        sheet.set_global("vdd", "1.5").unwrap();
+        sheet.set_global("f", "2e6").unwrap();
+        put(&app, "/api/v1/designs/a/d", &sheet.to_json().to_string(), None);
+        sheet.set_global("vdd", "3.3").unwrap();
+        put(&app, "/api/v1/designs/a/d", &sheet.to_json().to_string(), Some("\"1\""));
+
+        let listed = get(&app, "/api/v1/designs/a/d/revisions");
+        assert_eq!(listed.status(), Status::Ok);
+        let parsed = Json::parse(&listed.body_text()).unwrap();
+        assert_eq!(parsed["current"].as_f64(), Some(2.0));
+        let revs: Vec<f64> = parsed["revisions"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|r| r.as_f64().unwrap())
+            .collect();
+        assert_eq!(revs, vec![2.0, 1.0]);
+
+        // Rolling back to revision 1 mints revision 3 with 1's content.
+        let rolled = post(&app, "/api/v1/designs/a/d/rollback", "{\"rev\": 1}");
+        assert_eq!(rolled.status(), Status::Ok, "{}", rolled.body_text());
+        assert_eq!(rolled.header("etag"), Some("\"3\""));
+        let restored = get(&app, "/api/v1/designs/a/d");
+        let parsed = Json::parse(&restored.body_text()).unwrap();
+        let vdd = parsed["design"]["globals"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|g| g["name"].as_str() == Some("vdd"))
+            .expect("vdd global present");
+        assert_eq!(vdd["formula"].as_str(), Some("1.5"));
+
+        // An unretained revision is a structured 404.
+        let missing = post(&app, "/api/v1/designs/a/d/rollback", "{\"rev\": 99}");
+        assert_eq!(missing.status(), Status::NotFound);
+        assert_eq!(error_code(&missing), "unknown_revision");
+
+        // The designs listing shows the history depth.
+        let designs = get(&app, "/api/v1/designs/a");
+        let parsed = Json::parse(&designs.body_text()).unwrap();
+        let entry = &parsed["designs"].as_array().unwrap()[0];
+        assert_eq!(entry["name"].as_str(), Some("d"));
+        assert_eq!(entry["rev"].as_f64(), Some(3.0));
+        assert_eq!(entry["revisions"].as_f64(), Some(3.0));
+
+        // Delete, then everything 404s with the envelope.
+        let mut del = Request::new(Method::Delete, "/api/v1/designs/a/d");
+        let deleted = app.handle(&del);
+        assert_eq!(deleted.status(), Status::Ok);
+        del = Request::new(Method::Delete, "/api/v1/designs/a/d");
+        let gone = app.handle(&del);
+        assert_eq!(gone.status(), Status::NotFound);
+        assert_eq!(error_code(&gone), "not_found");
+        assert_eq!(error_code(&get(&app, "/api/v1/designs/a/d")), "not_found");
+    }
+
+    #[test]
+    fn engine_endpoints_share_the_stored_design() {
+        let app = app("engine");
+        put(&app, "/api/v1/designs/a/d", &sheet_json(), None);
+
+        let played = post(&app, "/api/v1/designs/a/d/play", "");
+        assert_eq!(played.status(), Status::Ok, "{}", played.body_text());
+        let parsed = Json::parse(&played.body_text()).unwrap();
+        assert!(parsed["report"]["total_w"].as_f64().unwrap() > 0.0);
+
+        let swept = post(
+            &app,
+            "/api/v1/designs/a/d/sweep",
+            "{\"global\": \"vdd\", \"values\": [1.0, 2.0]}",
+        );
+        assert_eq!(swept.status(), Status::Ok, "{}", swept.body_text());
+        let parsed = Json::parse(&swept.body_text()).unwrap();
+        assert_eq!(parsed["series"].as_array().unwrap().len(), 2);
+
+        let ranked = post(&app, "/api/v1/designs/a/d/sensitivities", "");
+        assert_eq!(ranked.status(), Status::Ok, "{}", ranked.body_text());
+
+        let linted = post(&app, "/api/v1/designs/a/d/lint", "");
+        assert_eq!(linted.status(), Status::Ok, "{}", linted.body_text());
+
+        // Bad sweep bodies get the envelope, not a panic or a bare 400.
+        let bad = post(&app, "/api/v1/designs/a/d/sweep", "{\"global\": \"vdd\"}");
+        assert_eq!(bad.status(), Status::BadRequest);
+        assert_eq!(error_code(&bad), "invalid_body");
+    }
+
+    #[test]
+    fn unknown_resources_and_methods_use_the_envelope() {
+        let app = app("envelope");
+        let missing = get(&app, "/api/v1/nonsense");
+        assert_eq!(missing.status(), Status::NotFound);
+        assert_eq!(error_code(&missing), "not_found");
+
+        let library = get(&app, "/api/v1/library");
+        assert_eq!(library.status(), Status::Ok);
+        let wrong = post(&app, "/api/v1/library", "");
+        assert_eq!(wrong.status(), Status::MethodNotAllowed);
+        assert_eq!(wrong.header("allow"), Some("GET"));
+        assert_eq!(error_code(&wrong), "method_not_allowed");
+
+        let element = get(&app, "/api/v1/elements/ucb/register");
+        assert_eq!(element.status(), Status::Ok);
+        let unknown = get(&app, "/api/v1/elements/ucb/flux-capacitor");
+        assert_eq!(unknown.status(), Status::NotFound);
+        assert_eq!(error_code(&unknown), "not_found");
+
+        // Path traversal in names is refused by the store's validator.
+        let bad = put(&app, "/api/v1/designs/..%2F..%2Fetc/d", &sheet_json(), None);
+        assert!(
+            bad.status() == Status::BadRequest || bad.status() == Status::NotFound,
+            "traversal must not reach the filesystem: {:?}",
+            bad.status()
+        );
+    }
+
+    #[test]
+    fn legacy_api_advertises_deprecation_and_successor() {
+        let app = app("legacy");
+        let legacy = get(&app, "/api/library");
+        assert_eq!(legacy.status(), Status::Ok);
+        assert_eq!(legacy.header("deprecation"), Some("true"));
+        assert_eq!(
+            legacy.header("link"),
+            Some("</api/v1/library>; rel=\"successor-version\"")
+        );
+        // v1 responses carry no deprecation marker.
+        let v1 = get(&app, "/api/v1/library");
+        assert_eq!(v1.header("deprecation"), None);
+        // The remaining-traffic counter is exported.
+        let metrics = get(&app, "/metrics").body_text();
+        assert!(
+            metrics.contains("powerplay_web_legacy_api_total{route=\"/api/library\"}"),
+            "{metrics}"
+        );
+    }
+}

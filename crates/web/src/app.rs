@@ -78,11 +78,12 @@ const PLAN_CACHE_CAPACITY: usize = 32;
 
 /// The application: a shared model registry plus the user store.
 pub struct PowerPlayApp {
-    registry: RwLock<Registry>,
-    store: UserStore,
-    /// Compiled plans + `/api/design` bodies keyed by design content
-    /// hash and registry generation (see [`crate::cache`]).
-    plan_cache: PlanCache,
+    pub(crate) registry: RwLock<Registry>,
+    pub(crate) store: UserStore,
+    /// Compiled plans + `/api/design` bodies keyed by design revision
+    /// (stored designs) or content hash (unsaved posts) and registry
+    /// generation (see [`crate::cache`]).
+    pub(crate) plan_cache: PlanCache,
     /// HTTP Basic credentials; `None` = open access (the public Berkeley
     /// instance), `Some` = "password-restricted access" per the paper's
     /// protection section.
@@ -181,13 +182,7 @@ impl PowerPlayApp {
     pub fn handle(&self, req: &Request) -> Response {
         let metrics = http_metrics();
         metrics.inflight.add(1);
-        let _span = profile::span_lazy(|| {
-            let method = match req.method() {
-                Method::Get => "GET",
-                Method::Post => "POST",
-            };
-            format!("{method} {}", req.path())
-        });
+        let _span = profile::span_lazy(|| format!("{} {}", req.method(), req.path()));
         let timer = metrics.request_seconds.start_timer();
         let response = self.route(req);
         timer.stop();
@@ -200,6 +195,10 @@ impl PowerPlayApp {
     fn route(&self, req: &Request) -> Response {
         if let Err(denied) = self.authorize(req) {
             return denied;
+        }
+        // The versioned API namespace has its own resource router.
+        if req.path() == "/api/v1" || req.path().starts_with("/api/v1/") {
+            return crate::api_v1::respond(self, req);
         }
         let result = match (req.method(), req.path()) {
             (Method::Get, "/") => Ok(self.login_page()),
@@ -232,9 +231,43 @@ impl PowerPlayApp {
             (Method::Get, "/metrics") => Ok(Self::metrics_exposition()),
             (Method::Get, "/stats") => Ok(Self::stats_page()),
             (Method::Get, _) => Err(Response::error(Status::NotFound, "no such page")),
-            (Method::Post, _) => Err(Response::error(Status::NotFound, "no such action")),
+            _ => Err(Response::error(Status::NotFound, "no such action")),
         };
-        result.unwrap_or_else(|error| error)
+        Self::decorate_legacy(req, result.unwrap_or_else(|error| error))
+    }
+
+    /// The pre-v1 API routes and their v1 successors. They keep
+    /// answering (existing scripts and the demo UI depend on them) but
+    /// every response now advertises the deprecation and the counter
+    /// below measures remaining traffic.
+    const LEGACY_API_ROUTES: &'static [(&'static str, &'static str)] = &[
+        ("/api/library", "/api/v1/library"),
+        ("/api/element", "/api/v1/elements/{name}"),
+        ("/api/design", "/api/v1/designs/{user}/{name}"),
+        ("/api/lint", "/api/v1/designs/{user}/{name}/lint"),
+        ("/api/sweep", "/api/v1/designs/{user}/{name}/sweep"),
+        ("/api/sensitivities", "/api/v1/designs/{user}/{name}/sensitivities"),
+    ];
+
+    /// Stamps deprecated `/api/*` responses with a `Deprecation` header,
+    /// a `Link` to the v1 successor, and a per-route traffic counter.
+    fn decorate_legacy(req: &Request, mut response: Response) -> Response {
+        let Some((route, successor)) = Self::LEGACY_API_ROUTES
+            .iter()
+            .find(|(path, _)| *path == req.path())
+        else {
+            return response;
+        };
+        response.set_header("Deprecation", "true");
+        response.set_header("Link", &format!("<{successor}>; rel=\"successor-version\""));
+        powerplay_telemetry::global()
+            .counter_with(
+                "powerplay_web_legacy_api_total",
+                &[("route", route)],
+                "Requests to deprecated pre-v1 API routes",
+            )
+            .inc();
+        response
     }
 
     // --- helpers ---------------------------------------------------------
@@ -259,15 +292,23 @@ impl PowerPlayApp {
             .ok_or_else(|| Self::bad("identify yourself first (missing `user`)"))
     }
 
-    fn load_design(&self, user: &str, design: &str) -> Result<Sheet, Response> {
+    /// Loads a stored design as `(revision, sheet)`.
+    fn load_design(&self, user: &str, design: &str) -> Result<(u64, Sheet), Response> {
         match self.store.load(user, design) {
-            Ok(Some(sheet)) => Ok(sheet),
+            Ok(Some((rev, sheet))) => Ok((rev, (*sheet).clone())),
             Ok(None) => Err(Response::error(
                 Status::NotFound,
                 &format!("no design `{design}` for user `{user}`"),
             )),
             Err(e) => Err(Self::bad(e)),
         }
+    }
+
+    /// The plan-cache key for a stored design: `(user, name, rev)` plus
+    /// the registry generation — no per-request JSON serialization or
+    /// content hashing (the store guarantees revision immutability).
+    pub(crate) fn stored_key(&self, user: &str, design: &str, rev: u64) -> u64 {
+        PlanCache::rev_key(user, design, rev, self.registry.read().generation())
     }
 
     fn design_url(user: &str, design: &str) -> String {
@@ -338,7 +379,13 @@ errs conservatively high.</p>";
         let designs = self.store.list(&user).map_err(Self::bad)?;
         let design_items: String = designs
             .iter()
-            .map(|d| format!("<li>{}</li>", html::link(&Self::design_url(&user, d), d)))
+            .map(|d| {
+                format!(
+                    "<li>{} <small>(rev {})</small></li>",
+                    html::link(&Self::design_url(&user, &d.name), &d.name),
+                    d.rev,
+                )
+            })
             .collect();
         let body = format!(
             "<h2>Main Menu — {user}</h2>\
@@ -671,7 +718,7 @@ errs conservatively high.</p>";
         let mut sheet = Sheet::new(name.clone());
         sheet.set_global("vdd", "1.5").expect("literal parses");
         sheet.set_global("f", "2e6").expect("literal parses");
-        self.store.save(&user, &name, &sheet).map_err(Self::bad)?;
+        self.store.save(&user, &name, &sheet, None).map_err(Self::bad)?;
         Ok(Response::redirect(&Self::design_url(&user, &name)))
     }
 
@@ -854,7 +901,7 @@ errs conservatively high.</p>";
         let design = req
             .query_param("name")
             .ok_or_else(|| Self::bad("missing `name`"))?;
-        let sheet = self.load_design(&user, &design)?;
+        let (_, sheet) = self.load_design(&user, &design)?;
         let report = sheet
             .play(&self.registry.read())
             .map_err(|e| e.to_string());
@@ -883,11 +930,11 @@ errs conservatively high.</p>";
         let gformula = req
             .form_param("gformula")
             .ok_or_else(|| Self::bad("missing `gformula`"))?;
-        let mut sheet = self.load_design(&user, &design)?;
+        let (_, mut sheet) = self.load_design(&user, &design)?;
         sheet
             .set_global(gname, &gformula)
             .map_err(Self::bad)?;
-        self.store.save(&user, &design, &sheet).map_err(Self::bad)?;
+        self.store.save(&user, &design, &sheet, None).map_err(Self::bad)?;
         Ok(Response::redirect(&Self::design_url(&user, &design)))
     }
 
@@ -909,7 +956,7 @@ errs conservatively high.</p>";
             .unwrap_or_else(|| element.clone());
 
         let mut sheet = match self.store.load(&user, &design).map_err(Self::bad)? {
-            Some(sheet) => sheet,
+            Some((_, sheet)) => (*sheet).clone(),
             None => {
                 // The element-results page can save into a fresh design.
                 let mut sheet = Sheet::new(design.clone());
@@ -932,7 +979,7 @@ errs conservatively high.</p>";
         }
         row.set_doc_link(format!("/doc?name={}", encode(&element)));
         sheet.add_row(row);
-        self.store.save(&user, &design, &sheet).map_err(Self::bad)?;
+        self.store.save(&user, &design, &sheet, None).map_err(Self::bad)?;
         Ok(Response::redirect(&Self::design_url(&user, &design)))
     }
 
@@ -944,9 +991,9 @@ errs conservatively high.</p>";
         let row = req
             .form_param("row")
             .ok_or_else(|| Self::bad("missing `row`"))?;
-        let mut sheet = self.load_design(&user, &design)?;
+        let (_, mut sheet) = self.load_design(&user, &design)?;
         sheet.remove_row(&row);
-        self.store.save(&user, &design, &sheet).map_err(Self::bad)?;
+        self.store.save(&user, &design, &sheet, None).map_err(Self::bad)?;
         Ok(Response::redirect(&Self::design_url(&user, &design)))
     }
 
@@ -959,7 +1006,7 @@ errs conservatively high.</p>";
             .form_param("macro_name")
             .filter(|n| !n.is_empty())
             .ok_or_else(|| Self::bad("missing `macro_name`"))?;
-        let sheet = self.load_design(&user, &design)?;
+        let (_, sheet) = self.load_design(&user, &design)?;
         let lumped = {
             let registry = self.registry.read();
             sheet.to_macro(macro_name.clone(), &registry).map_err(Self::bad)?
@@ -979,7 +1026,7 @@ errs conservatively high.</p>";
         let path = req
             .query_param("path")
             .ok_or_else(|| Self::bad("missing `path`"))?;
-        let sheet = self.load_design(&user, &design)?;
+        let (_, sheet) = self.load_design(&user, &design)?;
 
         // Walk the row path ("Custom Hardware/Luminance Chip").
         let mut current = &sheet;
@@ -1192,7 +1239,7 @@ errs conservatively high.</p>";
         let design = req
             .query_param("name")
             .ok_or_else(|| Self::bad("missing `name`"))?;
-        let sheet = self.load_design(&user, &design)?;
+        let (_, sheet) = self.load_design(&user, &design)?;
         let report = powerplay_lint::lint_sheet(&sheet, &self.registry.read());
         Ok(Response::json(report.to_json().to_string()))
     }
@@ -1225,12 +1272,12 @@ errs conservatively high.</p>";
             .split(',')
             .map(|v| v.trim().parse().map_err(|_| Self::bad(format!("bad value `{v}`"))))
             .collect::<Result<_, _>>()?;
-        let sheet = self.load_design(&user, &design)?;
+        let (rev, sheet) = self.load_design(&user, &design)?;
         // The curve depends on the swept global and values as well as
         // the design, so they are folded into the ETag; the plan cache
-        // itself is keyed on the design alone, so a vdd sweep and an f
-        // sweep of one design share the compiled plan.
-        let key = self.design_key(&sheet);
+        // itself is keyed on the stored revision alone, so a vdd sweep
+        // and an f sweep of one design share the compiled plan.
+        let key = self.stored_key(&user, &design, rev);
         let extra = format!("sweep\u{0}{global}\u{0}{raw_values}");
         let etag = PlanCache::etag(cache::fnv1a_continue(key, extra.as_bytes()));
         if let Some(not_modified) = Self::not_modified(req, &etag) {
@@ -1263,8 +1310,8 @@ errs conservatively high.</p>";
         let design = req
             .query_param("name")
             .ok_or_else(|| Self::bad("missing `name`"))?;
-        let sheet = self.load_design(&user, &design)?;
-        let key = self.design_key(&sheet);
+        let (rev, sheet) = self.load_design(&user, &design)?;
+        let key = self.stored_key(&user, &design, rev);
         let etag = PlanCache::etag(cache::fnv1a_continue(key, b"sensitivities"));
         if let Some(not_modified) = Self::not_modified(req, &etag) {
             return Ok(not_modified);
@@ -1290,8 +1337,10 @@ errs conservatively high.</p>";
         let design = req
             .query_param("name")
             .ok_or_else(|| Self::bad("missing `name`"))?;
-        let sheet = self.load_design(&user, &design)?;
-        self.api_design_response(req, &sheet)
+        let (rev, sheet) = self.load_design(&user, &design)?;
+        // Stored designs key the cache by `(user, name, rev)` — no
+        // per-request serialization or hashing of the sheet JSON.
+        self.api_design_response(req, self.stored_key(&user, &design, rev), &sheet)
     }
 
     /// `POST /api/design` with a sheet JSON document as the body —
@@ -1304,20 +1353,18 @@ errs conservatively high.</p>";
             .map_err(|_| Self::bad("body must be UTF-8 sheet JSON"))?;
         let json = Json::parse(&text).map_err(Self::bad)?;
         let sheet = Sheet::from_json(&json).map_err(Self::bad)?;
-        self.api_design_response(req, &sheet)
-    }
-
-    /// The cache key of a design under the current library.
-    fn design_key(&self, sheet: &Sheet) -> u64 {
-        PlanCache::key(
+        // An unsaved body has no revision; canonicalize and hash the
+        // content so formatting differences do not fragment the cache.
+        let key = PlanCache::key(
             &sheet.to_json().to_string(),
             self.registry.read().generation(),
-        )
+        );
+        self.api_design_response(req, key, &sheet)
     }
 
     /// A `304 Not Modified` if the request's `If-None-Match` matches the
     /// ETag the response would carry.
-    fn not_modified(req: &Request, etag: &str) -> Option<Response> {
+    pub(crate) fn not_modified(req: &Request, etag: &str) -> Option<Response> {
         (req.header("if-none-match") == Some(etag)).then(|| {
             let mut response = Response::new(Status::NotModified);
             response.set_header("ETag", etag);
@@ -1329,7 +1376,7 @@ errs conservatively high.</p>";
     /// Compilation holds the registry read lock only while it runs; the
     /// plan owns shared handles to the elements it needs, so later
     /// (parallel) evaluation never blocks library edits.
-    fn plan_for(&self, key: u64, sheet: &Sheet) -> Arc<powerplay_sheet::CompiledSheet> {
+    pub(crate) fn plan_for(&self, key: u64, sheet: &Sheet) -> Arc<powerplay_sheet::CompiledSheet> {
         let (plan, _hit) = self.plan_cache.plan_for(key, || {
             powerplay_sheet::CompiledSheet::compile(sheet, &self.registry.read())
         });
@@ -1338,9 +1385,14 @@ errs conservatively high.</p>";
 
     /// Shared by GET and POST `/api/design`: conditional-GET check,
     /// then the cached body, then compile/replay and cache the result.
-    fn api_design_response(&self, req: &Request, sheet: &Sheet) -> Result<Response, Response> {
-        let design_json = sheet.to_json();
-        let key = PlanCache::key(&design_json.to_string(), self.registry.read().generation());
+    /// `key` is the plan-cache key the caller derived — revision-based
+    /// for stored designs, content-based for unsaved POST bodies.
+    fn api_design_response(
+        &self,
+        req: &Request,
+        key: u64,
+        sheet: &Sheet,
+    ) -> Result<Response, Response> {
         let etag = PlanCache::etag(key);
         if let Some(not_modified) = Self::not_modified(req, &etag) {
             return Ok(not_modified);
@@ -1363,7 +1415,7 @@ errs conservatively high.</p>";
             })
             .collect();
         let body = Json::object([
-            ("design", design_json),
+            ("design", sheet.to_json()),
             (
                 "report",
                 Json::object([

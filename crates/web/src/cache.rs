@@ -118,6 +118,20 @@ impl PlanCache {
         fnv1a_continue(fnv1a(design_json.as_bytes()), &generation.to_le_bytes())
     }
 
+    /// The cache key for a *stored* design at a known store revision.
+    /// Identity comes from `(user, name, rev)` plus the registry
+    /// generation — no JSON serialization or content hashing per
+    /// request (the design store guarantees a revision's content never
+    /// changes).
+    #[must_use]
+    pub fn rev_key(user: &str, name: &str, rev: u64, generation: u64) -> u64 {
+        let mut hash = fnv1a(user.as_bytes());
+        hash = fnv1a_continue(hash, &[0]);
+        hash = fnv1a_continue(hash, name.as_bytes());
+        hash = fnv1a_continue(hash, &rev.to_le_bytes());
+        fnv1a_continue(hash, &generation.to_le_bytes())
+    }
+
     /// The strong `ETag` a key renders as.
     #[must_use]
     pub fn etag(key: u64) -> String {
@@ -227,6 +241,21 @@ mod tests {
         assert_eq!(PlanCache::key("{}", 1), PlanCache::key("{}", 1));
         assert_ne!(PlanCache::key("{}", 1), PlanCache::key("{}", 2));
         assert_ne!(PlanCache::key("{}", 1), PlanCache::key("[]", 1));
+    }
+
+    #[test]
+    fn rev_key_depends_on_every_field() {
+        let base = PlanCache::rev_key("a", "d", 1, 1);
+        assert_eq!(PlanCache::rev_key("a", "d", 1, 1), base);
+        assert_ne!(PlanCache::rev_key("b", "d", 1, 1), base);
+        assert_ne!(PlanCache::rev_key("a", "e", 1, 1), base);
+        assert_ne!(PlanCache::rev_key("a", "d", 2, 1), base);
+        assert_ne!(PlanCache::rev_key("a", "d", 1, 2), base);
+        // The separator keeps (user, name) unambiguous.
+        assert_ne!(
+            PlanCache::rev_key("ab", "c", 1, 1),
+            PlanCache::rev_key("a", "bc", 1, 1)
+        );
     }
 
     #[test]

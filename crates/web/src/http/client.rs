@@ -48,7 +48,7 @@ impl Error for ClientError {}
 /// # Ok::<(), powerplay_web::http::ClientError>(())
 /// ```
 pub fn http_get(url: &str) -> Result<Response, ClientError> {
-    send(url, Method::Get, None, None)
+    send(url, Method::Get, None, None, None)
 }
 
 /// Issues a `GET` with HTTP Basic credentials (for password-protected
@@ -63,7 +63,7 @@ pub fn http_get_basic_auth(
     user: &str,
     password: &str,
 ) -> Result<Response, ClientError> {
-    send(url, Method::Get, None, Some((user, password)))
+    send(url, Method::Get, None, Some((user, password)), None)
 }
 
 /// Issues a `POST` with the given body and content type.
@@ -72,7 +72,31 @@ pub fn http_get_basic_auth(
 ///
 /// Same as [`http_get`].
 pub fn http_post(url: &str, body: &[u8], content_type: &str) -> Result<Response, ClientError> {
-    send(url, Method::Post, Some((body, content_type)), None)
+    send(url, Method::Post, Some((body, content_type)), None, None)
+}
+
+/// Issues a `PUT` with the given body, content type, and optional
+/// `If-Match` revision guard (v1 design resources).
+///
+/// # Errors
+///
+/// Same as [`http_get`].
+pub fn http_put(
+    url: &str,
+    body: &[u8],
+    content_type: &str,
+    if_match: Option<&str>,
+) -> Result<Response, ClientError> {
+    send(url, Method::Put, Some((body, content_type)), None, if_match)
+}
+
+/// Issues a `DELETE`.
+///
+/// # Errors
+///
+/// Same as [`http_get`].
+pub fn http_delete(url: &str) -> Result<Response, ClientError> {
+    send(url, Method::Delete, None, None, None)
 }
 
 fn send(
@@ -80,6 +104,7 @@ fn send(
     method: Method,
     body: Option<(&[u8], &str)>,
     basic_auth: Option<(&str, &str)>,
+    if_match: Option<&str>,
 ) -> Result<Response, ClientError> {
     let (host_port, path_and_query) = split_url(url)?;
     let mut request = Request::new(method, path_and_query);
@@ -89,6 +114,9 @@ fn send(
     if let Some((user, password)) = basic_auth {
         let token = crate::http::base64::encode(format!("{user}:{password}").as_bytes());
         request.set_header("authorization", &format!("Basic {token}"));
+    }
+    if let Some(rev) = if_match {
+        request.set_header("if-match", rev);
     }
 
     let stream = TcpStream::connect(&host_port).map_err(|e| ClientError::Io(e.to_string()))?;
@@ -142,12 +170,16 @@ fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, ClientError> {
         .ok_or_else(|| ClientError::BadResponse("missing status code".into()))?;
     let status = match code {
         200 => Status::Ok,
+        201 => Status::Created,
         302 => Status::Found,
+        304 => Status::NotModified,
         400 => Status::BadRequest,
         401 => Status::Unauthorized,
         404 => Status::NotFound,
         405 => Status::MethodNotAllowed,
+        409 => Status::Conflict,
         413 => Status::PayloadTooLarge,
+        428 => Status::PreconditionRequired,
         431 => Status::RequestHeaderFieldsTooLarge,
         503 => Status::ServiceUnavailable,
         _ => Status::InternalServerError,

@@ -13,7 +13,7 @@ mod response;
 mod server;
 pub mod urlencoded;
 
-pub use client::{http_get, http_get_basic_auth, http_post, ClientError};
+pub use client::{http_delete, http_get, http_get_basic_auth, http_post, http_put, ClientError};
 pub use request::{Method, ParseRequestError, Request};
 pub use response::{Response, Status};
 pub use server::{Server, ServerHandle};

@@ -19,6 +19,10 @@ pub enum Method {
     Get,
     /// `POST`
     Post,
+    /// `PUT` (v1 design resources)
+    Put,
+    /// `DELETE` (v1 design resources)
+    Delete,
 }
 
 impl Method {
@@ -27,6 +31,8 @@ impl Method {
         match token {
             "GET" => Some(Method::Get),
             "POST" => Some(Method::Post),
+            "PUT" => Some(Method::Put),
+            "DELETE" => Some(Method::Delete),
             _ => None,
         }
     }
@@ -37,6 +43,8 @@ impl fmt::Display for Method {
         f.write_str(match self {
             Method::Get => "GET",
             Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
         })
     }
 }
@@ -238,12 +246,15 @@ impl Request {
         })
     }
 
-    pub(crate) fn set_header(&mut self, name: &str, value: &str) {
+    /// Sets a header (names are case-insensitive), for tests and
+    /// clients building requests programmatically.
+    pub fn set_header(&mut self, name: &str, value: &str) {
         self.headers
             .insert(name.to_ascii_lowercase(), value.to_owned());
     }
 
-    pub(crate) fn set_body(&mut self, body: Vec<u8>, content_type: &str) {
+    /// Sets the body and its `Content-Type`.
+    pub fn set_body(&mut self, body: Vec<u8>, content_type: &str) {
         self.headers
             .insert("content-type".into(), content_type.to_owned());
         self.body = body;
@@ -339,7 +350,7 @@ mod tests {
     fn rejects_malformed_requests() {
         assert!(matches!(parse(""), Err(ParseRequestError::ConnectionClosed)));
         assert!(matches!(
-            parse("DELETE / HTTP/1.1\r\n\r\n"),
+            parse("PATCH / HTTP/1.1\r\n\r\n"),
             Err(ParseRequestError::UnsupportedMethod(_))
         ));
         assert!(matches!(
@@ -383,6 +394,15 @@ mod tests {
         }
         raw.push_str("\r\n");
         assert!(matches!(parse(&raw), Err(ParseRequestError::HeadTooLarge)));
+    }
+
+    #[test]
+    fn parses_put_and_delete() {
+        let req = parse("PUT /api/v1/designs/alice/lum HTTP/1.1\r\nIf-Match: \"3\"\r\n\r\n").unwrap();
+        assert_eq!(req.method(), Method::Put);
+        assert_eq!(req.header("if-match"), Some("\"3\""));
+        let req = parse("DELETE /api/v1/designs/alice/lum HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method(), Method::Delete);
     }
 
     #[test]

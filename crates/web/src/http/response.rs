@@ -8,6 +8,8 @@ use std::io::{self, Write};
 pub enum Status {
     /// 200
     Ok,
+    /// 201 (a PUT created a new design)
+    Created,
     /// 302 (post-redirect-get after form submissions)
     Found,
     /// 304 (conditional GET whose `If-None-Match` matched the ETag)
@@ -20,8 +22,12 @@ pub enum Status {
     NotFound,
     /// 405
     MethodNotAllowed,
+    /// 409 (stale `If-Match` revision on a PUT — optimistic concurrency)
+    Conflict,
     /// 413 (body over the server's size limit)
     PayloadTooLarge,
+    /// 428 (a PUT over an existing design without `If-Match`)
+    PreconditionRequired,
     /// 431 (header section over the server's size limit)
     RequestHeaderFieldsTooLarge,
     /// 500
@@ -35,13 +41,16 @@ impl Status {
     pub fn code(self) -> u16 {
         match self {
             Status::Ok => 200,
+            Status::Created => 201,
             Status::Found => 302,
             Status::NotModified => 304,
             Status::BadRequest => 400,
             Status::Unauthorized => 401,
             Status::NotFound => 404,
             Status::MethodNotAllowed => 405,
+            Status::Conflict => 409,
             Status::PayloadTooLarge => 413,
+            Status::PreconditionRequired => 428,
             Status::RequestHeaderFieldsTooLarge => 431,
             Status::InternalServerError => 500,
             Status::ServiceUnavailable => 503,
@@ -52,13 +61,16 @@ impl Status {
     pub fn reason(self) -> &'static str {
         match self {
             Status::Ok => "OK",
+            Status::Created => "Created",
             Status::Found => "Found",
             Status::NotModified => "Not Modified",
             Status::BadRequest => "Bad Request",
             Status::Unauthorized => "Unauthorized",
             Status::NotFound => "Not Found",
             Status::MethodNotAllowed => "Method Not Allowed",
+            Status::Conflict => "Conflict",
             Status::PayloadTooLarge => "Payload Too Large",
+            Status::PreconditionRequired => "Precondition Required",
             Status::RequestHeaderFieldsTooLarge => "Request Header Fields Too Large",
             Status::InternalServerError => "Internal Server Error",
             Status::ServiceUnavailable => "Service Unavailable",
@@ -203,7 +215,10 @@ mod tests {
     #[test]
     fn status_codes() {
         assert_eq!(Status::Ok.code(), 200);
+        assert_eq!(Status::Created.code(), 201);
         assert_eq!(Status::NotFound.code(), 404);
+        assert_eq!(Status::Conflict.code(), 409);
+        assert_eq!(Status::PreconditionRequired.code(), 428);
         assert_eq!(Status::Found.reason(), "Found");
         assert_eq!(Status::PayloadTooLarge.code(), 413);
         assert_eq!(Status::RequestHeaderFieldsTooLarge.code(), 431);

@@ -510,6 +510,8 @@ mod tests {
             Response::html(match req.method() {
                 Method::Get => "get",
                 Method::Post => "post",
+                Method::Put => "put",
+                Method::Delete => "delete",
             })
         })
         .unwrap()

@@ -36,6 +36,7 @@
 //! ```
 
 pub mod agent;
+pub mod api_v1;
 pub mod app;
 pub mod cache;
 pub mod html;

@@ -3,281 +3,16 @@
 //! "Since WWW browsers do not supply user names, when PowerPlay is
 //! initially accessed the user must identify her/himself. The username is
 //! passed to a Perl script which retrieves the individual user's defaults
-//! from the PowerPlay server's local file system." This module is that
-//! script: a username-keyed store of designs, persisted as JSON files
-//! under a data directory.
+//! from the PowerPlay server's local file system." The flat-file script
+//! this module used to be has been promoted into the durable, revisioned
+//! [`powerplay-store`](powerplay_store) crate (per-user WAL, crash
+//! recovery, optimistic concurrency); the web layer re-exports it here so
+//! the `app`'s storage dependency stays in one place. Pre-revision
+//! `<design>.json` data directories are imported automatically on first
+//! open.
 
-use std::collections::BTreeMap;
-use std::error::Error;
-use std::fmt;
-use std::fs;
-use std::path::{Path, PathBuf};
+pub use powerplay_store::{DesignStore, DesignSummary, StoreConfig, StoreError};
 
-use parking_lot::RwLock;
-use powerplay_json::Json;
-use powerplay_sheet::Sheet;
-
-/// Error produced by the user store.
-#[derive(Debug)]
-pub enum StoreError {
-    /// Usernames are path components; only `[a-zA-Z0-9_-]{1,32}` is safe.
-    InvalidUsername(String),
-    /// Design names share the same restriction.
-    InvalidDesignName(String),
-    /// Filesystem failure.
-    Io(std::io::Error),
-    /// A stored design file failed to decode.
-    Corrupt(String),
-}
-
-impl fmt::Display for StoreError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            StoreError::InvalidUsername(u) => write!(f, "invalid username `{u}`"),
-            StoreError::InvalidDesignName(d) => write!(f, "invalid design name `{d}`"),
-            StoreError::Io(e) => write!(f, "storage error: {e}"),
-            StoreError::Corrupt(what) => write!(f, "corrupt design file: {what}"),
-        }
-    }
-}
-
-impl Error for StoreError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            StoreError::Io(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-impl From<std::io::Error> for StoreError {
-    fn from(e: std::io::Error) -> StoreError {
-        StoreError::Io(e)
-    }
-}
-
-fn valid_name(name: &str) -> bool {
-    !name.is_empty()
-        && name.len() <= 32
-        && name
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
-}
-
-/// A thread-safe, disk-backed store of per-user designs.
-pub struct UserStore {
-    root: PathBuf,
-    cache: RwLock<BTreeMap<(String, String), Sheet>>,
-}
-
-impl UserStore {
-    /// Opens (creating if needed) a store rooted at `root`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`StoreError::Io`] if the directory cannot be created.
-    pub fn open(root: impl Into<PathBuf>) -> Result<UserStore, StoreError> {
-        let root = root.into();
-        fs::create_dir_all(&root)?;
-        Ok(UserStore {
-            root,
-            cache: RwLock::new(BTreeMap::new()),
-        })
-    }
-
-    fn design_path(&self, user: &str, design: &str) -> Result<PathBuf, StoreError> {
-        if !valid_name(user) {
-            return Err(StoreError::InvalidUsername(user.to_owned()));
-        }
-        if !valid_name(design) {
-            return Err(StoreError::InvalidDesignName(design.to_owned()));
-        }
-        Ok(self.root.join(user).join(format!("{design}.json")))
-    }
-
-    /// Saves a design for a user (insert or replace).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`StoreError`] on invalid names or I/O failure.
-    pub fn save(&self, user: &str, design: &str, sheet: &Sheet) -> Result<(), StoreError> {
-        let path = self.design_path(user, design)?;
-        fs::create_dir_all(path.parent().expect("design path has parent"))?;
-        fs::write(&path, sheet.to_json().to_pretty())?;
-        self.cache
-            .write()
-            .insert((user.to_owned(), design.to_owned()), sheet.clone());
-        Ok(())
-    }
-
-    /// Loads a user's design.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`StoreError`] on invalid names, I/O failure, or a corrupt
-    /// file. A missing design is `Ok(None)`.
-    pub fn load(&self, user: &str, design: &str) -> Result<Option<Sheet>, StoreError> {
-        if let Some(sheet) = self
-            .cache
-            .read()
-            .get(&(user.to_owned(), design.to_owned()))
-        {
-            return Ok(Some(sheet.clone()));
-        }
-        let path = self.design_path(user, design)?;
-        if !path.exists() {
-            return Ok(None);
-        }
-        let text = fs::read_to_string(&path)?;
-        let json = Json::parse(&text).map_err(|e| StoreError::Corrupt(e.to_string()))?;
-        let sheet = Sheet::from_json(&json).map_err(|e| StoreError::Corrupt(e.to_string()))?;
-        self.cache
-            .write()
-            .insert((user.to_owned(), design.to_owned()), sheet.clone());
-        Ok(Some(sheet))
-    }
-
-    /// Lists a user's design names (empty for unknown users).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`StoreError`] on invalid usernames or I/O failure.
-    pub fn list(&self, user: &str) -> Result<Vec<String>, StoreError> {
-        if !valid_name(user) {
-            return Err(StoreError::InvalidUsername(user.to_owned()));
-        }
-        let dir = self.root.join(user);
-        if !dir.exists() {
-            return Ok(Vec::new());
-        }
-        let mut names = Vec::new();
-        for entry in fs::read_dir(dir)? {
-            let entry = entry?;
-            if let Some(name) = entry
-                .file_name()
-                .to_str()
-                .and_then(|n| n.strip_suffix(".json"))
-            {
-                names.push(name.to_owned());
-            }
-        }
-        names.sort();
-        Ok(names)
-    }
-
-    /// Deletes a design. Missing designs are a no-op.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`StoreError`] on invalid names or I/O failure.
-    pub fn delete(&self, user: &str, design: &str) -> Result<(), StoreError> {
-        let path = self.design_path(user, design)?;
-        if path.exists() {
-            fs::remove_file(path)?;
-        }
-        self.cache
-            .write()
-            .remove(&(user.to_owned(), design.to_owned()));
-        Ok(())
-    }
-
-    /// The storage root (for diagnostics).
-    pub fn root(&self) -> &Path {
-        &self.root
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn temp_store(tag: &str) -> UserStore {
-        let dir = std::env::temp_dir().join(format!(
-            "powerplay-test-{tag}-{}",
-            std::process::id()
-        ));
-        let _ = fs::remove_dir_all(&dir);
-        UserStore::open(dir).unwrap()
-    }
-
-    fn sample_sheet() -> Sheet {
-        let mut sheet = Sheet::new("Luminance");
-        sheet.set_global("vdd", "1.5").unwrap();
-        sheet.set_global("f", "2MHz").unwrap();
-        sheet
-            .add_element_row("LUT", "ucb/sram", [("words", "4096"), ("bits", "6")])
-            .unwrap();
-        sheet
-    }
-
-    #[test]
-    fn save_load_roundtrip() {
-        let store = temp_store("roundtrip");
-        let sheet = sample_sheet();
-        store.save("alice", "luminance", &sheet).unwrap();
-        let loaded = store.load("alice", "luminance").unwrap().unwrap();
-        assert_eq!(loaded, sheet);
-        // Cold read (fresh store over the same directory).
-        let store2 = UserStore::open(store.root().to_owned()).unwrap();
-        let cold = store2.load("alice", "luminance").unwrap().unwrap();
-        assert_eq!(cold, sheet);
-    }
-
-    #[test]
-    fn missing_design_is_none() {
-        let store = temp_store("missing");
-        assert!(store.load("alice", "nothing").unwrap().is_none());
-    }
-
-    #[test]
-    fn listing_and_deletion() {
-        let store = temp_store("list");
-        store.save("bob", "a", &sample_sheet()).unwrap();
-        store.save("bob", "b", &sample_sheet()).unwrap();
-        assert_eq!(store.list("bob").unwrap(), ["a", "b"]);
-        assert!(store.list("nobody").unwrap().is_empty());
-        store.delete("bob", "a").unwrap();
-        assert_eq!(store.list("bob").unwrap(), ["b"]);
-        store.delete("bob", "a").unwrap(); // idempotent
-    }
-
-    #[test]
-    fn users_are_isolated() {
-        let store = temp_store("isolation");
-        store.save("alice", "d", &sample_sheet()).unwrap();
-        assert!(store.load("bob", "d").unwrap().is_none());
-    }
-
-    #[test]
-    fn path_traversal_is_rejected() {
-        let store = temp_store("traversal");
-        for bad in ["../../etc/passwd", "a/b", "", "x".repeat(64).as_str(), "a b"] {
-            assert!(
-                matches!(
-                    store.save(bad, "d", &sample_sheet()),
-                    Err(StoreError::InvalidUsername(_))
-                ),
-                "accepted username {bad:?}"
-            );
-            assert!(
-                matches!(
-                    store.save("alice", bad, &sample_sheet()),
-                    Err(StoreError::InvalidDesignName(_))
-                ),
-                "accepted design {bad:?}"
-            );
-        }
-    }
-
-    #[test]
-    fn corrupt_files_are_reported() {
-        let store = temp_store("corrupt");
-        store.save("carol", "d", &sample_sheet()).unwrap();
-        fs::write(store.root().join("carol/d.json"), "{nonsense").unwrap();
-        let fresh = UserStore::open(store.root().to_owned()).unwrap();
-        assert!(matches!(
-            fresh.load("carol", "d"),
-            Err(StoreError::Corrupt(_))
-        ));
-    }
-}
+/// The web layer's design store — the durable, revisioned
+/// [`DesignStore`].
+pub type UserStore = DesignStore;

@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Pre-load the paper's reference design so the menu is not empty.
     app.store()
-        .save("guest", "luminance", &luminance::sheet(LuminanceArch::GroupedLut))?;
+        .save("guest", "luminance", &luminance::sheet(LuminanceArch::GroupedLut), None)?;
 
     let server = app.serve(&addr)?;
     let base = format!("http://{}", server.addr());

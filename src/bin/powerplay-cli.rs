@@ -51,6 +51,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("sens") => cmd_sens(&args[1..]),
         Some("mc") => cmd_mc(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("designs") => cmd_designs(&args[1..]),
         Some("fetch") => cmd_fetch(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}` (try `help`)")),
     }
@@ -74,7 +75,10 @@ USAGE:
   powerplay-cli compare <a.json> <b.json>    side-by-side design comparison
   powerplay-cli sens <design.json>          sensitivity of power to each global
   powerplay-cli mc <design.json> <rel> <trials> <globals,...>  Monte-Carlo spread
-  powerplay-cli serve [addr] [--seed-demo]  run the web application
+  powerplay-cli serve [addr] [--seed-demo] [--data-dir <dir>]
+                                            run the web application
+  powerplay-cli designs [--data-dir <dir>] [<user> [<design>]]
+                                            inspect the durable design store
   powerplay-cli fetch <http://site>         fetch a remote library (JSON)
 ";
 
@@ -368,15 +372,22 @@ fn cmd_mc(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    let mut addr = "127.0.0.1:8096";
+    let mut addr = "127.0.0.1:8096".to_owned();
     let mut seed_demo = false;
-    for arg in args {
+    let mut data_dir = std::env::temp_dir().join("powerplay-cli-www");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
         match arg.as_str() {
             "--seed-demo" => seed_demo = true,
-            other => addr = other,
+            "--data-dir" => {
+                data_dir = it
+                    .next()
+                    .ok_or("--data-dir needs a path")?
+                    .into();
+            }
+            other => addr = other.to_owned(),
         }
     }
-    let data_dir = std::env::temp_dir().join("powerplay-cli-www");
     let app = powerplay_web::app::PowerPlayApp::new(ucb_library(), data_dir);
     if seed_demo {
         // The paper's worked examples, saved for user `demo` so smoke
@@ -390,15 +401,67 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         ] {
             let json = Json::parse(text).map_err(|e| format!("demo design {name}: {e}"))?;
             let sheet = Sheet::from_json(&json).map_err(|e| format!("demo design {name}: {e}"))?;
-            app.store()
-                .save("demo", name, &sheet)
+            let rev = app
+                .store()
+                .save("demo", name, &sheet, None)
                 .map_err(|e| e.to_string())?;
-            println!("seeded design `{name}` for user `demo`");
+            println!("seeded design `{name}` for user `demo` (rev {rev})");
         }
     }
-    let server = app.serve(addr).map_err(|e| e.to_string())?;
+    let server = app.serve(&addr).map_err(|e| e.to_string())?;
     println!("PowerPlay serving at http://{}", server.addr());
     server.join();
+    Ok(())
+}
+
+/// `designs [--data-dir <dir>] [<user> [<design>]]` — inspect the
+/// durable store directly: users, their designs (current revision and
+/// retained history depth), or one design's revision list.
+fn cmd_designs(args: &[String]) -> Result<(), String> {
+    let mut data_dir = std::env::temp_dir().join("powerplay-cli-www");
+    let mut positional: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--data-dir" => {
+                data_dir = it
+                    .next()
+                    .ok_or("--data-dir needs a path")?
+                    .into();
+            }
+            other => positional.push(other),
+        }
+    }
+    let store =
+        powerplay_web::session::UserStore::open(data_dir).map_err(|e| e.to_string())?;
+    match positional.as_slice() {
+        [] => {
+            let users = store.users().map_err(|e| e.to_string())?;
+            if users.is_empty() {
+                eprintln!("no users in {}", store.root().display());
+            }
+            for user in users {
+                let designs = store.list(&user).map_err(|e| e.to_string())?;
+                println!("{:<24} {} design(s)", user, designs.len());
+            }
+        }
+        [user] => {
+            for d in store.list(user).map_err(|e| e.to_string())? {
+                println!("{:<32} rev {:<6} {} revision(s) kept", d.name, d.rev, d.revisions);
+            }
+        }
+        [user, design] => {
+            let revs = store
+                .revisions(user, design)
+                .map_err(|e| e.to_string())?
+                .ok_or_else(|| format!("no design `{design}` for user `{user}`"))?;
+            for (i, rev) in revs.iter().enumerate() {
+                let marker = if i == 0 { "  (current)" } else { "" };
+                println!("rev {rev}{marker}");
+            }
+        }
+        _ => return Err("usage: designs [--data-dir <dir>] [<user> [<design>]]".into()),
+    }
     Ok(())
 }
 

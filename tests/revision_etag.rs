@@ -1,0 +1,86 @@
+//! Regression test for the ETag weakness the v1 redesign fixed: a
+//! conditional GET of an unchanged stored design must answer `304 Not
+//! Modified` without recompiling — and, since the tag now comes from
+//! the store revision, without serializing or hashing the design at
+//! all. The proof is the plan-cache miss counter: it must not move
+//! across the conditional requests.
+//!
+//! This lives alone in its own integration binary because the cache
+//! counters are process-global; a single `#[test]` makes the
+//! no-growth assertion race-free.
+
+use powerplay::{ucb_library, Sheet};
+use powerplay_web::app::PowerPlayApp;
+use powerplay_web::http::{Method, Request, Status};
+
+fn prom_value(exposition: &str, series: &str) -> f64 {
+    exposition
+        .lines()
+        .find(|l| l.starts_with(series) && !l.starts_with('#'))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0)
+}
+
+#[test]
+fn conditional_gets_neither_recompile_nor_rehash() {
+    let dir = std::env::temp_dir().join(format!("powerplay-revetag-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let app = PowerPlayApp::new(ucb_library(), dir);
+
+    let mut sheet = Sheet::new("d");
+    sheet.set_global("vdd", "1.5").unwrap();
+    sheet.set_global("f", "2e6").unwrap();
+    sheet
+        .add_element_row("R", "ucb/register", [("bits", "16")])
+        .unwrap();
+    app.store().save("a", "d", &sheet, None).unwrap();
+
+    let metrics = |app: &PowerPlayApp| {
+        app.handle(&Request::new(Method::Get, "/metrics")).body_text()
+    };
+    let misses =
+        |exposition: &str| prom_value(exposition, "powerplay_web_plan_cache_misses_total");
+
+    // First legacy GET compiles once (one miss) and yields the tag.
+    let first = app.handle(&Request::new(Method::Get, "/api/design?user=a&name=d"));
+    assert_eq!(first.status(), Status::Ok, "{}", first.body_text());
+    let legacy_tag = first.header("etag").expect("legacy ETag").to_owned();
+    let baseline = misses(&metrics(&app));
+    assert!(baseline >= 1.0);
+
+    // Conditional legacy GETs revalidate from the store revision: no
+    // new misses (no recompile), and in fact no cache traffic at all.
+    for _ in 0..3 {
+        let mut conditional = Request::new(Method::Get, "/api/design?user=a&name=d");
+        conditional.set_header("If-None-Match", &legacy_tag);
+        let r = app.handle(&conditional);
+        assert_eq!(r.status(), Status::NotModified);
+        assert!(r.body().is_empty());
+    }
+    assert_eq!(
+        misses(&metrics(&app)),
+        baseline,
+        "a 304 must not recompile the design"
+    );
+
+    // The v1 resource is revision-tagged directly.
+    let v1 = app.handle(&Request::new(Method::Get, "/api/v1/designs/a/d"));
+    assert_eq!(v1.status(), Status::Ok);
+    assert_eq!(v1.header("etag"), Some("\"1\""));
+    let mut conditional = Request::new(Method::Get, "/api/v1/designs/a/d");
+    conditional.set_header("If-None-Match", "\"1\"");
+    assert_eq!(app.handle(&conditional).status(), Status::NotModified);
+    assert_eq!(
+        misses(&metrics(&app)),
+        baseline,
+        "v1 conditional GETs never touch the plan cache"
+    );
+
+    // A new revision invalidates both surfaces.
+    app.store().save("a", "d", &sheet, None).unwrap();
+    let refreshed = app.handle(&Request::new(Method::Get, "/api/design?user=a&name=d"));
+    assert_ne!(refreshed.header("etag"), Some(legacy_tag.as_str()));
+    let v1 = app.handle(&Request::new(Method::Get, "/api/v1/designs/a/d"));
+    assert_eq!(v1.header("etag"), Some("\"2\""));
+}

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use powerplay::{ucb_library, Sheet};
 use powerplay_json::Json;
 use powerplay_web::app::PowerPlayApp;
-use powerplay_web::http::{http_get, ServerHandle, Status};
+use powerplay_web::http::{http_get, http_put, ServerHandle, Status};
 
 fn serve(tag: &str) -> (Arc<PowerPlayApp>, ServerHandle, String) {
     let dir = std::env::temp_dir().join(format!("powerplay-smoke-{tag}-{}", std::process::id()));
@@ -52,7 +52,7 @@ fn metrics_reflect_served_traffic() {
     // the wire.
     let text = std::fs::read_to_string("examples/designs/infopad.json").unwrap();
     let sheet = Sheet::from_json(&Json::parse(&text).unwrap()).unwrap();
-    app.store().save("demo", "infopad", &sheet).unwrap();
+    app.store().save("demo", "infopad", &sheet, None).unwrap();
 
     let played = http_get(&format!("{base}/api/design?user=demo&name=infopad")).unwrap();
     assert_eq!(played.status(), Status::Ok, "{}", played.body_text());
@@ -75,6 +75,18 @@ fn metrics_reflect_served_traffic() {
     assert!(lookup(&series, "powerplay_sheet_rows_evaluated_total") >= 1.0);
     assert!(lookup(&series, "powerplay_server_connections_total") >= 1.0);
 
+    // The durable store instrumented the seed commit: WAL bytes on
+    // disk, a commit counted, and a nonzero commit-latency histogram.
+    assert!(lookup(&series, "powerplay_store_wal_bytes") > 0.0);
+    assert!(lookup(&series, "powerplay_store_commits_total") >= 1.0);
+    assert!(lookup(&series, "powerplay_store_commit_seconds_count") >= 1.0);
+
+    // The legacy route advertised its v1 successor and was counted.
+    assert_eq!(played.header("deprecation"), Some("true"));
+    assert!(
+        lookup(&series, "powerplay_web_legacy_api_total{route=\"/api/design\"}") >= 1.0
+    );
+
     // The exposition is substantial: at least 12 distinct series, each
     // with a HELP/TYPE header for its family.
     let names: BTreeSet<&String> = series.iter().map(|(n, _)| n).collect();
@@ -92,6 +104,45 @@ fn metrics_reflect_served_traffic() {
             "missing TYPE for {family}"
         );
     }
+
+    server.shutdown();
+}
+
+/// The CI smoke sequence for the v1 API, over real sockets: create with
+/// PUT, collide on a stale If-Match (409), list revisions, roll back.
+#[test]
+fn v1_api_round_trip_over_sockets() {
+    let (_app, server, base) = serve("v1");
+    let text = std::fs::read_to_string("examples/designs/infopad.json").unwrap();
+    let url = format!("{base}/api/v1/designs/demo/infopad");
+
+    // Create (201, ETag "1"), then update with the right tag (200).
+    let created = http_put(&url, text.as_bytes(), "application/json", None).unwrap();
+    assert_eq!(created.status(), Status::Created, "{}", created.body_text());
+    assert_eq!(created.header("etag"), Some("\"1\""));
+    let updated = http_put(&url, text.as_bytes(), "application/json", Some("\"1\"")).unwrap();
+    assert_eq!(updated.status(), Status::Ok, "{}", updated.body_text());
+
+    // A stale tag is a structured 409 conflict.
+    let stale = http_put(&url, text.as_bytes(), "application/json", Some("\"1\"")).unwrap();
+    assert_eq!(stale.status(), Status::Conflict);
+    let envelope = Json::parse(&stale.body_text()).unwrap();
+    assert_eq!(envelope["error"]["code"].as_str(), Some("conflict"));
+    assert_eq!(envelope["error"]["diagnostics"]["actual"].as_f64(), Some(2.0));
+
+    // History is visible and rollback mints revision 3.
+    let listed = http_get(&format!("{url}/revisions")).unwrap();
+    assert_eq!(listed.status(), Status::Ok);
+    let parsed = Json::parse(&listed.body_text()).unwrap();
+    assert_eq!(parsed["current"].as_f64(), Some(2.0));
+    let rolled = powerplay_web::http::http_post(
+        &format!("{url}/rollback"),
+        b"{\"rev\": 1}",
+        "application/json",
+    )
+    .unwrap();
+    assert_eq!(rolled.status(), Status::Ok, "{}", rolled.body_text());
+    assert_eq!(rolled.header("etag"), Some("\"3\""));
 
     server.shutdown();
 }
