@@ -172,8 +172,25 @@ impl PowerPlayApp {
     ///
     /// Returns the socket-binding error, if any.
     pub fn serve(self: &Arc<Self>, addr: &str) -> std::io::Result<ServerHandle> {
+        self.serve_with(addr, crate::http::ServerConfig::default())
+    }
+
+    /// Like [`Self::serve`] but with explicit reactor/pool sizing —
+    /// worker count, shed thresholds, deadlines — for deployments and
+    /// the load bench.
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket-binding error, if any.
+    pub fn serve_with(
+        self: &Arc<Self>,
+        addr: &str,
+        config: crate::http::ServerConfig,
+    ) -> std::io::Result<ServerHandle> {
         let app = Arc::clone(self);
-        Ok(Server::bind(addr, move |req| app.handle(req))?.start())
+        Ok(Server::bind(addr, move |req| app.handle(req))?
+            .with_config(config)
+            .start())
     }
 
     /// Handles one request: the telemetry middleware (in-flight gauge,

@@ -1,16 +1,76 @@
 //! A small HTTP/1.1 client for cross-site model access (paper Figure 7:
 //! "the key is using … scripts at Universal Resource Locators to handle
 //! information transfer on demand").
+//!
+//! Requests are sent keep-alive and completed connections park in a
+//! small per-host pool (two slots), so repeated calls against the same
+//! site — the remote-fetch cache warming a sweep, a CLI polling a
+//! design — skip the TCP handshake. A pooled connection can go stale
+//! (the server closed it, or its port was reused); the first request
+//! over a reused connection therefore retries once on a fresh socket
+//! before reporting an error.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::{Mutex, OnceLock};
 use std::time::Duration;
+
+use powerplay_telemetry::Counter;
 
 use super::request::{Method, Request};
 use super::response::{Response, Status};
+
+/// Keep-alive connections parked per `host:port`.
+const POOL_SLOTS_PER_HOST: usize = 2;
+
+/// A parked connection: the `BufReader` must survive with the socket,
+/// because bytes of the next response may already sit in its buffer.
+type PooledConn = BufReader<TcpStream>;
+
+fn pool() -> &'static Mutex<HashMap<String, Vec<PooledConn>>> {
+    static POOL: OnceLock<Mutex<HashMap<String, Vec<PooledConn>>>> = OnceLock::new();
+    POOL.get_or_init(Mutex::default)
+}
+
+fn reused_total() -> &'static Counter {
+    static REUSED: OnceLock<Counter> = OnceLock::new();
+    REUSED.get_or_init(|| {
+        powerplay_telemetry::global().counter(
+            "powerplay_http_client_reused_total",
+            "Client requests served over a reused pooled keep-alive connection",
+        )
+    })
+}
+
+fn pool_checkout(host_port: &str) -> Option<PooledConn> {
+    pool()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get_mut(host_port)?
+        .pop()
+}
+
+/// Parks a connection for reuse if the exchange left it clean: the
+/// response was `Content-Length`-delimited (so the stream position is
+/// exactly at the next response boundary) and the server did not ask to
+/// close.
+fn pool_checkin(host_port: &str, conn: PooledConn, response: &Response) {
+    let delimited = response.header("content-length").is_some();
+    let close = response
+        .header("connection")
+        .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+    if !delimited || close {
+        return;
+    }
+    let mut pool = pool().lock().unwrap_or_else(|e| e.into_inner());
+    let slots = pool.entry(host_port.to_owned()).or_default();
+    if slots.len() < POOL_SLOTS_PER_HOST {
+        slots.push(conn);
+    }
+}
 
 /// Error produced by the HTTP client.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,16 +179,35 @@ fn send(
         request.set_header("if-match", rev);
     }
 
+    let bytes = request.to_bytes(&host_port, true);
+    // A parked connection first; any failure on it means stale, not
+    // fatal — retry once on a fresh socket.
+    if let Some(conn) = pool_checkout(&host_port) {
+        if let Ok(response) = exchange(conn, &host_port, &bytes) {
+            reused_total().inc();
+            return Ok(response);
+        }
+    }
     let stream = TcpStream::connect(&host_port).map_err(|e| ClientError::Io(e.to_string()))?;
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))
         .map_err(|e| ClientError::Io(e.to_string()))?;
-    let mut writer = stream.try_clone().map_err(|e| ClientError::Io(e.to_string()))?;
-    writer
-        .write_all(&request.to_bytes(&host_port))
-        .map_err(|e| ClientError::Io(e.to_string()))?;
+    exchange(BufReader::new(stream), &host_port, &bytes)
+}
 
-    read_response(&mut BufReader::new(stream))
+/// Writes one serialized request, reads one response, and parks the
+/// connection back in the pool when it stayed clean.
+fn exchange(
+    mut conn: PooledConn,
+    host_port: &str,
+    bytes: &[u8],
+) -> Result<Response, ClientError> {
+    conn.get_mut()
+        .write_all(bytes)
+        .map_err(|e| ClientError::Io(e.to_string()))?;
+    let response = read_response(&mut conn)?;
+    pool_checkin(host_port, conn, &response);
+    Ok(response)
 }
 
 /// Splits `http://host[:port]/path?query` into `(host:port, /path?query)`.
@@ -151,7 +230,15 @@ fn split_url(url: &str) -> Result<(String, &str), ClientError> {
     Ok((host_port, path))
 }
 
-fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, ClientError> {
+/// Reads one HTTP/1.1 response off `reader` — status line, headers,
+/// then a `Content-Length` body (or read-to-EOF without one). Public so
+/// raw-socket tests and the load bench can parse responses without
+/// hand-rolled readers.
+///
+/// # Errors
+///
+/// Returns [`ClientError`] on I/O failure or a malformed response.
+pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, ClientError> {
     let mut status_line = String::new();
     reader
         .read_line(&mut status_line)
@@ -177,6 +264,7 @@ fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, ClientError> {
         401 => Status::Unauthorized,
         404 => Status::NotFound,
         405 => Status::MethodNotAllowed,
+        408 => Status::RequestTimeout,
         409 => Status::Conflict,
         413 => Status::PayloadTooLarge,
         428 => Status::PreconditionRequired,

@@ -1,0 +1,498 @@
+//! Per-connection state machine for the readiness reactor.
+//!
+//! Each connection owns a read buffer fed by non-blocking reads, a
+//! write buffer drained by non-blocking writes, and a parse cursor
+//! driven by [`Request::parse_prefix`]. The reactor calls into the
+//! machine on readiness events and timer expiry; the machine never
+//! blocks and never touches epoll itself — it reports the interest set
+//! it wants and the reactor reconciles registrations.
+//!
+//! Pipelining runs *concurrently*: every complete request in the buffer
+//! is assigned a sequence number and dispatched to the worker pool at
+//! once (up to [`MAX_CONN_IN_FLIGHT`]), and finished responses park in a
+//! reorder buffer until their turn — so one slow request doesn't
+//! serialize the whole batch through the pool, yet responses still leave
+//! in request order as HTTP/1.1 requires. Locally-generated responses
+//! (parse errors, load-shed 503s) enter the same reorder buffer, which
+//! keeps them correctly sequenced behind responses still being computed.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Instant;
+
+use super::request::{ParseRequestError, Request};
+use super::response::{Response, Status};
+
+/// Read buffer high-water mark: a whole request (head + body) plus room
+/// for pipelined successors. Beyond this the reactor stops reading until
+/// responses drain — backpressure instead of unbounded buffering.
+const READ_BUF_LIMIT: usize = 8 * 1024 * 1024;
+
+/// Requests one connection may have at the workers simultaneously;
+/// deeper pipelines wait in the read buffer so a single peer cannot
+/// monopolize the pool.
+pub(crate) const MAX_CONN_IN_FLIGHT: usize = 32;
+
+/// Outcome of one event-driven step; tells the reactor what to do with
+/// the registration.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Step {
+    /// Keep the connection; interest flags may have changed.
+    Keep,
+    /// Deregister and drop the connection.
+    Close,
+}
+
+/// What the connection does after its write buffer drains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ConnState {
+    /// Serving: parse requests, write responses, repeat.
+    Open,
+    /// A `Connection: close` (or error) response is queued: flush it,
+    /// send FIN, then drain the peer's leftovers.
+    FlushThenClose,
+    /// FIN sent; discarding bytes until the peer hangs up, so the close
+    /// never turns into an RST that could destroy the response in flight
+    /// (the reactor port of the blocking server's `drain_before_close`).
+    Draining,
+}
+
+/// Why the current deadline is armed; decides what expiry means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DeadlineKind {
+    /// Idle keep-alive or mid-request read deadline. Expiry answers 408
+    /// if a partial request is buffered, else just closes.
+    Read,
+    /// Response flush deadline. Expiry closes — the peer stopped reading.
+    Write,
+    /// No deadline enforced (requests are with the workers; the
+    /// shutdown grace bounds stuck handlers instead).
+    Parked,
+}
+
+pub(crate) struct Conn {
+    pub stream: TcpStream,
+    pub state: ConnState,
+    pub read_buf: Vec<u8>,
+    pub write_buf: Vec<u8>,
+    pub write_pos: usize,
+    /// Requests dispatched to workers whose responses have not come back.
+    pub in_flight: usize,
+    /// Next sequence number to assign at parse.
+    seq_parse: u64,
+    /// Next sequence number to serialize onto the wire.
+    seq_send: u64,
+    /// Responses waiting for earlier sequence numbers to finish.
+    reorder: BTreeMap<u64, Response>,
+    /// The sequence whose response carries `Connection: close`; set by a
+    /// close-requesting request, a parse error, or a shed — parsing
+    /// stops once set.
+    pub close_after: Option<u64>,
+    /// Peer sent FIN; serve what is buffered, then close.
+    pub half_closed: bool,
+    pub deadline: Instant,
+    pub deadline_kind: DeadlineKind,
+    /// Interest flags currently registered with epoll (reconciled by
+    /// the reactor after each step).
+    pub registered_read: bool,
+    pub registered_write: bool,
+}
+
+/// What `advance_parse` produced.
+pub(crate) enum Parsed {
+    /// Nothing complete yet (or the connection is saturated/closing).
+    None,
+    /// A complete request, ready for dispatch under `seq`.
+    Request { seq: u64, request: Box<Request> },
+    /// The prefix was unservable; the mapped error response has been
+    /// sequenced into the reorder buffer and parsing has stopped.
+    Rejected,
+}
+
+impl Conn {
+    pub fn new(stream: TcpStream, now: Instant, read_deadline: Instant) -> Conn {
+        Conn {
+            stream,
+            state: ConnState::Open,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            in_flight: 0,
+            seq_parse: 0,
+            seq_send: 0,
+            reorder: BTreeMap::new(),
+            close_after: None,
+            half_closed: false,
+            deadline: read_deadline.max(now),
+            deadline_kind: DeadlineKind::Read,
+            registered_read: true,
+            registered_write: false,
+        }
+    }
+
+    /// A request is being computed or a response is waiting its turn.
+    pub fn busy(&self) -> bool {
+        self.in_flight > 0 || !self.reorder.is_empty()
+    }
+
+    /// The interest set this connection currently wants.
+    pub fn wants_read(&self) -> bool {
+        match self.state {
+            // Backpressure: stop reading once the buffer is saturated.
+            ConnState::Open => !self.half_closed && self.read_buf.len() < READ_BUF_LIMIT,
+            ConnState::FlushThenClose => false,
+            ConnState::Draining => true,
+        }
+    }
+
+    pub fn wants_write(&self) -> bool {
+        self.write_pos < self.write_buf.len()
+    }
+
+    /// Non-blocking read into the buffer. Returns `Close` on fatal
+    /// errors or on EOF with nothing left to serve.
+    pub fn fill_read_buf(&mut self, scratch: &mut [u8]) -> Step {
+        loop {
+            if self.state == ConnState::Open && self.read_buf.len() >= READ_BUF_LIMIT {
+                return Step::Keep; // backpressure; resume when drained
+            }
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    if self.state == ConnState::Draining {
+                        return Step::Close; // peer finished hanging up
+                    }
+                    self.half_closed = true;
+                    // Anything buffered (requests being computed, an
+                    // unflushed response) still gets served; with
+                    // nothing in flight the connection is simply done.
+                    if !self.busy() && !self.wants_write() && self.read_buf.is_empty() {
+                        return Step::Close;
+                    }
+                    return Step::Keep;
+                }
+                Ok(n) => {
+                    if self.state == ConnState::Draining {
+                        continue; // discard; only EOF matters now
+                    }
+                    self.read_buf.extend_from_slice(&scratch[..n]);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Step::Keep,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return Step::Close,
+            }
+        }
+    }
+
+    /// Tries to parse the next request off the buffer; the reactor calls
+    /// this in a loop to dispatch a whole pipelined batch concurrently.
+    /// No-op while saturated or once parsing has stopped (a close or
+    /// error is already sequenced).
+    pub fn advance_parse(&mut self, now: Instant, read_deadline: Instant) -> Parsed {
+        if self.state != ConnState::Open
+            || self.close_after.is_some()
+            || self.in_flight >= MAX_CONN_IN_FLIGHT
+        {
+            return Parsed::None;
+        }
+        match Request::parse_prefix(&self.read_buf) {
+            Ok(Some((request, consumed))) => {
+                self.read_buf.drain(..consumed);
+                let seq = self.seq_parse;
+                self.seq_parse += 1;
+                if !request.keep_alive() {
+                    self.close_after = Some(seq);
+                }
+                self.in_flight += 1;
+                self.deadline_kind = DeadlineKind::Parked;
+                Parsed::Request {
+                    seq,
+                    request: Box::new(request),
+                }
+            }
+            Ok(None) => {
+                if self.half_closed {
+                    // The peer hung up mid-request; nothing to answer.
+                    if !self.busy() && !self.wants_write() {
+                        self.read_buf.clear();
+                    }
+                    return Parsed::None;
+                }
+                if self.busy() {
+                    // Responses are pending; their write deadlines (or
+                    // the parked grace) govern until the batch drains.
+                    return Parsed::None;
+                }
+                // An idle connection waits out the keep-alive timeout; a
+                // partial request keeps the stricter read deadline armed.
+                if self.deadline_kind != DeadlineKind::Read {
+                    self.deadline_kind = DeadlineKind::Read;
+                    self.deadline = read_deadline.max(now);
+                }
+                Parsed::None
+            }
+            Err(e) => {
+                let status = match e {
+                    ParseRequestError::HeadTooLarge => Status::RequestHeaderFieldsTooLarge,
+                    ParseRequestError::BodyTooLarge => Status::PayloadTooLarge,
+                    _ => Status::BadRequest,
+                };
+                let message = match status {
+                    Status::RequestHeaderFieldsTooLarge => {
+                        "request header section too large".to_owned()
+                    }
+                    Status::PayloadTooLarge => "request body too large".to_owned(),
+                    _ => e.to_string(),
+                };
+                let seq = self.seq_parse;
+                self.seq_parse += 1;
+                self.sequence_local(seq, Response::error(status, &message));
+                Parsed::Rejected
+            }
+        }
+    }
+
+    /// Sequences a locally-generated response (parse error, shed 503)
+    /// behind whatever is still being computed, and stops parsing.
+    pub fn sequence_local(&mut self, seq: u64, response: Response) {
+        self.close_after = Some(seq);
+        self.reorder.insert(seq, response);
+    }
+
+    /// Records a worker-computed response for `seq`.
+    pub fn complete(&mut self, seq: u64, response: Response) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        self.reorder.insert(seq, response);
+    }
+
+    /// Serializes every response whose turn has come into the write
+    /// buffer. With `draining` (server shutdown), the batch's last
+    /// response is forced to `Connection: close`.
+    pub fn emit_ready(&mut self, draining: bool, now: Instant, write_deadline: Instant) {
+        while let Some(response) = self.reorder.remove(&self.seq_send) {
+            let seq = self.seq_send;
+            self.seq_send += 1;
+            let mut keep_alive = self.close_after != Some(seq);
+            if draining && !self.busy() {
+                keep_alive = false; // last response before shutdown
+            }
+            self.queue_response(&response, keep_alive, now, write_deadline);
+        }
+    }
+
+    /// Serializes a response into the write buffer and arms the write
+    /// deadline. With `keep_alive == false` the connection flushes and
+    /// then drains to close.
+    pub fn queue_response(
+        &mut self,
+        response: &Response,
+        keep_alive: bool,
+        now: Instant,
+        write_deadline: Instant,
+    ) {
+        response
+            .write_to(&mut self.write_buf, keep_alive)
+            .expect("writing to a Vec cannot fail");
+        if !keep_alive {
+            self.state = ConnState::FlushThenClose;
+        }
+        self.deadline = write_deadline.max(now);
+        self.deadline_kind = DeadlineKind::Write;
+    }
+
+    /// Non-blocking flush of the write buffer. On full flush the
+    /// connection either returns to parsing (keep-alive) or FINs and
+    /// drains (close), with `drain_deadline` bounding the drain.
+    pub fn flush(&mut self, now: Instant, drain_deadline: Instant) -> Step {
+        while self.write_pos < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => return Step::Close,
+                Ok(n) => self.write_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Step::Keep,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return Step::Close,
+            }
+        }
+        self.write_buf.clear();
+        self.write_pos = 0;
+        if self.state == ConnState::FlushThenClose {
+            // FIN first so the peer sees the full response and EOF, then
+            // read out its leftovers; closing with unread bytes queued
+            // makes the kernel send RST instead.
+            let _ = self.stream.shutdown(Shutdown::Write);
+            self.state = ConnState::Draining;
+            self.deadline = drain_deadline.max(now);
+            self.deadline_kind = DeadlineKind::Read;
+            if self.half_closed {
+                return Step::Close; // peer already hung up; nothing to drain
+            }
+        }
+        Step::Keep
+    }
+
+    /// Timer expiry. Returns the 408 decision: `Some(step)` when the
+    /// deadline was real and acted on, `None` when it had been
+    /// superseded (the reactor then reschedules the current one).
+    pub fn on_deadline(&mut self, now: Instant, write_deadline: Instant) -> Option<Step> {
+        if now < self.deadline {
+            return None; // stale wheel entry; reschedule
+        }
+        match self.deadline_kind {
+            DeadlineKind::Parked => None,
+            DeadlineKind::Write => Some(Step::Close),
+            DeadlineKind::Read => {
+                if self.state == ConnState::Draining {
+                    return Some(Step::Close); // peer never hung up
+                }
+                if !self.read_buf.is_empty() && self.state == ConnState::Open && !self.busy() {
+                    // Mid-request stall (slow loris, stalled body):
+                    // answer 408 and close. An idle keep-alive
+                    // connection just closes silently.
+                    self.queue_response(
+                        &Response::error(Status::RequestTimeout, "request timed out"),
+                        false,
+                        now,
+                        write_deadline,
+                    );
+                    return Some(Step::Keep);
+                }
+                Some(Step::Close)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    /// A connected non-blocking socket pair.
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        (server, client)
+    }
+
+    fn now_plus(ms: u64) -> (Instant, Instant) {
+        let now = Instant::now();
+        (now, now + Duration::from_millis(ms))
+    }
+
+    #[test]
+    fn parses_across_partial_reads_and_assigns_sequences() {
+        let (server, mut client) = pair();
+        let (now, later) = now_plus(1000);
+        let mut conn = Conn::new(server, now, later);
+        let mut scratch = [0u8; 4096];
+
+        use std::io::Write as _;
+        client.write_all(b"GET /x HTTP/1.1\r\nHo").unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(conn.fill_read_buf(&mut scratch), Step::Keep);
+        assert!(matches!(conn.advance_parse(now, later), Parsed::None));
+
+        client.write_all(b"st: a\r\n\r\nGET /y HTTP/1.1\r\n\r\n").unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(conn.fill_read_buf(&mut scratch), Step::Keep);
+        let Parsed::Request { seq, request } = conn.advance_parse(now, later) else {
+            panic!("expected a complete request");
+        };
+        assert_eq!((seq, request.path()), (0, "/x"));
+        // Concurrent pipelining: the second request dispatches without
+        // waiting for the first response.
+        let Parsed::Request { seq, request } = conn.advance_parse(now, later) else {
+            panic!("expected the pipelined request");
+        };
+        assert_eq!((seq, request.path()), (1, "/y"));
+        assert_eq!(conn.in_flight, 2);
+        assert!(matches!(conn.advance_parse(now, later), Parsed::None));
+    }
+
+    #[test]
+    fn responses_emit_in_sequence_order_regardless_of_completion_order() {
+        let (server, mut client) = pair();
+        let (now, later) = now_plus(1000);
+        let mut conn = Conn::new(server, now, later);
+        let mut scratch = [0u8; 4096];
+        use std::io::Write as _;
+        client
+            .write_all(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n")
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        conn.fill_read_buf(&mut scratch);
+        assert!(matches!(conn.advance_parse(now, later), Parsed::Request { seq: 0, .. }));
+        assert!(matches!(conn.advance_parse(now, later), Parsed::Request { seq: 1, .. }));
+
+        // The second request finishes first: nothing emits yet.
+        conn.complete(1, Response::html("b"));
+        conn.emit_ready(false, now, later);
+        assert!(!conn.wants_write());
+        // The first completes: both emit, in order.
+        conn.complete(0, Response::html("a"));
+        conn.emit_ready(false, now, later);
+        let text = String::from_utf8(conn.write_buf.clone()).unwrap();
+        let a = text.find("\r\n\r\na").expect("response a on the wire");
+        let b = text.find("\r\n\r\nb").expect("response b on the wire");
+        assert!(a < b, "responses out of order: {text}");
+        assert!(!conn.busy());
+    }
+
+    #[test]
+    fn bad_prefix_sequences_mapped_error_and_stops_parsing() {
+        let (server, mut client) = pair();
+        let (now, later) = now_plus(1000);
+        let mut conn = Conn::new(server, now, later);
+        let mut scratch = [0u8; 4096];
+        use std::io::Write as _;
+        client.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        conn.fill_read_buf(&mut scratch);
+        let Parsed::Rejected = conn.advance_parse(now, later) else {
+            panic!("expected rejection");
+        };
+        assert!(matches!(conn.advance_parse(now, later), Parsed::None));
+        conn.emit_ready(false, now, later);
+        let text = String::from_utf8(conn.write_buf.clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 400"), "got: {text}");
+        assert_eq!(conn.state, ConnState::FlushThenClose);
+        assert!(conn.wants_write());
+    }
+
+    #[test]
+    fn deadline_mid_request_answers_408_idle_closes_silently() {
+        let (server, mut client) = pair();
+        let (now, later) = now_plus(10);
+        let mut conn = Conn::new(server, now, later);
+        let mut scratch = [0u8; 4096];
+
+        // Idle (empty buffer): expiry closes without a response.
+        let expired = now + Duration::from_millis(20);
+        assert_eq!(conn.on_deadline(expired, expired), Some(Step::Close));
+
+        // Partial request buffered: expiry queues a 408.
+        let mut conn = Conn::new(conn.stream.try_clone().unwrap(), now, later);
+        use std::io::Write as _;
+        client
+            .write_all(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        conn.fill_read_buf(&mut scratch);
+        assert!(matches!(conn.advance_parse(now, later), Parsed::None));
+        assert_eq!(conn.on_deadline(expired, expired), Some(Step::Keep));
+        let text = String::from_utf8(conn.write_buf.clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 408"), "got: {text}");
+        assert_eq!(conn.state, ConnState::FlushThenClose);
+    }
+
+    #[test]
+    fn stale_deadline_is_reported_for_reschedule() {
+        let (server, _client) = pair();
+        let now = Instant::now();
+        let mut conn = Conn::new(server, now, now + Duration::from_secs(5));
+        assert_eq!(conn.on_deadline(now, now), None);
+    }
+}

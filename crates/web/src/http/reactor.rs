@@ -1,0 +1,608 @@
+//! The readiness event loop: one thread multiplexing every connection.
+//!
+//! The blocking server pinned one worker thread per in-flight
+//! connection, so its ceiling was the pool size regardless of how little
+//! each request cost. Here a single reactor thread owns *all* sockets —
+//! non-blocking accept, incremental parse ([`Conn`]), buffered write —
+//! and the worker pool touches only complete requests: the reactor sends
+//! a [`Job`] down an mpsc channel, a worker evaluates the handler, and
+//! the finished [`Response`] comes back through [`Completions`] plus one
+//! byte on a wake pipe that pops `epoll_wait`. Thousands of keep-alive
+//! connections cost file descriptors, not threads.
+//!
+//! Deadlines ride a [`TimerWheel`]: each loop iteration advances the
+//! wheel to now and expires stalled peers (408 mid-request, silent close
+//! when idle, hard close on a stuck write). Load shedding moved from the
+//! accept queue to two explicit gates — a connection cap at accept and a
+//! per-request gate when dispatched-but-unfinished jobs reach
+//! `workers + queue_capacity`, both answering 503.
+//!
+//! Connection slots are generation-tagged: the epoll token is
+//! `generation << 32 | index`, so a completion or timer for a connection
+//! that died (and whose slot was reused) misses the lookup instead of
+//! hitting the wrong peer.
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use powerplay_telemetry::{Counter, Gauge};
+
+use super::conn::{Conn, ConnState, DeadlineKind, Parsed, Step};
+use super::request::Request;
+use super::response::{Response, Status};
+use super::server::{ClientFilter, ServerConfig};
+use super::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use super::wheel::TimerWheel;
+
+/// Reserved tokens: real connections use `gen << 32 | index`, which
+/// reaches these values only after 2^32 generations on a 2^32-sized slab.
+const LISTENER_TOKEN: u64 = u64::MAX;
+const WAKE_TOKEN: u64 = u64::MAX - 1;
+
+const EVENT_CAPACITY: usize = 1024;
+const READ_SCRATCH: usize = 64 * 1024;
+
+/// Wheel geometry: 25ms ticks over 512 slots span 12.8s — enough for the
+/// default 10s socket deadlines without clamping; longer deadlines park
+/// in the far slot and hop (see [`TimerWheel`]).
+const TICK: Duration = Duration::from_millis(25);
+const WHEEL_SLOTS: usize = 512;
+
+/// A complete request handed to the worker pool. `seq` is the
+/// connection-local sequence number the response must be emitted under.
+pub(crate) struct Job {
+    pub token: u64,
+    pub seq: u64,
+    pub request: Request,
+}
+
+/// The worker → reactor return path: finished responses plus a wake
+/// byte so `epoll_wait` returns. The wake byte is deduplicated with an
+/// atomic flag — under pipelined load many completions land between two
+/// reactor wakeups, and one byte (one syscall) covers all of them.
+pub(crate) struct Completions {
+    done: Mutex<Vec<(u64, u64, Response)>>,
+    signaled: AtomicBool,
+    wake: File,
+}
+
+impl Completions {
+    pub fn new(wake: File) -> Completions {
+        Completions {
+            done: Mutex::new(Vec::new()),
+            signaled: AtomicBool::new(false),
+            wake,
+        }
+    }
+
+    pub fn push(&self, token: u64, seq: u64, response: Response) {
+        self.done
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((token, seq, response));
+        if !self.signaled.swap(true, Ordering::SeqCst) {
+            let _ = (&self.wake).write(&[1u8]);
+        }
+    }
+
+    fn drain(&self) -> Vec<(u64, u64, Response)> {
+        // Clear the signal *before* taking the list: a worker pushing
+        // right after the take sees the cleared flag and re-wakes; at
+        // worst the reactor gets one spurious (empty) extra wakeup.
+        self.signaled.store(false, Ordering::SeqCst);
+        std::mem::take(&mut *self.done.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+/// Transport metrics. `powerplay_server_*` series carry over from the
+/// blocking server (dashboards keep working); `powerplay_reactor_*` are
+/// new visibility into the event loop itself.
+struct Metrics {
+    connections_total: Counter,
+    rejected_total: Counter,
+    queue_depth: Gauge,
+    wakeups_total: Counter,
+    ready_events_total: Counter,
+    open_connections: Gauge,
+}
+
+fn metrics() -> &'static Metrics {
+    static METRICS: OnceLock<Metrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let g = powerplay_telemetry::global();
+        Metrics {
+            connections_total: g.counter(
+                "powerplay_server_connections_total",
+                "Connections accepted (including ones later shed with 503)",
+            ),
+            rejected_total: g.counter(
+                "powerplay_server_rejected_total",
+                "Requests answered 503 by load shedding (connection cap or full worker queue)",
+            ),
+            queue_depth: g.gauge(
+                "powerplay_server_queue_depth",
+                "Requests dispatched to the worker pool and not yet answered",
+            ),
+            wakeups_total: g.counter(
+                "powerplay_reactor_wakeups_total",
+                "Times epoll_wait returned to the reactor loop",
+            ),
+            ready_events_total: g.counter(
+                "powerplay_reactor_ready_events_total",
+                "Readiness events delivered across all wakeups",
+            ),
+            open_connections: g.gauge(
+                "powerplay_reactor_open_connections",
+                "Connections currently registered with the reactor",
+            ),
+        }
+    })
+}
+
+struct Entry {
+    gen: u32,
+    conn: Option<Conn>,
+    /// The deadline instant currently planted in the wheel, if any —
+    /// dedupes scheduling so each connection keeps at most one live
+    /// wheel entry per revolution.
+    scheduled: Option<Instant>,
+}
+
+pub(crate) struct Reactor {
+    epoll: Epoll,
+    listener: TcpListener,
+    wake_rx: File,
+    filter: Option<Arc<ClientFilter>>,
+    job_tx: Sender<Job>,
+    completions: Arc<Completions>,
+    running: Arc<AtomicBool>,
+    config: ServerConfig,
+    entries: Vec<Entry>,
+    free: Vec<usize>,
+    open: usize,
+    /// Requests dispatched to workers and not yet completed; the shed
+    /// gate compares this against `workers + queue_capacity`.
+    pending_jobs: usize,
+    wheel: TimerWheel,
+    shutdown_deadline: Option<Instant>,
+}
+
+/// Runs the event loop until shutdown. Consumes the listener.
+pub(crate) fn run(
+    listener: TcpListener,
+    filter: Option<Arc<ClientFilter>>,
+    job_tx: Sender<Job>,
+    completions: Arc<Completions>,
+    wake_rx: File,
+    running: Arc<AtomicBool>,
+    config: ServerConfig,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    // The wake pipe is already O_NONBLOCK from `sys::wake_pipe`.
+    let epoll = Epoll::new()?;
+    epoll.add(listener.as_raw_fd(), LISTENER_TOKEN, true, false)?;
+    epoll.add(wake_rx.as_raw_fd(), WAKE_TOKEN, true, false)?;
+    let mut reactor = Reactor {
+        epoll,
+        listener,
+        wake_rx,
+        filter,
+        job_tx,
+        completions,
+        running,
+        config,
+        entries: Vec::new(),
+        free: Vec::new(),
+        open: 0,
+        pending_jobs: 0,
+        wheel: TimerWheel::new(TICK, WHEEL_SLOTS, Instant::now()),
+        shutdown_deadline: None,
+    };
+    reactor.event_loop();
+    Ok(())
+}
+
+impl Reactor {
+    fn event_loop(&mut self) {
+        let mut events = [EpollEvent { events: 0, data: 0 }; EVENT_CAPACITY];
+        let mut scratch = vec![0u8; READ_SCRATCH];
+        loop {
+            let now = Instant::now();
+            if self.check_shutdown(now) {
+                break;
+            }
+            // Sleep until the next timer tick, or indefinitely when no
+            // deadline is armed; draining additionally bounds the sleep
+            // by the grace deadline so a stuck handler (whose completion
+            // will never wake us) cannot hang shutdown.
+            let mut timeout = self.wheel.poll_timeout(now);
+            if let Some(deadline) = self.shutdown_deadline {
+                let bound = deadline.saturating_duration_since(now);
+                timeout = Some(timeout.map_or(bound, |t| t.min(bound)));
+            }
+            let Ok(n) = self.epoll.wait(&mut events, timeout) else {
+                break;
+            };
+            let m = metrics();
+            m.wakeups_total.inc();
+            m.ready_events_total.add(n as u64);
+            for event in &events[..n] {
+                let (bits, token) = (event.events, event.data);
+                match token {
+                    LISTENER_TOKEN => self.accept_ready(),
+                    WAKE_TOKEN => self.drain_wake(),
+                    token => self.conn_ready(token, bits, &mut scratch),
+                }
+            }
+            self.collect_completions();
+            self.fire_timers(Instant::now());
+        }
+        // Force-close whatever is left (grace expired or fatal error) so
+        // the open-connections gauge lands back at zero.
+        for idx in 0..self.entries.len() {
+            self.close(idx);
+        }
+    }
+
+    /// True while shutdown has been requested (drain mode).
+    fn draining(&self) -> bool {
+        self.shutdown_deadline.is_some() || !self.running.load(Ordering::SeqCst)
+    }
+
+    /// Enters and monitors drain mode; returns true when the loop should
+    /// exit (drained, or grace expired).
+    fn check_shutdown(&mut self, now: Instant) -> bool {
+        if self.running.load(Ordering::SeqCst) {
+            return false;
+        }
+        if self.shutdown_deadline.is_none() {
+            self.shutdown_deadline = Some(now + self.config.shutdown_grace);
+            let _ = self.epoll.delete(self.listener.as_raw_fd());
+            // Idle keep-alive connections close immediately; ones with a
+            // request in flight (or a response still flushing) get the
+            // grace period to finish.
+            for idx in 0..self.entries.len() {
+                let Some(conn) = &self.entries[idx].conn else {
+                    continue;
+                };
+                if conn.state == ConnState::Open
+                    && !conn.busy()
+                    && !conn.wants_write()
+                    && conn.read_buf.is_empty()
+                {
+                    self.close(idx);
+                }
+            }
+        }
+        self.open == 0 || self.shutdown_deadline.is_some_and(|d| now >= d)
+    }
+
+    fn accept_ready(&mut self) {
+        if self.draining() {
+            return;
+        }
+        loop {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    if let Some(filter) = &self.filter {
+                        if !filter(peer) {
+                            continue; // drop the connection
+                        }
+                    }
+                    metrics().connections_total.inc();
+                    let shed = self.open >= self.config.max_connections.max(1);
+                    self.register(stream, Instant::now(), shed);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Registers an accepted socket under a fresh generation-tagged
+    /// token. `shed` connections get an immediate 503 and never reach
+    /// the parser — the connection-cap gate.
+    fn register(&mut self, stream: TcpStream, now: Instant, shed: bool) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let mut conn = Conn::new(stream, now, now + self.config.read_timeout);
+        if shed {
+            metrics().rejected_total.inc();
+            conn.queue_response(
+                &Response::error(Status::ServiceUnavailable, "server busy; try again"),
+                false,
+                now,
+                now + self.config.write_timeout,
+            );
+        }
+        let idx = self.free.pop().unwrap_or_else(|| {
+            self.entries.push(Entry {
+                gen: 0,
+                conn: None,
+                scheduled: None,
+            });
+            self.entries.len() - 1
+        });
+        let token = pack(idx, self.entries[idx].gen);
+        let (r, w) = (conn.wants_read(), conn.wants_write());
+        conn.registered_read = r;
+        conn.registered_write = w;
+        if self.epoll.add(conn.stream.as_raw_fd(), token, r, w).is_err() {
+            self.free.push(idx);
+            return; // drop the connection
+        }
+        self.entries[idx].conn = Some(conn);
+        self.open += 1;
+        metrics().open_connections.add(1);
+        self.finish_step(idx);
+    }
+
+    fn drain_wake(&mut self) {
+        let mut buf = [0u8; 256];
+        while matches!(self.wake_rx.read(&mut buf), Ok(n) if n > 0) {}
+    }
+
+    fn conn_ready(&mut self, token: u64, bits: u32, scratch: &mut [u8]) {
+        let Some(idx) = self.lookup(token) else {
+            return; // the connection died earlier in this batch
+        };
+        let now = Instant::now();
+        let errored = bits & (EPOLLERR | EPOLLHUP) != 0;
+        let writable = errored || bits & EPOLLOUT != 0;
+        let readable = errored || bits & (EPOLLIN | EPOLLRDHUP) != 0;
+        let drain_deadline = now + self.config.read_timeout;
+        let conn = self.entries[idx].conn.as_mut().expect("looked up");
+        // Write before read: flushing frees buffer space and may
+        // transition the connection's state (keep-alive vs drain).
+        if writable && conn.wants_write() && conn.flush(now, drain_deadline) == Step::Close {
+            self.close(idx);
+            return;
+        }
+        let conn = self.entries[idx].conn.as_mut().expect("looked up");
+        if readable && conn.fill_read_buf(scratch) == Step::Close {
+            self.close(idx);
+            return;
+        }
+        self.service(idx, now);
+    }
+
+    /// Parse-and-dispatch the whole pipelined batch → emit every
+    /// response whose turn has come → one optimistic flush → reconcile.
+    /// The common tail of every connection interaction.
+    fn service(&mut self, idx: usize, now: Instant) {
+        let draining = self.draining();
+        let read_deadline = now + self.config.read_timeout;
+        let write_deadline = now + self.config.write_timeout;
+        // Dispatch every complete request at once (up to the per-conn
+        // in-flight cap): pipelined batches spread across the worker
+        // pool instead of trickling through one at a time. Shutdown
+        // stops parsing — buffered extras are dropped with the close.
+        if !draining {
+            loop {
+                let conn = self.entries[idx].conn.as_mut().expect("looked up");
+                match conn.advance_parse(now, read_deadline) {
+                    Parsed::Request { seq, request } => {
+                        if !self.dispatch(idx, seq, *request) {
+                            break; // shed or pool gone; parsing stopped
+                        }
+                    }
+                    Parsed::Rejected | Parsed::None => break,
+                }
+            }
+        }
+        let Some(conn) = self.entries[idx].conn.as_mut() else {
+            return;
+        };
+        conn.emit_ready(draining, now, write_deadline);
+        // Optimistic flush: sockets are almost always writable, so
+        // skipping the epoll round-trip for the common case is the
+        // difference between one and two syscall batches per response —
+        // and the whole emitted batch goes out in one write.
+        if conn.wants_write() && conn.flush(now, read_deadline) == Step::Close {
+            self.close(idx);
+            return;
+        }
+        // With the wire drained, re-arm the deadline that matches what
+        // the connection is actually waiting on: parked while requests
+        // compute, the idle/read deadline otherwise.
+        let Some(conn) = self.entries[idx].conn.as_mut() else {
+            return;
+        };
+        if conn.state == ConnState::Open && !conn.wants_write() {
+            if conn.busy() {
+                conn.deadline_kind = DeadlineKind::Parked;
+            } else if conn.deadline_kind != DeadlineKind::Read {
+                conn.deadline_kind = DeadlineKind::Read;
+                conn.deadline = read_deadline;
+            }
+        }
+        self.finish_step(idx);
+    }
+
+    /// Hands a parsed request to the worker pool, or sheds it with 503
+    /// when `workers + queue_capacity` requests are already in flight —
+    /// the reactor port of the blocking server's bounded accept queue.
+    /// Returns false when the request was answered locally (parsing on
+    /// this connection has stopped).
+    fn dispatch(&mut self, idx: usize, seq: u64, request: Request) -> bool {
+        let shed_at = self.config.workers.max(1) + self.config.queue_capacity;
+        let token = pack(idx, self.entries[idx].gen);
+        if self.pending_jobs >= shed_at {
+            metrics().rejected_total.inc();
+            let conn = self.entries[idx].conn.as_mut().expect("looked up");
+            conn.in_flight -= 1;
+            // Sequenced behind responses still computing, so the 503
+            // lands in pipeline order like any other response.
+            conn.sequence_local(
+                seq,
+                Response::error(Status::ServiceUnavailable, "server busy; try again"),
+            );
+            false
+        } else if self.job_tx.send(Job { token, seq, request }).is_ok() {
+            self.pending_jobs += 1;
+            metrics().queue_depth.add(1);
+            true
+        } else {
+            // Worker pool gone (only plausible mid-shutdown).
+            let conn = self.entries[idx].conn.as_mut().expect("looked up");
+            conn.in_flight -= 1;
+            conn.sequence_local(
+                seq,
+                Response::error(Status::InternalServerError, "worker pool unavailable"),
+            );
+            false
+        }
+    }
+
+    /// Files finished responses into their connections' reorder buffers,
+    /// then services each touched connection once — responses that are
+    /// next in sequence go out, and freed in-flight slots pull more
+    /// pipelined requests off the read buffer.
+    fn collect_completions(&mut self) {
+        let done = self.completions.drain();
+        if done.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let mut touched: Vec<usize> = Vec::new();
+        for (token, seq, response) in done {
+            self.pending_jobs -= 1;
+            metrics().queue_depth.sub(1);
+            let Some(idx) = self.lookup(token) else {
+                continue; // connection died while the worker ran
+            };
+            let conn = self.entries[idx].conn.as_mut().expect("looked up");
+            conn.complete(seq, response);
+            if !touched.contains(&idx) {
+                touched.push(idx);
+            }
+        }
+        // One emit + flush per connection per wakeup, however many of
+        // its responses completed since the last one.
+        for idx in touched {
+            if self.entries[idx].conn.is_some() {
+                self.service(idx, now);
+            }
+        }
+    }
+
+    fn fire_timers(&mut self, now: Instant) {
+        let mut due = Vec::new();
+        self.wheel.advance(now, |token| due.push(token));
+        for token in due {
+            let Some(idx) = self.lookup(token) else {
+                continue; // lazily-cancelled entry for a dead connection
+            };
+            self.entries[idx].scheduled = None;
+            let conn = self.entries[idx].conn.as_mut().expect("looked up");
+            match conn.on_deadline(now, now + self.config.write_timeout) {
+                // Stale or parked: finish_step re-plants the live
+                // deadline (clamped far deadlines hop slots this way).
+                None => {}
+                Some(Step::Close) => {
+                    self.close(idx);
+                    continue;
+                }
+                // A 408 was queued; push it out now if possible.
+                Some(Step::Keep)
+                    if conn.flush(now, now + self.config.read_timeout) == Step::Close =>
+                {
+                    self.close(idx);
+                    continue;
+                }
+                Some(Step::Keep) => {}
+            }
+            self.finish_step(idx);
+        }
+    }
+
+    /// Reconciles a connection's epoll interest and wheel entry with
+    /// what it now wants, and reaps connections that have served out.
+    fn finish_step(&mut self, idx: usize) {
+        let draining = self.draining();
+        let mut close = false;
+        {
+            let Reactor {
+                epoll,
+                entries,
+                wheel,
+                ..
+            } = self;
+            let entry = &mut entries[idx];
+            let Some(conn) = entry.conn.as_mut() else {
+                return;
+            };
+            let token = pack(idx, entry.gen);
+            let served_out = conn.state == ConnState::Open
+                && !conn.busy()
+                && !conn.wants_write()
+                && conn.read_buf.is_empty();
+            if served_out && (conn.half_closed || draining) {
+                close = true;
+            } else {
+                let (r, w) = (conn.wants_read(), conn.wants_write());
+                if (r, w) != (conn.registered_read, conn.registered_write) {
+                    if epoll.modify(conn.stream.as_raw_fd(), token, r, w).is_ok() {
+                        conn.registered_read = r;
+                        conn.registered_write = w;
+                    } else {
+                        close = true;
+                    }
+                }
+                if !close && conn.deadline_kind != DeadlineKind::Parked {
+                    // Plant at most one wheel entry per connection: only
+                    // when none is live or the deadline moved earlier.
+                    // Later deadlines are found by the stale-check when
+                    // the old entry fires.
+                    let due = conn.deadline;
+                    if entry.scheduled.is_none_or(|s| due < s) {
+                        wheel.schedule(token, due);
+                        entry.scheduled = Some(due);
+                    }
+                }
+            }
+        }
+        if close {
+            self.close(idx);
+        }
+    }
+
+    fn close(&mut self, idx: usize) {
+        let entry = &mut self.entries[idx];
+        let Some(conn) = entry.conn.take() else {
+            return;
+        };
+        let _ = self.epoll.delete(conn.stream.as_raw_fd());
+        entry.gen = entry.gen.wrapping_add(1);
+        entry.scheduled = None;
+        self.free.push(idx);
+        self.open -= 1;
+        metrics().open_connections.sub(1);
+        // A completion still in flight for this connection misses the
+        // generation check and is dropped; pending_jobs is decremented
+        // when it arrives, not here.
+    }
+
+    fn lookup(&self, token: u64) -> Option<usize> {
+        let (idx, gen) = unpack(token);
+        let entry = self.entries.get(idx)?;
+        (entry.gen == gen && entry.conn.is_some()).then_some(idx)
+    }
+}
+
+fn pack(idx: usize, gen: u32) -> u64 {
+    (u64::from(gen) << 32) | idx as u64
+}
+
+fn unpack(token: u64) -> (usize, u32) {
+    ((token & 0xFFFF_FFFF) as usize, (token >> 32) as u32)
+}

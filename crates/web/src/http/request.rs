@@ -170,7 +170,9 @@ impl Request {
         }
     }
 
-    /// Reads one request from a buffered stream.
+    /// Reads one request from a buffered stream, blocking until it is
+    /// complete (the client path; the server's readiness reactor uses
+    /// the resumable [`Self::parse_prefix`] instead).
     ///
     /// # Errors
     ///
@@ -181,23 +183,8 @@ impl Request {
         if request_line.is_empty() {
             return Err(ParseRequestError::ConnectionClosed);
         }
-        let mut parts = request_line.split_whitespace();
-        let method_token = parts
-            .next()
-            .ok_or_else(|| ParseRequestError::Malformed("empty request line".into()))?;
-        let target = parts
-            .next()
-            .ok_or_else(|| ParseRequestError::Malformed("missing request target".into()))?;
-        let version = parts
-            .next()
-            .ok_or_else(|| ParseRequestError::Malformed("missing HTTP version".into()))?;
-        if !version.starts_with("HTTP/1.") {
-            return Err(ParseRequestError::Malformed(format!(
-                "unsupported version {version}"
-            )));
-        }
-        let method = Method::from_token(method_token)
-            .ok_or_else(|| ParseRequestError::UnsupportedMethod(method_token.to_owned()))?;
+        let (method, target) = parse_request_line(&request_line)?;
+        let target = target.to_owned();
 
         let mut headers = BTreeMap::new();
         let mut head_size = request_line.len();
@@ -210,21 +197,13 @@ impl Request {
             if line.is_empty() {
                 break;
             }
-            let (name, value) = line
-                .split_once(':')
-                .ok_or_else(|| ParseRequestError::Malformed(format!("bad header `{line}`")))?;
-            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_owned());
+            let (name, value) = parse_header_line(&line)?;
+            headers.insert(name, value);
         }
 
-        let body = match headers.get("content-length") {
-            None => Vec::new(),
-            Some(len) => {
-                let len: usize = len
-                    .parse()
-                    .map_err(|_| ParseRequestError::Malformed("bad content-length".into()))?;
-                if len > MAX_BODY {
-                    return Err(ParseRequestError::BodyTooLarge);
-                }
+        let body = match declared_body_len(&headers)? {
+            0 => Vec::new(),
+            len => {
                 let mut body = vec![0u8; len];
                 reader
                     .read_exact(&mut body)
@@ -232,18 +211,80 @@ impl Request {
                 body
             }
         };
+        Ok(Self::assemble(method, &target, headers, body))
+    }
 
+    /// Attempts to parse one complete request from the front of `buf`
+    /// without consuming anything — the resumable entry point for the
+    /// readiness reactor, which accumulates bytes as the socket delivers
+    /// them and re-polls after every read.
+    ///
+    /// Returns `Ok(None)` while the request is still incomplete, or
+    /// `Ok(Some((request, consumed)))` once `buf[..consumed]` holds a
+    /// whole request (pipelined successors may follow at `consumed`).
+    /// Leading CRLFs are skipped, per RFC 9112's robustness note.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseRequestError`] as soon as the prefix is known to
+    /// be unservable: malformed head, unsupported method, or a head or
+    /// declared body over the size limits — even if more bytes are still
+    /// in flight.
+    pub fn parse_prefix(buf: &[u8]) -> Result<Option<(Request, usize)>, ParseRequestError> {
+        let skipped = buf
+            .iter()
+            .take_while(|&&b| b == b'\r' || b == b'\n')
+            .count();
+        let buf = &buf[skipped..];
+        let Some((head_len, after_head)) = find_head_end(buf) else {
+            if buf.len() > MAX_HEAD {
+                return Err(ParseRequestError::HeadTooLarge);
+            }
+            return Ok(None);
+        };
+        if head_len > MAX_HEAD {
+            return Err(ParseRequestError::HeadTooLarge);
+        }
+        let head = std::str::from_utf8(&buf[..head_len])
+            .map_err(|_| ParseRequestError::Malformed("non-UTF-8 header section".into()))?;
+        let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+        let request_line = lines
+            .next()
+            .ok_or_else(|| ParseRequestError::Malformed("empty request line".into()))?;
+        let (method, target) = parse_request_line(request_line)?;
+        let mut headers = BTreeMap::new();
+        for line in lines {
+            let (name, value) = parse_header_line(line)?;
+            headers.insert(name, value);
+        }
+
+        let body_len = declared_body_len(&headers)?;
+        let total = after_head + body_len;
+        if buf.len() < total {
+            return Ok(None); // body still arriving
+        }
+        let body = buf[after_head..total].to_vec();
+        let request = Self::assemble(method, target, headers, body);
+        Ok(Some((request, skipped + total)))
+    }
+
+    fn assemble(
+        method: Method,
+        target: &str,
+        headers: BTreeMap<String, String>,
+        body: Vec<u8>,
+    ) -> Request {
         let (raw_path, query) = match target.split_once('?') {
             Some((p, q)) => (p, q.to_owned()),
             None => (target, String::new()),
         };
-        Ok(Request {
+        Request {
             method,
             path: urlencoded::decode(raw_path),
             query,
             headers,
             body,
-        })
+        }
     }
 
     /// Sets a header (names are case-insensitive), for tests and
@@ -260,8 +301,10 @@ impl Request {
         self.body = body;
     }
 
-    /// Serializes the request for sending (client side).
-    pub(crate) fn to_bytes(&self, host: &str) -> Vec<u8> {
+    /// Serializes the request for sending (client side). Header names
+    /// go out in canonical `Train-Case` regardless of how they were set;
+    /// the parser on the far side is case-insensitive either way.
+    pub(crate) fn to_bytes(&self, host: &str, keep_alive: bool) -> Vec<u8> {
         let mut target = self.path.clone();
         if !self.query.is_empty() {
             target.push('?');
@@ -269,14 +312,88 @@ impl Request {
         }
         let mut out = format!("{} {} HTTP/1.1\r\nHost: {host}\r\n", self.method, target);
         for (name, value) in &self.headers {
-            out.push_str(&format!("{name}: {value}\r\n"));
+            out.push_str(&format!(
+                "{}: {value}\r\n",
+                super::canonical_header_case(name)
+            ));
         }
         out.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
-        out.push_str("Connection: close\r\n\r\n");
+        out.push_str(if keep_alive {
+            "Connection: keep-alive\r\n\r\n"
+        } else {
+            "Connection: close\r\n\r\n"
+        });
         let mut bytes = out.into_bytes();
         bytes.extend_from_slice(&self.body);
         bytes
     }
+}
+
+/// Parses `METHOD target HTTP/1.x` into its method and target.
+fn parse_request_line(line: &str) -> Result<(Method, &str), ParseRequestError> {
+    let mut parts = line.split_whitespace();
+    let method_token = parts
+        .next()
+        .ok_or_else(|| ParseRequestError::Malformed("empty request line".into()))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| ParseRequestError::Malformed("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| ParseRequestError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseRequestError::Malformed(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let method = Method::from_token(method_token)
+        .ok_or_else(|| ParseRequestError::UnsupportedMethod(method_token.to_owned()))?;
+    Ok((method, target))
+}
+
+/// Parses `Name: value` into a lowercased name and trimmed value, so
+/// lookups through [`Request::header`] are case-insensitive no matter
+/// what casing the peer sent.
+fn parse_header_line(line: &str) -> Result<(String, String), ParseRequestError> {
+    let (name, value) = line
+        .split_once(':')
+        .ok_or_else(|| ParseRequestError::Malformed(format!("bad header `{line}`")))?;
+    Ok((name.trim().to_ascii_lowercase(), value.trim().to_owned()))
+}
+
+/// The body length a header section declares, bounded by [`MAX_BODY`].
+fn declared_body_len(headers: &BTreeMap<String, String>) -> Result<usize, ParseRequestError> {
+    match headers.get("content-length") {
+        None => Ok(0),
+        Some(len) => {
+            let len: usize = len
+                .parse()
+                .map_err(|_| ParseRequestError::Malformed("bad content-length".into()))?;
+            if len > MAX_BODY {
+                return Err(ParseRequestError::BodyTooLarge);
+            }
+            Ok(len)
+        }
+    }
+}
+
+/// Finds the end of the header section: the first line break followed
+/// immediately by another (accepting bare-`\n` line endings). Returns
+/// `(head_len, bytes_consumed_through_terminator)`.
+fn find_head_end(buf: &[u8]) -> Option<(usize, usize)> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            if buf.len() > i + 1 && buf[i + 1] == b'\n' {
+                return Some((i, i + 2));
+            }
+            if buf.len() > i + 2 && buf[i + 1] == b'\r' && buf[i + 2] == b'\n' {
+                return Some((i, i + 3));
+            }
+        }
+        i += 1;
+    }
+    None
 }
 
 fn read_line<R: BufRead>(reader: &mut R) -> Result<String, ParseRequestError> {
@@ -415,12 +532,101 @@ mod tests {
     fn client_serialization_roundtrips() {
         let mut req = Request::new(Method::Post, "/api/element?name=x");
         req.set_body(b"{\"a\":1}".to_vec(), "application/json");
-        let bytes = req.to_bytes("example.org");
+        let bytes = req.to_bytes("example.org", false);
         let parsed = Request::read_from(&mut BufReader::new(bytes.as_slice())).unwrap();
         assert_eq!(parsed.method(), Method::Post);
         assert_eq!(parsed.path(), "/api/element");
         assert_eq!(parsed.query_param("name").as_deref(), Some("x"));
         assert_eq!(parsed.body(), b"{\"a\":1}");
         assert_eq!(parsed.header("content-type"), Some("application/json"));
+    }
+
+    #[test]
+    fn serialized_headers_use_canonical_casing_and_lookups_stay_insensitive() {
+        let mut req = Request::new(Method::Get, "/");
+        req.set_header("X-CUSTOM-marker", "v");
+        let keep = String::from_utf8(req.to_bytes("example.org", true)).unwrap();
+        assert!(keep.contains("Connection: keep-alive\r\n"), "got: {keep}");
+        assert!(keep.contains("Content-Length: 0\r\n"), "got: {keep}");
+        assert!(keep.contains("X-Custom-Marker: v\r\n"), "got: {keep}");
+        let close = String::from_utf8(req.to_bytes("example.org", false)).unwrap();
+        assert!(close.contains("Connection: close\r\n"), "got: {close}");
+        // Whatever casing went over the wire, the receiving parser's
+        // lookups are case-insensitive.
+        let parsed = Request::read_from(&mut BufReader::new(keep.as_bytes())).unwrap();
+        assert_eq!(parsed.header("x-custom-marker"), Some("v"));
+        assert_eq!(parsed.header("X-CUSTOM-MARKER"), Some("v"));
+        assert_eq!(parsed.header("Connection"), Some("keep-alive"));
+    }
+
+    #[test]
+    fn parse_prefix_is_resumable_byte_by_byte() {
+        let raw = b"GET /a?n=1 HTTP/1.1\r\nHost: x\r\n\r\n";
+        for cut in 0..raw.len() - 1 {
+            assert_eq!(
+                Request::parse_prefix(&raw[..cut]).unwrap(),
+                None,
+                "cut at {cut} should be incomplete"
+            );
+        }
+        let (req, consumed) = Request::parse_prefix(raw).unwrap().unwrap();
+        assert_eq!(consumed, raw.len());
+        assert_eq!(req.path(), "/a");
+        assert_eq!(req.query_param("n").as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn parse_prefix_matches_blocking_parser_on_bodies() {
+        let body = "bw_a=8&bw_b=16";
+        let raw = format!(
+            "POST /eval HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        // Head complete but body short by one byte: incomplete.
+        assert_eq!(
+            Request::parse_prefix(&raw.as_bytes()[..raw.len() - 1]).unwrap(),
+            None
+        );
+        let (incremental, consumed) = Request::parse_prefix(raw.as_bytes()).unwrap().unwrap();
+        assert_eq!(consumed, raw.len());
+        let blocking = parse(&raw).unwrap();
+        assert_eq!(incremental, blocking);
+    }
+
+    #[test]
+    fn parse_prefix_finds_pipelined_requests_back_to_back() {
+        let raw = b"GET /one HTTP/1.1\r\n\r\nGET /two HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let (first, n1) = Request::parse_prefix(raw).unwrap().unwrap();
+        assert_eq!(first.path(), "/one");
+        assert!(first.keep_alive());
+        let (second, n2) = Request::parse_prefix(&raw[n1..]).unwrap().unwrap();
+        assert_eq!(second.path(), "/two");
+        assert!(!second.keep_alive());
+        assert_eq!(n1 + n2, raw.len());
+    }
+
+    #[test]
+    fn parse_prefix_rejects_oversized_prefixes_early() {
+        // No terminator in sight but already past the head limit.
+        let huge = vec![b'a'; MAX_HEAD + 2];
+        assert!(matches!(
+            Request::parse_prefix(&huge),
+            Err(ParseRequestError::HeadTooLarge)
+        ));
+        // An oversized declared body is rejected before it arrives.
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(
+            Request::parse_prefix(raw.as_bytes()),
+            Err(ParseRequestError::BodyTooLarge)
+        ));
+    }
+
+    #[test]
+    fn parse_prefix_skips_leading_crlf_between_pipelined_requests() {
+        let raw = b"\r\nGET / HTTP/1.1\r\n\r\n";
+        let (req, consumed) = Request::parse_prefix(raw).unwrap().unwrap();
+        assert_eq!(req.path(), "/");
+        assert_eq!(consumed, raw.len());
     }
 }

@@ -22,6 +22,8 @@ pub enum Status {
     NotFound,
     /// 405
     MethodNotAllowed,
+    /// 408 (a read deadline expired mid-request on the reactor)
+    RequestTimeout,
     /// 409 (stale `If-Match` revision on a PUT — optimistic concurrency)
     Conflict,
     /// 413 (body over the server's size limit)
@@ -48,6 +50,7 @@ impl Status {
             Status::Unauthorized => 401,
             Status::NotFound => 404,
             Status::MethodNotAllowed => 405,
+            Status::RequestTimeout => 408,
             Status::Conflict => 409,
             Status::PayloadTooLarge => 413,
             Status::PreconditionRequired => 428,
@@ -68,6 +71,7 @@ impl Status {
             Status::Unauthorized => "Unauthorized",
             Status::NotFound => "Not Found",
             Status::MethodNotAllowed => "Method Not Allowed",
+            Status::RequestTimeout => "Request Timeout",
             Status::Conflict => "Conflict",
             Status::PayloadTooLarge => "Payload Too Large",
             Status::PreconditionRequired => "Precondition Required",
@@ -182,25 +186,33 @@ impl Response {
         }
     }
 
-    /// Writes the response to a stream (server side).
+    /// Writes the response to a stream (server side). Header names are
+    /// stored lowercased for case-insensitive lookup but serialized in
+    /// canonical `Train-Case` — matching the casing the request builder
+    /// emits, so neither side depends on the other's case handling.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the underlying writer.
     pub fn write_to<W: Write>(&self, writer: &mut W, keep_alive: bool) -> io::Result<()> {
-        let mut head = format!(
+        use std::fmt::Write as _;
+        // One allocation for the whole head; this runs once per response
+        // on the serving hot path.
+        let mut head = String::with_capacity(96 + self.headers.len() * 48);
+        let _ = write!(
+            head,
             "HTTP/1.1 {} {}\r\n",
             self.status.code(),
             self.status.reason()
         );
         for (name, value) in &self.headers {
-            head.push_str(&format!("{name}: {value}\r\n"));
+            let _ = write!(head, "{}: {value}\r\n", super::canonical_header_case(name));
         }
-        head.push_str(&format!("content-length: {}\r\n", self.body.len()));
+        let _ = write!(head, "Content-Length: {}\r\n", self.body.len());
         head.push_str(if keep_alive {
-            "connection: keep-alive\r\n\r\n"
+            "Connection: keep-alive\r\n\r\n"
         } else {
-            "connection: close\r\n\r\n"
+            "Connection: close\r\n\r\n"
         });
         writer.write_all(head.as_bytes())?;
         writer.write_all(&self.body)?;
@@ -217,6 +229,8 @@ mod tests {
         assert_eq!(Status::Ok.code(), 200);
         assert_eq!(Status::Created.code(), 201);
         assert_eq!(Status::NotFound.code(), 404);
+        assert_eq!(Status::RequestTimeout.code(), 408);
+        assert_eq!(Status::RequestTimeout.reason(), "Request Timeout");
         assert_eq!(Status::Conflict.code(), 409);
         assert_eq!(Status::PreconditionRequired.code(), 428);
         assert_eq!(Status::Found.reason(), "Found");
@@ -247,8 +261,25 @@ mod tests {
         r.write_to(&mut out, false).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
-        assert!(text.contains("content-length: 2\r\n"));
-        assert!(text.contains("connection: close"));
+        assert!(text.contains("Content-Length: 2\r\n"), "got: {text}");
+        assert!(text.contains("Connection: close"), "got: {text}");
         assert!(text.ends_with("{}"));
+    }
+
+    #[test]
+    fn serialized_header_casing_is_canonical_and_lookup_is_insensitive() {
+        let mut r = Response::json("{}");
+        r.set_header("ETAG", "\"3\"");
+        r.set_header("x-powered-by", "powerplay");
+        // Lookups on the in-memory response are case-insensitive.
+        assert_eq!(r.header("etag"), Some("\"3\""));
+        assert_eq!(r.header("ETag"), Some("\"3\""));
+        let mut out = Vec::new();
+        r.write_to(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Etag: \"3\"\r\n"), "got: {text}");
+        assert!(text.contains("X-Powered-By: powerplay\r\n"), "got: {text}");
+        assert!(text.contains("Content-Type: application/json\r\n"), "got: {text}");
+        assert!(text.contains("Connection: keep-alive\r\n"), "got: {text}");
     }
 }

@@ -1,33 +1,35 @@
-//! The HTTP server: a bounded worker pool over blocking sockets.
+//! The HTTP server: an epoll readiness reactor plus a CPU worker pool.
 //!
-//! Accepted connections are pushed onto a bounded queue and claimed by a
-//! fixed set of worker threads; when the queue is full new arrivals get
-//! an immediate `503 Service Unavailable` instead of piling up threads —
-//! load shedding a 1996 CGI deployment got for free from `httpd` and a
-//! threaded port must do itself. Every socket carries read and write
-//! timeouts so a stalled peer can hold a worker for at most one timeout.
+//! One reactor thread ([`super::reactor`]) owns every socket — accept,
+//! incremental parse, keep-alive, pipelining, deadlines — so open
+//! connections cost file descriptors rather than threads. The worker
+//! pool sees only complete requests and runs the handler (sheet
+//! evaluation, rendering); finished responses return to the reactor over
+//! a wake pipe. Load shedding answers 503 at two gates: a connection cap
+//! at accept, and a per-request gate once `workers + queue_capacity`
+//! requests are in flight — the reactor port of the old bounded accept
+//! queue, preserving its observable behavior.
 //!
-//! Shutdown is graceful: [`ServerHandle::shutdown`] stops the accept
-//! loop, wakes idle keep-alive readers by shutting the read half of
-//! every live connection, and waits for the workers — so in-flight
-//! requests finish writing their responses before it returns. The wait
-//! is bounded by [`ServerConfig::shutdown_grace`]: a handler that never
-//! returns is abandoned rather than hanging shutdown forever.
+//! Shutdown is graceful: [`ServerHandle::shutdown`] flips the running
+//! flag and wakes the reactor, which stops accepting, closes idle
+//! keep-alive connections, lets in-flight requests finish writing, and
+//! exits — bounded by [`ServerConfig::shutdown_grace`] so a handler that
+//! never returns is abandoned rather than hanging shutdown forever.
 
-use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter, Read};
-use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::fs::File;
+use std::io::{self, Write};
+use std::net::{TcpListener, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, TrySendError};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use powerplay_telemetry::{Counter, Gauge};
-
-use super::request::{ParseRequestError, Request};
+use super::reactor::{self, Completions, Job};
+use super::request::Request;
 use super::response::{Response, Status};
+use super::sys;
 
 /// A request handler: pure function from request to response. Handlers
 /// run on worker threads, so they must be `Send + Sync`.
@@ -38,51 +40,27 @@ pub type Handler = dyn Fn(&Request) -> Response + Send + Sync + 'static;
 /// specific machines".
 pub type ClientFilter = dyn Fn(std::net::SocketAddr) -> bool + Send + Sync + 'static;
 
-/// Transport-layer metrics, registered once in the process-global
-/// telemetry registry (request-level metrics live in the app layer).
-struct ServerMetrics {
-    connections_total: Counter,
-    rejected_total: Counter,
-    queue_depth: Gauge,
-}
-
-fn server_metrics() -> &'static ServerMetrics {
-    static METRICS: OnceLock<ServerMetrics> = OnceLock::new();
-    METRICS.get_or_init(|| {
-        let g = powerplay_telemetry::global();
-        ServerMetrics {
-            connections_total: g.counter(
-                "powerplay_server_connections_total",
-                "Connections accepted (including ones later shed with 503)",
-            ),
-            rejected_total: g.counter(
-                "powerplay_server_rejected_total",
-                "Connections answered 503 because the worker queue was full",
-            ),
-            queue_depth: g.gauge(
-                "powerplay_server_queue_depth",
-                "Accepted connections waiting for a worker",
-            ),
-        }
-    })
-}
-
 /// Pool sizing and socket policy for [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads serving connections. Default: available cores.
+    /// Worker threads evaluating handlers. Default: available cores.
     pub workers: usize,
-    /// Accepted connections that may wait for a worker before new
-    /// arrivals are answered 503. Default: `2 * workers`.
+    /// Requests that may wait dispatched-but-unstarted beyond the busy
+    /// workers before new requests are answered 503.
+    /// Default: `16 * workers` — keep-alive connections multiplex many
+    /// requests, so the queue is per-request now, not per-connection.
     pub queue_capacity: usize,
-    /// Per-socket read timeout, bounding how long an idle or stalled
-    /// peer can hold a worker.
+    /// Reactor-enforced read deadline: how long an idle keep-alive
+    /// connection may sit, or a partial request may stall (408).
     pub read_timeout: Duration,
-    /// Per-socket write timeout.
+    /// Reactor-enforced write deadline for flushing a response.
     pub write_timeout: Duration,
     /// How long [`ServerHandle::shutdown`] waits for in-flight handlers
     /// before abandoning their worker threads.
     pub shutdown_grace: Duration,
+    /// Connections the reactor will hold open at once; arrivals past the
+    /// cap are answered 503 without reading their request.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -92,10 +70,11 @@ impl Default for ServerConfig {
             .unwrap_or(4);
         ServerConfig {
             workers,
-            queue_capacity: workers * 2,
+            queue_capacity: workers * 16,
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             shutdown_grace: Duration::from_secs(30),
+            max_connections: 1024,
         }
     }
 }
@@ -179,14 +158,16 @@ impl Server {
         self.addr
     }
 
-    /// Starts the worker pool and the accept loop on background threads
-    /// and returns a handle for shutdown.
+    /// Starts the reactor and the worker pool on background threads and
+    /// returns a handle for shutdown.
     pub fn start(self) -> ServerHandle {
         let config = self.config;
         let running = Arc::new(AtomicBool::new(true));
-        let connections: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::default();
-        let (tx, rx) = sync_channel::<(u64, TcpStream)>(config.queue_capacity.max(1));
-        let rx = Arc::new(Mutex::new(rx));
+        let (wake_rx, wake_tx) = sys::wake_pipe().expect("wake pipe");
+        let shutdown_wake = wake_tx.try_clone().expect("wake pipe clone");
+        let completions = Arc::new(Completions::new(wake_tx));
+        let (job_tx, job_rx) = channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
         let worker_count = config.workers.max(1);
         let exits = Arc::new(WorkerExits {
             active: Mutex::new(worker_count),
@@ -195,99 +176,58 @@ impl Server {
 
         let workers: Vec<JoinHandle<()>> = (0..worker_count)
             .map(|_| {
-                let rx = Arc::clone(&rx);
+                let job_rx = Arc::clone(&job_rx);
                 let handler = Arc::clone(&self.handler);
-                let connections = Arc::clone(&connections);
-                let config = config.clone();
+                let completions = Arc::clone(&completions);
                 let exit_guard = WorkerExitGuard(Arc::clone(&exits));
                 thread::spawn(move || {
                     let _exit_guard = exit_guard;
                     loop {
-                        // Hold the queue lock only for the claim, not the
-                        // service; the sender never locks it.
-                        let claimed = rx.lock().expect("worker queue poisoned").recv();
-                        let Ok((id, stream)) = claimed else { break };
-                        server_metrics().queue_depth.sub(1);
-                        let _ = serve_connection(stream, &handler, &config);
-                        connections
-                            .lock()
-                            .expect("connection registry poisoned")
-                            .remove(&id);
+                        // Hold the queue lock only for the claim, not
+                        // the evaluation; the reactor never locks it.
+                        let claimed = job_rx.lock().expect("worker queue poisoned").recv();
+                        let Ok(job) = claimed else { break };
+                        // A panicking handler costs its request a 500,
+                        // not the process.
+                        let response =
+                            catch_unwind(AssertUnwindSafe(|| (handler)(&job.request)))
+                                .unwrap_or_else(|_| {
+                                    Response::error(
+                                        Status::InternalServerError,
+                                        "handler panicked",
+                                    )
+                                });
+                        completions.push(job.token, job.seq, response);
                     }
                 })
             })
             .collect();
 
-        let accept_running = Arc::clone(&running);
-        let accept_connections = Arc::clone(&connections);
-        let filter = self.filter;
+        let reactor_running = Arc::clone(&running);
         let listener = self.listener;
-        let read_timeout = config.read_timeout;
-        let write_timeout = config.write_timeout;
-        let accept = thread::spawn(move || {
-            let metrics = server_metrics();
-            let mut next_id = 0u64;
-            for stream in listener.incoming() {
-                if !accept_running.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { break };
-                if let Some(filter) = &filter {
-                    match stream.peer_addr() {
-                        Ok(peer) if filter(peer) => {}
-                        _ => continue, // drop the connection
-                    }
-                }
-                metrics.connections_total.inc();
-                let id = next_id;
-                next_id += 1;
-                // Register a clone so shutdown can wake this socket's
-                // reader; workers deregister when the connection ends.
-                if let Ok(clone) = stream.try_clone() {
-                    accept_connections
-                        .lock()
-                        .expect("connection registry poisoned")
-                        .insert(id, clone);
-                }
-                metrics.queue_depth.add(1);
-                match tx.try_send((id, stream)) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full((_, mut stream))) => {
-                        metrics.queue_depth.sub(1);
-                        metrics.rejected_total.inc();
-                        accept_connections
-                            .lock()
-                            .expect("connection registry poisoned")
-                            .remove(&id);
-                        // Answer on a detached thread: the peer's request
-                        // must be drained before the socket closes (or the
-                        // close becomes a TCP RST that can destroy the 503
-                        // in flight), and that drain must not stall the
-                        // accept loop. Lifetime is bounded by the timeouts.
-                        thread::spawn(move || {
-                            let _ = stream.set_read_timeout(Some(read_timeout));
-                            let _ = stream.set_write_timeout(Some(write_timeout));
-                            let r = Response::error(
-                                Status::ServiceUnavailable,
-                                "server busy; try again",
-                            );
-                            let _ = r.write_to(&mut stream, false);
-                            drain_before_close(&mut (&stream), &stream);
-                        });
-                    }
-                    Err(TrySendError::Disconnected(_)) => break,
-                }
-            }
-            // The queue sender drops here: workers finish what is
-            // already queued, then see the disconnect and exit.
+        let filter = self.filter;
+        let reactor_config = config.clone();
+        let reactor = thread::spawn(move || {
+            // The job sender lives on this thread: when the reactor
+            // exits it drops, the queue disconnects, and the workers
+            // finish what is queued and exit.
+            let _ = reactor::run(
+                listener,
+                filter,
+                job_tx,
+                completions,
+                wake_rx,
+                reactor_running,
+                reactor_config,
+            );
         });
 
         ServerHandle {
             addr: self.addr,
             running,
-            accept: Mutex::new(Some(accept)),
+            wake: shutdown_wake,
+            reactor: Mutex::new(Some(reactor)),
             workers: Mutex::new(workers),
-            connections,
             exits,
             shutdown_grace: config.shutdown_grace,
         }
@@ -298,9 +238,9 @@ impl Server {
 pub struct ServerHandle {
     addr: std::net::SocketAddr,
     running: Arc<AtomicBool>,
-    accept: Mutex<Option<JoinHandle<()>>>,
+    wake: File,
+    reactor: Mutex<Option<JoinHandle<()>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
-    connections: Arc<Mutex<HashMap<u64, TcpStream>>>,
     exits: Arc<WorkerExits>,
     shutdown_grace: Duration,
 }
@@ -311,39 +251,30 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Blocks until the accept loop exits (i.e. until [`Self::shutdown`]
-    /// is called from another thread).
+    /// Blocks until the reactor exits (i.e. until [`Self::shutdown`] is
+    /// called from another thread).
     pub fn join(self) {
-        let accept = self.accept.lock().expect("accept handle poisoned").take();
-        if let Some(accept) = accept {
-            let _ = accept.join();
+        let reactor = self.reactor.lock().expect("reactor handle poisoned").take();
+        if let Some(reactor) = reactor {
+            let _ = reactor.join();
         }
     }
 
-    /// Stops accepting connections and drains the pool: queued
-    /// connections are still served, in-flight responses finish writing,
-    /// and idle keep-alive readers are woken by shutting their sockets'
-    /// read halves. Waits up to [`ServerConfig::shutdown_grace`] for the
-    /// workers; a handler still running past the grace is abandoned (its
-    /// thread is detached) so shutdown always returns.
+    /// Stops accepting connections and drains: idle keep-alive
+    /// connections close, in-flight requests finish evaluating and
+    /// writing (their responses forced to `Connection: close`), and the
+    /// reactor exits once nothing is left — bounded by
+    /// [`ServerConfig::shutdown_grace`]. A handler still running past
+    /// the grace is abandoned (its thread detached) so shutdown always
+    /// returns.
     pub fn shutdown(&self) {
         self.running.store(false, Ordering::SeqCst);
-        // Unblock the accept loop with a dummy connection.
-        let _ = TcpStream::connect(self.addr);
-        let accept = self.accept.lock().expect("accept handle poisoned").take();
-        if let Some(accept) = accept {
-            let _ = accept.join();
-        }
-        // The accept loop has exited, so the registry is now stable:
-        // wake every parked reader. In-flight handlers are untouched —
-        // only the read half goes away, responses still flush.
-        for (_, stream) in self
-            .connections
-            .lock()
-            .expect("connection registry poisoned")
-            .drain()
-        {
-            let _ = stream.shutdown(Shutdown::Read);
+        // Pop the reactor out of epoll_wait; an error here means the
+        // reactor already exited and dropped the pipe's read end.
+        let _ = (&self.wake).write(&[1u8]);
+        let reactor = self.reactor.lock().expect("reactor handle poisoned").take();
+        if let Some(reactor) = reactor {
+            let _ = reactor.join();
         }
         let workers: Vec<JoinHandle<()>> = self
             .workers
@@ -354,6 +285,8 @@ impl ServerHandle {
         if workers.is_empty() {
             return; // already shut down once
         }
+        // The reactor dropped the job sender on exit; wait (bounded) for
+        // the workers to notice and drain.
         let active = self.exits.active.lock().unwrap_or_else(|e| e.into_inner());
         let (active, wait) = self
             .exits
@@ -376,67 +309,12 @@ impl Drop for ServerHandle {
     }
 }
 
-fn serve_connection(
-    stream: TcpStream,
-    handler: &Arc<Handler>,
-    config: &ServerConfig,
-) -> io::Result<()> {
-    stream.set_read_timeout(Some(config.read_timeout))?;
-    stream.set_write_timeout(Some(config.write_timeout))?;
-    stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    loop {
-        let request = match Request::read_from(&mut reader) {
-            Ok(request) => request,
-            Err(ParseRequestError::ConnectionClosed | ParseRequestError::Io(_)) => return Ok(()),
-            Err(e) => {
-                let (status, message) = match e {
-                    ParseRequestError::HeadTooLarge => (
-                        Status::RequestHeaderFieldsTooLarge,
-                        "request header section too large".to_owned(),
-                    ),
-                    ParseRequestError::BodyTooLarge => {
-                        (Status::PayloadTooLarge, "request body too large".to_owned())
-                    }
-                    e => (Status::BadRequest, e.to_string()),
-                };
-                let r = Response::error(status, &message);
-                let _ = r.write_to(&mut writer, false);
-                // The request was rejected part-read: drain what the peer
-                // already sent before closing, or the close turns into a
-                // TCP RST that can destroy the error response in flight.
-                drain_before_close(&mut reader, writer.get_ref());
-                return Ok(());
-            }
-        };
-        let keep_alive = request.keep_alive();
-        // A panicking handler costs its request a 500, not the process.
-        let response = catch_unwind(AssertUnwindSafe(|| handler(&request)))
-            .unwrap_or_else(|_| Response::error(Status::InternalServerError, "handler panicked"));
-        response.write_to(&mut writer, keep_alive)?;
-        if !keep_alive {
-            return Ok(());
-        }
-    }
-}
-
-/// Sends FIN (so the peer sees the full response and EOF) and then reads
-/// the peer's leftover bytes until it hangs up. Closing a socket with
-/// unread data in its receive buffer makes the kernel send RST instead,
-/// which can discard a response still in flight — this avoids that. The
-/// read loop is bounded by the socket's read timeout.
-fn drain_before_close(reader: &mut impl Read, stream: &TcpStream) {
-    let _ = stream.shutdown(Shutdown::Write);
-    let mut scratch = [0u8; 4096];
-    while matches!(reader.read(&mut scratch), Ok(n) if n > 0) {}
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::http::{http_get, Method};
     use std::io::{Read, Write};
+    use std::net::TcpStream;
     use std::sync::Condvar;
 
     #[test]
@@ -635,21 +513,59 @@ mod tests {
         .start();
         let addr = server.addr();
 
-        // First connection occupies the only worker…
+        // First request occupies the only worker…
         let mut c1 = raw_get(addr);
         gate.wait_started(1);
-        // …second fills the queue (accepted before c3 by FIFO order)…
-        let mut c2 = raw_get(addr);
-        // …third finds the queue full and is shed immediately.
-        let mut c3 = raw_get(addr);
-        assert!(
-            read_status_line(&mut c3).starts_with("HTTP/1.1 503"),
-            "expected 503 for the connection past the queue"
-        );
-
+        // …then two more arrive. One fills the single queue slot and the
+        // other is shed with 503 — which is which depends on the order
+        // the reactor sees their bytes, so accept either.
+        let c2 = raw_get(addr);
+        let c3 = raw_get(addr);
+        let readers: Vec<_> = [c2, c3]
+            .into_iter()
+            .map(|mut c| thread::spawn(move || read_status_line(&mut c)))
+            .collect();
+        // The shed response arrives without the gate opening; the queued
+        // request needs the release below. Give the 503 a moment to land,
+        // then open the gate for the rest.
+        thread::sleep(Duration::from_millis(100));
         gate.release();
+        let statuses: Vec<String> = readers.into_iter().map(|r| r.join().unwrap()).collect();
+        let shed = statuses
+            .iter()
+            .filter(|s| s.starts_with("HTTP/1.1 503"))
+            .count();
+        let served = statuses
+            .iter()
+            .filter(|s| s.starts_with("HTTP/1.1 200"))
+            .count();
+        assert_eq!(
+            (shed, served),
+            (1, 1),
+            "expected exactly one shed and one served, got: {statuses:?}"
+        );
         assert!(read_status_line(&mut c1).starts_with("HTTP/1.1 200"));
-        assert!(read_status_line(&mut c2).starts_with("HTTP/1.1 200"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_cap_sheds_with_503_before_reading() {
+        let server = Server::bind("127.0.0.1:0", |_| Response::html("ok"))
+            .unwrap()
+            .with_config(ServerConfig {
+                max_connections: 1,
+                ..ServerConfig::default()
+            })
+            .start();
+        let addr = server.addr();
+        // Occupy the only slot with an idle keep-alive connection.
+        let _held = TcpStream::connect(addr).unwrap();
+        thread::sleep(Duration::from_millis(50));
+        // The next arrival is shed without sending a single byte.
+        let mut shed = TcpStream::connect(addr).unwrap();
+        let mut buf = String::new();
+        shed.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 503"), "got: {buf}");
         server.shutdown();
     }
 

@@ -1,0 +1,189 @@
+//! A tiny vendored syscall shim for the readiness reactor: `epoll` and
+//! the wake pipe, declared directly against the C ABI the std runtime
+//! already links — no `libc`, `mio`, or `tokio` crates, matching the
+//! repository's from-scratch discipline.
+//!
+//! Scope is deliberately minimal: `epoll_create1`/`epoll_ctl`/
+//! `epoll_wait` plus `pipe2`. Sockets are put into non-blocking mode
+//! through `std`'s own `set_nonblocking`, and file descriptors are
+//! owned by [`std::os::fd::OwnedFd`] so nothing here can leak.
+
+use std::fs::File;
+use std::io;
+use std::os::fd::{FromRawFd, OwnedFd, RawFd};
+use std::time::Duration;
+
+/// One readiness notification from the kernel.
+///
+/// On x86-64 the kernel declares `struct epoll_event` packed; other
+/// architectures use natural alignment. The `cfg_attr` mirrors that.
+#[derive(Clone, Copy)]
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+pub(crate) struct EpollEvent {
+    pub events: u32,
+    /// Caller-chosen token identifying the registered fd.
+    pub data: u64,
+}
+
+pub(crate) const EPOLLIN: u32 = 0x001;
+pub(crate) const EPOLLOUT: u32 = 0x004;
+pub(crate) const EPOLLERR: u32 = 0x008;
+pub(crate) const EPOLLHUP: u32 = 0x010;
+pub(crate) const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const O_NONBLOCK: i32 = 0o4000;
+const O_CLOEXEC: i32 = 0o2000000;
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn pipe2(fds: *mut i32, flags: i32) -> i32;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An owned epoll instance.
+pub(crate) struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    pub fn new() -> io::Result<Epoll> {
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Epoll {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, event: Option<&mut EpollEvent>) -> io::Result<()> {
+        use std::os::fd::AsRawFd;
+        let ptr = event.map_or(std::ptr::null_mut(), |e| e as *mut EpollEvent);
+        cvt(unsafe { epoll_ctl(self.fd.as_raw_fd(), op, fd, ptr) }).map(|_| ())
+    }
+
+    /// Registers `fd` under `token` with the given interest set.
+    pub fn add(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        let mut event = EpollEvent {
+            events: interest(readable, writable),
+            data: token,
+        };
+        self.ctl(EPOLL_CTL_ADD, fd, Some(&mut event))
+    }
+
+    /// Replaces the interest set of an already-registered `fd`.
+    pub fn modify(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        let mut event = EpollEvent {
+            events: interest(readable, writable),
+            data: token,
+        };
+        self.ctl(EPOLL_CTL_MOD, fd, Some(&mut event))
+    }
+
+    /// Deregisters `fd`. Errors are ignorable (closing the fd
+    /// deregisters it anyway); callers decide.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, None)
+    }
+
+    /// Waits for readiness, up to `timeout` (`None` = indefinitely).
+    /// Retries on `EINTR`.
+    ///
+    /// The timeout rounds *up* to the next millisecond: truncation would
+    /// turn a sub-millisecond timeout into a zero-timeout poll, and a
+    /// caller sleeping toward a deadline would busy-spin through the
+    /// deadline's final millisecond.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout: Option<Duration>) -> io::Result<usize> {
+        use std::os::fd::AsRawFd;
+        let ms = match timeout {
+            None => -1,
+            Some(t) => i32::try_from(t.as_nanos().div_ceil(1_000_000)).unwrap_or(i32::MAX),
+        };
+        loop {
+            let n = unsafe {
+                epoll_wait(
+                    self.fd.as_raw_fd(),
+                    events.as_mut_ptr(),
+                    events.len() as i32,
+                    ms,
+                )
+            };
+            match cvt(n) {
+                Ok(n) => return Ok(n as usize),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn interest(readable: bool, writable: bool) -> u32 {
+    let mut events = 0;
+    if readable {
+        events |= EPOLLIN | EPOLLRDHUP;
+    }
+    if writable {
+        events |= EPOLLOUT;
+    }
+    events
+}
+
+/// A non-blocking self-pipe `(read_end, write_end)`: worker threads
+/// write one byte to hand a finished response back to the reactor, whose
+/// `epoll_wait` then returns. A full pipe is fine — the wakeup is
+/// already pending.
+pub(crate) fn wake_pipe() -> io::Result<(File, File)> {
+    let mut fds = [0i32; 2];
+    cvt(unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) })?;
+    let read = unsafe { File::from_raw_fd(fds[0]) };
+    let write = unsafe { File::from_raw_fd(fds[1]) };
+    Ok((read, write))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn wake_pipe_round_trips_and_would_block_when_drained() {
+        let (mut read, mut write) = wake_pipe().unwrap();
+        write.write_all(&[1]).unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(read.read(&mut buf).unwrap(), 1);
+        let err = read.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn epoll_reports_pipe_readability() {
+        use std::os::fd::AsRawFd;
+        let (read, mut write) = wake_pipe().unwrap();
+        let epoll = Epoll::new().unwrap();
+        epoll.add(read.as_raw_fd(), 7, true, false).unwrap();
+
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        // Nothing written yet: a zero-timeout wait sees nothing.
+        assert_eq!(epoll.wait(&mut events, Some(Duration::ZERO)).unwrap(), 0);
+
+        write.write_all(&[1]).unwrap();
+        let n = epoll.wait(&mut events, Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(n, 1);
+        let (events0, data0) = (events[0].events, events[0].data);
+        assert_eq!(data0, 7);
+        assert!(events0 & EPOLLIN != 0);
+
+        epoll.delete(read.as_raw_fd()).unwrap();
+    }
+}

@@ -1,0 +1,139 @@
+//! A hashed timer wheel for connection deadlines.
+//!
+//! The blocking server charged each socket an `SO_RCVTIMEO`/`SO_SNDTIMEO`;
+//! on the reactor a stalled peer must instead be noticed by the event
+//! loop itself. The wheel holds every connection's next deadline in a
+//! ring of coarse slots (one tick each); each loop iteration advances
+//! the ring to *now* and hands due tokens back to the reactor.
+//!
+//! Entries are lazily cancelled: the reactor re-checks the connection's
+//! actual deadline when a token fires and reschedules it if it moved
+//! (a keep-alive connection that saw traffic) or the slot was reused.
+//! Deadlines beyond the ring's span park in the furthest slot and hop
+//! forward when they fire — firing *late by up to one tick* is the only
+//! imprecision, which is fine for multi-second socket timeouts.
+
+use std::time::{Duration, Instant};
+
+pub(crate) struct TimerWheel {
+    slots: Vec<Vec<u64>>,
+    tick: Duration,
+    /// Index of the slot covering `base`.
+    cursor: usize,
+    /// Start of the current tick; advances by whole ticks only.
+    base: Instant,
+    /// Tokens currently planted in the ring; when zero the event loop
+    /// may sleep indefinitely instead of waking every tick.
+    live: usize,
+}
+
+impl TimerWheel {
+    pub fn new(tick: Duration, slots: usize, now: Instant) -> TimerWheel {
+        assert!(slots >= 2 && tick > Duration::ZERO);
+        TimerWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            tick,
+            cursor: 0,
+            base: now,
+            live: 0,
+        }
+    }
+
+    /// Schedules `token` to fire at or shortly after `deadline`.
+    pub fn schedule(&mut self, token: u64, deadline: Instant) {
+        let delta = deadline.saturating_duration_since(self.base);
+        // Round up so a deadline never fires early, clamp into the ring.
+        let ticks = delta
+            .as_nanos()
+            .div_ceil(self.tick.as_nanos().max(1))
+            .min(self.slots.len() as u128 - 1) as usize;
+        // `ticks == 0` (already due) still waits one tick: the reactor
+        // checks deadlines against `Instant::now` when tokens fire.
+        let slot = (self.cursor + ticks.max(1)) % self.slots.len();
+        self.slots[slot].push(token);
+        self.live += 1;
+    }
+
+    /// How long `epoll_wait` may sleep before the next tick boundary,
+    /// or `None` when nothing is scheduled (sleep until I/O).
+    pub fn poll_timeout(&self, now: Instant) -> Option<Duration> {
+        if self.live == 0 {
+            return None;
+        }
+        Some((self.base + self.tick).saturating_duration_since(now))
+    }
+
+    /// Advances the ring to `now`, handing every token in passed slots
+    /// to `fire`.
+    pub fn advance(&mut self, now: Instant, mut fire: impl FnMut(u64)) {
+        while now.saturating_duration_since(self.base) >= self.tick {
+            self.base += self.tick;
+            self.cursor = (self.cursor + 1) % self.slots.len();
+            for token in std::mem::take(&mut self.slots[self.cursor]) {
+                self.live -= 1;
+                fire(token);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(wheel: &mut TimerWheel, now: Instant) -> Vec<u64> {
+        let mut fired = Vec::new();
+        wheel.advance(now, |t| fired.push(t));
+        fired
+    }
+
+    #[test]
+    fn fires_at_or_after_the_deadline_never_before() {
+        let t0 = Instant::now();
+        let tick = Duration::from_millis(10);
+        let mut wheel = TimerWheel::new(tick, 16, t0);
+        wheel.schedule(1, t0 + Duration::from_millis(25));
+
+        assert!(drain(&mut wheel, t0 + Duration::from_millis(20)).is_empty());
+        assert_eq!(drain(&mut wheel, t0 + Duration::from_millis(30)), vec![1]);
+    }
+
+    #[test]
+    fn deadlines_beyond_the_span_clamp_to_the_furthest_slot() {
+        let t0 = Instant::now();
+        let tick = Duration::from_millis(10);
+        let mut wheel = TimerWheel::new(tick, 4, t0);
+        wheel.schedule(9, t0 + Duration::from_secs(60));
+        // Fires (early) once the clamped slot comes around; the reactor
+        // re-checks the real deadline and reschedules.
+        let fired = drain(&mut wheel, t0 + Duration::from_millis(40));
+        assert_eq!(fired, vec![9]);
+    }
+
+    #[test]
+    fn many_tokens_in_one_slot_all_fire() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 8, t0);
+        for token in 0..5 {
+            wheel.schedule(token, t0 + Duration::from_millis(15));
+        }
+        let mut fired = drain(&mut wheel, t0 + Duration::from_millis(20));
+        fired.sort_unstable();
+        assert_eq!(fired, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn poll_timeout_tracks_the_next_tick() {
+        let t0 = Instant::now();
+        let tick = Duration::from_millis(50);
+        let mut wheel = TimerWheel::new(tick, 8, t0);
+        // Nothing scheduled: the event loop may sleep until I/O.
+        assert_eq!(wheel.poll_timeout(t0), None);
+        wheel.schedule(1, t0 + tick);
+        assert!(wheel.poll_timeout(t0).unwrap() <= tick);
+        assert_eq!(wheel.poll_timeout(t0 + tick * 2), Some(Duration::ZERO));
+        // Once the token fires the wheel goes quiet again.
+        wheel.advance(t0 + tick * 2, |_| {});
+        assert_eq!(wheel.poll_timeout(t0 + tick * 2), None);
+    }
+}

@@ -70,4 +70,56 @@ proptest! {
         let req = Request::read_from(&mut BufReader::new(raw.as_slice())).unwrap();
         prop_assert_eq!(req.body(), body.as_slice());
     }
+
+    /// The resumable parser is chunk-boundary independent: a pipelined
+    /// byte stream fed at arbitrary cut points yields exactly the same
+    /// request sequence as parsing it whole — the property the reactor
+    /// relies on when TCP fragments requests mid-header or mid-body.
+    #[test]
+    fn parse_prefix_is_chunk_boundary_independent(
+        bodies in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..4),
+        cuts in prop::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let mut wire = Vec::new();
+        for (i, body) in bodies.iter().enumerate() {
+            wire.extend_from_slice(
+                format!(
+                    "POST /d{i} HTTP/1.1\r\nContent-Length: {}\r\nX-Seq: {i}\r\n\r\n",
+                    body.len()
+                )
+                .as_bytes(),
+            );
+            wire.extend_from_slice(body);
+        }
+
+        // Reference: parse the whole stream at once.
+        let mut reference = Vec::new();
+        let mut whole = wire.clone();
+        while let Some((req, consumed)) = Request::parse_prefix(&whole).unwrap() {
+            reference.push((req.path().to_owned(), req.body().to_vec()));
+            whole.drain(..consumed);
+        }
+        prop_assert_eq!(reference.len(), bodies.len());
+        prop_assert!(whole.is_empty());
+
+        // Incremental: feed the same bytes at arbitrary cut points.
+        let mut cut_points: Vec<usize> = cuts.iter().map(|c| c % (wire.len() + 1)).collect();
+        cut_points.push(wire.len());
+        cut_points.sort_unstable();
+        let mut parsed = Vec::new();
+        let mut buf = Vec::new();
+        let mut fed = 0;
+        for cut in cut_points {
+            if cut <= fed {
+                continue;
+            }
+            buf.extend_from_slice(&wire[fed..cut]);
+            fed = cut;
+            while let Some((req, consumed)) = Request::parse_prefix(&buf).unwrap() {
+                parsed.push((req.path().to_owned(), req.body().to_vec()));
+                buf.drain(..consumed);
+            }
+        }
+        prop_assert_eq!(parsed, reference);
+    }
 }

@@ -1,0 +1,251 @@
+//! Integration tests for the readiness reactor: behaviors that only
+//! show up across real sockets — slow-loris trickle, pipelining at odd
+//! byte boundaries, deadline expiry mid-body, keep-alive reuse on both
+//! sides of the wire.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use powerplay_web::http::{
+    http_get, read_response, Response, Server, ServerConfig, Status,
+};
+
+fn echo_server() -> powerplay_web::http::ServerHandle {
+    Server::bind("127.0.0.1:0", |req| {
+        Response::html(req.query_param("n").unwrap_or_default().to_owned())
+    })
+    .unwrap()
+    .start()
+}
+
+/// One keep-alive GET on an already-open buffered socket.
+fn pipelined_get(n: usize) -> Vec<u8> {
+    format!("GET /echo?n={n} HTTP/1.1\r\nConnection: keep-alive\r\n\r\n").into_bytes()
+}
+
+#[test]
+fn slow_loris_headers_arrive_one_byte_per_round() {
+    let server = echo_server();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    // Trickle the request a byte at a time: every write lands in its own
+    // readiness round, so the reactor must resume the parse dozens of
+    // times without losing state or timing the peer out early.
+    for byte in pipelined_get(7) {
+        stream.write_all(&[byte]).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut reader = BufReader::new(stream);
+    let response = read_response(&mut reader).unwrap();
+    assert_eq!(response.status(), Status::Ok);
+    assert_eq!(response.body_text(), "7");
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_in_one_write_answer_in_order() {
+    let server = echo_server();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut wire = Vec::new();
+    for n in 0..5 {
+        wire.extend_from_slice(&pipelined_get(n));
+    }
+    stream.write_all(&wire).unwrap();
+    let mut reader = BufReader::new(stream);
+    for n in 0..5 {
+        let response = read_response(&mut reader).unwrap();
+        assert_eq!(response.status(), Status::Ok, "response {n}");
+        assert_eq!(response.body_text(), n.to_string(), "response {n}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_split_at_odd_boundaries_answer_in_order() {
+    let server = echo_server();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut wire = Vec::new();
+    for n in 0..4 {
+        wire.extend_from_slice(&pipelined_get(n));
+    }
+    // 7-byte chunks land mid-request-line, mid-header, and across
+    // request boundaries; responses must still come back 0,1,2,3.
+    let reader_stream = stream.try_clone().unwrap();
+    let reader = std::thread::spawn(move || {
+        let mut reader = BufReader::new(reader_stream);
+        (0..4)
+            .map(|_| read_response(&mut reader).unwrap().body_text())
+            .collect::<Vec<_>>()
+    });
+    for chunk in wire.chunks(7) {
+        stream.write_all(chunk).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let bodies = reader.join().unwrap();
+    assert_eq!(bodies, vec!["0", "1", "2", "3"]);
+    server.shutdown();
+}
+
+#[test]
+fn read_deadline_mid_body_answers_408() {
+    let server = Server::bind("127.0.0.1:0", |_| Response::html("ok"))
+        .unwrap()
+        .with_config(ServerConfig {
+            read_timeout: Duration::from_millis(150),
+            ..ServerConfig::default()
+        })
+        .start();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    // Declare 10 body bytes, deliver 3, then stall.
+    stream
+        .write_all(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+        .unwrap();
+    let started = Instant::now();
+    let mut reader = BufReader::new(stream);
+    let response = read_response(&mut reader).unwrap();
+    assert_eq!(response.status(), Status::RequestTimeout);
+    assert!(
+        started.elapsed() >= Duration::from_millis(100),
+        "408 must come from the deadline, not an immediate rejection"
+    );
+    // The server closes after a 408; the stream must reach EOF.
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn idle_keep_alive_connection_is_closed_silently_on_deadline() {
+    let server = Server::bind("127.0.0.1:0", |_| Response::html("ok"))
+        .unwrap()
+        .with_config(ServerConfig {
+            read_timeout: Duration::from_millis(100),
+            ..ServerConfig::default()
+        })
+        .start();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    // No bytes sent: the idle deadline closes the connection with no
+    // response on the wire.
+    let mut reader = BufReader::new(stream);
+    let mut leftover = Vec::new();
+    reader.read_to_end(&mut leftover).unwrap();
+    assert!(leftover.is_empty(), "got unexpected bytes: {leftover:?}");
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_socket_serves_sequential_requests() {
+    let server = echo_server();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    for n in [1usize, 2, 3] {
+        writer.write_all(&pipelined_get(n)).unwrap();
+        let response = read_response(&mut reader).unwrap();
+        assert_eq!(response.body_text(), n.to_string());
+        assert_eq!(response.header("connection"), Some("keep-alive"));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn client_pool_reuses_connections_and_counts_them() {
+    let server = echo_server();
+    let reused = powerplay_telemetry::global().counter(
+        "powerplay_http_client_reused_total",
+        "Client requests served over a reused pooled keep-alive connection",
+    );
+    let base = format!("http://{}", server.addr());
+    let before = reused.get();
+    // First request opens the connection and parks it; the follow-ups
+    // ride the pooled socket.
+    for n in 0..4 {
+        let r = http_get(&format!("{base}/e?n={n}")).unwrap();
+        assert_eq!(r.body_text(), n.to_string());
+    }
+    let delta = reused.get() - before;
+    assert!(
+        delta >= 2,
+        "expected at least 2 of the 3 follow-up requests to reuse a pooled \
+         connection, counter grew by {delta}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn request_level_shed_answers_503_without_closing_other_streams() {
+    // One worker, zero queue: while it is busy every new request sheds.
+    let gate = Arc::new(std::sync::Barrier::new(2));
+    let handler_gate = Arc::clone(&gate);
+    let server = Server::bind("127.0.0.1:0", move |req| {
+        if req.path() == "/slow" {
+            handler_gate.wait(); // entered
+            handler_gate.wait(); // released
+        }
+        Response::html("done")
+    })
+    .unwrap()
+    .with_config(ServerConfig {
+        workers: 1,
+        queue_capacity: 0,
+        ..ServerConfig::default()
+    })
+    .start();
+    let addr = server.addr();
+
+    let slow = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /slow HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+        read_response(&mut reader).unwrap()
+    });
+    gate.wait(); // the slow request is inside the handler
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"GET /fast HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    let shed = read_response(&mut reader).unwrap();
+    assert_eq!(shed.status(), Status::ServiceUnavailable);
+
+    gate.wait(); // release the slow handler
+    assert_eq!(slow.join().unwrap().status(), Status::Ok);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_with_idle_keep_alive_connections_returns_promptly() {
+    let server = echo_server();
+    let addr = server.addr();
+    // Three idle keep-alive connections, each having served a request.
+    let mut parked = Vec::new();
+    for n in 0..3 {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer.write_all(&pipelined_get(n)).unwrap();
+        assert_eq!(read_response(&mut reader).unwrap().body_text(), n.to_string());
+        parked.push(reader);
+    }
+    let started = Instant::now();
+    server.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shutdown must not wait out idle keep-alive peers"
+    );
+    // Every parked connection sees EOF, not a hang or an RST error.
+    for mut reader in parked {
+        let mut line = String::new();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0);
+    }
+}

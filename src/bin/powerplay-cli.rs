@@ -76,6 +76,8 @@ USAGE:
   powerplay-cli sens <design.json>          sensitivity of power to each global
   powerplay-cli mc <design.json> <rel> <trials> <globals,...>  Monte-Carlo spread
   powerplay-cli serve [addr] [--seed-demo] [--data-dir <dir>]
+                     [--workers <n>] [--queue <n>] [--max-conns <n>]
+                     [--read-timeout-ms <ms>] [--write-timeout-ms <ms>]
                                             run the web application
   powerplay-cli designs [--data-dir <dir>] [<user> [<design>]]
                                             inspect the durable design store
@@ -375,6 +377,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut addr = "127.0.0.1:8096".to_owned();
     let mut seed_demo = false;
     let mut data_dir = std::env::temp_dir().join("powerplay-cli-www");
+    let mut config = powerplay_web::http::ServerConfig::default();
+    fn flag_value<T: std::str::FromStr>(
+        it: &mut std::slice::Iter<'_, String>,
+        flag: &str,
+    ) -> Result<T, String> {
+        it.next()
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse()
+            .map_err(|_| format!("{flag} needs a number"))
+    }
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -384,6 +396,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .next()
                     .ok_or("--data-dir needs a path")?
                     .into();
+            }
+            "--workers" => config.workers = flag_value(&mut it, "--workers")?,
+            "--queue" => config.queue_capacity = flag_value(&mut it, "--queue")?,
+            "--max-conns" => config.max_connections = flag_value(&mut it, "--max-conns")?,
+            "--read-timeout-ms" => {
+                config.read_timeout =
+                    std::time::Duration::from_millis(flag_value(&mut it, "--read-timeout-ms")?);
+            }
+            "--write-timeout-ms" => {
+                config.write_timeout =
+                    std::time::Duration::from_millis(flag_value(&mut it, "--write-timeout-ms")?);
             }
             other => addr = other.to_owned(),
         }
@@ -408,7 +431,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             println!("seeded design `{name}` for user `demo` (rev {rev})");
         }
     }
-    let server = app.serve(&addr).map_err(|e| e.to_string())?;
+    let server = app.serve_with(&addr, config).map_err(|e| e.to_string())?;
     println!("PowerPlay serving at http://{}", server.addr());
     server.join();
     Ok(())
