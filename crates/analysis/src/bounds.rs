@@ -1,0 +1,286 @@
+//! The `SheetBounds` artifact: what an analysis proves about a plan.
+
+use powerplay_json::Json;
+use powerplay_lint::LintReport;
+use powerplay_units::dim::Dim;
+use powerplay_units::format;
+
+use crate::interval::Interval;
+
+/// One tracked input: its analyzed range and unit dimension.
+#[derive(Debug, Clone)]
+pub struct InputBound {
+    /// Global (or appended override) name.
+    pub name: String,
+    /// The range the analysis covered.
+    pub range: Interval,
+    /// Unit dimension, when the naming convention or formula settles it.
+    pub dim: Option<Dim>,
+}
+
+/// Proven bounds for one top-level row.
+#[derive(Debug, Clone)]
+pub struct RowBounds {
+    /// Row display name.
+    pub name: String,
+    /// The `P_<ident>` reference identifier.
+    pub ident: String,
+    /// Proven power interval, watts.
+    pub power: Interval,
+    /// Proven area interval, when the row models area.
+    pub area: Option<Interval>,
+    /// Proven delay interval, when the row models delay.
+    pub delay: Option<Interval>,
+    /// The row's access-rate interval, when `f` is in scope.
+    pub rate: Option<Interval>,
+    /// Power is a single provable value over the analyzed ranges.
+    pub constant: bool,
+    /// Power is provably exactly zero.
+    pub dead: bool,
+}
+
+/// Direction of total power with respect to one input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Provably non-decreasing.
+    Increasing,
+    /// Provably non-increasing.
+    Decreasing,
+    /// Provably independent.
+    Constant,
+}
+
+impl Direction {
+    /// Stable lower-case identifier used in JSON and text output.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Direction::Increasing => "increasing",
+            Direction::Decreasing => "decreasing",
+            Direction::Constant => "constant",
+        }
+    }
+}
+
+/// An input total power is provably monotone in.
+#[derive(Debug, Clone)]
+pub struct MonotoneInput {
+    /// The input's name.
+    pub name: String,
+    /// Proven direction.
+    pub direction: Direction,
+}
+
+/// Everything one analysis run proves about a compiled plan.
+#[derive(Debug, Clone)]
+pub struct SheetBounds {
+    /// The analyzed sheet's name.
+    pub name: String,
+    /// Tracked inputs with their ranges.
+    pub inputs: Vec<InputBound>,
+    /// Per-row bounds, in declaration order.
+    pub rows: Vec<RowBounds>,
+    /// Proven total-power interval, watts.
+    pub total_power: Interval,
+    /// Inputs with a proven monotone direction for total power.
+    pub monotone: Vec<MonotoneInput>,
+    /// Reachability and value diagnostics found along the way.
+    pub diagnostics: LintReport,
+    /// Whether some valuation inside the ranges can make a concrete
+    /// play fail (bad model value, missing operating point on a
+    /// reachable path). Pruning decisions must refuse when set.
+    pub may_fail: bool,
+}
+
+impl SheetBounds {
+    /// True when the analysis produced error-severity diagnostics.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.has_errors()
+    }
+
+    /// JSON shape for the CLI's `--json` and the web analyze endpoint.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("sheet", Json::String(self.name.clone())),
+            (
+                "inputs",
+                Json::Array(
+                    self.inputs
+                        .iter()
+                        .map(|i| {
+                            Json::object([
+                                ("name", Json::String(i.name.clone())),
+                                ("range", interval_json(&i.range)),
+                                (
+                                    "dim",
+                                    match &i.dim {
+                                        Some(d) => Json::String(d.to_string()),
+                                        None => Json::Null,
+                                    },
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "rows",
+                Json::Array(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::object([
+                                ("name", Json::String(r.name.clone())),
+                                ("ident", Json::String(r.ident.clone())),
+                                ("power", interval_json(&r.power)),
+                                ("area", r.area.as_ref().map_or(Json::Null, interval_json)),
+                                ("delay", r.delay.as_ref().map_or(Json::Null, interval_json)),
+                                ("constant", Json::Bool(r.constant)),
+                                ("dead", Json::Bool(r.dead)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("total_power", interval_json(&self.total_power)),
+            (
+                "monotone",
+                Json::Array(
+                    self.monotone
+                        .iter()
+                        .map(|m| {
+                            Json::object([
+                                ("name", Json::String(m.name.clone())),
+                                ("direction", Json::String(m.direction.id().to_string())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("may_fail", Json::Bool(self.may_fail)),
+            ("diagnostics", self.diagnostics.to_json()),
+        ])
+    }
+
+    /// The terminal rendering: a bounds table in the same spirit as the
+    /// play report's spreadsheet page.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("Bounds for sheet `{}`\n", self.name));
+        if !self.inputs.is_empty() {
+            out.push_str("  inputs:\n");
+            for i in &self.inputs {
+                let dim = i
+                    .dim
+                    .as_ref()
+                    .map(|d| format!(" [{d}]"))
+                    .unwrap_or_default();
+                out.push_str(&format!(
+                    "    {:<16} {}{dim}\n",
+                    i.name,
+                    render_interval(&i.range)
+                ));
+            }
+        }
+        out.push_str("  rows:\n");
+        for r in &self.rows {
+            let mut marks = String::new();
+            if r.dead {
+                marks.push_str(" (dead)");
+            } else if r.constant {
+                marks.push_str(" (constant)");
+            }
+            out.push_str(&format!(
+                "    {:<20} P ∈ {}{marks}\n",
+                r.name,
+                render_power_interval(&r.power)
+            ));
+        }
+        out.push_str(&format!(
+            "  total power ∈ {}\n",
+            render_power_interval(&self.total_power)
+        ));
+        if !self.monotone.is_empty() {
+            let dirs: Vec<String> = self
+                .monotone
+                .iter()
+                .map(|m| format!("{} ({})", m.name, m.direction.id()))
+                .collect();
+            out.push_str(&format!("  monotone in: {}\n", dirs.join(", ")));
+        }
+        if self.may_fail {
+            out.push_str("  note: some valuations in range can fail to evaluate\n");
+        }
+        if !self.diagnostics.is_empty() {
+            out.push('\n');
+            out.push_str(&self.diagnostics.render_text());
+        }
+        out
+    }
+}
+
+/// Interval as JSON. JSON has no infinities or NaN, so unbounded
+/// endpoints render as `null` and NaN-reachability is its own flag.
+fn interval_json(iv: &Interval) -> Json {
+    let endpoint = |v: f64| {
+        if v.is_finite() {
+            Json::Number(v)
+        } else {
+            Json::Null
+        }
+    };
+    if iv.is_numeric_empty() {
+        return Json::object([
+            ("empty", Json::Bool(true)),
+            ("nan_possible", Json::Bool(iv.nan)),
+        ]);
+    }
+    Json::object([
+        ("lo", endpoint(iv.lo)),
+        ("hi", endpoint(iv.hi)),
+        ("nan_possible", Json::Bool(iv.nan)),
+    ])
+}
+
+fn render_interval(iv: &Interval) -> String {
+    if iv.is_numeric_empty() {
+        return if iv.nan {
+            "{NaN}".to_string()
+        } else {
+            "∅".to_string()
+        };
+    }
+    let nan = if iv.nan { " ∪ {NaN}" } else { "" };
+    if iv.is_point() {
+        format!("{{{}}}", iv.lo)
+    } else {
+        format!("[{}, {}]{nan}", iv.lo, iv.hi)
+    }
+}
+
+/// Power intervals render through the unit formatter (`1.24 mW`).
+fn render_power_interval(iv: &Interval) -> String {
+    if iv.is_numeric_empty() {
+        return if iv.nan {
+            "{NaN}".to_string()
+        } else {
+            "∅".to_string()
+        };
+    }
+    let fmt = |v: f64| {
+        if v.is_finite() {
+            format::eng(v, "W")
+        } else {
+            format!("{v}")
+        }
+    };
+    let nan = if iv.nan { " ∪ {NaN}" } else { "" };
+    if iv.is_point() {
+        fmt(iv.lo)
+    } else {
+        format!("[{}, {}]{nan}", fmt(iv.lo), fmt(iv.hi))
+    }
+}

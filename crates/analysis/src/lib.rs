@@ -1,0 +1,68 @@
+//! Abstract interpretation over compiled PowerPlay plans.
+//!
+//! The paper's spreadsheet answers "what *is* the power at this
+//! operating point?" one play at a time. This crate answers the
+//! complementary static question: "what *can* the power be over a
+//! whole region of operating points?" — without replaying a single
+//! point. It walks a [`CompiledSheet`](powerplay_sheet::CompiledSheet)
+//! in the engine's own evaluation order, carrying an interval (plus
+//! NaN-reachability) and a per-input monotonicity direction through
+//! every formula, and produces:
+//!
+//! * **[`SheetBounds`]** — proven per-row and total power intervals,
+//!   unit-tagged input ranges, and the inputs power is provably
+//!   monotone in;
+//! * **diagnostics** — new stable lint codes for possible division by
+//!   zero (`W114`), reachable NaN (`W115`), dead branches and rows
+//!   (`W116`/`W117`), constant-foldable rows (`W118`), and provably
+//!   negative or NaN model values (`E015`/`E016`), rendered through
+//!   the existing `powerplay-lint` reporters;
+//! * **bound-guided pruning** — [`sweep_constrained`] skips sweep
+//!   points a proof puts outside a power window (bit-identical reports
+//!   on the survivors), and [`min_vdd_meeting_timing_seeded`] narrows
+//!   the min-supply bisection bracket before any concrete replay.
+//!
+//! Soundness is the load-bearing property: every concrete play whose
+//! inputs lie inside the declared ranges lands inside the reported
+//! intervals. `tests/soundness.rs` property-checks this against
+//! randomly generated sheets; the interval transfer functions widen
+//! libm endpoint evaluations by a few ulps so not-correctly-rounded
+//! transcendentals cannot leak a concrete value past an endpoint.
+//!
+//! ```
+//! use powerplay_analysis::{analyze_with_ranges, Interval};
+//! use powerplay_library::builtin::ucb_library;
+//! use powerplay_sheet::{CompiledSheet, Sheet};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = ucb_library();
+//! let mut sheet = Sheet::new("demo");
+//! sheet.set_global("vdd", "1.5")?;
+//! sheet.set_global("f", "2MHz")?;
+//! sheet.add_element_row("Datapath", "ucb/multiplier", [("bw_a", "8"), ("bw_b", "8")])?;
+//! let plan = CompiledSheet::compile(&sheet, &lib);
+//!
+//! // Prove bounds over a supply range without replaying.
+//! let ranges = vec![("vdd".to_string(), Interval::new(1.0, 3.3))];
+//! let bounds = analyze_with_ranges(&plan, &ranges)?;
+//! let concrete = plan.play_with(&[("vdd", 2.0)])?;
+//! assert!(bounds.total_power.contains(concrete.total_power().value()));
+//! assert!(bounds.monotone.iter().any(|m| m.name == "vdd"));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analyzer;
+pub mod bounds;
+pub mod interval;
+pub mod mono;
+pub mod prune;
+
+pub use analyzer::{analyze, analyze_with_ranges};
+pub use bounds::{Direction, InputBound, MonotoneInput, RowBounds, SheetBounds};
+pub use interval::{CompareOp, Interval};
+pub use mono::{AbsValue, Mono};
+pub use prune::{
+    min_vdd_meeting_timing_seeded, sweep_constrained, ConstrainedSweep, PointOutcome,
+    PowerConstraint,
+};

@@ -1,0 +1,355 @@
+//! Per-input monotonicity analysis.
+//!
+//! Alongside its interval, every abstract value carries one [`Mono`]
+//! direction per *tracked input* (a top-level global or an explicitly
+//! ranged parameter): does the expression provably not decrease
+//! ([`Mono::Inc`]), not increase ([`Mono::Dec`]), not change at all
+//! ([`Mono::Const`]) as that one input grows with the others held
+//! fixed — or do we not know ([`Mono::Unknown`])?
+//!
+//! Directions compose by a sign algebra over the derivative of each
+//! operation, using the operand *intervals* to settle signs where the
+//! chain rule needs them (`d(x·y) = y·dx + x·dy` needs the sign of
+//! `x` and `y`). Everything here over-approximates: `Unknown` is
+//! always sound, and the analyzer only ever *reports* `Inc`/`Dec`/
+//! `Const`, never relies on them for pruning decisions beyond what
+//! the intervals already prove.
+
+use crate::interval::Interval;
+
+/// Direction of change with respect to one tracked input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mono {
+    /// Provably independent of the input.
+    Const,
+    /// Provably non-decreasing in the input.
+    Inc,
+    /// Provably non-increasing in the input.
+    Dec,
+    /// No proof either way.
+    Unknown,
+}
+
+impl Mono {
+    /// Direction of `-e` given the direction of `e`.
+    #[must_use]
+    pub fn flip(self) -> Mono {
+        match self {
+            Mono::Inc => Mono::Dec,
+            Mono::Dec => Mono::Inc,
+            other => other,
+        }
+    }
+
+    /// Least upper bound: agree exactly or give up (with `Const` as
+    /// the identity — a constant branch never disturbs the other's
+    /// direction).
+    #[must_use]
+    pub fn join(self, other: Mono) -> Mono {
+        match (self, other) {
+            (a, b) if a == b => a,
+            (Mono::Const, b) => b,
+            (a, Mono::Const) => a,
+            _ => Mono::Unknown,
+        }
+    }
+
+    /// Sign of the "derivative" this direction stands for: `Const` is
+    /// exactly zero, `Inc`/`Dec` are `≥ 0` / `≤ 0`, `Unknown` is no
+    /// information.
+    fn sign(self) -> Option<i8> {
+        match self {
+            Mono::Const => Some(0),
+            Mono::Inc => Some(1),
+            Mono::Dec => Some(-1),
+            Mono::Unknown => None,
+        }
+    }
+
+    /// Scales a direction by the (known) sign of a multiplier.
+    #[must_use]
+    pub fn scale(self, sign: i8) -> Mono {
+        if sign == 0 {
+            return Mono::Const;
+        }
+        if sign > 0 {
+            self
+        } else {
+            self.flip()
+        }
+    }
+}
+
+/// Sign of every value in `iv`, when definite. NaN admits no sign.
+fn interval_sign(iv: &Interval) -> Option<i8> {
+    if iv.nan || iv.is_numeric_empty() {
+        return None;
+    }
+    if iv.lo >= 0.0 {
+        Some(1)
+    } else if iv.hi <= 0.0 {
+        Some(-1)
+    } else {
+        None
+    }
+}
+
+/// Sign of a product of a derivative sign and a value sign, treating
+/// an exactly-zero derivative as absorbing (0 · unknown = 0).
+fn term_sign(mono: Mono, value: &Interval) -> Option<i8> {
+    match mono.sign() {
+        Some(0) => Some(0),
+        Some(m) => interval_sign(value).map(|v| m * v),
+        None => None,
+    }
+}
+
+/// Combines the two chain-rule terms `t1 + t2`: both `≥ 0` ⇒ `Inc`,
+/// both `≤ 0` ⇒ `Dec`, both `= 0` ⇒ `Const`.
+fn combine_terms(t1: Option<i8>, t2: Option<i8>) -> Mono {
+    match (t1, t2) {
+        (Some(0), Some(0)) => Mono::Const,
+        (Some(a), Some(b)) if a >= 0 && b >= 0 => Mono::Inc,
+        (Some(a), Some(b)) if a <= 0 && b <= 0 => Mono::Dec,
+        _ => Mono::Unknown,
+    }
+}
+
+/// `d(x + y)`: directions add.
+#[must_use]
+pub fn add(ma: Mono, mb: Mono) -> Mono {
+    combine_terms(ma.sign(), mb.sign())
+}
+
+/// `d(x - y)`: directions subtract.
+#[must_use]
+pub fn sub(ma: Mono, mb: Mono) -> Mono {
+    combine_terms(ma.sign(), mb.flip().sign())
+}
+
+/// `d(x · y) = y·dx + x·dy`: needs the operand value signs.
+#[must_use]
+pub fn mul(ma: Mono, ia: &Interval, mb: Mono, ib: &Interval) -> Mono {
+    combine_terms(term_sign(ma, ib), term_sign(mb, ia))
+}
+
+/// `d(x / y)`: quotient rule, sound only when the denominator has a
+/// definite sign (no pole crossing inside the range).
+#[must_use]
+pub fn div(ma: Mono, ia: &Interval, mb: Mono, ib: &Interval) -> Mono {
+    if ma == Mono::Const && mb == Mono::Const {
+        return Mono::Const;
+    }
+    if interval_sign(ib).is_none() || ib.contains_zero() {
+        return Mono::Unknown;
+    }
+    // d(x/y) = dx/y − (x/y²)·dy: same shape as a product against
+    // 1/y, whose sign matches y's.
+    combine_terms(term_sign(ma, ib), term_sign(mb.flip(), ia))
+}
+
+/// `d(x ^ y)` for the shapes we can settle: constant exponent with a
+/// nonnegative base, or constant base.
+#[must_use]
+pub fn pow(ma: Mono, ia: &Interval, mb: Mono, ib: &Interval) -> Mono {
+    if ma == Mono::Const && mb == Mono::Const {
+        return Mono::Const;
+    }
+    if mb == Mono::Const && !ia.nan && ia.lo >= 0.0 {
+        // x^c on x ≥ 0: monotone with the sign of c.
+        return match interval_sign(ib) {
+            Some(s) => ma.scale(s),
+            None => Mono::Unknown,
+        };
+    }
+    if ma == Mono::Const && !ia.nan && !ia.is_numeric_empty() {
+        // c^y: increasing in y when c ≥ 1, decreasing when 0 ≤ c ≤ 1.
+        if ia.lo >= 1.0 {
+            return mb;
+        }
+        if ia.lo >= 0.0 && ia.hi <= 1.0 {
+            return mb.flip();
+        }
+    }
+    Mono::Unknown
+}
+
+/// `d(|x|)`: preserved where the sign is definite.
+#[must_use]
+pub fn abs(ma: Mono, ia: &Interval) -> Mono {
+    if ma == Mono::Const {
+        return Mono::Const;
+    }
+    match interval_sign(ia) {
+        Some(s) => ma.scale(s),
+        None => Mono::Unknown,
+    }
+}
+
+/// Directions through a monotone-increasing function on a restricted
+/// domain (`sqrt`, `ln`, `log10`, `log2` on `x ≥ 0`).
+#[must_use]
+pub fn increasing_on_nonneg(ma: Mono, ia: &Interval) -> Mono {
+    if ma == Mono::Const {
+        return Mono::Const;
+    }
+    if !ia.nan && ia.lo >= 0.0 {
+        ma
+    } else {
+        Mono::Unknown
+    }
+}
+
+/// Directions through an everywhere-monotone-increasing function
+/// (`exp`, `floor`, `ceil`, `round`).
+#[must_use]
+pub fn increasing(ma: Mono) -> Mono {
+    ma
+}
+
+/// `d(min(x, y))` / `d(max(x, y))`: the active branch can switch, so
+/// the directions must agree.
+#[must_use]
+pub fn min_max(ma: Mono, mb: Mono) -> Mono {
+    ma.join(mb)
+}
+
+/// `d(hypot(x, y))`: increasing in each magnitude, so compose the
+/// magnitudes' directions.
+#[must_use]
+pub fn hypot(ma: Mono, ia: &Interval, mb: Mono, ib: &Interval) -> Mono {
+    combine_terms(abs(ma, ia).sign(), abs(mb, ib).sign())
+}
+
+/// `d(if(c, t, e))`: when only one branch is reachable, that branch's
+/// direction; when the condition is provably constant, the join of the
+/// branches; otherwise unknown (the selector may flip).
+#[must_use]
+pub fn if_branches(mc: Mono, can_then: bool, can_else: bool, mt: Mono, me: Mono) -> Mono {
+    match (can_then, can_else) {
+        (true, false) => mt,
+        (false, true) => me,
+        (false, false) => Mono::Const,
+        (true, true) => {
+            if mc == Mono::Const {
+                mt.join(me)
+            } else {
+                Mono::Unknown
+            }
+        }
+    }
+}
+
+/// Comparisons and `%`: step functions of their inputs — constant only
+/// when both operands are.
+#[must_use]
+pub fn opaque(ma: Mono, mb: Mono) -> Mono {
+    if ma == Mono::Const && mb == Mono::Const {
+        Mono::Const
+    } else {
+        Mono::Unknown
+    }
+}
+
+/// An abstract value: interval plus one direction per tracked input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbsValue {
+    /// Reachable-value set.
+    pub iv: Interval,
+    /// Direction with respect to each tracked input, index-aligned
+    /// with the analyzer's input list.
+    pub mono: Vec<Mono>,
+}
+
+impl AbsValue {
+    /// A value independent of every tracked input.
+    #[must_use]
+    pub fn constant(iv: Interval, inputs: usize) -> AbsValue {
+        AbsValue {
+            iv,
+            mono: vec![Mono::Const; inputs],
+        }
+    }
+
+    /// The tracked input at `index` itself: identity direction there,
+    /// constant elsewhere.
+    #[must_use]
+    pub fn input(iv: Interval, index: usize, inputs: usize) -> AbsValue {
+        let mut mono = vec![Mono::Const; inputs];
+        mono[index] = Mono::Inc;
+        AbsValue { iv, mono }
+    }
+
+    /// Snaps a provably single-valued result to `Const` in every
+    /// direction — a point can't move.
+    #[must_use]
+    pub fn normalized(mut self) -> AbsValue {
+        if self.iv.is_point() {
+            for m in &mut self.mono {
+                *m = Mono::Const;
+            }
+        }
+        self
+    }
+
+    /// True when the value provably ignores every tracked input.
+    #[must_use]
+    pub fn is_constant(&self) -> bool {
+        self.mono.iter().all(|m| *m == Mono::Const)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos() -> Interval {
+        Interval::new(1.0, 5.0)
+    }
+
+    #[test]
+    fn product_of_increasing_positives_is_increasing() {
+        assert_eq!(mul(Mono::Inc, &pos(), Mono::Inc, &pos()), Mono::Inc);
+    }
+
+    #[test]
+    fn product_with_mixed_sign_operand_is_unknown() {
+        let mixed = Interval::new(-1.0, 1.0);
+        assert_eq!(mul(Mono::Inc, &mixed, Mono::Inc, &pos()), Mono::Unknown);
+    }
+
+    #[test]
+    fn quotient_by_increasing_positive_denominator_decreases() {
+        assert_eq!(div(Mono::Const, &pos(), Mono::Inc, &pos()), Mono::Dec);
+    }
+
+    #[test]
+    fn square_of_nonnegative_increasing_is_increasing() {
+        assert_eq!(
+            pow(
+                Mono::Inc,
+                &Interval::new(0.0, 3.0),
+                Mono::Const,
+                &Interval::point(2.0)
+            ),
+            Mono::Inc
+        );
+    }
+
+    #[test]
+    fn join_requires_agreement() {
+        assert_eq!(Mono::Inc.join(Mono::Inc), Mono::Inc);
+        assert_eq!(Mono::Inc.join(Mono::Dec), Mono::Unknown);
+        assert_eq!(Mono::Inc.join(Mono::Const), Mono::Inc);
+    }
+
+    #[test]
+    fn point_normalizes_to_const() {
+        let v = AbsValue {
+            iv: Interval::point(3.0),
+            mono: vec![Mono::Inc, Mono::Unknown],
+        }
+        .normalized();
+        assert!(v.is_constant());
+    }
+}

@@ -35,14 +35,21 @@ fn regenerate() {
             estimate.to_string(),
             sim.total_power().to_string(),
             comparison.ratio(),
-            if comparison.within_octave() { "yes" } else { "NO" },
+            if comparison.within_octave() {
+                "yes"
+            } else {
+                "NO"
+            },
         );
     }
     println!("(paper: estimated ~150 uW vs measured ~100 uW -> 1.5x, within an octave)");
 
     // Content sweep: the gap is data correlation, not calibration.
     println!("\ncontent dependence (Figure 1 architecture):");
-    let estimate = pp.play(&sheet(LuminanceArch::DirectLut)).unwrap().total_power();
+    let estimate = pp
+        .play(&sheet(LuminanceArch::DirectLut))
+        .unwrap()
+        .total_power();
     for (label, content) in [
         ("uniform noise", VideoSource::noise(9, 3)),
         ("natural video", VideoSource::synthetic(9, 3)),

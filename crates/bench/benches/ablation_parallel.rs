@@ -12,7 +12,9 @@ use powerplay_units::{Capacitance, Frequency, Voltage};
 
 fn decoder_tradeoff() -> ParallelismTradeoff {
     let pp = session();
-    let report = pp.play(&sheet(LuminanceArch::GroupedLut)).expect("reference design");
+    let report = pp
+        .play(&sheet(LuminanceArch::GroupedLut))
+        .expect("reference design");
     ParallelismTradeoff {
         delay: DelayScaling::cmos_1_2um(),
         cap_per_op: Capacitance::new(report.total_power().value() / (1.5 * 1.5 * 2e6)),
@@ -24,11 +26,17 @@ fn decoder_tradeoff() -> ParallelismTradeoff {
 fn regenerate() {
     banner("E-A4: power vs parallelism at fixed throughput (decoder datapath)");
     let trade = decoder_tradeoff();
-    for (label, f) in [("2 MHz (paper rate)", 2e6), ("32 MHz (4x-res display)", 32e6)] {
+    for (label, f) in [
+        ("2 MHz (paper rate)", 2e6),
+        ("32 MHz (4x-res display)", 32e6),
+    ] {
         println!("\ntarget throughput: {label}");
         println!("{:>3} {:>10} {:>14}", "N", "vdd", "power");
         for n in 1..=8u32 {
-            match (trade.supply_for(n, Frequency::new(f)), trade.power_at(n, Frequency::new(f))) {
+            match (
+                trade.supply_for(n, Frequency::new(f)),
+                trade.power_at(n, Frequency::new(f)),
+            ) {
                 (Some(vdd), Some(p)) => {
                     println!("{n:>3} {:>9.2}V {:>14}", vdd.value(), p.to_string())
                 }

@@ -1,0 +1,123 @@
+//! Bound-guided sweep pruning: a constrained 64-point supply sweep
+//! must skip a provable fraction of its points without replaying them,
+//! and the points it does replay must be bit-identical to an
+//! unconstrained sweep's. Records `BENCH_analysis.json`.
+//!
+//! The invariants at the top run under `--test` too, so CI's bench
+//! smoke catches a pruning regression (nothing skipped, or a skipped
+//! point that would actually have been admitted) without paying for
+//! the timing loops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerplay::designs::luminance::{sheet, LuminanceArch};
+use powerplay::whatif;
+use powerplay_analysis::{sweep_constrained, PointOutcome, PowerConstraint};
+use powerplay_bench::{banner, record_metrics, session, throughput};
+
+fn bench(c: &mut Criterion) {
+    banner("analysis: bound-guided pruning of a constrained 64-pt vdd sweep");
+    let pp = session();
+    let design = sheet(LuminanceArch::GroupedLut);
+    let plan = pp.compile(&design);
+
+    // 64 supply points across the design space; the constraint keeps
+    // only the low-power half, so the analyzer can prove the upper
+    // segments out without a single replay.
+    let points: Vec<f64> = (0..64).map(|i| 1.0 + 0.036 * f64::from(i)).collect();
+    let budget = plan
+        .play_with(&[("vdd", 2.0)])
+        .unwrap()
+        .total_power()
+        .value();
+    let constraint = PowerConstraint::at_most(budget);
+
+    // --- Invariants, checked before anything is timed.
+    let pruned_sweep = sweep_constrained(&plan, "vdd", &points, &constraint).unwrap();
+    let full = whatif::sweep_compiled(&plan, "vdd", &points).unwrap();
+    assert_eq!(pruned_sweep.outcomes.len(), full.len());
+    assert!(
+        pruned_sweep.pruned * 10 >= points.len(),
+        "expected >=10% of {} points pruned, got {}",
+        points.len(),
+        pruned_sweep.pruned
+    );
+    for ((value, outcome), (full_value, full_report)) in pruned_sweep.outcomes.iter().zip(&full) {
+        assert_eq!(value, full_value);
+        match outcome {
+            // Bit-identical: the constrained sweep replays survivors
+            // through the same engine path as the unconstrained one.
+            PointOutcome::Played(report) => assert_eq!(report, full_report),
+            // Sound: every pruned point really violates the constraint.
+            PointOutcome::Pruned(proof) => {
+                let concrete = full_report.total_power().value();
+                assert!(
+                    !constraint.admits(concrete),
+                    "pruned vdd={value} admits {concrete} W"
+                );
+                assert!(
+                    proof.contains(concrete),
+                    "proof {proof:?} misses concrete {concrete}"
+                );
+            }
+        }
+    }
+    println!(
+        "{} of {} points pruned by proof ({} abstract analyses, {} replays)",
+        pruned_sweep.pruned,
+        points.len(),
+        pruned_sweep.analyses,
+        pruned_sweep.played
+    );
+
+    // --- Criterion samples.
+    let mut group = c.benchmark_group("analysis/sweep64_constrained");
+    group.sample_size(10);
+    group.bench_function("bound_pruned", |b| {
+        b.iter(|| {
+            sweep_constrained(&plan, "vdd", &points, &constraint)
+                .unwrap()
+                .played
+        })
+    });
+    group.bench_function("full_then_filter", |b| {
+        b.iter(|| {
+            whatif::sweep_compiled(&plan, "vdd", &points)
+                .unwrap()
+                .iter()
+                .filter(|(_, r)| constraint.admits(r.total_power().value()))
+                .count()
+        })
+    });
+    group.finish();
+
+    // --- Headline rates: the wall-clock effect of pruning on this run.
+    let constrained_rate = throughput(400, || {
+        std::hint::black_box(
+            sweep_constrained(&plan, "vdd", &points, &constraint)
+                .unwrap()
+                .played,
+        );
+    });
+    let full_rate = throughput(400, || {
+        std::hint::black_box(whatif::sweep_compiled(&plan, "vdd", &points).unwrap().len());
+    });
+    println!(
+        "constrained sweeps/sec {constrained_rate:.1} vs full {full_rate:.1} ({:.2}x)",
+        constrained_rate / full_rate
+    );
+    record_metrics(
+        "analysis",
+        &[
+            ("sweep_points_total", points.len() as f64),
+            ("sweep_points_pruned", pruned_sweep.pruned as f64),
+            ("sweep_points_played", pruned_sweep.played as f64),
+            ("abstract_analyses", pruned_sweep.analyses as f64),
+            ("constrained_sweeps_per_sec", constrained_rate),
+            ("full_sweeps_per_sec", full_rate),
+            ("constrained_speedup", constrained_rate / full_rate),
+        ],
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

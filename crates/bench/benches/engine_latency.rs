@@ -90,14 +90,24 @@ fn bench(c: &mut Criterion) {
         b.iter(|| decoder_plan.play().unwrap().total_power())
     });
     group.bench_function("decoder_one_knob", |b| {
-        b.iter(|| decoder_plan.play_with(&[("vdd", 1.1)]).unwrap().total_power())
+        b.iter(|| {
+            decoder_plan
+                .play_with(&[("vdd", 1.1)])
+                .unwrap()
+                .total_power()
+        })
     });
     let system_plan = pp.compile(&system);
     group.bench_function("infopad_play", |b| {
         b.iter(|| system_plan.play().unwrap().total_power())
     });
     group.bench_function("infopad_one_knob", |b| {
-        b.iter(|| system_plan.play_with(&[("vdd", 1.1)]).unwrap().total_power())
+        b.iter(|| {
+            system_plan
+                .play_with(&[("vdd", 1.1)])
+                .unwrap()
+                .total_power()
+        })
     });
     group.finish();
 
@@ -110,7 +120,12 @@ fn bench(c: &mut Criterion) {
         std::hint::black_box(pp.play(&v).unwrap().total_power());
     });
     let replay_rate = throughput(300, || {
-        std::hint::black_box(system_plan.play_with(&[("vdd", 1.1)]).unwrap().total_power());
+        std::hint::black_box(
+            system_plan
+                .play_with(&[("vdd", 1.1)])
+                .unwrap()
+                .total_power(),
+        );
     });
     println!(
         "infopad plays/sec: recompile {recompile_rate:.0}, compiled replay {replay_rate:.0} \

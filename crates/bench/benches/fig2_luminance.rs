@@ -9,10 +9,14 @@ use powerplay_bench::{banner, session};
 fn regenerate() {
     let pp = session();
     banner("Figure 2: Luminance_1 summary (architecture of Figure 1)");
-    let fig1 = pp.play(&sheet(LuminanceArch::DirectLut)).expect("reference design plays");
+    let fig1 = pp
+        .play(&sheet(LuminanceArch::DirectLut))
+        .expect("reference design plays");
     println!("{fig1}");
     banner("Figure 3 companion table (grouped-LUT architecture)");
-    let fig3 = pp.play(&sheet(LuminanceArch::GroupedLut)).expect("reference design plays");
+    let fig3 = pp
+        .play(&sheet(LuminanceArch::GroupedLut))
+        .expect("reference design plays");
     println!("{fig3}");
     println!(
         "architecture comparison: {} vs {} -> {:.2}x (paper: ~5x, '~150 uW, or 1/5')",

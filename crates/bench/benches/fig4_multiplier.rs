@@ -4,7 +4,7 @@
 //! "feedback is virtually instantaneous" claim).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use powerplay::{Scope, ucb_library};
+use powerplay::{ucb_library, Scope};
 use powerplay_bench::banner;
 use powerplay_units::format;
 
@@ -46,14 +46,18 @@ fn bench(c: &mut Criterion) {
     let mult = lib.get("ucb/multiplier").unwrap().clone();
     let mut group = c.benchmark_group("fig4");
     for bw in [8u32, 16, 32] {
-        group.bench_with_input(BenchmarkId::new("evaluate_multiplier", bw), &bw, |b, &bw| {
-            let mut scope = Scope::new();
-            scope.set("vdd", 1.5);
-            scope.set("f", 2e6);
-            scope.set("bw_a", bw as f64);
-            scope.set("bw_b", bw as f64);
-            b.iter(|| mult.evaluate(std::hint::black_box(&scope)).unwrap().power)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("evaluate_multiplier", bw),
+            &bw,
+            |b, &bw| {
+                let mut scope = Scope::new();
+                scope.set("vdd", 1.5);
+                scope.set("f", 2e6);
+                scope.set("bw_a", bw as f64);
+                scope.set("bw_b", bw as f64);
+                b.iter(|| mult.evaluate(std::hint::black_box(&scope)).unwrap().power)
+            },
+        );
     }
     // The whole form workflow: parse user text, bind, evaluate.
     group.bench_function("form_roundtrip", |b| {

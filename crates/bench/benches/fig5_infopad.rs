@@ -29,7 +29,11 @@ fn bench(c: &mut Criterion) {
     let pp = session();
     let system = infopad::sheet();
     c.bench_function("fig5/play_full_system", |b| {
-        b.iter(|| pp.play(std::hint::black_box(&system)).unwrap().total_power())
+        b.iter(|| {
+            pp.play(std::hint::black_box(&system))
+                .unwrap()
+                .total_power()
+        })
     });
     c.bench_function("fig5/play_after_radio_change", |b| {
         // The interactive loop: tweak one subsystem parameter, re-Play.

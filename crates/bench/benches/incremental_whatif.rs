@@ -41,7 +41,9 @@ fn bench(c: &mut Criterion) {
         .replay_delta(&mut state, &[("radio_duty", 0.25)])
         .unwrap();
     assert_eq!(state.last_outcome(), DeltaOutcome::Incremental);
-    let dirty = state.last_dirty_rows().expect("delta records a dirty count");
+    let dirty = state
+        .last_dirty_rows()
+        .expect("delta records a dirty count");
     assert!(
         dirty < plan.row_count(),
         "{dirty} of {} rows dirty — the delta is not incremental",
@@ -61,7 +63,10 @@ fn bench(c: &mut Criterion) {
         hits_after >= hits_before + 2.0,
         "duplicate sweep points must hit the memo ({hits_before} -> {hits_after})"
     );
-    println!("sweep memo hits on duplicate points: {}", hits_after - hits_before);
+    println!(
+        "sweep memo hits on duplicate points: {}",
+        hits_after - hits_before
+    );
 
     // --- Criterion samples. The knob toggles between two values so every
     // iteration really re-evaluates (a repeated value would answer from
@@ -72,7 +77,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             flip = !flip;
             let duty = if flip { 0.25 } else { 0.75 };
-            plan.play_with(&[("radio_duty", duty)]).unwrap().total_power()
+            plan.play_with(&[("radio_duty", duty)])
+                .unwrap()
+                .total_power()
         })
     });
     group.bench_function("delta_replay_radio_duty", |b| {
@@ -104,7 +111,11 @@ fn bench(c: &mut Criterion) {
     let full_rate = throughput(300, || {
         flip = !flip;
         let duty = if flip { 0.25 } else { 0.75 };
-        std::hint::black_box(plan.play_with(&[("radio_duty", duty)]).unwrap().total_power());
+        std::hint::black_box(
+            plan.play_with(&[("radio_duty", duty)])
+                .unwrap()
+                .total_power(),
+        );
     });
     let mut state = ReplayState::new();
     plan.replay_delta(&mut state, &[]).unwrap();

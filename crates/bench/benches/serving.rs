@@ -42,11 +42,14 @@ fn main() {
     let app = PowerPlayApp::new(powerplay::ucb_library(), dir);
 
     let text = std::fs::read_to_string(
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/designs/infopad.json"),
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../examples/designs/infopad.json"),
     )
     .expect("read InfoPad design");
     let sheet = Sheet::from_json(&Json::parse(&text).expect("parse")).expect("load");
-    app.store().save("demo", "infopad", &sheet, None).expect("seed");
+    app.store()
+        .save("demo", "infopad", &sheet, None)
+        .expect("seed");
 
     // Shed thresholds sized for the load shape: 128 connections with 8
     // requests in flight each must never see a 503.
@@ -87,7 +90,10 @@ fn main() {
     if let Some(h) = snapshot.histogram("powerplay_http_request_seconds") {
         for (label, q) in [("p50", 0.5), ("p99", 0.99)] {
             if let Some(v) = h.quantile_seconds(q).filter(|v| v.is_finite()) {
-                println!("server-side request {label} <= {:.1} us (log2 bucket bound)", v * 1e6);
+                println!(
+                    "server-side request {label} <= {:.1} us (log2 bucket bound)",
+                    v * 1e6
+                );
             }
         }
     }

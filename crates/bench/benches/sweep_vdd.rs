@@ -16,7 +16,10 @@ fn regenerate() {
     banner("E-A2: power vs supply voltage");
     let decoder = sheet(LuminanceArch::GroupedLut);
     let system = infopad::sheet();
-    println!("{:>6} {:>16} {:>16}", "vdd", "decoder (Fig 3)", "InfoPad system");
+    println!(
+        "{:>6} {:>16} {:>16}",
+        "vdd", "decoder (Fig 3)", "InfoPad system"
+    );
     let dec_curve = whatif::sweep_global(&decoder, pp.registry(), "vdd", &VDD_POINTS).unwrap();
     let sys_curve = whatif::sweep_global(&system, pp.registry(), "vdd", &VDD_POINTS).unwrap();
     for ((vdd, d), (_, s)) in dec_curve.iter().zip(&sys_curve) {
@@ -30,8 +33,13 @@ fn regenerate() {
         "(decoder scales ~vdd^2; the display/radio-dominated system barely moves — \
          the 'optimize the right component' lesson)"
     );
-    match whatif::min_vdd_meeting_timing(&decoder, pp.registry(), Voltage::new(0.75), Voltage::new(3.3))
-        .unwrap()
+    match whatif::min_vdd_meeting_timing(
+        &decoder,
+        pp.registry(),
+        Voltage::new(0.75),
+        Voltage::new(3.3),
+    )
+    .unwrap()
     {
         Some((vdd, report)) => println!(
             "minimum supply meeting 2 MHz timing: {:.2} V -> {}",
@@ -47,7 +55,11 @@ fn bench(c: &mut Criterion) {
     let pp = session();
     let decoder = sheet(LuminanceArch::GroupedLut);
     c.bench_function("sweep/nine_point_vdd_sweep", |b| {
-        b.iter(|| whatif::sweep_global(&decoder, pp.registry(), "vdd", &VDD_POINTS).unwrap().len())
+        b.iter(|| {
+            whatif::sweep_global(&decoder, pp.registry(), "vdd", &VDD_POINTS)
+                .unwrap()
+                .len()
+        })
     });
     c.bench_function("sweep/sensitivities", |b| {
         b.iter(|| whatif::sensitivities(&decoder, pp.registry()).unwrap())
@@ -78,10 +90,18 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("sweep/dense64_infopad");
     group.sample_size(10);
     group.bench_function("serial", |b| {
-        b.iter(|| whatif::sweep_global_serial(&system, pp.registry(), "vdd", &dense).unwrap().len())
+        b.iter(|| {
+            whatif::sweep_global_serial(&system, pp.registry(), "vdd", &dense)
+                .unwrap()
+                .len()
+        })
     });
     group.bench_function("parallel", |b| {
-        b.iter(|| whatif::sweep_global(&system, pp.registry(), "vdd", &dense).unwrap().len())
+        b.iter(|| {
+            whatif::sweep_global(&system, pp.registry(), "vdd", &dense)
+                .unwrap()
+                .len()
+        })
     });
     group.finish();
 

@@ -39,7 +39,10 @@ impl fmt::Display for BackannotateError {
                 write!(f, "no simulated component `{c}`")
             }
             BackannotateError::NoBitWidth(row) => {
-                write!(f, "row `{row}` has no `bits` parameter to normalize toggles")
+                write!(
+                    f,
+                    "row `{row}` has no `bits` parameter to normalize toggles"
+                )
             }
             BackannotateError::Evaluate(e) => write!(f, "design evaluation failed: {e}"),
         }
@@ -147,10 +150,7 @@ mod tests {
         let applied =
             backannotate_activity(&mut design, &sim, pp.registry(), &DIRECT_MAPPING).unwrap();
         for (row, alpha) in &applied {
-            assert!(
-                (0.0..=1.0).contains(alpha),
-                "row {row} got alpha {alpha}"
-            );
+            assert!((0.0..=1.0).contains(alpha), "row {row} got alpha {alpha}");
         }
         // The LUT sees correlated luminance: far below random.
         let lut_alpha = applied
@@ -185,9 +185,7 @@ mod tests {
         let mut design = crate::Sheet::new("odd");
         design.set_global("vdd", "1.5").unwrap();
         design.set_global("f", "1MHz").unwrap();
-        design
-            .add_element_row("M", "ucb/multiplier", [])
-            .unwrap(); // bw_a/bw_b, no `bits`
+        design.add_element_row("M", "ucb/multiplier", []).unwrap(); // bw_a/bw_b, no `bits`
         let err = backannotate_activity(&mut design, &sim, pp.registry(), &[("M", "read bank")])
             .unwrap_err();
         assert!(matches!(err, BackannotateError::NoBitWidth(_)));

@@ -42,7 +42,9 @@ pub fn sheet() -> Sheet {
     // narrow-delta workload the incremental replay benchmarks exercise.
     // (Deliberately not named `duty_tx` — a global shadowed by an
     // element parameter default would never reach the model.)
-    system.set_global("radio_duty", "0.5").expect("literal parses");
+    system
+        .set_global("radio_duty", "0.5")
+        .expect("literal parses");
 
     // --- Custom Hardware: the low-power chipset, as nested sub-designs.
     let mut custom = Sheet::new("Custom Hardware");

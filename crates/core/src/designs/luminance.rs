@@ -149,8 +149,14 @@ mod tests {
     #[test]
     fn figure3_estimate_magnitude_and_ratio() {
         let pp = PowerPlay::new();
-        let a = pp.play(&sheet(LuminanceArch::DirectLut)).unwrap().total_power();
-        let b = pp.play(&sheet(LuminanceArch::GroupedLut)).unwrap().total_power();
+        let a = pp
+            .play(&sheet(LuminanceArch::DirectLut))
+            .unwrap()
+            .total_power();
+        let b = pp
+            .play(&sheet(LuminanceArch::GroupedLut))
+            .unwrap()
+            .total_power();
         let b_uw = b.value() * 1e6;
         assert!(
             (100.0..200.0).contains(&b_uw),
@@ -185,10 +191,7 @@ mod tests {
             let estimate = pp.play(&sheet(arch)).unwrap().total_power();
             let measured = simulate(sim_arch, &video, SimConfig::paper()).total_power();
             let comparison = Comparison::new(estimate, measured);
-            assert!(
-                comparison.within_octave(),
-                "{arch:?}: {comparison}"
-            );
+            assert!(comparison.within_octave(), "{arch:?}: {comparison}");
             assert!(
                 comparison.is_conservative(),
                 "{arch:?}: neglecting correlations must overestimate: {comparison}"
@@ -203,7 +206,10 @@ mod tests {
         let pp = PowerPlay::new();
         let mut low = sheet(LuminanceArch::GroupedLut);
         low.set_global("vdd", "1.1").unwrap();
-        let p_hi = pp.play(&sheet(LuminanceArch::GroupedLut)).unwrap().total_power();
+        let p_hi = pp
+            .play(&sheet(LuminanceArch::GroupedLut))
+            .unwrap()
+            .total_power();
         let p_lo = pp.play(&low).unwrap().total_power();
         let expected = (1.5f64 / 1.1).powi(2);
         assert!((p_hi / p_lo - expected).abs() < 1e-9);

@@ -71,10 +71,7 @@ fn luminance_shadowing_infos_are_the_expected_ones() {
         .collect();
     assert_eq!(
         paths,
-        [
-            "rows/Read Bank/bindings/f",
-            "rows/Write Bank/bindings/f",
-        ]
+        ["rows/Read Bank/bindings/f", "rows/Write Bank/bindings/f",]
     );
 }
 

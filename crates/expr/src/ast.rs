@@ -194,7 +194,13 @@ mod tests {
 
     #[test]
     fn display_reparses_to_same_tree() {
-        for src in ["1 + 2 * 3", "-x ^ 2", "min(a, b / 2)", "(a + b) * c", "a < b"] {
+        for src in [
+            "1 + 2 * 3",
+            "-x ^ 2",
+            "min(a, b / 2)",
+            "(a + b) * c",
+            "a < b",
+        ] {
             let parsed = Expr::parse(src).unwrap();
             let printed = parsed.to_string();
             let reparsed = Expr::parse(&printed).unwrap();

@@ -285,7 +285,10 @@ mod tests {
 
     #[test]
     fn unknown_variable_error() {
-        let err = Expr::parse("x + 1").unwrap().eval(&Scope::new()).unwrap_err();
+        let err = Expr::parse("x + 1")
+            .unwrap()
+            .eval(&Scope::new())
+            .unwrap_err();
         assert_eq!(err, EvalError::UnknownVariable("x".into()));
     }
 

@@ -62,62 +62,104 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Spanned>, ParseExprError> {
                 pos += 1;
             }
             '+' => {
-                tokens.push(Spanned { token: Token::Plus, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Plus,
+                    offset: start,
+                });
                 pos += 1;
             }
             '-' => {
-                tokens.push(Spanned { token: Token::Minus, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Minus,
+                    offset: start,
+                });
                 pos += 1;
             }
             '*' => {
-                tokens.push(Spanned { token: Token::Star, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Star,
+                    offset: start,
+                });
                 pos += 1;
             }
             '/' => {
-                tokens.push(Spanned { token: Token::Slash, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Slash,
+                    offset: start,
+                });
                 pos += 1;
             }
             '%' => {
-                tokens.push(Spanned { token: Token::Percent, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Percent,
+                    offset: start,
+                });
                 pos += 1;
             }
             '^' => {
-                tokens.push(Spanned { token: Token::Caret, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Caret,
+                    offset: start,
+                });
                 pos += 1;
             }
             '(' => {
-                tokens.push(Spanned { token: Token::LParen, offset: start });
+                tokens.push(Spanned {
+                    token: Token::LParen,
+                    offset: start,
+                });
                 pos += 1;
             }
             ')' => {
-                tokens.push(Spanned { token: Token::RParen, offset: start });
+                tokens.push(Spanned {
+                    token: Token::RParen,
+                    offset: start,
+                });
                 pos += 1;
             }
             ',' => {
-                tokens.push(Spanned { token: Token::Comma, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Comma,
+                    offset: start,
+                });
                 pos += 1;
             }
             '<' => {
                 if bytes.get(pos + 1) == Some(&b'=') {
-                    tokens.push(Spanned { token: Token::Le, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Le,
+                        offset: start,
+                    });
                     pos += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Lt, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Lt,
+                        offset: start,
+                    });
                     pos += 1;
                 }
             }
             '>' => {
                 if bytes.get(pos + 1) == Some(&b'=') {
-                    tokens.push(Spanned { token: Token::Ge, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Ge,
+                        offset: start,
+                    });
                     pos += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Gt, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Gt,
+                        offset: start,
+                    });
                     pos += 1;
                 }
             }
             '=' => {
                 if bytes.get(pos + 1) == Some(&b'=') {
-                    tokens.push(Spanned { token: Token::EqEq, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::EqEq,
+                        offset: start,
+                    });
                     pos += 2;
                 } else {
                     return Err(ParseExprError::new(start, "expected `==`"));
@@ -125,7 +167,10 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Spanned>, ParseExprError> {
             }
             '!' => {
                 if bytes.get(pos + 1) == Some(&b'=') {
-                    tokens.push(Spanned { token: Token::Ne, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Ne,
+                        offset: start,
+                    });
                     pos += 2;
                 } else {
                     return Err(ParseExprError::new(start, "expected `!=`"));
@@ -133,7 +178,10 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Spanned>, ParseExprError> {
             }
             '0'..='9' | '.' => {
                 let (value, next) = lex_number(src, pos)?;
-                tokens.push(Spanned { token: Token::Number(value), offset: start });
+                tokens.push(Spanned {
+                    token: Token::Number(value),
+                    offset: start,
+                });
                 pos = next;
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -246,7 +294,10 @@ mod tests {
 
     fn num(src: &str) -> f64 {
         match lex(src).unwrap().as_slice() {
-            [Spanned { token: Token::Number(n), .. }] => *n,
+            [Spanned {
+                token: Token::Number(n),
+                ..
+            }] => *n,
             other => panic!("expected single number, got {other:?}"),
         }
     }

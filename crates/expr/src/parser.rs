@@ -54,9 +54,7 @@ const UNARY_NEG_BP: u8 = 11;
 
 impl<'a> Parser<'a> {
     fn offset(&self) -> usize {
-        self.tokens
-            .get(self.pos)
-            .map_or(self.src_len, |t| t.offset)
+        self.tokens.get(self.pos).map_or(self.src_len, |t| t.offset)
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -74,7 +72,10 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(ParseExprError::new(self.offset(), format!("expected {what}")))
+            Err(ParseExprError::new(
+                self.offset(),
+                format!("expected {what}"),
+            ))
         }
     }
 

@@ -1,7 +1,7 @@
 //! Property tests for the formula language.
 
-use proptest::prelude::*;
 use powerplay_expr::{BinaryOp, Expr, Scope, UnaryOp};
+use proptest::prelude::*;
 
 /// Strategy producing arbitrary well-formed expression trees over the
 /// variables `x`, `y`, `z`.
@@ -22,15 +22,15 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
             Just(BinaryOp::Ge),
         ];
         prop_oneof![
-            (binop, inner.clone(), inner.clone())
-                .prop_map(|(op, l, r)| Expr::Binary(op, Box::new(l), Box::new(r))),
+            (binop, inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr::Binary(
+                op,
+                Box::new(l),
+                Box::new(r)
+            )),
             inner
                 .clone()
                 .prop_map(|e| Expr::Unary(UnaryOp::Neg, Box::new(e))),
-            (inner.clone(), inner).prop_map(|(a, b)| Expr::Call(
-                "min".into(),
-                vec![a, b]
-            )),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Call("min".into(), vec![a, b])),
         ]
     })
 }

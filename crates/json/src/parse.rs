@@ -208,8 +208,7 @@ impl<'a> Parser<'a> {
                                 if !(0xDC00..0xE000).contains(&second) {
                                     return Err(self.error("invalid low surrogate"));
                                 }
-                                let code =
-                                    0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                                let code = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
                                 char::from_u32(code).ok_or_else(|| self.error("bad codepoint"))?
                             } else if (0xDC00..0xE000).contains(&first) {
                                 return Err(self.error("unpaired surrogate"));
@@ -338,8 +337,21 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         for bad in [
-            "", "{", "[", "{\"a\"}", "{\"a\":}", "[1,]", "{,}", "01", "1.", "1e", "+1",
-            "\"\\x\"", "tru", "[1] garbage", "\"unterminated",
+            "",
+            "{",
+            "[",
+            "{\"a\"}",
+            "{\"a\":}",
+            "[1,]",
+            "{,}",
+            "01",
+            "1.",
+            "1e",
+            "+1",
+            "\"\\x\"",
+            "tru",
+            "[1] garbage",
+            "\"unterminated",
         ] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }

@@ -1,7 +1,7 @@
 //! Property tests: arbitrary documents survive a serialize/parse roundtrip.
 
-use proptest::prelude::*;
 use powerplay_json::Json;
+use proptest::prelude::*;
 
 fn arb_json() -> impl Strategy<Value = Json> {
     let leaf = prop_oneof![
@@ -14,8 +14,7 @@ fn arb_json() -> impl Strategy<Value = Json> {
     leaf.prop_recursive(4, 64, 8, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
-            prop::collection::vec(("[a-z]{1,6}", inner), 0..6)
-                .prop_map(Json::Object),
+            prop::collection::vec(("[a-z]{1,6}", inner), 0..6).prop_map(Json::Object),
         ]
     })
 }

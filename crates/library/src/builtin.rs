@@ -136,7 +136,10 @@ pub fn ucb_library() -> Registry {
         ElementClass::Computation,
         "Logarithmic shifter: per-bit-per-stage term plus per-stage control \
          term ('more complex modules require additional coefficients').",
-        vec![p("bits", 16.0, "datapath width"), p("alpha", 0.5, "activity")],
+        vec![
+            p("bits", 16.0, "datapath width"),
+            p("alpha", 0.5, "activity"),
+        ],
         ElementModel {
             cap_full: Some(formula(
                 "alpha * (bits * ceil(log2(max(bits, 2))) * 30f + ceil(log2(max(bits, 2))) * 120f)",
@@ -312,7 +315,9 @@ pub fn ucb_library() -> Registry {
          abstraction (documented limitation).",
         vec![p("words", 16384.0, "words"), p("bits", 16.0, "word width")],
         ElementModel {
-            cap_full: Some(formula("20p + 10f * words + 100f * bits + 1f * words * bits")),
+            cap_full: Some(formula(
+                "20p + 10f * words + 100f * bits + 1f * words * bits",
+            )),
             area: Some(formula("50000e-12 + 30e-12 * words * bits")),
             delay: Some(scaled_delay("15n + 1n * log2(max(words, 2))")),
             ..ElementModel::default()
@@ -333,7 +338,9 @@ pub fn ucb_library() -> Registry {
             p("alpha1", 0.25, "output-plane switching probability"),
         ],
         ElementModel {
-            cap_full: Some(formula("15f * alpha0 * n_i * n_o + 10f * alpha1 * n_m * n_o")),
+            cap_full: Some(formula(
+                "15f * alpha0 * n_i * n_o + 10f * alpha1 * n_m * n_o",
+            )),
             area: Some(formula("(n_i + n_o) * n_m * 200e-12")),
             delay: Some(scaled_delay("3n")),
             ..ElementModel::default()
@@ -676,7 +683,11 @@ mod tests {
     #[test]
     fn library_is_populated() {
         let lib = ucb_library();
-        assert!(lib.len() >= 25, "expected a rich library, got {}", lib.len());
+        assert!(
+            lib.len() >= 25,
+            "expected a rich library, got {}",
+            lib.len()
+        );
         assert_eq!(lib.namespaces(), ["ucb"]);
         for class in ElementClass::ALL {
             if class == ElementClass::Macro {
@@ -724,7 +735,11 @@ mod tests {
     fn multiplier_matches_paper_coefficient() {
         let lib = ucb_library();
         let g = globals();
-        let eval = lib.get("ucb/multiplier").unwrap().evaluate_defaults(&g).unwrap();
+        let eval = lib
+            .get("ucb/multiplier")
+            .unwrap()
+            .evaluate_defaults(&g)
+            .unwrap();
         let expected = 64.0 * 253e-15 * 1.5 * 1.5 * 2e6;
         assert!((eval.power.value() - expected).abs() < 1e-12);
     }
@@ -742,7 +757,12 @@ mod tests {
                 .unwrap()
                 .evaluate_defaults(&g)
                 .unwrap();
-            assert_eq!(a.power, b.power, "{} diverged after roundtrip", element.name());
+            assert_eq!(
+                a.power,
+                b.power,
+                "{} diverged after roundtrip",
+                element.name()
+            );
         }
     }
 

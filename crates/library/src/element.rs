@@ -295,7 +295,10 @@ impl LibraryElement {
         let mut components = PowerComponents::new();
         if let Some(e) = &self.model.cap_full {
             let cap = eval_formula("cap_full", e)?;
-            components.push(SwitchedCap::full_rail(self.name.clone(), Capacitance::new(cap)));
+            components.push(SwitchedCap::full_rail(
+                self.name.clone(),
+                Capacitance::new(cap),
+            ));
         }
         if let Some((cap_e, swing_e)) = &self.model.cap_partial {
             let cap = eval_formula("cap_partial", cap_e)?;
@@ -483,10 +486,7 @@ mod tests {
             "reduced-swing memory",
             vec![ParamDecl::new("cap", 10e-12, "array cap")],
             ElementModel {
-                cap_partial: Some((
-                    Expr::parse("cap").unwrap(),
-                    Expr::parse("0.3").unwrap(),
-                )),
+                cap_partial: Some((Expr::parse("cap").unwrap(), Expr::parse("0.3").unwrap())),
                 ..ElementModel::default()
             },
         );
@@ -542,7 +542,13 @@ mod tests {
         );
         let g = globals();
         let err = elem.evaluate_defaults(&g).unwrap_err();
-        assert!(matches!(err, EvaluateElementError::Eval { formula: "cap_full", .. }));
+        assert!(matches!(
+            err,
+            EvaluateElementError::Eval {
+                formula: "cap_full",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -575,7 +581,10 @@ mod tests {
                 ..ElementModel::default()
             },
         );
-        assert_eq!(elem.undeclared_variables(), vec!["alpha", "beta", "mid", "zeta"]);
+        assert_eq!(
+            elem.undeclared_variables(),
+            vec!["alpha", "beta", "mid", "zeta"]
+        );
     }
 
     #[test]

@@ -174,7 +174,10 @@ mod tests {
             "ucb/sram_lowswing",
             ElementClass::Storage,
             "",
-            vec![ParamDecl::new("words", 2048.0, ""), ParamDecl::new("bits", 8.0, "")],
+            vec![
+                ParamDecl::new("words", 2048.0, ""),
+                ParamDecl::new("bits", 8.0, ""),
+            ],
             ElementModel {
                 cap_full: Some(Expr::parse("5p + 20f * words").unwrap()),
                 cap_partial: Some((
@@ -197,10 +200,7 @@ mod tests {
 
     #[test]
     fn rejects_unknown_class() {
-        let json = Json::object([
-            ("name", Json::from("x")),
-            ("class", Json::from("quantum")),
-        ]);
+        let json = Json::object([("name", Json::from("x")), ("class", Json::from("quantum"))]);
         let err = LibraryElement::from_json(&json).unwrap_err();
         assert!(err.to_string().contains("quantum"));
     }

@@ -45,7 +45,7 @@ mod json_io;
 mod registry;
 
 pub use element::{
-    ElementClass, ElementModel, Evaluation, EvaluateElementError, LibraryElement, ParamDecl,
+    ElementClass, ElementModel, EvaluateElementError, Evaluation, LibraryElement, ParamDecl,
 };
 pub use json_io::DecodeElementError;
 pub use registry::Registry;

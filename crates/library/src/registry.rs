@@ -190,10 +190,15 @@ mod tests {
 
     #[test]
     fn merge_prefers_incoming() {
-        let mut local: Registry = [elem("a/x", ElementClass::Computation)].into_iter().collect();
-        let remote: Registry = [elem("a/x", ElementClass::Storage), elem("r/new", ElementClass::Analog)]
+        let mut local: Registry = [elem("a/x", ElementClass::Computation)]
             .into_iter()
             .collect();
+        let remote: Registry = [
+            elem("a/x", ElementClass::Storage),
+            elem("r/new", ElementClass::Analog),
+        ]
+        .into_iter()
+        .collect();
         local.merge(remote);
         assert_eq!(local.len(), 2);
         assert_eq!(local.get("a/x").unwrap().class(), ElementClass::Storage);

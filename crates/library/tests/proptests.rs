@@ -1,10 +1,10 @@
 //! Property tests over the whole built-in library: every element must be
 //! physically sane at any operating point.
 
-use proptest::prelude::*;
 use powerplay_expr::Scope;
 use powerplay_library::builtin::ucb_library;
 use powerplay_library::{LibraryElement, Registry};
+use proptest::prelude::*;
 
 fn scope(vdd: f64, f: f64) -> Scope<'static> {
     let mut s = Scope::new();

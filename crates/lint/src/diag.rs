@@ -83,6 +83,13 @@ pub mod codes {
     pub const UNDECLARED_MODEL_VARIABLE: &str = "E013";
     /// An element needs `vdd`/`f` but nothing in scope provides them.
     pub const MISSING_OPERATING_POINT: &str = "E014";
+    /// A model formula's proven value interval is entirely negative:
+    /// every evaluation within the declared input ranges fails with
+    /// `BadValue`.
+    pub const PROVABLY_NEGATIVE_VALUE: &str = "E015";
+    /// A model formula provably evaluates to NaN (or only to NaN) for
+    /// every input in the declared ranges, so evaluation always fails.
+    pub const PROVABLY_NAN_VALUE: &str = "E016";
 
     /// Comparison (or `%`) between quantities of different dimensions.
     pub const DIM_COMPARISON: &str = "W101";
@@ -114,6 +121,21 @@ pub mod codes {
     pub const POW_DIMENSIONAL_EXPONENT: &str = "W112";
     /// Declared model parameter no formula reads.
     pub const DEAD_PARAM: &str = "W113";
+    /// A division whose denominator interval contains zero: the
+    /// quotient can be ±inf or NaN within the declared input ranges.
+    pub const POSSIBLE_DIV_ZERO: &str = "W114";
+    /// A formula or power term can evaluate to NaN somewhere inside the
+    /// declared input ranges (evaluation may fail there).
+    pub const NAN_REACHABLE: &str = "W115";
+    /// An `if` branch the analyzer proved can never be taken within the
+    /// declared input ranges.
+    pub const DEAD_BRANCH: &str = "W116";
+    /// A row whose power is provably zero over the declared input
+    /// ranges — it contributes nothing to the total.
+    pub const DEAD_ROW: &str = "W117";
+    /// A row whose power is proven constant: it depends on no input and
+    /// could be folded to a literal data-sheet entry.
+    pub const CONSTANT_FOLDABLE_ROW: &str = "W118";
 
     /// Row binding shadows a sheet global of the same name.
     pub const SHADOWED_GLOBAL: &str = "I201";
@@ -122,7 +144,7 @@ pub mod codes {
     pub const FORWARD_REF: &str = "I202";
 
     /// Every code with its short kebab-case slug, for docs and UIs.
-    pub const ALL: [(&str, &str); 29] = [
+    pub const ALL: [(&str, &str); 36] = [
         (UNBOUND_VARIABLE, "unbound-variable"),
         (UNKNOWN_FUNCTION, "unknown-function"),
         (WRONG_ARITY, "wrong-arity"),
@@ -137,6 +159,8 @@ pub mod codes {
         (NEGATIVE_CONSTANT_MODEL, "negative-constant-model"),
         (UNDECLARED_MODEL_VARIABLE, "undeclared-model-variable"),
         (MISSING_OPERATING_POINT, "missing-operating-point"),
+        (PROVABLY_NEGATIVE_VALUE, "provably-negative-value"),
+        (PROVABLY_NAN_VALUE, "provably-nan-value"),
         (DIM_COMPARISON, "dim-comparison"),
         (DIM_FUNCTION_ARG, "dim-function-arg"),
         (BINDING_TARGET_DIM, "binding-target-dim"),
@@ -150,6 +174,11 @@ pub mod codes {
         (ORDER_DEPENDENT_REF, "order-dependent-ref"),
         (POW_DIMENSIONAL_EXPONENT, "pow-dimensional-exponent"),
         (DEAD_PARAM, "dead-param"),
+        (POSSIBLE_DIV_ZERO, "possible-div-zero"),
+        (NAN_REACHABLE, "nan-reachable"),
+        (DEAD_BRANCH, "dead-branch"),
+        (DEAD_ROW, "dead-row"),
+        (CONSTANT_FOLDABLE_ROW, "constant-foldable-row"),
         (SHADOWED_GLOBAL, "shadowed-global"),
         (FORWARD_REF, "forward-ref"),
     ];

@@ -141,9 +141,7 @@ pub fn infer_dims(
                             out.push(Diagnostic::warning(
                                 codes::DIM_COMPARISON,
                                 path,
-                                format!(
-                                    "suspicious comparison: `{lhs}` is {a} but `{rhs}` is {b}"
-                                ),
+                                format!("suspicious comparison: `{lhs}` is {a} but `{rhs}` is {b}"),
                             ));
                         }
                     }
@@ -174,10 +172,7 @@ pub fn infer_dims(
                             out.push(Diagnostic::warning(
                                 codes::DIM_FUNCTION_ARG,
                                 path,
-                                format!(
-                                    "sqrt of `{}` ({a}) has no well-formed dimension",
-                                    args[0]
-                                ),
+                                format!("sqrt of `{}` ({a}) has no well-formed dimension", args[0]),
                             ));
                             DimInfo::Any
                         }
@@ -197,11 +192,9 @@ pub fn infer_dims(
                     }
                     DimInfo::Known(Dim::NONE)
                 }
-                ("min" | "max" | "hypot", [a, b]) => {
-                    unify(*a, *b, path, out, || {
-                        format!("arguments of {name} have different dimensions")
-                    })
-                }
+                ("min" | "max" | "hypot", [a, b]) => unify(*a, *b, path, out, || {
+                    format!("arguments of {name} have different dimensions")
+                }),
                 ("pow", [b, e]) => infer_pow(&args[0], *b, &args[1], *e, path, out),
                 ("if", [_, t, e]) => unify(*t, *e, path, out, || {
                     "the two branches of if(...) have different dimensions".to_owned()
@@ -223,7 +216,11 @@ fn unify(
 ) -> DimInfo {
     match (a.known(), b.known()) {
         (Some(x), Some(y)) if x != y => {
-            out.push(Diagnostic::warning(codes::DIM_FUNCTION_ARG, path, message()));
+            out.push(Diagnostic::warning(
+                codes::DIM_FUNCTION_ARG,
+                path,
+                message(),
+            ));
             DimInfo::Any
         }
         (Some(x), _) => DimInfo::Known(x),

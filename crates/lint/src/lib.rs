@@ -60,12 +60,18 @@ fn diagnostic_for_play_error_at(prefix: &str, err: &EvaluateSheetError) -> Diagn
         ),
         EvaluateSheetError::CircularGlobals(names) => Diagnostic::error(
             codes::CIRCULAR_GLOBALS,
-            format!("{prefix}globals/{}", names.first().map(String::as_str).unwrap_or("")),
+            format!(
+                "{prefix}globals/{}",
+                names.first().map(String::as_str).unwrap_or("")
+            ),
             format!("global definitions form a cycle: {}", names.join(" -> ")),
         ),
         EvaluateSheetError::CircularRows(names) => Diagnostic::error(
             codes::CIRCULAR_ROWS,
-            format!("{prefix}rows/{}", names.first().map(String::as_str).unwrap_or("")),
+            format!(
+                "{prefix}rows/{}",
+                names.first().map(String::as_str).unwrap_or("")
+            ),
             format!("row dependencies form a cycle: {}", names.join(" -> ")),
         ),
         EvaluateSheetError::DuplicateRowIdent(ident) => Diagnostic::error(

@@ -151,7 +151,11 @@ fn resolve(var: &str, ctx: &VarCtx<'_>) -> Res {
                     // In a binding this is a row cycle, already reported
                     // by the dependency phase; in a model formula the
                     // value simply does not exist yet.
-                    return if rc.dep_edged { Res::Ok(dim) } else { Res::SelfPower };
+                    return if rc.dep_edged {
+                        Res::Ok(dim)
+                    } else {
+                        Res::SelfPower
+                    };
                 }
                 if is_area && !rc.has_area[j] {
                     // The engine never sets `A_x` for area-less rows, so
@@ -433,10 +437,7 @@ fn lint_level(
     let gorder = match toposort(global_exprs.len(), &gdeps) {
         Ok(order) => order,
         Err(cycle) => {
-            let names: Vec<&str> = cycle
-                .iter()
-                .map(|&i| global_exprs[i].0.as_str())
-                .collect();
+            let names: Vec<&str> = cycle.iter().map(|&i| global_exprs[i].0.as_str()).collect();
             let first = names.first().copied().unwrap_or("");
             out.push(Diagnostic::error(
                 codes::CIRCULAR_GLOBALS,
@@ -493,9 +494,7 @@ fn lint_level(
                 out.push(Diagnostic::warning(
                     codes::BINDING_TARGET_DIM,
                     &path,
-                    format!(
-                        "`{name}` is conventionally {c}, but its formula has dimension {d}"
-                    ),
+                    format!("`{name}` is conventionally {c}, but its formula has dimension {d}"),
                 ));
             }
         }
@@ -617,7 +616,9 @@ fn lint_level(
                         &rpath,
                         format!("no element `{path}` in the library"),
                     )
-                    .with_suggestion("check the registry path (namespace/name) or upload the model first"),
+                    .with_suggestion(
+                        "check the registry path (namespace/name) or upload the model first",
+                    ),
                 );
             }
         }
@@ -656,7 +657,9 @@ fn lint_level(
                 out.push(Diagnostic::info(
                     codes::SHADOWED_GLOBAL,
                     &bpath,
-                    format!("binding `{param}` shadows the sheet global of the same name for this row"),
+                    format!(
+                        "binding `{param}` shadows the sheet global of the same name for this row"
+                    ),
                 ));
             }
 
@@ -771,7 +774,9 @@ fn lint_level(
                             out.push(Diagnostic::warning(
                                 codes::RESULT_DIM,
                                 &spath,
-                                format!("formula has dimension {d}, but this slot holds {expected}"),
+                                format!(
+                                    "formula has dimension {d}, but this slot holds {expected}"
+                                ),
                             ));
                         }
                     }
@@ -780,7 +785,9 @@ fn lint_level(
                             out.push(Diagnostic::error(
                                 codes::NEGATIVE_CONSTANT_MODEL,
                                 &spath,
-                                format!("formula always evaluates to {v}; physical values must be >= 0"),
+                                format!(
+                                    "formula always evaluates to {v}; physical values must be >= 0"
+                                ),
                             ));
                         }
                     }
@@ -789,13 +796,12 @@ fn lint_level(
 
             // E014: the EQ-1 template needs an operating point.
             let model = e.model();
-            let needs_vdd =
-                model.cap_full.is_some() || model.cap_partial.is_some() || model.static_current.is_some();
+            let needs_vdd = model.cap_full.is_some()
+                || model.cap_partial.is_some()
+                || model.static_current.is_some();
             let needs_f = model.cap_full.is_some() || model.cap_partial.is_some();
             let resolvable = |name: &str| {
-                local.contains_key(name)
-                    || gdims.contains_key(name)
-                    || ambient.contains_key(name)
+                local.contains_key(name) || gdims.contains_key(name) || ambient.contains_key(name)
             };
             if needs_vdd && !resolvable("vdd") {
                 out.push(
@@ -841,7 +847,12 @@ fn lint_level(
                     .iter()
                     .find(|(n, _)| n == name)
                     .and_then(|(_, ex)| ex.constant_value())
-                    .or_else(|| e.params().iter().find(|p| p.name == name).map(|p| p.default))
+                    .or_else(|| {
+                        e.params()
+                            .iter()
+                            .find(|p| p.name == name)
+                            .map(|p| p.default)
+                    })
             };
             if e.params().iter().any(|p| p.name == "swing") {
                 let vdd_v = row
@@ -933,7 +944,11 @@ mod tests {
     use powerplay_library::ElementModel;
 
     fn codes_of(report: &LintReport) -> Vec<&str> {
-        report.diagnostics().iter().map(|d| d.code.as_str()).collect()
+        report
+            .diagnostics()
+            .iter()
+            .map(|d| d.code.as_str())
+            .collect()
     }
 
     fn find<'a>(report: &'a LintReport, code: &str) -> Option<&'a Diagnostic> {
@@ -1081,12 +1096,8 @@ mod tests {
         let mut sheet = Sheet::new("s");
         sheet.set_global("vdd", "1.5").unwrap();
         sheet.set_global("f", "2MHz").unwrap();
-        sheet
-            .add_element_row("Read Bank", "ucb/sram", [])
-            .unwrap();
-        sheet
-            .add_element_row("read bank", "ucb/sram", [])
-            .unwrap();
+        sheet.add_element_row("Read Bank", "ucb/sram", []).unwrap();
+        sheet.add_element_row("read bank", "ucb/sram", []).unwrap();
         let report = lint_sheet(&sheet, &lib);
         let d = find(&report, codes::DUPLICATE_ROW_IDENT).expect("E005");
         assert!(d.message.contains("read_bank"));
@@ -1154,7 +1165,12 @@ mod tests {
             .iter()
             .filter(|d| d.code == codes::MISSING_OPERATING_POINT)
             .collect();
-        assert_eq!(hits.len(), 2, "vdd and f both missing: {:?}", codes_of(&report));
+        assert_eq!(
+            hits.len(),
+            2,
+            "vdd and f both missing: {:?}",
+            codes_of(&report)
+        );
         assert!(sheet.play(&lib).is_err());
     }
 
@@ -1337,7 +1353,9 @@ mod tests {
         let d = find(&report, codes::ORDER_DEPENDENT_REF).expect("W111");
         assert_eq!(d.path, "rows/Converters/rows/DC/bindings/p_load");
         assert!(!report.has_errors(), "{}", report.render_text());
-        sheet.play(&lib).expect("order-dependent but evaluates today");
+        sheet
+            .play(&lib)
+            .expect("order-dependent but evaluates today");
     }
 
     #[test]

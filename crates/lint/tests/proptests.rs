@@ -53,12 +53,18 @@ fn inject_defect(sheet: &mut Sheet, defect: u32) {
         }
         2 => {
             // Unknown element path (E004).
-            sheet.add_element_row("Ghost", "nowhere/nothing", []).unwrap();
+            sheet
+                .add_element_row("Ghost", "nowhere/nothing", [])
+                .unwrap();
         }
         3 => {
             // Two rows folding to the same ident (E005).
-            sheet.add_element_row("Twin Row", "ucb/register", []).unwrap();
-            sheet.add_element_row("twin-row", "ucb/register", []).unwrap();
+            sheet
+                .add_element_row("Twin Row", "ucb/register", [])
+                .unwrap();
+            sheet
+                .add_element_row("twin-row", "ucb/register", [])
+                .unwrap();
         }
         4 => {
             // Circular row power references (E007).

@@ -177,7 +177,10 @@ mod tests {
         let block = AnalogBlock::new("x").bias(Current::new(1e-3));
         let p3 = block.power_at(Voltage::new(3.0)).value();
         let p6 = block.power_at(Voltage::new(6.0)).value();
-        assert!(close(p6 / p3, 2.0), "EQ 13 scales linearly, not quadratically");
+        assert!(
+            close(p6 / p3, 2.0),
+            "EQ 13 scales linearly, not quadratically"
+        );
     }
 
     #[test]
@@ -192,11 +195,8 @@ mod tests {
     fn eq15_input_impedance_parameterization() {
         // R_id = 4·V_T·β₀/I: with β₀=100, V_T≈25.85mV, I=103.4µA gives
         // R_id ≈ 100 kΩ.
-        let amp = TransconductanceAmplifier::from_input_impedance(
-            Resistance::new(100e3),
-            100.0,
-            300.0,
-        );
+        let amp =
+            TransconductanceAmplifier::from_input_impedance(Resistance::new(100e3), 100.0, 300.0);
         let expect = 4.0 * 0.02585 * 100.0 / 100e3;
         assert!((amp.bias().value() - expect).abs() < 1e-7);
     }

@@ -111,7 +111,10 @@ mod tests {
         // The tall organization pays 4x the word-line decoders, which
         // outweigh the extra sense amplifiers of the wide one.
         assert!(tall > wide);
-        assert!(tall / wide < 3.0, "organizations stay within a small factor");
+        assert!(
+            tall / wide < 3.0,
+            "organizations stay within a small factor"
+        );
     }
 
     #[test]

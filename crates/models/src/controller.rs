@@ -61,10 +61,10 @@ impl RandomLogicController {
 
     /// EQ 9.
     pub fn switched_cap(&self) -> Capacitance {
-        let input_plane = self.c0
-            * (self.alpha0.value() * self.n_inputs as f64 * self.n_outputs as f64);
-        let output_plane = self.c1
-            * (self.alpha1.value() * self.n_minterms as f64 * self.n_outputs as f64);
+        let input_plane =
+            self.c0 * (self.alpha0.value() * self.n_inputs as f64 * self.n_outputs as f64);
+        let output_plane =
+            self.c1 * (self.alpha1.value() * self.n_minterms as f64 * self.n_outputs as f64);
         input_plane + output_plane
     }
 }
@@ -92,11 +92,11 @@ pub struct RomController {
 impl RomController {
     /// Assumed UCB-style coefficients `[C₀, C₁, C₂, C₃, C₄]`.
     pub const UCB_COEFFS: [Capacitance; 5] = [
-        Capacitance::new(200e-15), // C0: clocking overhead
-        Capacitance::new(0.8e-15), // C1: address decode per word-line
+        Capacitance::new(200e-15),  // C0: clocking overhead
+        Capacitance::new(0.8e-15),  // C1: address decode per word-line
         Capacitance::new(0.05e-15), // C2: array bit-line loading
-        Capacitance::new(25e-15),  // C3: sense amp per discharged line
-        Capacitance::new(15e-15),  // C4: output driver per bit
+        Capacitance::new(25e-15),   // C3: sense amp per discharged line
+        Capacitance::new(15e-15),   // C4: output driver per bit
     ];
 
     /// A ROM controller with library coefficients and `P_O = 0.5`
@@ -107,7 +107,10 @@ impl RomController {
     /// Panics if `n_inputs > 20` — `2^N_I` word lines beyond a million
     /// means the model is being misused.
     pub fn ucb_style(n_inputs: u32, n_outputs: u32) -> RomController {
-        assert!(n_inputs <= 20, "ROM with 2^{n_inputs} word lines is not credible");
+        assert!(
+            n_inputs <= 20,
+            "ROM with 2^{n_inputs} word lines is not credible"
+        );
         RomController {
             n_inputs,
             n_outputs,
@@ -139,10 +142,7 @@ impl RomController {
         let ni = self.n_inputs as f64;
         let no = self.n_outputs as f64;
         let lines = 2f64.powi(self.n_inputs as i32);
-        c0 + c1 * (ni * lines)
-            + c2 * (self.p_low * no * lines)
-            + c3 * (self.p_low * no)
-            + c4 * no
+        c0 + c1 * (ni * lines) + c2 * (self.p_low * no * lines) + c3 * (self.p_low * no) + c4 * no
     }
 }
 
@@ -188,8 +188,8 @@ impl PlaController {
 
     /// Switched capacitance of both planes.
     pub fn switched_cap(&self) -> Capacitance {
-        let and_plane = self.c_and_per_crosspoint
-            * (2.0 * self.n_inputs as f64 * self.n_product_terms as f64);
+        let and_plane =
+            self.c_and_per_crosspoint * (2.0 * self.n_inputs as f64 * self.n_product_terms as f64);
         let or_plane =
             self.c_or_per_crosspoint * (self.n_product_terms as f64 * self.n_outputs as f64);
         (and_plane + or_plane) * self.alpha.value()
@@ -254,8 +254,12 @@ mod tests {
 
     #[test]
     fn all_low_outputs_maximize_rom_power() {
-        let none = RomController::ucb_style(8, 16).with_p_low(0.0).switched_cap();
-        let all = RomController::ucb_style(8, 16).with_p_low(1.0).switched_cap();
+        let none = RomController::ucb_style(8, 16)
+            .with_p_low(0.0)
+            .switched_cap();
+        let all = RomController::ucb_style(8, 16)
+            .with_p_low(1.0)
+            .switched_cap();
         assert!(all > none);
     }
 

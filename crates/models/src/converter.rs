@@ -199,8 +199,8 @@ mod tests {
 
     #[test]
     fn curve_dissipation_tracks_interpolated_efficiency() {
-        let curve = EfficiencyCurve::new(vec![(Power::new(1.0), 0.5), (Power::new(3.0), 1.0)])
-            .unwrap();
+        let curve =
+            EfficiencyCurve::new(vec![(Power::new(1.0), 0.5), (Power::new(3.0), 1.0)]).unwrap();
         // At 2 W the efficiency is 0.75 -> dissipation = 2·(0.25/0.75).
         let d = curve.dissipation(Power::new(2.0));
         assert!(close(d.value(), 2.0 / 3.0));

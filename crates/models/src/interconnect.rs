@@ -46,7 +46,10 @@ impl RentParameters {
             exponent > 0.0 && exponent < 1.0,
             "Rent exponent must be in (0, 1), got {exponent}"
         );
-        assert!(terminals_per_block > 0.0, "terminals/block must be positive");
+        assert!(
+            terminals_per_block > 0.0,
+            "terminals/block must be positive"
+        );
         RentParameters {
             terminals_per_block,
             exponent,
@@ -241,8 +244,8 @@ mod tests {
     #[test]
     fn from_area_derives_block_count() {
         let est = InterconnectEstimate::from_area(
-            Area::new(4e-6),  // 4 mm²
-            Area::new(1e-8),  // 100 µm x 100 µm blocks
+            Area::new(4e-6), // 4 mm²
+            Area::new(1e-8), // 100 µm x 100 µm blocks
             RentParameters::RANDOM_LOGIC,
             WiringTechnology::CMOS_1_2UM,
         );

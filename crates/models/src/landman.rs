@@ -263,9 +263,8 @@ impl DualBitType {
     /// The equivalent [`BitLinearCap`] model for composition with the
     /// rest of the library.
     pub fn into_block(self, name: impl Into<String>, cap_per_bit: Capacitance) -> BitLinearCap {
-        BitLinearCap::new(name, self.bitwidth, cap_per_bit).with_activity(
-            ActivityFactor::new(self.average_activity()).expect("activity in range"),
-        )
+        BitLinearCap::new(name, self.bitwidth, cap_per_bit)
+            .with_activity(ActivityFactor::new(self.average_activity()).expect("activity in range"))
     }
 }
 

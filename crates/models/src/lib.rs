@@ -55,4 +55,4 @@ pub mod template;
 pub mod timing;
 
 pub use activity::ActivityFactor;
-pub use template::{OperatingPoint, PowerComponents, PowerModel, SwitchedCap, Swing};
+pub use template::{OperatingPoint, PowerComponents, PowerModel, Swing, SwitchedCap};

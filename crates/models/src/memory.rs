@@ -131,10 +131,8 @@ impl Sram {
     pub fn full_rail_cap(&self) -> Capacitance {
         let words = self.words as f64;
         let bits = self.bits as f64;
-        let mut cap = self.c_fixed
-            + self.c_per_word * words
-            + self.c_per_bit * bits
-            + self.direct_path;
+        let mut cap =
+            self.c_fixed + self.c_per_word * words + self.c_per_bit * bits + self.direct_path;
         if self.partial.is_none() {
             cap += self.c_per_cell * (words * bits);
         }
@@ -180,12 +178,7 @@ impl SwingExtraction {
 /// # Panics
 ///
 /// Panics if the two voltages are equal or non-positive.
-pub fn extract_two_point(
-    v1: Voltage,
-    e1: Energy,
-    v2: Voltage,
-    e2: Energy,
-) -> SwingExtraction {
+pub fn extract_two_point(v1: Voltage, e1: Energy, v2: Voltage, e2: Energy) -> SwingExtraction {
     let (v1, e1, v2, e2) = (v1.value(), e1.value(), v2.value(), e2.value());
     assert!(v1 > 0.0 && v2 > 0.0, "voltages must be positive");
     assert!(v1 != v2, "characterization requires two distinct voltages");
@@ -255,8 +248,12 @@ mod tests {
         assert!(p_red_3v < p_full_3v);
 
         // The reduced-swing component scales linearly: P(2V)/P(1V) < 4.
-        let p1 = reduced.power(OperatingPoint::new(Voltage::new(1.0), f)).value();
-        let p2 = reduced.power(OperatingPoint::new(Voltage::new(2.0), f)).value();
+        let p1 = reduced
+            .power(OperatingPoint::new(Voltage::new(1.0), f))
+            .value();
+        let p2 = reduced
+            .power(OperatingPoint::new(Voltage::new(2.0), f))
+            .value();
         assert!(p2 / p1 < 4.0);
         assert!(p2 / p1 > 2.0);
     }
@@ -301,7 +298,10 @@ mod tests {
         // Extrapolate to 3 V:
         let naive = c_eff * 3.0 * 3.0;
         let truth = energy(3.0);
-        assert!(naive > truth, "naive quadratic extrapolation must overshoot");
+        assert!(
+            naive > truth,
+            "naive quadratic extrapolation must overshoot"
+        );
     }
 
     #[test]

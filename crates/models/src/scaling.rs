@@ -155,7 +155,11 @@ impl ParallelismTradeoff {
 
     /// The parallelism in `1..=n_max` minimizing power, with its power.
     /// `None` if no degree meets timing.
-    pub fn optimal(&self, n_max: u32, f_target: Frequency) -> Option<(u32, powerplay_units::Power)> {
+    pub fn optimal(
+        &self,
+        n_max: u32,
+        f_target: Frequency,
+    ) -> Option<(u32, powerplay_units::Power)> {
         (1..=n_max)
             .filter_map(|n| self.power_at(n, f_target).map(|p| (n, p)))
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite powers"))
@@ -205,7 +209,9 @@ mod tests {
     #[test]
     fn unreachable_frequency_returns_none() {
         let d = DelayScaling::cmos_1_2um();
-        assert!(d.min_supply_for(Frequency::new(1e12), Voltage::new(5.0)).is_none());
+        assert!(d
+            .min_supply_for(Frequency::new(1e12), Voltage::new(5.0))
+            .is_none());
     }
 
     #[test]
@@ -217,7 +223,10 @@ mod tests {
         let vmin = d
             .min_supply_for(Frequency::new(2e6), Voltage::new(3.3))
             .unwrap();
-        assert!(vmin.value() < 1.6, "2 MHz should run near 1.5 V, got {vmin}");
+        assert!(
+            vmin.value() < 1.6,
+            "2 MHz should run near 1.5 V, got {vmin}"
+        );
         let energy_ratio = (3.3 / vmin.value()).powi(2);
         assert!(energy_ratio > 4.0);
     }
@@ -266,11 +275,11 @@ mod tests {
         let (best_n, best_p) = t.optimal(16, f).unwrap();
         assert!(best_n > 1, "parallelism must pay at a demanding rate");
         assert!(best_n < 16, "overhead must eventually dominate");
-        assert!(powers[0] > best_p.value() * 1.5, "n=1 must be clearly worse");
         assert!(
-            powers[15] > best_p.value(),
-            "n=16 must be past the optimum"
+            powers[0] > best_p.value() * 1.5,
+            "n=1 must be clearly worse"
         );
+        assert!(powers[15] > best_p.value(), "n=16 must be past the optimum");
     }
 
     #[test]

@@ -107,7 +107,9 @@ mod tests {
     fn lower_supply_is_slower() {
         let m = adder();
         assert!(m.delay(16.0, Voltage::new(1.5)) > m.delay(16.0, Voltage::new(3.3)));
-        assert!(m.max_frequency(16.0, Voltage::new(1.5)) < m.max_frequency(16.0, Voltage::new(3.3)));
+        assert!(
+            m.max_frequency(16.0, Voltage::new(1.5)) < m.max_frequency(16.0, Voltage::new(3.3))
+        );
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! Cross-model property tests: monotonicity and scaling invariants that
 //! must hold for every model class in the paper.
 
-use proptest::prelude::*;
 use powerplay_models::controller::{RandomLogicController, RomController};
 use powerplay_models::converter::DcDcConverter;
 use powerplay_models::landman::Multiplier;
@@ -9,6 +8,7 @@ use powerplay_models::memory::{extract_two_point, Sram};
 use powerplay_models::scaling::DelayScaling;
 use powerplay_models::template::{OperatingPoint, PowerModel};
 use powerplay_units::{Energy, Frequency, Power, Voltage};
+use proptest::prelude::*;
 
 proptest! {
     /// Dynamic power is monotone non-decreasing in VDD, f, and size for

@@ -130,11 +130,7 @@ impl Comparison {
 
 impl fmt::Display for Comparison {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "{} vs {}",
-            self.baseline_name, self.alternative_name
-        )?;
+        writeln!(f, "{} vs {}", self.baseline_name, self.alternative_name)?;
         writeln!(
             f,
             "{:<22} {:>12} {:>12} {:>8}",
@@ -192,7 +188,8 @@ mod tests {
         )
         .unwrap();
         b.add_element_row("Reg", "ucb/register", []).unwrap();
-        b.add_element_row("Mux", "ucb/mux", [("inputs", "4")]).unwrap();
+        b.add_element_row("Mux", "ucb/mux", [("inputs", "4")])
+            .unwrap();
 
         (a.play(&lib).unwrap(), b.play(&lib).unwrap())
     }

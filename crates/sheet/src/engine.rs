@@ -311,7 +311,11 @@ mod tests {
             .unwrap();
         // EQ 19 intermodel interaction: the converter feeds the core.
         sheet
-            .add_element_row("Converter", "ucb/dcdc", [("p_load", "P_core"), ("eta", "0.8")])
+            .add_element_row(
+                "Converter",
+                "ucb/dcdc",
+                [("p_load", "P_core"), ("eta", "0.8")],
+            )
             .unwrap();
         let report = sheet.play(&lib()).unwrap();
         let core = report.row("Core").unwrap().power();
@@ -326,7 +330,11 @@ mod tests {
         sheet.set_global("vdd", "1.5").unwrap();
         sheet.set_global("f", "2MHz").unwrap();
         sheet
-            .add_element_row("Converter", "ucb/dcdc", [("p_load", "P_core"), ("eta", "0.8")])
+            .add_element_row(
+                "Converter",
+                "ucb/dcdc",
+                [("p_load", "P_core"), ("eta", "0.8")],
+            )
             .unwrap();
         sheet
             .add_element_row("Core", "ucb/multiplier", [("bw_a", "16"), ("bw_b", "16")])
@@ -370,8 +378,12 @@ mod tests {
         let mut sheet = Sheet::new("s");
         sheet.set_global("vdd", "1.5").unwrap();
         sheet.set_global("f", "1MHz").unwrap();
-        sheet.add_element_row("Read Bank", "ucb/register", []).unwrap();
-        sheet.add_element_row("read-bank", "ucb/register", []).unwrap();
+        sheet
+            .add_element_row("Read Bank", "ucb/register", [])
+            .unwrap();
+        sheet
+            .add_element_row("read-bank", "ucb/register", [])
+            .unwrap();
         assert!(matches!(
             sheet.play(&lib()).unwrap_err(),
             EvaluateSheetError::DuplicateRowIdent(_)
@@ -381,7 +393,9 @@ mod tests {
     #[test]
     fn unknown_element_reported_with_row() {
         let mut sheet = Sheet::new("s");
-        sheet.add_element_row("Mystery", "nowhere/nothing", []).unwrap();
+        sheet
+            .add_element_row("Mystery", "nowhere/nothing", [])
+            .unwrap();
         match sheet.play(&lib()).unwrap_err() {
             EvaluateSheetError::UnknownElement { row, element } => {
                 assert_eq!(row, "Mystery");
@@ -470,7 +484,11 @@ mod area_reference_tests {
         sheet.set_global("vdd", "1.5").unwrap();
         sheet.set_global("f", "2MHz").unwrap();
         sheet
-            .add_element_row("Datapath", "ucb/multiplier", [("bw_a", "16"), ("bw_b", "16")])
+            .add_element_row(
+                "Datapath",
+                "ucb/multiplier",
+                [("bw_a", "16"), ("bw_b", "16")],
+            )
             .unwrap();
         // Wire length proportional to sqrt(area): A in m2, length in mm.
         sheet

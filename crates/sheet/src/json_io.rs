@@ -192,7 +192,10 @@ mod tests {
         sheet
             .add_element_row("Converter", "ucb/dcdc", [("p_load", "P_decoder")])
             .unwrap();
-        sheet.row_mut("Converter").unwrap().set_doc_link("/doc/ucb/dcdc");
+        sheet
+            .row_mut("Converter")
+            .unwrap()
+            .set_doc_link("/doc/ucb/dcdc");
         sheet
     }
 

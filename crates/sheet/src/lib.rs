@@ -52,10 +52,11 @@ mod sheet;
 pub mod whatif;
 
 pub use engine::{toposort, EvaluateSheetError};
-pub use macros::LumpMacroError;
 pub use json_io::DecodeSheetError;
+pub use macros::LumpMacroError;
 pub use plan::{
-    CompiledSheet, DeltaOutcome, OverridePlan, ReplayState, DELTA_FALLBACK_DEN, DELTA_FALLBACK_NUM,
+    CompiledSheet, DeltaOutcome, GlobalView, OverridePlan, ReplayState, RowKindView, RowView,
+    RowsView, DELTA_FALLBACK_DEN, DELTA_FALLBACK_NUM,
 };
 pub use report::{RowReport, SheetReport};
 pub use row::{Row, RowModel};

@@ -144,12 +144,10 @@ pub fn analyze_path(report: &SheetReport, path: &TimingPath) -> Result<PathRepor
     let mut segments = Vec::with_capacity(path.rows().len());
     let mut total = Time::ZERO;
     for row_name in path.rows() {
-        let row = report
-            .row(row_name)
-            .ok_or_else(|| PathError::UnknownRow {
-                path: path.name().to_owned(),
-                row: row_name.clone(),
-            })?;
+        let row = report.row(row_name).ok_or_else(|| PathError::UnknownRow {
+            path: path.name().to_owned(),
+            row: row_name.clone(),
+        })?;
         let delay = row.delay().ok_or_else(|| PathError::NoDelayModel {
             path: path.name().to_owned(),
             row: row_name.clone(),
@@ -204,10 +202,18 @@ mod tests {
         sheet.set_global("vdd", "1.5").unwrap();
         sheet.set_global("f", "2MHz").unwrap();
         sheet
-            .add_element_row("Read Bank", "ucb/sram", [("words", "2048"), ("bits", "8"), ("f", "f / 16")])
+            .add_element_row(
+                "Read Bank",
+                "ucb/sram",
+                [("words", "2048"), ("bits", "8"), ("f", "f / 16")],
+            )
             .unwrap();
         sheet
-            .add_element_row("Look Up Table", "ucb/sram", [("words", "4096"), ("bits", "6")])
+            .add_element_row(
+                "Look Up Table",
+                "ucb/sram",
+                [("words", "4096"), ("bits", "6")],
+            )
             .unwrap();
         sheet
             .add_element_row("Output Register", "ucb/register", [("bits", "6")])
@@ -219,10 +225,7 @@ mod tests {
     fn path_delay_is_sum_of_segments() {
         let lib = ucb_library();
         let report = decoder().play(&lib).unwrap();
-        let path = TimingPath::new(
-            "pixel",
-            ["Read Bank", "Look Up Table", "Output Register"],
-        );
+        let path = TimingPath::new("pixel", ["Read Bank", "Look Up Table", "Output Register"]);
         let analyzed = analyze_path(&report, &path).unwrap();
         let sum: f64 = analyzed.segments.iter().map(|(_, d)| d.value()).sum();
         assert!((analyzed.delay.value() - sum).abs() < 1e-18);
@@ -240,10 +243,7 @@ mod tests {
         slow.set_global("vdd", "0.78").unwrap();
         slow.set_global("f", "12MHz").unwrap();
         let report = slow.play(&lib).unwrap();
-        let path = TimingPath::new(
-            "pixel",
-            ["Read Bank", "Look Up Table", "Output Register"],
-        );
+        let path = TimingPath::new("pixel", ["Read Bank", "Look Up Table", "Output Register"]);
         let analyzed = analyze_path(&report, &path).unwrap();
         assert!(!analyzed.meets());
         assert!(analyzed.slack().value() < 0.0);
@@ -259,10 +259,7 @@ mod tests {
         sheet.set_global("vdd", "1.0").unwrap();
         let report = sheet.play(&lib).unwrap();
         assert!(report.meets_timing(), "rows individually fit");
-        let path = TimingPath::new(
-            "pixel",
-            ["Read Bank", "Look Up Table", "Output Register"],
-        );
+        let path = TimingPath::new("pixel", ["Read Bank", "Look Up Table", "Output Register"]);
         let analyzed = analyze_path(&report, &path).unwrap();
         assert!(!analyzed.meets(), "composed path must miss: {analyzed}");
     }
@@ -278,7 +275,9 @@ mod tests {
         ));
 
         let mut with_lcd = decoder();
-        with_lcd.add_element_row("Panel", "ucb/lcd_display", []).unwrap();
+        with_lcd
+            .add_element_row("Panel", "ucb/lcd_display", [])
+            .unwrap();
         let report = with_lcd.play(&lib).unwrap();
         let unmodeled = TimingPath::new("x", ["Panel"]);
         assert!(matches!(

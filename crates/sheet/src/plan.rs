@@ -333,14 +333,12 @@ impl CompiledSheet {
             let mut resolved: Vec<Option<(String, f64)>> = vec![None; self.globals.len()];
             for &i in order {
                 let global = &self.globals[i];
-                let value =
-                    global
-                        .expr
-                        .eval(&globals_scope)
-                        .map_err(|source| EvaluateSheetError::Global {
-                            name: global.name.to_string(),
-                            source,
-                        })?;
+                let value = global.expr.eval(&globals_scope).map_err(|source| {
+                    EvaluateSheetError::Global {
+                        name: global.name.to_string(),
+                        source,
+                    }
+                })?;
                 globals_scope.set(global.name.clone(), value);
                 resolved[i] = Some((global.name.to_string(), value));
             }
@@ -355,11 +353,7 @@ impl CompiledSheet {
         let plan = self.structure.as_ref().map_err(Clone::clone)?;
         let rows = eval_rows_full(plan, &globals_scope)?;
 
-        Ok(SheetReport::new(
-            self.name.clone(),
-            resolved_globals,
-            rows,
-        ))
+        Ok(SheetReport::new(self.name.clone(), resolved_globals, rows))
     }
 
     /// Global evaluation under overrides. Overridden globals become
@@ -482,7 +476,11 @@ impl CompiledSheet {
             }
         }
         let inner = self.build_override_inner(&uniq);
-        OverridePlan { plan_id: self.id, names: uniq, inner }
+        OverridePlan {
+            plan_id: self.id,
+            names: uniq,
+            inner,
+        }
     }
 
     /// Mirrors the graph construction of `eval_overridden_globals`,
@@ -519,7 +517,9 @@ impl CompiledSheet {
                 continue; // overridden: a constant, no formula deps
             }
             if g.free.contains(&*g.name) {
-                return Err(EvaluateSheetError::CircularGlobals(vec![g.name.to_string()]));
+                return Err(EvaluateSheetError::CircularGlobals(vec![g
+                    .name
+                    .to_string()]));
             }
             let entry = deps.entry(k).or_default();
             for var in &g.free {
@@ -535,7 +535,11 @@ impl CompiledSheet {
                 cycle.into_iter().map(|k| name_of(k).to_owned()).collect(),
             )
         })?;
-        Ok(OverridePlanInner { global_slot, appended, order })
+        Ok(OverridePlanInner {
+            global_slot,
+            appended,
+            order,
+        })
     }
 
     /// Resolves globals through a precomputed [`OverridePlan`]; output
@@ -553,17 +557,16 @@ impl CompiledSheet {
         for &k in &inner.order {
             let (name, value) = if k < self.globals.len() {
                 let g = &self.globals[k];
-                let value = match inner.global_slot[k] {
-                    Some(slot) => values[slot],
-                    None => {
-                        g.expr
-                            .eval(globals_scope)
-                            .map_err(|source| EvaluateSheetError::Global {
+                let value =
+                    match inner.global_slot[k] {
+                        Some(slot) => values[slot],
+                        None => g.expr.eval(globals_scope).map_err(|source| {
+                            EvaluateSheetError::Global {
                                 name: g.name.to_string(),
                                 source,
-                            })?
-                    }
-                };
+                            }
+                        })?,
+                    };
                 globals_scope.set(g.name.clone(), value);
                 (g.name.to_string(), value)
             } else {
@@ -595,8 +598,15 @@ impl CompiledSheet {
         let metrics = plan_metrics();
         metrics.plays_total.inc();
         let _timer = metrics.replay_seconds.start_timer();
-        assert_eq!(plan.plan_id, self.id, "override plan built for a different compiled sheet");
-        assert_eq!(values.len(), plan.names.len(), "one value per planned override name");
+        assert_eq!(
+            plan.plan_id, self.id,
+            "override plan built for a different compiled sheet"
+        );
+        assert_eq!(
+            values.len(),
+            plan.names.len(),
+            "one value per planned override name"
+        );
         let _span = profile::span_lazy(|| format!("play {}", self.name));
         let inner = plan.inner.as_ref().map_err(Clone::clone)?;
         let mut globals_scope = Scope::new();
@@ -668,8 +678,15 @@ impl CompiledSheet {
         let metrics = plan_metrics();
         metrics.delta_replays_total.inc();
         let _timer = metrics.delta_replay_seconds.start_timer();
-        assert_eq!(plan.plan_id, self.id, "override plan built for a different compiled sheet");
-        assert_eq!(values.len(), plan.names.len(), "one value per planned override name");
+        assert_eq!(
+            plan.plan_id, self.id,
+            "override plan built for a different compiled sheet"
+        );
+        assert_eq!(
+            values.len(),
+            plan.names.len(),
+            "one value per planned override name"
+        );
         let _span = profile::span_lazy(|| format!("delta-play {}", self.name));
 
         let inner = plan.inner.as_ref().map_err(Clone::clone)?;
@@ -683,13 +700,18 @@ impl CompiledSheet {
             let rows = eval_rows_full(rows_plan, &globals_scope)?;
             let report = SheetReport::new(self.name.clone(), resolved, rows);
             state.commit(self.id, &report, rows_plan.rows.len(), DeltaOutcome::Full);
-            metrics.delta_dirty_rows.observe_value(rows_plan.rows.len() as u64);
+            metrics
+                .delta_dirty_rows
+                .observe_value(rows_plan.rows.len() as u64);
             return Ok(report);
         }
 
         let prev = state.report.as_ref().expect("checked above");
-        let prev_globals: BTreeMap<&str, f64> =
-            prev.globals().iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        let prev_globals: BTreeMap<&str, f64> = prev
+            .globals()
+            .iter()
+            .map(|(n, v)| (n.as_str(), *v))
+            .collect();
         let mut changed: BTreeSet<&str> = BTreeSet::new();
         for (name, value) in &resolved {
             match prev_globals.get(name.as_str()) {
@@ -754,8 +776,15 @@ impl CompiledSheet {
             metrics.plays_total.inc();
             let rows = eval_rows_full(rows_plan, &globals_scope)?;
             let report = SheetReport::new(self.name.clone(), resolved, rows);
-            state.commit(self.id, &report, rows_plan.rows.len(), DeltaOutcome::Fallback);
-            metrics.delta_dirty_rows.observe_value(rows_plan.rows.len() as u64);
+            state.commit(
+                self.id,
+                &report,
+                rows_plan.rows.len(),
+                DeltaOutcome::Fallback,
+            );
+            metrics
+                .delta_dirty_rows
+                .observe_value(rows_plan.rows.len() as u64);
             return Ok(report);
         }
 
@@ -876,7 +905,9 @@ fn eval_rows_full(
     plan: &RowsPlan,
     globals_scope: &Scope<'_>,
 ) -> Result<Vec<RowReport>, EvaluateSheetError> {
-    plan_metrics().rows_evaluated_total.add(plan.order.len() as u64);
+    plan_metrics()
+        .rows_evaluated_total
+        .add(plan.order.len() as u64);
     let mut power_layer = globals_scope.child();
     let mut reports: Vec<Option<RowReport>> = vec![None; plan.rows.len()];
     for &i in &plan.order {
@@ -1015,9 +1046,7 @@ fn compile_rows(sheet: &Sheet, registry: &Registry) -> Result<RowsPlan, Evaluate
             // Rows may reference other rows' power (`P_x`, the converter
             // load of EQ 19) and area (`A_x`: interconnect dissipation as
             // a function of the active area of the composing modules).
-            let target = var
-                .strip_prefix("P_")
-                .or_else(|| var.strip_prefix("A_"));
+            let target = var.strip_prefix("P_").or_else(|| var.strip_prefix("A_"));
             let Some(&j) = target.and_then(|t| index_of.get(t)) else {
                 continue;
             };
@@ -1083,8 +1112,18 @@ fn compile_rows(sheet: &Sheet, registry: &Registry) -> Result<RowsPlan, Evaluate
             }
         })
         .collect();
-    let WatchIndex { watched, watchers, dependents } = build_watch_index(&rows, &index_of);
-    Ok(RowsPlan { rows, order, watched, watchers, dependents })
+    let WatchIndex {
+        watched,
+        watchers,
+        dependents,
+    } = build_watch_index(&rows, &index_of);
+    Ok(RowsPlan {
+        rows,
+        order,
+        watched,
+        watchers,
+        dependents,
+    })
 }
 
 /// The compile-time dirtiness machinery of a [`RowsPlan`], built by
@@ -1145,7 +1184,11 @@ fn build_watch_index(rows: &[CompiledRow], index_of: &BTreeMap<&str, usize>) -> 
         d.sort_unstable();
         d.dedup();
     }
-    WatchIndex { watched, watchers, dependents }
+    WatchIndex {
+        watched,
+        watchers,
+        dependents,
+    }
 }
 
 /// Union of the free variables of every formula in an element's model.
@@ -1204,12 +1247,12 @@ fn evaluate_compiled_row(
 
     match &row.kind {
         CompiledRowKind::SubSheet(sub) => {
-            let sub_report = sub.play_impl(&param_scope, &[]).map_err(|source| {
-                EvaluateSheetError::Nested {
-                    row: row.name.to_string(),
-                    source: Box::new(source),
-                }
-            })?;
+            let sub_report =
+                sub.play_impl(&param_scope, &[])
+                    .map_err(|source| EvaluateSheetError::Nested {
+                        row: row.name.to_string(),
+                        source: Box::new(source),
+                    })?;
             let params: Vec<(Arc<str>, f64)> = row
                 .bindings
                 .iter()
@@ -1224,12 +1267,13 @@ fn evaluate_compiled_row(
             ))
         }
         CompiledRowKind::Element(element) => {
-            let eval = element
-                .evaluate(&param_scope)
-                .map_err(|source| EvaluateSheetError::Element {
-                    row: row.name.to_string(),
-                    source,
-                })?;
+            let eval =
+                element
+                    .evaluate(&param_scope)
+                    .map_err(|source| EvaluateSheetError::Element {
+                        row: row.name.to_string(),
+                        source,
+                    })?;
             let params: Vec<(Arc<str>, f64)> = row
                 .param_names
                 .iter()
@@ -1246,5 +1290,184 @@ fn evaluate_compiled_row(
             ))
         }
         CompiledRowKind::Missing { .. } => unreachable!("rejected above"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Read-only structural views.
+//
+// The compiled plan's internals stay private (the replay machinery owns
+// them), but external analyzers — notably the abstract interpreter in
+// `powerplay-analysis` — need to walk the *same* toposorted structure
+// the replay loop walks, so their verdicts line up with what a play
+// would actually compute. These views expose the structure without
+// exposing any mutability.
+// ---------------------------------------------------------------------------
+
+/// One compiled global: its name and formula.
+#[derive(Debug, Clone, Copy)]
+pub struct GlobalView<'a> {
+    name: &'a str,
+    expr: &'a Expr,
+}
+
+impl<'a> GlobalView<'a> {
+    /// The global's name.
+    pub fn name(&self) -> &'a str {
+        self.name
+    }
+
+    /// The global's formula.
+    pub fn expr(&self) -> &'a Expr {
+        self.expr
+    }
+}
+
+/// The compiled row structure: rows in declaration order plus the
+/// dependency-respecting evaluation order the replay loop uses.
+#[derive(Debug, Clone, Copy)]
+pub struct RowsView<'a> {
+    plan: &'a RowsPlan,
+}
+
+impl<'a> RowsView<'a> {
+    /// Number of top-level rows.
+    pub fn len(&self) -> usize {
+        self.plan.rows.len()
+    }
+
+    /// True when the sheet has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.plan.rows.is_empty()
+    }
+
+    /// Row indices in the evaluation (toposort) order a play uses.
+    pub fn order(&self) -> &'a [usize] {
+        &self.plan.order
+    }
+
+    /// The row at declaration index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn row(&self, i: usize) -> RowView<'a> {
+        RowView {
+            row: &self.plan.rows[i],
+        }
+    }
+
+    /// Rows in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = RowView<'a>> + '_ {
+        self.plan.rows.iter().map(|row| RowView { row })
+    }
+}
+
+/// One compiled row: bindings, output references, and its element or
+/// sub-sheet.
+#[derive(Debug, Clone, Copy)]
+pub struct RowView<'a> {
+    row: &'a CompiledRow,
+}
+
+/// What a row instantiates.
+#[derive(Debug, Clone, Copy)]
+pub enum RowKindView<'a> {
+    /// A resolved library (or inline) element.
+    Element(&'a LibraryElement),
+    /// An element path the registry could not resolve.
+    Missing(&'a str),
+    /// A nested compiled design.
+    SubSheet(&'a CompiledSheet),
+}
+
+impl<'a> RowView<'a> {
+    /// The row's display name.
+    pub fn name(&self) -> &'a str {
+        &self.row.name
+    }
+
+    /// The row's folded identifier (the `<ident>` of `P_<ident>`).
+    pub fn ident(&self) -> &'a str {
+        &self.row.ident
+    }
+
+    /// Parameter bindings in declaration order (evaluated in order,
+    /// later bindings may read earlier ones).
+    pub fn bindings(&self) -> impl Iterator<Item = (&'a str, &'a Expr)> + '_ {
+        self.row.bindings.iter().map(|(name, expr)| (&**name, expr))
+    }
+
+    /// The `P_<ident>` power reference this row publishes, if any.
+    pub fn power_ref(&self) -> Option<&'a str> {
+        self.row.power_ref.as_deref()
+    }
+
+    /// The `A_<ident>` area reference this row publishes, if any.
+    pub fn area_ref(&self) -> Option<&'a str> {
+        self.row.area_ref.as_deref()
+    }
+
+    /// Element parameter defaults seeded before bindings run, as
+    /// `(name, default)` pairs sorted by name.
+    pub fn param_defaults(&self) -> Vec<(&'a str, f64)> {
+        self.row
+            .defaults
+            .local_names()
+            .into_iter()
+            .map(|name| {
+                let value = self.row.defaults.get(name).expect("local name resolves");
+                (name, value)
+            })
+            .collect()
+    }
+
+    /// What the row instantiates.
+    pub fn kind(&self) -> RowKindView<'a> {
+        match &self.row.kind {
+            CompiledRowKind::Element(element) => RowKindView::Element(element),
+            CompiledRowKind::Missing { path } => RowKindView::Missing(path),
+            CompiledRowKind::SubSheet(sub) => RowKindView::SubSheet(sub),
+        }
+    }
+}
+
+impl CompiledSheet {
+    /// The compiled sheet's name.
+    pub fn plan_name(&self) -> &str {
+        &self.name
+    }
+
+    /// The compiled globals in declaration order.
+    pub fn globals_view(&self) -> impl Iterator<Item = GlobalView<'_>> + '_ {
+        self.globals.iter().map(|g| GlobalView {
+            name: &g.name,
+            expr: &g.expr,
+        })
+    }
+
+    /// Global evaluation order for the un-overridden sheet, as indices
+    /// into [`CompiledSheet::globals_view`].
+    ///
+    /// # Errors
+    ///
+    /// The `CircularGlobals` error every play would raise.
+    pub fn global_order(&self) -> Result<&[usize], &EvaluateSheetError> {
+        match &self.base_global_plan {
+            Ok(order) => Ok(order),
+            Err(err) => Err(err),
+        }
+    }
+
+    /// The compiled row structure.
+    ///
+    /// # Errors
+    ///
+    /// The structural error every play would raise.
+    pub fn rows_view(&self) -> Result<RowsView<'_>, &EvaluateSheetError> {
+        match &self.structure {
+            Ok(plan) => Ok(RowsView { plan }),
+            Err(err) => Err(err),
+        }
     }
 }

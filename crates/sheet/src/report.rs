@@ -318,8 +318,8 @@ impl fmt::Display for SheetReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use powerplay_library::builtin::ucb_library;
     use crate::Sheet;
+    use powerplay_library::builtin::ucb_library;
 
     fn sample_report() -> SheetReport {
         let lib = ucb_library();

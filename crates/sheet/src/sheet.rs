@@ -55,7 +55,11 @@ impl Sheet {
     /// # Errors
     ///
     /// Returns [`ParseExprError`] if the formula does not parse.
-    pub fn set_global(&mut self, name: impl Into<String>, formula: &str) -> Result<(), ParseExprError> {
+    pub fn set_global(
+        &mut self,
+        name: impl Into<String>,
+        formula: &str,
+    ) -> Result<(), ParseExprError> {
         let name = name.into();
         let expr = Expr::parse(formula)?;
         if let Some(slot) = self.globals.iter_mut().find(|(n, _)| *n == name) {

@@ -372,18 +372,20 @@ pub fn min_vdd_meeting_timing(
     let plan = CompiledSheet::compile(sheet, registry);
     let override_plan = plan.override_plan(&["vdd"]);
     let meets_timing = |report: &SheetReport| {
-        report.rows().iter().all(|row| match (row.delay(), row.rate()) {
-            (Some(delay), Some(rate)) if rate > 0.0 => delay.value() <= 1.0 / rate,
-            _ => true,
-        })
+        report
+            .rows()
+            .iter()
+            .all(|row| match (row.delay(), row.rate()) {
+                (Some(delay), Some(rate)) if rate > 0.0 => delay.value() <= 1.0 / rate,
+                _ => true,
+            })
     };
-    let probe = |state: &mut ReplayState,
-                 vdd: f64|
-     -> Result<(bool, SheetReport), EvaluateSheetError> {
-        let report = plan.replay_delta_with_plan(&override_plan, state, &[vdd])?;
-        let ok = meets_timing(&report);
-        Ok((ok, report))
-    };
+    let probe =
+        |state: &mut ReplayState, vdd: f64| -> Result<(bool, SheetReport), EvaluateSheetError> {
+            let report = plan.replay_delta_with_plan(&override_plan, state, &[vdd])?;
+            let ok = meets_timing(&report);
+            Ok((ok, report))
+        };
 
     let mut bracket_state = ReplayState::new();
     let (ok_max, report_max) = probe(&mut bracket_state, vdd_max.value())?;
@@ -404,7 +406,9 @@ pub fn min_vdd_meeting_timing(
     let rounds = (60.0 / sections.log2()).ceil() as usize;
     for _ in 0..rounds {
         let step = (hi - lo) / sections;
-        let probes: Vec<f64> = (1..sections as usize).map(|i| lo + step * i as f64).collect();
+        let probes: Vec<f64> = (1..sections as usize)
+            .map(|i| lo + step * i as f64)
+            .collect();
         if probes.is_empty() || step == 0.0 {
             break;
         }
@@ -512,7 +516,10 @@ pub fn monte_carlo(
     use rand::{Rng, SeedableRng};
 
     assert!(trials > 0, "need at least one trial");
-    assert!(rel > 0.0 && rel < 1.0, "relative perturbation must be in (0, 1)");
+    assert!(
+        rel > 0.0 && rel < 1.0,
+        "relative perturbation must be in (0, 1)"
+    );
     let plan = CompiledSheet::compile(sheet, registry);
     let base = plan.play()?;
     // Globals absent from the report draw nothing; resolve the present
@@ -599,14 +606,9 @@ mod tests {
     #[test]
     fn min_vdd_meets_timing_and_saves_power() {
         let lib = ucb_library();
-        let result = min_vdd_meeting_timing(
-            &sheet(),
-            &lib,
-            Voltage::new(0.75),
-            Voltage::new(3.3),
-        )
-        .unwrap()
-        .expect("2 MHz timing must be reachable");
+        let result = min_vdd_meeting_timing(&sheet(), &lib, Voltage::new(0.75), Voltage::new(3.3))
+            .unwrap()
+            .expect("2 MHz timing must be reachable");
         let (vdd, report) = result;
         assert!(vdd.value() < 3.3);
         // All rows meet timing at the found supply.

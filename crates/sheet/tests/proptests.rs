@@ -1,11 +1,11 @@
 //! Property tests for the sheet engine: evaluation-order invariance,
 //! persistence fidelity, and macro-lumping equivalence.
 
-use proptest::prelude::*;
 use powerplay_expr::Scope;
 use powerplay_library::builtin::ucb_library;
 use powerplay_library::Registry;
 use powerplay_sheet::{CompiledSheet, DeltaOutcome, ReplayState, Row, RowModel, Sheet};
+use proptest::prelude::*;
 
 /// A random small design over a handful of builtin elements, with
 /// per-row rate dividers so rows exercise distinct operating points.
@@ -297,8 +297,12 @@ fn chained_sheet() -> Sheet {
     sheet.set_global_value("vdd", 1.5);
     sheet.set_global_value("f", 1e6);
     sheet.set_global_value("duty", 0.5);
-    sheet.add_element_row("Load", "ucb/register", [("bits", "16")]).unwrap();
-    sheet.add_element_row("Amp", "ucb/dcdc", [("p_load", "duty * 2")]).unwrap();
+    sheet
+        .add_element_row("Load", "ucb/register", [("bits", "16")])
+        .unwrap();
+    sheet
+        .add_element_row("Amp", "ucb/dcdc", [("p_load", "duty * 2")])
+        .unwrap();
     sheet
         .add_element_row("Conv", "ucb/dcdc", [("p_load", "P_amp + P_load")])
         .unwrap();
@@ -346,7 +350,9 @@ fn broad_delta_falls_back_to_full_replay() {
     assert_eq!(Ok(report), plan.play_with(&[("f", 2e6)]));
 
     // And the state remains a valid baseline for the next small delta.
-    let next = plan.replay_delta(&mut state, &[("f", 2e6), ("duty", 0.1)]).unwrap();
+    let next = plan
+        .replay_delta(&mut state, &[("f", 2e6), ("duty", 0.1)])
+        .unwrap();
     assert_eq!(state.last_outcome(), DeltaOutcome::Incremental);
     assert_eq!(Ok(next), plan.play_with(&[("f", 2e6), ("duty", 0.1)]));
 }

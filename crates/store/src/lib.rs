@@ -483,13 +483,17 @@ impl Shard {
         let mut erased = BTreeMap::new();
         if had_snapshot {
             let text = fs::read_to_string(&snapshot_path)?;
-            let json = Json::parse(&text)
-                .map_err(|e| StoreError::Corrupt(format!("snapshot: {e}")))?;
+            let json =
+                Json::parse(&text).map_err(|e| StoreError::Corrupt(format!("snapshot: {e}")))?;
             load_snapshot(&json, &config, &mut designs, &mut erased)?;
         }
 
         // Replay the WAL over the snapshot, dropping any torn tail.
-        let image = if had_wal { fs::read(&wal_path)? } else { Vec::new() };
+        let image = if had_wal {
+            fs::read(&wal_path)?
+        } else {
+            Vec::new()
+        };
         let scan = wal::scan(&image);
         for payload in &scan.records {
             apply_record(payload, &config, &mut designs, &mut erased)?;
@@ -634,9 +638,12 @@ impl Shard {
         // under the write lock, so the guard cannot be raced).
         let sheet = {
             let state = self.state.read();
-            let record = state.designs.get(design).ok_or_else(|| StoreError::NotFound {
-                design: design.to_owned(),
-            })?;
+            let record = state
+                .designs
+                .get(design)
+                .ok_or_else(|| StoreError::NotFound {
+                    design: design.to_owned(),
+                })?;
             let found = record.revisions.iter().find(|(r, _)| *r == rev);
             Arc::clone(
                 &found
@@ -752,9 +759,11 @@ fn apply_record(
                 .ok_or_else(|| StoreError::Corrupt("wal save record: missing sheet".into()))?;
             let sheet = Sheet::from_json(sheet_json)
                 .map_err(|e| StoreError::Corrupt(format!("wal save record: {e}")))?;
-            let record = designs.entry(design.clone()).or_insert_with(|| DesignRecord {
-                revisions: Vec::new(),
-            });
+            let record = designs
+                .entry(design.clone())
+                .or_insert_with(|| DesignRecord {
+                    revisions: Vec::new(),
+                });
             record.revisions.push((rev, Arc::new(sheet)));
             trim_history(record, config.history_limit);
             erased.remove(&design);
@@ -781,10 +790,7 @@ fn snapshot_json(state: &ShardState) -> Json {
                 .revisions
                 .iter()
                 .map(|(rev, sheet)| {
-                    Json::object([
-                        ("rev", Json::from(*rev as f64)),
-                        ("sheet", sheet.to_json()),
-                    ])
+                    Json::object([("rev", Json::from(*rev as f64)), ("sheet", sheet.to_json())])
                 })
                 .collect();
             Json::object([
@@ -845,11 +851,7 @@ fn load_snapshot(
         trim_history(&mut record, config.history_limit);
         designs.insert(name, record);
     }
-    for entry in json
-        .get("erased")
-        .and_then(Json::as_array)
-        .unwrap_or(&[])
-    {
+    for entry in json.get("erased").and_then(Json::as_array).unwrap_or(&[]) {
         let name = entry
             .get("name")
             .and_then(Json::as_str)
@@ -864,10 +866,8 @@ mod tests {
     use super::*;
 
     fn temp_root(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "powerplay-store-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("powerplay-store-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -954,8 +954,16 @@ mod tests {
         assert_eq!(
             listed,
             vec![
-                DesignSummary { name: "a".into(), rev: 2, revisions: 2 },
-                DesignSummary { name: "b".into(), rev: 1, revisions: 1 },
+                DesignSummary {
+                    name: "a".into(),
+                    rev: 2,
+                    revisions: 2
+                },
+                DesignSummary {
+                    name: "b".into(),
+                    rev: 1,
+                    revisions: 1
+                },
             ]
         );
         assert!(store.list("nobody").unwrap().is_empty());
@@ -1086,7 +1094,8 @@ mod tests {
             .append(true)
             .open(root.join("a/wal.log"))
             .unwrap();
-        f.write_all(&[0x40, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef]).unwrap();
+        f.write_all(&[0x40, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef])
+            .unwrap();
         drop(f);
         let store = DesignStore::open(root).unwrap();
         assert_eq!(store.current_rev("a", "d").unwrap(), 1);
@@ -1125,7 +1134,13 @@ mod tests {
     fn path_traversal_is_rejected() {
         let store = store("traversal");
         let s = sheet("1.5");
-        for bad in ["../../etc/passwd", "a/b", "", "x".repeat(64).as_str(), "a b"] {
+        for bad in [
+            "../../etc/passwd",
+            "a/b",
+            "",
+            "x".repeat(64).as_str(),
+            "a b",
+        ] {
             assert!(
                 matches!(
                     store.save(bad, "d", &s, None),

@@ -10,10 +10,8 @@ use powerplay_sheet::Sheet;
 use powerplay_store::{DesignStore, StoreError};
 
 fn fresh_root(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "powerplay-store-conc-{tag}-{}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("powerplay-store-conc-{tag}-{}", std::process::id()));
     let _ = fs::remove_dir_all(&dir);
     dir
 }

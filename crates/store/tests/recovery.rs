@@ -24,7 +24,9 @@ fn fresh_root() -> PathBuf {
 
 fn sheet(step: usize) -> Sheet {
     let mut sheet = Sheet::new("Recovery");
-    sheet.set_global("vdd", &format!("{}V", 1.0 + step as f64 / 10.0)).unwrap();
+    sheet
+        .set_global("vdd", &format!("{}V", 1.0 + step as f64 / 10.0))
+        .unwrap();
     sheet.set_global("f", "2MHz").unwrap();
     sheet
         .add_element_row("LUT", "ucb/sram", [("words", "4096"), ("bits", "6")])

@@ -284,7 +284,6 @@ impl Drop for Timer {
     }
 }
 
-
 /// Tests toggling the global [`ENABLED`] switch write-lock this; tests
 /// that record observations read-lock it, so a parallel test run never
 /// observes the switch mid-flip.

@@ -68,13 +68,20 @@ impl ProfileNode {
         Json::object([
             ("name", Json::from(self.name.as_str())),
             ("seconds", Json::from(self.duration.as_secs_f64())),
-            ("children", self.children.iter().map(ProfileNode::to_json).collect()),
+            (
+                "children",
+                self.children.iter().map(ProfileNode::to_json).collect(),
+            ),
         ])
     }
 
     /// Total span count, the root included.
     pub fn span_count(&self) -> usize {
-        1 + self.children.iter().map(ProfileNode::span_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(ProfileNode::span_count)
+            .sum::<usize>()
     }
 }
 
@@ -142,7 +149,10 @@ pub fn span(name: &str) -> Span {
 /// use this in hot paths where the name needs a `format!`.
 pub fn span_lazy(name: impl FnOnce() -> String) -> Span {
     if !is_capturing() {
-        return Span { start: None, depth: 0 };
+        return Span {
+            start: None,
+            depth: 0,
+        };
     }
     let depth = STACK.with(|s| {
         let mut stack = s.borrow_mut();

@@ -91,7 +91,8 @@ impl Registry {
         get: impl Fn(&Series) -> Option<T>,
     ) -> T {
         assert!(
-            name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
             "invalid metric name `{name}`"
         );
         let label_key = render_labels(labels);
@@ -177,7 +178,12 @@ impl Registry {
     }
 
     /// Registers (or fetches) a labelled count-valued histogram series.
-    pub fn value_histogram_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Histogram {
+    pub fn value_histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+    ) -> Histogram {
         self.register(
             name,
             labels,
@@ -259,7 +265,8 @@ impl Registry {
                 let series_name = format!("{name}{labels}");
                 match series {
                     Series::Counter(core) => {
-                        snap.counters.push((series_name, Counter(core.clone()).get()));
+                        snap.counters
+                            .push((series_name, Counter(core.clone()).get()));
                     }
                     Series::Gauge(core) => {
                         snap.gauges.push((series_name, Gauge(core.clone()).get()));
@@ -385,7 +392,10 @@ mod tests {
         assert!(text.contains("# TYPE dirty_rows histogram"), "{text}");
         // Bounds are raw counts, not 1e-9-scaled seconds.
         assert!(text.contains("dirty_rows_bucket{le=\"4e0\"} 1"), "{text}");
-        assert!(text.contains("dirty_rows_bucket{le=\"1.28e2\"} 2"), "{text}");
+        assert!(
+            text.contains("dirty_rows_bucket{le=\"1.28e2\"} 2"),
+            "{text}"
+        );
         assert!(text.contains("dirty_rows_sum 1.03e2"), "{text}");
         let snap = r.snapshot();
         let hist = snap.histogram("dirty_rows").unwrap();

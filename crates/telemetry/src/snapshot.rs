@@ -43,7 +43,11 @@ impl HistogramSnapshot {
             ("count", Json::from(self.count as f64)),
             ("sum_seconds", Json::from(self.sum_seconds)),
         ];
-        for (key, q) in [("p50_seconds", 0.5), ("p90_seconds", 0.9), ("p99_seconds", 0.99)] {
+        for (key, q) in [
+            ("p50_seconds", 0.5),
+            ("p90_seconds", 0.9),
+            ("p99_seconds", 0.99),
+        ] {
             if let Some(v) = self.quantile_seconds(q).filter(|v| v.is_finite()) {
                 members.push((key, Json::from(v)));
             }
@@ -68,7 +72,10 @@ pub struct TelemetrySnapshot {
 impl TelemetrySnapshot {
     /// Looks a counter up by its rendered series name.
     pub fn counter(&self, name: &str) -> Option<u64> {
-        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
     }
 
     /// Looks a gauge up by its rendered series name.
@@ -104,7 +111,10 @@ impl TelemetrySnapshot {
             ),
             (
                 "histograms",
-                self.histograms.iter().map(HistogramSnapshot::to_json).collect(),
+                self.histograms
+                    .iter()
+                    .map(HistogramSnapshot::to_json)
+                    .collect(),
             ),
         ])
     }
@@ -138,7 +148,12 @@ mod tests {
         let r = Registry::new();
         r.histogram("empty_seconds", "e");
         let snap = r.snapshot();
-        assert_eq!(snap.histogram("empty_seconds").unwrap().quantile_seconds(0.5), None);
+        assert_eq!(
+            snap.histogram("empty_seconds")
+                .unwrap()
+                .quantile_seconds(0.5),
+            None
+        );
     }
 
     #[test]

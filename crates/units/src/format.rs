@@ -42,7 +42,10 @@ pub fn eng_digits(value: f64, unit: &str, digits: usize) -> String {
     // [1, 1000) but can exceed that when the prefix range saturates.
     let int_digits = (mantissa.abs().log10().floor() as i32 + 1).max(1) as usize;
     let decimals = digits.saturating_sub(int_digits);
-    format!("{mantissa:.decimals$} {prefix}{unit}", prefix = prefix.symbol())
+    format!(
+        "{mantissa:.decimals$} {prefix}{unit}",
+        prefix = prefix.symbol()
+    )
 }
 
 /// Formats `value` as a percentage with one decimal, e.g. `"37.5%"`.

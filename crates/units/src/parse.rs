@@ -55,7 +55,10 @@ impl Error for ParseQuantityError {}
 /// The unit may be omitted entirely (`"1.5"`) and the prefix may appear
 /// without the unit (`"253f"`), matching the loose spreadsheet-literal
 /// style of the original tool.
-pub(crate) fn parse_with_unit(input: &str, expected_unit: &'static str) -> Result<f64, ParseQuantityError> {
+pub(crate) fn parse_with_unit(
+    input: &str,
+    expected_unit: &'static str,
+) -> Result<f64, ParseQuantityError> {
     let trimmed = input.trim();
     if trimmed.is_empty() {
         return Err(ParseQuantityError::new(input, Reason::Empty));
@@ -136,12 +139,16 @@ pub(crate) fn parse_with_unit(input: &str, expected_unit: &'static str) -> Resul
         }
         return Err(ParseQuantityError::new(
             input,
-            Reason::WrongUnit { expected: expected_unit },
+            Reason::WrongUnit {
+                expected: expected_unit,
+            },
         ));
     }
     Err(ParseQuantityError::new(
         input,
-        Reason::WrongUnit { expected: expected_unit },
+        Reason::WrongUnit {
+            expected: expected_unit,
+        },
     ))
 }
 

@@ -1,8 +1,8 @@
 //! Property-based tests for quantity parsing, formatting and arithmetic.
 
-use proptest::prelude::*;
 use powerplay_units::prefix::SiPrefix;
 use powerplay_units::{Capacitance, Energy, Frequency, Power, Voltage};
+use proptest::prelude::*;
 
 fn reasonable_magnitude() -> impl Strategy<Value = f64> {
     // Values spanning the prefixes we format (femto..tera).

@@ -75,7 +75,9 @@ impl VideoSource {
                     let y = by as f64 / blocks_y as f64;
                     let luma = 0.5
                         + 0.28 * (2.0 * std::f64::consts::PI * (1.3 * x + drift) + phase_x).sin()
-                        + 0.18 * (2.0 * std::f64::consts::PI * (0.9 * y - 0.5 * drift) + phase_y).sin();
+                        + 0.18
+                            * (2.0 * std::f64::consts::PI * (0.9 * y - 0.5 * drift) + phase_y)
+                                .sin();
                     let noise: f64 = rng.gen_range(-0.02..0.02);
                     let level = ((luma + noise).clamp(0.0, 1.0) * (CODEBOOK_SIZE - 1) as f64) as u8;
                     codes.push(level);

@@ -217,10 +217,11 @@ impl DesignAgent {
             if tool.provides().iter().all(|p| self.board.contains_key(p)) {
                 continue;
             }
-            tool.run(&mut self.board).map_err(|message| AgentError::ToolFailed {
-                tool: tool_name.clone(),
-                message,
-            })?;
+            tool.run(&mut self.board)
+                .map_err(|message| AgentError::ToolFailed {
+                    tool: tool_name.clone(),
+                    message,
+                })?;
         }
         self.board
             .get(item)
@@ -287,7 +288,10 @@ mod tests {
     fn plans_are_dependency_ordered() {
         let agent = estimation_agent(Arc::new(AtomicUsize::new(0)));
         let plan = agent.plan("interconnect_power_w").unwrap();
-        assert_eq!(plan, ["area_estimator", "wire_estimator", "power_estimator"]);
+        assert_eq!(
+            plan,
+            ["area_estimator", "wire_estimator", "power_estimator"]
+        );
         // Items already present need no tools.
         assert!(agent.plan("vdd").unwrap().is_empty());
     }

@@ -15,9 +15,11 @@
 //! * `GET .../revisions` lists the bounded history and
 //!   `POST .../rollback` restores any revision in it (as a *new*
 //!   revision, so history stays append-only);
-//! * `POST .../play|sweep|sensitivities|lint` run the engine against
-//!   the stored design, sharing the compiled-plan cache with the
-//!   legacy API.
+//! * `POST .../play|sweep|sensitivities|lint|analyze` run the engine
+//!   (or the abstract interpreter) against the stored design, sharing
+//!   the compiled-plan cache with the legacy API; `analyze` bodies are
+//!   cached beside the plan, so an unchanged design answers without
+//!   re-analyzing.
 //!
 //! Every v1 error is the uniform envelope
 //! `{"error": {"code", "message", "diagnostics"?}}` — machine-readable
@@ -84,6 +86,10 @@ pub(crate) fn respond(app: &PowerPlayApp, req: &Request) -> Response {
             Method::Post => lint_post(app, user, name),
             _ => Err(method_not_allowed("POST")),
         },
+        ["designs", user, name, "analyze"] => match req.method() {
+            Method::Post => analyze_post(app, user, name),
+            _ => Err(method_not_allowed("POST")),
+        },
         _ => Err(envelope(
             Status::NotFound,
             "not_found",
@@ -99,10 +105,7 @@ pub(crate) fn respond(app: &PowerPlayApp, req: &Request) -> Response {
 /// Builds the uniform v1 error response:
 /// `{"error": {"code", "message", "diagnostics"?}}`.
 fn envelope(status: Status, code: &str, message: &str, diagnostics: Option<Json>) -> Response {
-    let mut fields = vec![
-        ("code", Json::from(code)),
-        ("message", Json::from(message)),
-    ];
+    let mut fields = vec![("code", Json::from(code)), ("message", Json::from(message))];
     if let Some(diagnostics) = diagnostics {
         fields.push(("diagnostics", diagnostics));
     }
@@ -221,8 +224,14 @@ fn load(
 }
 
 fn body_json(req: &Request) -> Result<Json, Response> {
-    let text = std::str::from_utf8(req.body())
-        .map_err(|_| envelope(Status::BadRequest, "invalid_body", "body must be UTF-8 JSON", None))?;
+    let text = std::str::from_utf8(req.body()).map_err(|_| {
+        envelope(
+            Status::BadRequest,
+            "invalid_body",
+            "body must be UTF-8 JSON",
+            None,
+        )
+    })?;
     Json::parse(text)
         .map_err(|e| envelope(Status::BadRequest, "invalid_body", &e.to_string(), None))
 }
@@ -359,7 +368,11 @@ fn design_put(
         .store
         .save(user, name, &sheet, expected)
         .map_err(store_error)?;
-    let status = if current == 0 { Status::Created } else { Status::Ok };
+    let status = if current == 0 {
+        Status::Created
+    } else {
+        Status::Ok
+    };
     let mut response = Response::json_with_status(
         status,
         Json::object([
@@ -493,7 +506,10 @@ fn sweep_post(
             None,
         )
     };
-    let global = json.get("global").and_then(Json::as_str).ok_or_else(bad_body)?;
+    let global = json
+        .get("global")
+        .and_then(Json::as_str)
+        .ok_or_else(bad_body)?;
     let values: Vec<f64> = json
         .get("values")
         .and_then(Json::as_array)
@@ -539,11 +555,7 @@ fn sensitivities_post(app: &PowerPlayApp, user: &str, name: &str) -> Result<Resp
         })
         .collect();
     Ok(Response::json(
-        Json::object([
-            ("rev", Json::from(rev as f64)),
-            ("sensitivities", ranking),
-        ])
-        .to_string(),
+        Json::object([("rev", Json::from(rev as f64)), ("sensitivities", ranking)]).to_string(),
     ))
 }
 
@@ -551,12 +563,31 @@ fn lint_post(app: &PowerPlayApp, user: &str, name: &str) -> Result<Response, Res
     let (rev, sheet) = load(app, user, name)?;
     let report = powerplay_lint::lint_sheet(&sheet, &app.registry.read());
     Ok(Response::json(
-        Json::object([
-            ("rev", Json::from(rev as f64)),
-            ("lint", report.to_json()),
-        ])
-        .to_string(),
+        Json::object([("rev", Json::from(rev as f64)), ("lint", report.to_json())]).to_string(),
     ))
+}
+
+/// `POST .../analyze` — abstract interpretation over the compiled plan:
+/// proven bounds, monotone inputs, and the E015/E016/W114–W118
+/// diagnostics. The analysis is pure in the plan, so the serialized
+/// body is cached beside the compiled plan and an unchanged design
+/// answers without re-analyzing.
+fn analyze_post(app: &PowerPlayApp, user: &str, name: &str) -> Result<Response, Response> {
+    let (rev, sheet) = load(app, user, name)?;
+    let key = app.stored_key(user, name, rev);
+    if let Some(body) = app.plan_cache.cached_analysis(key) {
+        return Ok(Response::json(body.as_str().to_owned()));
+    }
+    let plan = app.plan_for(key, &sheet);
+    let bounds = powerplay_analysis::analyze(&plan).map_err(|e| play_error(&e))?;
+    let body = Json::object([
+        ("rev", Json::from(rev as f64)),
+        ("bounds", bounds.to_json()),
+    ])
+    .to_string();
+    app.plan_cache
+        .store_analysis(key, std::sync::Arc::new(body.clone()));
+    Ok(Response::json(body))
 }
 
 #[cfg(test)]
@@ -581,12 +612,7 @@ mod tests {
         sheet.to_json().to_string()
     }
 
-    fn put(
-        app: &PowerPlayApp,
-        path: &str,
-        body: &str,
-        if_match: Option<&str>,
-    ) -> Response {
+    fn put(app: &PowerPlayApp, path: &str, body: &str, if_match: Option<&str>) -> Response {
         let mut req = Request::new(Method::Put, path);
         req.set_body(body.as_bytes().to_vec(), "application/json");
         if let Some(tag) = if_match {
@@ -638,7 +664,10 @@ mod tests {
         assert_eq!(stale.status(), Status::Conflict);
         assert_eq!(error_code(&stale), "conflict");
         let parsed = Json::parse(&stale.body_text()).unwrap();
-        assert_eq!(parsed["error"]["diagnostics"]["expected"].as_f64(), Some(1.0));
+        assert_eq!(
+            parsed["error"]["diagnostics"]["expected"].as_f64(),
+            Some(1.0)
+        );
         assert_eq!(parsed["error"]["diagnostics"]["actual"].as_f64(), Some(2.0));
 
         // `*` forces through regardless.
@@ -682,9 +711,19 @@ mod tests {
         let mut sheet = Sheet::new("d");
         sheet.set_global("vdd", "1.5").unwrap();
         sheet.set_global("f", "2e6").unwrap();
-        put(&app, "/api/v1/designs/a/d", &sheet.to_json().to_string(), None);
+        put(
+            &app,
+            "/api/v1/designs/a/d",
+            &sheet.to_json().to_string(),
+            None,
+        );
         sheet.set_global("vdd", "3.3").unwrap();
-        put(&app, "/api/v1/designs/a/d", &sheet.to_json().to_string(), Some("\"1\""));
+        put(
+            &app,
+            "/api/v1/designs/a/d",
+            &sheet.to_json().to_string(),
+            Some("\"1\""),
+        );
 
         let listed = get(&app, "/api/v1/designs/a/d/revisions");
         assert_eq!(listed.status(), Status::Ok);
@@ -760,6 +799,25 @@ mod tests {
 
         let linted = post(&app, "/api/v1/designs/a/d/lint", "");
         assert_eq!(linted.status(), Status::Ok, "{}", linted.body_text());
+
+        let analyzed = post(&app, "/api/v1/designs/a/d/analyze", "");
+        assert_eq!(analyzed.status(), Status::Ok, "{}", analyzed.body_text());
+        let parsed = Json::parse(&analyzed.body_text()).unwrap();
+        let total = &parsed["bounds"]["total_power"];
+        let lo = total["lo"].as_f64().expect("lo");
+        let hi = total["hi"].as_f64().expect("hi");
+        assert!(lo > 0.0 && hi >= lo, "bad bounds [{lo}, {hi}]");
+        assert_eq!(total["nan_possible"].as_bool(), Some(false));
+        // The concrete play must land inside the proven interval.
+        let played = Json::parse(&post(&app, "/api/v1/designs/a/d/play", "").body_text()).unwrap();
+        let total_w = played["report"]["total_w"].as_f64().unwrap();
+        assert!(
+            lo <= total_w && total_w <= hi,
+            "{total_w} not in [{lo}, {hi}]"
+        );
+        // A repeat answers from the cached analysis body, bit-identical.
+        let again = post(&app, "/api/v1/designs/a/d/analyze", "");
+        assert_eq!(again.body_text(), analyzed.body_text());
 
         // Bad sweep bodies get the envelope, not a panic or a bare 400.
         let bad = post(&app, "/api/v1/designs/a/d/sweep", "{\"global\": \"vdd\"}");

@@ -141,9 +141,7 @@ impl PowerPlayApp {
             .map(|bytes| String::from_utf8_lossy(&bytes).into_owned());
         let ok = presented.as_deref().is_some_and(|cred| {
             cred.split_once(':').is_some_and(|(user, password)| {
-                credentials
-                    .iter()
-                    .any(|(u, p)| u == user && p == password)
+                credentials.iter().any(|(u, p)| u == user && p == password)
             })
         });
         if ok {
@@ -263,7 +261,10 @@ impl PowerPlayApp {
         ("/api/design", "/api/v1/designs/{user}/{name}"),
         ("/api/lint", "/api/v1/designs/{user}/{name}/lint"),
         ("/api/sweep", "/api/v1/designs/{user}/{name}/sweep"),
-        ("/api/sensitivities", "/api/v1/designs/{user}/{name}/sensitivities"),
+        (
+            "/api/sensitivities",
+            "/api/v1/designs/{user}/{name}/sensitivities",
+        ),
     ];
 
     /// Stamps deprecated `/api/*` responses with a `Deprecation` header,
@@ -329,7 +330,10 @@ impl PowerPlayApp {
     }
 
     fn design_url(user: &str, design: &str) -> String {
-        format!("/design?{}", encode_pairs([("user", user), ("name", design)]))
+        format!(
+            "/design?{}",
+            encode_pairs([("user", user), ("name", design)])
+        )
     }
 
     // --- pages ------------------------------------------------------------
@@ -415,7 +419,10 @@ errs conservatively high.</p>";
              <h3>Your designs</h3><ul>{design_items}</ul>\
              {new_design}",
             user = html::escape(&user),
-            lib = html::link(&format!("/library?user={}", encode(&user)), "Browse model library"),
+            lib = html::link(
+                &format!("/library?user={}", encode(&user)),
+                "Browse model library"
+            ),
             model = html::link(
                 &format!("/model/new?user={}", encode(&user)),
                 "Define a new model"
@@ -492,7 +499,10 @@ errs conservatively high.</p>";
             "<p>{}</p>{}<p>{}</p>",
             html::escape(element.doc()),
             html::form("/element/eval", &inputs, "Compute"),
-            html::link(&format!("/doc?name={}", encode(element.name())), "documentation"),
+            html::link(
+                &format!("/doc?name={}", encode(element.name())),
+                "documentation"
+            ),
         );
         Ok(Response::html(html::page(
             &format!("Element: {}", element.name()),
@@ -535,15 +545,15 @@ errs conservatively high.</p>";
         let (scope, raw_params) = Self::scope_from_form(req)?;
         let eval = element.evaluate(&scope).map_err(Self::bad)?;
 
-        let mut rows = vec![vec!["Power".to_owned(), html::escape(&eval.power.to_string())]];
+        let mut rows = vec![vec![
+            "Power".to_owned(),
+            html::escape(&eval.power.to_string()),
+        ]];
         if let Some(e) = eval.energy_per_op {
             rows.push(vec!["Energy/op".into(), html::escape(&e.to_string())]);
         }
         if let Some(a) = eval.area {
-            rows.push(vec![
-                "Area".into(),
-                format!("{:.4} mm2", a.value() * 1e6),
-            ]);
+            rows.push(vec!["Area".into(), format!("{:.4} mm2", a.value() * 1e6)]);
         }
         if let Some(d) = eval.delay {
             rows.push(vec!["Delay".into(), html::escape(&d.to_string())]);
@@ -635,17 +645,33 @@ errs conservatively high.</p>";
         let mut inputs = String::new();
         inputs.push_str(&html::hidden_input("user", &user));
         inputs.push_str(&html::text_input("name", "my_block", "Model name"));
-        inputs.push_str(&html::text_input("class", "computation", "Class (computation/storage/controller/interconnect/processor/analog/converter/system)"));
+        inputs.push_str(&html::text_input(
+            "class",
+            "computation",
+            "Class (computation/storage/controller/interconnect/processor/analog/converter/system)",
+        ));
         inputs.push_str(&html::text_input("doc", "", "Documentation"));
         inputs.push_str(&html::text_input(
             "params",
             "bits=8",
             "Parameters (name=default, comma separated)",
         ));
-        inputs.push_str(&html::text_input("cap_full", "", "C switched, full rail [F]"));
-        inputs.push_str(&html::text_input("cap_partial", "", "C switched, reduced swing [F]"));
+        inputs.push_str(&html::text_input(
+            "cap_full",
+            "",
+            "C switched, full rail [F]",
+        ));
+        inputs.push_str(&html::text_input(
+            "cap_partial",
+            "",
+            "C switched, reduced swing [F]",
+        ));
         inputs.push_str(&html::text_input("swing", "", "Swing [V]"));
-        inputs.push_str(&html::text_input("static_current", "", "Static current [A]"));
+        inputs.push_str(&html::text_input(
+            "static_current",
+            "",
+            "Static current [A]",
+        ));
         inputs.push_str(&html::text_input("power_direct", "", "Direct power [W]"));
         inputs.push_str(&html::text_input("area", "", "Area [m2]"));
         inputs.push_str(&html::text_input("delay", "", "Delay [s]"));
@@ -735,7 +761,9 @@ errs conservatively high.</p>";
         let mut sheet = Sheet::new(name.clone());
         sheet.set_global("vdd", "1.5").expect("literal parses");
         sheet.set_global("f", "2e6").expect("literal parses");
-        self.store.save(&user, &name, &sheet, None).map_err(Self::bad)?;
+        self.store
+            .save(&user, &name, &sheet, None)
+            .map_err(Self::bad)?;
         Ok(Response::redirect(&Self::design_url(&user, &name)))
     }
 
@@ -767,7 +795,11 @@ errs conservatively high.</p>";
             html::text_input("gname", "", "New parameter"),
             html::text_input("gformula", "", "Formula"),
         );
-        body.push_str(&html::form("/design/set_global", &new_global, "Add parameter"));
+        body.push_str(&html::form(
+            "/design/set_global",
+            &new_global,
+            "Add parameter",
+        ));
 
         // The spreadsheet.
         match report {
@@ -851,7 +883,16 @@ errs conservatively high.</p>";
                     String::new(),
                 ]);
                 body.push_str(&html::table(
-                    &["Name", "Parameters", "Energy/op", "Power", "%", "Area", "Delay", ""],
+                    &[
+                        "Name",
+                        "Parameters",
+                        "Energy/op",
+                        "Power",
+                        "%",
+                        "Area",
+                        "Delay",
+                        "",
+                    ],
                     &rows,
                 ));
             }
@@ -895,13 +936,20 @@ errs conservatively high.</p>";
         body.push_str(&html::form("/design/add_row", &add, "Add row"));
         body.push_str(&format!(
             "<p>{}</p>",
-            html::link(&format!("/library?user={}", encode(user)), "browse the library"),
+            html::link(
+                &format!("/library?user={}", encode(user)),
+                "browse the library"
+            ),
         ));
         let lump = format!(
             "{}{}{}",
             html::hidden_input("user", user),
             html::hidden_input("design", design),
-            html::text_input("macro_name", &format!("{user}/{design}_macro"), "Macro name"),
+            html::text_input(
+                "macro_name",
+                &format!("{user}/{design}_macro"),
+                "Macro name"
+            ),
         );
         body.push_str("<h2>Re-use</h2>");
         body.push_str(&html::form("/design/lump", &lump, "Lump into macro"));
@@ -919,9 +967,7 @@ errs conservatively high.</p>";
             .query_param("name")
             .ok_or_else(|| Self::bad("missing `name`"))?;
         let (_, sheet) = self.load_design(&user, &design)?;
-        let report = sheet
-            .play(&self.registry.read())
-            .map_err(|e| e.to_string());
+        let report = sheet.play(&self.registry.read()).map_err(|e| e.to_string());
         Ok(self.render_design(&user, &design, &sheet, report))
     }
 
@@ -948,10 +994,10 @@ errs conservatively high.</p>";
             .form_param("gformula")
             .ok_or_else(|| Self::bad("missing `gformula`"))?;
         let (_, mut sheet) = self.load_design(&user, &design)?;
-        sheet
-            .set_global(gname, &gformula)
+        sheet.set_global(gname, &gformula).map_err(Self::bad)?;
+        self.store
+            .save(&user, &design, &sheet, None)
             .map_err(Self::bad)?;
-        self.store.save(&user, &design, &sheet, None).map_err(Self::bad)?;
         Ok(Response::redirect(&Self::design_url(&user, &design)))
     }
 
@@ -996,7 +1042,9 @@ errs conservatively high.</p>";
         }
         row.set_doc_link(format!("/doc?name={}", encode(&element)));
         sheet.add_row(row);
-        self.store.save(&user, &design, &sheet, None).map_err(Self::bad)?;
+        self.store
+            .save(&user, &design, &sheet, None)
+            .map_err(Self::bad)?;
         Ok(Response::redirect(&Self::design_url(&user, &design)))
     }
 
@@ -1010,7 +1058,9 @@ errs conservatively high.</p>";
             .ok_or_else(|| Self::bad("missing `row`"))?;
         let (_, mut sheet) = self.load_design(&user, &design)?;
         sheet.remove_row(&row);
-        self.store.save(&user, &design, &sheet, None).map_err(Self::bad)?;
+        self.store
+            .save(&user, &design, &sheet, None)
+            .map_err(Self::bad)?;
         Ok(Response::redirect(&Self::design_url(&user, &design)))
     }
 
@@ -1026,7 +1076,9 @@ errs conservatively high.</p>";
         let (_, sheet) = self.load_design(&user, &design)?;
         let lumped = {
             let registry = self.registry.read();
-            sheet.to_macro(macro_name.clone(), &registry).map_err(Self::bad)?
+            sheet
+                .to_macro(macro_name.clone(), &registry)
+                .map_err(Self::bad)?
         };
         self.registry.write().insert(lumped);
         Ok(Response::redirect(&format!(
@@ -1155,10 +1207,21 @@ errs conservatively high.</p>";
             .iter()
             .map(|t| format!("<li>{}</li>", html::escape(t)))
             .collect();
-        let board_rows: Vec<Vec<String>> = ["block_count", "active_area_mm2", "wire_cap_f", "interconnect_power_w", "vdd", "f"]
-            .iter()
-            .filter_map(|k| agent.value(k).map(|v| vec![k.to_string(), format!("{v:.6e}")]))
-            .collect();
+        let board_rows: Vec<Vec<String>> = [
+            "block_count",
+            "active_area_mm2",
+            "wire_cap_f",
+            "interconnect_power_w",
+            "vdd",
+            "f",
+        ]
+        .iter()
+        .filter_map(|k| {
+            agent
+                .value(k)
+                .map(|v| vec![k.to_string(), format!("{v:.6e}")])
+        })
+        .collect();
         let body = format!(
             "<p>Requested datum: <code>{}</code> = <b>{value:.6e}</b></p>\
              <h2>Tool plan</h2><ol>{plan_items}</ol>\
@@ -1287,7 +1350,11 @@ errs conservatively high.</p>";
             .ok_or_else(|| Self::bad("missing `values`"))?;
         let values: Vec<f64> = raw_values
             .split(',')
-            .map(|v| v.trim().parse().map_err(|_| Self::bad(format!("bad value `{v}`"))))
+            .map(|v| {
+                v.trim()
+                    .parse()
+                    .map_err(|_| Self::bad(format!("bad value `{v}`")))
+            })
             .collect::<Result<_, _>>()?;
         let (rev, sheet) = self.load_design(&user, &design)?;
         // The curve depends on the swept global and values as well as
@@ -1339,12 +1406,13 @@ errs conservatively high.</p>";
         let ranking: Json = sens
             .into_iter()
             .map(|(global, s)| {
-                Json::object([("global", Json::from(global)), ("sensitivity", Json::from(s))])
+                Json::object([
+                    ("global", Json::from(global)),
+                    ("sensitivity", Json::from(s)),
+                ])
             })
             .collect();
-        let mut response = Response::json(
-            Json::object([("sensitivities", ranking)]).to_string(),
-        );
+        let mut response = Response::json(Json::object([("sensitivities", ranking)]).to_string());
         response.set_header("ETag", &etag);
         Ok(response)
     }
@@ -1455,10 +1523,7 @@ mod tests {
     use powerplay_library::builtin::ucb_library;
 
     fn app(tag: &str) -> Arc<PowerPlayApp> {
-        let dir = std::env::temp_dir().join(format!(
-            "powerplay-app-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("powerplay-app-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         PowerPlayApp::new(ucb_library(), dir)
     }
@@ -1657,13 +1722,23 @@ mod tests {
         let ok = post(
             &app,
             "/design/add_row",
-            &[("user", "a"), ("design", "d"), ("row_name", "X"), ("element", "ucb/register")],
+            &[
+                ("user", "a"),
+                ("design", "d"),
+                ("row_name", "X"),
+                ("element", "ucb/register"),
+            ],
         );
         assert_eq!(ok.status(), Status::Found);
         let dup = post(
             &app,
             "/design/add_row",
-            &[("user", "a"), ("design", "d"), ("row_name", "X"), ("element", "ucb/register")],
+            &[
+                ("user", "a"),
+                ("design", "d"),
+                ("row_name", "X"),
+                ("element", "ucb/register"),
+            ],
         );
         assert_eq!(dup.status(), Status::BadRequest);
     }
@@ -1737,7 +1812,12 @@ mod tests {
         post(
             &app,
             "/design/add_row",
-            &[("user", "a"), ("design", "d"), ("row_name", "R"), ("element", "ucb/register")],
+            &[
+                ("user", "a"),
+                ("design", "d"),
+                ("row_name", "R"),
+                ("element", "ucb/register"),
+            ],
         );
         let design = get(&app, "/api/design?user=a&name=d");
         let parsed = Json::parse(&design.body_text()).unwrap();
@@ -1760,7 +1840,10 @@ mod tests {
         assert!(body.contains("interconnect_power_w"));
 
         // Seeding an intermediate short-circuits earlier tools.
-        let r = get(&app, "/agent?item=interconnect_power_w&wire_cap_f=1e-10&vdd=1&f=1e6");
+        let r = get(
+            &app,
+            "/agent?item=interconnect_power_w&wire_cap_f=1e-10&vdd=1&f=1e6",
+        );
         assert!(!r.body_text().contains("area_estimator"));
         assert!(r.body_text().contains("1.000000e-4"));
 
@@ -1776,7 +1859,12 @@ mod tests {
         post(
             &app,
             "/design/add_row",
-            &[("user", "a"), ("design", "d"), ("row_name", "M"), ("element", "ucb/multiplier")],
+            &[
+                ("user", "a"),
+                ("design", "d"),
+                ("row_name", "M"),
+                ("element", "ucb/multiplier"),
+            ],
         );
         let r = get(&app, "/api/sweep?user=a&name=d&global=vdd&values=1,2");
         assert_eq!(r.status(), Status::Ok, "{}", r.body_text());
@@ -1798,7 +1886,12 @@ mod tests {
         post(
             &app,
             "/design/add_row",
-            &[("user", "a"), ("design", "d"), ("row_name", "M"), ("element", "ucb/multiplier")],
+            &[
+                ("user", "a"),
+                ("design", "d"),
+                ("row_name", "M"),
+                ("element", "ucb/multiplier"),
+            ],
         );
         let r = get(&app, "/api/sensitivities?user=a&name=d");
         assert_eq!(r.status(), Status::Ok, "{}", r.body_text());
@@ -1816,7 +1909,12 @@ mod tests {
         post(
             &app,
             "/design/add_row",
-            &[("user", "a"), ("design", "d"), ("row_name", "R"), ("element", "ucb/register")],
+            &[
+                ("user", "a"),
+                ("design", "d"),
+                ("row_name", "R"),
+                ("element", "ucb/register"),
+            ],
         );
         let r = post(
             &app,
@@ -1870,10 +1968,8 @@ mod tests {
         assert_eq!(r.status(), Status::Ok, "{}", r.body_text());
         let parsed = Json::parse(&r.body_text()).unwrap();
         let diags = parsed["diagnostics"].as_array().unwrap();
-        assert!(diags
-            .iter()
-            .any(|d| d["code"].as_str() == Some("E001")
-                && d["message"].as_str().unwrap_or("").contains("nonsense_var")));
+        assert!(diags.iter().any(|d| d["code"].as_str() == Some("E001")
+            && d["message"].as_str().unwrap_or("").contains("nonsense_var")));
 
         let mut bad = Request::new(Method::Post, "/api/lint");
         bad.set_body(b"not json".to_vec(), "application/json");
@@ -1974,11 +2070,19 @@ mod tests {
         post(
             &app,
             "/design/add_row",
-            &[("user", "a"), ("design", "d"), ("row_name", "R"), ("element", "ucb/register")],
+            &[
+                ("user", "a"),
+                ("design", "d"),
+                ("row_name", "R"),
+                ("element", "ucb/register"),
+            ],
         );
         let first = get(&app, "/api/design?user=a&name=d");
         assert_eq!(first.status(), Status::Ok);
-        let etag = first.header("etag").expect("ETag on /api/design").to_owned();
+        let etag = first
+            .header("etag")
+            .expect("ETag on /api/design")
+            .to_owned();
 
         // Conditional GET with the matching tag → 304, empty body.
         let mut conditional = Request::new(Method::Get, "/api/design?user=a&name=d");
@@ -1992,7 +2096,12 @@ mod tests {
         post(
             &app,
             "/design/set_global",
-            &[("user", "a"), ("design", "d"), ("gname", "vdd"), ("gformula", "3.0")],
+            &[
+                ("user", "a"),
+                ("design", "d"),
+                ("gname", "vdd"),
+                ("gformula", "3.0"),
+            ],
         );
         let r = app.handle(&conditional);
         assert_eq!(r.status(), Status::Ok, "stale tag must refetch");
@@ -2006,7 +2115,12 @@ mod tests {
         post(
             &app,
             "/design/add_row",
-            &[("user", "a"), ("design", "d"), ("row_name", "R"), ("element", "ucb/register")],
+            &[
+                ("user", "a"),
+                ("design", "d"),
+                ("row_name", "R"),
+                ("element", "ucb/register"),
+            ],
         );
         let first = get(&app, "/api/design?user=a&name=d");
         assert_eq!(first.status(), Status::Ok);
@@ -2067,7 +2181,12 @@ mod tests {
         post(
             &app,
             "/design/add_row",
-            &[("user", "a"), ("design", "d"), ("row_name", "R"), ("element", "ucb/register")],
+            &[
+                ("user", "a"),
+                ("design", "d"),
+                ("row_name", "R"),
+                ("element", "ucb/register"),
+            ],
         );
         let first = get(&app, "/api/design?user=a&name=d");
         let etag = first.header("etag").unwrap().to_owned();
@@ -2095,20 +2214,30 @@ mod tests {
         post(
             &app,
             "/design/add_row",
-            &[("user", "a"), ("design", "d"), ("row_name", "M"), ("element", "ucb/multiplier")],
+            &[
+                ("user", "a"),
+                ("design", "d"),
+                ("row_name", "M"),
+                ("element", "ucb/multiplier"),
+            ],
         );
         let sweep = get(&app, "/api/sweep?user=a&name=d&global=vdd&values=1,2");
         let sweep_tag = sweep.header("etag").expect("ETag on sweep").to_owned();
         // Different values → different tag; same query → 304.
         let other = get(&app, "/api/sweep?user=a&name=d&global=vdd&values=1,3");
         assert_ne!(other.header("etag"), Some(sweep_tag.as_str()));
-        let mut conditional =
-            Request::new(Method::Get, "/api/sweep?user=a&name=d&global=vdd&values=1,2");
+        let mut conditional = Request::new(
+            Method::Get,
+            "/api/sweep?user=a&name=d&global=vdd&values=1,2",
+        );
         conditional.set_header("If-None-Match", &sweep_tag);
         assert_eq!(app.handle(&conditional).status(), Status::NotModified);
 
         let sens = get(&app, "/api/sensitivities?user=a&name=d");
-        let sens_tag = sens.header("etag").expect("ETag on sensitivities").to_owned();
+        let sens_tag = sens
+            .header("etag")
+            .expect("ETag on sensitivities")
+            .to_owned();
         assert_ne!(sens_tag, sweep_tag);
         let mut conditional = Request::new(Method::Get, "/api/sensitivities?user=a&name=d");
         conditional.set_header("If-None-Match", &sens_tag);
@@ -2180,9 +2309,6 @@ mod tests {
     fn unknown_routes_404() {
         let app = app("404");
         assert_eq!(get(&app, "/nonsense").status(), Status::NotFound);
-        assert_eq!(
-            post(&app, "/also/nonsense", &[]).status(),
-            Status::NotFound
-        );
+        assert_eq!(post(&app, "/also/nonsense", &[]).status(), Status::NotFound);
     }
 }

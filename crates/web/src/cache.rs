@@ -77,6 +77,9 @@ struct Entry {
     /// The serialized `/api/design` success body, kept beside the plan
     /// so an unchanged design answers without replaying at all.
     body: Option<Arc<String>>,
+    /// The serialized `/analyze` success body. Abstract interpretation
+    /// is pure in the plan, so one analysis per cached plan suffices.
+    analysis: Option<Arc<String>>,
     /// Last-touch tick for LRU eviction.
     tick: u64,
 }
@@ -167,6 +170,7 @@ impl PlanCache {
         inner.entries.entry(key).or_insert(Entry {
             plan: Arc::clone(&plan),
             body: None,
+            analysis: None,
             tick,
         });
         Self::evict(&mut inner, self.capacity);
@@ -198,6 +202,32 @@ impl PlanCache {
         let mut inner = self.inner.lock();
         if let Some(entry) = inner.entries.get_mut(&key) {
             entry.body = Some(body);
+        }
+    }
+
+    /// The cached analyze-endpoint body for `key`, if an analysis was
+    /// stored since the entry was created. Hit/miss accounting matches
+    /// [`Self::cached_body`].
+    #[must_use]
+    pub fn cached_analysis(&self, key: u64) -> Option<Arc<String>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.entries.get_mut(&key)?;
+        entry.tick = tick;
+        let analysis = entry.analysis.clone();
+        if analysis.is_some() {
+            cache_metrics().hits.inc();
+        }
+        analysis
+    }
+
+    /// Stores a successful analyze-endpoint body beside the plan for
+    /// `key`. A no-op if the entry was evicted in the meantime.
+    pub fn store_analysis(&self, key: u64, body: Arc<String>) {
+        let mut inner = self.inner.lock();
+        if let Some(entry) = inner.entries.get_mut(&key) {
+            entry.analysis = Some(body);
         }
     }
 
@@ -286,9 +316,31 @@ mod tests {
         cache.plan_for(1, plan);
         assert!(cache.cached_body(1).is_none());
         cache.store_body(1, Arc::new("{\"x\":1}".to_owned()));
-        assert_eq!(cache.cached_body(1).as_deref().map(String::as_str), Some("{\"x\":1}"));
+        assert_eq!(
+            cache.cached_body(1).as_deref().map(String::as_str),
+            Some("{\"x\":1}")
+        );
         cache.plan_for(2, plan); // capacity 1 → evicts 1
         assert!(cache.cached_body(1).is_none());
+    }
+
+    #[test]
+    fn analysis_body_rides_along_independently() {
+        let cache = PlanCache::new(1);
+        cache.plan_for(1, plan);
+        cache.store_body(1, Arc::new("{\"report\":1}".to_owned()));
+        assert!(cache.cached_analysis(1).is_none(), "bodies are separate");
+        cache.store_analysis(1, Arc::new("{\"bounds\":1}".to_owned()));
+        assert_eq!(
+            cache.cached_analysis(1).as_deref().map(String::as_str),
+            Some("{\"bounds\":1}")
+        );
+        assert_eq!(
+            cache.cached_body(1).as_deref().map(String::as_str),
+            Some("{\"report\":1}")
+        );
+        cache.plan_for(2, plan); // evicts 1 and both bodies
+        assert!(cache.cached_analysis(1).is_none());
     }
 
     #[test]

@@ -102,7 +102,10 @@ mod tests {
 
     #[test]
     fn escape_covers_all_metacharacters() {
-        assert_eq!(escape("<script>'x'&\"y\""), "&lt;script&gt;&#39;x&#39;&amp;&quot;y&quot;");
+        assert_eq!(
+            escape("<script>'x'&\"y\""),
+            "&lt;script&gt;&#39;x&#39;&amp;&quot;y&quot;"
+        );
         assert_eq!(escape("plain µW"), "plain µW");
     }
 
@@ -122,10 +125,7 @@ mod tests {
 
     #[test]
     fn table_renders_rows() {
-        let t = table(
-            &["Name", "Power"],
-            &[vec!["LUT".into(), "669 uW".into()]],
-        );
+        let t = table(&["Name", "Power"], &[vec!["LUT".into(), "669 uW".into()]]);
         assert!(t.contains("<th>Name</th>"));
         assert!(t.contains("<td>LUT</td>"));
         assert!(t.contains("<td>669 uW</td>"));

@@ -10,7 +10,11 @@ const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwx
 pub fn encode(input: &[u8]) -> String {
     let mut out = String::with_capacity(input.len().div_ceil(3) * 4);
     for chunk in input.chunks(3) {
-        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let b = [
+            chunk[0],
+            *chunk.get(1).unwrap_or(&0),
+            *chunk.get(2).unwrap_or(&0),
+        ];
         let n = ((b[0] as u32) << 16) | ((b[1] as u32) << 8) | b[2] as u32;
         let chars = [
             ALPHABET[(n >> 18) as usize & 63],
@@ -20,8 +24,16 @@ pub fn encode(input: &[u8]) -> String {
         ];
         out.push(chars[0] as char);
         out.push(chars[1] as char);
-        out.push(if chunk.len() > 1 { chars[2] as char } else { '=' });
-        out.push(if chunk.len() > 2 { chars[3] as char } else { '=' });
+        out.push(if chunk.len() > 1 {
+            chars[2] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            chars[3] as char
+        } else {
+            '='
+        });
     }
     out
 }
@@ -81,7 +93,14 @@ mod tests {
 
     #[test]
     fn decode_roundtrip() {
-        for input in [&b""[..], b"f", b"fo", b"foo", b"alice:s3cr3t!", b"\x00\xff\x7f"] {
+        for input in [
+            &b""[..],
+            b"f",
+            b"fo",
+            b"foo",
+            b"alice:s3cr3t!",
+            b"\x00\xff\x7f",
+        ] {
             assert_eq!(decode(&encode(input)).as_deref(), Some(input));
         }
     }

@@ -118,11 +118,7 @@ pub fn http_get(url: &str) -> Result<Response, ClientError> {
 /// # Errors
 ///
 /// Same as [`http_get`].
-pub fn http_get_basic_auth(
-    url: &str,
-    user: &str,
-    password: &str,
-) -> Result<Response, ClientError> {
+pub fn http_get_basic_auth(url: &str, user: &str, password: &str) -> Result<Response, ClientError> {
     send(url, Method::Get, None, Some((user, password)), None)
 }
 
@@ -197,11 +193,7 @@ fn send(
 
 /// Writes one serialized request, reads one response, and parks the
 /// connection back in the pool when it stayed clean.
-fn exchange(
-    mut conn: PooledConn,
-    host_port: &str,
-    bytes: &[u8],
-) -> Result<Response, ClientError> {
+fn exchange(mut conn: PooledConn, host_port: &str, bytes: &[u8]) -> Result<Response, ClientError> {
     conn.get_mut()
         .write_all(bytes)
         .map_err(|e| ClientError::Io(e.to_string()))?;

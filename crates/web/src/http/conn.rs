@@ -395,7 +395,9 @@ mod tests {
         assert_eq!(conn.fill_read_buf(&mut scratch), Step::Keep);
         assert!(matches!(conn.advance_parse(now, later), Parsed::None));
 
-        client.write_all(b"st: a\r\n\r\nGET /y HTTP/1.1\r\n\r\n").unwrap();
+        client
+            .write_all(b"st: a\r\n\r\nGET /y HTTP/1.1\r\n\r\n")
+            .unwrap();
         std::thread::sleep(Duration::from_millis(20));
         assert_eq!(conn.fill_read_buf(&mut scratch), Step::Keep);
         let Parsed::Request { seq, request } = conn.advance_parse(now, later) else {
@@ -424,8 +426,14 @@ mod tests {
             .unwrap();
         std::thread::sleep(Duration::from_millis(20));
         conn.fill_read_buf(&mut scratch);
-        assert!(matches!(conn.advance_parse(now, later), Parsed::Request { seq: 0, .. }));
-        assert!(matches!(conn.advance_parse(now, later), Parsed::Request { seq: 1, .. }));
+        assert!(matches!(
+            conn.advance_parse(now, later),
+            Parsed::Request { seq: 0, .. }
+        ));
+        assert!(matches!(
+            conn.advance_parse(now, later),
+            Parsed::Request { seq: 1, .. }
+        ));
 
         // The second request finishes first: nothing emits yet.
         conn.complete(1, Response::html("b"));

@@ -336,7 +336,11 @@ impl Reactor {
         let (r, w) = (conn.wants_read(), conn.wants_write());
         conn.registered_read = r;
         conn.registered_write = w;
-        if self.epoll.add(conn.stream.as_raw_fd(), token, r, w).is_err() {
+        if self
+            .epoll
+            .add(conn.stream.as_raw_fd(), token, r, w)
+            .is_err()
+        {
             self.free.push(idx);
             return; // drop the connection
         }
@@ -447,7 +451,15 @@ impl Reactor {
                 Response::error(Status::ServiceUnavailable, "server busy; try again"),
             );
             false
-        } else if self.job_tx.send(Job { token, seq, request }).is_ok() {
+        } else if self
+            .job_tx
+            .send(Job {
+                token,
+                seq,
+                request,
+            })
+            .is_ok()
+        {
             self.pending_jobs += 1;
             metrics().queue_depth.add(1);
             true

@@ -128,7 +128,9 @@ impl Request {
 
     /// A header value, by case-insensitive name.
     pub fn header(&self, name: &str) -> Option<&str> {
-        self.headers.get(&name.to_ascii_lowercase()).map(String::as_str)
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(String::as_str)
     }
 
     /// The request body.
@@ -424,8 +426,9 @@ mod tests {
 
     #[test]
     fn parses_get_with_query() {
-        let req = parse("GET /element?name=ucb%2Fmultiplier&user=alice HTTP/1.1\r\nHost: x\r\n\r\n")
-            .unwrap();
+        let req =
+            parse("GET /element?name=ucb%2Fmultiplier&user=alice HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
         assert_eq!(req.method(), Method::Get);
         assert_eq!(req.path(), "/element");
         assert_eq!(req.query_param("name").as_deref(), Some("ucb/multiplier"));
@@ -465,7 +468,10 @@ mod tests {
 
     #[test]
     fn rejects_malformed_requests() {
-        assert!(matches!(parse(""), Err(ParseRequestError::ConnectionClosed)));
+        assert!(matches!(
+            parse(""),
+            Err(ParseRequestError::ConnectionClosed)
+        ));
         assert!(matches!(
             parse("PATCH / HTTP/1.1\r\n\r\n"),
             Err(ParseRequestError::UnsupportedMethod(_))
@@ -490,19 +496,28 @@ mod tests {
 
     #[test]
     fn rejects_oversized_body_declaration() {
-        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
         assert!(matches!(parse(&raw), Err(ParseRequestError::BodyTooLarge)));
         // Right at the limit is still accepted (the body just has to
         // actually arrive).
         let body = "x".repeat(100);
-        let ok = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len());
+        let ok = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
         assert!(parse(&ok).is_ok());
     }
 
     #[test]
     fn rejects_oversized_header_section() {
         // One huge header line.
-        let raw = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(MAX_HEAD + 1));
+        let raw = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD + 1)
+        );
         assert!(matches!(parse(&raw), Err(ParseRequestError::HeadTooLarge)));
         // Many small header lines adding up past the limit.
         let mut raw = String::from("GET / HTTP/1.1\r\n");
@@ -515,7 +530,8 @@ mod tests {
 
     #[test]
     fn parses_put_and_delete() {
-        let req = parse("PUT /api/v1/designs/alice/lum HTTP/1.1\r\nIf-Match: \"3\"\r\n\r\n").unwrap();
+        let req =
+            parse("PUT /api/v1/designs/alice/lum HTTP/1.1\r\nIf-Match: \"3\"\r\n\r\n").unwrap();
         assert_eq!(req.method(), Method::Put);
         assert_eq!(req.header("if-match"), Some("\"3\""));
         let req = parse("DELETE /api/v1/designs/alice/lum HTTP/1.1\r\n\r\n").unwrap();
@@ -615,7 +631,10 @@ mod tests {
             Err(ParseRequestError::HeadTooLarge)
         ));
         // An oversized declared body is rejected before it arrives.
-        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
         assert!(matches!(
             Request::parse_prefix(raw.as_bytes()),
             Err(ParseRequestError::BodyTooLarge)

@@ -279,7 +279,10 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("Etag: \"3\"\r\n"), "got: {text}");
         assert!(text.contains("X-Powered-By: powerplay\r\n"), "got: {text}");
-        assert!(text.contains("Content-Type: application/json\r\n"), "got: {text}");
+        assert!(
+            text.contains("Content-Type: application/json\r\n"),
+            "got: {text}"
+        );
         assert!(text.contains("Connection: keep-alive\r\n"), "got: {text}");
     }
 }

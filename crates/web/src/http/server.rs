@@ -189,14 +189,10 @@ impl Server {
                         let Ok(job) = claimed else { break };
                         // A panicking handler costs its request a 500,
                         // not the process.
-                        let response =
-                            catch_unwind(AssertUnwindSafe(|| (handler)(&job.request)))
-                                .unwrap_or_else(|_| {
-                                    Response::error(
-                                        Status::InternalServerError,
-                                        "handler panicked",
-                                    )
-                                });
+                        let response = catch_unwind(AssertUnwindSafe(|| (handler)(&job.request)))
+                            .unwrap_or_else(|_| {
+                                Response::error(Status::InternalServerError, "handler panicked")
+                            });
                         completions.push(job.token, job.seq, response);
                     }
                 })
@@ -417,7 +413,10 @@ mod tests {
             .unwrap()
             .start();
         let mut stream = TcpStream::connect(server.addr()).unwrap();
-        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 5 * 1024 * 1024);
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            5 * 1024 * 1024
+        );
         stream.write_all(raw.as_bytes()).unwrap();
         let mut buf = String::new();
         stream.read_to_string(&mut buf).unwrap();

@@ -178,7 +178,9 @@ mod tests {
         assert_eq!(epoll.wait(&mut events, Some(Duration::ZERO)).unwrap(), 0);
 
         write.write_all(&[1]).unwrap();
-        let n = epoll.wait(&mut events, Some(Duration::from_secs(1))).unwrap();
+        let n = epoll
+            .wait(&mut events, Some(Duration::from_secs(1)))
+            .unwrap();
         assert_eq!(n, 1);
         let (events0, data0) = (events[0].events, events[0].data);
         assert_eq!(data0, 7);

@@ -119,10 +119,7 @@ mod tests {
         assert!(parse_pairs("").is_empty());
         assert_eq!(parse_pairs("a"), vec![("a".into(), "".into())]);
         assert_eq!(parse_pairs("a="), vec![("a".into(), "".into())]);
-        assert_eq!(
-            parse_pairs("a=b=c"),
-            vec![("a".into(), "b=c".into())]
-        );
+        assert_eq!(parse_pairs("a=b=c"), vec![("a".into(), "b=c".into())]);
     }
 
     #[test]

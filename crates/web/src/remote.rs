@@ -111,10 +111,8 @@ mod tests {
     use powerplay_library::builtin::ucb_library;
 
     fn serve(tag: &str, registry: Registry) -> crate::http::ServerHandle {
-        let dir = std::env::temp_dir().join(format!(
-            "powerplay-remote-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("powerplay-remote-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let app = PowerPlayApp::new(registry, dir);
         app.serve("127.0.0.1:0").unwrap()
@@ -155,8 +153,10 @@ mod tests {
                 "motorola/dsp56k",
                 ElementClass::Processor,
                 "data-book DSP model",
-                vec![ParamDecl::new("p_avg", 0.12, "average power"),
-                     ParamDecl::new("duty", 1.0, "duty cycle")],
+                vec![
+                    ParamDecl::new("p_avg", 0.12, "average power"),
+                    ParamDecl::new("duty", 1.0, "duty cycle"),
+                ],
                 ElementModel {
                     power_direct: Some(powerplay_expr::Expr::parse("p_avg * duty").unwrap()),
                     ..ElementModel::default()

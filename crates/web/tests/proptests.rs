@@ -4,9 +4,9 @@
 
 use std::io::BufReader;
 
-use proptest::prelude::*;
 use powerplay_web::http::urlencoded::{decode, encode, encode_pairs, parse_pairs};
 use powerplay_web::http::{base64, Request};
+use proptest::prelude::*;
 
 proptest! {
     /// Arbitrary bytes never panic the request parser.

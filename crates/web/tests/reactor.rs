@@ -8,9 +8,7 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use powerplay_web::http::{
-    http_get, read_response, Response, Server, ServerConfig, Status,
-};
+use powerplay_web::http::{http_get, read_response, Response, Server, ServerConfig, Status};
 
 fn echo_server() -> powerplay_web::http::ServerHandle {
     Server::bind("127.0.0.1:0", |req| {
@@ -234,7 +232,10 @@ fn shutdown_with_idle_keep_alive_connections_returns_promptly() {
         let mut writer = stream.try_clone().unwrap();
         let mut reader = BufReader::new(stream);
         writer.write_all(&pipelined_get(n)).unwrap();
-        assert_eq!(read_response(&mut reader).unwrap().body_text(), n.to_string());
+        assert_eq!(
+            read_response(&mut reader).unwrap().body_text(),
+            n.to_string()
+        );
         parked.push(reader);
     }
     let started = Instant::now();

@@ -16,7 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut mac = Sheet::new("Multiply-Accumulate");
     mac.set_global("vdd", "1.5")?;
     mac.set_global("f", "2MHz")?;
-    mac.add_element_row("Multiplier", "ucb/multiplier", [("bw_a", "8"), ("bw_b", "8")])?;
+    mac.add_element_row(
+        "Multiplier",
+        "ucb/multiplier",
+        [("bw_a", "8"), ("bw_b", "8")],
+    )?;
     mac.add_element_row("Accumulator", "ucb/ripple_adder", [("bits", "16")])?;
     mac.add_element_row("Result Register", "ucb/register", [("bits", "16")])?;
     println!("{}", pp.play(&mac)?);

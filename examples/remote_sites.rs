@@ -83,7 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let allowed = http_get_basic_auth(&format!("{base}/api/library"), "corp", "s3cret")?;
     assert_eq!(allowed.status(), Status::Ok);
-    println!("private instance with credentials:  HTTP {}", allowed.status().code());
+    println!(
+        "private instance with credentials:  HTTP {}",
+        allowed.status().code()
+    );
 
     berkeley_srv.shutdown();
     motorola_srv.shutdown();

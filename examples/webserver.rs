@@ -26,8 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let app = PowerPlayApp::new(ucb_library(), data_dir);
 
     // Pre-load the paper's reference design so the menu is not empty.
-    app.store()
-        .save("guest", "luminance", &luminance::sheet(LuminanceArch::GroupedLut), None)?;
+    app.store().save(
+        "guest",
+        "luminance",
+        &luminance::sheet(LuminanceArch::GroupedLut),
+        None,
+    )?;
 
     let server = app.serve(&addr)?;
     let base = format!("http://{}", server.addr());
@@ -77,9 +81,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "application/x-www-form-urlencoded",
     )?;
     for (row, element, params) in [
-        ("Read Bank", "ucb/sram", vec![("p_words", "2048"), ("p_bits", "8"), ("p_f", "f / 16")]),
-        ("Write Bank", "ucb/sram", vec![("p_words", "2048"), ("p_bits", "8"), ("p_f", "f / 32")]),
-        ("Look Up Table", "ucb/sram", vec![("p_words", "1024"), ("p_bits", "24"), ("p_f", "f / 4")]),
+        (
+            "Read Bank",
+            "ucb/sram",
+            vec![("p_words", "2048"), ("p_bits", "8"), ("p_f", "f / 16")],
+        ),
+        (
+            "Write Bank",
+            "ucb/sram",
+            vec![("p_words", "2048"), ("p_bits", "8"), ("p_f", "f / 32")],
+        ),
+        (
+            "Look Up Table",
+            "ucb/sram",
+            vec![("p_words", "1024"), ("p_bits", "24"), ("p_f", "f / 4")],
+        ),
         ("Output Register", "ucb/register", vec![("p_bits", "6")]),
     ] {
         let mut form = vec![

@@ -21,39 +21,69 @@ use std::process::ExitCode;
 use powerplay::{ucb_library, Expr, PowerPlay, Scope, Sheet};
 use powerplay_json::Json;
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            ExitCode::FAILURE
+/// The static-analysis verbs (`lint`, `analyze`) share a three-way
+/// exit contract: 0 clean, 1 findings or failure, 2 usage error. The
+/// other verbs keep the classic 0/1 split, with bad invocations also
+/// reporting 2.
+enum CliError {
+    /// The invocation itself was malformed — exit code 2.
+    Usage(String),
+    /// The command ran and failed (bad input file, lint errors,
+    /// analysis errors, I/O) — exit code 1.
+    Failure(String),
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        // Bare `usage:` strings come from arg-pattern mismatches.
+        if message.starts_with("usage:") || message.contains("needs a") {
+            CliError::Usage(message)
+        } else {
+            CliError::Failure(message)
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Failure(message)) => {
+            eprintln!("error: {message}");
+            ExitCode::from(1)
+        }
+        Err(CliError::Usage(message)) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
     let mut it = args.iter().map(String::as_str);
     match it.next() {
         None | Some("help") | Some("--help") => {
             print!("{}", USAGE);
             Ok(())
         }
-        Some("library") => cmd_library(&args[1..]),
-        Some("doc") => cmd_doc(&args[1..]),
-        Some("eval") => cmd_eval(&args[1..]),
-        Some("play") => cmd_play(&args[1..]),
-        Some("profile") => cmd_profile(&args[1..]),
+        Some("library") => cmd_library(&args[1..]).map_err(CliError::from),
+        Some("doc") => cmd_doc(&args[1..]).map_err(CliError::from),
+        Some("eval") => cmd_eval(&args[1..]).map_err(CliError::from),
+        Some("play") => cmd_play(&args[1..]).map_err(CliError::from),
+        Some("profile") => cmd_profile(&args[1..]).map_err(CliError::from),
         Some("lint") => cmd_lint(&args[1..]),
-        Some("sweep") => cmd_sweep(&args[1..]),
-        Some("lump") => cmd_lump(&args[1..]),
-        Some("compare") => cmd_compare(&args[1..]),
-        Some("sens") => cmd_sens(&args[1..]),
-        Some("mc") => cmd_mc(&args[1..]),
-        Some("serve") => cmd_serve(&args[1..]),
-        Some("designs") => cmd_designs(&args[1..]),
-        Some("fetch") => cmd_fetch(&args[1..]),
-        Some(other) => Err(format!("unknown command `{other}` (try `help`)")),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]).map_err(CliError::from),
+        Some("lump") => cmd_lump(&args[1..]).map_err(CliError::from),
+        Some("compare") => cmd_compare(&args[1..]).map_err(CliError::from),
+        Some("sens") => cmd_sens(&args[1..]).map_err(CliError::from),
+        Some("mc") => cmd_mc(&args[1..]).map_err(CliError::from),
+        Some("serve") => cmd_serve(&args[1..]).map_err(CliError::from),
+        Some("designs") => cmd_designs(&args[1..]).map_err(CliError::from),
+        Some("fetch") => cmd_fetch(&args[1..]).map_err(CliError::from),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown command `{other}` (try `help`)"
+        ))),
     }
 }
 
@@ -70,6 +100,10 @@ USAGE:
                                             with --delta, compare a full vs
                                             incremental replay of that change
   powerplay-cli lint <design.json> [--json] [--allow CODE,..]  static analysis
+  powerplay-cli analyze <design.json> [--json] [--range NAME=LO:HI ...]
+                                            prove power bounds by abstract
+                                            interpretation; ranges widen the
+                                            named globals to intervals
   powerplay-cli sweep <design.json> <global> <v1,v2,...>
   powerplay-cli lump <design.json> <name>   lump a design into a macro (JSON)
   powerplay-cli compare <a.json> <b.json>    side-by-side design comparison
@@ -82,6 +116,11 @@ USAGE:
   powerplay-cli designs [--data-dir <dir>] [<user> [<design>]]
                                             inspect the durable design store
   powerplay-cli fetch <http://site>         fetch a remote library (JSON)
+
+EXIT CODES (lint, analyze):
+  0  clean — no error-severity findings
+  1  findings or failure — lint/analysis errors, unreadable design
+  2  usage — malformed invocation
 ";
 
 fn cmd_library(args: &[String]) -> Result<(), String> {
@@ -96,7 +135,12 @@ fn cmd_library(args: &[String]) -> Result<(), String> {
     };
     for element in lib.iter() {
         if class_filter.is_none_or(|c| element.class() == c) {
-            println!("{:<28} {:<13} {}", element.name(), element.class(), element.doc());
+            println!(
+                "{:<28} {:<13} {}",
+                element.name(),
+                element.class(),
+                element.doc()
+            );
         }
     }
     Ok(())
@@ -237,7 +281,8 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         });
     full.map_err(|e| e.to_string())?;
     let mut state = ReplayState::new();
-    plan.replay_delta(&mut state, &[]).map_err(|e| e.to_string())?;
+    plan.replay_delta(&mut state, &[])
+        .map_err(|e| e.to_string())?;
     let (incremental, delta_tree) =
         powerplay_telemetry::profile::capture(&format!("delta replay {name}={value}"), || {
             plan.replay_delta(&mut state, &overrides)
@@ -259,7 +304,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_lint(args: &[String]) -> Result<(), String> {
+fn cmd_lint(args: &[String]) -> Result<(), CliError> {
     let mut path: Option<&str> = None;
     let mut as_json = false;
     let mut allow: Vec<String> = Vec::new();
@@ -268,18 +313,20 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
         match arg {
             "--json" => as_json = true,
             "--allow" => {
-                let codes = it
-                    .next()
-                    .ok_or_else(|| "--allow needs a code list (e.g. W105,I201)".to_string())?;
+                let codes = it.next().ok_or_else(|| {
+                    CliError::Usage("--allow needs a code list (e.g. W105,I201)".to_string())
+                })?;
                 allow.extend(codes.split(',').map(|c| c.trim().to_owned()));
             }
             _ if path.is_none() => path = Some(arg),
-            other => return Err(format!("unexpected argument `{other}`")),
+            other => return Err(CliError::Usage(format!("unexpected argument `{other}`"))),
         }
     }
-    let path = path.ok_or_else(|| "usage: lint <design.json> [--json] [--allow CODE,..]".to_string())?;
+    let path = path.ok_or_else(|| {
+        CliError::Usage("usage: lint <design.json> [--json] [--allow CODE,..]".to_string())
+    })?;
     let pp = PowerPlay::new();
-    let sheet = load_design(path)?;
+    let sheet = load_design(path).map_err(CliError::Failure)?;
     let options = powerplay_lint::LintOptions { allow };
     let report = powerplay_lint::lint_sheet_with(&sheet, pp.registry(), &options);
     if as_json {
@@ -289,12 +336,84 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
         print!("{}", report.render_text());
     }
     if report.has_errors() {
-        return Err(format!(
+        return Err(CliError::Failure(format!(
             "{path}: {} lint error(s)",
             report.count(powerplay_lint::Severity::Error)
-        ));
+        )));
     }
     Ok(())
+}
+
+/// `analyze <design.json> [--json] [--range NAME=LO:HI ...]` — abstract
+/// interpretation over the compiled plan: proven power bounds, per-row
+/// intervals, monotone inputs, and the new E015/E016/W114–W118
+/// diagnostics. Shares `lint`'s exit contract: 0 clean, 1 errors, 2
+/// usage.
+fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
+    let mut path: Option<&str> = None;
+    let mut as_json = false;
+    let mut ranges: Vec<(String, powerplay_analysis::Interval)> = Vec::new();
+    let mut it = args.iter().map(String::as_str);
+    while let Some(arg) = it.next() {
+        match arg {
+            "--json" => as_json = true,
+            "--range" => {
+                let spec = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--range needs NAME=LO:HI".to_string()))?;
+                ranges.push(parse_range(spec).map_err(CliError::Usage)?);
+            }
+            _ if path.is_none() => path = Some(arg),
+            other => return Err(CliError::Usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let path = path.ok_or_else(|| {
+        CliError::Usage(
+            "usage: analyze <design.json> [--json] [--range NAME=LO:HI ...]".to_string(),
+        )
+    })?;
+    let pp = PowerPlay::new();
+    let sheet = load_design(path).map_err(CliError::Failure)?;
+    let plan = powerplay_sheet::CompiledSheet::compile(&sheet, pp.registry());
+    let bounds = powerplay_analysis::analyze_with_ranges(&plan, &ranges)
+        .map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
+    if as_json {
+        // Machine-readable: keep stdout pure JSON.
+        println!("{}", bounds.to_json().to_pretty());
+    } else {
+        print!("{}", bounds.render_text());
+    }
+    if bounds.has_errors() {
+        return Err(CliError::Failure(format!(
+            "{path}: {} analysis error(s)",
+            bounds.diagnostics.count(powerplay_lint::Severity::Error)
+        )));
+    }
+    Ok(())
+}
+
+/// Parses a `NAME=LO:HI` range spec (`LO`/`HI` are plain numbers; a
+/// single `NAME=V` pins the global to a point).
+fn parse_range(spec: &str) -> Result<(String, powerplay_analysis::Interval), String> {
+    let (name, rest) = spec
+        .split_once('=')
+        .ok_or_else(|| format!("--range expects NAME=LO:HI, got `{spec}`"))?;
+    let (lo, hi) = match rest.split_once(':') {
+        Some((lo, hi)) => (lo, hi),
+        None => (rest, rest),
+    };
+    let lo: f64 = lo
+        .trim()
+        .parse()
+        .map_err(|_| format!("--range `{spec}`: bad number `{lo}`"))?;
+    let hi: f64 = hi
+        .trim()
+        .parse()
+        .map_err(|_| format!("--range `{spec}`: bad number `{hi}`"))?;
+    if lo.is_nan() || hi.is_nan() || lo > hi {
+        return Err(format!("--range `{spec}`: LO must be <= HI"));
+    }
+    Ok((name.to_owned(), powerplay_analysis::Interval::new(lo, hi)))
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
@@ -322,7 +441,9 @@ fn cmd_lump(args: &[String]) -> Result<(), String> {
     };
     let pp = PowerPlay::new();
     let sheet = load_design(path)?;
-    let lumped = sheet.to_macro(name.clone(), pp.registry()).map_err(|e| e.to_string())?;
+    let lumped = sheet
+        .to_macro(name.clone(), pp.registry())
+        .map_err(|e| e.to_string())?;
     println!("{}", lumped.to_json().to_pretty());
     Ok(())
 }
@@ -336,7 +457,10 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     let rb = pp.play(&load_design(b)?).map_err(|e| e.to_string())?;
     let cmp = powerplay_sheet::compare::Comparison::new(&ra, &rb);
     print!("{cmp}");
-    println!("improvement (baseline/alternative): {:.2}x", cmp.improvement());
+    println!(
+        "improvement (baseline/alternative): {:.2}x",
+        cmp.improvement()
+    );
     Ok(())
 }
 
@@ -346,7 +470,8 @@ fn cmd_sens(args: &[String]) -> Result<(), String> {
     };
     let pp = PowerPlay::new();
     let sheet = load_design(path)?;
-    let sens = powerplay::whatif::sensitivities(&sheet, pp.registry()).map_err(|e| e.to_string())?;
+    let sens =
+        powerplay::whatif::sensitivities(&sheet, pp.registry()).map_err(|e| e.to_string())?;
     println!("{:<16} {:>12}", "global", "S = (dP/P)/(dx/x)");
     for (name, s) in sens {
         println!("{name:<16} {s:>12.3}");
@@ -359,13 +484,19 @@ fn cmd_mc(args: &[String]) -> Result<(), String> {
         return Err("usage: mc <design.json> <rel> <trials> <g1,g2,...>".into());
     };
     let rel: f64 = rel.parse().map_err(|_| format!("bad rel `{rel}`"))?;
-    let trials: usize = trials.parse().map_err(|_| format!("bad trials `{trials}`"))?;
+    let trials: usize = trials
+        .parse()
+        .map_err(|_| format!("bad trials `{trials}`"))?;
     let names: Vec<&str> = globals.split(',').map(str::trim).collect();
     let pp = PowerPlay::new();
     let sheet = load_design(path)?;
     let mc = powerplay::whatif::monte_carlo(&sheet, pp.registry(), &names, rel, trials, 1996)
         .map_err(|e| e.to_string())?;
-    println!("trials {trials}, +/-{:.0}% on {}", rel * 100.0, names.join(", "));
+    println!(
+        "trials {trials}, +/-{:.0}% on {}",
+        rel * 100.0,
+        names.join(", ")
+    );
     for q in [0.1, 0.5, 0.9] {
         println!("p{:<3} {}", (q * 100.0) as u32, mc.quantile(q));
     }
@@ -392,10 +523,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         match arg.as_str() {
             "--seed-demo" => seed_demo = true,
             "--data-dir" => {
-                data_dir = it
-                    .next()
-                    .ok_or("--data-dir needs a path")?
-                    .into();
+                data_dir = it.next().ok_or("--data-dir needs a path")?.into();
             }
             "--workers" => config.workers = flag_value(&mut it, "--workers")?,
             "--queue" => config.queue_capacity = flag_value(&mut it, "--queue")?,
@@ -416,7 +544,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         // The paper's worked examples, saved for user `demo` so smoke
         // tests (and first-time visitors) have designs to play with.
         for (name, text) in [
-            ("infopad", include_str!("../../examples/designs/infopad.json")),
+            (
+                "infopad",
+                include_str!("../../examples/designs/infopad.json"),
+            ),
             (
                 "luminance",
                 include_str!("../../examples/designs/luminance_direct_lut.json"),
@@ -447,16 +578,12 @@ fn cmd_designs(args: &[String]) -> Result<(), String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--data-dir" => {
-                data_dir = it
-                    .next()
-                    .ok_or("--data-dir needs a path")?
-                    .into();
+                data_dir = it.next().ok_or("--data-dir needs a path")?.into();
             }
             other => positional.push(other),
         }
     }
-    let store =
-        powerplay_web::session::UserStore::open(data_dir).map_err(|e| e.to_string())?;
+    let store = powerplay_web::session::UserStore::open(data_dir).map_err(|e| e.to_string())?;
     match positional.as_slice() {
         [] => {
             let users = store.users().map_err(|e| e.to_string())?;
@@ -470,7 +597,10 @@ fn cmd_designs(args: &[String]) -> Result<(), String> {
         }
         [user] => {
             for d in store.list(user).map_err(|e| e.to_string())? {
-                println!("{:<32} rev {:<6} {} revision(s) kept", d.name, d.rev, d.revisions);
+                println!(
+                    "{:<32} rev {:<6} {} revision(s) kept",
+                    d.name, d.rev, d.revisions
+                );
             }
         }
         [user, design] => {

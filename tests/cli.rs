@@ -22,7 +22,11 @@ fn stdout(args: &[&str]) -> String {
 fn write_design() -> std::path::PathBuf {
     use powerplay::designs::luminance::{sheet, LuminanceArch};
     let path = std::env::temp_dir().join(format!("powerplay-cli-{}.json", std::process::id()));
-    std::fs::write(&path, sheet(LuminanceArch::GroupedLut).to_json().to_pretty()).unwrap();
+    std::fs::write(
+        &path,
+        sheet(LuminanceArch::GroupedLut).to_json().to_pretty(),
+    )
+    .unwrap();
     path
 }
 
@@ -193,4 +197,101 @@ fn monte_carlo_summarizes_uncertainty() {
     assert!(out.contains("p50"));
     assert!(out.contains("p90"));
     assert!(out.contains("spread"));
+}
+
+#[test]
+fn analyze_proves_bounds_on_clean_designs() {
+    let path = write_design();
+    let out = cli(&["analyze", path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "clean design must exit 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("total power"), "{text}");
+    assert!(text.contains("monotone in"), "{text}");
+}
+
+#[test]
+fn analyze_json_carries_intervals_and_diagnostics() {
+    let path = write_design();
+    let out = cli(&[
+        "analyze",
+        path.to_str().unwrap(),
+        "--json",
+        "--range",
+        "vdd=1.0:3.3",
+    ]);
+    assert!(out.status.success());
+    let json =
+        powerplay_json::Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    let total = json.get("total_power").expect("total_power present");
+    let lo = total
+        .get("lo")
+        .and_then(powerplay_json::Json::as_f64)
+        .unwrap();
+    let hi = total
+        .get("hi")
+        .and_then(powerplay_json::Json::as_f64)
+        .unwrap();
+    assert!(lo > 0.0 && hi >= lo, "bad interval [{lo}, {hi}]");
+    assert!(json.get("diagnostics").is_some());
+    let inputs = json
+        .get("inputs")
+        .and_then(powerplay_json::Json::as_array)
+        .unwrap();
+    assert!(inputs
+        .iter()
+        .any(|i| { i.get("name").and_then(powerplay_json::Json::as_str) == Some("vdd") }));
+}
+
+#[test]
+fn analyze_flags_provable_errors_and_exits_one() {
+    // A formula that is provably negative at every operating point:
+    // E015, exit code 1 (findings), not 2 (usage).
+    use powerplay::Sheet;
+    let mut sheet = Sheet::new("negative");
+    sheet.set_global("vdd", "1.5").unwrap();
+    sheet.set_global("f", "2MHz").unwrap();
+    sheet
+        .add_element_row("Pads", "ucb/pads", [("c_pad", "0 - 10f")])
+        .unwrap();
+    let path = std::env::temp_dir().join(format!("pp-analyze-neg-{}.json", std::process::id()));
+    std::fs::write(&path, sheet.to_json().to_pretty()).unwrap();
+
+    let out = cli(&["analyze", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "findings must exit 1");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("E015"), "{text}");
+}
+
+#[test]
+fn lint_and_analyze_share_the_exit_code_contract() {
+    let clean = write_design();
+    let clean = clean.to_str().unwrap();
+
+    // 0: clean run for both verbs.
+    assert_eq!(cli(&["lint", clean]).status.code(), Some(0));
+    assert_eq!(cli(&["analyze", clean]).status.code(), Some(0));
+
+    // 1: the command ran but failed (unreadable design).
+    assert_eq!(
+        cli(&["lint", "/nonexistent/design.json"]).status.code(),
+        Some(1)
+    );
+    assert_eq!(
+        cli(&["analyze", "/nonexistent/design.json"]).status.code(),
+        Some(1)
+    );
+
+    // 2: malformed invocations.
+    assert_eq!(cli(&["lint"]).status.code(), Some(2));
+    assert_eq!(cli(&["analyze"]).status.code(), Some(2));
+    assert_eq!(cli(&["analyze", clean, "--range"]).status.code(), Some(2));
+    assert_eq!(
+        cli(&["analyze", clean, "--range", "vdd=3:1"]).status.code(),
+        Some(2)
+    );
+    assert_eq!(cli(&["lint", clean, "--bogus"]).status.code(), Some(2));
 }

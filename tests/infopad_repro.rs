@@ -1,8 +1,8 @@
 //! Experiment E-F5 (paper Figure 5): the InfoPad system power breakdown —
 //! hierarchy, mixed modeling sources, and converter intermodel coupling.
 
-use powerplay::designs::{infopad, luminance};
 use powerplay::designs::luminance::LuminanceArch;
+use powerplay::designs::{infopad, luminance};
 use powerplay::{PowerPlay, Row, RowModel};
 
 #[test]
@@ -103,7 +103,8 @@ fn infopad_json_roundtrip_preserves_hierarchy() {
     let pp = PowerPlay::new();
     let original = infopad::sheet();
     let text = original.to_json().to_pretty();
-    let reloaded = powerplay::Sheet::from_json(&powerplay_json::Json::parse(&text).unwrap()).unwrap();
+    let reloaded =
+        powerplay::Sheet::from_json(&powerplay_json::Json::parse(&text).unwrap()).unwrap();
     let a = pp.play(&original).unwrap();
     let b = pp.play(&reloaded).unwrap();
     assert_eq!(a.total_power(), b.total_power());

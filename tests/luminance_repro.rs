@@ -43,7 +43,10 @@ fn figure3_architecture_comparison() {
     // "PowerPlay estimated the power dissipation of the second
     // implementation to be ~150 uW, or 1/5 that of the original design."
     let b_uw = b.total_power().value() * 1e6;
-    assert!((100.0..200.0).contains(&b_uw), "Figure 3 total {b_uw:.1} uW");
+    assert!(
+        (100.0..200.0).contains(&b_uw),
+        "Figure 3 total {b_uw:.1} uW"
+    );
     let ratio = a.total_power() / b.total_power();
     assert!((4.0..6.5).contains(&ratio), "improvement {ratio:.2}x");
 
@@ -84,8 +87,13 @@ fn simulated_architectures_agree_with_spreadsheet_ranking() {
     // Who wins and roughly by how much must match between the estimator
     // and the simulator (shape reproduction, not absolute numbers).
     let pp = PowerPlay::new();
-    let est_ratio = pp.play(&sheet(LuminanceArch::DirectLut)).unwrap().total_power()
-        / pp.play(&sheet(LuminanceArch::GroupedLut)).unwrap().total_power();
+    let est_ratio = pp
+        .play(&sheet(LuminanceArch::DirectLut))
+        .unwrap()
+        .total_power()
+        / pp.play(&sheet(LuminanceArch::GroupedLut))
+            .unwrap()
+            .total_power();
 
     let video = VideoSource::synthetic(42, 4);
     let sim_ratio = simulate(Architecture::DirectLut, &video, SimConfig::paper()).total_power()

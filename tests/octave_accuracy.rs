@@ -18,7 +18,10 @@ fn conservatism_grows_with_video_smoothness() {
     // ratio. The ratio must stay below 2 (octave) even for very smooth
     // scenes, because access counts (not data toggles) dominate.
     let pp = PowerPlay::new();
-    let estimate = pp.play(&sheet(LuminanceArch::DirectLut)).unwrap().total_power();
+    let estimate = pp
+        .play(&sheet(LuminanceArch::DirectLut))
+        .unwrap()
+        .total_power();
 
     let mut ratios = Vec::new();
     for seed in [3, 11, 29] {
@@ -26,14 +29,20 @@ fn conservatism_grows_with_video_smoothness() {
         let measured = simulate(Architecture::DirectLut, &video, SimConfig::paper()).total_power();
         let ratio = estimate / measured;
         assert!(ratio > 1.0, "estimate must be conservative (seed {seed})");
-        assert!(ratio < 2.0, "estimate must stay within an octave (seed {seed})");
+        assert!(
+            ratio < 2.0,
+            "estimate must stay within an octave (seed {seed})"
+        );
         ratios.push((video.code_smoothness(), ratio));
     }
     // All synthetic clips are strongly correlated; the conservatism is
     // consistently present, not noise.
     for (smoothness, ratio) in ratios {
         assert!(smoothness < 20.0);
-        assert!(ratio > 1.2, "ratio {ratio:.2} at smoothness {smoothness:.1}");
+        assert!(
+            ratio > 1.2,
+            "ratio {ratio:.2} at smoothness {smoothness:.1}"
+        );
     }
 }
 
@@ -45,10 +54,10 @@ fn per_component_shape_matches_between_estimator_and_simulator() {
     let video = VideoSource::synthetic(42, 4);
     let sim = simulate(Architecture::DirectLut, &video, SimConfig::paper());
 
-    let est_lut_share = est.row("Look Up Table").unwrap().power().value()
-        / est.total_power().value();
-    let sim_lut_share = sim.component_power("LUT 4096x6").unwrap().value()
-        / sim.total_power().value();
+    let est_lut_share =
+        est.row("Look Up Table").unwrap().power().value() / est.total_power().value();
+    let sim_lut_share =
+        sim.component_power("LUT 4096x6").unwrap().value() / sim.total_power().value();
     assert!(est_lut_share > 0.8 && sim_lut_share > 0.8);
     assert!(
         (est_lut_share - sim_lut_share).abs() < 0.15,
@@ -95,7 +104,10 @@ fn conservatism_vanishes_on_uncorrelated_content() {
     // screen widens it most. The ordering demonstrates the gap is data
     // correlation, not mis-calibration.
     let pp = PowerPlay::new();
-    let estimate = pp.play(&sheet(LuminanceArch::DirectLut)).unwrap().total_power();
+    let estimate = pp
+        .play(&sheet(LuminanceArch::DirectLut))
+        .unwrap()
+        .total_power();
 
     let noise = VideoSource::noise(9, 3);
     let noise_measured =

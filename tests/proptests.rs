@@ -1,10 +1,10 @@
 //! Cross-stack property tests: invariants that must hold from the
 //! formula language all the way through the web API.
 
-use proptest::prelude::*;
 use powerplay::designs::luminance::{sheet, LuminanceArch};
 use powerplay::{ucb_library, PowerPlay, Sheet};
 use powerplay_json::Json;
+use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]

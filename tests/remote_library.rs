@@ -6,16 +6,15 @@ use std::sync::Arc;
 
 use powerplay::{PowerPlay, Registry, Sheet};
 use powerplay_expr::Expr;
-use powerplay_library::{builtin::ucb_library, ElementClass, ElementModel, LibraryElement, ParamDecl};
+use powerplay_library::{
+    builtin::ucb_library, ElementClass, ElementModel, LibraryElement, ParamDecl,
+};
 use powerplay_web::app::PowerPlayApp;
 use powerplay_web::http::ServerHandle;
 use powerplay_web::remote;
 
 fn serve(tag: &str, registry: Registry) -> (Arc<PowerPlayApp>, ServerHandle) {
-    let dir = std::env::temp_dir().join(format!(
-        "powerplay-itest-{tag}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("powerplay-itest-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let app = PowerPlayApp::new(registry, dir);
     let handle = app.serve("127.0.0.1:0").unwrap();
@@ -66,7 +65,11 @@ fn cross_site_estimation_mixing_local_and_remote_models() {
     sheet.set_global("vdd", "3.0").unwrap();
     sheet.set_global("f", "1MHz").unwrap();
     sheet
-        .add_element_row("Datapath", "ucb/multiplier", [("bw_a", "16"), ("bw_b", "16")])
+        .add_element_row(
+            "Datapath",
+            "ucb/multiplier",
+            [("bw_a", "16"), ("bw_b", "16")],
+        )
         .unwrap();
     sheet
         .add_element_row("DSP", "motorola/dsp_core", [("duty", "0.4")])
@@ -114,11 +117,8 @@ fn user_authored_models_propagate_to_remote_users() {
     let response = app.handle(&req);
     assert_eq!(response.status().code(), 302, "{}", response.body_text());
 
-    let fetched = remote::fetch_element(
-        &format!("http://{}", server.addr()),
-        "alice/sensor_afe",
-    )
-    .unwrap();
+    let fetched =
+        remote::fetch_element(&format!("http://{}", server.addr()), "alice/sensor_afe").unwrap();
     assert_eq!(fetched.name(), "alice/sensor_afe");
     assert_eq!(fetched.class(), ElementClass::Analog);
 

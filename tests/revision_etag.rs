@@ -37,10 +37,10 @@ fn conditional_gets_neither_recompile_nor_rehash() {
     app.store().save("a", "d", &sheet, None).unwrap();
 
     let metrics = |app: &PowerPlayApp| {
-        app.handle(&Request::new(Method::Get, "/metrics")).body_text()
+        app.handle(&Request::new(Method::Get, "/metrics"))
+            .body_text()
     };
-    let misses =
-        |exposition: &str| prom_value(exposition, "powerplay_web_plan_cache_misses_total");
+    let misses = |exposition: &str| prom_value(exposition, "powerplay_web_plan_cache_misses_total");
 
     // First legacy GET compiles once (one miss) and yields the tag.
     let first = app.handle(&Request::new(Method::Get, "/api/design?user=a&name=d"));

@@ -6,9 +6,7 @@
 
 use powerplay::ucb_library;
 use powerplay_web::app::PowerPlayApp;
-use powerplay_web::http::{
-    http_get, http_get_basic_auth, ClientError, Response, Server, Status,
-};
+use powerplay_web::http::{http_get, http_get_basic_auth, ClientError, Response, Server, Status};
 use powerplay_web::remote;
 
 fn data_dir(tag: &str) -> std::path::PathBuf {
@@ -42,8 +40,7 @@ fn password_protected_instance_rejects_anonymous_requests() {
     let ok = http_get_basic_auth(&format!("{base}/library?user=x"), "lidsky", "infopad").unwrap();
     assert_eq!(ok.status(), Status::Ok);
     assert!(ok.body_text().contains("ucb/multiplier"));
-    let api =
-        http_get_basic_auth(&format!("{base}/api/library"), "lidsky", "infopad").unwrap();
+    let api = http_get_basic_auth(&format!("{base}/api/library"), "lidsky", "infopad").unwrap();
     assert_eq!(api.status(), Status::Ok);
 }
 
@@ -69,7 +66,9 @@ fn open_instances_remain_open() {
     let server = app.serve("127.0.0.1:0").unwrap();
     let base = format!("http://{}", server.addr());
     assert_eq!(
-        http_get(&format!("{base}/library?user=anyone")).unwrap().status(),
+        http_get(&format!("{base}/library?user=anyone"))
+            .unwrap()
+            .status(),
         Status::Ok
     );
 }
@@ -78,13 +77,10 @@ fn open_instances_remain_open() {
 fn machine_filter_drops_unlisted_clients() {
     // A filter that rejects everyone: connections are closed before any
     // HTTP exchange, so the client sees a transport error, not a page.
-    let server = Server::bind_filtered(
-        "127.0.0.1:0",
-        |_peer| false,
-        |_req| Response::html("never"),
-    )
-    .unwrap()
-    .start();
+    let server =
+        Server::bind_filtered("127.0.0.1:0", |_peer| false, |_req| Response::html("never"))
+            .unwrap()
+            .start();
     let err = http_get(&format!("http://{}/x", server.addr())).unwrap_err();
     assert!(
         matches!(err, ClientError::Io(_) | ClientError::BadResponse(_)),

@@ -80,9 +80,7 @@ fn parallelism_tradeoff_on_the_decoder_datapath() {
     let report = pp.play(&sheet(LuminanceArch::GroupedLut)).unwrap();
     // Effective per-operation capacitance of the whole decoder at the
     // global rate (total energy per pixel cycle).
-    let cap = Capacitance::new(
-        report.total_power().value() / (1.5 * 1.5 * 2e6),
-    );
+    let cap = Capacitance::new(report.total_power().value() / (1.5 * 1.5 * 2e6));
 
     let trade = ParallelismTradeoff {
         delay: DelayScaling::cmos_1_2um(),

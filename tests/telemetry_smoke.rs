@@ -84,7 +84,10 @@ fn metrics_reflect_served_traffic() {
     // The legacy route advertised its v1 successor and was counted.
     assert_eq!(played.header("deprecation"), Some("true"));
     assert!(
-        lookup(&series, "powerplay_web_legacy_api_total{route=\"/api/design\"}") >= 1.0
+        lookup(
+            &series,
+            "powerplay_web_legacy_api_total{route=\"/api/design\"}"
+        ) >= 1.0
     );
 
     // The exposition is substantial: at least 12 distinct series, each
@@ -128,7 +131,10 @@ fn v1_api_round_trip_over_sockets() {
     assert_eq!(stale.status(), Status::Conflict);
     let envelope = Json::parse(&stale.body_text()).unwrap();
     assert_eq!(envelope["error"]["code"].as_str(), Some("conflict"));
-    assert_eq!(envelope["error"]["diagnostics"]["actual"].as_f64(), Some(2.0));
+    assert_eq!(
+        envelope["error"]["diagnostics"]["actual"].as_f64(),
+        Some(2.0)
+    );
 
     // History is visible and rollback mints revision 3.
     let listed = http_get(&format!("{url}/revisions")).unwrap();

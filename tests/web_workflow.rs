@@ -12,10 +12,7 @@ use powerplay_web::http::urlencoded::encode_pairs;
 use powerplay_web::http::{http_get, http_post, Response, ServerHandle, Status};
 
 fn serve(tag: &str) -> (Arc<PowerPlayApp>, ServerHandle, String) {
-    let dir = std::env::temp_dir().join(format!(
-        "powerplay-workflow-{tag}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("powerplay-workflow-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let app = PowerPlayApp::new(ucb_library(), dir);
     let handle = app.serve("127.0.0.1:0").unwrap();
@@ -62,11 +59,26 @@ fn three_minute_workflow_end_to_end() {
     assert!(result.body_text().contains("72.86 uW"));
 
     // 4. Compose the Figure 1 design through forms.
-    post_form(&format!("{base}/design/new"), &[("user", "lidsky"), ("name", "lum")]);
+    post_form(
+        &format!("{base}/design/new"),
+        &[("user", "lidsky"), ("name", "lum")],
+    );
     for (row, element, extra) in [
-        ("Read Bank", "ucb/sram", vec![("p_words", "2048"), ("p_bits", "8"), ("p_f", "f / 16")]),
-        ("Write Bank", "ucb/sram", vec![("p_words", "2048"), ("p_bits", "8"), ("p_f", "f / 32")]),
-        ("Look Up Table", "ucb/sram", vec![("p_words", "4096"), ("p_bits", "6")]),
+        (
+            "Read Bank",
+            "ucb/sram",
+            vec![("p_words", "2048"), ("p_bits", "8"), ("p_f", "f / 16")],
+        ),
+        (
+            "Write Bank",
+            "ucb/sram",
+            vec![("p_words", "2048"), ("p_bits", "8"), ("p_f", "f / 32")],
+        ),
+        (
+            "Look Up Table",
+            "ucb/sram",
+            vec![("p_words", "4096"), ("p_bits", "6")],
+        ),
         ("Output Register", "ucb/register", vec![("p_bits", "6")]),
     ] {
         let mut fields = vec![
@@ -91,10 +103,18 @@ fn three_minute_workflow_end_to_end() {
     // 6. Vary a parameter dynamically: drop the supply, power quarters.
     post_form(
         &format!("{base}/design/set_global"),
-        &[("user", "lidsky"), ("design", "lum"), ("gname", "vdd"), ("gformula", "0.75")],
+        &[
+            ("user", "lidsky"),
+            ("design", "lum"),
+            ("gname", "vdd"),
+            ("gformula", "0.75"),
+        ],
     );
     let page = http_get(&format!("{base}/design?user=lidsky&name=lum")).unwrap();
-    assert!(page.body_text().contains("176.7 uW"), "quartered total missing");
+    assert!(
+        page.body_text().contains("176.7 uW"),
+        "quartered total missing"
+    );
 
     // Whole workflow wall clock: the paper needed < 3 minutes by hand.
     assert!(
@@ -122,7 +142,10 @@ fn authored_model_is_immediately_usable_in_designs() {
     );
     assert_eq!(r.status(), Status::Found, "{}", r.body_text());
 
-    post_form(&format!("{base}/design/new"), &[("user", "rabaey"), ("name", "proto")]);
+    post_form(
+        &format!("{base}/design/new"),
+        &[("user", "rabaey"), ("name", "proto")],
+    );
     let r = post_form(
         &format!("{base}/design/add_row"),
         &[
@@ -137,16 +160,28 @@ fn authored_model_is_immediately_usable_in_designs() {
     let page = http_get(&format!("{base}/design?user=rabaey&name=proto")).unwrap();
     assert!(page.body_text().contains("Prototype FPGA"));
     // 400 * 120fF * 0.2 * 1.5^2 * 2e6 = 43.2 uW
-    assert!(page.body_text().contains("43.20 uW"), "{}", page.body_text());
+    assert!(
+        page.body_text().contains("43.20 uW"),
+        "{}",
+        page.body_text()
+    );
 }
 
 #[test]
 fn lumping_via_the_web_registers_a_reusable_macro() {
     let (app, _handle, base) = serve("lump");
-    post_form(&format!("{base}/design/new"), &[("user", "u"), ("name", "d")]);
+    post_form(
+        &format!("{base}/design/new"),
+        &[("user", "u"), ("name", "d")],
+    );
     post_form(
         &format!("{base}/design/add_row"),
-        &[("user", "u"), ("design", "d"), ("row_name", "M"), ("element", "ucb/multiplier")],
+        &[
+            ("user", "u"),
+            ("design", "d"),
+            ("row_name", "M"),
+            ("element", "ucb/multiplier"),
+        ],
     );
     let r = post_form(
         &format!("{base}/design/lump"),
@@ -170,10 +205,18 @@ fn designs_persist_across_server_restarts() {
         let app = PowerPlayApp::new(ucb_library(), dir.clone());
         let handle = app.serve("127.0.0.1:0").unwrap();
         let base = format!("http://{}", handle.addr());
-        post_form(&format!("{base}/design/new"), &[("user", "u"), ("name", "kept")]);
+        post_form(
+            &format!("{base}/design/new"),
+            &[("user", "u"), ("name", "kept")],
+        );
         post_form(
             &format!("{base}/design/add_row"),
-            &[("user", "u"), ("design", "kept"), ("row_name", "R"), ("element", "ucb/register")],
+            &[
+                ("user", "u"),
+                ("design", "kept"),
+                ("row_name", "R"),
+                ("element", "ucb/register"),
+            ],
         );
         handle.shutdown();
     }

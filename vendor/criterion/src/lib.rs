@@ -143,10 +143,7 @@ fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) -> f
     } else {
         String::new()
     };
-    println!(
-        "{name:<44} time: [{}]{rate}",
-        format_time(bencher.best_ns)
-    );
+    println!("{name:<44} time: [{}]{rate}", format_time(bencher.best_ns));
     bencher.best_ns
 }
 

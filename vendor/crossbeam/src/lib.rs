@@ -85,7 +85,10 @@ mod tests {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>()
         })
         .unwrap();
         assert_eq!(counter.load(Ordering::SeqCst), 8);

@@ -24,7 +24,9 @@ impl<T> Mutex<T> {
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+        self.0
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
@@ -36,7 +38,9 @@ impl<T: ?Sized> Mutex<T> {
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
+        self.0
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
@@ -52,7 +56,9 @@ impl<T> RwLock<T> {
 
     /// Consumes the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+        self.0
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
@@ -69,7 +75,9 @@ impl<T: ?Sized> RwLock<T> {
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
+        self.0
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 

@@ -52,10 +52,7 @@ pub mod test_runner {
 
         /// The next 64 uniformly random bits.
         pub fn next_u64(&mut self) -> u64 {
-            let result = self.state[1]
-                .wrapping_mul(5)
-                .rotate_left(7)
-                .wrapping_mul(9);
+            let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
             let t = self.state[1] << 17;
             self.state[2] ^= self.state[0];
             self.state[3] ^= self.state[1];
@@ -340,9 +337,7 @@ pub mod string {
                     Atom::AnyPrintable
                 }
                 '\\' => {
-                    let c = *chars
-                        .get(i + 1)
-                        .expect("pattern ends in a lone backslash");
+                    let c = *chars.get(i + 1).expect("pattern ends in a lone backslash");
                     i += 2;
                     Atom::Literal(c)
                 }
@@ -391,8 +386,7 @@ pub mod string {
                 let c = *chars.get(i + 1).expect("class ends in a lone backslash");
                 set.push(c);
                 i += 2;
-            } else if chars.get(i + 1) == Some(&'-')
-                && chars.get(i + 2).is_some_and(|&c| c != ']')
+            } else if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']')
             {
                 let (lo, hi) = (chars[i], chars[i + 2]);
                 assert!(lo <= hi, "inverted class range {lo}-{hi}");
@@ -651,9 +645,11 @@ mod tests {
             Leaf(u32),
             Node(Vec<Tree>),
         }
-        let strat = (0u32..10).prop_map(Tree::Leaf).prop_recursive(4, 64, 4, |inner| {
-            prop::collection::vec(inner, 1..4).prop_map(Tree::Node)
-        });
+        let strat = (0u32..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 64, 4, |inner| {
+                prop::collection::vec(inner, 1..4).prop_map(Tree::Node)
+            });
         let mut rng = TestRng::deterministic("tree");
         let mut saw_node = false;
         let mut saw_leaf = false;
