@@ -1,0 +1,371 @@
+//! Tokeniser for the Liberty (`.lib`) format.
+//!
+//! Liberty is a line-oriented group/attribute language with C-style block
+//! comments, `//` line comments, `"`-quoted strings and `\`-newline
+//! continuations (both between tokens and inside strings). The lexer tracks
+//! line/column positions so every downstream error can point at its source.
+
+use std::fmt;
+
+/// A 1-based source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// One lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub pos: Pos,
+}
+
+/// Token kinds. Numbers and bare words are both lexed as [`TokenKind::Word`]
+/// when a numeric prefix runs into identifier characters (`1ps`, `10mV`), so
+/// unit literals survive unquoted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Bare identifier or identifier-like value (`cell`, `AND2X1`, `1ps`).
+    Word(String),
+    /// Pure numeric literal.
+    Number(f64),
+    /// `"..."` quoted string, escapes resolved, continuations spliced.
+    Str(String),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Colon,
+    Semi,
+    Comma,
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Word(w) => format!("`{w}`"),
+            TokenKind::Number(n) => format!("number `{n}`"),
+            TokenKind::Str(_) => "string".to_owned(),
+            TokenKind::LParen => "`(`".to_owned(),
+            TokenKind::RParen => "`)`".to_owned(),
+            TokenKind::LBrace => "`{`".to_owned(),
+            TokenKind::RBrace => "`}`".to_owned(),
+            TokenKind::Colon => "`:`".to_owned(),
+            TokenKind::Semi => "`;`".to_owned(),
+            TokenKind::Comma => "`,`".to_owned(),
+            TokenKind::Eof => "end of input".to_owned(),
+        }
+    }
+}
+
+/// Lexical error with the position it occurred at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub pos: Pos,
+    pub message: String,
+}
+
+pub(crate) struct Lexer<'a> {
+    bytes: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+fn is_word_start(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'!' | b'.' | b'+' | b'-' | b'/' | b'*' | b'[')
+}
+
+fn is_word_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric()
+        || matches!(
+            b,
+            b'_' | b'!' | b'.' | b'+' | b'-' | b'/' | b'*' | b'[' | b']' | b'\'' | b'$'
+        )
+}
+
+impl<'a> Lexer<'a> {
+    pub(crate) fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            bytes: src.as_bytes(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.i).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.i + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.i += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    /// Consumes a `\`-newline continuation starting at the current `\`.
+    /// Trailing spaces between the backslash and the newline are tolerated
+    /// (they appear in real libraries). Returns false when the `\` is not a
+    /// continuation.
+    fn try_continuation(&mut self) -> bool {
+        debug_assert_eq!(self.peek(), Some(b'\\'));
+        let mut off = 1;
+        while matches!(self.peek_at(off), Some(b' ') | Some(b'\t') | Some(b'\r')) {
+            off += 1;
+        }
+        if self.peek_at(off) == Some(b'\n') {
+            for _ in 0..=off {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n') => {
+                    self.bump();
+                }
+                Some(b'\\') => {
+                    if !self.try_continuation() {
+                        return Ok(());
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'/') => {
+                    while !matches!(self.peek(), None | Some(b'\n')) {
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    let start = self.pos();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            None => {
+                                return Err(LexError {
+                                    pos: start,
+                                    message: "unterminated `/* ... */` comment".to_owned(),
+                                })
+                            }
+                            Some(b'*') if self.peek_at(1) == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<TokenKind, LexError> {
+        let start = self.pos();
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None | Some(b'\n') => {
+                    return Err(LexError {
+                        pos: start,
+                        message: "unterminated string literal".to_owned(),
+                    })
+                }
+                Some(b'"') => {
+                    self.bump();
+                    return Ok(TokenKind::Str(out));
+                }
+                Some(b'\\') => {
+                    if self.try_continuation() {
+                        // Multi-line string: the continuation splices the
+                        // next line in; leading indentation is preserved.
+                        continue;
+                    }
+                    self.bump();
+                    match self.bump() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(other) => {
+                            // Liberty escapes are rare; keep unknown ones
+                            // verbatim so boolean functions round-trip.
+                            out.push('\\');
+                            out.push(other as char);
+                        }
+                        None => {
+                            return Err(LexError {
+                                pos: start,
+                                message: "unterminated string literal".to_owned(),
+                            })
+                        }
+                    }
+                }
+                Some(b) => {
+                    self.bump();
+                    out.push(b as char);
+                }
+            }
+        }
+    }
+
+    fn lex_word(&mut self) -> TokenKind {
+        let begin = self.i;
+        while let Some(b) = self.peek() {
+            if !is_word_continue(b) {
+                break;
+            }
+            // `/` only continues a word when it is not opening a comment.
+            if b == b'/' && matches!(self.peek_at(1), Some(b'/') | Some(b'*')) {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.bytes[begin..self.i]).into_owned();
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => TokenKind::Number(n),
+            _ => TokenKind::Word(text),
+        }
+    }
+
+    pub(crate) fn next_token(&mut self) -> Result<Token, LexError> {
+        self.skip_trivia()?;
+        let pos = self.pos();
+        let kind = match self.peek() {
+            None => TokenKind::Eof,
+            Some(b'(') => {
+                self.bump();
+                TokenKind::LParen
+            }
+            Some(b')') => {
+                self.bump();
+                TokenKind::RParen
+            }
+            Some(b'{') => {
+                self.bump();
+                TokenKind::LBrace
+            }
+            Some(b'}') => {
+                self.bump();
+                TokenKind::RBrace
+            }
+            Some(b':') => {
+                self.bump();
+                TokenKind::Colon
+            }
+            Some(b';') => {
+                self.bump();
+                TokenKind::Semi
+            }
+            Some(b',') => {
+                self.bump();
+                TokenKind::Comma
+            }
+            Some(b'"') => self.lex_string()?,
+            Some(b) if is_word_start(b) => self.lex_word(),
+            Some(b) => {
+                return Err(LexError {
+                    pos,
+                    message: format!("unexpected character `{}` (0x{b:02x})", b as char),
+                })
+            }
+        };
+        Ok(Token { kind, pos })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex_all(src: &str) -> Result<Vec<TokenKind>, LexError> {
+        let mut lx = Lexer::new(src);
+        let mut out = Vec::new();
+        loop {
+            let t = lx.next_token()?;
+            if t.kind == TokenKind::Eof {
+                return Ok(out);
+            }
+            out.push(t.kind);
+        }
+    }
+
+    #[test]
+    fn words_numbers_and_units() {
+        let toks = lex_all("cell (AND2X1) { area : 2.5; time_unit : 1ps; }").unwrap();
+        assert!(toks.contains(&TokenKind::Word("cell".into())));
+        assert!(toks.contains(&TokenKind::Number(2.5)));
+        assert!(toks.contains(&TokenKind::Word("1ps".into())));
+    }
+
+    #[test]
+    fn comments_and_continuations() {
+        let toks = lex_all("a /* b\n c */ : \\\n  1; // tail").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Word("a".into()),
+                TokenKind::Colon,
+                TokenKind::Number(1.0),
+                TokenKind::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn multiline_string_splices() {
+        let toks = lex_all("values (\"0.1, \\\n0.2\");").unwrap();
+        assert!(toks.contains(&TokenKind::Str("0.1, 0.2".into())));
+    }
+
+    #[test]
+    fn unterminated_string_positions() {
+        let err = lex_all("x : \"abc").unwrap_err();
+        assert_eq!(err.pos, Pos { line: 1, col: 5 });
+    }
+
+    #[test]
+    fn unterminated_comment_positions() {
+        let err = lex_all("a\n/* never closed").unwrap_err();
+        assert_eq!(err.pos.line, 2);
+    }
+
+    #[test]
+    fn scientific_notation_is_numeric() {
+        let toks = lex_all("1.234e-15").unwrap();
+        assert_eq!(toks, vec![TokenKind::Number(1.234e-15)]);
+    }
+}

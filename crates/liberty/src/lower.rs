@@ -1,0 +1,392 @@
+//! Lowering a typed Liberty library onto the paper's EQ-1 power template.
+//!
+//! EQ-1 models an element as `P = C_sw · V² · f + I · V_DD`. A Liberty cell
+//! characterises the same physics differently — per-arc internal energy
+//! tables, per-pin input capacitance, and leakage states — so the lowering
+//! collapses each construct into a single EQ-1 coefficient:
+//!
+//! * **Internal power** tables hold energy per transition in
+//!   `capacitive_load_unit × voltage_unit²` units. Each table is collapsed
+//!   to the midpoint of its interval hull (built with the `crates/analysis`
+//!   interval machinery — the same representative-corner treatment the
+//!   abstract interpreter applies to sweeps), reported per table as I203.
+//!   Rise and fall midpoints average into energy per access, and
+//!   `C_sw = E / V_nom²` folds the energy into switched capacitance.
+//! * **Pin capacitance** on non-output pins adds directly to `C_sw`.
+//! * **Leakage** (`leakage_power` states hull-collapsed, else
+//!   `cell_leakage_power`) becomes `I = P_leak / V_nom`.
+//!
+//! Negative table entries (power recovery corners) are kept in the hull but
+//! the representative midpoint is clamped at zero, noted in the I203 text.
+
+use powerplay_analysis::Interval;
+use powerplay_expr::Expr;
+use powerplay_library::{ElementClass, ElementModel, LibraryElement, ParamDecl};
+use powerplay_lint::{codes, Diagnostic, LintReport};
+
+use crate::model::{Cell, Library};
+
+/// The result of lowering a [`Library`].
+#[derive(Debug)]
+pub struct Lowered {
+    /// One EQ-1 element per mappable cell, named `<library>/<cell>`.
+    pub elements: Vec<LibraryElement>,
+    /// W119/W120/I203 diagnostics accumulated during lowering.
+    pub report: LintReport,
+    /// Cells seen in the library.
+    pub cells_parsed: usize,
+    /// Cells that produced an element.
+    pub cells_mapped: usize,
+}
+
+/// Collapses a table to its representative value: the midpoint of the
+/// interval hull over all entries. Returns `(midpoint, hull, clamped)`.
+fn collapse(values: &[f64]) -> Option<(f64, Interval, bool)> {
+    let mut hull: Option<Interval> = None;
+    for &v in values {
+        if !v.is_finite() {
+            continue;
+        }
+        let p = Interval::point(v);
+        hull = Some(match hull {
+            Some(h) => h.union(p),
+            None => p,
+        });
+    }
+    let hull = hull?;
+    let mid = (hull.lo + hull.hi) / 2.0;
+    let clamped = mid < 0.0;
+    Some((mid.max(0.0), hull, clamped))
+}
+
+/// Lowers every cell of `lib` onto the EQ-1 template. `source` is a
+/// human-readable provenance label (file name or API origin) and
+/// `source_hash` the FNV-1a hash of the raw `.lib` text, both recorded in
+/// the element documentation strings.
+pub fn lower(lib: &Library, source: &str, source_hash: u64) -> Lowered {
+    let mut report = LintReport::new();
+
+    for issue in &lib.unit_issues {
+        report.push(
+            Diagnostic::warning(
+                codes::UNIT_MISMATCH,
+                format!("library/{}/{}", lib.name, issue.attribute),
+                format!(
+                    "unit attribute `{}` value `{}` is not a recognised quantity literal; \
+                     falling back to the Liberty default {}",
+                    issue.attribute, issue.literal, issue.fallback
+                ),
+            )
+            .with_suggestion("use a literal like \"1ns\", \"10mV\", or (1, pf)"),
+        );
+    }
+
+    let v_nom = lib.nom_voltage.unwrap_or(1.0);
+    let mut elements = Vec::new();
+    let mut mapped = 0usize;
+
+    for cell in &lib.cells {
+        for skip in &cell.skipped {
+            report.push(Diagnostic::warning(
+                codes::UNMAPPABLE_CONSTRUCT_SKIPPED,
+                skip.path.clone(),
+                format!("{}; the construct was skipped", skip.detail),
+            ));
+        }
+        match lower_cell(lib, cell, v_nom, source, source_hash, &mut report) {
+            Some(element) => {
+                elements.push(element);
+                mapped += 1;
+            }
+            None => {
+                report.push(
+                    Diagnostic::warning(
+                        codes::UNMAPPABLE_CONSTRUCT_SKIPPED,
+                        format!("cells/{}", cell.name),
+                        format!(
+                            "cell `{}` carries no power data (no internal_power table, \
+                             pin capacitance, or leakage); no EQ-1 model emitted",
+                            cell.name
+                        ),
+                    )
+                    .with_suggestion(
+                        "characterise the cell with internal_power or cell_leakage_power",
+                    ),
+                );
+            }
+        }
+    }
+
+    Lowered {
+        elements,
+        report,
+        cells_parsed: lib.cells.len(),
+        cells_mapped: mapped,
+    }
+}
+
+/// Lowers one cell. Returns `None` when the cell has no power content at
+/// all (the caller reports the W119).
+fn lower_cell(
+    lib: &Library,
+    cell: &Cell,
+    v_nom: f64,
+    source: &str,
+    source_hash: u64,
+    report: &mut LintReport,
+) -> Option<LibraryElement> {
+    // Joules per one library energy unit (cap unit × voltage unit²).
+    let energy_unit = lib.units.capacitance * lib.units.voltage * lib.units.voltage;
+
+    // --- internal energy per access -------------------------------------
+    let mut energy_lib_units = 0.0f64;
+    let mut any_table = false;
+    for pin in &cell.pins {
+        for (i, ip) in pin.internal_power.iter().enumerate() {
+            let mut edges = Vec::new();
+            for (edge, table) in [("rise_power", &ip.rise), ("fall_power", &ip.fall)] {
+                let Some(table) = table else { continue };
+                let path = format!(
+                    "cells/{}/pins/{}/internal_power[{i}]/{edge}",
+                    cell.name, pin.name
+                );
+                if let Some(t) = &table.template {
+                    if t != "scalar" && !lib.templates.contains_key(t) {
+                        report.push(Diagnostic::warning(
+                            codes::UNMAPPABLE_CONSTRUCT_SKIPPED,
+                            path.clone(),
+                            format!(
+                                "table references undefined template `{t}`; \
+                                 the table was skipped"
+                            ),
+                        ));
+                        continue;
+                    }
+                }
+                let Some((mid, hull, clamped)) = collapse(&table.values) else {
+                    report.push(Diagnostic::warning(
+                        codes::UNMAPPABLE_CONSTRUCT_SKIPPED,
+                        path.clone(),
+                        "table has no finite values; the table was skipped".to_owned(),
+                    ));
+                    continue;
+                };
+                let clamp_note = if clamped {
+                    " (negative midpoint clamped to 0)"
+                } else {
+                    ""
+                };
+                report.push(Diagnostic::info(
+                    codes::TABLE_COLLAPSED,
+                    path,
+                    format!(
+                        "collapsed {}-entry table over hull [{:.6}, {:.6}] to \
+                         representative midpoint {:.6}{clamp_note}",
+                        table.values.len(),
+                        hull.lo,
+                        hull.hi,
+                        mid
+                    ),
+                ));
+                edges.push(mid);
+                any_table = true;
+            }
+            if !edges.is_empty() {
+                // Energy per access: average the available edges (a full
+                // access is one rise and one fall).
+                energy_lib_units += edges.iter().sum::<f64>() / edges.len() as f64;
+            }
+        }
+    }
+
+    // --- input load capacitance ------------------------------------------
+    let input_cap_lib_units: f64 = cell
+        .pins
+        .iter()
+        .filter(|p| p.presents_load())
+        .filter_map(|p| p.capacitance)
+        .sum();
+
+    // --- switched capacitance --------------------------------------------
+    let internal_cap = energy_lib_units * energy_unit / (v_nom * v_nom);
+    let cap_farads = internal_cap + input_cap_lib_units * lib.units.capacitance;
+
+    // --- leakage ----------------------------------------------------------
+    let leak_lib_units = if cell.leakage_states.is_empty() {
+        cell.cell_leakage_power
+    } else {
+        collapse(&cell.leakage_states).map(|(mid, hull, _)| {
+            report.push(Diagnostic::info(
+                codes::TABLE_COLLAPSED,
+                format!("cells/{}/leakage_power", cell.name),
+                format!(
+                    "collapsed {} leakage state(s) over hull [{:.6}, {:.6}] to \
+                     representative midpoint {:.6}",
+                    cell.leakage_states.len(),
+                    hull.lo,
+                    hull.hi,
+                    mid
+                ),
+            ));
+            mid
+        })
+    };
+    let static_amps = leak_lib_units
+        .map(|p| p * lib.units.leakage_power / v_nom)
+        .filter(|a| *a > 0.0);
+
+    if !any_table && input_cap_lib_units == 0.0 && static_amps.is_none() {
+        return None;
+    }
+
+    // --- assemble the EQ-1 element ---------------------------------------
+    let mut model = ElementModel::default();
+    if cap_farads > 0.0 {
+        model.cap_full = Some(Expr::parse(&format!("activity * {cap_farads:e}")).ok()?);
+    }
+    if let Some(amps) = static_amps {
+        model.static_current = Some(Expr::parse(&format!("{amps:e}")).ok()?);
+    }
+    if let Some(area) = cell.area {
+        // Liberty area is conventionally µm²; the registry stores m².
+        model.area = Some(Expr::parse(&format!("{:e}", area * 1e-12)).ok()?);
+    }
+
+    let class = if cell.sequential {
+        ElementClass::Storage
+    } else {
+        ElementClass::Computation
+    };
+    let doc = format!(
+        "{} imported from Liberty library `{}` ({source}, source hash {source_hash:016x}). \
+         EQ-1 lowering: C_sw = {cap_farads:.3e} F per access \
+         (internal energy {energy_lib_units:.4} lib units over V_nom = {v_nom} V \
+         + input pin load), static current {} A.",
+        cell.name,
+        lib.name,
+        static_amps.map_or("0".to_owned(), |a| format!("{a:.3e}")),
+    );
+    let params = vec![ParamDecl::new(
+        "activity",
+        1.0,
+        "fraction of cycles the cell switches (scales the C_sw term)",
+    )];
+    Some(LibraryElement::new(
+        format!("{}/{}", lib.name, cell.name),
+        class,
+        doc,
+        params,
+        model,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Library;
+    use crate::parse::parse;
+
+    fn lower_src(src: &str) -> Lowered {
+        let lib = Library::from_group(&parse(src).unwrap()).unwrap();
+        lower(&lib, "test.lib", 0xfeed)
+    }
+
+    #[test]
+    fn combinational_cell_maps_to_cap_and_leakage() {
+        let out = lower_src(
+            r#"library (demo) {
+                voltage_unit : "1V";
+                leakage_power_unit : "1nW";
+                capacitive_load_unit (1, pf);
+                nom_voltage : 2.0;
+                lu_table_template (e7) { variable_1 : input_transition_time; index_1 ("1, 2"); }
+                cell (AND2X1) {
+                    area : 2.0;
+                    cell_leakage_power : 4.0;
+                    pin (A) { direction : input; capacitance : 0.01; }
+                    pin (Y) {
+                        direction : output;
+                        internal_power () {
+                            related_pin : "A";
+                            rise_power (e7) { values ("0.4, 0.6"); }
+                            fall_power (e7) { values ("0.2, 0.2"); }
+                        }
+                    }
+                }
+            }"#,
+        );
+        assert_eq!(out.cells_parsed, 1);
+        assert_eq!(out.cells_mapped, 1);
+        let el = &out.elements[0];
+        assert_eq!(el.name(), "demo/AND2X1");
+        // rise midpoint 0.5, fall 0.2 → energy 0.35 pJ-equivalent units:
+        // 0.35 × 1pF×1V² / (2V)² = 0.0875 pF; plus input pin 0.01 pF.
+        let mut globals = powerplay_expr::Scope::new();
+        globals.set("vdd", 2.0);
+        globals.set("f", 1e6);
+        let eval = el.evaluate_defaults(&globals).unwrap();
+        let expected_cap = (0.35 * 1e-12 / 4.0) + 0.01e-12;
+        let expected_power = expected_cap * 4.0 * 1e6 + (4.0e-9 / 2.0) * 2.0;
+        assert!(
+            (eval.power.value() - expected_power).abs() < expected_power * 1e-9,
+            "power {} vs {}",
+            eval.power.value(),
+            expected_power
+        );
+        // Two I203s (rise and fall tables collapsed).
+        assert_eq!(
+            out.report
+                .diagnostics()
+                .iter()
+                .filter(|d| d.code == codes::TABLE_COLLAPSED)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn powerless_cell_skipped_with_w119() {
+        let out = lower_src("library (demo) { cell (FILL1) { area : 1.0; } }");
+        assert_eq!(out.cells_mapped, 0);
+        assert!(out
+            .report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == codes::UNMAPPABLE_CONSTRUCT_SKIPPED && d.path == "cells/FILL1"));
+    }
+
+    #[test]
+    fn undefined_template_reported() {
+        let out = lower_src(
+            r#"library (demo) {
+                cell (X) {
+                    pin (Y) {
+                        internal_power () {
+                            rise_power (nope) { values ("1.0"); }
+                        }
+                    }
+                }
+            }"#,
+        );
+        assert!(out
+            .report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == codes::UNMAPPABLE_CONSTRUCT_SKIPPED
+                && d.message.contains("undefined template")));
+    }
+
+    #[test]
+    fn sequential_cells_are_storage_class() {
+        let out = lower_src(
+            r#"library (demo) {
+                cell (DFF) {
+                    ff (IQ, IQN) { next_state : "D"; }
+                    cell_leakage_power : 1.0;
+                    pin (D) { direction : input; capacitance : 0.02; }
+                }
+            }"#,
+        );
+        assert_eq!(out.elements[0].class(), ElementClass::Storage);
+    }
+}

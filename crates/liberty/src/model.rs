@@ -1,0 +1,519 @@
+//! Typed Liberty library model, extracted from the raw group tree.
+//!
+//! Extraction is lossy by design: only the constructs the EQ-1 lowering
+//! consumes are modelled (units, table templates, cells with pins,
+//! internal/leakage power, capacitance). Everything else is either silently
+//! irrelevant (timing arcs, operating conditions) or recorded in
+//! [`Cell::skipped`] / [`Library::unit_issues`] so the lowering pass can
+//! surface W119/W120 diagnostics with precise paths.
+
+use std::collections::BTreeMap;
+
+use powerplay_units::{Capacitance, Current, Power, Time, Voltage};
+
+use crate::parse::{Group, Value};
+
+/// Scale factors converting one library unit into SI base units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Units {
+    /// Seconds per `time_unit`.
+    pub time: f64,
+    /// Volts per `voltage_unit`.
+    pub voltage: f64,
+    /// Amperes per `current_unit`.
+    pub current: f64,
+    /// Watts per `leakage_power_unit`.
+    pub leakage_power: f64,
+    /// Farads per `capacitive_load_unit`.
+    pub capacitance: f64,
+}
+
+impl Default for Units {
+    /// Liberty's conventional defaults: 1ns, 1V, 1mA, 1nW, 1pF.
+    fn default() -> Units {
+        Units {
+            time: 1e-9,
+            voltage: 1.0,
+            current: 1e-3,
+            leakage_power: 1e-9,
+            capacitance: 1e-12,
+        }
+    }
+}
+
+/// A `lu_table_template` / `power_lut_template` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableTemplate {
+    pub name: String,
+    /// `variable_1`, `variable_2`, ... in order.
+    pub variables: Vec<String>,
+    /// `index_1`, `index_2`, ... breakpoints in order.
+    pub indices: Vec<Vec<f64>>,
+}
+
+/// A `values (...)` lookup table inside a power group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumTable {
+    /// Template name from the group argument, when given.
+    pub template: Option<String>,
+    /// Flattened table values in library units.
+    pub values: Vec<f64>,
+}
+
+/// One `internal_power` group under a pin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InternalPower {
+    pub related_pin: Option<String>,
+    pub when: Option<String>,
+    pub rise: Option<NumTable>,
+    pub fall: Option<NumTable>,
+}
+
+/// A `pin` group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pin {
+    pub name: String,
+    /// `input` / `output` / `inout`, lower-cased.
+    pub direction: Option<String>,
+    /// Input capacitance in library units.
+    pub capacitance: Option<f64>,
+    pub internal_power: Vec<InternalPower>,
+}
+
+impl Pin {
+    /// True unless explicitly an output — inputs and inouts present load.
+    pub fn presents_load(&self) -> bool {
+        self.direction.as_deref() != Some("output")
+    }
+}
+
+/// A construct extraction skipped, for W119: `(construct, path, detail)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Skipped {
+    pub construct: String,
+    pub path: String,
+    pub detail: String,
+}
+
+/// A `cell` group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    pub name: String,
+    /// Area in library area units (conventionally µm²).
+    pub area: Option<f64>,
+    /// `cell_leakage_power` in leakage power units.
+    pub cell_leakage_power: Option<f64>,
+    /// Per-state `leakage_power { value; when; }` values.
+    pub leakage_states: Vec<f64>,
+    /// True when the cell contains an `ff` or `latch` group.
+    pub sequential: bool,
+    pub pins: Vec<Pin>,
+    /// Power-relevant constructs we could not map (→ W119).
+    pub skipped: Vec<Skipped>,
+}
+
+/// A unit attribute that failed to parse, for W120:
+/// `(attribute, literal, fallback description)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitIssue {
+    pub attribute: String,
+    pub literal: String,
+    pub fallback: String,
+}
+
+/// The typed library.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Library {
+    pub name: String,
+    /// `nom_voltage` (or the default operating condition's voltage), volts.
+    pub nom_voltage: Option<f64>,
+    pub units: Units,
+    pub unit_issues: Vec<UnitIssue>,
+    pub templates: BTreeMap<String, TableTemplate>,
+    pub cells: Vec<Cell>,
+}
+
+/// Cell-level groups that carry power-relevant data we deliberately do not
+/// lower; their presence is reported as W119 rather than ignored.
+const UNSUPPORTED_CELL_GROUPS: [&str; 4] = ["bus", "bundle", "test_cell", "scaled_cell"];
+
+impl Library {
+    /// Extracts the typed model from a parsed group tree. Fails (with a
+    /// message for E017) only when the root group is not a `library` or has
+    /// no name; per-construct problems are collected, not fatal.
+    pub fn from_group(root: &Group) -> Result<Library, String> {
+        if root.name != "library" {
+            return Err(format!(
+                "top-level group must be `library`, found `{}`",
+                root.name
+            ));
+        }
+        let name = root
+            .first_arg()
+            .map(str::to_owned)
+            .or_else(|| root.args.first().map(Value::display))
+            .ok_or_else(|| "`library` group has no name argument".to_owned())?;
+
+        let mut lib = Library {
+            name,
+            nom_voltage: None,
+            units: Units::default(),
+            unit_issues: Vec::new(),
+            templates: BTreeMap::new(),
+            cells: Vec::new(),
+        };
+        lib.extract_units(root);
+        lib.nom_voltage = root
+            .attr_f64("nom_voltage")
+            .or_else(|| default_operating_voltage(root));
+
+        for g in &root.groups {
+            match g.name.as_str() {
+                "lu_table_template" | "power_lut_template" => {
+                    if let Some(t) = TableTemplate::from_group(g) {
+                        lib.templates.insert(t.name.clone(), t);
+                    }
+                }
+                "cell" => lib.cells.push(Cell::from_group(g)),
+                // Operating conditions, wire loads, defines etc. carry no
+                // per-cell power data; silently irrelevant to EQ-1.
+                _ => {}
+            }
+        }
+        Ok(lib)
+    }
+
+    /// Parses the unit attributes through `powerplay-units`, recording a
+    /// [`UnitIssue`] (→ W120) and keeping the Liberty default on failure.
+    fn extract_units(&mut self, root: &Group) {
+        let defaults = Units::default();
+        self.units.time = self.scaled_unit::<Time>(root, "time_unit", defaults.time, "1ns");
+        self.units.voltage =
+            self.scaled_unit::<Voltage>(root, "voltage_unit", defaults.voltage, "1V");
+        self.units.current =
+            self.scaled_unit::<Current>(root, "current_unit", defaults.current, "1mA");
+        self.units.leakage_power =
+            self.scaled_unit::<Power>(root, "leakage_power_unit", defaults.leakage_power, "1nW");
+        self.extract_cap_unit(root, defaults.capacitance);
+    }
+
+    fn scaled_unit<Q>(&mut self, root: &Group, attr: &str, default: f64, fallback: &str) -> f64
+    where
+        Q: std::str::FromStr,
+        Q: HasValue,
+    {
+        let Some(literal) = root.attr_str(attr) else {
+            return default;
+        };
+        match literal.parse::<Q>() {
+            Ok(q) => q.value_si(),
+            Err(_) => {
+                self.unit_issues.push(UnitIssue {
+                    attribute: attr.to_owned(),
+                    literal: literal.to_owned(),
+                    fallback: fallback.to_owned(),
+                });
+                default
+            }
+        }
+    }
+
+    /// `capacitive_load_unit (1, pf)` — a complex attribute whose unit word
+    /// is conventionally lower-case (`ff`, `pf`), unlike the SI `fF`/`pF`
+    /// spelling `powerplay-units` expects; normalise before parsing.
+    fn extract_cap_unit(&mut self, root: &Group, default: f64) {
+        let Some(attr) = root
+            .attributes
+            .iter()
+            .find(|a| a.name == "capacitive_load_unit")
+        else {
+            self.units.capacitance = default;
+            return;
+        };
+        let number = attr.values.first().and_then(Value::as_f64);
+        let word = attr.values.get(1).and_then(Value::as_str);
+        let parsed = match (number, word) {
+            (Some(n), Some(w)) => normalize_farad_suffix(w)
+                .and_then(|unit| format!("{n}{unit}").parse::<Capacitance>().ok())
+                .map(|c| c.value()),
+            _ => None,
+        };
+        match parsed {
+            Some(f) => self.units.capacitance = f,
+            None => {
+                self.unit_issues.push(UnitIssue {
+                    attribute: "capacitive_load_unit".to_owned(),
+                    literal: attr
+                        .values
+                        .iter()
+                        .map(Value::display)
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    fallback: "1pF".to_owned(),
+                });
+                self.units.capacitance = default;
+            }
+        }
+    }
+}
+
+/// `voltage_unit` parses to a [`Voltage`] etc.; this tiny trait lets
+/// `scaled_unit` stay generic over the quantity newtypes.
+trait HasValue {
+    fn value_si(&self) -> f64;
+}
+
+macro_rules! has_value {
+    ($($t:ty),*) => {$(
+        impl HasValue for $t {
+            fn value_si(&self) -> f64 {
+                self.value()
+            }
+        }
+    )*};
+}
+has_value!(Time, Voltage, Current, Power, Capacitance);
+
+/// Rewrites a Liberty capacitance unit word (`ff`, `pf`, `PF`…) into the
+/// SI spelling (`fF`, `pF`) powerplay-units parses.
+fn normalize_farad_suffix(word: &str) -> Option<String> {
+    let w = word.trim();
+    let last = w.chars().last()?;
+    if !matches!(last, 'f' | 'F') {
+        return None;
+    }
+    let prefix = &w[..w.len() - last.len_utf8()];
+    if prefix.chars().count() > 1 {
+        return None;
+    }
+    Some(format!("{}F", prefix.to_lowercase()))
+}
+
+/// The default operating condition's `voltage`, used when `nom_voltage`
+/// is absent.
+fn default_operating_voltage(root: &Group) -> Option<f64> {
+    let wanted = root.attr_str("default_operating_conditions");
+    root.children("operating_conditions")
+        .find(|g| wanted.is_none() || g.first_arg() == wanted)
+        .and_then(|g| g.attr_f64("voltage"))
+}
+
+impl TableTemplate {
+    fn from_group(g: &Group) -> Option<TableTemplate> {
+        let name = g.first_arg()?.to_owned();
+        let mut variables = Vec::new();
+        let mut indices = Vec::new();
+        for i in 1.. {
+            match g.attr_str(&format!("variable_{i}")) {
+                Some(v) => variables.push(v.to_owned()),
+                None => break,
+            }
+        }
+        for i in 1.. {
+            match g.attr(&format!("index_{i}")) {
+                Some(v) => indices.push(number_list(std::slice::from_ref(v))),
+                None => break,
+            }
+        }
+        Some(TableTemplate {
+            name,
+            variables,
+            indices,
+        })
+    }
+}
+
+/// Flattens `values ("1, 2", "3, 4")`-style attribute values into numbers.
+/// Non-numeric entries are dropped (the lowering only needs the hull).
+pub(crate) fn number_list(values: &[Value]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for v in values {
+        match v {
+            Value::Number(n) => out.push(*n),
+            Value::Str(s) | Value::Word(s) => {
+                for piece in s.split(&[',', ' ', '\t'][..]) {
+                    let piece = piece.trim();
+                    if piece.is_empty() {
+                        continue;
+                    }
+                    if let Ok(n) = piece.parse::<f64>() {
+                        out.push(n);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+impl NumTable {
+    fn from_group(g: &Group) -> Option<NumTable> {
+        let values = g.attributes.iter().find(|a| a.name == "values")?;
+        Some(NumTable {
+            template: g.first_arg().map(str::to_owned),
+            values: number_list(&values.values),
+        })
+    }
+}
+
+impl Cell {
+    fn from_group(g: &Group) -> Cell {
+        let name = g
+            .first_arg()
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("cell@{}:{}", g.line, g.col));
+        let mut cell = Cell {
+            name: name.clone(),
+            area: g.attr_f64("area"),
+            cell_leakage_power: g.attr_f64("cell_leakage_power"),
+            leakage_states: Vec::new(),
+            sequential: false,
+            pins: Vec::new(),
+            skipped: Vec::new(),
+        };
+        for child in &g.groups {
+            match child.name.as_str() {
+                "pin" => cell
+                    .pins
+                    .push(Pin::from_group(child, &name, &mut cell.skipped)),
+                "ff" | "latch" => cell.sequential = true,
+                "leakage_power" => {
+                    if let Some(v) = child.attr_f64("value") {
+                        cell.leakage_states.push(v);
+                    }
+                }
+                n if UNSUPPORTED_CELL_GROUPS.contains(&n) => {
+                    cell.skipped.push(Skipped {
+                        construct: n.to_owned(),
+                        path: format!("cells/{name}/{n}"),
+                        detail: format!("`{n}` groups are outside the supported Liberty subset"),
+                    });
+                }
+                // statetable, pg_pin, timing models, modes… — no power data
+                // the EQ-1 lowering could use; silently irrelevant.
+                _ => {}
+            }
+        }
+        cell
+    }
+}
+
+impl Pin {
+    fn from_group(g: &Group, cell: &str, skipped: &mut Vec<Skipped>) -> Pin {
+        let name = g
+            .first_arg()
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("pin@{}:{}", g.line, g.col));
+        let mut pin = Pin {
+            name: name.clone(),
+            direction: g.attr_str("direction").map(str::to_lowercase),
+            capacitance: g.attr_f64("capacitance"),
+            internal_power: Vec::new(),
+        };
+        for child in g.children("internal_power") {
+            let mut ip = InternalPower {
+                related_pin: child.attr_str("related_pin").map(str::to_owned),
+                when: child.attr_str("when").map(str::to_owned),
+                rise: None,
+                fall: None,
+            };
+            for table in &child.groups {
+                match table.name.as_str() {
+                    "rise_power" => ip.rise = NumTable::from_group(table),
+                    "fall_power" => ip.fall = NumTable::from_group(table),
+                    "power" => {
+                        // Unified rise/fall table: treat as both edges.
+                        let t = NumTable::from_group(table);
+                        ip.rise = t.clone();
+                        ip.fall = t;
+                    }
+                    other => skipped.push(Skipped {
+                        construct: other.to_owned(),
+                        path: format!("cells/{cell}/pins/{name}/internal_power/{other}"),
+                        detail: format!("unsupported `{other}` table inside internal_power"),
+                    }),
+                }
+            }
+            pin.internal_power.push(ip);
+        }
+        pin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn lib(src: &str) -> Library {
+        Library::from_group(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn units_scale_through_powerplay_units() {
+        let l = lib(r#"library (u) {
+            time_unit : "1ps";
+            voltage_unit : "10mV";
+            leakage_power_unit : "1nW";
+            capacitive_load_unit (1, ff);
+        }"#);
+        assert!((l.units.time - 1e-12).abs() < 1e-24);
+        assert!((l.units.voltage - 1e-2).abs() < 1e-14);
+        assert!((l.units.leakage_power - 1e-9).abs() < 1e-21);
+        assert!((l.units.capacitance - 1e-15).abs() < 1e-27);
+        assert!(l.unit_issues.is_empty());
+    }
+
+    #[test]
+    fn bad_unit_records_issue_and_falls_back() {
+        let l = lib(r#"library (u) { voltage_unit : "1parsec"; }"#);
+        assert_eq!(l.unit_issues.len(), 1);
+        assert_eq!(l.unit_issues[0].attribute, "voltage_unit");
+        assert_eq!(l.units.voltage, 1.0);
+    }
+
+    #[test]
+    fn nom_voltage_falls_back_to_operating_conditions() {
+        let l = lib(r#"library (u) {
+            default_operating_conditions : typical;
+            operating_conditions (typical) { voltage : 1.1; }
+        }"#);
+        assert_eq!(l.nom_voltage, Some(1.1));
+    }
+
+    #[test]
+    fn cell_extraction() {
+        let l = lib(r#"library (u) {
+            cell (DFFX1) {
+                area : 7.5;
+                cell_leakage_power : 0.2;
+                ff (IQ, IQN) { next_state : "D"; }
+                leakage_power () { value : 0.1; when : "!CK"; }
+                bus (Q_bus) { }
+                pin (D) {
+                    direction : input;
+                    capacitance : 0.01;
+                    internal_power () {
+                        related_pin : "CK";
+                        rise_power (energy_template) { values ("0.1, 0.2"); }
+                        fall_power (energy_template) { values ("0.3, 0.4"); }
+                    }
+                }
+            }
+        }"#);
+        let c = &l.cells[0];
+        assert!(c.sequential);
+        assert_eq!(c.leakage_states, vec![0.1]);
+        assert_eq!(c.skipped.len(), 1);
+        assert_eq!(c.skipped[0].construct, "bus");
+        let ip = &c.pins[0].internal_power[0];
+        assert_eq!(ip.rise.as_ref().unwrap().values, vec![0.1, 0.2]);
+        assert_eq!(ip.fall.as_ref().unwrap().values, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    fn non_library_root_rejected() {
+        let err = Library::from_group(&parse("cell (x) { }").unwrap()).unwrap_err();
+        assert!(err.contains("must be `library`"));
+    }
+}

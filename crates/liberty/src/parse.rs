@@ -1,0 +1,462 @@
+//! Recursive-descent parser producing the raw Liberty group/attribute tree.
+//!
+//! The grammar subset (see DESIGN.md §14):
+//!
+//! ```text
+//! file  := group EOF
+//! group := WORD '(' [value (',' value)*] ')' '{' stmt* '}' [';']
+//! stmt  := WORD ':' value+ [';']                 // simple attribute
+//!        | WORD '(' [value (',' value)*] ')' ';' // complex attribute
+//!        | group                                 // nested group
+//! value := NUMBER | STRING | WORD
+//! ```
+//!
+//! Nesting depth is capped so the parser is total on arbitrary input — it
+//! can never overflow the stack, and every failure is a [`ParseError`]
+//! carrying a 1-based line/column.
+
+use std::fmt;
+
+use crate::lexer::{LexError, Lexer, Pos, Token, TokenKind};
+
+/// Maximum group nesting depth. Real libraries nest 4–5 levels
+/// (`library/cell/pin/internal_power/rise_power`); the cap exists so
+/// adversarial input degrades into an error instead of a stack overflow.
+pub const MAX_DEPTH: usize = 64;
+
+/// A parse failure with its 1-based source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl ParseError {
+    fn at(pos: Pos, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: pos.line,
+            col: pos.col,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError::at(e.pos, e.message)
+    }
+}
+
+/// An attribute or group-argument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Number(f64),
+    /// `"..."` quoted string.
+    Str(String),
+    /// Bare word (`typical`, `1ps`, `CLK`).
+    Word(String),
+}
+
+impl Value {
+    /// The textual form, without quoting.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) | Value::Word(s) => Some(s),
+            Value::Number(_) => None,
+        }
+    }
+
+    /// Numeric interpretation: numbers directly, strings/words via `parse`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            Value::Str(s) | Value::Word(s) => s.trim().parse().ok(),
+        }
+    }
+
+    /// The textual form for display, numbers formatted plainly.
+    pub fn display(&self) -> String {
+        match self {
+            Value::Number(n) => format!("{n}"),
+            Value::Str(s) | Value::Word(s) => s.clone(),
+        }
+    }
+}
+
+/// A simple (`name : value ;`) or complex (`name (v, ...) ;`) attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    pub name: String,
+    pub values: Vec<Value>,
+    /// True for the parenthesised form.
+    pub complex: bool,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// A `name (args) { ... }` group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Group {
+    pub name: String,
+    pub args: Vec<Value>,
+    pub attributes: Vec<Attribute>,
+    pub groups: Vec<Group>,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Group {
+    /// First group argument as text (`cell (AND2X1)` → `AND2X1`).
+    pub fn first_arg(&self) -> Option<&str> {
+        self.args.first().and_then(Value::as_str)
+    }
+
+    /// First value of the named simple attribute.
+    pub fn attr(&self, name: &str) -> Option<&Value> {
+        self.attributes
+            .iter()
+            .find(|a| a.name == name)
+            .and_then(|a| a.values.first())
+    }
+
+    /// Numeric value of the named simple attribute.
+    pub fn attr_f64(&self, name: &str) -> Option<f64> {
+        self.attr(name).and_then(Value::as_f64)
+    }
+
+    /// Text of the named simple attribute.
+    pub fn attr_str(&self, name: &str) -> Option<&str> {
+        self.attr(name).and_then(Value::as_str)
+    }
+
+    /// All child groups with the given name.
+    pub fn children<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Group> {
+        self.groups.iter().filter(move |g| g.name == name)
+    }
+}
+
+/// Parses a complete Liberty file into its raw group tree.
+///
+/// The top-level construct must be a single group (normally
+/// `library (name) { ... }`); trailing content after it is an error. The
+/// parser is total: any input either yields a tree or a positioned error,
+/// never a panic.
+pub fn parse(src: &str) -> Result<Group, ParseError> {
+    let mut p = Parser::new(src)?;
+    let root = p.group(0)?;
+    if p.current().kind != TokenKind::Eof {
+        let tok = p.current().clone();
+        return Err(ParseError::at(
+            tok.pos,
+            format!(
+                "expected end of input after top-level group, found {}",
+                tok.kind.describe()
+            ),
+        ));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    tok: Token,
+    /// One token of lookahead, filled by [`Parser::peek_next`].
+    peeked: Option<Token>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Result<Parser<'a>, ParseError> {
+        let mut lexer = Lexer::new(src);
+        let tok = lexer.next_token()?;
+        Ok(Parser {
+            lexer,
+            tok,
+            peeked: None,
+        })
+    }
+
+    fn current(&self) -> &Token {
+        &self.tok
+    }
+
+    /// Consumes the current token, returning it.
+    fn advance(&mut self) -> Result<Token, ParseError> {
+        let next = match self.peeked.take() {
+            Some(t) => t,
+            None => self.lexer.next_token()?,
+        };
+        Ok(std::mem::replace(&mut self.tok, next))
+    }
+
+    /// Peeks at the token after the current one without consuming anything.
+    fn peek_next(&mut self) -> Result<&TokenKind, ParseError> {
+        if self.peeked.is_none() {
+            self.peeked = Some(self.lexer.next_token()?);
+        }
+        Ok(&self.peeked.as_ref().expect("just filled").kind)
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<Token, ParseError> {
+        if self.tok.kind == kind {
+            self.advance()
+        } else {
+            Err(ParseError::at(
+                self.tok.pos,
+                format!("expected {what}, found {}", self.tok.kind.describe()),
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        let v = match &self.tok.kind {
+            TokenKind::Number(n) => Value::Number(*n),
+            TokenKind::Str(s) => Value::Str(s.clone()),
+            TokenKind::Word(w) => Value::Word(w.clone()),
+            other => {
+                return Err(ParseError::at(
+                    self.tok.pos,
+                    format!("expected a value, found {}", other.describe()),
+                ))
+            }
+        };
+        self.advance()?;
+        Ok(v)
+    }
+
+    /// Parses `[value (',' value)*]` up to a closing `)`.
+    fn arg_list(&mut self) -> Result<Vec<Value>, ParseError> {
+        let mut args = Vec::new();
+        if self.tok.kind == TokenKind::RParen {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.value()?);
+            if self.tok.kind == TokenKind::Comma {
+                self.advance()?;
+                // Tolerate a trailing comma before `)`.
+                if self.tok.kind == TokenKind::RParen {
+                    return Ok(args);
+                }
+            } else {
+                return Ok(args);
+            }
+        }
+    }
+
+    /// Parses a group whose name word is the current token.
+    fn group(&mut self, depth: usize) -> Result<Group, ParseError> {
+        let (name, pos) = match &self.tok.kind {
+            TokenKind::Word(w) => (w.clone(), self.tok.pos),
+            other => {
+                return Err(ParseError::at(
+                    self.tok.pos,
+                    format!("expected a group name, found {}", other.describe()),
+                ))
+            }
+        };
+        self.advance()?;
+        self.expect(TokenKind::LParen, "`(` after group name")?;
+        let args = self.arg_list()?;
+        self.expect(TokenKind::RParen, "`)` closing the group arguments")?;
+        self.expect(TokenKind::LBrace, "`{` opening the group body")?;
+        let mut group = Group {
+            name,
+            args,
+            attributes: Vec::new(),
+            groups: Vec::new(),
+            line: pos.line,
+            col: pos.col,
+        };
+        self.group_body(&mut group, depth)?;
+        Ok(group)
+    }
+
+    /// Parses a group body after `{` has been consumed, including the
+    /// closing `}` and an optional trailing `;`.
+    fn group_body(&mut self, group: &mut Group, depth: usize) -> Result<(), ParseError> {
+        if depth >= MAX_DEPTH {
+            return Err(ParseError::at(
+                self.tok.pos,
+                format!("group nesting exceeds the maximum depth of {MAX_DEPTH}"),
+            ));
+        }
+        loop {
+            match &self.tok.kind {
+                TokenKind::RBrace => {
+                    self.advance()?;
+                    // Optional `;` after a closing brace.
+                    if self.tok.kind == TokenKind::Semi {
+                        self.advance()?;
+                    }
+                    return Ok(());
+                }
+                TokenKind::Semi => {
+                    // Stray semicolon; harmless in real libraries.
+                    self.advance()?;
+                }
+                TokenKind::Word(_) => self.statement(group, depth)?,
+                other => {
+                    return Err(ParseError::at(
+                        self.tok.pos,
+                        format!(
+                            "expected an attribute, group, or `}}` in `{}` body, found {}",
+                            group.name,
+                            other.describe()
+                        ),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Parses one body statement: simple attribute, complex attribute, or
+    /// nested group. The current token is the statement's name word.
+    fn statement(&mut self, parent: &mut Group, depth: usize) -> Result<(), ParseError> {
+        let name_pos = self.tok.pos;
+        match self.peek_next()?.clone() {
+            TokenKind::Colon => {
+                let name = match self.advance()?.kind {
+                    TokenKind::Word(w) => w,
+                    _ => unreachable!("caller checked for a word token"),
+                };
+                self.advance()?; // colon
+                let mut values = vec![self.value()?];
+                // Some attributes carry several tokens before the `;`
+                // (e.g. `default_operating_conditions : typical 25;`);
+                // collect them all rather than failing.
+                while !matches!(
+                    self.tok.kind,
+                    TokenKind::Semi | TokenKind::RBrace | TokenKind::Eof
+                ) {
+                    values.push(self.value()?);
+                }
+                if self.tok.kind == TokenKind::Semi {
+                    self.advance()?;
+                }
+                parent.attributes.push(Attribute {
+                    name,
+                    values,
+                    complex: false,
+                    line: name_pos.line,
+                    col: name_pos.col,
+                });
+                Ok(())
+            }
+            TokenKind::LParen => {
+                let name = match self.advance()?.kind {
+                    TokenKind::Word(w) => w,
+                    _ => unreachable!("caller checked for a word token"),
+                };
+                self.advance()?; // lparen
+                let values = self.arg_list()?;
+                self.expect(TokenKind::RParen, "`)` closing the argument list")?;
+                if self.tok.kind == TokenKind::LBrace {
+                    // Nested group.
+                    self.advance()?;
+                    let mut group = Group {
+                        name,
+                        args: values,
+                        attributes: Vec::new(),
+                        groups: Vec::new(),
+                        line: name_pos.line,
+                        col: name_pos.col,
+                    };
+                    self.group_body(&mut group, depth + 1)?;
+                    parent.groups.push(group);
+                } else {
+                    // Complex attribute.
+                    if self.tok.kind == TokenKind::Semi {
+                        self.advance()?;
+                    }
+                    parent.attributes.push(Attribute {
+                        name,
+                        values,
+                        complex: true,
+                        line: name_pos.line,
+                        col: name_pos.col,
+                    });
+                }
+                Ok(())
+            }
+            other => Err(ParseError::at(
+                name_pos,
+                format!(
+                    "expected `:` or `(` after `{}`, found {}",
+                    self.tok.kind.describe(),
+                    other.describe()
+                ),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_groups_and_attributes() {
+        let src = r#"
+            library (demo) {
+                time_unit : "1ns";
+                capacitive_load_unit (1, pf);
+                cell (INVX1) {
+                    area : 1.5;
+                    pin (A) { direction : input; capacitance : 0.01; }
+                }
+            }
+        "#;
+        let lib = parse(src).unwrap();
+        assert_eq!(lib.name, "library");
+        assert_eq!(lib.first_arg(), Some("demo"));
+        assert_eq!(lib.attr_str("time_unit"), Some("1ns"));
+        let cell = lib.children("cell").next().unwrap();
+        assert_eq!(cell.first_arg(), Some("INVX1"));
+        assert_eq!(cell.attr_f64("area"), Some(1.5));
+        let pin = cell.children("pin").next().unwrap();
+        assert_eq!(pin.attr_f64("capacitance"), Some(0.01));
+    }
+
+    #[test]
+    fn complex_attribute_vs_group() {
+        let src = "library (x) { define (a, b, c); values (1, 2) { inner : 3; } }";
+        let lib = parse(src).unwrap();
+        assert!(lib
+            .attributes
+            .iter()
+            .any(|a| a.name == "define" && a.complex));
+        assert_eq!(lib.groups.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = parse("library (x) {\n  area 1.5;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("expected `:` or `(`"));
+    }
+
+    #[test]
+    fn depth_cap_reports_instead_of_overflowing() {
+        let mut src = String::from("library (x) {");
+        for i in 0..200 {
+            src.push_str(&format!("g{i} () {{"));
+        }
+        let err = parse(&src).unwrap_err();
+        assert!(err.message.contains("nesting"), "{}", err.message);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let err = parse("library (x) { } extra").unwrap_err();
+        assert!(err.message.contains("end of input"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Totality of the Liberty front end: arbitrary input never panics,
+//! never recurses unboundedly, and every rejection carries a position.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse` is total over arbitrary byte soup (lossily decoded, the
+    /// same way a file read would arrive): a tree or a positioned error,
+    /// never a panic.
+    #[test]
+    fn parse_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let text = String::from_utf8_lossy(&bytes);
+        match powerplay_liberty::parse(&text) {
+            Ok(_) => {}
+            Err(e) => {
+                prop_assert!(e.line >= 1, "line must be 1-based, got {}", e.line);
+                prop_assert!(e.col >= 1, "col must be 1-based, got {}", e.col);
+                prop_assert!(!e.message.is_empty());
+            }
+        }
+    }
+
+    /// Structured-but-mangled input (Liberty-ish tokens in random order)
+    /// exercises the parser deeper than raw bytes; same totality bar.
+    #[test]
+    fn parse_never_panics_on_token_soup(picks in prop::collection::vec(0usize..12, 0..64)) {
+        let vocab = [
+            "library", "(", ")", "{", "}", ":", ";", ",",
+            "\"str\"", "1.5", "cell", "\\\n",
+        ];
+        let text: String = picks
+            .iter()
+            .map(|p| vocab[*p])
+            .collect::<Vec<_>>()
+            .join(" ");
+        match powerplay_liberty::parse(&text) {
+            Ok(_) => {}
+            Err(e) => {
+                prop_assert!(e.line >= 1 && e.col >= 1);
+            }
+        }
+    }
+
+    /// The end-to-end importer is just as total: any input yields a
+    /// report (E017 on failure), never a panic.
+    #[test]
+    fn import_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let import = powerplay_liberty::import_str(&text, "fuzz.lib");
+        if !import.parsed() {
+            prop_assert!(import.elements.is_empty());
+        }
+    }
+}

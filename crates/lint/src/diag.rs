@@ -90,6 +90,9 @@ pub mod codes {
     /// A model formula provably evaluates to NaN (or only to NaN) for
     /// every input in the declared ranges, so evaluation always fails.
     pub const PROVABLY_NAN_VALUE: &str = "E016";
+    /// A Liberty (`.lib`) source that cannot be parsed at all — the
+    /// message carries the `line:column` of the first offending token.
+    pub const UNPARSABLE_LIBRARY: &str = "E017";
 
     /// Comparison (or `%`) between quantities of different dimensions.
     pub const DIM_COMPARISON: &str = "W101";
@@ -136,15 +139,26 @@ pub mod codes {
     /// A row whose power is proven constant: it depends on no input and
     /// could be folded to a literal data-sheet entry.
     pub const CONSTANT_FOLDABLE_ROW: &str = "W118";
+    /// A Liberty construct the EQ-1 lowering cannot express (a cell
+    /// with no power data, a `bus`/`bundle` group, a table referencing
+    /// an undefined template, …) — parsed but skipped.
+    pub const UNMAPPABLE_CONSTRUCT_SKIPPED: &str = "W119";
+    /// A Liberty unit attribute that does not parse as the expected
+    /// physical unit; the importer fell back to the Liberty default.
+    pub const UNIT_MISMATCH: &str = "W120";
 
     /// Row binding shadows a sheet global of the same name.
     pub const SHADOWED_GLOBAL: &str = "I201";
     /// `P_`/`A_` reference to a row defined later in the sheet
     /// (resolved by dependency order).
     pub const FORWARD_REF: &str = "I202";
+    /// A Liberty lookup table collapsed to one representative EQ-1
+    /// coefficient — the message records the table hull and the chosen
+    /// midpoint.
+    pub const TABLE_COLLAPSED: &str = "I203";
 
     /// Every code with its short kebab-case slug, for docs and UIs.
-    pub const ALL: [(&str, &str); 36] = [
+    pub const ALL: [(&str, &str); 40] = [
         (UNBOUND_VARIABLE, "unbound-variable"),
         (UNKNOWN_FUNCTION, "unknown-function"),
         (WRONG_ARITY, "wrong-arity"),
@@ -161,6 +175,7 @@ pub mod codes {
         (MISSING_OPERATING_POINT, "missing-operating-point"),
         (PROVABLY_NEGATIVE_VALUE, "provably-negative-value"),
         (PROVABLY_NAN_VALUE, "provably-nan-value"),
+        (UNPARSABLE_LIBRARY, "unparsable-library"),
         (DIM_COMPARISON, "dim-comparison"),
         (DIM_FUNCTION_ARG, "dim-function-arg"),
         (BINDING_TARGET_DIM, "binding-target-dim"),
@@ -179,8 +194,11 @@ pub mod codes {
         (DEAD_BRANCH, "dead-branch"),
         (DEAD_ROW, "dead-row"),
         (CONSTANT_FOLDABLE_ROW, "constant-foldable-row"),
+        (UNMAPPABLE_CONSTRUCT_SKIPPED, "unmappable-construct-skipped"),
+        (UNIT_MISMATCH, "unit-mismatch"),
         (SHADOWED_GLOBAL, "shadowed-global"),
         (FORWARD_REF, "forward-ref"),
+        (TABLE_COLLAPSED, "table-collapsed"),
     ];
 
     /// The kebab-case slug for a code, if it is known.

@@ -176,6 +176,33 @@ pub struct DesignSummary {
     pub revisions: usize,
 }
 
+/// One document's bounded revision history, oldest first. Documents are
+/// arbitrary JSON values sharing the designs' WAL/snapshot machinery —
+/// the persistence substrate for imported cell libraries and other
+/// non-sheet artifacts.
+#[derive(Debug, Clone)]
+struct DocRecord {
+    revisions: Vec<(u64, Arc<Json>)>,
+}
+
+impl DocRecord {
+    fn current(&self) -> u64 {
+        self.revisions.last().map_or(0, |(rev, _)| *rev)
+    }
+}
+
+/// A document name with its current revision, from
+/// [`DesignStore::list_docs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocSummary {
+    /// The document name.
+    pub name: String,
+    /// Its current revision.
+    pub rev: u64,
+    /// How many revisions the bounded history currently holds.
+    pub revisions: usize,
+}
+
 struct ShardState {
     wal: File,
     wal_bytes: u64,
@@ -183,6 +210,10 @@ struct ShardState {
     /// Last revision of deleted designs, so a re-created name keeps a
     /// monotonic revision number (and revision-based ETags stay unique).
     erased: BTreeMap<String, u64>,
+    /// Revisioned JSON documents, keyed by name like designs.
+    docs: BTreeMap<String, DocRecord>,
+    /// Last revision of deleted documents (same monotonicity guarantee).
+    erased_docs: BTreeMap<String, u64>,
 }
 
 /// One user's designs: in-memory state plus the WAL handle.
@@ -444,6 +475,88 @@ impl DesignStore {
         shard.delete(design)
     }
 
+    /// Saves a revisioned JSON document, creating revision `current + 1`.
+    /// Documents share the designs' durability machinery (WAL commit,
+    /// snapshot compaction, crash recovery) but hold arbitrary JSON —
+    /// imported cell libraries live here. `expected` guards exactly like
+    /// [`Self::save`]. Returns the new revision.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Conflict`] on a revision mismatch, plus the usual
+    /// name/I/O errors.
+    pub fn save_doc(
+        &self,
+        user: &str,
+        name: &str,
+        body: &Json,
+        expected: Option<u64>,
+    ) -> Result<u64, StoreError> {
+        let shard = self
+            .shard(user, true)?
+            .expect("create=true always yields a shard");
+        shard.save_doc(name, body, expected)
+    }
+
+    /// Loads a document's current revision as `(rev, body)`. A missing
+    /// document (or unknown user) is `Ok(None)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on invalid names or shard-open failure.
+    pub fn load_doc(&self, user: &str, name: &str) -> Result<Option<(u64, Arc<Json>)>, StoreError> {
+        let Some(shard) = self.shard(user, false)? else {
+            return Ok(None);
+        };
+        if !valid_name(name) {
+            return Err(StoreError::InvalidDesignName(name.to_owned()));
+        }
+        let state = shard.state.read();
+        Ok(state.docs.get(name).and_then(|d| {
+            d.revisions
+                .last()
+                .map(|(rev, body)| (*rev, Arc::clone(body)))
+        }))
+    }
+
+    /// Lists a user's documents with their current revisions (empty for
+    /// unknown users).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on invalid usernames or shard-open failure.
+    pub fn list_docs(&self, user: &str) -> Result<Vec<DocSummary>, StoreError> {
+        let Some(shard) = self.shard(user, false)? else {
+            return Ok(Vec::new());
+        };
+        let state = shard.state.read();
+        Ok(state
+            .docs
+            .iter()
+            .map(|(name, d)| DocSummary {
+                name: name.clone(),
+                rev: d.current(),
+                revisions: d.revisions.len(),
+            })
+            .collect())
+    }
+
+    /// Deletes a document (its whole history). Returns whether it
+    /// existed; deleting a missing document is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on invalid names or I/O failure.
+    pub fn delete_doc(&self, user: &str, name: &str) -> Result<bool, StoreError> {
+        let Some(shard) = self.shard(user, false)? else {
+            if !valid_name(name) {
+                return Err(StoreError::InvalidDesignName(name.to_owned()));
+            }
+            return Ok(false);
+        };
+        shard.delete_doc(name)
+    }
+
     /// Bytes currently in `user`'s WAL (0 for unknown users).
     ///
     /// # Errors
@@ -479,13 +592,12 @@ impl Shard {
         let had_wal = wal_path.exists();
         let had_snapshot = snapshot_path.exists();
 
-        let mut designs = BTreeMap::new();
-        let mut erased = BTreeMap::new();
+        let mut shard_data = ShardData::default();
         if had_snapshot {
             let text = fs::read_to_string(&snapshot_path)?;
             let json =
                 Json::parse(&text).map_err(|e| StoreError::Corrupt(format!("snapshot: {e}")))?;
-            load_snapshot(&json, &config, &mut designs, &mut erased)?;
+            load_snapshot(&json, &config, &mut shard_data)?;
         }
 
         // Replay the WAL over the snapshot, dropping any torn tail.
@@ -496,7 +608,7 @@ impl Shard {
         };
         let scan = wal::scan(&image);
         for payload in &scan.records {
-            apply_record(payload, &config, &mut designs, &mut erased)?;
+            apply_record(payload, &config, &mut shard_data)?;
         }
         if scan.torn {
             let repair = OpenOptions::new().write(true).open(&wal_path)?;
@@ -517,8 +629,10 @@ impl Shard {
             state: RwLock::new(ShardState {
                 wal,
                 wal_bytes: scan.valid_len,
-                designs,
-                erased,
+                designs: shard_data.designs,
+                erased: shard_data.erased,
+                docs: shard_data.docs,
+                erased_docs: shard_data.erased_docs,
             }),
         });
 
@@ -604,6 +718,77 @@ impl Shard {
             self.maybe_compact();
         }
         Ok(rev)
+    }
+
+    fn save_doc(
+        self: &Arc<Self>,
+        name: &str,
+        body: &Json,
+        expected: Option<u64>,
+    ) -> Result<u64, StoreError> {
+        if !valid_name(name) {
+            return Err(StoreError::InvalidDesignName(name.to_owned()));
+        }
+        let over_threshold;
+        let rev;
+        {
+            let mut state = self.state.write();
+            let current = state.docs.get(name).map_or(0, DocRecord::current);
+            if let Some(exp) = expected {
+                if exp != current {
+                    return Err(StoreError::Conflict {
+                        design: name.to_owned(),
+                        expected: exp,
+                        actual: current,
+                    });
+                }
+            }
+            let base = current.max(state.erased_docs.get(name).copied().unwrap_or(0));
+            rev = base + 1;
+            let payload = Json::object([
+                ("op", Json::from("doc_save")),
+                ("doc", Json::from(name)),
+                ("rev", Json::from(rev as f64)),
+                ("body", body.clone()),
+            ])
+            .to_string();
+            self.commit(&mut state, payload.as_bytes())?;
+            let record = state
+                .docs
+                .entry(name.to_owned())
+                .or_insert_with(|| DocRecord {
+                    revisions: Vec::new(),
+                });
+            record.revisions.push((rev, Arc::new(body.clone())));
+            trim_revisions(&mut record.revisions, self.config.history_limit);
+            state.erased_docs.remove(name);
+            over_threshold = state.wal_bytes > self.config.compact_threshold_bytes;
+        }
+        if over_threshold {
+            self.maybe_compact();
+        }
+        Ok(rev)
+    }
+
+    fn delete_doc(&self, name: &str) -> Result<bool, StoreError> {
+        if !valid_name(name) {
+            return Err(StoreError::InvalidDesignName(name.to_owned()));
+        }
+        let mut state = self.state.write();
+        let Some(record) = state.docs.get(name) else {
+            return Ok(false);
+        };
+        let rev = record.current();
+        let payload = Json::object([
+            ("op", Json::from("doc_delete")),
+            ("doc", Json::from(name)),
+            ("rev", Json::from(rev as f64)),
+        ])
+        .to_string();
+        self.commit(&mut state, payload.as_bytes())?;
+        state.docs.remove(name);
+        state.erased_docs.insert(name.to_owned(), rev);
+        Ok(true)
     }
 
     fn delete(&self, design: &str) -> Result<bool, StoreError> {
@@ -720,12 +905,26 @@ impl Shard {
     }
 }
 
-fn trim_history(record: &mut DesignRecord, limit: usize) {
+/// The replayable shard content (everything but the WAL handle), as
+/// rebuilt from snapshot + WAL on open.
+#[derive(Default)]
+struct ShardData {
+    designs: BTreeMap<String, DesignRecord>,
+    erased: BTreeMap<String, u64>,
+    docs: BTreeMap<String, DocRecord>,
+    erased_docs: BTreeMap<String, u64>,
+}
+
+fn trim_revisions<T>(revisions: &mut Vec<(u64, T)>, limit: usize) {
     let limit = limit.max(1);
-    if record.revisions.len() > limit {
-        let drop = record.revisions.len() - limit;
-        record.revisions.drain(..drop);
+    if revisions.len() > limit {
+        let drop = revisions.len() - limit;
+        revisions.drain(..drop);
     }
+}
+
+fn trim_history(record: &mut DesignRecord, limit: usize) {
+    trim_revisions(&mut record.revisions, limit);
 }
 
 fn rev_of(json: &Json, what: &str) -> Result<u64, StoreError> {
@@ -740,37 +939,57 @@ fn rev_of(json: &Json, what: &str) -> Result<u64, StoreError> {
 fn apply_record(
     payload: &[u8],
     config: &StoreConfig,
-    designs: &mut BTreeMap<String, DesignRecord>,
-    erased: &mut BTreeMap<String, u64>,
+    data: &mut ShardData,
 ) -> Result<(), StoreError> {
     let text = std::str::from_utf8(payload)
         .map_err(|_| StoreError::Corrupt("wal record is not UTF-8".into()))?;
     let json = Json::parse(text).map_err(|e| StoreError::Corrupt(format!("wal record: {e}")))?;
-    let design = json
-        .get("design")
-        .and_then(Json::as_str)
-        .ok_or_else(|| StoreError::Corrupt("wal record: missing design".into()))?
-        .to_owned();
     let rev = rev_of(&json, "wal record")?;
+    let name_field = |field: &str| -> Result<String, StoreError> {
+        json.get(field)
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| StoreError::Corrupt(format!("wal record: missing {field}")))
+    };
     match json.get("op").and_then(Json::as_str) {
         Some("save") => {
+            let design = name_field("design")?;
             let sheet_json = json
                 .get("sheet")
                 .ok_or_else(|| StoreError::Corrupt("wal save record: missing sheet".into()))?;
             let sheet = Sheet::from_json(sheet_json)
                 .map_err(|e| StoreError::Corrupt(format!("wal save record: {e}")))?;
-            let record = designs
+            let record = data
+                .designs
                 .entry(design.clone())
                 .or_insert_with(|| DesignRecord {
                     revisions: Vec::new(),
                 });
             record.revisions.push((rev, Arc::new(sheet)));
             trim_history(record, config.history_limit);
-            erased.remove(&design);
+            data.erased.remove(&design);
         }
         Some("delete") => {
-            designs.remove(&design);
-            erased.insert(design, rev);
+            let design = name_field("design")?;
+            data.designs.remove(&design);
+            data.erased.insert(design, rev);
+        }
+        Some("doc_save") => {
+            let doc = name_field("doc")?;
+            let body = json
+                .get("body")
+                .ok_or_else(|| StoreError::Corrupt("wal doc_save record: missing body".into()))?;
+            let record = data.docs.entry(doc.clone()).or_insert_with(|| DocRecord {
+                revisions: Vec::new(),
+            });
+            record.revisions.push((rev, Arc::new(body.clone())));
+            trim_revisions(&mut record.revisions, config.history_limit);
+            data.erased_docs.remove(&doc);
+        }
+        Some("doc_delete") => {
+            let doc = name_field("doc")?;
+            data.docs.remove(&doc);
+            data.erased_docs.insert(doc, rev);
         }
         other => {
             return Err(StoreError::Corrupt(format!(
@@ -799,28 +1018,46 @@ fn snapshot_json(state: &ShardState) -> Json {
             ])
         })
         .collect();
-    let erased: Json = state
-        .erased
+    let erased_json = |map: &BTreeMap<String, u64>| -> Json {
+        map.iter()
+            .map(|(name, rev)| {
+                Json::object([
+                    ("name", Json::from(name.as_str())),
+                    ("rev", Json::from(*rev as f64)),
+                ])
+            })
+            .collect()
+    };
+    let docs: Json = state
+        .docs
         .iter()
-        .map(|(name, rev)| {
+        .map(|(name, record)| {
+            let revisions: Json = record
+                .revisions
+                .iter()
+                .map(|(rev, body)| {
+                    Json::object([("rev", Json::from(*rev as f64)), ("body", (**body).clone())])
+                })
+                .collect();
             Json::object([
                 ("name", Json::from(name.as_str())),
-                ("rev", Json::from(*rev as f64)),
+                ("revisions", revisions),
             ])
         })
         .collect();
     Json::object([
         ("version", Json::from(1.0)),
         ("designs", designs),
-        ("erased", erased),
+        ("erased", erased_json(&state.erased)),
+        ("docs", docs),
+        ("erased_docs", erased_json(&state.erased_docs)),
     ])
 }
 
 fn load_snapshot(
     json: &Json,
     config: &StoreConfig,
-    designs: &mut BTreeMap<String, DesignRecord>,
-    erased: &mut BTreeMap<String, u64>,
+    data: &mut ShardData,
 ) -> Result<(), StoreError> {
     let listed = json
         .get("designs")
@@ -849,14 +1086,44 @@ fn load_snapshot(
             record.revisions.push((rev, Arc::new(sheet)));
         }
         trim_history(&mut record, config.history_limit);
-        designs.insert(name, record);
+        data.designs.insert(name, record);
     }
-    for entry in json.get("erased").and_then(Json::as_array).unwrap_or(&[]) {
+    // `docs`/`erased*` sections are optional so snapshots written before
+    // the document store (and the erased map) still load.
+    for entry in json.get("docs").and_then(Json::as_array).unwrap_or(&[]) {
         let name = entry
             .get("name")
             .and_then(Json::as_str)
-            .ok_or_else(|| StoreError::Corrupt("snapshot erased: missing name".into()))?;
-        erased.insert(name.to_owned(), rev_of(entry, "snapshot erased")?);
+            .ok_or_else(|| StoreError::Corrupt("snapshot doc: missing name".into()))?
+            .to_owned();
+        let revisions = entry
+            .get("revisions")
+            .and_then(Json::as_array)
+            .ok_or_else(|| StoreError::Corrupt("snapshot doc: missing revisions".into()))?;
+        let mut record = DocRecord {
+            revisions: Vec::new(),
+        };
+        for revision in revisions {
+            let rev = rev_of(revision, "snapshot doc revision")?;
+            let body = revision
+                .get("body")
+                .ok_or_else(|| StoreError::Corrupt("snapshot doc revision: missing body".into()))?;
+            record.revisions.push((rev, Arc::new(body.clone())));
+        }
+        trim_revisions(&mut record.revisions, config.history_limit);
+        data.docs.insert(name, record);
+    }
+    for (section, map) in [
+        ("erased", &mut data.erased),
+        ("erased_docs", &mut data.erased_docs),
+    ] {
+        for entry in json.get(section).and_then(Json::as_array).unwrap_or(&[]) {
+            let name = entry
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| StoreError::Corrupt(format!("snapshot {section}: missing name")))?;
+            map.insert(name.to_owned(), rev_of(entry, "snapshot erased")?);
+        }
     }
     Ok(())
 }
@@ -1160,6 +1427,83 @@ mod tests {
                 Err(StoreError::InvalidUsername(_))
             ));
         }
+    }
+
+    fn doc(tag: &str) -> Json {
+        Json::object([("kind", Json::from("library")), ("tag", Json::from(tag))])
+    }
+
+    #[test]
+    fn doc_roundtrip_survives_reopen_and_compaction() {
+        let store = store("docs");
+        assert_eq!(
+            store
+                .save_doc("_libs", "gscl", &doc("v1"), Some(0))
+                .unwrap(),
+            1
+        );
+        assert_eq!(
+            store
+                .save_doc("_libs", "gscl", &doc("v2"), Some(1))
+                .unwrap(),
+            2
+        );
+        let (rev, body) = store.load_doc("_libs", "gscl").unwrap().unwrap();
+        assert_eq!(rev, 2);
+        assert_eq!(*body, doc("v2"));
+        assert!(matches!(
+            store.save_doc("_libs", "gscl", &doc("v3"), Some(1)),
+            Err(StoreError::Conflict { .. })
+        ));
+
+        // Designs and docs coexist in one shard.
+        store.save("_libs", "design", &sheet("1.5"), None).unwrap();
+        let listed = store.list_docs("_libs").unwrap();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].name, "gscl");
+        assert_eq!(listed[0].rev, 2);
+
+        // WAL replay on a cold reopen restores both.
+        let cold = DesignStore::open(store.root().to_owned()).unwrap();
+        let (rev, body) = cold.load_doc("_libs", "gscl").unwrap().unwrap();
+        assert_eq!((rev, &*body), (2, &doc("v2")));
+        assert_eq!(cold.current_rev("_libs", "design").unwrap(), 1);
+
+        // Snapshot compaction keeps docs too.
+        cold.compact_now("_libs").unwrap();
+        assert_eq!(cold.wal_bytes("_libs").unwrap(), 0);
+        let colder = DesignStore::open(store.root().to_owned()).unwrap();
+        let (rev, body) = colder.load_doc("_libs", "gscl").unwrap().unwrap();
+        assert_eq!((rev, &*body), (2, &doc("v2")));
+    }
+
+    #[test]
+    fn doc_deletion_keeps_revisions_monotonic() {
+        let store = store("doc-del");
+        store.save_doc("u", "lib", &doc("a"), None).unwrap();
+        assert!(store.delete_doc("u", "lib").unwrap());
+        assert!(!store.delete_doc("u", "lib").unwrap());
+        assert!(store.load_doc("u", "lib").unwrap().is_none());
+        assert_eq!(store.save_doc("u", "lib", &doc("b"), Some(0)).unwrap(), 2);
+        let cold = DesignStore::open(store.root().to_owned()).unwrap();
+        assert_eq!(cold.load_doc("u", "lib").unwrap().unwrap().0, 2);
+    }
+
+    #[test]
+    fn pre_doc_snapshots_still_load() {
+        // A snapshot written before the document store had no `docs`
+        // section; opening over one must not fail.
+        let root = temp_root("old-snap");
+        fs::create_dir_all(root.join("a")).unwrap();
+        let old = Json::object([
+            ("version", Json::from(1.0)),
+            ("designs", Json::array([])),
+            ("erased", Json::array([])),
+        ]);
+        fs::write(root.join("a/snapshot.json"), old.to_string()).unwrap();
+        let store = DesignStore::open(root).unwrap();
+        assert!(store.list_docs("a").unwrap().is_empty());
+        assert!(store.list("a").unwrap().is_empty());
     }
 
     #[test]

@@ -19,7 +19,12 @@
 //!   (or the abstract interpreter) against the stored design, sharing
 //!   the compiled-plan cache with the legacy API; `analyze` bodies are
 //!   cached beside the plan, so an unchanged design answers without
-//!   re-analyzing.
+//!   re-analyzing;
+//! * `POST /api/v1/libraries` accepts a raw Liberty (`.lib`) source,
+//!   lowers every cell to an EQ-1 element (see `crates/liberty`),
+//!   persists the import as a revisioned store document, and registers
+//!   the elements — imports survive restarts like saved designs.
+//!   Parse failures answer 400 with the E017 report in `diagnostics`.
 //!
 //! Every v1 error is the uniform envelope
 //! `{"error": {"code", "message", "diagnostics"?}}` — machine-readable
@@ -32,7 +37,7 @@ use powerplay_json::Json;
 use powerplay_sheet::Sheet;
 use powerplay_store::StoreError;
 
-use crate::app::PowerPlayApp;
+use crate::app::{PowerPlayApp, LIBRARY_SHARD};
 use crate::http::{Method, Request, Response, Status};
 
 /// Routes one `/api/v1/...` request. Called from `PowerPlayApp::route`
@@ -44,6 +49,15 @@ pub(crate) fn respond(app: &PowerPlayApp, req: &Request) -> Response {
     let result = match segments.as_slice() {
         ["library"] => match req.method() {
             Method::Get => Ok(Response::json(app.registry.read().to_json().to_string())),
+            _ => Err(method_not_allowed("GET")),
+        },
+        ["libraries"] => match req.method() {
+            Method::Get => libraries_list(app),
+            Method::Post => libraries_post(app, req),
+            _ => Err(method_not_allowed("GET, POST")),
+        },
+        ["libraries", name] => match req.method() {
+            Method::Get => library_get(app, name),
             _ => Err(method_not_allowed("GET")),
         },
         // Element names contain `/` (e.g. `ucb/sram`), so the element
@@ -245,6 +259,25 @@ fn parse_if_match(tag: &str) -> Option<u64> {
         .and_then(|t| t.strip_suffix('"'))
         .unwrap_or(tag);
     tag.parse().ok()
+}
+
+/// Answers from the per-`(revision, registry-generation)` body cache,
+/// building and storing the serialized body on a miss. Correct for any
+/// resource that is pure in the stored content at `rev` and the
+/// library registry — `analyze` and the imported-library detail both
+/// qualify, so they share this helper (and the cache's LRU accounting).
+fn with_cached_body(
+    app: &PowerPlayApp,
+    key: u64,
+    build: impl FnOnce() -> Result<String, Response>,
+) -> Result<Response, Response> {
+    if let Some(body) = app.plan_cache.cached_analysis(key) {
+        return Ok(Response::json(body.as_str().to_owned()));
+    }
+    let body = build()?;
+    app.plan_cache
+        .store_analysis(key, std::sync::Arc::new(body.clone()));
+    Ok(Response::json(body))
 }
 
 fn report_json(report: &powerplay_sheet::SheetReport) -> Json {
@@ -575,19 +608,177 @@ fn lint_post(app: &PowerPlayApp, user: &str, name: &str) -> Result<Response, Res
 fn analyze_post(app: &PowerPlayApp, user: &str, name: &str) -> Result<Response, Response> {
     let (rev, sheet) = load(app, user, name)?;
     let key = app.stored_key(user, name, rev);
-    if let Some(body) = app.plan_cache.cached_analysis(key) {
-        return Ok(Response::json(body.as_str().to_owned()));
+    with_cached_body(app, key, || {
+        let plan = app.plan_for(key, &sheet);
+        let bounds = powerplay_analysis::analyze(&plan).map_err(|e| play_error(&e))?;
+        Ok(Json::object([
+            ("rev", Json::from(rev as f64)),
+            ("bounds", bounds.to_json()),
+        ])
+        .to_string())
+    })
+}
+
+// --- imported libraries ---------------------------------------------------
+
+/// A Liberty library name reduced to the store's document-name charset
+/// (`[a-zA-Z0-9_-]`, at most 32 chars); real library names are rarely
+/// that tame (`gscl45nm.db`, vendor dots and pluses).
+fn library_doc_name(library: &str) -> String {
+    let mut name: String = library
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .take(32)
+        .collect();
+    if name.is_empty() {
+        name.push_str("library");
     }
-    let plan = app.plan_for(key, &sheet);
-    let bounds = powerplay_analysis::analyze(&plan).map_err(|e| play_error(&e))?;
-    let body = Json::object([
-        ("rev", Json::from(rev as f64)),
-        ("bounds", bounds.to_json()),
-    ])
-    .to_string();
-    app.plan_cache
-        .store_analysis(key, std::sync::Arc::new(body.clone()));
-    Ok(Response::json(body))
+    name
+}
+
+/// `GET /api/v1/libraries` — every imported library with its revision,
+/// provenance hash, and cell counts.
+fn libraries_list(app: &PowerPlayApp) -> Result<Response, Response> {
+    let docs = app.store.list_docs(LIBRARY_SHARD).map_err(store_error)?;
+    let mut items = Vec::new();
+    for doc in docs {
+        let Some((rev, body)) = app
+            .store
+            .load_doc(LIBRARY_SHARD, &doc.name)
+            .map_err(store_error)?
+        else {
+            continue;
+        };
+        items.push(Json::object([
+            ("name", Json::from(doc.name.as_str())),
+            ("library", body["name"].clone()),
+            ("rev", Json::from(rev as f64)),
+            ("source_hash", body["source_hash"].clone()),
+            ("cells_parsed", body["cells_parsed"].clone()),
+            ("cells_mapped", body["cells_mapped"].clone()),
+        ]));
+    }
+    Ok(Response::json(
+        Json::object([("libraries", items.into_iter().collect::<Json>())]).to_string(),
+    ))
+}
+
+/// `GET /api/v1/libraries/{name}` — one import's manifest: provenance,
+/// cell counts, and the registered element names. Pure in `(rev,
+/// generation)`, so the body shares the analyze cache.
+fn library_get(app: &PowerPlayApp, name: &str) -> Result<Response, Response> {
+    let Some((rev, body)) = app
+        .store
+        .load_doc(LIBRARY_SHARD, name)
+        .map_err(store_error)?
+    else {
+        return Err(envelope(
+            Status::NotFound,
+            "not_found",
+            &format!("no imported library `{name}`"),
+            None,
+        ));
+    };
+    let key = app.stored_key(LIBRARY_SHARD, name, rev);
+    with_cached_body(app, key, || {
+        let elements: Json = body["elements"]
+            .as_array()
+            .map(|items| items.iter().map(|e| e["name"].clone()).collect())
+            .unwrap_or_default();
+        Ok(Json::object([
+            ("name", Json::from(name)),
+            ("library", body["name"].clone()),
+            ("rev", Json::from(rev as f64)),
+            ("source_hash", body["source_hash"].clone()),
+            ("cells_parsed", body["cells_parsed"].clone()),
+            ("cells_mapped", body["cells_mapped"].clone()),
+            ("elements", elements),
+        ])
+        .to_string())
+    })
+}
+
+/// `POST /api/v1/libraries` with a raw Liberty (`.lib`) source body —
+/// the real-world front door: parse, lower every cell to an EQ-1
+/// element, persist the import as a revisioned document under the
+/// reserved `_libraries` shard, and register the elements (which bumps
+/// the registry generation, invalidating cached plans). The diagnostic
+/// report rides along in the success body; E017 failures answer 400
+/// with the report in `diagnostics`.
+fn libraries_post(app: &PowerPlayApp, req: &Request) -> Result<Response, Response> {
+    let text = std::str::from_utf8(req.body()).map_err(|_| {
+        envelope(
+            Status::BadRequest,
+            "invalid_body",
+            "body must be a UTF-8 Liberty (.lib) source",
+            None,
+        )
+    })?;
+    let import = powerplay_liberty::import_str(text, "api");
+    if import.report.has_errors() {
+        return Err(envelope(
+            Status::BadRequest,
+            "unparsable_library",
+            "the Liberty source did not import",
+            Some(import.report.to_json()),
+        ));
+    }
+    let doc_name = library_doc_name(&import.library);
+    let manifest = Json::object([
+        ("name", Json::from(import.library.as_str())),
+        (
+            "source_hash",
+            Json::from(format!("{:016x}", import.source_hash)),
+        ),
+        ("cells_parsed", Json::from(import.cells_parsed as f64)),
+        ("cells_mapped", Json::from(import.cells_mapped as f64)),
+        (
+            "elements",
+            import.elements.iter().map(|e| e.to_json()).collect(),
+        ),
+    ]);
+    // Re-importing the same library name supersedes the previous
+    // import as a new document revision (history stays append-only).
+    let rev = app
+        .store
+        .save_doc(LIBRARY_SHARD, &doc_name, &manifest, None)
+        .map_err(store_error)?;
+    let element_names: Json = import
+        .elements
+        .iter()
+        .map(|e| Json::from(e.name()))
+        .collect();
+    {
+        let mut registry = app.registry.write();
+        for element in import.elements {
+            registry.insert(element);
+        }
+    }
+    let mut response = Response::json_with_status(
+        Status::Created,
+        Json::object([
+            ("name", Json::from(doc_name.as_str())),
+            ("library", Json::from(import.library.as_str())),
+            ("rev", Json::from(rev as f64)),
+            (
+                "source_hash",
+                Json::from(format!("{:016x}", import.source_hash)),
+            ),
+            ("cells_parsed", Json::from(import.cells_parsed as f64)),
+            ("cells_mapped", Json::from(import.cells_mapped as f64)),
+            ("elements", element_names),
+            ("report", import.report.to_json()),
+        ])
+        .to_string(),
+    );
+    response.set_header("ETag", &rev_etag(rev));
+    Ok(response)
 }
 
 #[cfg(test)]
@@ -852,6 +1043,126 @@ mod tests {
             "traversal must not reach the filesystem: {:?}",
             bad.status()
         );
+    }
+
+    /// A small but real Liberty source: units, a template, a cell with
+    /// internal power and leakage.
+    const LIB_SRC: &str = r#"library (api_demo) {
+        voltage_unit : "1V";
+        leakage_power_unit : "1nW";
+        capacitive_load_unit (1, pf);
+        nom_voltage : 1.1;
+        lu_table_template (e2) {
+            variable_1 : input_net_transition;
+            index_1 ("0.1, 0.5");
+        }
+        cell (INVX1) {
+            area : 1.2;
+            cell_leakage_power : 2.0;
+            pin (A) { direction : input; capacitance : 0.004; }
+            pin (Y) {
+                direction : output;
+                internal_power () {
+                    related_pin : "A";
+                    rise_power (e2) { values ("0.010, 0.014"); }
+                    fall_power (e2) { values ("0.012, 0.016"); }
+                }
+            }
+        }
+    }"#;
+
+    #[test]
+    fn library_import_registers_persists_and_lists() {
+        let dir =
+            std::env::temp_dir().join(format!("powerplay-v1-libimport-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let app1 = PowerPlayApp::new(ucb_library(), dir.clone());
+
+        let created = post(&app1, "/api/v1/libraries", LIB_SRC);
+        assert_eq!(created.status(), Status::Created, "{}", created.body_text());
+        assert_eq!(created.header("etag"), Some("\"1\""));
+        let parsed = Json::parse(&created.body_text()).unwrap();
+        assert_eq!(parsed["library"].as_str(), Some("api_demo"));
+        assert_eq!(parsed["cells_parsed"].as_f64(), Some(1.0));
+        assert_eq!(parsed["cells_mapped"].as_f64(), Some(1.0));
+        assert_eq!(
+            parsed["elements"].as_array().unwrap()[0].as_str(),
+            Some("api_demo/INVX1")
+        );
+
+        // The element answers on the element resource and the library
+        // listing immediately.
+        let element = get(&app1, "/api/v1/elements/api_demo/INVX1");
+        assert_eq!(element.status(), Status::Ok, "{}", element.body_text());
+        let listed = get(&app1, "/api/v1/libraries");
+        let parsed = Json::parse(&listed.body_text()).unwrap();
+        let entry = &parsed["libraries"].as_array().unwrap()[0];
+        assert_eq!(entry["library"].as_str(), Some("api_demo"));
+        assert_eq!(entry["cells_mapped"].as_f64(), Some(1.0));
+
+        // The detail view carries provenance and element names, and a
+        // repeat answers bit-identically from the cached body.
+        let detail = get(&app1, "/api/v1/libraries/api_demo");
+        assert_eq!(detail.status(), Status::Ok, "{}", detail.body_text());
+        let parsed = Json::parse(&detail.body_text()).unwrap();
+        assert_eq!(parsed["source_hash"].as_str().map(str::len), Some(16));
+        assert_eq!(
+            parsed["elements"].as_array().unwrap()[0].as_str(),
+            Some("api_demo/INVX1")
+        );
+        let again = get(&app1, "/api/v1/libraries/api_demo");
+        assert_eq!(again.body_text(), detail.body_text());
+
+        // A design can drive the imported cell end to end.
+        let mut sheet = Sheet::new("d");
+        sheet.set_global("vdd", "1.1").unwrap();
+        sheet.set_global("f", "1e9").unwrap();
+        sheet
+            .add_element_row("inv", "api_demo/INVX1", [("activity", "0.5")])
+            .unwrap();
+        put(
+            &app1,
+            "/api/v1/designs/a/d",
+            &sheet.to_json().to_string(),
+            None,
+        );
+        let played = post(&app1, "/api/v1/designs/a/d/play", "");
+        assert_eq!(played.status(), Status::Ok, "{}", played.body_text());
+        let parsed = Json::parse(&played.body_text()).unwrap();
+        assert!(parsed["report"]["total_w"].as_f64().unwrap() > 0.0);
+
+        // Restart: a fresh app over the same data directory reloads the
+        // import from the store and the element still resolves.
+        drop(app1);
+        let app2 = PowerPlayApp::new(ucb_library(), dir);
+        let element = get(&app2, "/api/v1/elements/api_demo/INVX1");
+        assert_eq!(
+            element.status(),
+            Status::Ok,
+            "import must survive restart: {}",
+            element.body_text()
+        );
+        let played = post(&app2, "/api/v1/designs/a/d/play", "");
+        assert_eq!(played.status(), Status::Ok, "{}", played.body_text());
+    }
+
+    #[test]
+    fn malformed_library_answers_400_with_e017_diagnostics() {
+        let app = app("libbad");
+        let bad = post(&app, "/api/v1/libraries", "library (broken) {\n  cell (X {");
+        assert_eq!(bad.status(), Status::BadRequest);
+        assert_eq!(error_code(&bad), "unparsable_library");
+        let parsed = Json::parse(&bad.body_text()).unwrap();
+        let diags = parsed["error"]["diagnostics"]["diagnostics"]
+            .as_array()
+            .expect("report diagnostics present");
+        assert_eq!(diags[0]["code"].as_str(), Some("E017"));
+        // Nothing was persisted or registered.
+        let listed = get(&app, "/api/v1/libraries");
+        let parsed = Json::parse(&listed.body_text()).unwrap();
+        assert!(parsed["libraries"].as_array().unwrap().is_empty());
+        let missing = get(&app, "/api/v1/libraries/broken");
+        assert_eq!(missing.status(), Status::NotFound);
     }
 
     #[test]

@@ -76,6 +76,14 @@ fn http_metrics() -> &'static HttpMetrics {
 /// user, far beyond what one 1996-scale instance needs.
 const PLAN_CACHE_CAPACITY: usize = 32;
 
+/// The reserved store shard holding imported Liberty libraries as
+/// revisioned JSON documents. The leading underscore keeps it out of
+/// the way of real usernames in the UI; it passes the store's name
+/// validator like any other shard, so imports share the WAL, snapshot,
+/// and crash-recovery machinery with user designs. Public so the CLI
+/// inspector can read the same shard.
+pub const LIBRARY_SHARD: &str = "_libraries";
+
 /// The application: a shared model registry plus the user store.
 pub struct PowerPlayApp {
     pub(crate) registry: RwLock<Registry>,
@@ -98,12 +106,38 @@ impl PowerPlayApp {
     ///
     /// Panics if the data directory cannot be created.
     pub fn new(registry: Registry, data_dir: PathBuf) -> Arc<PowerPlayApp> {
+        let store = UserStore::open(data_dir).expect("create data directory");
+        let registry = Self::with_imported_libraries(registry, &store);
         Arc::new(PowerPlayApp {
             registry: RwLock::new(registry),
-            store: UserStore::open(data_dir).expect("create data directory"),
+            store,
             plan_cache: PlanCache::new(PLAN_CACHE_CAPACITY),
             credentials: None,
         })
+    }
+
+    /// Merges every element of every persisted Liberty import back into
+    /// the registry — `POST /api/v1/libraries` survives a restart the
+    /// same way saved designs do. Elements that fail to decode (a store
+    /// written by a newer schema) are skipped rather than fatal.
+    fn with_imported_libraries(mut registry: Registry, store: &UserStore) -> Registry {
+        let Ok(docs) = store.list_docs(LIBRARY_SHARD) else {
+            return registry;
+        };
+        for doc in docs {
+            let Ok(Some((_, body))) = store.load_doc(LIBRARY_SHARD, &doc.name) else {
+                continue;
+            };
+            let Some(items) = body["elements"].as_array() else {
+                continue;
+            };
+            for item in items {
+                if let Ok(element) = LibraryElement::from_json(item) {
+                    registry.insert(element);
+                }
+            }
+        }
+        registry
     }
 
     /// Like [`Self::new`], but every request must carry HTTP Basic
@@ -122,9 +156,11 @@ impl PowerPlayApp {
         credentials: Vec<(String, String)>,
     ) -> Arc<PowerPlayApp> {
         assert!(!credentials.is_empty(), "need at least one credential");
+        let store = UserStore::open(data_dir).expect("create data directory");
+        let registry = Self::with_imported_libraries(registry, &store);
         Arc::new(PowerPlayApp {
             registry: RwLock::new(registry),
-            store: UserStore::open(data_dir).expect("create data directory"),
+            store,
             plan_cache: PlanCache::new(PLAN_CACHE_CAPACITY),
             credentials: Some(credentials),
         })

@@ -73,12 +73,16 @@ fn cache_metrics() -> &'static CacheMetrics {
 }
 
 struct Entry {
-    plan: Arc<CompiledSheet>,
+    /// The compiled plan; `None` for body-only entries (resources like
+    /// the imported-library detail view cache a serialized body keyed
+    /// by `(rev, generation)` without ever compiling a sheet).
+    plan: Option<Arc<CompiledSheet>>,
     /// The serialized `/api/design` success body, kept beside the plan
     /// so an unchanged design answers without replaying at all.
     body: Option<Arc<String>>,
-    /// The serialized `/analyze` success body. Abstract interpretation
-    /// is pure in the plan, so one analysis per cached plan suffices.
+    /// The serialized body of a pure-in-`(rev, generation)` derived
+    /// resource (`/analyze`, library detail) — one per cached entry
+    /// suffices because the inputs are immutable at a given key.
     analysis: Option<Arc<String>>,
     /// Last-touch tick for LRU eviction.
     tick: u64,
@@ -158,8 +162,10 @@ impl PlanCache {
             let tick = inner.tick;
             if let Some(entry) = inner.entries.get_mut(&key) {
                 entry.tick = tick;
-                metrics.hits.inc();
-                return (Arc::clone(&entry.plan), true);
+                if let Some(plan) = &entry.plan {
+                    metrics.hits.inc();
+                    return (Arc::clone(plan), true);
+                }
             }
         }
         metrics.misses.inc();
@@ -167,12 +173,17 @@ impl PlanCache {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        inner.entries.entry(key).or_insert(Entry {
-            plan: Arc::clone(&plan),
+        let entry = inner.entries.entry(key).or_insert(Entry {
+            plan: None,
             body: None,
             analysis: None,
             tick,
         });
+        entry.tick = tick;
+        // A body-only entry may exist already; fill in the plan. Racing
+        // misses both compile and the later insert wins (plans for one
+        // key are interchangeable).
+        entry.plan = Some(Arc::clone(&plan));
         Self::evict(&mut inner, self.capacity);
         metrics.size.set(inner.entries.len() as i64);
         (plan, false)
@@ -222,13 +233,24 @@ impl PlanCache {
         analysis
     }
 
-    /// Stores a successful analyze-endpoint body beside the plan for
-    /// `key`. A no-op if the entry was evicted in the meantime.
+    /// Stores a derived-resource body for `key`, creating a body-only
+    /// entry (no compiled plan) if the key is not cached yet — resources
+    /// like the library detail view never compile a sheet but still
+    /// want per-`(rev, generation)` body caching.
     pub fn store_analysis(&self, key: u64, body: Arc<String>) {
         let mut inner = self.inner.lock();
-        if let Some(entry) = inner.entries.get_mut(&key) {
-            entry.analysis = Some(body);
-        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.entries.entry(key).or_insert(Entry {
+            plan: None,
+            body: None,
+            analysis: None,
+            tick,
+        });
+        entry.tick = tick;
+        entry.analysis = Some(body);
+        Self::evict(&mut inner, self.capacity);
+        cache_metrics().size.set(inner.entries.len() as i64);
     }
 
     fn evict(inner: &mut Inner, capacity: usize) {
@@ -341,6 +363,27 @@ mod tests {
         );
         cache.plan_for(2, plan); // evicts 1 and both bodies
         assert!(cache.cached_analysis(1).is_none());
+    }
+
+    #[test]
+    fn body_only_entry_caches_without_a_plan() {
+        let cache = PlanCache::new(2);
+        cache.store_analysis(9, Arc::new("{\"detail\":1}".to_owned()));
+        assert_eq!(
+            cache.cached_analysis(9).as_deref().map(String::as_str),
+            Some("{\"detail\":1}")
+        );
+        // A later plan_for on the same key compiles once, keeps the body,
+        // and subsequent lookups hit.
+        let (_, hit) = cache.plan_for(9, plan);
+        assert!(!hit, "no plan existed yet");
+        let (_, hit) = cache.plan_for(9, || panic!("plan now cached"));
+        assert!(hit);
+        assert!(cache.cached_analysis(9).is_some());
+        // Body-only entries are subject to LRU eviction like any other.
+        cache.store_analysis(10, Arc::new("a".to_owned()));
+        cache.store_analysis(11, Arc::new("b".to_owned()));
+        assert!(cache.cached_analysis(9).is_none(), "9 was the coldest");
     }
 
     #[test]

@@ -73,6 +73,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("profile") => cmd_profile(&args[1..]).map_err(CliError::from),
         Some("lint") => cmd_lint(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("import-lib") => cmd_import_lib(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]).map_err(CliError::from),
         Some("lump") => cmd_lump(&args[1..]).map_err(CliError::from),
         Some("compare") => cmd_compare(&args[1..]).map_err(CliError::from),
@@ -104,6 +105,11 @@ USAGE:
                                             prove power bounds by abstract
                                             interpretation; ranges widen the
                                             named globals to intervals
+  powerplay-cli import-lib <file.lib> [--json] [--out <models.json>]
+                                            parse a Liberty cell library and
+                                            lower every cell to an EQ-1 power
+                                            model; --out writes the element
+                                            JSON for later registration
   powerplay-cli sweep <design.json> <global> <v1,v2,...>
   powerplay-cli lump <design.json> <name>   lump a design into a macro (JSON)
   powerplay-cli compare <a.json> <b.json>    side-by-side design comparison
@@ -115,9 +121,10 @@ USAGE:
                                             run the web application
   powerplay-cli designs [--data-dir <dir>] [<user> [<design>]]
                                             inspect the durable design store
+                                            (also lists imported libraries)
   powerplay-cli fetch <http://site>         fetch a remote library (JSON)
 
-EXIT CODES (lint, analyze):
+EXIT CODES (lint, analyze, import-lib):
   0  clean — no error-severity findings
   1  findings or failure — lint/analysis errors, unreadable design
   2  usage — malformed invocation
@@ -392,6 +399,80 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `import-lib <file.lib> [--json] [--out <models.json>]` — parse a
+/// Liberty cell library, lower every cell to an EQ-1 element (see
+/// `crates/liberty`), and report the E017/W119/W120/I203 findings.
+/// Shares `lint`'s exit contract: 0 clean import, 1 errors or an
+/// unreadable file, 2 usage.
+fn cmd_import_lib(args: &[String]) -> Result<(), CliError> {
+    let mut path: Option<&str> = None;
+    let mut as_json = false;
+    let mut out: Option<&str> = None;
+    let mut it = args.iter().map(String::as_str);
+    while let Some(arg) = it.next() {
+        match arg {
+            "--json" => as_json = true,
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::Usage("--out needs a path".to_string()))?,
+                );
+            }
+            _ if path.is_none() => path = Some(arg),
+            other => return Err(CliError::Usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let path = path.ok_or_else(|| {
+        CliError::Usage("usage: import-lib <file.lib> [--json] [--out <models.json>]".to_string())
+    })?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
+    let import = powerplay_liberty::import_str(&text, path);
+    if let Some(out) = out {
+        let models: Json = import.elements.iter().map(|e| e.to_json()).collect();
+        std::fs::write(out, models.to_pretty())
+            .map_err(|e| CliError::Failure(format!("{out}: {e}")))?;
+    }
+    if as_json {
+        // Machine-readable: keep stdout pure JSON.
+        let summary = Json::object([
+            ("library", Json::from(import.library.as_str())),
+            (
+                "source_hash",
+                Json::from(format!("{:016x}", import.source_hash)),
+            ),
+            ("cells_parsed", Json::from(import.cells_parsed as f64)),
+            ("cells_mapped", Json::from(import.cells_mapped as f64)),
+            (
+                "elements",
+                import
+                    .elements
+                    .iter()
+                    .map(|e| Json::from(e.name()))
+                    .collect(),
+            ),
+            ("report", import.report.to_json()),
+        ]);
+        println!("{}", summary.to_pretty());
+    } else {
+        print!("{}", import.report.render_text());
+        println!(
+            "library `{}`: {} of {} cell(s) mapped (source hash {:016x})",
+            import.library, import.cells_mapped, import.cells_parsed, import.source_hash
+        );
+        for element in &import.elements {
+            println!("  {:<28} {}", element.name(), element.doc());
+        }
+    }
+    if import.report.has_errors() {
+        return Err(CliError::Failure(format!(
+            "{path}: {} import error(s)",
+            import.report.count(powerplay_lint::Severity::Error)
+        )));
+    }
+    Ok(())
+}
+
 /// Parses a `NAME=LO:HI` range spec (`LO`/`HI` are plain numbers; a
 /// single `NAME=V` pins the global to a point).
 fn parse_range(spec: &str) -> Result<(String, powerplay_analysis::Interval), String> {
@@ -590,9 +671,35 @@ fn cmd_designs(args: &[String]) -> Result<(), String> {
             if users.is_empty() {
                 eprintln!("no users in {}", store.root().display());
             }
-            for user in users {
-                let designs = store.list(&user).map_err(|e| e.to_string())?;
+            for user in &users {
+                // Reserved shards (imported libraries) get their own
+                // section below, not a row in the user listing.
+                if user.starts_with('_') {
+                    continue;
+                }
+                let designs = store.list(user).map_err(|e| e.to_string())?;
                 println!("{:<24} {} design(s)", user, designs.len());
+            }
+            let libraries = store
+                .list_docs(powerplay_web::app::LIBRARY_SHARD)
+                .map_err(|e| e.to_string())?;
+            if !libraries.is_empty() {
+                println!("imported libraries:");
+                for lib in libraries {
+                    let Some((rev, manifest)) = store
+                        .load_doc(powerplay_web::app::LIBRARY_SHARD, &lib.name)
+                        .map_err(|e| e.to_string())?
+                    else {
+                        continue;
+                    };
+                    println!(
+                        "  {:<24} rev {:<4} {:>4} cell(s)  source hash {}",
+                        lib.name,
+                        rev,
+                        manifest["cells_mapped"].as_f64().unwrap_or(0.0),
+                        manifest["source_hash"].as_str().unwrap_or("-"),
+                    );
+                }
             }
         }
         [user] => {

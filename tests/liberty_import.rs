@@ -1,0 +1,174 @@
+//! End-to-end Liberty ingestion: the gscl45nm-style fixture imports,
+//! every cell maps (or is skipped with a specific W119), the imported
+//! elements drive a design through `play` and `analyze`, and the CLI
+//! honours the lint/analyze exit-code contract.
+
+use std::process::Command;
+
+use powerplay::{PowerPlay, Sheet};
+use powerplay_json::Json;
+use powerplay_lint::codes;
+
+const FIXTURE: &str = include_str!("fixtures/gscl45nm_mini.lib");
+
+fn fixture_path(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn fixture_imports_with_every_cell_accounted_for() {
+    let import = powerplay_liberty::import_str(FIXTURE, "gscl45nm_mini.lib");
+    assert!(!import.report.has_errors(), "{:?}", import.report);
+    assert_eq!(import.library, "gscl45nm_mini");
+    assert_eq!(import.cells_parsed, 11);
+    // FILL1 carries no power data; every other cell maps.
+    assert_eq!(import.cells_mapped, 10);
+    assert_eq!(import.elements.len(), 10);
+
+    // The one unmapped cell has its specific W119.
+    let w119: Vec<_> = import
+        .report
+        .diagnostics()
+        .iter()
+        .filter(|d| d.code == codes::UNMAPPABLE_CONSTRUCT_SKIPPED)
+        .collect();
+    assert_eq!(w119.len(), 1, "{w119:?}");
+    assert_eq!(w119[0].path, "cells/FILL1");
+
+    // Tables were hull-collapsed and reported (one I203 per table, plus
+    // the state-dependent leakage collapses).
+    let i203 = import
+        .report
+        .diagnostics()
+        .iter()
+        .filter(|d| d.code == codes::TABLE_COLLAPSED)
+        .count();
+    assert!(i203 >= 20, "expected many I203 collapse notes, got {i203}");
+
+    // The sequential cells landed in the Storage class.
+    let dff = import
+        .elements
+        .iter()
+        .find(|e| e.name() == "gscl45nm_mini/DFFPOSX1")
+        .expect("DFF mapped");
+    assert_eq!(dff.class(), powerplay_library::ElementClass::Storage);
+    let inv = import
+        .elements
+        .iter()
+        .find(|e| e.name() == "gscl45nm_mini/INVX1")
+        .expect("INV mapped");
+    assert_eq!(inv.class(), powerplay_library::ElementClass::Computation);
+    // Provenance rides in the documentation string.
+    assert!(inv.doc().contains(&format!("{:016x}", import.source_hash)));
+}
+
+#[test]
+fn imported_elements_drive_play_and_analyze() {
+    let import = powerplay_liberty::import_str(FIXTURE, "gscl45nm_mini.lib");
+    let mut pp = PowerPlay::new();
+    for element in import.elements {
+        pp.registry_mut().insert(element);
+    }
+
+    // A toy datapath slice out of the imported cells.
+    let mut sheet = Sheet::new("slice");
+    sheet.set_global("vdd", "1.1").unwrap();
+    sheet.set_global("f", "500e6").unwrap();
+    sheet
+        .add_element_row("inv", "gscl45nm_mini/INVX1", [("activity", "0.2")])
+        .unwrap();
+    sheet
+        .add_element_row("nand", "gscl45nm_mini/NAND2X1", [("activity", "0.15")])
+        .unwrap();
+    sheet
+        .add_element_row("dff", "gscl45nm_mini/DFFPOSX1", [("activity", "1.0")])
+        .unwrap();
+
+    let report = pp.play(&sheet).expect("imported design plays");
+    let total = report.total_power().value();
+    assert!(
+        total.is_finite() && total > 0.0,
+        "implausible total {total}"
+    );
+    // Sanity: three 45nm-ish gates at 500 MHz land in microwatts to
+    // milliwatts, not kilowatts.
+    assert!(total < 1e-2, "implausibly large total {total} W");
+
+    let plan = pp.compile(&sheet);
+    let bounds = powerplay_analysis::analyze(&plan).expect("analysis runs");
+    assert!(!bounds.has_errors());
+    assert!(
+        bounds.total_power.is_finite(),
+        "bounds must be finite: [{}, {}]",
+        bounds.total_power.lo,
+        bounds.total_power.hi
+    );
+    assert!(
+        bounds.total_power.lo <= total && total <= bounds.total_power.hi,
+        "{total} outside proven [{}, {}]",
+        bounds.total_power.lo,
+        bounds.total_power.hi
+    );
+}
+
+#[test]
+fn cli_import_lib_maps_the_fixture_cleanly() {
+    let out = Command::new(env!("CARGO_BIN_EXE_powerplay-cli"))
+        .args(["import-lib", &fixture_path("gscl45nm_mini.lib"), "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "import-lib failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let parsed = Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("pure JSON stdout");
+    assert_eq!(parsed["library"].as_str(), Some("gscl45nm_mini"));
+    assert_eq!(parsed["cells_parsed"].as_f64(), Some(11.0));
+    assert_eq!(parsed["cells_mapped"].as_f64(), Some(10.0));
+    assert_eq!(parsed["report"]["errors"].as_f64(), Some(0.0));
+    assert_eq!(parsed["source_hash"].as_str().map(str::len), Some(16));
+
+    // --out writes the element JSON, loadable as a registry fragment.
+    let models =
+        std::env::temp_dir().join(format!("powerplay-libtest-{}.json", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_powerplay-cli"))
+        .args([
+            "import-lib",
+            &fixture_path("gscl45nm_mini.lib"),
+            "--out",
+            models.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&models).unwrap();
+    let elements = Json::parse(&text).unwrap();
+    assert_eq!(elements.as_array().map(<[Json]>::len), Some(10));
+    let _ = std::fs::remove_file(&models);
+}
+
+#[test]
+fn cli_import_lib_fails_with_e017_on_broken_source() {
+    let out = Command::new(env!("CARGO_BIN_EXE_powerplay-cli"))
+        .args(["import-lib", &fixture_path("broken.lib"), "--json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "findings exit code");
+    let parsed = Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("pure JSON stdout");
+    let diags = parsed["report"]["diagnostics"].as_array().unwrap();
+    assert_eq!(diags[0]["code"].as_str(), Some("E017"));
+    // The diagnostic pinpoints the failure: file, line, column.
+    let path = diags[0]["path"].as_str().unwrap();
+    assert!(
+        path.contains("broken.lib:") && path.matches(':').count() >= 2,
+        "E017 path must carry file:line:col, got `{path}`"
+    );
+
+    // Usage errors are exit 2, distinct from findings.
+    let usage = Command::new(env!("CARGO_BIN_EXE_powerplay-cli"))
+        .args(["import-lib"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(usage.status.code(), Some(2));
+}
