@@ -17,7 +17,7 @@
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
-use powerplay_expr::{BinaryOp, EvalError, Expr, UnaryOp, BUILTIN_FUNCTIONS};
+use powerplay_expr::{BinaryOp, Builtin, EvalError, Expr, UnaryOp};
 use powerplay_library::{ElementModel, EvaluateElementError, LibraryElement};
 use powerplay_lint::{codes, convention_dim, infer_dims, Diagnostic, DimInfo, LintReport};
 use powerplay_sheet::{toposort, CompiledSheet, EvaluateSheetError, RowKindView, RowView};
@@ -166,10 +166,10 @@ fn abs_eval(
             Ok(apply_binary_abs(*op, &a, &b))
         }
         Expr::Call(name, args) => {
-            let expected = match BUILTIN_FUNCTIONS.iter().find(|(n, _)| n == name) {
-                Some((_, arity)) => *arity,
-                None => return Err(EvalError::UnknownFunction(name.clone())),
+            let Some(builtin) = Builtin::lookup(name) else {
+                return Err(EvalError::UnknownFunction(name.clone()));
             };
+            let expected = builtin.arity();
             if args.len() != expected {
                 return Err(EvalError::WrongArity {
                     function: name.clone(),
@@ -177,14 +177,14 @@ fn abs_eval(
                     found: args.len(),
                 });
             }
-            if name == "if" {
+            if builtin == Builtin::If {
                 return abs_if(args, env, ninputs, path, sink);
             }
             let vals: Vec<AbsValue> = args
                 .iter()
                 .map(|a| abs_eval(a, env, ninputs, path, sink))
                 .collect::<Result<_, _>>()?;
-            Ok(apply_function_abs(name, &vals, path, sink))
+            Ok(apply_function_abs(builtin, &vals, path, sink))
         }
     }
 }
@@ -304,7 +304,12 @@ fn cmp_abs(op: CompareOp, a: &AbsValue, b: &AbsValue) -> AbsValue {
 
 /// The abstract counterpart of `apply_function` (sans `if`, handled in
 /// [`abs_if`]).
-fn apply_function_abs(name: &str, vals: &[AbsValue], path: &str, sink: &mut Sink<'_>) -> AbsValue {
+fn apply_function_abs(
+    builtin: Builtin,
+    vals: &[AbsValue],
+    path: &str,
+    sink: &mut Sink<'_>,
+) -> AbsValue {
     let unary = |iv: fn(Interval) -> Interval, m: &dyn Fn(Mono, &Interval) -> Mono| {
         let a = &vals[0];
         AbsValue {
@@ -312,49 +317,49 @@ fn apply_function_abs(name: &str, vals: &[AbsValue], path: &str, sink: &mut Sink
             mono: a.mono.iter().map(|x| m(*x, &a.iv)).collect(),
         }
     };
-    match name {
-        "abs" => unary(interval::abs, &mono::abs),
-        "sqrt" => {
+    match builtin {
+        Builtin::Abs => unary(interval::abs, &mono::abs),
+        Builtin::Sqrt => {
             let out = unary(interval::sqrt, &mono::increasing_on_nonneg);
-            nan_domain_warning(out.iv, vals[0].iv, name, path, sink);
+            nan_domain_warning(out.iv, vals[0].iv, builtin.name(), path, sink);
             out
         }
-        "exp" => unary(interval::exp, &|m, _| mono::increasing(m)),
-        "ln" => {
+        Builtin::Exp => unary(interval::exp, &|m, _| mono::increasing(m)),
+        Builtin::Ln => {
             let out = unary(interval::ln, &mono::increasing_on_nonneg);
-            nan_domain_warning(out.iv, vals[0].iv, name, path, sink);
+            nan_domain_warning(out.iv, vals[0].iv, builtin.name(), path, sink);
             out
         }
-        "log10" => {
+        Builtin::Log10 => {
             let out = unary(interval::log10, &mono::increasing_on_nonneg);
-            nan_domain_warning(out.iv, vals[0].iv, name, path, sink);
+            nan_domain_warning(out.iv, vals[0].iv, builtin.name(), path, sink);
             out
         }
-        "log2" => {
+        Builtin::Log2 => {
             let out = unary(interval::log2, &mono::increasing_on_nonneg);
-            nan_domain_warning(out.iv, vals[0].iv, name, path, sink);
+            nan_domain_warning(out.iv, vals[0].iv, builtin.name(), path, sink);
             out
         }
-        "floor" => unary(interval::floor, &|m, _| mono::increasing(m)),
-        "ceil" => unary(interval::ceil, &|m, _| mono::increasing(m)),
-        "round" => unary(interval::round, &|m, _| mono::increasing(m)),
-        "min" => AbsValue {
+        Builtin::Floor => unary(interval::floor, &|m, _| mono::increasing(m)),
+        Builtin::Ceil => unary(interval::ceil, &|m, _| mono::increasing(m)),
+        Builtin::Round => unary(interval::round, &|m, _| mono::increasing(m)),
+        Builtin::Min => AbsValue {
             iv: interval::min(vals[0].iv, vals[1].iv),
             mono: zip_mono(&vals[0], &vals[1], mono::min_max),
         },
-        "max" => AbsValue {
+        Builtin::Max => AbsValue {
             iv: interval::max(vals[0].iv, vals[1].iv),
             mono: zip_mono(&vals[0], &vals[1], mono::min_max),
         },
-        "pow" => AbsValue {
+        Builtin::Pow => AbsValue {
             iv: interval::pow(vals[0].iv, vals[1].iv),
             mono: zip_mono_iv(&vals[0], &vals[1], mono::pow),
         },
-        "hypot" => AbsValue {
+        Builtin::Hypot => AbsValue {
             iv: interval::hypot(vals[0].iv, vals[1].iv),
             mono: zip_mono_iv(&vals[0], &vals[1], mono::hypot),
         },
-        other => unreachable!("arity-checked builtin {other} not handled"),
+        Builtin::If => unreachable!("`if` is handled by abs_if"),
     }
 }
 

@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use powerplay::designs::infopad;
 use powerplay::designs::luminance::{sheet, LuminanceArch};
 use powerplay::{Expr, Scope, Sheet};
-use powerplay_bench::{banner, record_metrics, session, throughput};
+use powerplay_bench::{banner, record_metrics_with_refs, session, throughput};
 
 fn wide_sheet(rows: usize) -> Sheet {
     let mut s = Sheet::new("wide");
@@ -113,11 +113,22 @@ fn bench(c: &mut Criterion) {
 
     // Headline plays/sec on the InfoPad system sheet, recorded for
     // cross-commit diffing: compiled replay must beat per-play
-    // recompilation by a wide margin (acceptance floor: 3x).
+    // recompilation by a wide margin (acceptance floor: 3x), and the
+    // bytecode register machine must beat the scope-chain tree walker
+    // it replaced (`play_with` dispatches to bytecode; the tree walker
+    // stays reachable as the parity oracle).
     let recompile_rate = throughput(300, || {
         let mut v = system.clone();
         v.set_global_value("vdd", 1.1);
         std::hint::black_box(pp.play(&v).unwrap().total_power());
+    });
+    let tree_rate = throughput(300, || {
+        std::hint::black_box(
+            system_plan
+                .play_with_tree(&[("vdd", 1.1)])
+                .unwrap()
+                .total_power(),
+        );
     });
     let replay_rate = throughput(300, || {
         std::hint::black_box(
@@ -127,18 +138,47 @@ fn bench(c: &mut Criterion) {
                 .total_power(),
         );
     });
-    println!(
-        "infopad plays/sec: recompile {recompile_rate:.0}, compiled replay {replay_rate:.0} \
-         ({:.1}x)",
-        replay_rate / recompile_rate
+    assert!(
+        replay_rate >= tree_rate,
+        "bytecode replay ({replay_rate:.0}/s) slower than the tree walker ({tree_rate:.0}/s)"
     );
-    record_metrics(
+    println!(
+        "infopad plays/sec: recompile {recompile_rate:.0}, tree walk {tree_rate:.0}, \
+         bytecode replay {replay_rate:.0} ({:.1}x over tree walk)",
+        replay_rate / tree_rate
+    );
+
+    // Reference totals, computed live so a model regression shows up as
+    // a diff here (and as a failure in `crates/analysis/tests/designs.rs`,
+    // which asserts the proven bounds bracket these exact values).
+    let reference = [
+        ("infopad", pp.play(&system).unwrap().total_power().value()),
+        (
+            "luminance_direct_lut",
+            pp.play(&sheet(LuminanceArch::DirectLut))
+                .unwrap()
+                .total_power()
+                .value(),
+        ),
+        (
+            "luminance_grouped_lut",
+            pp.play(&sheet(LuminanceArch::GroupedLut))
+                .unwrap()
+                .total_power()
+                .value(),
+        ),
+    ];
+    record_metrics_with_refs(
         "engine_latency",
         &[
             ("infopad_plays_per_sec_recompile", recompile_rate),
             ("infopad_plays_per_sec_compiled_replay", replay_rate),
             ("compiled_replay_speedup", replay_rate / recompile_rate),
+            ("infopad_plays_per_sec_tree_walk", tree_rate),
+            ("bytecode_plays_per_sec", replay_rate),
+            ("bytecode_speedup", replay_rate / tree_rate),
         ],
+        Some(("reference_total_power_w", &reference)),
     );
 }
 

@@ -148,6 +148,10 @@ fn bench(c: &mut Criterion) {
             ("delta_replays_per_sec", delta_rate),
             ("delta_speedup", delta_rate / full_rate),
             ("sweep64_plays_per_sec", sweep_rate * points),
+            // The memoized sweep now runs on the batched bytecode
+            // kernel; recorded under its own key so the dispatch is
+            // visible in cross-commit diffs.
+            ("bytecode_sweep64_plays_per_sec", sweep_rate * points),
         ],
     );
 }

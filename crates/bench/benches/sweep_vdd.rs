@@ -133,6 +133,11 @@ fn bench(c: &mut Criterion) {
             ("serial_plays_per_sec", serial_rate * points),
             ("parallel_plays_per_sec", parallel_rate * points),
             ("parallel_speedup", parallel_rate / serial_rate),
+            // The parallel path batches points through the bytecode
+            // sweep kernel (8 lanes per instruction-dispatch pass);
+            // same measurement, recorded under the bytecode_ family.
+            ("bytecode_batched_plays_per_sec", parallel_rate * points),
+            ("bytecode_batch_speedup", parallel_rate / serial_rate),
         ],
     );
 }

@@ -25,10 +25,34 @@ pub fn banner(figure: &str) {
 /// across commits. Values print with enough precision for rates
 /// (plays/sec) and ratios alike.
 pub fn record_metrics(tag: &str, entries: &[(&str, f64)]) {
+    record_metrics_with_refs(tag, entries, None);
+}
+
+/// [`record_metrics`] with an optional trailing nested object of
+/// *full-precision* values (shortest round-trip form), for reference
+/// numbers downstream tests compare exactly — rates round to 3 places,
+/// reference powers must not.
+pub fn record_metrics_with_refs(
+    tag: &str,
+    entries: &[(&str, f64)],
+    refs: Option<(&str, &[(&str, f64)])>,
+) {
     let mut body = String::from("{\n");
     for (i, (key, value)) in entries.iter().enumerate() {
-        let sep = if i + 1 == entries.len() { "" } else { "," };
+        let sep = if i + 1 == entries.len() && refs.is_none() {
+            ""
+        } else {
+            ","
+        };
         body.push_str(&format!("  \"{key}\": {value:.3}{sep}\n"));
+    }
+    if let Some((key, values)) = refs {
+        body.push_str(&format!("  \"{key}\": {{\n"));
+        for (i, (name, value)) in values.iter().enumerate() {
+            let sep = if i + 1 == values.len() { "" } else { "," };
+            body.push_str(&format!("    \"{name}\": {value}{sep}\n"));
+        }
+        body.push_str("  }\n");
     }
     body.push_str("}\n");
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

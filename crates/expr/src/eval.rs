@@ -27,6 +27,138 @@ pub const BUILTIN_FUNCTIONS: [(&str, usize); 14] = [
     ("if", 3),
 ];
 
+/// A builtin function resolved to an opcode, so evaluators can dispatch
+/// without comparing names. The tree walker and the sheet crate's
+/// bytecode interpreter share this table — one source of truth for
+/// which intrinsic each name means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    Abs,
+    Sqrt,
+    Exp,
+    Ln,
+    Log10,
+    Log2,
+    Floor,
+    Ceil,
+    Round,
+    Min,
+    Max,
+    Pow,
+    Hypot,
+    If,
+}
+
+impl Builtin {
+    /// Resolves a function name to its opcode, or `None` for unknown
+    /// functions. Covers exactly [`BUILTIN_FUNCTIONS`].
+    pub fn lookup(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "abs" => Builtin::Abs,
+            "sqrt" => Builtin::Sqrt,
+            "exp" => Builtin::Exp,
+            "ln" => Builtin::Ln,
+            "log10" => Builtin::Log10,
+            "log2" => Builtin::Log2,
+            "floor" => Builtin::Floor,
+            "ceil" => Builtin::Ceil,
+            "round" => Builtin::Round,
+            "min" => Builtin::Min,
+            "max" => Builtin::Max,
+            "pow" => Builtin::Pow,
+            "hypot" => Builtin::Hypot,
+            "if" => Builtin::If,
+            _ => return None,
+        })
+    }
+
+    /// The name this opcode was resolved from.
+    pub fn name(self) -> &'static str {
+        match self {
+            Builtin::Abs => "abs",
+            Builtin::Sqrt => "sqrt",
+            Builtin::Exp => "exp",
+            Builtin::Ln => "ln",
+            Builtin::Log10 => "log10",
+            Builtin::Log2 => "log2",
+            Builtin::Floor => "floor",
+            Builtin::Ceil => "ceil",
+            Builtin::Round => "round",
+            Builtin::Min => "min",
+            Builtin::Max => "max",
+            Builtin::Pow => "pow",
+            Builtin::Hypot => "hypot",
+            Builtin::If => "if",
+        }
+    }
+
+    /// Number of arguments the builtin takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Builtin::Abs
+            | Builtin::Sqrt
+            | Builtin::Exp
+            | Builtin::Ln
+            | Builtin::Log10
+            | Builtin::Log2
+            | Builtin::Floor
+            | Builtin::Ceil
+            | Builtin::Round => 1,
+            Builtin::Min | Builtin::Max | Builtin::Pow | Builtin::Hypot => 2,
+            Builtin::If => 3,
+        }
+    }
+
+    /// Applies a unary builtin. Panics on arity-2/3 opcodes.
+    #[inline]
+    pub fn apply1(self, x: f64) -> f64 {
+        match self {
+            Builtin::Abs => x.abs(),
+            Builtin::Sqrt => x.sqrt(),
+            Builtin::Exp => x.exp(),
+            Builtin::Ln => x.ln(),
+            Builtin::Log10 => x.log10(),
+            Builtin::Log2 => x.log2(),
+            Builtin::Floor => x.floor(),
+            Builtin::Ceil => x.ceil(),
+            Builtin::Round => x.round(),
+            _ => unreachable!("apply1 on arity-{} builtin {}", self.arity(), self.name()),
+        }
+    }
+
+    /// Applies a binary builtin. Panics on arity-1/3 opcodes.
+    #[inline]
+    pub fn apply2(self, a: f64, b: f64) -> f64 {
+        match self {
+            Builtin::Min => a.min(b),
+            Builtin::Max => a.max(b),
+            Builtin::Pow => a.powf(b),
+            Builtin::Hypot => a.hypot(b),
+            _ => unreachable!("apply2 on arity-{} builtin {}", self.arity(), self.name()),
+        }
+    }
+
+    /// Applies the builtin to an argument slice of exactly [`Self::arity`]
+    /// values. `if` selects on `cond != 0.0` with all arguments already
+    /// evaluated — eager, like the tree walker.
+    #[inline]
+    pub fn apply(self, args: &[f64]) -> f64 {
+        match (self.arity(), args) {
+            (1, [x]) => self.apply1(*x),
+            (2, [a, b]) => self.apply2(*a, *b),
+            (3, [c, t, e]) => {
+                debug_assert_eq!(self, Builtin::If);
+                if *c != 0.0 {
+                    *t
+                } else {
+                    *e
+                }
+            }
+            _ => unreachable!("arity checked before dispatch"),
+        }
+    }
+}
+
 /// A variable environment with optional lexical parent.
 ///
 /// Sheets use one scope per hierarchy level: a sub-sheet's scope chains to
@@ -96,10 +228,21 @@ impl<'parent> Scope<'parent> {
     }
 
     /// Names bound at *this* level (not the whole chain), sorted.
+    ///
+    /// Allocates and sorts on every call — hot paths that need the same
+    /// listing repeatedly (compiled-plan diagnostics) should compute it
+    /// once at compile time and reuse the result.
     pub fn local_names(&self) -> Vec<&str> {
         let mut names: Vec<&str> = self.bindings.keys().map(|k| &**k).collect();
         names.sort_unstable();
         names
+    }
+
+    /// True when the scope is an empty root: no local bindings and no
+    /// parent. Such a scope cannot influence evaluation, so compiled
+    /// plans may substitute a faster equivalent evaluator.
+    pub fn is_empty_root(&self) -> bool {
+        self.parent.is_none() && self.bindings.is_empty()
     }
 }
 
@@ -139,11 +282,9 @@ impl Expr {
                 Ok(apply_binary(*op, l, r))
             }
             Expr::Call(name, args) => {
-                let arity = BUILTIN_FUNCTIONS
-                    .iter()
-                    .find(|(n, _)| n == name)
-                    .map(|(_, a)| *a)
+                let builtin = Builtin::lookup(name)
                     .ok_or_else(|| EvalError::UnknownFunction(name.clone()))?;
+                let arity = builtin.arity();
                 if args.len() != arity {
                     return Err(EvalError::WrongArity {
                         function: name.clone(),
@@ -155,7 +296,7 @@ impl Expr {
                 for (slot, arg) in values.iter_mut().zip(args) {
                     *slot = arg.eval(scope)?;
                 }
-                Ok(apply_function(name, &values[..arity]))
+                Ok(builtin.apply(&values[..arity]))
             }
         }
     }
@@ -190,10 +331,8 @@ impl Expr {
                 rhs.constant_value()?,
             )),
             Expr::Call(name, args) => {
-                let arity = BUILTIN_FUNCTIONS
-                    .iter()
-                    .find(|(n, _)| n == name)
-                    .map(|(_, a)| *a)?;
+                let builtin = Builtin::lookup(name)?;
+                let arity = builtin.arity();
                 if args.len() != arity {
                     return None;
                 }
@@ -201,13 +340,17 @@ impl Expr {
                 for (slot, arg) in values.iter_mut().zip(args) {
                     *slot = arg.constant_value()?;
                 }
-                Some(apply_function(name, &values[..arity]))
+                Some(builtin.apply(&values[..arity]))
             }
         }
     }
 }
 
-fn apply_binary(op: BinaryOp, l: f64, r: f64) -> f64 {
+/// Applies a binary operator with the exact arithmetic the evaluator
+/// uses (comparisons produce 0/1 indicators). Public so the bytecode
+/// interpreter dispatches through the same code path bit for bit.
+#[inline]
+pub fn apply_binary(op: BinaryOp, l: f64, r: f64) -> f64 {
     match op {
         BinaryOp::Add => l + r,
         BinaryOp::Sub => l - r,
@@ -229,32 +372,6 @@ fn indicator(b: bool) -> f64 {
         1.0
     } else {
         0.0
-    }
-}
-
-fn apply_function(name: &str, args: &[f64]) -> f64 {
-    match (name, args) {
-        ("abs", [x]) => x.abs(),
-        ("sqrt", [x]) => x.sqrt(),
-        ("exp", [x]) => x.exp(),
-        ("ln", [x]) => x.ln(),
-        ("log10", [x]) => x.log10(),
-        ("log2", [x]) => x.log2(),
-        ("floor", [x]) => x.floor(),
-        ("ceil", [x]) => x.ceil(),
-        ("round", [x]) => x.round(),
-        ("min", [a, b]) => a.min(*b),
-        ("max", [a, b]) => a.max(*b),
-        ("pow", [a, b]) => a.powf(*b),
-        ("hypot", [a, b]) => a.hypot(*b),
-        ("if", [c, t, e]) => {
-            if *c != 0.0 {
-                *t
-            } else {
-                *e
-            }
-        }
-        _ => unreachable!("arity checked before dispatch"),
     }
 }
 

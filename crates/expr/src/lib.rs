@@ -38,4 +38,4 @@ mod parser;
 
 pub use ast::{BinaryOp, Expr, UnaryOp};
 pub use error::{EvalError, ParseExprError};
-pub use eval::{Scope, BUILTIN_FUNCTIONS};
+pub use eval::{apply_binary, Builtin, Scope, BUILTIN_FUNCTIONS};

@@ -42,6 +42,7 @@
 pub mod compare;
 pub mod paths;
 
+mod bytecode;
 mod engine;
 mod json_io;
 mod macros;
@@ -55,8 +56,8 @@ pub use engine::{toposort, EvaluateSheetError};
 pub use json_io::DecodeSheetError;
 pub use macros::LumpMacroError;
 pub use plan::{
-    CompiledSheet, DeltaOutcome, GlobalView, OverridePlan, ReplayState, RowKindView, RowView,
-    RowsView, DELTA_FALLBACK_DEN, DELTA_FALLBACK_NUM,
+    BatchKernel, CompiledSheet, DeltaOutcome, GlobalView, OverridePlan, ReplayState, RowKindView,
+    RowView, RowsView, DELTA_FALLBACK_DEN, DELTA_FALLBACK_NUM,
 };
 pub use report::{RowReport, SheetReport};
 pub use row::{Row, RowModel};

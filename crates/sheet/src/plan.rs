@@ -39,6 +39,7 @@ use powerplay_expr::{Expr, Scope};
 use powerplay_library::{LibraryElement, Registry};
 use powerplay_telemetry::{profile, Counter, Histogram};
 
+use crate::bytecode::{bytecode_metrics, Program, TrapHit};
 use crate::engine::{toposort, EvaluateSheetError};
 use crate::report::{RowReport, SheetReport};
 use crate::row::{Row, RowModel};
@@ -48,11 +49,11 @@ use crate::sheet::Sheet;
 /// Only the *top-level* compile/play entry points record here; sub-sheet
 /// recursion goes through the `*_impl` twins so a hierarchical design
 /// counts as one compile and one play (rows are counted at every level).
-struct PlanMetrics {
+pub(crate) struct PlanMetrics {
     compile_seconds: Histogram,
     replay_seconds: Histogram,
     plays_total: Counter,
-    rows_evaluated_total: Counter,
+    pub(crate) rows_evaluated_total: Counter,
     delta_replay_seconds: Histogram,
     delta_replays_total: Counter,
     delta_fallbacks_total: Counter,
@@ -60,7 +61,7 @@ struct PlanMetrics {
     delta_dirty_rows: Histogram,
 }
 
-fn plan_metrics() -> &'static PlanMetrics {
+pub(crate) fn plan_metrics() -> &'static PlanMetrics {
     static METRICS: OnceLock<PlanMetrics> = OnceLock::new();
     METRICS.get_or_init(|| {
         let g = powerplay_telemetry::global();
@@ -109,6 +110,15 @@ fn plan_metrics() -> &'static PlanMetrics {
 /// is handed to a different plan than the one that filled it.
 static PLAN_IDS: AtomicU64 = AtomicU64::new(1);
 
+/// Per-thread scratch register file for bytecode replays, so repeated
+/// plays on one thread reuse a single allocation.
+fn with_scratch_regs<T>(f: impl FnOnce(&mut Vec<f64>) -> T) -> T {
+    thread_local! {
+        static REGS: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+    REGS.with(|cell| f(&mut cell.borrow_mut()))
+}
+
 /// A sheet compiled against a registry, ready for repeated evaluation.
 ///
 /// ```
@@ -130,29 +140,34 @@ static PLAN_IDS: AtomicU64 = AtomicU64::new(1);
 pub struct CompiledSheet {
     /// Process-unique identity (clones share it — same content).
     id: u64,
-    name: Arc<str>,
-    globals: Vec<CompiledGlobal>,
+    pub(crate) name: Arc<str>,
+    pub(crate) globals: Vec<CompiledGlobal>,
     /// Global evaluation order for the un-overridden sheet (recomputed
     /// per play when overrides are present — see module docs).
-    base_global_plan: Result<Vec<usize>, EvaluateSheetError>,
+    pub(crate) base_global_plan: Result<Vec<usize>, EvaluateSheetError>,
     /// Row plan, or the structural error the engine would report.
-    structure: Result<RowsPlan, EvaluateSheetError>,
+    pub(crate) structure: Result<RowsPlan, EvaluateSheetError>,
+    /// The sheet lowered to one flat register-machine program (see
+    /// [`crate::bytecode`]); `None` when the top-level structure errored
+    /// or this plan is a sub-sheet (already inlined by its parent's
+    /// program). Attached by [`CompiledSheet::compile`] only.
+    pub(crate) program: Option<Arc<Program>>,
 }
 
 #[derive(Debug, Clone)]
-struct CompiledGlobal {
-    name: Arc<str>,
-    expr: Expr,
+pub(crate) struct CompiledGlobal {
+    pub(crate) name: Arc<str>,
+    pub(crate) expr: Expr,
     /// Free variables of `expr`, precomputed so per-play graph repair
     /// under overrides never re-walks the AST.
-    free: BTreeSet<String>,
+    pub(crate) free: BTreeSet<String>,
 }
 
 #[derive(Debug, Clone)]
-struct RowsPlan {
-    rows: Vec<CompiledRow>,
+pub(crate) struct RowsPlan {
+    pub(crate) rows: Vec<CompiledRow>,
     /// Dependency-respecting evaluation order over `rows` indices.
-    order: Vec<usize>,
+    pub(crate) order: Vec<usize>,
     /// Per-row *watched* name sets: every name whose value in the
     /// enclosing scope can influence the row's report. An
     /// over-approximation (union of binding free variables, element
@@ -161,36 +176,39 @@ struct RowsPlan {
     /// extra re-evaluation, never a stale result.
     watched: Vec<BTreeSet<String>>,
     /// Inverted watch index: name → rows watching it (dirty seeding).
-    watchers: BTreeMap<String, Vec<usize>>,
+    pub(crate) watchers: BTreeMap<String, Vec<usize>>,
     /// Forward `P_`/`A_` edges: row → rows watching its outputs
     /// (dirty propagation when a re-evaluated row's output changes).
-    dependents: Vec<Vec<usize>>,
+    pub(crate) dependents: Vec<Vec<usize>>,
 }
 
 /// Every name a play touches is interned here as a shared `Arc<str>`, so
 /// per-play scope bindings and report fields are reference-count bumps,
 /// not string allocations.
 #[derive(Debug, Clone)]
-struct CompiledRow {
-    name: Arc<str>,
-    ident: Arc<str>,
-    doc_link: Option<Arc<str>>,
-    bindings: Vec<(Arc<str>, Expr)>,
+pub(crate) struct CompiledRow {
+    pub(crate) name: Arc<str>,
+    pub(crate) ident: Arc<str>,
+    pub(crate) doc_link: Option<Arc<str>>,
+    pub(crate) bindings: Vec<(Arc<str>, Expr)>,
     /// `P_<ident>` / `A_<ident>`, formatted once at compile time.
-    power_ref: Option<Arc<str>>,
-    area_ref: Option<Arc<str>>,
+    pub(crate) power_ref: Option<Arc<str>>,
+    pub(crate) area_ref: Option<Arc<str>>,
     /// Element parameter defaults, prebuilt so each play seeds the row's
     /// scope with one table copy instead of per-parameter inserts.
-    defaults: Scope<'static>,
+    pub(crate) defaults: Scope<'static>,
+    /// `(name, default)` pairs sorted by name, precomputed so the
+    /// diagnostics path ([`RowView::param_defaults`]) never re-sorts.
+    defaults_sorted: Vec<(Arc<str>, f64)>,
     /// Element parameter names in declaration order (report column).
-    param_names: Vec<Arc<str>>,
+    pub(crate) param_names: Vec<Arc<str>>,
     /// The element's display name, interned for the report.
-    element_name: Option<Arc<str>>,
-    kind: CompiledRowKind,
+    pub(crate) element_name: Option<Arc<str>>,
+    pub(crate) kind: CompiledRowKind,
 }
 
 #[derive(Debug, Clone)]
-enum CompiledRowKind {
+pub(crate) enum CompiledRowKind {
     /// A resolved library or inline element, shared with the registry.
     Element(Arc<LibraryElement>),
     /// A path the registry could not resolve; erroring is deferred to
@@ -209,7 +227,12 @@ impl CompiledSheet {
     /// point evaluation would have reached them.
     pub fn compile(sheet: &Sheet, registry: &Registry) -> CompiledSheet {
         let _timer = plan_metrics().compile_seconds.start_timer();
-        Self::compile_impl(sheet, registry)
+        let mut plan = Self::compile_impl(sheet, registry);
+        // Lower the whole hierarchy (sub-sheets inlined) into one flat
+        // register-machine program. Only the top level carries one: a
+        // sub-plan's rows are spans inside its parent's program.
+        plan.program = Program::lower(&plan).map(Arc::new);
+        plan
     }
 
     /// [`CompiledSheet::compile`] minus the metrics, so sub-sheet
@@ -232,6 +255,7 @@ impl CompiledSheet {
             base_global_plan,
             structure: compile_rows(sheet, registry),
             globals,
+            program: None,
         }
     }
 
@@ -319,12 +343,56 @@ impl CompiledSheet {
         self.play_impl(parent, overrides)
     }
 
+    /// Like [`CompiledSheet::play_with`] but forcing the tree-walking
+    /// evaluator even when a bytecode program is available — the
+    /// reference oracle the parity test suite (and the throughput
+    /// benches) compare the bytecode engine against.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`CompiledSheet::play_with`].
+    pub fn play_with_tree(
+        &self,
+        overrides: &[(&str, f64)],
+    ) -> Result<SheetReport, EvaluateSheetError> {
+        let metrics = plan_metrics();
+        metrics.plays_total.inc();
+        let _timer = metrics.replay_seconds.start_timer();
+        self.play_impl_mode(&Scope::new(), overrides, false)
+    }
+
     /// [`CompiledSheet::play_with_in`] minus the top-level metrics, so a
     /// nested design counts as one play and one replay-latency sample.
     pub(crate) fn play_impl(
         &self,
         parent: &Scope<'_>,
         overrides: &[(&str, f64)],
+    ) -> Result<SheetReport, EvaluateSheetError> {
+        self.play_impl_mode(parent, overrides, true)
+    }
+
+    /// True when a play with `parent` bindings and `overrides` can be
+    /// answered by the bytecode program: top-level scope (a non-empty
+    /// parent could rebind any name the program resolved statically) and
+    /// no override touching a name the lowering left unresolved (an
+    /// appended override global is visible to the scope lookups the
+    /// program compiled as errors or defaults).
+    fn bytecode_for(&self, parent: &Scope<'_>, names: &[&str]) -> Option<&Program> {
+        if !parent.is_empty_root() {
+            return None;
+        }
+        let prog = self.program.as_deref()?;
+        if names.iter().any(|n| prog.is_unresolved(n)) {
+            return None;
+        }
+        Some(prog)
+    }
+
+    fn play_impl_mode(
+        &self,
+        parent: &Scope<'_>,
+        overrides: &[(&str, f64)],
+        use_bytecode: bool,
     ) -> Result<SheetReport, EvaluateSheetError> {
         let _span = profile::span_lazy(|| format!("play {}", self.name));
         let mut globals_scope = parent.child();
@@ -351,6 +419,16 @@ impl CompiledSheet {
         };
 
         let plan = self.structure.as_ref().map_err(Clone::clone)?;
+
+        if use_bytecode {
+            let names: Vec<&str> = overrides.iter().map(|&(n, _)| n).collect();
+            if let Some(prog) = self.bytecode_for(parent, &names) {
+                return with_scratch_regs(|regs| {
+                    prog.replay_full(self.name.clone(), resolved_globals, regs)
+                });
+            }
+        }
+
         let rows = eval_rows_full(plan, &globals_scope)?;
 
         Ok(SheetReport::new(self.name.clone(), resolved_globals, rows))
@@ -612,6 +690,12 @@ impl CompiledSheet {
         let mut globals_scope = Scope::new();
         let resolved = self.eval_globals_with_plan(&mut globals_scope, plan, inner, values)?;
         let rows_plan = self.structure.as_ref().map_err(Clone::clone)?;
+
+        let names: Vec<&str> = plan.names.iter().map(String::as_str).collect();
+        if let Some(prog) = self.bytecode_for(&Scope::new(), &names) {
+            return with_scratch_regs(|regs| prog.replay_full(self.name.clone(), resolved, regs));
+        }
+
         let rows = eval_rows_full(rows_plan, &globals_scope)?;
         Ok(SheetReport::new(self.name.clone(), resolved, rows))
     }
@@ -693,12 +777,14 @@ impl CompiledSheet {
         let mut globals_scope = Scope::new();
         let resolved = self.eval_globals_with_plan(&mut globals_scope, plan, inner, values)?;
         let rows_plan = self.structure.as_ref().map_err(Clone::clone)?;
+        let names: Vec<&str> = plan.names.iter().map(String::as_str).collect();
+        let prog = self.bytecode_for(&Scope::new(), &names);
 
         // No usable baseline: full evaluation, then remember it.
         if state.plan_id != Some(self.id) || state.report.is_none() {
             metrics.plays_total.inc();
-            let rows = eval_rows_full(rows_plan, &globals_scope)?;
-            let report = SheetReport::new(self.name.clone(), resolved, rows);
+            let report =
+                self.full_replay_for_delta(prog, rows_plan, &globals_scope, resolved, state)?;
             state.commit(self.id, &report, rows_plan.rows.len(), DeltaOutcome::Full);
             metrics
                 .delta_dirty_rows
@@ -774,8 +860,8 @@ impl CompiledSheet {
         if potential * DELTA_FALLBACK_DEN > rows_plan.rows.len() * DELTA_FALLBACK_NUM {
             metrics.delta_fallbacks_total.inc();
             metrics.plays_total.inc();
-            let rows = eval_rows_full(rows_plan, &globals_scope)?;
-            let report = SheetReport::new(self.name.clone(), resolved, rows);
+            let report =
+                self.full_replay_for_delta(prog, rows_plan, &globals_scope, resolved, state)?;
             state.commit(
                 self.id,
                 &report,
@@ -790,9 +876,25 @@ impl CompiledSheet {
 
         // Targeted walk in plan order; errors leave `state` at its last
         // successful baseline (clean rows cannot error — identical
-        // inputs evaluated successfully last time).
+        // inputs evaluated successfully last time). Routed through the
+        // bytecode program when its register file can mirror the
+        // baseline, otherwise through the tree walker.
         let prev = state.report.take().expect("checked above");
-        match delta_walk(rows_plan, &globals_scope, &prev, &mut state.dirty) {
+        let use_bytecode = match prog {
+            Some(p) => self.ensure_regs(p, state, &prev),
+            None => {
+                state.regs_plan = None;
+                false
+            }
+        };
+        let walk = if use_bytecode {
+            let p = prog.expect("use_bytecode implies a program");
+            let ReplayState { dirty, regs, .. } = state;
+            delta_walk_bytecode(p, rows_plan, &resolved, &prev, dirty, regs)
+        } else {
+            delta_walk(rows_plan, &globals_scope, &prev, &mut state.dirty)
+        };
+        match walk {
             Ok((rows, evaluated)) => {
                 metrics.rows_evaluated_total.add(evaluated as u64);
                 metrics.delta_dirty_rows.observe_value(evaluated as u64);
@@ -801,8 +903,70 @@ impl CompiledSheet {
                 Ok(report)
             }
             Err(err) => {
+                if use_bytecode {
+                    state.regs_plan = None;
+                }
                 state.report = Some(prev);
                 Err(err)
+            }
+        }
+    }
+
+    /// The full-evaluation path shared by the no-baseline and
+    /// over-threshold branches of [`CompiledSheet::replay_delta_with_plan`]:
+    /// a bytecode replay into the state's persistent register file when a
+    /// program is available (leaving the file valid for targeted walks),
+    /// the tree walker otherwise.
+    fn full_replay_for_delta(
+        &self,
+        prog: Option<&Program>,
+        rows_plan: &RowsPlan,
+        globals_scope: &Scope<'_>,
+        resolved: Vec<(String, f64)>,
+        state: &mut ReplayState,
+    ) -> Result<SheetReport, EvaluateSheetError> {
+        if let Some(prog) = prog {
+            return match prog.replay_full(self.name.clone(), resolved, &mut state.regs) {
+                Ok(report) => {
+                    state.regs_plan = Some(self.id);
+                    Ok(report)
+                }
+                Err(err) => {
+                    state.regs_plan = None;
+                    Err(err)
+                }
+            };
+        }
+        state.regs_plan = None;
+        let rows = eval_rows_full(rows_plan, globals_scope)?;
+        Ok(SheetReport::new(self.name.clone(), resolved, rows))
+    }
+
+    /// Makes `state.regs` a valid register image of the baseline report
+    /// `prev`: already valid when the last successful execution through
+    /// this state was bytecode, otherwise rebuilt by replaying the whole
+    /// program at the baseline's global values. Returns `false` (state
+    /// invalidated) when the baseline cannot be reproduced — the caller
+    /// then walks the tree, which needs no register file.
+    fn ensure_regs(&self, prog: &Program, state: &mut ReplayState, prev: &SheetReport) -> bool {
+        if state.regs_plan == Some(self.id) {
+            return true;
+        }
+        let globals = prev.globals();
+        if globals.len() < prog.global_count() {
+            state.regs_plan = None;
+            return false;
+        }
+        prog.seed(&mut state.regs);
+        prog.seed_globals(globals.iter().map(|(_, v)| *v), &mut state.regs);
+        match prog.exec(0, prog.code_len(), &mut state.regs) {
+            Ok(()) => {
+                state.regs_plan = Some(self.id);
+                true
+            }
+            Err(_) => {
+                state.regs_plan = None;
+                false
             }
         }
     }
@@ -872,6 +1036,12 @@ pub struct ReplayState {
     dirty: Vec<bool>,
     last_dirty_rows: Option<usize>,
     last_outcome: DeltaOutcome,
+    /// Persistent bytecode register file. Valid (mirrors `report`) only
+    /// while `regs_plan` matches the plan that last filled it via a
+    /// *successful* bytecode execution; tree-walk commits and bytecode
+    /// errors invalidate it.
+    regs: Vec<f64>,
+    regs_plan: Option<u64>,
 }
 
 impl ReplayState {
@@ -896,6 +1066,238 @@ impl ReplayState {
         self.report = Some(report.clone());
         self.last_dirty_rows = Some(dirty);
         self.last_outcome = outcome;
+    }
+}
+
+/// A batched bytecode sweep kernel: evaluates up to
+/// [`BatchKernel::WIDTH`] override points per instruction-dispatch pass.
+///
+/// Built once per sweep by [`CompiledSheet::batch_kernel`], it replays a
+/// baseline (un-overridden) play, then derives a *value-independent*
+/// dirty superset — every row whose inputs can depend on any override
+/// name, directly or through non-overridden global formulas or
+/// `P_`/`A_` chains. Each [`BatchKernel::replay_chunk`] call resolves
+/// globals per lane with the scalar path (which owns override graph
+/// repair and global error precedence), seeds a slot-major SoA register
+/// file from the baseline image, and executes only the dirty rows' code
+/// spans across all lanes at once. Clean rows reuse the baseline report
+/// verbatim — they cannot differ, because none of their watched inputs
+/// can change.
+///
+/// Results are bit-for-bit those of [`CompiledSheet::play_with_plan`]
+/// per point, including which error surfaces first.
+pub struct BatchKernel<'a> {
+    plan: &'a CompiledSheet,
+    oplan: &'a OverridePlan,
+    inner: &'a OverridePlanInner,
+    prog: &'a Program,
+    rows_plan: &'a RowsPlan,
+    /// Value-independent dirty superset over top-level rows.
+    dirty: Vec<bool>,
+    /// Plan-order traversal of the dirty rows.
+    dirty_order: Vec<usize>,
+    /// Register image of the baseline play.
+    baseline_regs: Vec<f64>,
+    baseline: SheetReport,
+}
+
+impl CompiledSheet {
+    /// Builds a batched sweep kernel for the override names in `plan`,
+    /// or `None` when batching cannot reproduce the scalar path exactly:
+    /// no bytecode program, an override name the lowering left
+    /// unresolved, a structural/global-plan error (every point fails the
+    /// same way — the scalar path reports it), or a baseline play that
+    /// itself errors (the clean-row reuse needs a valid baseline).
+    pub fn batch_kernel<'a>(&'a self, plan: &'a OverridePlan) -> Option<BatchKernel<'a>> {
+        assert_eq!(
+            plan.plan_id, self.id,
+            "override plan built for a different compiled sheet"
+        );
+        let names: Vec<&str> = plan.names.iter().map(String::as_str).collect();
+        let prog = self.bytecode_for(&Scope::new(), &names)?;
+        let inner = plan.inner.as_ref().ok()?;
+        let rows_plan = self.structure.as_ref().ok()?;
+
+        // Baseline: the un-overridden play, through the program so its
+        // register image is available for lane seeding.
+        let order = self.base_global_plan.as_ref().ok()?;
+        let mut scope = Scope::new();
+        let mut decl: Vec<Option<(String, f64)>> = vec![None; self.globals.len()];
+        for &i in order {
+            let g = &self.globals[i];
+            let value = g.expr.eval(&scope).ok()?;
+            scope.set(g.name.clone(), value);
+            decl[i] = Some((g.name.to_string(), value));
+        }
+        let resolved: Vec<(String, f64)> = decl
+            .into_iter()
+            .map(|slot| slot.expect("every global evaluated"))
+            .collect();
+        let mut baseline_regs = Vec::new();
+        let baseline = prog
+            .replay_full(self.name.clone(), resolved, &mut baseline_regs)
+            .ok()?;
+
+        // Names whose value can differ from the baseline at some point
+        // of the sweep: the override names plus the fixpoint of
+        // non-overridden global formulas reading any of them.
+        let mut changed: BTreeSet<&str> = names.iter().copied().collect();
+        loop {
+            let mut grew = false;
+            for (i, g) in self.globals.iter().enumerate() {
+                if inner.global_slot[i].is_some() || changed.contains(&*g.name) {
+                    continue;
+                }
+                if g.free.iter().any(|v| changed.contains(v.as_str())) {
+                    changed.insert(&g.name);
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+
+        // Dirty superset: watchers of any changed name, closed over
+        // `P_`/`A_` dependents (value-independent, so no bitwise
+        // propagation pruning — extra rows only cost execution).
+        let mut dirty = vec![false; rows_plan.rows.len()];
+        let mut stack: Vec<usize> = Vec::new();
+        for name in &changed {
+            if let Some(watchers) = rows_plan.watchers.get(*name) {
+                for &i in watchers {
+                    if !dirty[i] {
+                        dirty[i] = true;
+                        stack.push(i);
+                    }
+                }
+            }
+        }
+        while let Some(i) = stack.pop() {
+            for &d in &rows_plan.dependents[i] {
+                if !dirty[d] {
+                    dirty[d] = true;
+                    stack.push(d);
+                }
+            }
+        }
+        let dirty_order: Vec<usize> = rows_plan
+            .order
+            .iter()
+            .copied()
+            .filter(|&i| dirty[i])
+            .collect();
+
+        Some(BatchKernel {
+            plan: self,
+            oplan: plan,
+            inner,
+            prog,
+            rows_plan,
+            dirty,
+            dirty_order,
+            baseline_regs,
+            baseline,
+        })
+    }
+}
+
+impl BatchKernel<'_> {
+    /// Natural chunk size for [`BatchKernel::replay_chunk`]: wide enough
+    /// to amortize dispatch and fill SIMD lanes, small enough to keep
+    /// the SoA register file in cache.
+    pub const WIDTH: usize = 8;
+
+    /// Plays one point per element of `points` (each a values slice
+    /// aligned with the kernel's override-plan names), batching all
+    /// lanes through each dirty row's code span in one dispatch pass.
+    pub fn replay_chunk<P: AsRef<[f64]>>(
+        &self,
+        points: &[P],
+    ) -> Vec<Result<SheetReport, EvaluateSheetError>> {
+        let metrics = plan_metrics();
+        let n = points.len();
+        let mut out: Vec<Option<Result<SheetReport, EvaluateSheetError>>> =
+            (0..n).map(|_| None).collect();
+
+        // Scalar global resolution per lane; a lane whose globals error
+        // is answered immediately and excluded from the batch.
+        let mut lanes: Vec<(usize, Vec<(String, f64)>)> = Vec::with_capacity(n);
+        for (idx, point) in points.iter().enumerate() {
+            let values = point.as_ref();
+            assert_eq!(
+                values.len(),
+                self.oplan.names.len(),
+                "one value per planned override name"
+            );
+            let mut scope = Scope::new();
+            match self
+                .plan
+                .eval_globals_with_plan(&mut scope, self.oplan, self.inner, values)
+            {
+                Ok(resolved) => lanes.push((idx, resolved)),
+                Err(err) => out[idx] = Some(Err(err)),
+            }
+        }
+
+        let m = lanes.len();
+        if m > 0 {
+            metrics.plays_total.add(m as u64);
+            metrics
+                .rows_evaluated_total
+                .add((self.dirty_order.len() * m) as u64);
+            bytecode_metrics().batch_width.observe_value(m as u64);
+
+            // Slot-major SoA register file: lane `l` of slot `s` at
+            // `s * m + l`. Baseline image per slot, then each lane's
+            // own top-level global values.
+            let reg_count = self.prog.reg_count();
+            let mut soa = vec![0.0f64; reg_count * m];
+            for (slot, &value) in self.baseline_regs.iter().enumerate() {
+                soa[slot * m..(slot + 1) * m].fill(value);
+            }
+            for (l, (_, resolved)) in lanes.iter().enumerate() {
+                for (gi, (_, value)) in resolved.iter().take(self.prog.global_count()).enumerate() {
+                    soa[self.prog.global_slot(gi) as usize * m + l] = *value;
+                }
+            }
+
+            let mut errs: Vec<Option<TrapHit>> = vec![None; m];
+            let mut instrs = 0u64;
+            for &i in &self.dirty_order {
+                let (start, end) = self.prog.row_span(i);
+                instrs += u64::from(end - start) * m as u64;
+                self.prog.exec_batch(start, end, &mut soa, m, &mut errs);
+                if errs.iter().all(Option::is_some) {
+                    break;
+                }
+            }
+            bytecode_metrics().instrs_total.add(instrs);
+
+            for (l, (idx, resolved)) in lanes.into_iter().enumerate() {
+                let result = match errs[l] {
+                    Some(hit) => Err(self.prog.materialize(hit)),
+                    None => {
+                        let get = |slot: u32| soa[slot as usize * m + l];
+                        let rows = (0..self.rows_plan.rows.len())
+                            .map(|i| {
+                                if self.dirty[i] {
+                                    self.prog.build_row_report(i, &get)
+                                } else {
+                                    self.baseline.rows()[i].clone()
+                                }
+                            })
+                            .collect();
+                        Ok(SheetReport::new(self.plan.name.clone(), resolved, rows))
+                    }
+                };
+                out[idx] = Some(result);
+            }
+        }
+
+        out.into_iter()
+            .map(|o| o.expect("every lane answered"))
+            .collect()
     }
 }
 
@@ -969,6 +1371,61 @@ fn delta_walk(
         set_row_outputs(row, &report, &mut power_layer);
         reports[i] = Some(report);
     }
+    Ok((
+        reports
+            .into_iter()
+            .map(|r| r.expect("every row evaluated"))
+            .collect(),
+        evaluated,
+    ))
+}
+
+/// [`delta_walk`] over the bytecode program: dirty rows re-execute their
+/// code spans against the persistent register file (`regs`, a valid
+/// image of `prev` — see [`CompiledSheet::ensure_regs`]), clean rows
+/// reuse the previous report verbatim. Change propagation compares the
+/// same power/area bits the tree walk does. On success `regs` mirrors
+/// the returned rows (clean rows' slots were already consistent and
+/// dirty rows' slots were just recomputed); on error it must be
+/// invalidated by the caller, since a trapped span leaves partial
+/// writes.
+fn delta_walk_bytecode(
+    prog: &Program,
+    plan: &RowsPlan,
+    resolved: &[(String, f64)],
+    prev: &SheetReport,
+    dirty: &mut [bool],
+    regs: &mut [f64],
+) -> Result<(Vec<RowReport>, usize), EvaluateSheetError> {
+    prog.seed_globals(resolved.iter().map(|(_, v)| *v), regs);
+    let mut reports: Vec<Option<RowReport>> = vec![None; plan.rows.len()];
+    let mut evaluated = 0usize;
+    let mut instrs = 0u64;
+    for &i in &plan.order {
+        let prev_row = &prev.rows()[i];
+        if !dirty[i] {
+            reports[i] = Some(prev_row.clone());
+            continue;
+        }
+        evaluated += 1;
+        let (start, end) = prog.row_span(i);
+        instrs += u64::from(end - start);
+        if let Err(hit) = prog.exec(start, end, regs) {
+            bytecode_metrics().instrs_total.add(instrs);
+            return Err(prog.materialize(hit));
+        }
+        let fresh = prog.build_row_report(i, &|slot: u32| regs[slot as usize]);
+        let power_changed = fresh.power().value().to_bits() != prev_row.power().value().to_bits();
+        let area_changed = fresh.area().map(|a| a.value().to_bits())
+            != prev_row.area().map(|a| a.value().to_bits());
+        if power_changed || area_changed {
+            for &d in &plan.dependents[i] {
+                dirty[d] = true;
+            }
+        }
+        reports[i] = Some(fresh);
+    }
+    bytecode_metrics().instrs_total.add(instrs);
     Ok((
         reports
             .into_iter()
@@ -1094,6 +1551,11 @@ fn compile_rows(sheet: &Sheet, registry: &Registry) -> Result<RowsPlan, Evaluate
                 }
                 element_name = Some(Arc::from(element.name()));
             }
+            let mut defaults_sorted: Vec<(Arc<str>, f64)> = param_names
+                .iter()
+                .map(|n| (n.clone(), defaults.get(n).expect("default just set")))
+                .collect();
+            defaults_sorted.sort_unstable_by(|a, b| a.0.cmp(&b.0));
             CompiledRow {
                 name: Arc::from(row.name()),
                 power_ref: (!ident.is_empty()).then(|| Arc::from(format!("P_{ident}"))),
@@ -1106,6 +1568,7 @@ fn compile_rows(sheet: &Sheet, registry: &Registry) -> Result<RowsPlan, Evaluate
                     .map(|(param, expr)| (Arc::from(param.as_str()), expr.clone()))
                     .collect(),
                 defaults,
+                defaults_sorted,
                 param_names,
                 element_name,
                 kind,
@@ -1411,14 +1874,13 @@ impl<'a> RowView<'a> {
     /// Element parameter defaults seeded before bindings run, as
     /// `(name, default)` pairs sorted by name.
     pub fn param_defaults(&self) -> Vec<(&'a str, f64)> {
+        // Sorted once at compile time — no per-call allocation of a
+        // fresh name table and re-sort (this runs on diagnostics paths
+        // for every row of every lint pass).
         self.row
-            .defaults
-            .local_names()
-            .into_iter()
-            .map(|name| {
-                let value = self.row.defaults.get(name).expect("local name resolves");
-                (name, value)
-            })
+            .defaults_sorted
+            .iter()
+            .map(|(name, value)| (&**name, *value))
             .collect()
     }
 
@@ -1468,6 +1930,17 @@ impl CompiledSheet {
         match &self.structure {
             Ok(plan) => Ok(RowsView { plan }),
             Err(err) => Err(err),
+        }
+    }
+
+    /// Human-readable listing of the lowered bytecode program: register
+    /// file with slot names, constants pool, per-row code spans, and the
+    /// instruction stream. Returns a one-line notice when the sheet has
+    /// no program (top-level structural error).
+    pub fn disassemble(&self) -> String {
+        match &self.program {
+            Some(prog) => prog.disassemble(),
+            None => "no bytecode program: top-level structure failed to compile\n".to_owned(),
         }
     }
 }

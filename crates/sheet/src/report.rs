@@ -56,6 +56,37 @@ impl RowReport {
         }
     }
 
+    /// Assembles an element-row report from already-computed quantities
+    /// — the bytecode replay path, which carries register values rather
+    /// than a library [`Evaluation`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_values(
+        name: Arc<str>,
+        ident: Arc<str>,
+        element: Option<Arc<str>>,
+        params: Vec<(Arc<str>, f64)>,
+        rate: Option<f64>,
+        doc_link: Option<Arc<str>>,
+        power: Power,
+        energy_per_op: Option<Energy>,
+        area: Option<Area>,
+        delay: Option<Time>,
+    ) -> RowReport {
+        RowReport {
+            name,
+            ident,
+            element,
+            params,
+            rate,
+            doc_link,
+            power,
+            energy_per_op,
+            area,
+            delay,
+            sub: None,
+        }
+    }
+
     pub(crate) fn for_subsheet(
         name: Arc<str>,
         ident: Arc<str>,

@@ -7,8 +7,12 @@
 //!
 //! Every helper compiles the sheet to a [`CompiledSheet`] once, hoists
 //! the override-name resolution into one [`crate::plan::OverridePlan`]
-//! per sweep, and replays points *incrementally*: each worker owns a
-//! reusable [`ReplayState`] and goes through
+//! per sweep, and replays points *incrementally*. Sweeps and Monte-Carlo
+//! studies go through the batched bytecode kernel when one is available
+//! ([`CompiledSheet::batch_kernel`]): points are grouped into
+//! [`BatchKernel::WIDTH`]-lane chunks and every dirty row's code span is
+//! executed across all lanes per instruction-dispatch pass. Otherwise
+//! each worker owns a reusable [`ReplayState`] and goes through
 //! [`CompiledSheet::replay_delta_with_plan`], so a point re-evaluates
 //! only the rows its changed globals actually reach. Identical points
 //! (sensitivity sweeps revisiting a base) are deduplicated before
@@ -27,7 +31,7 @@ use powerplay_telemetry::{Counter, Gauge, Histogram};
 use powerplay_units::{Power, Voltage};
 
 use crate::engine::EvaluateSheetError;
-use crate::plan::{CompiledSheet, ReplayState};
+use crate::plan::{BatchKernel, CompiledSheet, ReplayState};
 use crate::report::SheetReport;
 use crate::sheet::Sheet;
 
@@ -238,9 +242,29 @@ pub fn sweep_compiled(
         }
     }
 
-    let results = parallel_map_with(&unique, ReplayState::new, |state, &value| {
-        plan.replay_delta_with_plan(&override_plan, state, &[value])
-    });
+    // Batched bytecode kernel when the program covers the sweep exactly;
+    // otherwise per-point incremental replay. Both are bit-for-bit the
+    // scalar reference per point, so the choice is invisible downstream.
+    let results: Vec<Result<SheetReport, EvaluateSheetError>> =
+        match plan.batch_kernel(&override_plan) {
+            Some(kernel) => {
+                let chunks: Vec<&[f64]> = unique.chunks(BatchKernel::WIDTH).collect();
+                parallel_map_with(
+                    &chunks,
+                    || (),
+                    |(), chunk| {
+                        let points: Vec<[f64; 1]> = chunk.iter().map(|&v| [v]).collect();
+                        kernel.replay_chunk(&points)
+                    },
+                )
+                .into_iter()
+                .flatten()
+                .collect()
+            }
+            None => parallel_map_with(&unique, ReplayState::new, |state, &value| {
+                plan.replay_delta_with_plan(&override_plan, state, &[value])
+            }),
+        };
     if unique.len() == values.len() {
         // No duplicates: hand the reports over without cloning.
         return values
@@ -546,10 +570,20 @@ pub fn monte_carlo(
                 .collect()
         })
         .collect();
-    let results = parallel_map_with(&trial_values, ReplayState::new, |state, trial| {
-        plan.replay_delta_with_plan(&override_plan, state, trial)
-            .map(|r| r.total_power().value())
-    });
+    let results: Vec<Result<f64, EvaluateSheetError>> = match plan.batch_kernel(&override_plan) {
+        Some(kernel) => {
+            let chunks: Vec<&[Vec<f64>]> = trial_values.chunks(BatchKernel::WIDTH).collect();
+            parallel_map_with(&chunks, || (), |(), chunk| kernel.replay_chunk(chunk))
+                .into_iter()
+                .flatten()
+                .map(|r| r.map(|report| report.total_power().value()))
+                .collect()
+        }
+        None => parallel_map_with(&trial_values, ReplayState::new, |state, trial| {
+            plan.replay_delta_with_plan(&override_plan, state, trial)
+                .map(|r| r.total_power().value())
+        }),
+    };
     let mut samples = results
         .into_iter()
         .collect::<Result<Vec<_>, EvaluateSheetError>>()?;

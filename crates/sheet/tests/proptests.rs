@@ -277,6 +277,147 @@ proptest! {
         }
     }
 
+    /// The bytecode replay engine is bit-for-bit the scope-chain tree
+    /// walker — report for report — for random designs with a nested
+    /// sub-sheet row, a `P_` power chain, and random override sets.
+    /// (`Sheet::play` and `play_with` dispatch to bytecode when a
+    /// program exists, so the tree walker must be invoked explicitly.)
+    #[test]
+    fn bytecode_replay_matches_tree_walker(
+        sheet in arb_sheet(),
+        sub in arb_sheet(),
+        overrides in arb_overrides(),
+    ) {
+        let library = lib();
+        let mut sheet = sheet;
+        sheet.add_subsheet_row("Subsystem", sub);
+        sheet
+            .add_element_row("Chained Conv", "ucb/dcdc", [("p_load", "P_row_0 * 1.25")])
+            .unwrap();
+        let plan = CompiledSheet::compile(&sheet, &library);
+        // A program must have been lowered, or this test compares the
+        // tree walker against itself.
+        prop_assert!(plan.disassemble().starts_with("program:"));
+        let ov: Vec<(&str, f64)> = overrides.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        prop_assert_eq!(plan.play_with(&ov), plan.play_with_tree(&ov));
+    }
+
+    /// Every error class materializes from the bytecode traps exactly
+    /// as the tree walker reports it: unknown variables, wrong arity,
+    /// unknown functions, non-finite physical values, circular row
+    /// powers, and errors buried inside sub-sheets. Overriding `ghost`
+    /// can *resolve* the unknown-variable defects — the dispatch must
+    /// then fall back to the tree walker, and both paths must agree on
+    /// the now-successful report as well.
+    #[test]
+    fn bytecode_errors_match_tree_walker(
+        sheet in arb_sheet(),
+        defect in 0u32..6,
+        overrides in prop::collection::vec(
+            (
+                prop_oneof![
+                    Just("vdd".to_owned()),
+                    Just("f".to_owned()),
+                    Just("ghost".to_owned()),
+                ],
+                0.5f64..5.0,
+            ),
+            0..3,
+        ),
+    ) {
+        let library = lib();
+        let mut broken = sheet;
+        match defect {
+            0 => {
+                // Unknown variable in a binding formula.
+                broken
+                    .add_element_row("Ghost Var", "ucb/register", [("bits", "ghost * 2")])
+                    .unwrap();
+            }
+            1 => {
+                // Wrong arity for a builtin.
+                broken
+                    .add_element_row("Bad Arity", "ucb/register", [("bits", "min(4)")])
+                    .unwrap();
+            }
+            2 => {
+                // Unknown function.
+                broken
+                    .add_element_row("Bad Func", "ucb/register", [("bits", "mystery(4)")])
+                    .unwrap();
+            }
+            3 => {
+                // Negative switched capacitance: the element rejects the
+                // non-physical value at evaluation time.
+                broken
+                    .add_element_row("Bad Wire", "ucb/wire", [("length_mm", "-5")])
+                    .unwrap();
+            }
+            4 => {
+                // Circular row powers (structural: no program is
+                // lowered, and both paths report the cycle).
+                broken
+                    .add_element_row("Loop A", "ucb/dcdc", [("p_load", "P_loop_b")])
+                    .unwrap();
+                broken
+                    .add_element_row("Loop B", "ucb/dcdc", [("p_load", "P_loop_a")])
+                    .unwrap();
+            }
+            _ => {
+                // Unknown variable two levels down.
+                let mut inner = Sheet::new("inner");
+                inner
+                    .add_element_row("Deep Ghost", "ucb/register", [("bits", "ghost + 1")])
+                    .unwrap();
+                broken.add_subsheet_row("Subsystem", inner);
+            }
+        }
+        let plan = CompiledSheet::compile(&broken, &library);
+        let ov: Vec<(&str, f64)> = overrides.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        prop_assert_eq!(plan.play_with(&ov), plan.play_with_tree(&ov));
+    }
+
+    /// Delta replay over the bytecode register file is bit-for-bit both
+    /// the full bytecode replay and the tree walker, across override
+    /// sequences that mix incremental, fallback, and memo paths with a
+    /// hierarchical row in play.
+    #[test]
+    fn bytecode_delta_matches_full_and_tree(
+        sheet in arb_sheet(),
+        sub in arb_sheet(),
+        sequence in prop::collection::vec(arb_overrides(), 1..6),
+    ) {
+        let library = lib();
+        let mut sheet = sheet;
+        sheet.add_subsheet_row("Subsystem", sub);
+        sheet
+            .add_element_row("Chained Conv", "ucb/dcdc", [("p_load", "P_row_0 * 1.25")])
+            .unwrap();
+        let plan = CompiledSheet::compile(&sheet, &library);
+        let mut state = ReplayState::new();
+        for overrides in &sequence {
+            let ov: Vec<(&str, f64)> = overrides.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+            let delta = plan.replay_delta(&mut state, &ov);
+            prop_assert_eq!(&delta, &plan.play_with(&ov));
+            prop_assert_eq!(delta, plan.play_with_tree(&ov));
+        }
+    }
+
+    /// The batched sweep kernel answers every point bit-for-bit as the
+    /// tree walker would, end to end through the what-if pipeline.
+    #[test]
+    fn batched_sweep_matches_tree_walker_per_point(
+        sheet in arb_sheet(),
+        values in prop::collection::vec(0.9f64..4.0, 1..20),
+    ) {
+        let library = lib();
+        let plan = CompiledSheet::compile(&sheet, &library);
+        let curve = powerplay_sheet::whatif::sweep_compiled(&plan, "vdd", &values).unwrap();
+        for (value, report) in curve {
+            prop_assert_eq!(Ok(report), plan.play_with_tree(&[("vdd", value)]));
+        }
+    }
+
     /// Doubling the global rate doubles dynamic power for rate-derived
     /// rows (the engine threads `f` correctly through bindings).
     #[test]

@@ -96,10 +96,13 @@ USAGE:
   powerplay-cli doc <element>               show an element's model
   powerplay-cli eval <element> [k=v ...]    evaluate (vdd=1.5 f=2e6 defaults)
   powerplay-cli play <design.json>          evaluate a design file
-  powerplay-cli profile <design.json> [--delta NAME=VALUE]
+  powerplay-cli profile <design.json> [--delta NAME=VALUE] [--disasm]
                                             play once, print the span tree;
                                             with --delta, compare a full vs
-                                            incremental replay of that change
+                                            incremental replay of that change;
+                                            with --disasm, print the compiled
+                                            bytecode program (slots, constants,
+                                            per-row code spans) instead
   powerplay-cli lint <design.json> [--json] [--allow CODE,..]  static analysis
   powerplay-cli analyze <design.json> [--json] [--range NAME=LO:HI ...]
                                             prove power bounds by abstract
@@ -240,9 +243,11 @@ fn cmd_play(args: &[String]) -> Result<(), String> {
 fn cmd_profile(args: &[String]) -> Result<(), String> {
     let mut path: Option<&str> = None;
     let mut delta: Option<(String, f64)> = None;
+    let mut disasm = false;
     let mut it = args.iter().map(String::as_str);
     while let Some(arg) = it.next() {
         match arg {
+            "--disasm" => disasm = true,
             "--delta" => {
                 let spec = it
                     .next()
@@ -260,10 +265,19 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
-    let path =
-        path.ok_or_else(|| "usage: profile <design.json> [--delta NAME=VALUE]".to_string())?;
+    let path = path.ok_or_else(|| {
+        "usage: profile <design.json> [--delta NAME=VALUE] [--disasm]".to_string()
+    })?;
     let pp = PowerPlay::new();
     let sheet = load_design(path)?;
+    if disasm {
+        // The lowered register program the replay engine actually runs:
+        // named slots, folded constants, and each row's [start, end)
+        // code span — the "what did my sheet compile to" view.
+        let plan = powerplay_sheet::CompiledSheet::compile(&sheet, pp.registry());
+        print!("{}", plan.disassemble());
+        return Ok(());
+    }
     let Some((name, value)) = delta else {
         let (result, tree) =
             powerplay_telemetry::profile::capture(&format!("play {path}"), || pp.play(&sheet));
