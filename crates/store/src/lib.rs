@@ -122,6 +122,43 @@ impl From<std::io::Error> for StoreError {
     }
 }
 
+/// A committed mutation, as delivered to the registered change hook.
+///
+/// Borrowed views into the committing shard's state: the hook runs
+/// *inside* the shard's write lock, immediately after the WAL fsync, so
+/// observers see changes in exactly commit order with no gaps.
+#[derive(Debug)]
+pub enum StoreChange<'a> {
+    /// A design gained a new revision (save, rollback, or v1 PUT).
+    Saved {
+        /// The shard owner.
+        user: &'a str,
+        /// The design name.
+        design: &'a str,
+        /// The newly committed revision.
+        rev: u64,
+        /// The committed content.
+        sheet: &'a Arc<Sheet>,
+    },
+    /// A design's whole history was erased.
+    Deleted {
+        /// The shard owner.
+        user: &'a str,
+        /// The design name.
+        design: &'a str,
+        /// The last revision it held before erasure.
+        rev: u64,
+    },
+}
+
+/// Observer invoked for every committed design mutation.
+///
+/// Runs on the committing thread with the shard write lock held: it
+/// must be quick and must **not** call back into the store (self
+/// deadlock). WAL replay and legacy import never fire it — only live
+/// mutations after [`DesignStore::set_change_hook`].
+pub type ChangeHook = Arc<dyn Fn(&StoreChange<'_>) + Send + Sync>;
+
 fn valid_name(name: &str) -> bool {
     !name.is_empty()
         && name.len() <= 32
@@ -219,9 +256,13 @@ struct ShardState {
 /// One user's designs: in-memory state plus the WAL handle.
 struct Shard {
     dir: PathBuf,
+    user: String,
     config: StoreConfig,
     compacting: AtomicBool,
     state: RwLock<ShardState>,
+    /// Shared with the owning store; a hook registered after open is
+    /// seen by every shard, including ones opened earlier.
+    hook: Arc<RwLock<Option<ChangeHook>>>,
 }
 
 /// A durable, revisioned store of per-user designs.
@@ -232,6 +273,7 @@ pub struct DesignStore {
     root: PathBuf,
     config: StoreConfig,
     shards: Mutex<BTreeMap<String, Arc<Shard>>>,
+    hook: Arc<RwLock<Option<ChangeHook>>>,
 }
 
 impl DesignStore {
@@ -260,12 +302,21 @@ impl DesignStore {
             root,
             config,
             shards: Mutex::new(BTreeMap::new()),
+            hook: Arc::new(RwLock::new(None)),
         })
     }
 
     /// The storage root (for diagnostics).
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// Registers the change hook observing every committed design
+    /// mutation (see [`ChangeHook`] for the calling contract). Replaces
+    /// any previous hook. Register *after* open: recovery replay and
+    /// legacy import never notify, so the hook only sees live traffic.
+    pub fn set_change_hook(&self, hook: ChangeHook) {
+        *self.hook.write() = Some(hook);
     }
 
     /// The shard for `user`, opening (and recovering) it on first
@@ -283,7 +334,12 @@ impl DesignStore {
         if !create && !dir.exists() {
             return Ok(None);
         }
-        let shard = Shard::open(dir, self.config.clone())?;
+        let shard = Shard::open(
+            dir,
+            user.to_owned(),
+            self.config.clone(),
+            Arc::clone(&self.hook),
+        )?;
         shards.insert(user.to_owned(), Arc::clone(&shard));
         Ok(Some(shard))
     }
@@ -388,6 +444,35 @@ impl DesignStore {
             let mut revs: Vec<u64> = d.revisions.iter().map(|(r, _)| *r).collect();
             revs.reverse();
             revs
+        }))
+    }
+
+    /// Like [`Self::revisions`], but paired with the design's *floor*:
+    /// the greatest revision number that once existed but is no longer
+    /// retained (`0` when the full history survives). Trimming and
+    /// delete-then-recreate both raise the floor, so clients can tell a
+    /// short history from a truncated one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on invalid names or shard-open failure.
+    pub fn revision_history(
+        &self,
+        user: &str,
+        design: &str,
+    ) -> Result<Option<(Vec<u64>, u64)>, StoreError> {
+        let Some(shard) = self.shard(user, false)? else {
+            return Ok(None);
+        };
+        if !valid_name(design) {
+            return Err(StoreError::InvalidDesignName(design.to_owned()));
+        }
+        let state = shard.state.read();
+        Ok(state.designs.get(design).map(|d| {
+            let floor = d.revisions.first().map_or(0, |(r, _)| r.saturating_sub(1));
+            let mut revs: Vec<u64> = d.revisions.iter().map(|(r, _)| *r).collect();
+            revs.reverse();
+            (revs, floor)
         }))
     }
 
@@ -585,7 +670,12 @@ impl DesignStore {
 }
 
 impl Shard {
-    fn open(dir: PathBuf, config: StoreConfig) -> Result<Arc<Shard>, StoreError> {
+    fn open(
+        dir: PathBuf,
+        user: String,
+        config: StoreConfig,
+        hook: Arc<RwLock<Option<ChangeHook>>>,
+    ) -> Result<Arc<Shard>, StoreError> {
         fs::create_dir_all(&dir)?;
         let wal_path = dir.join("wal.log");
         let snapshot_path = dir.join("snapshot.json");
@@ -624,6 +714,7 @@ impl Shard {
         metrics().wal_bytes.add(scan.valid_len as i64);
         let shard = Arc::new(Shard {
             dir,
+            user,
             config,
             compacting: AtomicBool::new(false),
             state: RwLock::new(ShardState {
@@ -634,6 +725,7 @@ impl Shard {
                 docs: shard_data.docs,
                 erased_docs: shard_data.erased_docs,
             }),
+            hook,
         });
 
         // First open over a pre-revision data directory: import the
@@ -665,7 +757,8 @@ impl Shard {
                 .map_err(|e| StoreError::Corrupt(format!("legacy design `{design}`: {e}")))?;
             let sheet = Sheet::from_json(&json)
                 .map_err(|e| StoreError::Corrupt(format!("legacy design `{design}`: {e}")))?;
-            self.save(&design, &sheet, None)?;
+            // Import is recovery, not live traffic: never notify.
+            self.save_inner(&design, &sheet, None, false)?;
         }
         Ok(())
     }
@@ -675,6 +768,16 @@ impl Shard {
         design: &str,
         sheet: &Sheet,
         expected: Option<u64>,
+    ) -> Result<u64, StoreError> {
+        self.save_inner(design, sheet, expected, true)
+    }
+
+    fn save_inner(
+        self: &Arc<Self>,
+        design: &str,
+        sheet: &Sheet,
+        expected: Option<u64>,
+        notify: bool,
     ) -> Result<u64, StoreError> {
         if !valid_name(design) {
             return Err(StoreError::InvalidDesignName(design.to_owned()));
@@ -710,9 +813,23 @@ impl Shard {
                     revisions: Vec::new(),
                 });
             record.revisions.push((rev, Arc::new(sheet.clone())));
+            let committed = Arc::clone(&record.revisions.last().expect("just pushed").1);
             trim_history(record, self.config.history_limit);
             state.erased.remove(design);
             over_threshold = state.wal_bytes > self.config.compact_threshold_bytes;
+            if notify {
+                // Still under the write lock: observers see saves in
+                // exactly commit order.
+                let hook = self.hook.read().clone();
+                if let Some(hook) = hook {
+                    hook(&StoreChange::Saved {
+                        user: &self.user,
+                        design,
+                        rev,
+                        sheet: &committed,
+                    });
+                }
+            }
         }
         if over_threshold {
             self.maybe_compact();
@@ -809,6 +926,14 @@ impl Shard {
         self.commit(&mut state, payload.as_bytes())?;
         state.designs.remove(design);
         state.erased.insert(design.to_owned(), rev);
+        let hook = self.hook.read().clone();
+        if let Some(hook) = hook {
+            hook(&StoreChange::Deleted {
+                user: &self.user,
+                design,
+                rev,
+            });
+        }
         Ok(true)
     }
 
@@ -1512,5 +1637,85 @@ mod tests {
         store.save("alice", "d", &sheet("1.5"), None).unwrap();
         store.save("bob", "d", &sheet("1.5"), None).unwrap();
         assert_eq!(store.users().unwrap(), ["alice", "bob"]);
+    }
+
+    #[test]
+    fn change_hook_sees_commits_in_order() {
+        let store = store("hook");
+        store.save("alice", "d", &sheet("1.5"), None).unwrap();
+
+        let seen: Arc<Mutex<Vec<String>>> = Arc::default();
+        let log = Arc::clone(&seen);
+        store.set_change_hook(Arc::new(move |change| {
+            let line = match change {
+                StoreChange::Saved {
+                    user, design, rev, ..
+                } => format!("save {user}/{design}@{rev}"),
+                StoreChange::Deleted { user, design, rev } => {
+                    format!("delete {user}/{design}@{rev}")
+                }
+            };
+            log.lock().push(line);
+        }));
+
+        store.save("alice", "d", &sheet("1.2"), None).unwrap();
+        store.rollback("alice", "d", 1, Some(2)).unwrap();
+        store.save("bob", "d", &sheet("0.9"), None).unwrap(); // new shard sees the shared hook
+        store.delete("alice", "d").unwrap();
+        assert_eq!(
+            *seen.lock(),
+            [
+                "save alice/d@2",
+                "save alice/d@3",
+                "save bob/d@1",
+                "delete alice/d@3",
+            ]
+        );
+
+        // Recovery replay on a cold reopen must not notify.
+        seen.lock().clear();
+        let cold = DesignStore::open(store.root().to_owned()).unwrap();
+        assert_eq!(cold.current_rev("bob", "d").unwrap(), 1);
+        assert!(seen.lock().is_empty());
+    }
+
+    #[test]
+    fn revision_floor_tracks_trimming_and_deletes() {
+        let store = DesignStore::open_with(
+            temp_root("floor"),
+            StoreConfig {
+                history_limit: 3,
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(store.revision_history("u", "d").unwrap().is_none());
+
+        store.save("u", "d", &sheet("1.5"), None).unwrap();
+        store.save("u", "d", &sheet("1.2"), None).unwrap();
+        // Full history retained: floor 0 means "nothing was ever lost".
+        assert_eq!(
+            store.revision_history("u", "d").unwrap().unwrap(),
+            (vec![2, 1], 0)
+        );
+
+        store.save("u", "d", &sheet("1.0"), None).unwrap();
+        store.save("u", "d", &sheet("0.9"), None).unwrap();
+        store.save("u", "d", &sheet("0.8"), None).unwrap();
+        // history_limit 3 keeps [3, 4, 5]; revisions 1..=2 were trimmed.
+        assert_eq!(
+            store.revision_history("u", "d").unwrap().unwrap(),
+            (vec![5, 4, 3], 2)
+        );
+
+        // Delete then recreate: the erased floor (5) carries over, so
+        // the fresh single-revision history reports floor 5, not 0.
+        store.delete("u", "d").unwrap();
+        assert!(store.revision_history("u", "d").unwrap().is_none());
+        assert_eq!(store.save("u", "d", &sheet("0.7"), Some(0)).unwrap(), 6);
+        assert_eq!(
+            store.revision_history("u", "d").unwrap().unwrap(),
+            (vec![6], 5)
+        );
     }
 }

@@ -33,11 +33,15 @@
 //! for conflicts). The legacy `/api/*` routes keep answering but carry
 //! `Deprecation`/`Link` headers (see `PowerPlayApp::decorate_legacy`).
 
+use std::sync::Arc;
+
 use powerplay_json::Json;
 use powerplay_sheet::Sheet;
 use powerplay_store::StoreError;
 
-use crate::app::{PowerPlayApp, LIBRARY_SHARD};
+use crate::app::{LegacyMode, PowerPlayApp, LIBRARY_SHARD};
+use crate::cache::PlanCache;
+use crate::events::sse_frame;
 use crate::http::{Method, Request, Response, Status};
 
 /// Routes one `/api/v1/...` request. Called from `PowerPlayApp::route`
@@ -47,6 +51,23 @@ pub(crate) fn respond(app: &PowerPlayApp, req: &Request) -> Response {
     let rest = req.path().strip_prefix("/api/v1").unwrap_or("");
     let segments: Vec<&str> = rest.split('/').filter(|s| !s.is_empty()).collect();
     let result = match segments.as_slice() {
+        // `GET /api/v1` — the machine-readable route index.
+        [] => match req.method() {
+            Method::Get => Ok(route_index(app)),
+            _ => Err(method_not_allowed("GET")),
+        },
+        ["stats"] => match req.method() {
+            Method::Get => Ok(stats_get()),
+            _ => Err(method_not_allowed("GET")),
+        },
+        ["sensitivities"] => match req.method() {
+            Method::Post => sensitivities_body_post(app, req),
+            _ => Err(method_not_allowed("POST")),
+        },
+        ["models"] => match req.method() {
+            Method::Post => models_post(app, req),
+            _ => Err(method_not_allowed("POST")),
+        },
         ["library"] => match req.method() {
             Method::Get => Ok(Response::json(app.registry.read().to_json().to_string())),
             _ => Err(method_not_allowed("GET")),
@@ -78,6 +99,10 @@ pub(crate) fn respond(app: &PowerPlayApp, req: &Request) -> Response {
         },
         ["designs", user, name, "revisions"] => match req.method() {
             Method::Get => revisions_get(app, user, name),
+            _ => Err(method_not_allowed("GET")),
+        },
+        ["designs", user, name, "events"] => match req.method() {
+            Method::Get => events_get(app, req, user, name),
             _ => Err(method_not_allowed("GET")),
         },
         ["designs", user, name, "rollback"] => match req.method() {
@@ -400,6 +425,7 @@ fn design_put(
     let rev = app
         .store
         .save(user, name, &sheet, expected)
+        .map_err(|err| conflict_event(app, user, name, err))
         .map_err(store_error)?;
     let status = if current == 0 {
         Status::Created
@@ -435,9 +461,9 @@ fn design_delete(app: &PowerPlayApp, user: &str, name: &str) -> Result<Response,
 }
 
 fn revisions_get(app: &PowerPlayApp, user: &str, name: &str) -> Result<Response, Response> {
-    let revs = app
+    let (revs, floor) = app
         .store
-        .revisions(user, name)
+        .revision_history(user, name)
         .map_err(store_error)?
         .ok_or_else(|| {
             envelope(
@@ -453,6 +479,10 @@ fn revisions_get(app: &PowerPlayApp, user: &str, name: &str) -> Result<Response,
             ("user", Json::from(user)),
             ("name", Json::from(name)),
             ("current", Json::from(current as f64)),
+            // The floor lets clients tell truncation from short
+            // history: revisions `floor` and below once existed but are
+            // no longer retained (0 = nothing was ever lost).
+            ("floor", Json::from(floor as f64)),
             (
                 "revisions",
                 revs.into_iter().map(|r| r as f64).collect::<Json>(),
@@ -495,6 +525,7 @@ fn rollback_post(
     let new_rev = app
         .store
         .rollback(user, name, rev, expected)
+        .map_err(|err| conflict_event(app, user, name, err))
         .map_err(store_error)?;
     let mut response = Response::json(
         Json::object([
@@ -507,6 +538,114 @@ fn rollback_post(
     );
     response.set_header("ETag", &rev_etag(new_rev));
     Ok(response)
+}
+
+// --- event streams --------------------------------------------------------
+
+/// Passes a [`StoreError`] through, publishing a transient `conflict`
+/// event on the design's topic when it is a revision conflict — the
+/// collaborator whose PUT just lost learns immediately, and so does
+/// everyone else watching the design.
+fn conflict_event(app: &PowerPlayApp, user: &str, name: &str, err: StoreError) -> StoreError {
+    if let StoreError::Conflict {
+        expected, actual, ..
+    } = &err
+    {
+        let data = Json::object([
+            ("user", Json::from(user)),
+            ("name", Json::from(name)),
+            ("expected", Json::from(*expected as f64)),
+            ("actual", Json::from(*actual as f64)),
+        ]);
+        app.events
+            .publish_transient(user, name, sse_frame("conflict", None, &data.to_string()));
+    }
+    err
+}
+
+/// The event payload shared by `snapshot` and replayed `revision`
+/// frames: the design identity, its validator, and the evaluated
+/// report (`null` when the design does not evaluate).
+fn event_data(app: &PowerPlayApp, user: &str, name: &str, rev: u64, sheet: &Sheet) -> Json {
+    let plan = app.plan_for(app.stored_key(user, name, rev), sheet);
+    let report = plan.play().map(|r| report_json(&r)).unwrap_or(Json::Null);
+    Json::object([
+        ("user", Json::from(user)),
+        ("name", Json::from(name)),
+        ("rev", Json::from(rev as f64)),
+        ("author", Json::from(user)),
+        ("etag", Json::from(rev_etag(rev))),
+        ("report", report),
+    ])
+}
+
+/// `GET /api/v1/designs/{user}/{name}/events` — a Server-Sent Events
+/// stream of the design's life: a `snapshot` (or, resuming via
+/// `Last-Event-ID`, the missed `revision`s) as the prologue, then live
+/// `revision` / `conflict` / `deleted` events as collaborators work,
+/// `:hb` heartbeats while they don't, and a final `bye` when the server
+/// drains. Event ids are revision numbers, so `Last-Event-ID` resume is
+/// exact while the bounded history retains the gap; beyond it the
+/// stream resyncs with a fresh `snapshot`.
+fn events_get(
+    app: &PowerPlayApp,
+    req: &Request,
+    user: &str,
+    name: &str,
+) -> Result<Response, Response> {
+    let (current, sheet) = load(app, user, name)?;
+    let last: Option<u64> = req
+        .header("last-event-id")
+        .and_then(|v| v.trim().parse().ok());
+
+    // EventSource reconnect hint, then the prologue frames. `current`
+    // is the highest revision the prologue covers; the stream-open
+    // callback below subscribes with that watermark and the hub's ring
+    // replays anything committed while this response was in flight.
+    let mut prologue = b"retry: 2000\n\n".to_vec();
+    let replayable = last.is_some_and(|l| l <= current);
+    if replayable {
+        let last = last.expect("replayable implies present");
+        let (revs, floor) = app
+            .store
+            .revision_history(user, name)
+            .map_err(store_error)?
+            .unwrap_or((Vec::new(), 0));
+        if last < floor {
+            // Part of the gap fell out of the bounded history; exact
+            // replay is impossible, so resync from the snapshot.
+            let data = event_data(app, user, name, current, &sheet);
+            let snapshot = with_design(data, &sheet);
+            prologue.extend_from_slice(&sse_frame("snapshot", Some(current), &snapshot));
+        } else {
+            for rev in revs.into_iter().rev().filter(|r| *r > last) {
+                let Some(stored) = app.store.load_rev(user, name, rev).map_err(store_error)? else {
+                    continue;
+                };
+                let data = event_data(app, user, name, rev, &stored);
+                prologue.extend_from_slice(&sse_frame("revision", Some(rev), &data.to_string()));
+            }
+        }
+    } else {
+        // No resume point (or one from a deleted-and-recreated
+        // lineage): late joiners start from a full snapshot.
+        let data = event_data(app, user, name, current, &sheet);
+        let snapshot = with_design(data, &sheet);
+        prologue.extend_from_slice(&sse_frame("snapshot", Some(current), &snapshot));
+    }
+
+    let hub = Arc::clone(app.events());
+    let (user, name) = (user.to_owned(), name.to_owned());
+    Ok(Response::event_stream(prologue, move |handle| {
+        hub.subscribe(&user, &name, current, handle);
+    }))
+}
+
+/// Extends an event payload with the full design document (snapshots
+/// carry the sheet so a joiner needs no second fetch).
+fn with_design(mut data: Json, sheet: &Sheet) -> String {
+    data.set("design", sheet.to_json());
+    data.to_string()
 }
 
 // --- engine resources -----------------------------------------------------
@@ -617,6 +756,247 @@ fn analyze_post(app: &PowerPlayApp, user: &str, name: &str) -> Result<Response, 
         ])
         .to_string())
     })
+}
+
+// --- surface cleanup: index, stats, body-shape engines, model upload ------
+
+/// Every v1 route, one entry per method, for the machine-readable
+/// index. Path templates use `{placeholder}` segments.
+const V1_ROUTES: &[(&str, &str)] = &[
+    ("GET", "/api/v1"),
+    ("GET", "/api/v1/stats"),
+    ("POST", "/api/v1/sensitivities"),
+    ("POST", "/api/v1/models"),
+    ("GET", "/api/v1/library"),
+    ("GET", "/api/v1/libraries"),
+    ("POST", "/api/v1/libraries"),
+    ("GET", "/api/v1/libraries/{name}"),
+    ("GET", "/api/v1/elements/{name}"),
+    ("GET", "/api/v1/designs/{user}"),
+    ("GET", "/api/v1/designs/{user}/{name}"),
+    ("PUT", "/api/v1/designs/{user}/{name}"),
+    ("DELETE", "/api/v1/designs/{user}/{name}"),
+    ("GET", "/api/v1/designs/{user}/{name}/revisions"),
+    ("GET", "/api/v1/designs/{user}/{name}/events"),
+    ("POST", "/api/v1/designs/{user}/{name}/rollback"),
+    ("POST", "/api/v1/designs/{user}/{name}/play"),
+    ("POST", "/api/v1/designs/{user}/{name}/sweep"),
+    ("POST", "/api/v1/designs/{user}/{name}/sensitivities"),
+    ("POST", "/api/v1/designs/{user}/{name}/lint"),
+    ("POST", "/api/v1/designs/{user}/{name}/analyze"),
+];
+
+/// The legacy routes that answer on more than one method.
+fn legacy_methods(route: &str) -> &'static [&'static str] {
+    match route {
+        "/api/design" | "/api/lint" => &["GET", "POST"],
+        _ => &["GET"],
+    }
+}
+
+/// `GET /api/v1` — the route index: every v1 route plus the deprecated
+/// legacy routes with their sunset state and successor, so clients can
+/// discover the surface (and its deprecations) without prose.
+fn route_index(app: &PowerPlayApp) -> Response {
+    let mode = app.legacy_mode();
+    let mut routes: Vec<Json> = V1_ROUTES
+        .iter()
+        .map(|(method, path)| {
+            Json::object([
+                ("method", Json::from(*method)),
+                ("path", Json::from(*path)),
+                ("deprecated", Json::from(false)),
+            ])
+        })
+        .collect();
+    for (route, successor) in PowerPlayApp::LEGACY_API_ROUTES {
+        for method in legacy_methods(route) {
+            routes.push(Json::object([
+                ("method", Json::from(*method)),
+                ("path", Json::from(*route)),
+                ("deprecated", Json::from(true)),
+                ("sunset", Json::from(mode == LegacyMode::Off)),
+                ("successor", Json::from(*successor)),
+            ]));
+        }
+    }
+    Response::json(
+        Json::object([
+            ("version", Json::from("v1")),
+            ("legacy_mode", Json::from(mode.as_str())),
+            ("routes", routes.into_iter().collect::<Json>()),
+        ])
+        .to_string(),
+    )
+}
+
+/// `GET /api/v1/stats` — the telemetry snapshot as JSON: the
+/// machine-readable sibling of the human `/stats` panel (which stays on
+/// the page router). Quantiles are the same log2-bucket estimates the
+/// panel shows.
+fn stats_get() -> Response {
+    let snap = powerplay_telemetry::global().snapshot();
+    let counters: Json = snap
+        .counters
+        .iter()
+        .map(|(name, v)| {
+            Json::object([
+                ("name", Json::from(name.as_str())),
+                ("value", Json::from(*v as f64)),
+            ])
+        })
+        .collect();
+    let gauges: Json = snap
+        .gauges
+        .iter()
+        .map(|(name, v)| {
+            Json::object([
+                ("name", Json::from(name.as_str())),
+                ("value", Json::from(*v as f64)),
+            ])
+        })
+        .collect();
+    let quantile = |h: &powerplay_telemetry::HistogramSnapshot, q: f64| {
+        h.quantile_seconds(q)
+            .filter(|v| v.is_finite())
+            .map_or(Json::Null, Json::from)
+    };
+    let histograms: Json = snap
+        .histograms
+        .iter()
+        .map(|h| {
+            Json::object([
+                ("name", Json::from(h.name.as_str())),
+                ("count", Json::from(h.count as f64)),
+                ("sum_seconds", Json::from(h.sum_seconds)),
+                ("p50_seconds", quantile(h, 0.5)),
+                ("p90_seconds", quantile(h, 0.9)),
+                ("p99_seconds", quantile(h, 0.99)),
+            ])
+        })
+        .collect();
+    Response::json(
+        Json::object([
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+        ])
+        .to_string(),
+    )
+}
+
+/// `POST /api/v1/sensitivities` with a sheet JSON document as the body
+/// — the what-if ranking for an *unsaved* design (editor integrations,
+/// CI), completing the v1 migration of the legacy query-parameter
+/// route. The compiled plan is cached by canonicalized content hash,
+/// like `POST /api/design` bodies.
+fn sensitivities_body_post(app: &PowerPlayApp, req: &Request) -> Result<Response, Response> {
+    let json = body_json(req)?;
+    let sheet = Sheet::from_json(&json)
+        .map_err(|e| envelope(Status::BadRequest, "invalid_body", &e.to_string(), None))?;
+    let key = PlanCache::key(
+        &sheet.to_json().to_string(),
+        app.registry.read().generation(),
+    );
+    let plan = app.plan_for(key, &sheet);
+    let sens =
+        powerplay_sheet::whatif::sensitivities_compiled(&plan).map_err(|e| play_error(&e))?;
+    let ranking: Json = sens
+        .into_iter()
+        .map(|(global, s)| {
+            Json::object([
+                ("global", Json::from(global)),
+                ("sensitivity", Json::from(s)),
+            ])
+        })
+        .collect();
+    Ok(Response::json(
+        Json::object([("sensitivities", ranking)]).to_string(),
+    ))
+}
+
+/// `POST /api/v1/models` with a JSON model document — the v1 successor
+/// of the HTML `/model/new` form: name, class, parameter declarations,
+/// and the model formulas, linted before registration exactly like the
+/// form path. Answers 201 with the registered element.
+fn models_post(app: &PowerPlayApp, req: &Request) -> Result<Response, Response> {
+    use powerplay_library::{ElementClass, ElementModel, LibraryElement, ParamDecl};
+
+    let json = body_json(req)?;
+    let bad = |msg: &str| envelope(Status::BadRequest, "invalid_body", msg, None);
+    let name = json
+        .get("name")
+        .and_then(Json::as_str)
+        .filter(|n| !n.is_empty())
+        .ok_or_else(|| bad("`name` is required"))?;
+    let class_id = json.get("class").and_then(Json::as_str).unwrap_or("");
+    let class = ElementClass::from_id(class_id)
+        .ok_or_else(|| bad(&format!("unknown class `{class_id}`")))?;
+    let doc = json
+        .get("doc")
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_owned();
+
+    let mut params = Vec::new();
+    if let Some(items) = json.get("params").and_then(Json::as_array) {
+        for item in items {
+            let pname = item
+                .get("name")
+                .and_then(Json::as_str)
+                .filter(|n| !n.is_empty())
+                .ok_or_else(|| bad("each parameter needs a `name`"))?;
+            let default = item
+                .get("default")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad(&format!("parameter `{pname}` needs a numeric `default`")))?;
+            let pdoc = item.get("doc").and_then(Json::as_str).unwrap_or("");
+            params.push(ParamDecl::new(pname, default, pdoc));
+        }
+    }
+
+    let model_json = json.get("model");
+    let formula = |field: &str| -> Result<Option<powerplay_expr::Expr>, Response> {
+        match model_json
+            .and_then(|m| m.get(field))
+            .and_then(Json::as_str)
+            .filter(|s| !s.trim().is_empty())
+        {
+            None => Ok(None),
+            Some(src) => powerplay_expr::Expr::parse(src)
+                .map(Some)
+                .map_err(|e| bad(&format!("formula `{field}`: {e}"))),
+        }
+    };
+    let cap_partial = match (formula("cap_partial")?, formula("swing")?) {
+        (Some(c), Some(s)) => Some((c, s)),
+        (None, None) => None,
+        _ => return Err(bad("cap_partial and swing must be given together")),
+    };
+    let model = ElementModel {
+        cap_full: formula("cap_full")?,
+        cap_partial,
+        static_current: formula("static_current")?,
+        power_direct: formula("power_direct")?,
+        area: formula("area")?,
+        delay: formula("delay")?,
+    };
+
+    let element = LibraryElement::new(name.to_owned(), class, doc, params, model);
+    let report = powerplay_lint::lint_element(&element);
+    if report.has_errors() {
+        return Err(envelope(
+            Status::BadRequest,
+            "invalid_model",
+            "the model failed lint",
+            Some(report.to_json()),
+        ));
+    }
+    let body = element.to_json().to_string();
+    app.registry.write().insert(element);
+    let mut response = Response::json_with_status(Status::Created, body);
+    response.set_header("Location", &format!("/api/v1/elements/{name}"));
+    Ok(response)
 }
 
 // --- imported libraries ---------------------------------------------------
@@ -1163,6 +1543,216 @@ mod tests {
         assert!(parsed["libraries"].as_array().unwrap().is_empty());
         let missing = get(&app, "/api/v1/libraries/broken");
         assert_eq!(missing.status(), Status::NotFound);
+    }
+
+    #[test]
+    fn revisions_report_the_history_floor() {
+        let app = app("floor");
+        let body = sheet_json();
+        put(&app, "/api/v1/designs/a/d", &body, None);
+        put(&app, "/api/v1/designs/a/d", &body, Some("\"1\""));
+
+        // Full history retained: the floor is zero.
+        let listed = Json::parse(&get(&app, "/api/v1/designs/a/d/revisions").body_text()).unwrap();
+        assert_eq!(listed["floor"].as_f64(), Some(0.0));
+
+        // Delete, recreate: the new lineage starts past the erased
+        // revisions, and the floor records what can never be rolled
+        // back to.
+        app.handle(&Request::new(Method::Delete, "/api/v1/designs/a/d"));
+        let recreated = put(&app, "/api/v1/designs/a/d", &body, None);
+        assert_eq!(recreated.header("etag"), Some("\"3\""));
+        let listed = Json::parse(&get(&app, "/api/v1/designs/a/d/revisions").body_text()).unwrap();
+        assert_eq!(listed["current"].as_f64(), Some(3.0));
+        assert_eq!(listed["floor"].as_f64(), Some(2.0));
+        let revs: Vec<f64> = listed["revisions"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|r| r.as_f64().unwrap())
+            .collect();
+        assert_eq!(revs, vec![3.0]);
+    }
+
+    #[test]
+    fn route_index_lists_v1_and_deprecated_routes() {
+        let app = app("index");
+        let index = get(&app, "/api/v1");
+        assert_eq!(index.status(), Status::Ok);
+        let parsed = Json::parse(&index.body_text()).unwrap();
+        assert_eq!(parsed["version"].as_str(), Some("v1"));
+        assert_eq!(parsed["legacy_mode"].as_str(), Some("warn"));
+        let routes = parsed["routes"].as_array().unwrap();
+        let find = |method: &str, path: &str| {
+            routes
+                .iter()
+                .find(|r| r["method"].as_str() == Some(method) && r["path"].as_str() == Some(path))
+                .unwrap_or_else(|| panic!("{method} {path} missing from index"))
+        };
+        let events = find("GET", "/api/v1/designs/{user}/{name}/events");
+        assert_eq!(events["deprecated"].as_bool(), Some(false));
+        let legacy = find("GET", "/api/sweep");
+        assert_eq!(legacy["deprecated"].as_bool(), Some(true));
+        assert_eq!(legacy["sunset"].as_bool(), Some(false));
+        assert_eq!(
+            legacy["successor"].as_str(),
+            Some("/api/v1/designs/{user}/{name}/sweep")
+        );
+        // /api/design answers on both methods; both are indexed.
+        find("GET", "/api/design");
+        find("POST", "/api/design");
+    }
+
+    #[test]
+    fn legacy_off_sunsets_with_410_and_successor_link() {
+        let app = app("sunset");
+        app.set_legacy_mode(LegacyMode::Off);
+        let gone = get(&app, "/api/library");
+        assert_eq!(gone.status(), Status::Gone);
+        assert_eq!(error_code(&gone), "gone");
+        assert_eq!(gone.header("deprecation"), Some("true"));
+        assert_eq!(
+            gone.header("link"),
+            Some("</api/v1/library>; rel=\"successor-version\"")
+        );
+        // The remaining-traffic counter still counts sunset hits.
+        let metrics = get(&app, "/metrics").body_text();
+        assert!(
+            metrics.contains("powerplay_web_legacy_api_total{route=\"/api/library\"}"),
+            "{metrics}"
+        );
+        // The index reflects the switch; v1 routes are untouched.
+        let parsed = Json::parse(&get(&app, "/api/v1").body_text()).unwrap();
+        assert_eq!(parsed["legacy_mode"].as_str(), Some("off"));
+        assert_eq!(get(&app, "/api/v1/library").status(), Status::Ok);
+
+        // `on` serves the legacy route bare, no deprecation headers.
+        app.set_legacy_mode(LegacyMode::On);
+        let bare = get(&app, "/api/library");
+        assert_eq!(bare.status(), Status::Ok);
+        assert_eq!(bare.header("deprecation"), None);
+    }
+
+    #[test]
+    fn stats_resource_serializes_the_telemetry_snapshot() {
+        let app = app("stats");
+        put(&app, "/api/v1/designs/a/d", &sheet_json(), None);
+        let stats = get(&app, "/api/v1/stats");
+        assert_eq!(stats.status(), Status::Ok);
+        let parsed = Json::parse(&stats.body_text()).unwrap();
+        assert!(!parsed["counters"].as_array().unwrap().is_empty());
+        assert!(parsed["histograms"].as_array().is_some());
+    }
+
+    #[test]
+    fn sensitivities_accepts_a_sheet_body() {
+        let app = app("sensbody");
+        let ranked = post(&app, "/api/v1/sensitivities", &sheet_json());
+        assert_eq!(ranked.status(), Status::Ok, "{}", ranked.body_text());
+        let parsed = Json::parse(&ranked.body_text()).unwrap();
+        let ranking = parsed["sensitivities"].as_array().unwrap();
+        assert!(!ranking.is_empty());
+        assert!(ranking[0]["global"].as_str().is_some());
+        assert!(ranking[0]["sensitivity"].as_f64().is_some());
+
+        let bad = post(&app, "/api/v1/sensitivities", "{\"not\": \"a sheet\"}");
+        assert_eq!(bad.status(), Status::BadRequest);
+        assert_eq!(error_code(&bad), "invalid_body");
+    }
+
+    #[test]
+    fn model_upload_registers_a_usable_element() {
+        let app = app("models");
+        let model = r#"{
+            "name": "custom/alu16",
+            "class": "computation",
+            "doc": "uploaded via the v1 API",
+            "params": [{"name": "bits", "default": 16, "doc": "word width"}],
+            "model": {"cap_full": "bits * 0.4e-12", "static_current": "1e-9"}
+        }"#;
+        let created = post(&app, "/api/v1/models", model);
+        assert_eq!(created.status(), Status::Created, "{}", created.body_text());
+        assert_eq!(
+            created.header("location"),
+            Some("/api/v1/elements/custom/alu16")
+        );
+        // The element answers on the element resource and drives a
+        // design end to end.
+        let element = get(&app, "/api/v1/elements/custom/alu16");
+        assert_eq!(element.status(), Status::Ok);
+        let mut sheet = Sheet::new("d");
+        sheet.set_global("vdd", "1.5").unwrap();
+        sheet.set_global("f", "2e6").unwrap();
+        sheet
+            .add_element_row("alu", "custom/alu16", [("bits", "32")])
+            .unwrap();
+        put(
+            &app,
+            "/api/v1/designs/a/d",
+            &sheet.to_json().to_string(),
+            None,
+        );
+        let played = post(&app, "/api/v1/designs/a/d/play", "");
+        assert_eq!(played.status(), Status::Ok, "{}", played.body_text());
+
+        // A model with a broken formula is refused with a clean 400.
+        let bad = post(
+            &app,
+            "/api/v1/models",
+            r#"{"name": "custom/bad", "class": "computation", "model": {"cap_full": "((("}}"#,
+        );
+        assert_eq!(bad.status(), Status::BadRequest);
+        assert_eq!(error_code(&bad), "invalid_body");
+        assert_eq!(
+            get(&app, "/api/v1/elements/custom/bad").status(),
+            Status::NotFound
+        );
+    }
+
+    #[test]
+    fn event_stream_prologue_carries_snapshot_or_replay() {
+        let app = app("events");
+        let body = sheet_json();
+        put(&app, "/api/v1/designs/a/d", &body, None);
+        put(&app, "/api/v1/designs/a/d", &body, Some("\"1\""));
+
+        // A fresh subscriber gets a snapshot of the current revision.
+        let stream = get(&app, "/api/v1/designs/a/d/events");
+        assert_eq!(stream.status(), Status::Ok);
+        assert_eq!(stream.header("content-type"), Some("text/event-stream"));
+        let prologue = String::from_utf8(stream.body().to_vec()).unwrap();
+        assert!(prologue.starts_with("retry: 2000\n\n"), "{prologue}");
+        assert!(prologue.contains("event: snapshot\n"), "{prologue}");
+        assert!(prologue.contains("id: 2\n"), "{prologue}");
+
+        // A resume from revision 1 replays exactly the missed revision.
+        let mut resume = Request::new(Method::Get, "/api/v1/designs/a/d/events");
+        resume.set_header("Last-Event-ID", "1");
+        let stream = app.handle(&resume);
+        let prologue = String::from_utf8(stream.body().to_vec()).unwrap();
+        assert!(prologue.contains("event: revision\n"), "{prologue}");
+        assert!(prologue.contains("id: 2\n"), "{prologue}");
+        assert!(!prologue.contains("event: snapshot\n"), "{prologue}");
+
+        // A resume already at the head replays nothing.
+        let mut current = Request::new(Method::Get, "/api/v1/designs/a/d/events");
+        current.set_header("Last-Event-ID", "2");
+        let stream = app.handle(&current);
+        let prologue = String::from_utf8(stream.body().to_vec()).unwrap();
+        assert!(!prologue.contains("event:"), "{prologue}");
+
+        // A resume from a revision ahead of this lineage (stale id from
+        // a deleted ancestor) resyncs with a snapshot.
+        let mut stale = Request::new(Method::Get, "/api/v1/designs/a/d/events");
+        stale.set_header("Last-Event-ID", "99");
+        let stream = app.handle(&stale);
+        let prologue = String::from_utf8(stream.body().to_vec()).unwrap();
+        assert!(prologue.contains("event: snapshot\n"), "{prologue}");
+
+        // An unknown design refuses the stream with the envelope.
+        let missing = get(&app, "/api/v1/designs/a/nope/events");
+        assert_eq!(missing.status(), Status::NotFound);
+        assert_eq!(error_code(&missing), "not_found");
     }
 
     #[test]

@@ -5,18 +5,22 @@
 //! the user is identified by a `user` parameter threaded through every
 //! URL — faithful to the 1996 CGI implementation, which had no cookies.
 
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use powerplay_expr::Scope;
 use powerplay_json::Json;
 use powerplay_library::{ElementClass, ElementModel, LibraryElement, ParamDecl, Registry};
-use powerplay_sheet::{RowModel, Sheet, SheetReport};
+use powerplay_sheet::{ReplayState, RowModel, Sheet, SheetReport};
+use powerplay_store::StoreChange;
 use powerplay_telemetry::{profile, Counter, Gauge, Histogram};
 use powerplay_units::format;
 
 use crate::cache::{self, PlanCache};
+use crate::events::{sse_frame, EventHub};
 use crate::html;
 use crate::http::urlencoded::{encode, encode_pairs};
 use crate::http::{Method, Request, Response, Server, ServerHandle, Status};
@@ -84,6 +88,41 @@ const PLAN_CACHE_CAPACITY: usize = 32;
 /// inspector can read the same shard.
 pub const LIBRARY_SHARD: &str = "_libraries";
 
+/// How the deprecated pre-v1 `/api/*` routes answer (the sunset
+/// switch, `serve --legacy-api=`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LegacyMode {
+    /// Answer normally, no deprecation headers (for deployments whose
+    /// clients choke on unknown headers).
+    On,
+    /// Answer normally but advertise `Deprecation` + successor `Link`
+    /// headers (the default).
+    Warn,
+    /// Refuse with `410 Gone` carrying the successor `Link`.
+    Off,
+}
+
+impl LegacyMode {
+    /// Parses the `--legacy-api=` flag value.
+    pub fn parse(s: &str) -> Option<LegacyMode> {
+        match s {
+            "on" => Some(LegacyMode::On),
+            "warn" => Some(LegacyMode::Warn),
+            "off" => Some(LegacyMode::Off),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling, for the route index.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LegacyMode::On => "on",
+            LegacyMode::Warn => "warn",
+            LegacyMode::Off => "off",
+        }
+    }
+}
+
 /// The application: a shared model registry plus the user store.
 pub struct PowerPlayApp {
     pub(crate) registry: RwLock<Registry>,
@@ -92,6 +131,16 @@ pub struct PowerPlayApp {
     /// (stored designs) or content hash (unsaved posts) and registry
     /// generation (see [`crate::cache`]).
     pub(crate) plan_cache: PlanCache,
+    /// Fan-out hub for `GET .../events` SSE streams, fed by the store's
+    /// change hook. `Arc` so stream-open callbacks can subscribe after
+    /// the handler returned.
+    pub(crate) events: Arc<EventHub>,
+    /// Per-design incremental-replay baselines for revision-event
+    /// reports: consecutive commits against an unchanged plan replay
+    /// only the dirty rows.
+    replay: Mutex<HashMap<(String, String), ReplayState>>,
+    /// The legacy-API sunset switch.
+    legacy: RwLock<LegacyMode>,
     /// HTTP Basic credentials; `None` = open access (the public Berkeley
     /// instance), `Some` = "password-restricted access" per the paper's
     /// protection section.
@@ -108,12 +157,30 @@ impl PowerPlayApp {
     pub fn new(registry: Registry, data_dir: PathBuf) -> Arc<PowerPlayApp> {
         let store = UserStore::open(data_dir).expect("create data directory");
         let registry = Self::with_imported_libraries(registry, &store);
-        Arc::new(PowerPlayApp {
+        Self::finish(PowerPlayApp {
             registry: RwLock::new(registry),
             store,
             plan_cache: PlanCache::new(PLAN_CACHE_CAPACITY),
+            events: Arc::new(EventHub::new()),
+            replay: Mutex::new(HashMap::new()),
+            legacy: RwLock::new(LegacyMode::Warn),
             credentials: None,
         })
+    }
+
+    /// Wraps the app in its `Arc` and registers the store change hook
+    /// feeding the event hub. The hook holds a `Weak` back-reference
+    /// (the app owns the store, the store holds the hook — a strong
+    /// reference would leak the cycle).
+    fn finish(app: PowerPlayApp) -> Arc<PowerPlayApp> {
+        let app = Arc::new(app);
+        let weak = Arc::downgrade(&app);
+        app.store.set_change_hook(Arc::new(move |change| {
+            if let Some(app) = weak.upgrade() {
+                app.on_store_change(change);
+            }
+        }));
+        app
     }
 
     /// Merges every element of every persisted Liberty import back into
@@ -158,10 +225,13 @@ impl PowerPlayApp {
         assert!(!credentials.is_empty(), "need at least one credential");
         let store = UserStore::open(data_dir).expect("create data directory");
         let registry = Self::with_imported_libraries(registry, &store);
-        Arc::new(PowerPlayApp {
+        Self::finish(PowerPlayApp {
             registry: RwLock::new(registry),
             store,
             plan_cache: PlanCache::new(PLAN_CACHE_CAPACITY),
+            events: Arc::new(EventHub::new()),
+            replay: Mutex::new(HashMap::new()),
+            legacy: RwLock::new(LegacyMode::Warn),
             credentials: Some(credentials),
         })
     }
@@ -198,6 +268,104 @@ impl PowerPlayApp {
     /// The design store.
     pub fn store(&self) -> &UserStore {
         &self.store
+    }
+
+    /// The SSE fan-out hub (tests, the events endpoint).
+    pub fn events(&self) -> &Arc<EventHub> {
+        &self.events
+    }
+
+    /// Flips the legacy-API sunset switch (`serve --legacy-api=`).
+    pub fn set_legacy_mode(&self, mode: LegacyMode) {
+        *self.legacy.write() = mode;
+    }
+
+    /// The current legacy-API mode.
+    pub fn legacy_mode(&self) -> LegacyMode {
+        *self.legacy.read()
+    }
+
+    /// The store change hook: turns every committed design mutation
+    /// into an SSE event on its `(user, design)` topic. Runs inside the
+    /// shard's write lock (ordering guarantee), so it must not call
+    /// back into the store — everything here works from the committed
+    /// sheet it was handed plus the plan cache and registry.
+    fn on_store_change(&self, change: &StoreChange<'_>) {
+        match change {
+            StoreChange::Saved {
+                user,
+                design,
+                rev,
+                sheet,
+            } => {
+                // Library-shard documents are not designs; their
+                // "saves" are Liberty imports with no spreadsheet to
+                // report on.
+                if user.starts_with('_') {
+                    return;
+                }
+                let committed = Instant::now();
+                let report = self.revision_report(user, design, *rev, sheet);
+                let data = Json::object([
+                    ("user", Json::from(*user)),
+                    ("name", Json::from(*design)),
+                    ("rev", Json::from(*rev as f64)),
+                    ("author", Json::from(*user)),
+                    ("etag", Json::from(format!("\"{rev}\""))),
+                    ("report", report.unwrap_or(Json::Null)),
+                ]);
+                let frame = sse_frame("revision", Some(*rev), &data.to_string());
+                self.events.publish(user, design, *rev, frame, committed);
+            }
+            StoreChange::Deleted { user, design, rev } => {
+                if user.starts_with('_') {
+                    return;
+                }
+                // No new revision is minted, so the event carries no id
+                // (and is not retained for replay): late joiners see
+                // the design's absence in their snapshot instead.
+                let data = Json::object([
+                    ("user", Json::from(*user)),
+                    ("name", Json::from(*design)),
+                    ("rev", Json::from(*rev as f64)),
+                ]);
+                let frame = sse_frame("deleted", None, &data.to_string());
+                self.events.publish_transient(user, design, frame);
+            }
+        }
+    }
+
+    /// The delta-replayed report for a freshly committed revision, as
+    /// the JSON shape `/api/v1/.../play` answers with. Shares the plan
+    /// cache with every other consumer; the per-design [`ReplayState`]
+    /// means a commit whose compiled plan is already warm (a rollback
+    /// to a cached revision, a repeated save) re-evaluates only dirty
+    /// rows. An unevaluable design yields `None` — the event still
+    /// announces the revision.
+    fn revision_report(&self, user: &str, design: &str, rev: u64, sheet: &Sheet) -> Option<Json> {
+        let key = self.stored_key(user, design, rev);
+        let plan = self.plan_for(key, sheet);
+        let report = {
+            let mut states = self.replay.lock();
+            let state = states
+                .entry((user.to_owned(), design.to_owned()))
+                .or_default();
+            plan.replay_delta(state, &[]).ok()?
+        };
+        let rows: Json = report
+            .rows()
+            .iter()
+            .map(|r| {
+                Json::object([
+                    ("name", Json::from(r.name())),
+                    ("power_w", Json::from(r.power().value())),
+                ])
+            })
+            .collect();
+        Some(Json::object([
+            ("total_w", Json::from(report.total_power().value())),
+            ("rows", rows),
+        ]))
     }
 
     /// Binds an HTTP server for this app and starts it.
@@ -284,14 +452,14 @@ impl PowerPlayApp {
             (Method::Get, _) => Err(Response::error(Status::NotFound, "no such page")),
             _ => Err(Response::error(Status::NotFound, "no such action")),
         };
-        Self::decorate_legacy(req, result.unwrap_or_else(|error| error))
+        self.decorate_legacy(req, result.unwrap_or_else(|error| error))
     }
 
     /// The pre-v1 API routes and their v1 successors. They keep
     /// answering (existing scripts and the demo UI depend on them) but
     /// every response now advertises the deprecation and the counter
     /// below measures remaining traffic.
-    const LEGACY_API_ROUTES: &'static [(&'static str, &'static str)] = &[
+    pub(crate) const LEGACY_API_ROUTES: &'static [(&'static str, &'static str)] = &[
         ("/api/library", "/api/v1/library"),
         ("/api/element", "/api/v1/elements/{name}"),
         ("/api/design", "/api/v1/designs/{user}/{name}"),
@@ -303,17 +471,17 @@ impl PowerPlayApp {
         ),
     ];
 
-    /// Stamps deprecated `/api/*` responses with a `Deprecation` header,
-    /// a `Link` to the v1 successor, and a per-route traffic counter.
-    fn decorate_legacy(req: &Request, mut response: Response) -> Response {
+    /// Applies the sunset switch to deprecated `/api/*` responses. The
+    /// per-route traffic counter counts in *every* mode — it is the
+    /// evidence for whether `off` is safe to flip — and the successor
+    /// `Link` rides on both the warning and the 410.
+    fn decorate_legacy(&self, req: &Request, mut response: Response) -> Response {
         let Some((route, successor)) = Self::LEGACY_API_ROUTES
             .iter()
             .find(|(path, _)| *path == req.path())
         else {
             return response;
         };
-        response.set_header("Deprecation", "true");
-        response.set_header("Link", &format!("<{successor}>; rel=\"successor-version\""));
         powerplay_telemetry::global()
             .counter_with(
                 "powerplay_web_legacy_api_total",
@@ -321,7 +489,36 @@ impl PowerPlayApp {
                 "Requests to deprecated pre-v1 API routes",
             )
             .inc();
-        response
+        let link = format!("<{successor}>; rel=\"successor-version\"");
+        match self.legacy_mode() {
+            LegacyMode::On => response,
+            LegacyMode::Warn => {
+                response.set_header("Deprecation", "true");
+                response.set_header("Link", &link);
+                response
+            }
+            LegacyMode::Off => {
+                let mut gone = Response::json_with_status(
+                    Status::Gone,
+                    Json::object([(
+                        "error",
+                        Json::object([
+                            ("code", Json::from("gone")),
+                            (
+                                "message",
+                                Json::from(format!(
+                                    "this deprecated route was sunset; use {successor}"
+                                )),
+                            ),
+                        ]),
+                    )])
+                    .to_string(),
+                );
+                gone.set_header("Deprecation", "true");
+                gone.set_header("Link", &link);
+                gone
+            }
+        }
     }
 
     // --- helpers ---------------------------------------------------------
@@ -992,6 +1189,45 @@ errs conservatively high.</p>";
         body.push_str(&format!(
             "<p>{}</p>",
             html::link(&format!("/menu?user={}", encode(user)), "back to menu"),
+        ));
+
+        // Live collaboration: an EventSource on the v1 event stream
+        // refreshes the page when any other session commits a revision.
+        // Design/user names are store-validated `[a-zA-Z0-9_-]`, so they
+        // embed safely; the URL is still percent-encoded for form.
+        body.push_str(&format!(
+            r#"<p id="live">Live updates: connecting&hellip;</p>
+<script>
+(function () {{
+  if (!window.EventSource) {{ return; }}
+  var live = document.getElementById("live");
+  var es = new EventSource("/api/v1/designs/{user}/{design}/events");
+  var seen = null;
+  es.addEventListener("snapshot", function (e) {{
+    seen = JSON.parse(e.data).rev;
+    live.textContent = "Live: watching revision " + seen;
+  }});
+  es.addEventListener("revision", function (e) {{
+    var d = JSON.parse(e.data);
+    if (seen !== null && d.rev !== seen) {{ es.close(); location.reload(); return; }}
+    seen = d.rev;
+    live.textContent = "Live: revision " + d.rev;
+  }});
+  es.addEventListener("conflict", function () {{
+    live.textContent = "Live: a concurrent edit was refused (revision conflict)";
+  }});
+  es.addEventListener("deleted", function () {{
+    es.close();
+    live.textContent = "Live: this design was deleted";
+  }});
+  es.addEventListener("bye", function () {{
+    es.close();
+    live.textContent = "Live: server shut down";
+  }});
+}})();
+</script>"#,
+            user = encode(user),
+            design = encode(design),
         ));
 
         Response::html(html::page(&format!("Design: {design}"), &body))

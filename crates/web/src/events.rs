@@ -1,0 +1,198 @@
+//! Live design-change event streams (Server-Sent Events).
+//!
+//! The 1996 tool refreshed whole pages; the modern counterpart of the
+//! paper's "shared design database" is a *live* one: every committed
+//! revision is pushed to collaborators holding an open
+//! `GET /api/v1/designs/{user}/{name}/events` stream. This module is
+//! the fan-out hub between the store's change hook and the reactor's
+//! streaming connections.
+//!
+//! # Ordering and the subscribe race
+//!
+//! Publishes happen inside the store shard's write lock, so for one
+//! design they arrive here in exactly commit order. A subscriber joins
+//! in two steps on different threads: the worker builds its snapshot
+//! prologue from the store (capturing revision `S`), then the reactor
+//! invokes the stream-open callback which calls [`EventHub::subscribe`]
+//! with `after = S`. Any revision committed between those two steps is
+//! caught by the per-topic *ring* of recent framed events: `subscribe`
+//! replays ring entries with id > `S` before registering the handle,
+//! all under the hub lock, so no event can be both missed and skipped.
+//!
+//! The hub never calls into the store (publishes run under the shard
+//! lock; calling back would self-deadlock). Backpressure is the
+//! reactor's job: a [`StreamHandle`] whose connection was dropped
+//! reports `send == false` and is pruned on the next publish.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use powerplay_telemetry::{Counter, Gauge, Histogram};
+
+use crate::http::StreamHandle;
+
+/// Framed events retained per topic for subscribe-race replay. Large
+/// enough to cover the worker→reactor handoff window under any
+/// realistic write rate; resumes beyond it fall back to the store's
+/// revision history (`Last-Event-ID`).
+const RING_CAP: usize = 64;
+
+/// Serializes one Server-Sent Event: optional `id`, an `event` name,
+/// and `data` (split across `data:` lines if it contains newlines).
+pub fn sse_frame(event: &str, id: Option<u64>, data: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + 32);
+    if let Some(id) = id {
+        out.extend_from_slice(format!("id: {id}\n").as_bytes());
+    }
+    out.extend_from_slice(format!("event: {event}\n").as_bytes());
+    for line in data.split('\n') {
+        out.extend_from_slice(b"data: ");
+        out.extend_from_slice(line.as_bytes());
+        out.push(b'\n');
+    }
+    out.push(b'\n');
+    out
+}
+
+struct Topic {
+    subs: Vec<StreamHandle>,
+    /// Recent id-bearing frames, oldest first.
+    ring: VecDeque<(u64, Arc<[u8]>)>,
+}
+
+impl Topic {
+    fn new() -> Topic {
+        Topic {
+            subs: Vec::new(),
+            ring: VecDeque::new(),
+        }
+    }
+}
+
+/// Fan-out hub mapping `(user, design)` topics to live SSE streams.
+pub struct EventHub {
+    topics: Mutex<HashMap<(String, String), Topic>>,
+    subscribers: Gauge,
+    published_total: Counter,
+    lag_seconds: Histogram,
+}
+
+impl EventHub {
+    /// A hub with its gauges registered on the global telemetry
+    /// registry.
+    pub fn new() -> EventHub {
+        let t = powerplay_telemetry::global();
+        EventHub {
+            topics: Mutex::new(HashMap::new()),
+            subscribers: t.gauge(
+                "powerplay_events_subscribers",
+                "Open SSE event-stream subscriptions",
+            ),
+            published_total: t.counter(
+                "powerplay_events_published_total",
+                "Events fanned out to design event streams",
+            ),
+            lag_seconds: t.histogram(
+                "powerplay_events_lag_seconds",
+                "Delay from store commit to event fan-out",
+            ),
+        }
+    }
+
+    /// Registers `handle` on `(user, design)`, first replaying any
+    /// ring-retained events with id greater than `after` (the revision
+    /// the subscriber's snapshot prologue already covers).
+    pub fn subscribe(&self, user: &str, design: &str, after: u64, handle: StreamHandle) {
+        let mut topics = self.topics.lock();
+        let topic = topics
+            .entry((user.to_owned(), design.to_owned()))
+            .or_insert_with(Topic::new);
+        for (id, frame) in &topic.ring {
+            if *id > after {
+                handle.send(frame.to_vec());
+            }
+        }
+        topic.subs.push(handle);
+        self.subscribers.add(1);
+        // Lazily drop peers whose connection the reactor already closed.
+        let before = topic.subs.len();
+        topic.subs.retain(|sub| !sub.is_closed());
+        self.subscribers.sub((before - topic.subs.len()) as i64);
+    }
+
+    /// Fans an id-bearing frame out to every live subscriber and
+    /// retains it in the topic ring for subscribe-race replay.
+    /// `committed` is when the store committed the underlying change;
+    /// the commit-to-fan-out delay lands in
+    /// `powerplay_events_lag_seconds`.
+    pub fn publish(&self, user: &str, design: &str, id: u64, frame: Vec<u8>, committed: Instant) {
+        let frame: Arc<[u8]> = frame.into();
+        let mut topics = self.topics.lock();
+        let topic = topics
+            .entry((user.to_owned(), design.to_owned()))
+            .or_insert_with(Topic::new);
+        topic.ring.push_back((id, Arc::clone(&frame)));
+        while topic.ring.len() > RING_CAP {
+            topic.ring.pop_front();
+        }
+        self.fan_out(topic, &frame);
+        self.lag_seconds.observe(committed.elapsed());
+    }
+
+    /// Fans a frame out without retaining it: conflict notifications
+    /// carry no revision id and are only meaningful to subscribers
+    /// connected at the moment they happen.
+    pub fn publish_transient(&self, user: &str, design: &str, frame: Vec<u8>) {
+        let frame: Arc<[u8]> = frame.into();
+        let mut topics = self.topics.lock();
+        let Some(topic) = topics.get_mut(&(user.to_owned(), design.to_owned())) else {
+            return;
+        };
+        self.fan_out(topic, &frame);
+    }
+
+    /// Live subscriptions across all topics (drives the gauge; public
+    /// for tests).
+    pub fn subscriber_count(&self) -> usize {
+        let topics = self.topics.lock();
+        topics.values().map(|t| t.subs.len()).sum()
+    }
+
+    fn fan_out(&self, topic: &mut Topic, frame: &Arc<[u8]>) {
+        // `send == false` means the reactor already closed that
+        // connection — prune it and settle the gauge.
+        let before = topic.subs.len();
+        topic.subs.retain(|sub| sub.send(frame.to_vec()));
+        let live = topic.subs.len();
+        self.published_total.add(live as u64);
+        self.subscribers.sub((before - live) as i64);
+    }
+}
+
+impl Default for EventHub {
+    fn default() -> EventHub {
+        EventHub::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sse_frame;
+
+    #[test]
+    fn frames_follow_the_sse_wire_format() {
+        let frame = sse_frame("revision", Some(7), "{\"rev\":7}");
+        assert_eq!(
+            String::from_utf8(frame).unwrap(),
+            "id: 7\nevent: revision\ndata: {\"rev\":7}\n\n"
+        );
+        // Multi-line data splits into one `data:` line per line.
+        let frame = sse_frame("snapshot", None, "a\nb");
+        assert_eq!(
+            String::from_utf8(frame).unwrap(),
+            "event: snapshot\ndata: a\ndata: b\n\n"
+        );
+    }
+}

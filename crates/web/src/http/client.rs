@@ -258,6 +258,7 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, ClientError
         405 => Status::MethodNotAllowed,
         408 => Status::RequestTimeout,
         409 => Status::Conflict,
+        410 => Status::Gone,
         413 => Status::PayloadTooLarge,
         428 => Status::PreconditionRequired,
         431 => Status::RequestHeaderFieldsTooLarge,

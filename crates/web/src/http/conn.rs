@@ -19,10 +19,13 @@
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::Instant;
 
 use super::request::{ParseRequestError, Request};
 use super::response::{Response, Status};
+use super::stream::OnStreamOpen;
 
 /// Read buffer high-water mark: a whole request (head + body) plus room
 /// for pipelined successors. Beyond this the reactor stops reading until
@@ -56,6 +59,10 @@ pub(crate) enum ConnState {
     /// never turns into an RST that could destroy the response in flight
     /// (the reactor port of the blocking server's `drain_before_close`).
     Draining,
+    /// A long-lived event stream (SSE): no more request parsing, the
+    /// write buffer is fed by publishers through the reactor, reads only
+    /// detect the peer hanging up. Ends with the connection.
+    Streaming,
 }
 
 /// Why the current deadline is armed; decides what expiry means.
@@ -69,6 +76,10 @@ pub(crate) enum DeadlineKind {
     /// No deadline enforced (requests are with the workers; the
     /// shutdown grace bounds stuck handlers instead).
     Parked,
+    /// Streaming keep-alive: expiry queues an SSE heartbeat comment and
+    /// re-arms, so idle streams are never reaped by proxies (and dead
+    /// peers surface as write errors).
+    Heartbeat,
 }
 
 pub(crate) struct Conn {
@@ -97,6 +108,9 @@ pub(crate) struct Conn {
     /// the reactor after each step).
     pub registered_read: bool,
     pub registered_write: bool,
+    /// Set once the connection becomes a stream: the flag publishers
+    /// watch. The reactor flips it on teardown.
+    pub stream_closed: Option<Arc<AtomicBool>>,
 }
 
 /// What `advance_parse` produced.
@@ -128,7 +142,19 @@ impl Conn {
             deadline_kind: DeadlineKind::Read,
             registered_read: true,
             registered_write: false,
+            stream_closed: None,
         }
+    }
+
+    /// True once this connection carries an event stream.
+    pub fn is_streaming(&self) -> bool {
+        self.state == ConnState::Streaming
+    }
+
+    /// Bytes queued but not yet written — the streaming backpressure
+    /// measure the reactor caps.
+    pub fn stream_backlog(&self) -> usize {
+        self.write_buf.len() - self.write_pos
     }
 
     /// A request is being computed or a response is waiting its turn.
@@ -143,6 +169,9 @@ impl Conn {
             ConnState::Open => !self.half_closed && self.read_buf.len() < READ_BUF_LIMIT,
             ConnState::FlushThenClose => false,
             ConnState::Draining => true,
+            // Keep reading to learn promptly when the subscriber hangs
+            // up; whatever it sends is discarded.
+            ConnState::Streaming => !self.half_closed,
         }
     }
 
@@ -162,6 +191,9 @@ impl Conn {
                     if self.state == ConnState::Draining {
                         return Step::Close; // peer finished hanging up
                     }
+                    if self.state == ConnState::Streaming {
+                        return Step::Close; // subscriber hung up; stream over
+                    }
                     self.half_closed = true;
                     // Anything buffered (requests being computed, an
                     // unflushed response) still gets served; with
@@ -172,7 +204,7 @@ impl Conn {
                     return Step::Keep;
                 }
                 Ok(n) => {
-                    if self.state == ConnState::Draining {
+                    if matches!(self.state, ConnState::Draining | ConnState::Streaming) {
                         continue; // discard; only EOF matters now
                     }
                     self.read_buf.extend_from_slice(&scratch[..n]);
@@ -268,16 +300,40 @@ impl Conn {
     /// Serializes every response whose turn has come into the write
     /// buffer. With `draining` (server shutdown), the batch's last
     /// response is forced to `Connection: close`.
-    pub fn emit_ready(&mut self, draining: bool, now: Instant, write_deadline: Instant) {
+    ///
+    /// A stream response converts the connection: its head and initial
+    /// events are queued without a `Content-Length`, the state flips to
+    /// [`ConnState::Streaming`], and the handler's open callback is
+    /// returned for the reactor to fire (it owns the token and the op
+    /// queue a [`super::stream::StreamHandle`] needs). Pipelined
+    /// requests behind a stream can never be answered — the body never
+    /// ends — so their buffered responses are dropped.
+    pub fn emit_ready(
+        &mut self,
+        draining: bool,
+        now: Instant,
+        write_deadline: Instant,
+    ) -> Option<OnStreamOpen> {
         while let Some(response) = self.reorder.remove(&self.seq_send) {
             let seq = self.seq_send;
             self.seq_send += 1;
+            if response.is_stream() {
+                let on_open = response.take_on_open();
+                response
+                    .write_stream_head(&mut self.write_buf)
+                    .expect("writing to a Vec cannot fail");
+                self.state = ConnState::Streaming;
+                self.reorder.clear();
+                self.read_buf.clear();
+                return on_open;
+            }
             let mut keep_alive = self.close_after != Some(seq);
             if draining && !self.busy() {
                 keep_alive = false; // last response before shutdown
             }
             self.queue_response(&response, keep_alive, now, write_deadline);
         }
+        None
     }
 
     /// Serializes a response into the write buffer and arms the write
@@ -333,12 +389,27 @@ impl Conn {
     /// Timer expiry. Returns the 408 decision: `Some(step)` when the
     /// deadline was real and acted on, `None` when it had been
     /// superseded (the reactor then reschedules the current one).
-    pub fn on_deadline(&mut self, now: Instant, write_deadline: Instant) -> Option<Step> {
+    /// `heartbeat_deadline` is the next heartbeat instant, used when a
+    /// streaming connection's heartbeat timer fires.
+    pub fn on_deadline(
+        &mut self,
+        now: Instant,
+        write_deadline: Instant,
+        heartbeat_deadline: Instant,
+    ) -> Option<Step> {
         if now < self.deadline {
             return None; // stale wheel entry; reschedule
         }
         match self.deadline_kind {
             DeadlineKind::Parked => None,
+            DeadlineKind::Heartbeat => {
+                // An SSE comment line: ignored by consumers, keeps the
+                // connection warm through proxies and surfaces dead
+                // peers as write errors.
+                self.write_buf.extend_from_slice(b":hb\n\n");
+                self.deadline = heartbeat_deadline.max(now);
+                Some(Step::Keep)
+            }
             DeadlineKind::Write => Some(Step::Close),
             DeadlineKind::Read => {
                 if self.state == ConnState::Draining {
@@ -479,7 +550,10 @@ mod tests {
 
         // Idle (empty buffer): expiry closes without a response.
         let expired = now + Duration::from_millis(20);
-        assert_eq!(conn.on_deadline(expired, expired), Some(Step::Close));
+        assert_eq!(
+            conn.on_deadline(expired, expired, expired),
+            Some(Step::Close)
+        );
 
         // Partial request buffered: expiry queues a 408.
         let mut conn = Conn::new(conn.stream.try_clone().unwrap(), now, later);
@@ -490,7 +564,10 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         conn.fill_read_buf(&mut scratch);
         assert!(matches!(conn.advance_parse(now, later), Parsed::None));
-        assert_eq!(conn.on_deadline(expired, expired), Some(Step::Keep));
+        assert_eq!(
+            conn.on_deadline(expired, expired, expired),
+            Some(Step::Keep)
+        );
         let text = String::from_utf8(conn.write_buf.clone()).unwrap();
         assert!(text.starts_with("HTTP/1.1 408"), "got: {text}");
         assert_eq!(conn.state, ConnState::FlushThenClose);
@@ -501,6 +578,6 @@ mod tests {
         let (server, _client) = pair();
         let now = Instant::now();
         let mut conn = Conn::new(server, now, now + Duration::from_secs(5));
-        assert_eq!(conn.on_deadline(now, now), None);
+        assert_eq!(conn.on_deadline(now, now, now), None);
     }
 }

@@ -18,6 +18,7 @@ mod reactor;
 mod request;
 mod response;
 mod server;
+mod stream;
 mod sys;
 pub mod urlencoded;
 mod wheel;
@@ -28,6 +29,7 @@ pub use client::{
 pub use request::{Method, ParseRequestError, Request};
 pub use response::{Response, Status};
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use stream::StreamHandle;
 
 /// Canonical `Train-Case` for a header name stored lowercased:
 /// `content-length` → `Content-Length`, `etag` → `Etag`. Both the

@@ -37,6 +37,7 @@ use super::conn::{Conn, ConnState, DeadlineKind, Parsed, Step};
 use super::request::Request;
 use super::response::{Response, Status};
 use super::server::{ClientFilter, ServerConfig};
+use super::stream::{OnStreamOpen, StreamHandle, StreamOp, StreamOps};
 use super::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use super::wheel::TimerWheel;
 
@@ -47,6 +48,12 @@ const WAKE_TOKEN: u64 = u64::MAX - 1;
 
 const EVENT_CAPACITY: usize = 1024;
 const READ_SCRATCH: usize = 64 * 1024;
+
+/// Streaming backpressure cap: bytes a subscriber may have queued but
+/// unwritten before the reactor drops it. A consumer that stops reading
+/// costs one bounded buffer and then its connection — never the other
+/// subscribers' latency.
+pub(crate) const STREAM_BUF_LIMIT: usize = 256 * 1024;
 
 /// Wheel geometry: 25ms ticks over 512 slots span 12.8s — enough for the
 /// default 10s socket deadlines without clamping; longer deadlines park
@@ -110,6 +117,7 @@ struct Metrics {
     wakeups_total: Counter,
     ready_events_total: Counter,
     open_connections: Gauge,
+    events_dropped_total: Counter,
 }
 
 fn metrics() -> &'static Metrics {
@@ -141,6 +149,10 @@ fn metrics() -> &'static Metrics {
                 "powerplay_reactor_open_connections",
                 "Connections currently registered with the reactor",
             ),
+            events_dropped_total: g.counter(
+                "powerplay_events_dropped_total",
+                "Event-stream subscribers dropped for exceeding the backpressure cap",
+            ),
         }
     })
 }
@@ -161,6 +173,7 @@ pub(crate) struct Reactor {
     filter: Option<Arc<ClientFilter>>,
     job_tx: Sender<Job>,
     completions: Arc<Completions>,
+    streams: Arc<StreamOps>,
     running: Arc<AtomicBool>,
     config: ServerConfig,
     entries: Vec<Entry>,
@@ -174,11 +187,13 @@ pub(crate) struct Reactor {
 }
 
 /// Runs the event loop until shutdown. Consumes the listener.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run(
     listener: TcpListener,
     filter: Option<Arc<ClientFilter>>,
     job_tx: Sender<Job>,
     completions: Arc<Completions>,
+    streams: Arc<StreamOps>,
     wake_rx: File,
     running: Arc<AtomicBool>,
     config: ServerConfig,
@@ -195,6 +210,7 @@ pub(crate) fn run(
         filter,
         job_tx,
         completions,
+        streams,
         running,
         config,
         entries: Vec::new(),
@@ -241,6 +257,7 @@ impl Reactor {
                 }
             }
             self.collect_completions();
+            self.apply_stream_ops();
             self.fire_timers(Instant::now());
         }
         // Force-close whatever is left (grace expired or fatal error) so
@@ -266,16 +283,26 @@ impl Reactor {
             let _ = self.epoll.delete(self.listener.as_raw_fd());
             // Idle keep-alive connections close immediately; ones with a
             // request in flight (or a response still flushing) get the
-            // grace period to finish.
+            // grace period to finish. Event streams drain with a final
+            // `bye` event (best-effort flush) and close — an SSE client
+            // never hangs up on its own, so waiting on it would just
+            // burn the whole grace.
             for idx in 0..self.entries.len() {
-                let Some(conn) = &self.entries[idx].conn else {
+                let Some(conn) = self.entries[idx].conn.as_mut() else {
                     continue;
                 };
-                if conn.state == ConnState::Open
-                    && !conn.busy()
-                    && !conn.wants_write()
-                    && conn.read_buf.is_empty()
-                {
+                let close = if conn.is_streaming() {
+                    conn.write_buf
+                        .extend_from_slice(b"event: bye\ndata: {}\n\n");
+                    let _ = conn.flush(now, now + self.config.read_timeout);
+                    true
+                } else {
+                    conn.state == ConnState::Open
+                        && !conn.busy()
+                        && !conn.wants_write()
+                        && conn.read_buf.is_empty()
+                };
+                if close {
                     self.close(idx);
                 }
             }
@@ -406,7 +433,15 @@ impl Reactor {
         let Some(conn) = self.entries[idx].conn.as_mut() else {
             return;
         };
-        conn.emit_ready(draining, now, write_deadline);
+        if let Some(on_open) = conn.emit_ready(draining, now, write_deadline) {
+            // The response converted this connection into an event
+            // stream; register it as a long-lived writer and hand the
+            // handler its publish-side handle.
+            self.open_stream(idx, on_open, now);
+        }
+        let Some(conn) = self.entries[idx].conn.as_mut() else {
+            return;
+        };
         // Optimistic flush: sockets are almost always writable, so
         // skipping the epoll round-trip for the common case is the
         // difference between one and two syscall batches per response —
@@ -507,6 +542,75 @@ impl Reactor {
         }
     }
 
+    /// Arms the heartbeat timer for a freshly-converted stream and fires
+    /// the handler's open callback with a [`StreamHandle`] — the
+    /// generation-tagged token plus the shared op queue and closed flag.
+    fn open_stream(&mut self, idx: usize, on_open: OnStreamOpen, now: Instant) {
+        let token = pack(idx, self.entries[idx].gen);
+        let closed = Arc::new(AtomicBool::new(false));
+        let conn = self.entries[idx].conn.as_mut().expect("looked up");
+        conn.stream_closed = Some(Arc::clone(&closed));
+        conn.deadline = now + self.config.heartbeat_interval;
+        conn.deadline_kind = DeadlineKind::Heartbeat;
+        on_open(StreamHandle {
+            token,
+            ops: Arc::clone(&self.streams),
+            closed,
+        });
+    }
+
+    /// Applies queued publisher ops to their streaming connections:
+    /// appends event bytes (dropping subscribers past the backpressure
+    /// cap), handles close requests, then flushes each touched
+    /// connection once.
+    fn apply_stream_ops(&mut self) {
+        let ops = self.streams.drain();
+        if ops.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let mut touched: Vec<usize> = Vec::new();
+        for (token, op) in ops {
+            let Some(idx) = self.lookup(token) else {
+                continue; // stream died; publishers see the closed flag
+            };
+            let conn = self.entries[idx].conn.as_mut().expect("looked up");
+            if !conn.is_streaming() {
+                continue;
+            }
+            match op {
+                StreamOp::Data(bytes) => {
+                    if conn.stream_backlog() + bytes.len() > STREAM_BUF_LIMIT {
+                        // A consumer that stopped reading: drop it rather
+                        // than buffer without bound or stall the others.
+                        metrics().events_dropped_total.inc();
+                        self.close(idx);
+                        touched.retain(|&t| t != idx);
+                        continue;
+                    }
+                    conn.write_buf.extend_from_slice(&bytes);
+                }
+                StreamOp::Close => {
+                    conn.state = ConnState::FlushThenClose;
+                }
+            }
+            if !touched.contains(&idx) {
+                touched.push(idx);
+            }
+        }
+        for idx in touched {
+            let Some(conn) = self.entries[idx].conn.as_mut() else {
+                continue;
+            };
+            if conn.wants_write() && conn.flush(now, now + self.config.read_timeout) == Step::Close
+            {
+                self.close(idx);
+                continue;
+            }
+            self.finish_step(idx);
+        }
+    }
+
     fn fire_timers(&mut self, now: Instant) {
         let mut due = Vec::new();
         self.wheel.advance(now, |token| due.push(token));
@@ -516,7 +620,11 @@ impl Reactor {
             };
             self.entries[idx].scheduled = None;
             let conn = self.entries[idx].conn.as_mut().expect("looked up");
-            match conn.on_deadline(now, now + self.config.write_timeout) {
+            match conn.on_deadline(
+                now,
+                now + self.config.write_timeout,
+                now + self.config.heartbeat_interval,
+            ) {
                 // Stale or parked: finish_step re-plants the live
                 // deadline (clamped far deadlines hop slots this way).
                 None => {}
@@ -593,6 +701,10 @@ impl Reactor {
         let Some(conn) = entry.conn.take() else {
             return;
         };
+        if let Some(flag) = &conn.stream_closed {
+            // Publishers learn of the teardown on their next send.
+            flag.store(true, Ordering::SeqCst);
+        }
         let _ = self.epoll.delete(conn.stream.as_raw_fd());
         entry.gen = entry.gen.wrapping_add(1);
         entry.scheduled = None;

@@ -2,6 +2,9 @@
 
 use std::collections::BTreeMap;
 use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+use super::stream::{OnStreamOpen, StreamHandle};
 
 /// Response status codes PowerPlay emits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -26,6 +29,8 @@ pub enum Status {
     RequestTimeout,
     /// 409 (stale `If-Match` revision on a PUT — optimistic concurrency)
     Conflict,
+    /// 410 (a sunset legacy route; the `Link` header names the successor)
+    Gone,
     /// 413 (body over the server's size limit)
     PayloadTooLarge,
     /// 428 (a PUT over an existing design without `If-Match`)
@@ -52,6 +57,7 @@ impl Status {
             Status::MethodNotAllowed => 405,
             Status::RequestTimeout => 408,
             Status::Conflict => 409,
+            Status::Gone => 410,
             Status::PayloadTooLarge => 413,
             Status::PreconditionRequired => 428,
             Status::RequestHeaderFieldsTooLarge => 431,
@@ -73,6 +79,7 @@ impl Status {
             Status::MethodNotAllowed => "Method Not Allowed",
             Status::RequestTimeout => "Request Timeout",
             Status::Conflict => "Conflict",
+            Status::Gone => "Gone",
             Status::PayloadTooLarge => "Payload Too Large",
             Status::PreconditionRequired => "Precondition Required",
             Status::RequestHeaderFieldsTooLarge => "Request Header Fields Too Large",
@@ -83,11 +90,49 @@ impl Status {
 }
 
 /// An HTTP response under construction.
-#[derive(Debug, Clone, PartialEq)]
 pub struct Response {
     status: Status,
     headers: BTreeMap<String, String>,
     body: Vec<u8>,
+    /// Present on stream responses ([`Response::event_stream`]): the
+    /// reactor writes the head and `body` (the initial events) without
+    /// a `Content-Length`, converts the connection into a long-lived
+    /// writer, and fires the callback with its [`StreamHandle`].
+    stream: Option<Arc<Mutex<Option<OnStreamOpen>>>>,
+}
+
+impl Clone for Response {
+    fn clone(&self) -> Response {
+        Response {
+            status: self.status,
+            headers: self.headers.clone(),
+            body: self.body.clone(),
+            // The open callback is FnOnce; clones share it (first caller
+            // of `take_on_open` wins). Responses are cloned only on the
+            // client/test side, never on the serving hot path.
+            stream: self.stream.clone(),
+        }
+    }
+}
+
+impl PartialEq for Response {
+    fn eq(&self, other: &Response) -> bool {
+        self.status == other.status
+            && self.headers == other.headers
+            && self.body == other.body
+            && self.stream.is_none() == other.stream.is_none()
+    }
+}
+
+impl std::fmt::Debug for Response {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Response")
+            .field("status", &self.status)
+            .field("headers", &self.headers)
+            .field("body_len", &self.body.len())
+            .field("stream", &self.stream.is_some())
+            .finish()
+    }
 }
 
 impl Response {
@@ -97,7 +142,41 @@ impl Response {
             status,
             headers: BTreeMap::new(),
             body: Vec::new(),
+            stream: None,
         }
+    }
+
+    /// A 200 `text/event-stream` response that converts its connection
+    /// into a long-lived stream. `initial` is the SSE-framed prologue
+    /// (snapshot / replayed events) written with the head; `on_open`
+    /// fires on the reactor thread with the connection's
+    /// [`StreamHandle`] once the stream is live. Handlers served outside
+    /// the reactor (unit tests calling the app directly) see a plain
+    /// response whose body is the prologue.
+    pub fn event_stream(
+        initial: impl Into<Vec<u8>>,
+        on_open: impl FnOnce(StreamHandle) + Send + 'static,
+    ) -> Response {
+        let mut r = Response::new(Status::Ok);
+        r.set_header("Content-Type", "text/event-stream");
+        r.set_header("Cache-Control", "no-cache");
+        r.body = initial.into();
+        r.stream = Some(Arc::new(Mutex::new(Some(Box::new(on_open)))));
+        r
+    }
+
+    /// True for stream responses ([`Response::event_stream`]).
+    pub fn is_stream(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Takes the stream-open callback (at most once across clones).
+    pub(crate) fn take_on_open(&self) -> Option<OnStreamOpen> {
+        self.stream
+            .as_ref()?
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
     }
 
     /// A 200 HTML page.
@@ -183,6 +262,7 @@ impl Response {
             status,
             headers,
             body,
+            stream: None,
         }
     }
 
@@ -218,6 +298,31 @@ impl Response {
         writer.write_all(&self.body)?;
         writer.flush()
     }
+
+    /// Serializes a stream response's head plus initial events: no
+    /// `Content-Length` (the body runs until the connection closes) and
+    /// `Connection: close` so byte-counting clients read to EOF.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub(crate) fn write_stream_head<W: Write>(&self, writer: &mut W) -> io::Result<()> {
+        use std::fmt::Write as _;
+        let mut head = String::with_capacity(96 + self.headers.len() * 48);
+        let _ = write!(
+            head,
+            "HTTP/1.1 {} {}\r\n",
+            self.status.code(),
+            self.status.reason()
+        );
+        for (name, value) in &self.headers {
+            let _ = write!(head, "{}: {value}\r\n", super::canonical_header_case(name));
+        }
+        head.push_str("Connection: close\r\n\r\n");
+        writer.write_all(head.as_bytes())?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
 }
 
 #[cfg(test)]
@@ -232,6 +337,8 @@ mod tests {
         assert_eq!(Status::RequestTimeout.code(), 408);
         assert_eq!(Status::RequestTimeout.reason(), "Request Timeout");
         assert_eq!(Status::Conflict.code(), 409);
+        assert_eq!(Status::Gone.code(), 410);
+        assert_eq!(Status::Gone.reason(), "Gone");
         assert_eq!(Status::PreconditionRequired.code(), 428);
         assert_eq!(Status::Found.reason(), "Found");
         assert_eq!(Status::PayloadTooLarge.code(), 413);

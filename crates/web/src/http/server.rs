@@ -61,6 +61,9 @@ pub struct ServerConfig {
     /// Connections the reactor will hold open at once; arrivals past the
     /// cap are answered 503 without reading their request.
     pub max_connections: usize,
+    /// How often idle event-stream connections get an SSE heartbeat
+    /// comment (`:hb`) so proxies keep them open and dead peers surface.
+    pub heartbeat_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +78,7 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(10),
             shutdown_grace: Duration::from_secs(30),
             max_connections: 1024,
+            heartbeat_interval: Duration::from_secs(10),
         }
     }
 }
@@ -165,7 +169,9 @@ impl Server {
         let running = Arc::new(AtomicBool::new(true));
         let (wake_rx, wake_tx) = sys::wake_pipe().expect("wake pipe");
         let shutdown_wake = wake_tx.try_clone().expect("wake pipe clone");
+        let stream_wake = wake_tx.try_clone().expect("wake pipe clone");
         let completions = Arc::new(Completions::new(wake_tx));
+        let streams = Arc::new(super::stream::StreamOps::new(stream_wake));
         let (job_tx, job_rx) = channel::<Job>();
         let job_rx = Arc::new(Mutex::new(job_rx));
         let worker_count = config.workers.max(1);
@@ -212,6 +218,7 @@ impl Server {
                 filter,
                 job_tx,
                 completions,
+                streams,
                 wake_rx,
                 reactor_running,
                 reactor_config,

@@ -1,0 +1,120 @@
+//! Long-lived streaming connections (Server-Sent Events).
+//!
+//! The reactor's request/response machinery assumes one response per
+//! request; a stream response ([`Response::event_stream`]) instead
+//! converts its connection into a registered long-lived writer. The
+//! handler returns the response head plus any initial events; once the
+//! reactor has written those it switches the connection into streaming
+//! mode and hands the handler's `on_open` callback a [`StreamHandle`] —
+//! the publish side's address for that subscriber.
+//!
+//! Data flows to the reactor the same way finished responses do: a
+//! mutexed op list plus one deduplicated byte on the wake pipe
+//! ([`StreamOps`], the streaming sibling of `Completions`). The reactor
+//! appends the bytes to the connection's write buffer (bounded by the
+//! backpressure cap — a consumer that stops reading is dropped, not
+//! buffered forever) and flushes incrementally. When the connection
+//! dies — client close, backpressure drop, server shutdown — the
+//! reactor flips the shared `closed` flag, which publishers observe on
+//! their next send.
+//!
+//! [`Response::event_stream`]: super::Response::event_stream
+
+use std::fs::File;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Callback invoked (on the reactor thread) once a stream response's
+/// head and initial events are queued and the connection is registered
+/// as a long-lived writer.
+pub type OnStreamOpen = Box<dyn FnOnce(StreamHandle) + Send + 'static>;
+
+/// An instruction for a streaming connection, queued by publishers.
+pub(crate) enum StreamOp {
+    /// Append bytes (already SSE-framed) to the stream's write buffer.
+    Data(Vec<u8>),
+    /// Flush whatever is buffered, then FIN and tear the stream down.
+    Close,
+}
+
+/// The publisher → reactor handoff: stream ops plus a wake byte so
+/// `epoll_wait` returns. Mirrors `Completions` — the wake byte is
+/// deduplicated with an atomic flag so a burst of events between two
+/// reactor wakeups costs one pipe write.
+pub(crate) struct StreamOps {
+    ops: Mutex<Vec<(u64, StreamOp)>>,
+    signaled: AtomicBool,
+    wake: File,
+}
+
+impl StreamOps {
+    pub fn new(wake: File) -> StreamOps {
+        StreamOps {
+            ops: Mutex::new(Vec::new()),
+            signaled: AtomicBool::new(false),
+            wake,
+        }
+    }
+
+    pub fn push(&self, token: u64, op: StreamOp) {
+        self.ops
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((token, op));
+        if !self.signaled.swap(true, Ordering::SeqCst) {
+            let _ = (&self.wake).write(&[1u8]);
+        }
+    }
+
+    pub fn drain(&self) -> Vec<(u64, StreamOp)> {
+        // Clear the signal before taking the list (see `Completions`):
+        // at worst the reactor gets one spurious empty wakeup.
+        self.signaled.store(false, Ordering::SeqCst);
+        std::mem::take(&mut *self.ops.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+/// A live subscriber connection, as seen by publishers. Cloneable and
+/// `Send`: the events hub holds one per subscriber and pushes framed
+/// events through it from whatever thread the mutation ran on.
+#[derive(Clone)]
+pub struct StreamHandle {
+    pub(crate) token: u64,
+    pub(crate) ops: Arc<StreamOps>,
+    pub(crate) closed: Arc<AtomicBool>,
+}
+
+impl StreamHandle {
+    /// Queues bytes (an SSE-framed event) for the subscriber. Returns
+    /// false when the connection is already gone — the caller should
+    /// forget the handle. The generation-tagged token means a late send
+    /// to a dead-and-reused slot misses harmlessly.
+    pub fn send(&self, bytes: impl Into<Vec<u8>>) -> bool {
+        if self.is_closed() {
+            return false;
+        }
+        self.ops.push(self.token, StreamOp::Data(bytes.into()));
+        true
+    }
+
+    /// Asks the reactor to flush and tear the stream down.
+    pub fn close(&self) {
+        self.ops.push(self.token, StreamOp::Close);
+    }
+
+    /// True once the reactor has torn the connection down (client hung
+    /// up, backpressure drop, or shutdown).
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+}
+
+impl std::fmt::Debug for StreamHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamHandle")
+            .field("token", &self.token)
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}

@@ -39,6 +39,7 @@ pub mod agent;
 pub mod api_v1;
 pub mod app;
 pub mod cache;
+pub mod events;
 pub mod html;
 pub mod http;
 pub mod remote;

@@ -82,6 +82,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("serve") => cmd_serve(&args[1..]).map_err(CliError::from),
         Some("designs") => cmd_designs(&args[1..]).map_err(CliError::from),
         Some("fetch") => cmd_fetch(&args[1..]).map_err(CliError::from),
+        Some("watch") => cmd_watch(&args[1..]).map_err(CliError::from),
         Some(other) => Err(CliError::Usage(format!(
             "unknown command `{other}` (try `help`)"
         ))),
@@ -121,11 +122,19 @@ USAGE:
   powerplay-cli serve [addr] [--seed-demo] [--data-dir <dir>]
                      [--workers <n>] [--queue <n>] [--max-conns <n>]
                      [--read-timeout-ms <ms>] [--write-timeout-ms <ms>]
-                                            run the web application
+                     [--legacy-api on|warn|off]
+                                            run the web application;
+                                            --legacy-api warns on (default),
+                                            silences, or sunsets (410) the
+                                            pre-v1 /api/* routes
   powerplay-cli designs [--data-dir <dir>] [<user> [<design>]]
                                             inspect the durable design store
                                             (also lists imported libraries)
   powerplay-cli fetch <http://site>         fetch a remote library (JSON)
+  powerplay-cli watch <http://site> <user> <design>
+                                            follow a design's live event
+                                            stream (SSE), printing each
+                                            event as it arrives
 
 EXIT CODES (lint, analyze, import-lib):
   0  clean — no error-severity findings
@@ -604,6 +613,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut seed_demo = false;
     let mut data_dir = std::env::temp_dir().join("powerplay-cli-www");
     let mut config = powerplay_web::http::ServerConfig::default();
+    let mut legacy = powerplay_web::app::LegacyMode::Warn;
     fn flag_value<T: std::str::FromStr>(
         it: &mut std::slice::Iter<'_, String>,
         flag: &str,
@@ -631,10 +641,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 config.write_timeout =
                     std::time::Duration::from_millis(flag_value(&mut it, "--write-timeout-ms")?);
             }
+            "--legacy-api" => {
+                let value = it.next().ok_or("--legacy-api needs a value")?;
+                legacy = powerplay_web::app::LegacyMode::parse(value)
+                    .ok_or_else(|| format!("--legacy-api needs on, warn or off, got `{value}`"))?;
+            }
             other => addr = other.to_owned(),
         }
     }
     let app = powerplay_web::app::PowerPlayApp::new(ucb_library(), data_dir);
+    app.set_legacy_mode(legacy);
     if seed_demo {
         // The paper's worked examples, saved for user `demo` so smoke
         // tests (and first-time visitors) have designs to play with.
@@ -747,4 +763,92 @@ fn cmd_fetch(args: &[String]) -> Result<(), String> {
     eprintln!("fetched {} models from {base}", registry.len());
     println!("{}", registry.to_json().to_pretty());
     Ok(())
+}
+
+/// `watch <http://site> <user> <design>` — follow a design's live SSE
+/// stream, one line per event. The shared HTTP client can't be used
+/// here: it reads exactly one delimited response, while an event stream
+/// stays open indefinitely, so this speaks the wire format directly.
+fn cmd_watch(args: &[String]) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+
+    let [base, user, design] = args else {
+        return Err("usage: watch <http://site> <user> <design>".into());
+    };
+    let rest = base
+        .trim_end_matches('/')
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("unsupported url `{base}` (need http://host[:port])"))?;
+    let host_port = if rest.contains(':') {
+        rest.to_owned()
+    } else {
+        format!("{rest}:80")
+    };
+    let encode = powerplay_web::http::urlencoded::encode;
+    let path = format!("/api/v1/designs/{}/{}/events", encode(user), encode(design));
+
+    let mut stream = std::net::TcpStream::connect(&host_port)
+        .map_err(|e| format!("connect {host_port}: {e}"))?;
+    stream
+        .write_all(
+            format!(
+                "GET {path} HTTP/1.1\r\nHost: {host_port}\r\nAccept: text/event-stream\r\n\r\n"
+            )
+            .as_bytes(),
+        )
+        .map_err(|e| e.to_string())?;
+
+    let mut reader = BufReader::new(stream);
+    // Status line + headers; the stream has no Content-Length, events
+    // follow until the server says `bye` or the connection drops.
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    let status = line.split_whitespace().nth(1).unwrap_or("");
+    if status != "200" {
+        return Err(format!("server answered {}", line.trim()));
+    }
+    while {
+        line.clear();
+        reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        !matches!(line.as_str(), "\r\n" | "\n" | "")
+    } {}
+    eprintln!("watching {user}/{design} at {base} (ctrl-c to stop)");
+
+    // SSE framing: accumulate `id`/`event`/`data` fields until a blank
+    // line dispatches the event; `:` lines are heartbeat comments.
+    let (mut id, mut event, mut data) = (String::new(), String::new(), String::new());
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            eprintln!("server closed the stream");
+            return Ok(());
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            if !event.is_empty() {
+                let tag = if id.is_empty() {
+                    event.clone()
+                } else {
+                    format!("{event} #{id}")
+                };
+                println!("{tag:<16} {data}");
+                if event == "bye" {
+                    return Ok(());
+                }
+            }
+            id.clear();
+            event.clear();
+            data.clear();
+        } else if let Some(value) = trimmed.strip_prefix("id:") {
+            id = value.trim().to_owned();
+        } else if let Some(value) = trimmed.strip_prefix("event:") {
+            event = value.trim().to_owned();
+        } else if let Some(value) = trimmed.strip_prefix("data:") {
+            if !data.is_empty() {
+                data.push('\n');
+            }
+            data.push_str(value.trim_start());
+        }
+        // Anything else (retry hints, `:hb` comments) is ignored.
+    }
 }
